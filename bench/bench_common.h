@@ -1,0 +1,73 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/profiler.h"
+#include "cc/compile.h"
+#include "image/layout.h"
+#include "parallax/protector.h"
+#include "vm/machine.h"
+#include "workloads/corpus.h"
+
+namespace plx::bench {
+
+struct BuiltWorkload {
+  workloads::Workload meta;
+  cc::Compiled compiled;
+  img::Image plain;
+  analysis::Profile profile;  // of the plain run
+};
+
+inline BuiltWorkload build_workload(const workloads::Workload& w) {
+  auto compiled = cc::compile(w.source);
+  if (!compiled) {
+    std::fprintf(stderr, "FATAL %s: %s\n", w.name.c_str(), compiled.error().c_str());
+    std::exit(1);
+  }
+  auto plain = parallax::layout_plain(compiled.value());
+  if (!plain) {
+    std::fprintf(stderr, "FATAL %s: %s\n", w.name.c_str(), plain.error().c_str());
+    std::exit(1);
+  }
+  BuiltWorkload out{w, std::move(compiled).take(), std::move(plain).take(), {}};
+  out.profile = analysis::profile_run(out.plain);
+  if (out.profile.run.reason != vm::StopReason::Exited) {
+    std::fprintf(stderr, "FATAL %s: plain run failed: %s\n", w.name.c_str(),
+                 out.profile.run.fault.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+inline parallax::Protected protect_workload(const BuiltWorkload& bw,
+                                            parallax::Hardening mode,
+                                            int variants = 4) {
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {bw.meta.verify_function};
+  opts.hardening = mode;
+  opts.variants = variants;
+  parallax::Protector p;
+  auto prot = p.protect(bw.compiled, opts);
+  if (!prot) {
+    std::fprintf(stderr, "FATAL %s/%s: %s\n", bw.meta.name.c_str(),
+                 verify::hardening_name(mode), prot.error().c_str());
+    std::exit(1);
+  }
+  return std::move(prot).take();
+}
+
+inline vm::RunResult run_image(const img::Image& image,
+                               std::uint64_t budget = 2'000'000'000ull) {
+  vm::Machine m(image);
+  auto r = m.run(budget);
+  if (r.reason != vm::StopReason::Exited) {
+    std::fprintf(stderr, "FATAL: run did not exit cleanly: %s @%08x\n",
+                 r.fault.c_str(), r.fault_eip);
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace plx::bench

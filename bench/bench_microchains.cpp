@@ -1,0 +1,81 @@
+// §V-C ablation: µ-chains (instruction-level verification) vs function
+// chains. The paper reports that µ-chain overhead exceeds function chains by
+// about 2x on average, because every µ-chain carries its own
+// prologue/epilogue — one of the three reasons the paper rejects them.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "verify/microchain.h"
+
+namespace {
+
+using namespace plx;
+
+void print_table() {
+  std::printf("=== Section V-C: u-chains vs function chains ===\n");
+  std::printf("%-10s %-12s %12s %14s %14s %8s\n", "program", "function",
+              "plain-cycles", "fchain-extra", "uchain-extra", "ratio");
+  double ratio_sum = 0;
+  int n = 0;
+  for (const auto& w : workloads::corpus()) {
+    auto bw = bench::build_workload(w);
+    const double plain = static_cast<double>(bw.profile.run.cycles);
+
+    parallax::ProtectOptions fopts;
+    fopts.verify_functions = {w.verify_function};
+    fopts.weave_overlapping = false;  // compare like with like
+    parallax::Protector p;
+    auto fchain = p.protect(bw.compiled, fopts);
+    if (!fchain) {
+      std::fprintf(stderr, "%s: %s\n", w.name.c_str(), fchain.error().c_str());
+      continue;
+    }
+    auto uchain = verify::protect_microchains(bw.compiled, w.verify_function);
+    if (!uchain) {
+      std::fprintf(stderr, "%s: %s\n", w.name.c_str(), uchain.error().c_str());
+      continue;
+    }
+    const auto frun = bench::run_image(fchain.value().image);
+    const auto urun = bench::run_image(uchain.value().image);
+    const double fextra = static_cast<double>(frun.cycles) - plain;
+    const double uextra = static_cast<double>(urun.cycles) - plain;
+    const double ratio = uextra / fextra;
+    std::printf("%-10s %-12s %12.0f %14.0f %14.0f %7.2fx\n", w.paper_name.c_str(),
+                w.verify_function.c_str(), plain, fextra, uextra, ratio);
+    ratio_sum += ratio;
+    ++n;
+  }
+  if (n) {
+    std::printf("%-10s %-12s %12s %14s %14s %7.2fx\n", "average", "", "", "", "",
+                ratio_sum / n);
+  }
+  std::printf("(paper: u-chain overhead exceeds function chains by ~2x on "
+              "average)\n\n");
+}
+
+void BM_MicrochainRun(benchmark::State& state) {
+  const auto& w = workloads::corpus()[static_cast<std::size_t>(state.range(0))];
+  auto bw = bench::build_workload(w);
+  auto prot = verify::protect_microchains(bw.compiled, w.verify_function);
+  if (!prot) {
+    state.SkipWithError(prot.error().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    vm::Machine m(prot.value().image);
+    benchmark::DoNotOptimize(m.run(2'000'000'000ull).exit_code);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_MicrochainRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Software-cracking scenario (the paper's static-patching threat): an
+// attacker patches every byte of a license check, one at a time, and we
+// measure how often the crack survives on the unprotected vs the protected
+// binary. This is the "large-scale software cracking" defense of §III made
+// concrete.
+#include <cstdio>
+#include <set>
+
+#include "attack/patcher.h"
+#include "cc/compile.h"
+#include "gadget/scanner.h"
+#include "parallax/protector.h"
+#include "vm/machine.h"
+
+int main() {
+  using namespace plx;
+
+  const char* source = R"(
+int serial = 0;
+int mix(int a, int b) {
+  int r = (a << 3) ^ b;
+  r = r + (a & b);
+  if (r < 0) r = -r;
+  return r;
+}
+int check_license(int key) {
+  int h = 17;
+  for (int i = 0; i < 8; i++) {
+    h = mix(h, key + i);
+  }
+  serial = h;
+  if (h != 1234) return 0;
+  return 1;
+}
+int main() {
+  if (check_license(999)) return 42;     // unlocked
+  return serial & 0x3f;                  // denied (output depends on mix!)
+}
+)";
+
+  auto compiled = cc::compile(source);
+  auto plain = parallax::layout_plain(compiled.value());
+  vm::Machine ref(plain.value());
+  const int denied = ref.run().exit_code;
+  std::printf("unprotected denied-path exit: %d\n", denied);
+
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {"mix"};
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), opts);
+  if (!prot) {
+    std::printf("protect: %s\n", prot.error().c_str());
+    return 1;
+  }
+
+  // Gadget bytes the chain actually executes inside the two target functions.
+  std::set<std::uint32_t> hot_bytes;
+  {
+    gadget::Catalog catalog(gadget::scan(prot.value().image));
+    std::set<std::uint32_t> used(prot.value().used_gadget_addrs.begin(),
+                                 prot.value().used_gadget_addrs.end());
+    for (const auto& g : catalog.all()) {
+      if (!used.contains(g.addr)) continue;
+      for (std::uint32_t a = g.addr; a < g.end(); ++a) hot_bytes.insert(a);
+    }
+  }
+
+  // Brute-force cracker: try single-byte patches over check_license and main
+  // hunting for exit==42 without a correct key.
+  auto crack_rate = [&](const img::Image& image, const char* label,
+                        int* unlocks_on_gadget) {
+    int attempts = 0, unlocked = 0, broke = 0;
+    for (const char* func : {"check_license", "main"}) {
+      const img::Symbol* sym = image.find_symbol(func);
+      for (std::uint32_t off = 0; off < sym->size; ++off) {
+        for (std::uint8_t patch : {std::uint8_t{0x90}, std::uint8_t{0xeb}}) {
+          img::Image patched = image;
+          attack::patch_bytes(patched, sym->vaddr + off, {&patch, 1});
+          vm::Machine m(patched);
+          auto r = m.run(20'000'000);
+          ++attempts;
+          if (r.reason == vm::StopReason::Exited && r.exit_code == 42) {
+            ++unlocked;
+            if (unlocks_on_gadget && hot_bytes.contains(sym->vaddr + off)) {
+              ++*unlocks_on_gadget;
+            }
+          } else if (r.reason != vm::StopReason::Exited || r.exit_code != denied) {
+            ++broke;
+          }
+        }
+      }
+    }
+    std::printf("%-12s %5d patch attempts: %3d unlock, %4d break/crash, %4d "
+                "no effect\n",
+                label, attempts, unlocked, broke, attempts - unlocked - broke);
+    return unlocked;
+  };
+
+  const int u0 = crack_rate(plain.value(), "unprotected", nullptr);
+  int on_gadget = 0;
+  const int u1 = crack_rate(prot.value().image, "parallax", &on_gadget);
+  std::printf("\ncracks that unlock: unprotected=%d, parallax=%d "
+              "(of which %d landed on chain-gadget bytes)\n",
+              u0, u1, on_gadget);
+  std::printf(
+      "surviving unlocks fall into the two §VIII-C escape classes: patches in\n"
+      "bytes no gadget overlaps (condition 1 -- shrink with more chains,\n"
+      "weaving and §IV-B crafting), and control-flow bypasses that jump over\n"
+      "the check so the verification chain never executes at all -- which is\n"
+      "why §VII-B insists verification code be functionality the program\n"
+      "cannot run without (this toy check is trivially skippable).\n");
+  return 0;
+}

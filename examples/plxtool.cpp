@@ -1,0 +1,302 @@
+// plxtool — command-line front end for the Parallax toolchain.
+//
+//   plxtool compile  prog.c -o prog.plx         mini-C -> PLX image
+//   plxtool protect  prog.c -o prog.plx         full Parallax pipeline
+//            [--vf NAME] [--mode cleartext|xor|rc4|prob] [--variants N]
+//   plxtool run      prog.plx                   execute in the VM
+//   plxtool disasm   prog.plx [SYMBOL]          disassemble a function
+//   plxtool gadgets  prog.plx                   gadget census
+//   plxtool coverage prog.c                     Figure-6 protectability report
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cc/compile.h"
+#include "gadget/scanner.h"
+#include "image/layout.h"
+#include "parallax/protector.h"
+#include "rewrite/protectability.h"
+#include "vm/machine.h"
+#include "x86/format.h"
+
+namespace {
+
+using namespace plx;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plxtool <compile|protect|run|disasm|gadgets|coverage> ...\n"
+               "  compile  prog.c -o prog.plx\n"
+               "  protect  prog.c -o prog.plx [--vf NAME] [--mode MODE] [--variants N]\n"
+               "  run      prog.plx [--budget N]\n"
+               "  disasm   prog.plx [SYMBOL]\n"
+               "  gadgets  prog.plx\n"
+               "  coverage prog.c\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+bool write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+Result<img::Image> load_image(const std::string& path) {
+  bool ok = true;
+  const std::string blob = slurp(path, ok);
+  if (!ok) return fail("cannot read " + path);
+  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+  return img::Image::deserialize(bytes);
+}
+
+int cmd_compile(int argc, char** argv) {
+  std::string src_path, out_path = "a.plx";
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      src_path = argv[i];
+    }
+  }
+  if (src_path.empty()) return usage();
+  bool ok = true;
+  const std::string src = slurp(src_path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", src_path.c_str());
+    return 1;
+  }
+  auto compiled = cc::compile(src);
+  if (!compiled) {
+    std::fprintf(stderr, "%s: %s\n", src_path.c_str(), compiled.error().c_str());
+    return 1;
+  }
+  auto laid = img::layout(compiled.value().module);
+  if (!laid) {
+    std::fprintf(stderr, "layout: %s\n", laid.error().c_str());
+    return 1;
+  }
+  const Buffer blob = laid.value().image.serialize();
+  if (!write_file(out_path, blob.span())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes, %zu symbols)\n", out_path.c_str(), blob.size(),
+              laid.value().image.symbols.size());
+  return 0;
+}
+
+int cmd_protect(int argc, char** argv) {
+  std::string src_path, out_path = "a.plx", vf, mode = "cleartext";
+  int variants = 4;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--vf") && i + 1 < argc) {
+      vf = argv[++i];
+    } else if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (!std::strcmp(argv[i], "--variants") && i + 1 < argc) {
+      variants = std::atoi(argv[++i]);
+    } else {
+      src_path = argv[i];
+    }
+  }
+  if (src_path.empty()) return usage();
+  bool ok = true;
+  const std::string src = slurp(src_path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", src_path.c_str());
+    return 1;
+  }
+  auto compiled = cc::compile(src);
+  if (!compiled) {
+    std::fprintf(stderr, "%s: %s\n", src_path.c_str(), compiled.error().c_str());
+    return 1;
+  }
+
+  parallax::ProtectOptions opts;
+  if (!vf.empty()) opts.verify_functions = {vf};
+  if (mode == "cleartext") {
+    opts.hardening = parallax::Hardening::Cleartext;
+  } else if (mode == "xor") {
+    opts.hardening = parallax::Hardening::Xor;
+  } else if (mode == "rc4") {
+    opts.hardening = parallax::Hardening::Rc4;
+  } else if (mode == "prob") {
+    opts.hardening = parallax::Hardening::Probabilistic;
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  opts.variants = variants;
+
+  // Auto-selection wants a profile; build one from the unprotected image.
+  analysis::Profile profile;
+  if (vf.empty()) {
+    auto plain = parallax::layout_plain(compiled.value());
+    if (!plain) {
+      std::fprintf(stderr, "layout: %s\n", plain.error().c_str());
+      return 1;
+    }
+    profile = analysis::profile_run(plain.value());
+    opts.profile = &profile;
+    opts.max_time_fraction = 0.05;
+  }
+
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), opts);
+  if (!prot) {
+    std::fprintf(stderr, "protect: %s\n", prot.error().c_str());
+    return 1;
+  }
+  const Buffer blob = prot.value().image.serialize();
+  if (!write_file(out_path, blob.span())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s  [mode=%s]\n", out_path.c_str(),
+              verify::hardening_name(opts.hardening));
+  for (const auto& f : prot.value().chain_functions) {
+    const auto& chain = prot.value().chains.at(f);
+    std::printf("  chain %-16s %4zu words, %3zu gadget slots\n", f.c_str(),
+                chain.words.size(), chain.gadget_slots.size());
+  }
+  std::printf("  gadgets: %zu total, %zu overlap protected code, %zu overlapping "
+              "used by chains\n",
+              prot.value().gadgets_total, prot.value().gadgets_overlapping,
+              prot.value().used_gadgets_overlapping);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::uint64_t budget = 2'000'000'000ull;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--budget")) budget = std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  auto image = load_image(argv[0]);
+  if (!image) {
+    std::fprintf(stderr, "%s\n", image.error().c_str());
+    return 1;
+  }
+  vm::Machine m(image.value());
+  auto r = m.run(budget);
+  if (!m.output.empty()) std::fwrite(m.output.data(), 1, m.output.size(), stdout);
+  switch (r.reason) {
+    case vm::StopReason::Exited:
+      std::printf("[exit %d after %llu instructions, %llu cycles]\n", r.exit_code,
+                  static_cast<unsigned long long>(r.instructions),
+                  static_cast<unsigned long long>(r.cycles));
+      return 0;
+    case vm::StopReason::Fault:
+      std::printf("[FAULT at %08x: %s]\n", r.fault_eip, r.fault.c_str());
+      return 1;
+    default:
+      std::printf("[budget exceeded]\n");
+      return 1;
+  }
+}
+
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto image = load_image(argv[0]);
+  if (!image) {
+    std::fprintf(stderr, "%s\n", image.error().c_str());
+    return 1;
+  }
+  const std::string want = argc >= 2 ? argv[1] : "";
+  bool any = false;
+  for (const auto& sym : image.value().symbols) {
+    if (!sym.is_func || sym.size == 0) continue;
+    if (!want.empty() && sym.name != want) continue;
+    any = true;
+    std::printf("%08x <%s>:\n", sym.vaddr, sym.name.c_str());
+    const auto bytes = image.value().read(sym.vaddr, sym.size);
+    std::fputs(x86::disassemble(bytes, sym.vaddr).c_str(), stdout);
+    std::printf("\n");
+  }
+  if (!any) {
+    std::fprintf(stderr, "no function %s\n", want.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_gadgets(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto image = load_image(argv[0]);
+  if (!image) {
+    std::fprintf(stderr, "%s\n", image.error().c_str());
+    return 1;
+  }
+  const auto gadgets = gadget::scan(image.value());
+  std::map<std::string, int> by_type;
+  for (const auto& g : gadgets) ++by_type[gadget::gtype_name(g.type)];
+  std::printf("%zu usable gadgets\n", gadgets.size());
+  for (const auto& [type, count] : by_type) {
+    std::printf("  %-16s %d\n", type.c_str(), count);
+  }
+  return 0;
+}
+
+int cmd_coverage(int argc, char** argv) {
+  if (argc < 1) return usage();
+  bool ok = true;
+  const std::string src = slurp(argv[0], ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    return 1;
+  }
+  auto compiled = cc::compile(src);
+  if (!compiled) {
+    std::fprintf(stderr, "%s\n", compiled.error().c_str());
+    return 1;
+  }
+  auto laid = img::layout(compiled.value().module);
+  if (!laid) {
+    std::fprintf(stderr, "%s\n", laid.error().c_str());
+    return 1;
+  }
+  const auto report =
+      rewrite::analyze_protectability(compiled.value().module, laid.value());
+  std::printf("code bytes:        %u\n", report.code_bytes);
+  std::printf("existing near-ret: %5.1f%%\n", 100 * report.fraction(rewrite::Rule::ExistingNear));
+  std::printf("existing far-ret:  %5.1f%%\n", 100 * report.fraction(rewrite::Rule::ExistingFar));
+  std::printf("immediate-mod:     %5.1f%%\n", 100 * report.fraction(rewrite::Rule::ImmediateMod));
+  std::printf("jump/rearrange:    %5.1f%%\n", 100 * report.fraction(rewrite::Rule::JumpMod));
+  std::printf("any rule:          %5.1f%%\n", 100 * report.fraction_any());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "compile") return cmd_compile(argc, argv);
+  if (cmd == "protect") return cmd_protect(argc, argv);
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "disasm") return cmd_disasm(argc, argv);
+  if (cmd == "gadgets") return cmd_gadgets(argc, argv);
+  if (cmd == "coverage") return cmd_coverage(argc, argv);
+  return usage();
+}

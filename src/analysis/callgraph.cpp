@@ -1,0 +1,17 @@
+#include "analysis/callgraph.h"
+
+namespace plx::analysis {
+
+CallGraph build_callgraph(const cc::IrProgram& prog) {
+  CallGraph cg;
+  for (const auto& f : prog.funcs) {
+    for (const auto& insn : f.insns) {
+      if (insn.op != cc::IrOp::Call) continue;
+      cg.callers[insn.sym].insert(f.name);
+      ++cg.call_sites[insn.sym];
+    }
+  }
+  return cg;
+}
+
+}  // namespace plx::analysis

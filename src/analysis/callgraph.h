@@ -1,0 +1,29 @@
+// Static call graph over the mini-C IR (step 1 of the §VII-B selection
+// algorithm: find functions called repeatedly from several locations).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "cc/irgen.h"
+
+namespace plx::analysis {
+
+struct CallGraph {
+  std::map<std::string, std::set<std::string>> callers;  // callee -> callers
+  std::map<std::string, int> call_sites;                 // callee -> # sites
+
+  int sites(const std::string& f) const {
+    auto it = call_sites.find(f);
+    return it == call_sites.end() ? 0 : it->second;
+  }
+  int distinct_callers(const std::string& f) const {
+    auto it = callers.find(f);
+    return it == callers.end() ? 0 : static_cast<int>(it->second.size());
+  }
+};
+
+CallGraph build_callgraph(const cc::IrProgram& prog);
+
+}  // namespace plx::analysis

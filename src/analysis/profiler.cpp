@@ -1,0 +1,17 @@
+#include "analysis/profiler.h"
+
+namespace plx::analysis {
+
+Profile profile_run(const img::Image& image, const std::vector<std::uint8_t>& input,
+                    std::uint64_t budget) {
+  vm::Machine m(image);
+  m.profile_enabled = true;
+  m.input = input;
+  Profile p;
+  p.run = m.run(budget);
+  p.stats = m.profile();
+  p.total_cycles = p.run.cycles;
+  return p;
+}
+
+}  // namespace plx::analysis

@@ -1,0 +1,35 @@
+// VM-based flat profiler (step 2 of §VII-B: find functions contributing
+// less than a threshold of total execution time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "vm/machine.h"
+
+namespace plx::analysis {
+
+struct Profile {
+  std::map<std::string, vm::FuncStats> stats;
+  std::uint64_t total_cycles = 0;
+  vm::RunResult run;
+
+  double fraction(const std::string& f) const {
+    auto it = stats.find(f);
+    if (it == stats.end() || total_cycles == 0) return 0.0;
+    return static_cast<double>(it->second.cycles) / static_cast<double>(total_cycles);
+  }
+  std::uint64_t calls(const std::string& f) const {
+    auto it = stats.find(f);
+    return it == stats.end() ? 0 : it->second.calls;
+  }
+};
+
+// Runs the image to completion (or budget) with profiling enabled.
+Profile profile_run(const img::Image& image, const std::vector<std::uint8_t>& input = {},
+                    std::uint64_t budget = 100'000'000);
+
+}  // namespace plx::analysis

@@ -1,0 +1,54 @@
+#include "analysis/selection.h"
+
+#include <algorithm>
+
+namespace plx::analysis {
+
+bool chain_compilable(const cc::IrFunc& f) {
+  for (const auto& insn : f.insns) {
+    switch (insn.op) {
+      case cc::IrOp::Call:
+      case cc::IrOp::Syscall:
+      case cc::IrOp::Div:
+      case cc::IrOp::Mod:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> select_verification_functions(const cc::IrProgram& prog,
+                                                       const CallGraph& cg,
+                                                       const Profile* profile,
+                                                       const SelectionOptions& opts) {
+  struct Candidate {
+    const cc::IrFunc* f;
+    int diversity;
+    int sites;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& f : prog.funcs) {
+    if (f.name == "main") continue;
+    if (!chain_compilable(f)) continue;
+    if (cg.sites(f.name) < opts.min_call_sites) continue;
+    if (profile && profile->fraction(f.name) > opts.max_time_fraction) continue;
+    if (profile && profile->calls(f.name) == 0) continue;  // never exercised
+    candidates.push_back(Candidate{&f, f.op_diversity(), cg.sites(f.name)});
+  }
+  // Step 3: most operation types first; break ties by more call sites.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.diversity != b.diversity) return a.diversity > b.diversity;
+                     return a.sites > b.sites;
+                   });
+  std::vector<std::string> out;
+  for (const auto& c : candidates) {
+    if (static_cast<int>(out.size()) >= opts.count) break;
+    out.push_back(c.f->name);
+  }
+  return out;
+}
+
+}  // namespace plx::analysis

@@ -1,0 +1,32 @@
+// Verification-function selection — the fully automatable algorithm of
+// §VII-B: (1) called repeatedly from several locations, (2) contributing
+// under a threshold of execution time, (3) maximal operation diversity.
+// Additionally filtered to functions the ROP compiler can translate
+// (no calls/syscalls/division after the Mul/byte lowering passes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/profiler.h"
+
+namespace plx::analysis {
+
+struct SelectionOptions {
+  double max_time_fraction = 0.02;  // the paper's 2% threshold
+  int min_call_sites = 2;
+  int count = 1;                    // how many functions to pick
+};
+
+// Returns up to `count` function names, best candidates first. `profile` may
+// be null (the time-fraction filter is skipped, as for static-only use).
+std::vector<std::string> select_verification_functions(const cc::IrProgram& prog,
+                                                       const CallGraph& cg,
+                                                       const Profile* profile,
+                                                       const SelectionOptions& opts = {});
+
+// True if the ROP compiler can translate this function after lowering.
+bool chain_compilable(const cc::IrFunc& f);
+
+}  // namespace plx::analysis

@@ -1,0 +1,596 @@
+#include "asm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "x86/insn.h"
+
+namespace plx::assembler {
+
+namespace {
+
+using x86::Cond;
+using x86::Insn;
+using x86::Mem;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::OpSize;
+using x86::Reg;
+
+struct CondEntry {
+  const char* name;
+  Cond cond;
+};
+
+constexpr CondEntry kConds[] = {
+    {"o", Cond::O},   {"no", Cond::NO},  {"b", Cond::B},    {"c", Cond::B},
+    {"nae", Cond::B}, {"ae", Cond::AE},  {"nb", Cond::AE},  {"nc", Cond::AE},
+    {"e", Cond::E},   {"z", Cond::E},    {"ne", Cond::NE},  {"nz", Cond::NE},
+    {"be", Cond::BE}, {"na", Cond::BE},  {"a", Cond::A},    {"nbe", Cond::A},
+    {"s", Cond::S},   {"ns", Cond::NS},  {"p", Cond::P},    {"pe", Cond::P},
+    {"np", Cond::NP}, {"po", Cond::NP},  {"l", Cond::L},    {"nge", Cond::L},
+    {"ge", Cond::GE}, {"nl", Cond::GE},  {"le", Cond::LE},  {"ng", Cond::LE},
+    {"g", Cond::G},   {"nle", Cond::G},
+};
+
+std::optional<Cond> parse_cond(const std::string& s) {
+  for (const auto& e : kConds) {
+    if (s == e.name) return e.cond;
+  }
+  return std::nullopt;
+}
+
+const std::map<std::string, Mnemonic>& mnemonic_table() {
+  static const std::map<std::string, Mnemonic> table = {
+      {"add", Mnemonic::ADD},     {"or", Mnemonic::OR},
+      {"adc", Mnemonic::ADC},     {"sbb", Mnemonic::SBB},
+      {"and", Mnemonic::AND},     {"sub", Mnemonic::SUB},
+      {"xor", Mnemonic::XOR},     {"cmp", Mnemonic::CMP},
+      {"test", Mnemonic::TEST},   {"mov", Mnemonic::MOV},
+      {"lea", Mnemonic::LEA},     {"xchg", Mnemonic::XCHG},
+      {"push", Mnemonic::PUSH},   {"pop", Mnemonic::POP},
+      {"pushad", Mnemonic::PUSHAD}, {"popad", Mnemonic::POPAD},
+      {"pushfd", Mnemonic::PUSHFD}, {"popfd", Mnemonic::POPFD},
+      {"inc", Mnemonic::INC},     {"dec", Mnemonic::DEC},
+      {"not", Mnemonic::NOT},     {"neg", Mnemonic::NEG},
+      {"mul", Mnemonic::MUL},     {"imul", Mnemonic::IMUL},
+      {"div", Mnemonic::DIV},     {"idiv", Mnemonic::IDIV},
+      {"rol", Mnemonic::ROL},     {"ror", Mnemonic::ROR},
+      {"shl", Mnemonic::SHL},     {"sal", Mnemonic::SHL},
+      {"shr", Mnemonic::SHR},     {"sar", Mnemonic::SAR},
+      {"jmp", Mnemonic::JMP},     {"call", Mnemonic::CALL},
+      {"ret", Mnemonic::RET},     {"retf", Mnemonic::RETF},
+      {"leave", Mnemonic::LEAVE}, {"nop", Mnemonic::NOP},
+      {"cdq", Mnemonic::CDQ},     {"int3", Mnemonic::INT3},
+      {"int", Mnemonic::INT},     {"hlt", Mnemonic::HLT},
+      {"clc", Mnemonic::CLC},     {"stc", Mnemonic::STC},
+      {"cmc", Mnemonic::CMC},     {"cld", Mnemonic::CLD},
+      {"std", Mnemonic::STD},     {"movzx", Mnemonic::MOVZX},
+      {"movsx", Mnemonic::MOVSX},
+  };
+  return table;
+}
+
+std::optional<std::pair<Reg, OpSize>> parse_reg(const std::string& s) {
+  static const std::map<std::string, std::pair<Reg, OpSize>> table = {
+      {"eax", {Reg::EAX, OpSize::Dword}}, {"ecx", {Reg::ECX, OpSize::Dword}},
+      {"edx", {Reg::EDX, OpSize::Dword}}, {"ebx", {Reg::EBX, OpSize::Dword}},
+      {"esp", {Reg::ESP, OpSize::Dword}}, {"ebp", {Reg::EBP, OpSize::Dword}},
+      {"esi", {Reg::ESI, OpSize::Dword}}, {"edi", {Reg::EDI, OpSize::Dword}},
+      {"ax", {Reg::EAX, OpSize::Word}},   {"cx", {Reg::ECX, OpSize::Word}},
+      {"dx", {Reg::EDX, OpSize::Word}},   {"bx", {Reg::EBX, OpSize::Word}},
+      {"al", {Reg::EAX, OpSize::Byte}},   {"cl", {Reg::ECX, OpSize::Byte}},
+      {"dl", {Reg::EDX, OpSize::Byte}},   {"bl", {Reg::EBX, OpSize::Byte}},
+      {"ah", {Reg::ESP, OpSize::Byte}},   {"ch", {Reg::EBP, OpSize::Byte}},
+      {"dh", {Reg::ESI, OpSize::Byte}},   {"bh", {Reg::EDI, OpSize::Byte}},
+  };
+  auto it = table.find(s);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+
+// Tokenized operand text parsing helpers.
+struct OperandText {
+  std::string text;
+};
+
+// Splits "a, b, c" at top-level commas (none appear inside brackets in our
+// syntax, but be safe about strings for data directives).
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_str = false;
+  int depth = 0;
+  for (char c : s) {
+    if (in_str) {
+      cur += c;
+      if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      cur += c;
+    } else if (c == '[') {
+      ++depth;
+      cur += c;
+    } else if (c == ']') {
+      --depth;
+      cur += c;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<std::int64_t> parse_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[i] == '-' || s[i] == '+') {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) return std::nullopt;
+  if (s[i] == '\'' && s.size() == i + 3 && s[i + 2] == '\'') {
+    const std::int64_t v = static_cast<unsigned char>(s[i + 1]);
+    return neg ? -v : v;
+  }
+  std::int64_t v = 0;
+  if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (std::size_t k = i + 2; k < s.size(); ++k) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(s[k])));
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else {
+        return std::nullopt;
+      }
+      v = v * 16 + d;
+    }
+  } else {
+    for (std::size_t k = i; k < s.size(); ++k) {
+      if (!std::isdigit(static_cast<unsigned char>(s[k]))) return std::nullopt;
+      v = v * 10 + (s[k] - '0');
+    }
+  }
+  return neg ? -v : v;
+}
+
+// --- assembler state --------------------------------------------------------
+
+struct Asm {
+  img::Module module;
+  img::SectionKind section = img::SectionKind::Text;
+  std::vector<std::string> pending_labels;  // dot-labels for the next item
+  std::uint32_t pending_align = 0;
+  int line_no = 0;
+  std::string error;
+
+  bool err(const std::string& msg) {
+    error = "line " + std::to_string(line_no) + ": " + msg;
+    return false;
+  }
+
+  img::Fragment& frag() {
+    if (module.fragments.empty() || module.fragments.back().section != section) {
+      // Anonymous fragment (data before any label, or section switch).
+      img::Fragment f;
+      f.section = section;
+      f.align = (section == img::SectionKind::Text) ? 16 : 4;
+      module.fragments.push_back(std::move(f));
+    }
+    return module.fragments.back();
+  }
+
+  void add_item(img::Item item) {
+    if (pending_align > 1) {
+      frag().items.push_back(img::Item::make_align(pending_align));
+      pending_align = 0;
+    }
+    item.labels = std::move(pending_labels);
+    pending_labels.clear();
+    frag().items.push_back(std::move(item));
+  }
+
+  void start_fragment(const std::string& name) {
+    img::Fragment f;
+    f.name = name;
+    f.section = section;
+    f.is_func = section == img::SectionKind::Text;
+    f.align = (section == img::SectionKind::Text) ? 16 : 4;
+    if (pending_align > 1) {
+      f.align = pending_align;
+      pending_align = 0;
+    }
+    module.fragments.push_back(std::move(f));
+  }
+
+  // Parses one operand; fills `op` and possibly a fixup on the item.
+  bool parse_operand(const std::string& raw, Operand& op, img::Item& item,
+                     std::optional<OpSize> size_hint);
+  bool parse_mem(const std::string& inner, Operand& op, img::Item& item, OpSize size);
+  bool handle_insn(const std::string& mnem, const std::string& rest);
+  bool handle_data(const std::string& directive, const std::string& rest);
+  bool handle_line(const std::string& line);
+};
+
+bool Asm::parse_mem(const std::string& inner, Operand& op, img::Item& item, OpSize size) {
+  // Grammar: term ('+' term | '-' number)* where term = reg | reg '*' scale |
+  // number | symbol. At most one base, one scaled index, one symbol.
+  Mem mem;
+  std::string sym;
+  std::int64_t disp = 0;
+  std::size_t i = 0;
+  int sign = 1;
+  const std::string s = inner;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i >= s.size()) break;
+    if (s[i] == '+') {
+      sign = 1;
+      ++i;
+      continue;
+    }
+    if (s[i] == '-') {
+      sign = -1;
+      ++i;
+      continue;
+    }
+    // Collect a term up to the next top-level + or -.
+    std::size_t j = i;
+    while (j < s.size() && s[j] != '+' && s[j] != '-') ++j;
+    std::string term = trim(s.substr(i, j - i));
+    i = j;
+    if (term.empty()) return err("empty term in memory operand");
+
+    // reg*scale ?
+    auto star = term.find('*');
+    if (star != std::string::npos) {
+      auto reg = parse_reg(lower(trim(term.substr(0, star))));
+      auto scale = parse_number(trim(term.substr(star + 1)));
+      if (!reg || reg->second != OpSize::Dword || !scale) return err("bad scaled index");
+      if (mem.index != Reg::NONE) return err("two index registers");
+      mem.index = reg->first;
+      mem.scale = static_cast<std::uint8_t>(*scale);
+      continue;
+    }
+    if (auto reg = parse_reg(lower(term))) {
+      if (reg->second != OpSize::Dword) return err("memory operand needs 32-bit registers");
+      if (sign < 0) return err("cannot subtract a register");
+      if (mem.base == Reg::NONE) {
+        mem.base = reg->first;
+      } else if (mem.index == Reg::NONE) {
+        mem.index = reg->first;
+        mem.scale = 1;
+      } else {
+        return err("too many registers in memory operand");
+      }
+      continue;
+    }
+    if (auto num = parse_number(term)) {
+      disp += sign * *num;
+      continue;
+    }
+    if (is_ident_start(term[0])) {
+      if (!sym.empty()) return err("two symbols in memory operand");
+      if (sign < 0) return err("cannot subtract a symbol");
+      sym = term;
+      continue;
+    }
+    return err("bad memory term '" + term + "'");
+  }
+
+  mem.disp = static_cast<std::int32_t>(disp);
+  op = Operand::make_mem(mem, size);
+  if (!sym.empty()) {
+    if (mem.base != Reg::NONE || mem.index != Reg::NONE) {
+      return err("symbol addressing must be absolute ([sym] or [sym+disp])");
+    }
+    if (item.fixup != img::Fixup::None) return err("two fixups in one instruction");
+    item.fixup = img::Fixup::AbsDisp;
+    item.sym = sym;
+    item.addend = static_cast<std::int32_t>(disp);
+    op.mem.disp = 0;
+  }
+  return true;
+}
+
+bool Asm::parse_operand(const std::string& raw, Operand& op, img::Item& item,
+                        std::optional<OpSize> size_hint) {
+  std::string s = trim(raw);
+  if (s.empty()) return err("empty operand");
+
+  // Size prefixes: "byte", "word", "dword" optionally followed by "ptr".
+  std::optional<OpSize> size = size_hint;
+  const std::string ls = lower(s);
+  for (const auto& [kw, sz] : {std::pair{"byte", OpSize::Byte},
+                               std::pair{"word", OpSize::Word},
+                               std::pair{"dword", OpSize::Dword}}) {
+    const std::string kws(kw);
+    if (ls.starts_with(kws + " ") || ls.starts_with(kws + "[")) {
+      size = sz;
+      s = trim(s.substr(kws.size()));
+      if (lower(s).starts_with("ptr")) s = trim(s.substr(3));
+      break;
+    }
+  }
+
+  if (s.front() == '[') {
+    if (s.back() != ']') return err("unterminated memory operand");
+    return parse_mem(s.substr(1, s.size() - 2), op, item, size.value_or(OpSize::Dword));
+  }
+
+  if (auto reg = parse_reg(lower(s))) {
+    op = Operand::make_reg(reg->first, reg->second);
+    return true;
+  }
+  if (auto num = parse_number(s)) {
+    op = Operand::make_imm(static_cast<std::int32_t>(*num), size.value_or(OpSize::Dword));
+    return true;
+  }
+  if (lower(s).starts_with("offset ")) {
+    const std::string sym = trim(s.substr(7));
+    if (item.fixup != img::Fixup::None) return err("two fixups in one instruction");
+    item.fixup = img::Fixup::AbsImm;
+    item.sym = sym;
+    op = Operand::make_imm(0);
+    return true;
+  }
+  if (is_ident_start(s[0])) {
+    // Bare symbol: branch target (RelBranch fixup).
+    if (item.fixup != img::Fixup::None) return err("two fixups in one instruction");
+    item.fixup = img::Fixup::RelBranch;
+    item.sym = s;
+    op = Operand::make_rel(0);
+    return true;
+  }
+  return err("cannot parse operand '" + s + "'");
+}
+
+bool Asm::handle_insn(const std::string& mnem, const std::string& rest) {
+  Insn insn;
+  std::string m = mnem;
+
+  // Jcc / SETcc.
+  if (m.size() > 1 && m[0] == 'j' && m != "jmp") {
+    auto cond = parse_cond(m.substr(1));
+    if (!cond) return err("unknown mnemonic '" + m + "'");
+    insn.op = Mnemonic::JCC;
+    insn.cond = *cond;
+  } else if (m.size() > 3 && m.starts_with("set")) {
+    auto cond = parse_cond(m.substr(3));
+    if (!cond) return err("unknown mnemonic '" + m + "'");
+    insn.op = Mnemonic::SETCC;
+    insn.cond = *cond;
+  } else {
+    auto it = mnemonic_table().find(m);
+    if (it == mnemonic_table().end()) return err("unknown mnemonic '" + m + "'");
+    insn.op = it->second;
+  }
+
+  img::Item item;
+  auto operands = split_commas(rest);
+  if (operands.size() > 3) return err("too many operands");
+  // First pass: parse everything; size inference from register operands.
+  std::optional<OpSize> size_hint;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    Operand op;
+    if (!parse_operand(operands[i], op, item, std::nullopt)) return false;
+    insn.ops[i] = op;
+    insn.nops = static_cast<std::uint8_t>(i + 1);
+    if (op.kind == Operand::Kind::Reg && !size_hint) size_hint = op.size;
+  }
+  // Operation size: from the first register operand, else from a sized memory
+  // operand, else dword.
+  OpSize opsize = OpSize::Dword;
+  if (size_hint) {
+    opsize = *size_hint;
+  } else {
+    for (std::uint8_t i = 0; i < insn.nops; ++i) {
+      if (insn.ops[i].kind == Operand::Kind::Mem) opsize = insn.ops[i].size;
+    }
+  }
+  // Shift counts and MOVZX/MOVSX sources keep their own sizes; every other
+  // mem/imm operand is harmonised to the operation size.
+  insn.opsize = opsize;
+  const bool is_shift = insn.op == Mnemonic::ROL || insn.op == Mnemonic::ROR ||
+                        insn.op == Mnemonic::SHL || insn.op == Mnemonic::SHR ||
+                        insn.op == Mnemonic::SAR;
+  const bool keeps_sizes = insn.op == Mnemonic::MOVZX || insn.op == Mnemonic::MOVSX;
+  if (!keeps_sizes) {
+    const std::uint8_t harmonise_upto = is_shift ? 1 : insn.nops;
+    for (std::uint8_t i = 0; i < harmonise_upto; ++i) {
+      if (insn.ops[i].kind == Operand::Kind::Mem || insn.ops[i].kind == Operand::Kind::Imm) {
+        insn.ops[i].size = opsize;
+      }
+    }
+  }
+  if (insn.op == Mnemonic::JCC && item.fixup == img::Fixup::None) {
+    return err("jcc needs a label target");
+  }
+  if (insn.op == Mnemonic::MOVZX || insn.op == Mnemonic::MOVSX) {
+    insn.opsize = OpSize::Dword;
+  }
+
+  item.kind = img::Item::Kind::Insn;
+  item.insn = insn;
+  add_item(std::move(item));
+  return true;
+}
+
+bool Asm::handle_data(const std::string& directive, const std::string& rest) {
+  if (directive == "db") {
+    Buffer data;
+    for (const auto& part : split_commas(rest)) {
+      const std::string p = trim(part);
+      if (p.size() >= 2 && p.front() == '"' && p.back() == '"') {
+        for (std::size_t i = 1; i + 1 < p.size(); ++i) data.put_u8(static_cast<std::uint8_t>(p[i]));
+      } else if (auto num = parse_number(p)) {
+        data.put_u8(static_cast<std::uint8_t>(*num));
+      } else {
+        return err("bad db value '" + p + "'");
+      }
+    }
+    add_item(img::Item::make_data(std::move(data)));
+    return true;
+  }
+  if (directive == "dw") {
+    Buffer data;
+    for (const auto& part : split_commas(rest)) {
+      auto num = parse_number(trim(part));
+      if (!num) return err("bad dw value");
+      data.put_u16(static_cast<std::uint16_t>(*num));
+    }
+    add_item(img::Item::make_data(std::move(data)));
+    return true;
+  }
+  if (directive == "dd") {
+    for (const auto& part : split_commas(rest)) {
+      const std::string p = trim(part);
+      Buffer data;
+      if (auto num = parse_number(p)) {
+        data.put_u32(static_cast<std::uint32_t>(*num));
+        add_item(img::Item::make_data(std::move(data)));
+      } else if (is_ident_start(p[0])) {
+        data.put_u32(0);
+        img::Item item = img::Item::make_data(std::move(data));
+        item.fixup = img::Fixup::AbsData;
+        item.sym = p;
+        add_item(std::move(item));
+      } else {
+        return err("bad dd value '" + p + "'");
+      }
+    }
+    return true;
+  }
+  if (directive == "resb" || directive == "resd") {
+    auto num = parse_number(trim(rest));
+    if (!num || *num < 0) return err("bad reservation size");
+    Buffer data;
+    const std::int64_t n = *num * (directive == "resd" ? 4 : 1);
+    data.resize(static_cast<std::size_t>(n));
+    add_item(img::Item::make_data(std::move(data)));
+    return true;
+  }
+  return err("unknown directive '" + directive + "'");
+}
+
+bool Asm::handle_line(const std::string& raw) {
+  // Strip comments.
+  std::string line;
+  bool in_str = false;
+  for (char ch : raw) {
+    if (ch == '"') in_str = !in_str;
+    if (!in_str && (ch == ';' || ch == '#')) break;
+    line += ch;
+  }
+  line = trim(line);
+  if (line.empty()) return true;
+
+  // Labels (possibly followed by more on the same line).
+  while (true) {
+    std::size_t i = 0;
+    if (!is_ident_start(line[0])) break;
+    while (i < line.size() && is_ident_char(line[i])) ++i;
+    if (i >= line.size() || line[i] != ':') break;
+    const std::string label = line.substr(0, i);
+    if (label.starts_with('.')) {
+      pending_labels.push_back(label);
+    } else {
+      start_fragment(label);
+    }
+    line = trim(line.substr(i + 1));
+    if (line.empty()) return true;
+  }
+
+  // Directives.
+  if (line[0] == '.') {
+    std::size_t sp = line.find_first_of(" \t");
+    const std::string dir = lower(line.substr(0, sp));
+    const std::string rest = (sp == std::string::npos) ? "" : trim(line.substr(sp));
+    if (dir == ".text") {
+      section = img::SectionKind::Text;
+      return true;
+    }
+    if (dir == ".data") {
+      section = img::SectionKind::Data;
+      return true;
+    }
+    if (dir == ".rodata") {
+      section = img::SectionKind::Rodata;
+      return true;
+    }
+    if (dir == ".bss") {
+      section = img::SectionKind::Bss;
+      return true;
+    }
+    if (dir == ".global" || dir == ".globl") return true;  // informational
+    if (dir == ".entry") {
+      module.entry = rest;
+      return true;
+    }
+    if (dir == ".align") {
+      auto num = parse_number(rest);
+      if (!num || *num < 1) return err("bad alignment");
+      pending_align = static_cast<std::uint32_t>(*num);
+      return true;
+    }
+    return err("unknown directive '" + dir + "'");
+  }
+
+  // Instruction or data directive.
+  std::size_t sp = line.find_first_of(" \t");
+  const std::string head = lower(line.substr(0, sp));
+  const std::string rest = (sp == std::string::npos) ? "" : trim(line.substr(sp));
+  if (head == "db" || head == "dw" || head == "dd" || head == "resb" || head == "resd") {
+    return handle_data(head, rest);
+  }
+  return handle_insn(head, rest);
+}
+
+}  // namespace
+
+Result<img::Module> assemble(const std::string& source) {
+  Asm state;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    const std::string line =
+        source.substr(pos, (nl == std::string::npos ? source.size() : nl) - pos);
+    ++state.line_no;
+    if (!state.handle_line(line)) return fail(state.error);
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  if (!state.pending_labels.empty()) {
+    // Bind trailing labels to an empty data item so they resolve.
+    state.add_item(img::Item::make_data(Buffer{}));
+  }
+  return state.module;
+}
+
+}  // namespace plx::assembler

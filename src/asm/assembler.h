@@ -1,0 +1,35 @@
+// Two-pass Intel-syntax x86-32 assembler producing a symbolic img::Module.
+//
+// Used by tests, the examples (the paper's ptrace-detector listing is
+// assembled from text) and anywhere hand-written machine code is clearer
+// than builder calls. Supported syntax:
+//
+//   .text / .data / .rodata / .bss      section switches
+//   .global name                        mark a symbol global (informational)
+//   .align N                            align next item
+//   .entry name                         set the module entry symbol
+//   name:                               non-dot label => new fragment
+//   .Llocal:                            dot label => fragment-local label
+//   mov eax, [ebp+8]                    instructions, Intel operand order
+//   mov eax, offset sym                 absolute address of a symbol (AbsImm)
+//   mov eax, [sym]                      absolute addressing (AbsDisp)
+//   call sym / jne .Llocal              branch fixups (always rel32)
+//   dd 1, 2, sym                        32-bit data (symbols become AbsData)
+//   db "text", 10, 0                    byte data
+//   resb N / resd N                     zero-filled space
+//
+// Comments start with ';' or '#'. Numbers: decimal, 0x hex, 'c' char.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+#include "support/error.h"
+
+namespace plx::assembler {
+
+// Assembles `source` into a module. On error, the message includes the
+// 1-based line number.
+Result<img::Module> assemble(const std::string& source);
+
+}  // namespace plx::assembler

@@ -1,0 +1,33 @@
+// Attacker toolkit: static code patching (software cracking) helpers.
+//
+// These implement the attacks from the paper's running example (Listing 2:
+// nop out the jump to cleanup_and_exit) and §VIII-C: overwrite protected
+// instructions, neutralise conditional jumps, restore code after execution.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "image/image.h"
+#include "x86/insn.h"
+
+namespace plx::attack {
+
+// Overwrite image bytes (a static patch, as in cracked redistributables).
+bool patch_bytes(img::Image& image, std::uint32_t addr,
+                 std::span<const std::uint8_t> bytes);
+
+// Fill [addr, addr+len) with NOPs — the Listing 2 attack.
+bool nop_out(img::Image& image, std::uint32_t addr, std::uint32_t len);
+
+// Find the nth conditional jump with condition `cc` inside a function.
+std::optional<std::uint32_t> find_jcc(const img::Image& image,
+                                      const std::string& function, x86::Cond cc,
+                                      int nth = 0);
+
+// Rewrite a jcc so it is always / never taken, preserving instruction length.
+bool make_jcc_unconditional(img::Image& image, std::uint32_t addr);
+bool nop_jcc(img::Image& image, std::uint32_t addr);
+
+}  // namespace plx::attack

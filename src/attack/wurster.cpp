@@ -1,0 +1,18 @@
+#include "attack/wurster.h"
+
+namespace plx::attack {
+
+void icache_patch(vm::Machine& m, std::uint32_t addr,
+                  std::span<const std::uint8_t> bytes) {
+  m.tamper_icache(addr, bytes);
+}
+
+vm::RunResult run_with_icache_patch(const img::Image& image, std::uint32_t addr,
+                                    std::span<const std::uint8_t> bytes,
+                                    std::uint64_t budget) {
+  vm::Machine m(image);
+  m.tamper_icache(addr, bytes);
+  return m.run(budget);
+}
+
+}  // namespace plx::attack

@@ -1,0 +1,26 @@
+// The Wurster et al. attack [36]: desynchronise the instruction and data
+// views of memory so that executed code is tampered while every data read —
+// including checksummers reading their own code — sees pristine bytes.
+//
+// On real hardware this is a kernel page-table/TLB trick; our VM models it
+// directly with its split I-cache overlay (vm::Machine::tamper_icache).
+#pragma once
+
+#include <span>
+
+#include "image/image.h"
+#include "vm/machine.h"
+
+namespace plx::attack {
+
+// Apply a fetch-view-only patch to a running machine.
+void icache_patch(vm::Machine& m, std::uint32_t addr,
+                  std::span<const std::uint8_t> bytes);
+
+// Convenience: run `image` with the given fetch-view patch applied from the
+// start. Checksumming defenses pass; Parallax chains notice.
+vm::RunResult run_with_icache_patch(const img::Image& image, std::uint32_t addr,
+                                    std::span<const std::uint8_t> bytes,
+                                    std::uint64_t budget = 200'000'000);
+
+}  // namespace plx::attack

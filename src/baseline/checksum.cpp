@@ -1,0 +1,177 @@
+#include "baseline/checksum.h"
+
+#include "image/layout.h"
+#include "x86/build.h"
+
+namespace plx::baseline {
+
+namespace {
+
+// Word-sum checker. The loads go through the VM's *data* view — which is
+// precisely why the Wurster attack defeats this entire technique class.
+const char* kCheckerSource = R"(
+int __cs_guard(int *start, int nwords, int expect) {
+  int sum = 0;
+  int i = 0;
+  while (i < nwords) {
+    sum = (sum + start[i]) ^ (sum << 1);
+    sum = sum & 0x7fffffff;
+    i++;
+  }
+  if (sum != expect) {
+    __syscall(1, 0x7a, 0, 0);
+  }
+  return sum;
+}
+)";
+
+std::uint32_t checksum_range(const img::Image& image, std::uint32_t addr,
+                             std::uint32_t nwords) {
+  std::uint32_t sum = 0;
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    const auto bytes = image.read(addr + 4 * i, 4);
+    const std::uint32_t w = static_cast<std::uint32_t>(bytes[0]) | (bytes[1] << 8) |
+                            (bytes[2] << 16) | (bytes[3] << 24);
+    sum = ((sum + w) ^ (sum << 1)) & 0x7fffffff;
+  }
+  return sum;
+}
+
+img::Fragment word_global(const std::string& name) {
+  img::Fragment f;
+  f.name = name;
+  f.section = img::SectionKind::Data;
+  f.align = 4;
+  Buffer b;
+  b.put_u32(0);
+  f.items.push_back(img::Item::make_data(std::move(b)));
+  return f;
+}
+
+bool poke_u32(img::Image& image, std::uint32_t addr, std::uint32_t v) {
+  for (auto& sec : image.sections) {
+    if (!sec.contains(addr) || !sec.contains(addr + 3)) continue;
+    sec.bytes.set_u32(addr - sec.vaddr, v);
+    return true;
+  }
+  return false;
+}
+
+// Guard call sequence prepended at a function's entry:
+//   push [expect_sym]; push [len_sym]; push [start_sym]; call __cs_guard;
+//   add esp, 12
+std::vector<img::Item> guard_call(const std::string& start_sym,
+                                  const std::string& len_sym,
+                                  const std::string& expect_sym) {
+  using namespace x86::ins;
+  std::vector<img::Item> items;
+  auto push_mem = [&items](const std::string& sym) {
+    img::Item it = img::Item::make_insn(make1(x86::Mnemonic::PUSH, mem(x86::Mem{})));
+    it.fixup = img::Fixup::AbsDisp;
+    it.sym = sym;
+    items.push_back(std::move(it));
+  };
+  push_mem(expect_sym);
+  push_mem(len_sym);
+  push_mem(start_sym);
+  img::Item call = img::Item::make_insn(call_rel(0));
+  call.fixup = img::Fixup::RelBranch;
+  call.sym = "__cs_guard";
+  items.push_back(std::move(call));
+  items.push_back(img::Item::make_insn(add(x86::Reg::ESP, 12)));
+  return items;
+}
+
+}  // namespace
+
+Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
+                                                 const ChecksumOptions& opts) {
+  img::Module mod = program.module;
+
+  std::vector<std::string> guarded = opts.guard_functions;
+  if (guarded.empty()) {
+    for (const auto& f : program.ir.funcs) guarded.push_back(f.name);
+  }
+  if (guarded.empty()) return fail("nothing to guard");
+
+  // Compile and append the checker.
+  cc::CompileOptions copts;
+  copts.with_start = false;
+  copts.entry_func = "__cs_guard";
+  auto checker = cc::compile(kCheckerSource, copts);
+  if (!checker) return fail(checker.error());
+  for (auto& frag : checker.value().module.fragments) {
+    mod.fragments.push_back(frag);
+  }
+
+  // Cross-verification ring: guard i checks guard (i+1) mod n, and the first
+  // one also checks the checker itself.
+  // Add all data globals first: pushing fragments invalidates pointers into
+  // mod.fragments, so guard insertion must come after.
+  for (std::size_t i = 0; i < guarded.size(); ++i) {
+    const std::string prefix = "__cs_" + guarded[i];
+    mod.fragments.push_back(word_global(prefix + "_start"));
+    mod.fragments.push_back(word_global(prefix + "_len"));
+    mod.fragments.push_back(word_global(prefix + "_expect"));
+    const std::string prefix2 = "__cs2_" + guarded[i];
+    mod.fragments.push_back(word_global(prefix2 + "_start"));
+    mod.fragments.push_back(word_global(prefix2 + "_len"));
+    mod.fragments.push_back(word_global(prefix2 + "_expect"));
+  }
+  mod.fragments.push_back(word_global("__cs_self_start"));
+  mod.fragments.push_back(word_global("__cs_self_len"));
+  mod.fragments.push_back(word_global("__cs_self_expect"));
+
+  for (std::size_t i = 0; i < guarded.size(); ++i) {
+    img::Fragment* frag = mod.find_fragment(guarded[i]);
+    if (!frag) return fail("no fragment for '" + guarded[i] + "'");
+    // Cross-verification: check the next ring member AND the one after it,
+    // so killing a function's callers does not silence the checks on it.
+    const std::string prefix = "__cs_" + guarded[i];
+    auto items = guard_call(prefix + "_start", prefix + "_len", prefix + "_expect");
+    frag->items.insert(frag->items.begin(), items.begin(), items.end());
+    if (guarded.size() > 2) {
+      const std::string prefix2 = "__cs2_" + guarded[i];
+      auto items2 =
+          guard_call(prefix2 + "_start", prefix2 + "_len", prefix2 + "_expect");
+      frag->items.insert(frag->items.begin(), items2.begin(), items2.end());
+    }
+    if (i == 0) {
+      auto self = guard_call("__cs_self_start", "__cs_self_len", "__cs_self_expect");
+      frag->items.insert(frag->items.begin(), self.begin(), self.end());
+    }
+  }
+
+  auto laid = img::layout(mod);
+  if (!laid) return fail(laid.error());
+  ChecksumProtected out;
+  out.image = std::move(laid).take().image;
+  out.guarded = guarded;
+
+  // Patch ranges and expected sums (data-only, layout unaffected).
+  auto fill = [&](const std::string& prefix, const std::string& target) -> bool {
+    const img::Symbol* tsym = out.image.find_symbol(target);
+    const img::Symbol* s = out.image.find_symbol(prefix + "_start");
+    const img::Symbol* l = out.image.find_symbol(prefix + "_len");
+    const img::Symbol* e = out.image.find_symbol(prefix + "_expect");
+    if (!tsym || !s || !l || !e) return false;
+    const std::uint32_t nwords = tsym->size / 4;
+    return poke_u32(out.image, s->vaddr, tsym->vaddr) &&
+           poke_u32(out.image, l->vaddr, nwords) &&
+           poke_u32(out.image, e->vaddr, checksum_range(out.image, tsym->vaddr, nwords));
+  };
+
+  for (std::size_t i = 0; i < guarded.size(); ++i) {
+    if (!fill("__cs_" + guarded[i], guarded[(i + 1) % guarded.size()])) {
+      return fail("guard patching failed for " + guarded[i]);
+    }
+    if (guarded.size() > 2 &&
+        !fill("__cs2_" + guarded[i], guarded[(i + 2) % guarded.size()])) {
+      return fail("secondary guard patching failed for " + guarded[i]);
+    }
+  }
+  if (!fill("__cs_self", "__cs_guard")) return fail("self-guard patching failed");
+  return out;
+}
+
+}  // namespace plx::baseline

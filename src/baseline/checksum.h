@@ -1,0 +1,42 @@
+// Baseline: traditional code self-checksumming (the technique the paper's
+// related work builds on [11, 14] and the Wurster et al. attack defeats).
+//
+// Selected functions get a guard call at their entry: a mini-C checker sums
+// the code bytes of a target range *through data loads* and kills the
+// process on mismatch. Guards can cross-verify (function A checks B and the
+// checker itself), forming a small Chang-et-al-style network.
+//
+// This exists to make the paper's central comparison executable: the VM's
+// split I-/D-cache attack (attack/wurster.h) modifies the fetch view only,
+// so every checksum still passes while the executed code is tampered —
+// whereas Parallax chains, which *execute* the protected bytes as gadgets,
+// do notice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/compile.h"
+#include "image/image.h"
+#include "support/error.h"
+
+namespace plx::baseline {
+
+struct ChecksumOptions {
+  // Functions to guard; empty = every program function. Each guard checks
+  // the next guarded function's code (cross-verification ring) plus the
+  // checker routine itself.
+  std::vector<std::string> guard_functions;
+};
+
+struct ChecksumProtected {
+  img::Image image;
+  std::vector<std::string> guarded;
+  // Exit code the guard uses on mismatch (distinctive for tests).
+  static constexpr int kTamperExit = 0x7a;
+};
+
+Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
+                                                 const ChecksumOptions& opts = {});
+
+}  // namespace plx::baseline

@@ -1,0 +1,228 @@
+#include "baseline/oblivious_hash.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cc/backend_x86.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::baseline {
+
+using cc::IrFunc;
+using cc::IrInsn;
+using cc::IrOp;
+
+bool oh_applicable(const IrFunc& f) {
+  for (const auto& insn : f.insns) {
+    if (insn.op == IrOp::Syscall) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool hashable(IrOp op) {
+  switch (op) {
+    case IrOp::Const:
+    case IrOp::Copy:
+    case IrOp::Add:
+    case IrOp::Sub:
+    case IrOp::Mul:
+    case IrOp::Div:
+    case IrOp::Mod:
+    case IrOp::And:
+    case IrOp::Or:
+    case IrOp::Xor:
+    case IrOp::Shl:
+    case IrOp::Sar:
+    case IrOp::Neg:
+    case IrOp::Not:
+    case IrOp::CmpEq:
+    case IrOp::CmpNe:
+    case IrOp::CmpLt:
+    case IrOp::CmpLe:
+    case IrOp::CmpGt:
+    case IrOp::CmpGe:
+    case IrOp::Load:
+    case IrOp::LoadB:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Inserts hash updates: __oh_hash = ((__oh_hash << 1) ^ value) after every
+// Nth hashable op. Appends the temps it needs.
+IrFunc instrument(const IrFunc& f, int every) {
+  IrFunc out = f;
+  out.insns.clear();
+  int next_slot = f.num_slots;
+  const int t_addr = next_slot++;
+  const int t_hash = next_slot++;
+  const int t_one = next_slot++;
+  int counter = 0;
+
+  auto emit = [&out](IrOp op, int dst, int a, int b, std::int32_t imm = 0,
+                     const std::string& sym = {}) {
+    IrInsn i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    i.sym = sym;
+    out.insns.push_back(std::move(i));
+  };
+
+  for (const auto& insn : f.insns) {
+    out.insns.push_back(insn);
+    if (!hashable(insn.op) || insn.dst < 0) continue;
+    if (++counter % every != 0) continue;
+    emit(IrOp::AddrGlobal, t_addr, -1, -1, 0, "__oh_hash");
+    emit(IrOp::Load, t_hash, t_addr, -1);
+    emit(IrOp::Const, t_one, -1, -1, 1);
+    emit(IrOp::Shl, t_hash, t_hash, t_one);
+    emit(IrOp::Xor, t_hash, t_hash, insn.dst);
+    emit(IrOp::Store, -1, t_addr, t_hash);
+  }
+  out.num_slots = next_slot;
+  return out;
+}
+
+// Guards main's returns: if (__oh_hash != __oh_expected && !__oh_record)
+// return kTamperExit.
+IrFunc guard_main(const IrFunc& f) {
+  IrFunc out = f;
+  out.insns.clear();
+  int next_slot = f.num_slots;
+  const int t_addr = next_slot++;
+  const int t_hash = next_slot++;
+  const int t_exp = next_slot++;
+  const int t_eq = next_slot++;
+  const int t_poison = next_slot++;
+  int next_label = f.num_labels;
+
+  auto emit = [&out](IrOp op, int dst, int a, int b, std::int32_t imm = 0,
+                     const std::string& sym = {}) {
+    IrInsn i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    i.sym = sym;
+    out.insns.push_back(std::move(i));
+  };
+
+  for (const auto& insn : f.insns) {
+    if (insn.op != IrOp::Ret) {
+      out.insns.push_back(insn);
+      continue;
+    }
+    const int l_bad = next_label++;
+    emit(IrOp::AddrGlobal, t_addr, -1, -1, 0, "__oh_hash");
+    emit(IrOp::Load, t_hash, t_addr, -1);
+    emit(IrOp::AddrGlobal, t_addr, -1, -1, 0, "__oh_expected");
+    emit(IrOp::Load, t_exp, t_addr, -1);
+    emit(IrOp::CmpEq, t_eq, t_hash, t_exp);
+    // Recording mode bypass: __oh_record != 0 skips the guard.
+    emit(IrOp::AddrGlobal, t_addr, -1, -1, 0, "__oh_record");
+    emit(IrOp::Load, t_poison, t_addr, -1);
+    emit(IrOp::Or, t_eq, t_eq, t_poison);
+    emit(IrOp::Jz, -1, t_eq, -1, l_bad);  // 0 = mismatch and not recording
+    out.insns.push_back(insn);            // normal return
+    emit(IrOp::Label, -1, -1, -1, l_bad);
+    emit(IrOp::Const, t_poison, -1, -1, OhProtected::kTamperExit);
+    emit(IrOp::Ret, -1, t_poison, -1);
+  }
+  out.num_slots = next_slot;
+  out.num_labels = next_label;
+  return out;
+}
+
+}  // namespace
+
+Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions& opts) {
+  cc::IrProgram ir = program.ir;
+
+  std::set<std::string> targets(opts.functions.begin(), opts.functions.end());
+  OhProtected out;
+
+  for (auto& f : ir.funcs) {
+    const bool wanted = targets.empty() ? oh_applicable(f) : targets.contains(f.name);
+    if (!wanted) continue;
+    if (!oh_applicable(f)) {
+      return fail("OH cannot protect non-deterministic function '" + f.name +
+                  "' (depends on syscall inputs)");
+    }
+    f = instrument(f, std::max(1, opts.every));
+    out.instrumented.push_back(f.name);
+  }
+  if (out.instrumented.empty()) return fail("nothing OH-applicable to instrument");
+  for (auto& f : ir.funcs) {
+    if (f.name == "main") f = guard_main(f);
+  }
+
+  // Rebuild the module from the instrumented IR (mirrors cc::compile).
+  img::Module mod;
+  mod.entry = program.module.entry;
+  if (const img::Fragment* start = program.module.find_fragment("_start")) {
+    mod.fragments.push_back(*start);
+  }
+  for (const auto& f : ir.funcs) {
+    auto frag = cc::emit_func_x86(f);
+    if (!frag) return fail(frag.error());
+    mod.fragments.push_back(std::move(frag).take());
+  }
+  for (const auto& g : ir.globals) {
+    mod.fragments.push_back(cc::emit_global(g));
+  }
+  for (const auto& [name, text] : ir.strings) {
+    mod.fragments.push_back(cc::emit_string(name, text));
+  }
+  for (const char* g : {"__oh_hash", "__oh_expected", "__oh_record"}) {
+    img::Fragment frag;
+    frag.name = g;
+    frag.section = img::SectionKind::Data;
+    frag.align = 4;
+    Buffer b;
+    b.put_u32(0);
+    frag.items.push_back(img::Item::make_data(std::move(b)));
+    mod.fragments.push_back(std::move(frag));
+  }
+
+  auto laid = img::layout(mod);
+  if (!laid) return fail(laid.error());
+  out.image = std::move(laid).take().image;
+
+  // Recording run (the "dynamic testing" phase): record mode on.
+  const img::Symbol* record_sym = out.image.find_symbol("__oh_record");
+  const img::Symbol* hash_sym = out.image.find_symbol("__oh_hash");
+  const img::Symbol* expect_sym = out.image.find_symbol("__oh_expected");
+  if (!record_sym || !hash_sym || !expect_sym) return fail("missing OH globals");
+
+  img::Image recording = out.image;
+  for (auto& sec : recording.sections) {
+    if (sec.contains(record_sym->vaddr)) {
+      sec.bytes.set_u32(record_sym->vaddr - sec.vaddr, 1);
+    }
+  }
+  vm::Machine rec(recording);
+  auto run = rec.run(500'000'000);
+  if (run.reason != vm::StopReason::Exited) {
+    return fail("OH recording run did not complete: " + run.fault);
+  }
+  bool ok = true;
+  out.recorded_hash = rec.read_u32(hash_sym->vaddr, ok);
+  if (!ok) return fail("could not read recorded hash");
+
+  for (auto& sec : out.image.sections) {
+    if (sec.contains(expect_sym->vaddr)) {
+      sec.bytes.set_u32(expect_sym->vaddr - sec.vaddr, out.recorded_hash);
+    }
+  }
+  return out;
+}
+
+}  // namespace plx::baseline

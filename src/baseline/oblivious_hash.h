@@ -1,0 +1,47 @@
+// Baseline: oblivious hashing (OH) [13, 20] — the paper's main comparison
+// point among Wurster-resistant techniques.
+//
+// OH intersperses hash-update instructions with the protected code: every
+// computed value is folded into a running hash of the execution state, and a
+// guard compares the hash against a value recorded during testing. Two
+// limitations the paper exploits are directly observable here:
+//
+//  1. Only *deterministic* state can be protected — a function whose values
+//     depend on syscalls (time, rand, ptrace, read) produces a different
+//     hash on every input, so the guard false-positives (oh_applicable
+//     rejects such functions; bench_attacks demonstrates the failure).
+//  2. The hash updates execute inline, slowing the protected code itself —
+//     unlike Parallax, which confines overhead to the verification code.
+#pragma once
+
+#include "cc/compile.h"
+#include "image/image.h"
+#include "support/error.h"
+
+namespace plx::baseline {
+
+struct OhOptions {
+  // Functions to instrument; empty = every program function that is
+  // applicable (deterministic).
+  std::vector<std::string> functions;
+  // Instrument every Nth eligible IR op (1 = all, larger = cheaper).
+  int every = 1;
+};
+
+struct OhProtected {
+  img::Image image;
+  std::vector<std::string> instrumented;
+  std::uint32_t recorded_hash = 0;
+  static constexpr int kTamperExit = 0xe1;
+};
+
+// True if OH can protect this function: no non-deterministic inputs (any
+// syscall disqualifies — time, rand, read, ptrace results all vary).
+bool oh_applicable(const cc::IrFunc& f);
+
+// Instruments, lays out, performs the recording run (dynamic testing phase),
+// and patches the expected hash. The guard fires on main's returns.
+Result<OhProtected> protect_with_oh(const cc::Compiled& program,
+                                    const OhOptions& opts = {});
+
+}  // namespace plx::baseline

@@ -1,0 +1,108 @@
+// AST for the PLX mini-C dialect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/lexer.h"
+
+namespace plx::cc {
+
+struct Type {
+  enum class Base : std::uint8_t { Void, Int, Char };
+  Base base = Base::Int;
+  int ptr = 0;  // levels of indirection (0 or 1 supported)
+
+  bool is_void() const { return base == Base::Void && ptr == 0; }
+  bool is_pointer() const { return ptr > 0; }
+  // Size of the pointed-to element (for pointer arithmetic and deref width).
+  int elem_size() const { return base == Base::Char ? 1 : 4; }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class K : std::uint8_t {
+    Num,      // value
+    Str,      // text (string literal -> pointer to anonymous global)
+    Ident,    // name
+    Unary,    // op (Minus/Tilde/Bang/Star=deref/Amp=addr-of), a
+    Binary,   // op, a, b
+    LogAnd,   // a, b (short-circuit)
+    LogOr,
+    Assign,   // a = b (a must be lvalue)
+    IncDec,   // op (PlusPlus/MinusMinus), a (lvalue); value = updated value
+    Call,     // name, args
+    Syscall,  // args (first = syscall number)
+    Index,    // a[b]
+  };
+
+  K k;
+  int line = 0;
+  std::int32_t value = 0;
+  std::string name;
+  std::string text;
+  Tok op = Tok::End;
+  ExprPtr a, b;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class K : std::uint8_t {
+    Expr, Decl, If, While, For, Return, Break, Continue, Block,
+  };
+
+  K k;
+  int line = 0;
+
+  // Decl
+  Type type;
+  std::string name;
+  int array_size = -1;  // >= 0 for local arrays
+  ExprPtr init;
+
+  // Expr / Return value; If/While condition; For condition
+  ExprPtr expr;
+
+  // If: then_body/else_body. While/For: body. For: init_stmt, step.
+  StmtPtr init_stmt;
+  ExprPtr step;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct Func {
+  Type ret;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct GlobalVar {
+  Type type;
+  std::string name;
+  int array_size = -1;              // >= 0 for arrays
+  std::vector<std::int32_t> init;   // word initialisers (ints)
+  std::string str_init;             // for char arrays from string literals
+  bool has_str_init = false;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<GlobalVar> globals;
+  std::vector<Func> funcs;
+};
+
+}  // namespace plx::cc

@@ -1,0 +1,325 @@
+#include "cc/backend_x86.h"
+
+#include "x86/build.h"
+
+namespace plx::cc {
+
+namespace {
+
+using namespace x86::ins;
+using x86::Cond;
+using x86::Insn;
+using x86::Mem;
+using x86::Mnemonic;
+using x86::OpSize;
+using x86::Reg;
+
+// Slot i lives at [ebp - 4(i+1)].
+Mem slot_mem(int slot) { return Mem{.base = Reg::EBP, .disp = -4 * (slot + 1)}; }
+
+struct Emitter {
+  img::Fragment frag;
+  std::string pending_label;
+
+  void put(Insn insn) {
+    img::Item item = img::Item::make_insn(insn);
+    attach_label(item);
+    frag.items.push_back(std::move(item));
+  }
+  void put_fixup(Insn insn, img::Fixup fixup, const std::string& sym,
+                 std::int32_t addend = 0) {
+    img::Item item = img::Item::make_insn(insn);
+    item.fixup = fixup;
+    item.sym = sym;
+    item.addend = addend;
+    attach_label(item);
+    frag.items.push_back(std::move(item));
+  }
+  void attach_label(img::Item& item) {
+    if (!pending_label.empty()) {
+      item.labels.push_back(pending_label);
+      pending_label.clear();
+    }
+  }
+  void bind_label(const std::string& name) {
+    if (!pending_label.empty()) {
+      // Two labels on the same spot: emit a nop to carry the first.
+      put(nop());
+    }
+    pending_label = name;
+  }
+
+  // slot -> eax / eax -> slot.
+  void load_slot(Reg r, int slot) { put(load(r, slot_mem(slot))); }
+  void store_slot(int slot, Reg r) { put(store(slot_mem(slot), r)); }
+};
+
+std::string label_name(int l) { return ".L" + std::to_string(l); }
+
+Cond cond_for(IrOp op) {
+  switch (op) {
+    case IrOp::CmpEq: return Cond::E;
+    case IrOp::CmpNe: return Cond::NE;
+    case IrOp::CmpLt: return Cond::L;
+    case IrOp::CmpLe: return Cond::LE;
+    case IrOp::CmpGt: return Cond::G;
+    case IrOp::CmpGe: return Cond::GE;
+    default: return Cond::E;
+  }
+}
+
+}  // namespace
+
+Result<img::Fragment> emit_func_x86(const IrFunc& f) {
+  Emitter e;
+  e.frag.name = f.name;
+  e.frag.section = img::SectionKind::Text;
+  e.frag.is_func = true;
+  e.frag.align = 16;
+
+  // Prologue: classic frame, then copy parameters into their slots so every
+  // slot access is uniform.
+  e.put(push(Reg::EBP));
+  e.put(mov(Reg::EBP, Reg::ESP));
+  Insn alloc = sub(Reg::ESP, 4 * std::max(f.num_slots, 1));
+  alloc.wide_imm = true;  // gcc-style sub esp, imm32
+  e.put(alloc);
+  for (int p = 0; p < f.num_params; ++p) {
+    e.put(load(Reg::EAX, Mem{.base = Reg::EBP, .disp = 8 + 4 * p}));
+    e.store_slot(p, Reg::EAX);
+  }
+
+  for (const auto& insn : f.insns) {
+    switch (insn.op) {
+      case IrOp::Const:
+        e.put(mov(Reg::EAX, insn.imm));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Copy:
+        e.load_slot(Reg::EAX, insn.a);
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor: {
+        e.load_slot(Reg::EAX, insn.a);
+        Mnemonic m = Mnemonic::ADD;
+        if (insn.op == IrOp::Sub) m = Mnemonic::SUB;
+        if (insn.op == IrOp::And) m = Mnemonic::AND;
+        if (insn.op == IrOp::Or) m = Mnemonic::OR;
+        if (insn.op == IrOp::Xor) m = Mnemonic::XOR;
+        if (insn.b < 0) {
+          e.put(make2(m, r(Reg::EAX), imm(insn.imm)));
+        } else {
+          e.put(make2(m, r(Reg::EAX), mem(slot_mem(insn.b))));
+        }
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+      }
+
+      case IrOp::Mul:
+        if (insn.b < 0) {
+          // imul eax, [slot a], imm
+          x86::Insn tri;
+          tri.op = Mnemonic::IMUL;
+          tri.ops[0] = r(Reg::EAX);
+          tri.ops[1] = mem(slot_mem(insn.a));
+          tri.ops[2] = imm(insn.imm);
+          tri.nops = 3;
+          e.put(tri);
+        } else {
+          e.load_slot(Reg::EAX, insn.a);
+          e.put(make2(Mnemonic::IMUL, r(Reg::EAX), mem(slot_mem(insn.b))));
+        }
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Div:
+      case IrOp::Mod:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(cdq());
+        e.put(make1(Mnemonic::IDIV, mem(slot_mem(insn.b))));
+        e.store_slot(insn.dst, insn.op == IrOp::Div ? Reg::EAX : Reg::EDX);
+        break;
+
+      case IrOp::Shl:
+      case IrOp::Sar:
+        e.load_slot(Reg::EAX, insn.a);
+        if (insn.b < 0) {
+          e.put(insn.op == IrOp::Shl ? shl(Reg::EAX, insn.imm)
+                                     : sar(Reg::EAX, insn.imm));
+        } else {
+          e.load_slot(Reg::ECX, insn.b);
+          e.put(insn.op == IrOp::Shl ? shl_cl(Reg::EAX) : sar_cl(Reg::EAX));
+        }
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Neg:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(neg(Reg::EAX));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Not:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(not_(Reg::EAX));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::CmpEq:
+      case IrOp::CmpNe:
+      case IrOp::CmpLt:
+      case IrOp::CmpLe:
+      case IrOp::CmpGt:
+      case IrOp::CmpGe:
+        e.load_slot(Reg::EAX, insn.a);
+        if (insn.b < 0) {
+          e.put(make2(Mnemonic::CMP, r(Reg::EAX), imm(insn.imm)));
+        } else {
+          e.put(make2(Mnemonic::CMP, r(Reg::EAX), mem(slot_mem(insn.b))));
+        }
+        e.put(setcc(cond_for(insn.op), Reg::EAX));
+        e.put(movzx8(Reg::EAX, Reg::EAX));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Load:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(load(Reg::EAX, Mem{.base = Reg::EAX}));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::LoadB:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(make2(Mnemonic::MOVZX, r(Reg::EAX),
+                    x86::Operand::make_mem(Mem{.base = Reg::EAX}, OpSize::Byte)));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::Store:
+        e.load_slot(Reg::EAX, insn.a);
+        e.load_slot(Reg::EDX, insn.b);
+        e.put(store(Mem{.base = Reg::EAX}, Reg::EDX));
+        break;
+
+      case IrOp::StoreB:
+        e.load_slot(Reg::EAX, insn.a);
+        e.load_slot(Reg::EDX, insn.b);
+        e.put(store(Mem{.base = Reg::EAX}, Reg::EDX, OpSize::Byte));
+        break;
+
+      case IrOp::AddrSlot:
+        e.put(lea(Reg::EAX, slot_mem(insn.imm)));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+
+      case IrOp::AddrGlobal: {
+        Insn mov_abs = mov(Reg::EAX, 0);
+        e.put_fixup(mov_abs, img::Fixup::AbsImm, insn.sym, insn.imm);
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+      }
+
+      case IrOp::Call: {
+        // cdecl: push args right-to-left.
+        for (auto it = insn.args.rbegin(); it != insn.args.rend(); ++it) {
+          e.put(make1(Mnemonic::PUSH, mem(slot_mem(*it))));
+        }
+        e.put_fixup(call_rel(0), img::Fixup::RelBranch, insn.sym);
+        if (!insn.args.empty()) {
+          e.put(add(Reg::ESP, 4 * static_cast<int>(insn.args.size())));
+        }
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+      }
+
+      case IrOp::Syscall: {
+        static constexpr Reg kArgRegs[] = {Reg::EBX, Reg::ECX, Reg::EDX};
+        for (std::size_t k = 1; k < insn.args.size(); ++k) {
+          e.load_slot(kArgRegs[k - 1], insn.args[k]);
+        }
+        e.load_slot(Reg::EAX, insn.args[0]);
+        e.put(int_(0x80));
+        e.store_slot(insn.dst, Reg::EAX);
+        break;
+      }
+
+      case IrOp::Label:
+        e.bind_label(label_name(insn.imm));
+        break;
+
+      case IrOp::Jmp:
+        e.put_fixup(jmp_rel(0), img::Fixup::RelBranch, label_name(insn.imm));
+        break;
+
+      case IrOp::Jz:
+        e.load_slot(Reg::EAX, insn.a);
+        e.put(test(Reg::EAX, Reg::EAX));
+        e.put_fixup(jcc_rel(Cond::E, 0), img::Fixup::RelBranch, label_name(insn.imm));
+        break;
+
+      case IrOp::Ret:
+        if (insn.a >= 0) {
+          e.load_slot(Reg::EAX, insn.a);
+        } else {
+          e.put(mov(Reg::EAX, 0));
+        }
+        e.put(leave());
+        e.put(ret());
+        break;
+    }
+  }
+
+  if (!e.pending_label.empty()) {
+    e.put(nop());  // bind a trailing label
+  }
+  return std::move(e.frag);
+}
+
+img::Fragment emit_global(const GlobalVar& g) {
+  img::Fragment frag;
+  frag.name = g.name;
+  frag.section = img::SectionKind::Data;
+  frag.align = 4;
+  Buffer bytes;
+  if (g.has_str_init) {
+    for (char c : g.str_init) bytes.put_u8(static_cast<std::uint8_t>(c));
+    bytes.put_u8(0);
+    while (bytes.size() < static_cast<std::size_t>(g.array_size)) bytes.put_u8(0);
+  } else if (g.array_size >= 0) {
+    const bool is_char = g.type.base == Type::Base::Char && !g.type.is_pointer();
+    const std::size_t elem = is_char ? 1 : 4;
+    for (std::int32_t v : g.init) {
+      if (is_char) {
+        bytes.put_u8(static_cast<std::uint8_t>(v));
+      } else {
+        bytes.put_u32(static_cast<std::uint32_t>(v));
+      }
+    }
+    const std::size_t total = elem * static_cast<std::size_t>(g.array_size);
+    while (bytes.size() < total) bytes.put_u8(0);
+  } else {
+    bytes.put_u32(g.init.empty() ? 0 : static_cast<std::uint32_t>(g.init[0]));
+  }
+  frag.items.push_back(img::Item::make_data(std::move(bytes)));
+  return frag;
+}
+
+img::Fragment emit_string(const std::string& name, const std::string& text) {
+  img::Fragment frag;
+  frag.name = name;
+  frag.section = img::SectionKind::Rodata;
+  frag.align = 1;
+  Buffer bytes;
+  for (char c : text) bytes.put_u8(static_cast<std::uint8_t>(c));
+  bytes.put_u8(0);
+  frag.items.push_back(img::Item::make_data(std::move(bytes)));
+  return frag;
+}
+
+}  // namespace plx::cc

@@ -1,0 +1,23 @@
+// IR -> x86-32 code generation (gcc -O0 shaped: frame-based slots, one
+// expression value in eax at a time). The output intentionally resembles the
+// compiler style the paper measured: rich in imm32 and disp8/disp32 bytes,
+// rel32 branches everywhere — the raw material of the §IV-B rewriting rules.
+#pragma once
+
+#include "cc/ir.h"
+#include "cc/irgen.h"
+#include "image/image.h"
+
+namespace plx::cc {
+
+// Emits one function as a text fragment. Labels become fragment-local
+// ".L<n>" labels; calls and global references become fixups.
+Result<img::Fragment> emit_func_x86(const IrFunc& f);
+
+// Emits a global variable as a data fragment.
+img::Fragment emit_global(const GlobalVar& g);
+
+// Emits an interned string literal as a data fragment.
+img::Fragment emit_string(const std::string& name, const std::string& text);
+
+}  // namespace plx::cc

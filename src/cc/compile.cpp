@@ -1,0 +1,53 @@
+#include "cc/compile.h"
+
+#include "cc/backend_x86.h"
+#include "cc/parser.h"
+#include "vm/syscalls.h"
+#include "x86/build.h"
+
+namespace plx::cc {
+
+Result<Compiled> compile(const std::string& source, const CompileOptions& opts) {
+  auto ast = parse(source);
+  if (!ast) return fail(ast.error());
+  auto ir = generate(ast.value());
+  if (!ir) return fail(ir.error());
+
+  Compiled out;
+  out.ir = std::move(ir).take();
+
+  if (opts.with_start) {
+    using namespace x86::ins;
+    img::Fragment start;
+    start.name = "_start";
+    start.section = img::SectionKind::Text;
+    start.is_func = true;
+    start.align = 16;
+    img::Item call_main = img::Item::make_insn(call_rel(0));
+    call_main.fixup = img::Fixup::RelBranch;
+    call_main.sym = opts.entry_func;
+    start.items.push_back(std::move(call_main));
+    start.items.push_back(img::Item::make_insn(mov(x86::Reg::EBX, x86::Reg::EAX)));
+    start.items.push_back(img::Item::make_insn(mov(x86::Reg::EAX, vm::sys::kExit)));
+    start.items.push_back(img::Item::make_insn(int_(0x80)));
+    out.module.fragments.push_back(std::move(start));
+    out.module.entry = "_start";
+  } else {
+    out.module.entry = opts.entry_func;
+  }
+
+  for (const auto& f : out.ir.funcs) {
+    auto frag = emit_func_x86(f);
+    if (!frag) return fail("in function '" + f.name + "': " + frag.error());
+    out.module.fragments.push_back(std::move(frag).take());
+  }
+  for (const auto& g : out.ir.globals) {
+    out.module.fragments.push_back(emit_global(g));
+  }
+  for (const auto& [name, text] : out.ir.strings) {
+    out.module.fragments.push_back(emit_string(name, text));
+  }
+  return out;
+}
+
+}  // namespace plx::cc

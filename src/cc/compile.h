@@ -1,0 +1,22 @@
+// mini-C source -> symbolic module + IR (the front half of Figure 2).
+#pragma once
+
+#include "cc/irgen.h"
+#include "image/image.h"
+
+namespace plx::cc {
+
+struct CompileOptions {
+  // Emit a _start shim that calls main() and exits with its return value.
+  bool with_start = true;
+  std::string entry_func = "main";
+};
+
+struct Compiled {
+  img::Module module;
+  IrProgram ir;  // kept so the ROP compiler can retranslate functions
+};
+
+Result<Compiled> compile(const std::string& source, const CompileOptions& opts = {});
+
+}  // namespace plx::cc

@@ -1,0 +1,196 @@
+#include "cc/ir.h"
+
+#include <set>
+
+namespace plx::cc {
+
+const char* irop_name(IrOp op) {
+  switch (op) {
+    case IrOp::Const: return "const";
+    case IrOp::Copy: return "copy";
+    case IrOp::Add: return "add";
+    case IrOp::Sub: return "sub";
+    case IrOp::Mul: return "mul";
+    case IrOp::Div: return "div";
+    case IrOp::Mod: return "mod";
+    case IrOp::And: return "and";
+    case IrOp::Or: return "or";
+    case IrOp::Xor: return "xor";
+    case IrOp::Shl: return "shl";
+    case IrOp::Sar: return "sar";
+    case IrOp::Neg: return "neg";
+    case IrOp::Not: return "not";
+    case IrOp::CmpEq: return "cmpeq";
+    case IrOp::CmpNe: return "cmpne";
+    case IrOp::CmpLt: return "cmplt";
+    case IrOp::CmpLe: return "cmple";
+    case IrOp::CmpGt: return "cmpgt";
+    case IrOp::CmpGe: return "cmpge";
+    case IrOp::Load: return "load";
+    case IrOp::Store: return "store";
+    case IrOp::LoadB: return "loadb";
+    case IrOp::StoreB: return "storeb";
+    case IrOp::AddrSlot: return "addrslot";
+    case IrOp::AddrGlobal: return "addrglobal";
+    case IrOp::Call: return "call";
+    case IrOp::Syscall: return "syscall";
+    case IrOp::Label: return "label";
+    case IrOp::Jmp: return "jmp";
+    case IrOp::Jz: return "jz";
+    case IrOp::Ret: return "ret";
+  }
+  return "?";
+}
+
+bool IrFunc::has_calls() const {
+  for (const auto& i : insns) {
+    if (i.op == IrOp::Call || i.op == IrOp::Syscall) return true;
+  }
+  return false;
+}
+
+bool IrFunc::has_div() const {
+  for (const auto& i : insns) {
+    if (i.op == IrOp::Div || i.op == IrOp::Mod) return true;
+  }
+  return false;
+}
+
+int IrFunc::op_diversity() const {
+  std::set<IrOp> kinds;
+  for (const auto& i : insns) kinds.insert(i.op);
+  return static_cast<int>(kinds.size());
+}
+
+std::string dump(const IrFunc& f) {
+  std::string out = f.name + " (params=" + std::to_string(f.num_params) +
+                    ", slots=" + std::to_string(f.num_slots) + ")\n";
+  for (const auto& i : f.insns) {
+    out += "  ";
+    out += irop_name(i.op);
+    if (i.dst >= 0) out += " s" + std::to_string(i.dst);
+    if (i.a >= 0) out += " s" + std::to_string(i.a);
+    if (i.b >= 0) out += " s" + std::to_string(i.b);
+    if (i.op == IrOp::Const || i.op == IrOp::Label || i.op == IrOp::Jmp ||
+        i.op == IrOp::Jz || i.op == IrOp::AddrSlot || i.op == IrOp::AddrGlobal) {
+      out += " #" + std::to_string(i.imm);
+    }
+    if (!i.sym.empty()) out += " @" + i.sym;
+    for (int a : i.args) out += " s" + std::to_string(a);
+    out += '\n';
+  }
+  return out;
+}
+
+IrFunc lower_mul_for_rop(const IrFunc& f) {
+  IrFunc out = f;
+  out.insns.clear();
+
+  int next_slot = f.num_slots;
+  int next_label = f.num_labels;
+
+  for (const auto& insn : f.insns) {
+    if (insn.op != IrOp::Mul) {
+      out.insns.push_back(insn);
+      continue;
+    }
+    // dst = a * b  =>  classic shift-add over the 32 bits of b:
+    //   acc = 0; x = a; y = b;
+    //   while (y != 0) { if (y & 1) acc += x; x <<= 1; y >>= 1 (logical); }
+    // Logical shift right is expressed as (y >> 1) & 0x7fffffff via Sar+And.
+    const int acc = next_slot++;
+    const int x = next_slot++;
+    const int y = next_slot++;
+    const int tmp = next_slot++;
+    const int one = next_slot++;
+    const int mask = next_slot++;
+    const int l_top = next_label++;
+    const int l_skip = next_label++;
+    const int l_done = next_label++;
+
+    auto emit = [&out](IrOp op, int dst, int a, int b, std::int32_t imm = 0) {
+      IrInsn i;
+      i.op = op;
+      i.dst = dst;
+      i.a = a;
+      i.b = b;
+      i.imm = imm;
+      out.insns.push_back(std::move(i));
+    };
+
+    emit(IrOp::Const, acc, -1, -1, 0);
+    emit(IrOp::Copy, x, insn.a, -1);
+    if (insn.b < 0) {
+      emit(IrOp::Const, y, -1, -1, insn.imm);
+    } else {
+      emit(IrOp::Copy, y, insn.b, -1);
+    }
+    emit(IrOp::Const, one, -1, -1, 1);
+    emit(IrOp::Const, mask, -1, -1, 0x7fffffff);
+    emit(IrOp::Label, -1, -1, -1, l_top);
+    emit(IrOp::Jz, -1, y, -1, l_done);
+    emit(IrOp::And, tmp, y, one);
+    emit(IrOp::Jz, -1, tmp, -1, l_skip);
+    emit(IrOp::Add, acc, acc, x);
+    emit(IrOp::Label, -1, -1, -1, l_skip);
+    emit(IrOp::Shl, x, x, one);
+    emit(IrOp::Sar, y, y, one);
+    emit(IrOp::And, y, y, mask);
+    emit(IrOp::Jmp, -1, -1, -1, l_top);
+    emit(IrOp::Label, -1, -1, -1, l_done);
+    emit(IrOp::Copy, insn.dst, acc, -1);
+  }
+
+  out.num_slots = next_slot;
+  out.num_labels = next_label;
+  return out;
+}
+
+IrFunc lower_bytes_for_rop(const IrFunc& f) {
+  IrFunc out = f;
+  out.insns.clear();
+  int next_slot = f.num_slots;
+
+  auto emit = [&out](IrOp op, int dst, int a, int b, std::int32_t imm = 0) {
+    IrInsn i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    out.insns.push_back(std::move(i));
+  };
+
+  for (const auto& insn : f.insns) {
+    if (insn.op == IrOp::LoadB) {
+      // dst = *(u8*)a  =>  dst = *(u32*)a & 0xff  (little-endian).
+      const int word = next_slot++;
+      const int mask = next_slot++;
+      emit(IrOp::Load, word, insn.a, -1);
+      emit(IrOp::Const, mask, -1, -1, 0xff);
+      emit(IrOp::And, insn.dst, word, mask);
+      continue;
+    }
+    if (insn.op == IrOp::StoreB) {
+      // *(u8*)a = b  =>  *(u32*)a = (*(u32*)a & ~0xff) | (b & 0xff).
+      const int word = next_slot++;
+      const int himask = next_slot++;
+      const int lomask = next_slot++;
+      const int lo = next_slot++;
+      const int merged = next_slot++;
+      emit(IrOp::Load, word, insn.a, -1);
+      emit(IrOp::Const, himask, -1, -1, static_cast<std::int32_t>(0xffffff00u));
+      emit(IrOp::And, word, word, himask);
+      emit(IrOp::Const, lomask, -1, -1, 0xff);
+      emit(IrOp::And, lo, insn.b, lomask);
+      emit(IrOp::Or, merged, word, lo);
+      emit(IrOp::Store, -1, insn.a, merged);
+      continue;
+    }
+    out.insns.push_back(insn);
+  }
+  out.num_slots = next_slot;
+  return out;
+}
+
+}  // namespace plx::cc

@@ -1,0 +1,83 @@
+// Linear IR shared between the x86 backend and the ROP compiler.
+//
+// This is the pivot of the whole reproduction: a function compiled to native
+// x86 and the same function compiled to a ROP chain both start from this IR,
+// so a "function chain" is semantically equivalent to the function it
+// replaces by construction — the property the paper obtains by feeding the
+// same source through gcc and through ROPC.
+//
+// Value model: every value lives in a 32-bit "slot". The x86 backend places
+// slots in the stack frame ([ebp - 4(i+1)]); the ROP backend places them in
+// a static scratch frame so that slot addresses are compile-time constants
+// (this makes function chains non-reentrant, which the paper's verification
+// functions are fine with).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace plx::cc {
+
+enum class IrOp : std::uint8_t {
+  Const,      // dst = imm
+  Copy,       // dst = a
+  Add, Sub, Mul, Div, Mod,          // dst = a op b (signed)
+  And, Or, Xor, Shl, Sar,           // dst = a op b ('>>' on int is arithmetic)
+  Neg, Not,                         // dst = op a
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,  // dst = (a REL b) ? 1 : 0, signed
+  Load,       // dst = *(int*)a
+  Store,      // *(int*)a = b
+  LoadB,      // dst = *(unsigned char*)a (zero-extended)
+  StoreB,     // *(unsigned char*)a = b & 0xff
+  AddrSlot,   // dst = address of slot imm (frame-relative resolved by backend)
+  AddrGlobal, // dst = address of global `sym` (+ imm addend)
+  Call,       // dst = sym(args...)
+  Syscall,    // dst = syscall(args[0]; args[1..3])
+  Label,      // label `imm`
+  Jmp,        // goto label `imm`
+  Jz,         // if (a == 0) goto label `imm`
+  Ret,        // return a (a == -1: no value)
+};
+
+struct IrInsn {
+  IrOp op;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  std::int32_t imm = 0;
+  std::string sym;
+  std::vector<int> args;
+};
+
+struct IrFunc {
+  std::string name;
+  int num_params = 0;
+  int num_slots = 0;   // params first, then locals/temps
+  int num_labels = 0;
+  std::vector<IrInsn> insns;
+
+  bool has_calls() const;
+  bool has_div() const;
+  // Distinct operation kinds used — the §VII-B selection heuristic prefers
+  // functions exercising many operation types.
+  int op_diversity() const;
+};
+
+const char* irop_name(IrOp op);
+std::string dump(const IrFunc& f);
+
+// Rewrites Mul into a shift-add loop (and leaves Div/Mod untouched — the
+// ROP compiler rejects those). Used before chain compilation so that chains
+// need no multiplier gadget.
+IrFunc lower_mul_for_rop(const IrFunc& f);
+
+// Rewrites LoadB/StoreB into word-sized read-modify-write sequences so that
+// chains only need 32-bit load/store gadgets. Requires the byte to be
+// readable as part of an aligned-enough word (the protector appends guard
+// padding after data sections to make the trailing bytes safe).
+IrFunc lower_bytes_for_rop(const IrFunc& f);
+
+}  // namespace plx::cc

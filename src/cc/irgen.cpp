@@ -1,0 +1,698 @@
+#include "cc/irgen.h"
+
+#include <map>
+#include <optional>
+
+namespace plx::cc {
+
+namespace {
+
+struct LocalVar {
+  Type type;
+  int slot = 0;
+  int array_elems = -1;  // >= 0: array allocated in the frame
+};
+
+struct GlobalInfo {
+  Type type;
+  bool is_array = false;
+};
+
+struct Gen {
+  const Program& prog;
+  IrProgram out;
+  std::string error;
+
+  // Per-function state.
+  IrFunc* fn = nullptr;
+  std::vector<std::map<std::string, LocalVar>> scopes;
+  std::map<std::string, GlobalInfo> globals;
+  std::map<std::string, int> func_arity;
+  int frame_top = 0;   // first free slot after named locals
+  int cur_temp = 0;    // bump allocator for expression temps
+  std::vector<int> break_labels;
+  std::vector<int> continue_labels;
+
+  explicit Gen(const Program& p) : prog(p) {}
+
+  bool err(int line, const std::string& msg) {
+    if (error.empty()) error = "line " + std::to_string(line) + ": " + msg;
+    return false;
+  }
+
+  // --- emission helpers -------------------------------------------------
+  void emit(IrInsn insn) { fn->insns.push_back(std::move(insn)); }
+  void emit_op(IrOp op, int dst, int a, int b = -1, std::int32_t imm = 0) {
+    IrInsn i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    emit(std::move(i));
+  }
+  int new_label() { return fn->num_labels++; }
+  void label(int l) { emit_op(IrOp::Label, -1, -1, -1, l); }
+  void jmp(int l) { emit_op(IrOp::Jmp, -1, -1, -1, l); }
+  void jz(int slot, int l) { emit_op(IrOp::Jz, -1, slot, -1, l); }
+
+  int temp() {
+    const int t = cur_temp++;
+    if (cur_temp > fn->num_slots) fn->num_slots = cur_temp;
+    return t;
+  }
+  int const_slot(std::int32_t v) {
+    const int t = temp();
+    emit_op(IrOp::Const, t, -1, -1, v);
+    return t;
+  }
+
+  LocalVar* find_local(const std::string& name) {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      auto hit = it->find(name);
+      if (hit != it->end()) return &hit->second;
+    }
+    return nullptr;
+  }
+
+  std::string intern_string(const std::string& text) {
+    const std::string name = "__str" + std::to_string(out.strings.size());
+    out.strings.emplace_back(name, text);
+    return name;
+  }
+
+  // --- types --------------------------------------------------------------
+  Type type_of(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::Num:
+        return Type{Type::Base::Int, 0};
+      case Expr::K::Str:
+        return Type{Type::Base::Char, 1};
+      case Expr::K::Ident: {
+        if (const LocalVar* v = find_local(e.name)) {
+          Type t = v->type;
+          if (v->array_elems >= 0) t.ptr = 1;  // arrays decay
+          return t;
+        }
+        auto g = globals.find(e.name);
+        if (g != globals.end()) {
+          Type t = g->second.type;
+          if (g->second.is_array) t.ptr = 1;
+          return t;
+        }
+        return Type{Type::Base::Int, 0};
+      }
+      case Expr::K::Unary:
+        if (e.op == Tok::Star) {
+          Type t = type_of(*e.a);
+          if (t.ptr > 0) --t.ptr;
+          return t;
+        }
+        if (e.op == Tok::Amp) {
+          Type t = type_of(*e.a);
+          ++t.ptr;
+          return t;
+        }
+        return Type{Type::Base::Int, 0};
+      case Expr::K::Index: {
+        Type t = type_of(*e.a);
+        if (t.ptr > 0) --t.ptr;
+        return t;
+      }
+      case Expr::K::Binary: {
+        const Type ta = type_of(*e.a);
+        if (ta.is_pointer()) return ta;
+        const Type tb = type_of(*e.b);
+        if (tb.is_pointer()) return tb;
+        return Type{Type::Base::Int, 0};
+      }
+      case Expr::K::Assign:
+      case Expr::K::IncDec:
+        return type_of(*e.a);
+      default:
+        return Type{Type::Base::Int, 0};
+    }
+  }
+
+  // --- expressions ------------------------------------------------------
+  // Returns the slot holding the value, or -1 on error.
+  int gen_expr(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::Num:
+        return const_slot(e.value);
+
+      case Expr::K::Str: {
+        const std::string sym = intern_string(e.text);
+        const int t = temp();
+        IrInsn i;
+        i.op = IrOp::AddrGlobal;
+        i.dst = t;
+        i.sym = sym;
+        emit(std::move(i));
+        return t;
+      }
+
+      case Expr::K::Ident: {
+        if (const LocalVar* v = find_local(e.name)) {
+          if (v->array_elems >= 0) {
+            const int t = temp();
+            emit_op(IrOp::AddrSlot, t, -1, -1, v->slot);
+            return t;
+          }
+          return v->slot;
+        }
+        auto g = globals.find(e.name);
+        if (g == globals.end()) {
+          err(e.line, "unknown variable '" + e.name + "'");
+          return -1;
+        }
+        const int addr = temp();
+        {
+          IrInsn i;
+          i.op = IrOp::AddrGlobal;
+          i.dst = addr;
+          i.sym = e.name;
+          emit(std::move(i));
+        }
+        if (g->second.is_array) return addr;  // decays to pointer
+        const int t = temp();
+        if (g->second.type.base == Type::Base::Char && !g->second.type.is_pointer()) {
+          emit_op(IrOp::LoadB, t, addr);
+        } else {
+          emit_op(IrOp::Load, t, addr);
+        }
+        return t;
+      }
+
+      case Expr::K::Unary: {
+        if (e.op == Tok::Amp) {
+          return gen_addr(*e.a).first;
+        }
+        if (e.op == Tok::Star) {
+          const int p = gen_expr(*e.a);
+          if (p < 0) return -1;
+          const Type t = type_of(e);
+          const int v = temp();
+          emit_op(t.base == Type::Base::Char && !t.is_pointer() ? IrOp::LoadB : IrOp::Load,
+                  v, p);
+          return v;
+        }
+        const int a = gen_expr(*e.a);
+        if (a < 0) return -1;
+        const int t = temp();
+        if (e.op == Tok::Minus) {
+          emit_op(IrOp::Neg, t, a);
+        } else if (e.op == Tok::Tilde) {
+          emit_op(IrOp::Not, t, a);
+        } else if (e.op == Tok::Bang) {
+          const int zero = const_slot(0);
+          emit_op(IrOp::CmpEq, t, a, zero);
+        } else {
+          err(e.line, "bad unary operator");
+          return -1;
+        }
+        return t;
+      }
+
+      case Expr::K::Binary:
+        return gen_binary(e);
+
+      case Expr::K::LogAnd: {
+        const int r = temp();
+        emit_op(IrOp::Const, r, -1, -1, 0);
+        const int end = new_label();
+        const int a = gen_expr(*e.a);
+        if (a < 0) return -1;
+        jz(a, end);
+        const int b = gen_expr(*e.b);
+        if (b < 0) return -1;
+        const int zero = const_slot(0);
+        emit_op(IrOp::CmpNe, r, b, zero);
+        label(end);
+        return r;
+      }
+
+      case Expr::K::LogOr: {
+        const int r = temp();
+        emit_op(IrOp::Const, r, -1, -1, 1);
+        const int end = new_label();
+        const int a = gen_expr(*e.a);
+        if (a < 0) return -1;
+        const int zero = const_slot(0);
+        const int a_is_zero = temp();
+        emit_op(IrOp::CmpEq, a_is_zero, a, zero);
+        jz(a_is_zero, end);  // a != 0 -> result stays 1
+        const int b = gen_expr(*e.b);
+        if (b < 0) return -1;
+        emit_op(IrOp::CmpNe, r, b, zero);
+        label(end);
+        return r;
+      }
+
+      case Expr::K::Assign: {
+        // Variable, index or deref target.
+        if (e.a->k == Expr::K::Ident) {
+          if (const LocalVar* v = find_local(e.a->name); v && v->array_elems < 0) {
+            const int rhs = gen_expr(*e.b);
+            if (rhs < 0) return -1;
+            emit_op(IrOp::Copy, v->slot, rhs);
+            return v->slot;
+          }
+        }
+        auto [addr, esize] = gen_addr(*e.a);
+        if (addr < 0) return -1;
+        const int rhs = gen_expr(*e.b);
+        if (rhs < 0) return -1;
+        emit_op(esize == 1 ? IrOp::StoreB : IrOp::Store, -1, addr, rhs);
+        return rhs;
+      }
+
+      case Expr::K::IncDec: {
+        const std::int32_t delta = (e.op == Tok::PlusPlus) ? 1 : -1;
+        if (e.a->k == Expr::K::Ident) {
+          if (const LocalVar* v = find_local(e.a->name); v && v->array_elems < 0) {
+            const int one = const_slot(delta);
+            emit_op(IrOp::Add, v->slot, v->slot, one);
+            return v->slot;
+          }
+        }
+        auto [addr, esize] = gen_addr(*e.a);
+        if (addr < 0) return -1;
+        const int old = temp();
+        emit_op(esize == 1 ? IrOp::LoadB : IrOp::Load, old, addr);
+        const int one = const_slot(delta);
+        const int updated = temp();
+        emit_op(IrOp::Add, updated, old, one);
+        emit_op(esize == 1 ? IrOp::StoreB : IrOp::Store, -1, addr, updated);
+        return updated;
+      }
+
+      case Expr::K::Call: {
+        auto arity = func_arity.find(e.name);
+        if (arity == func_arity.end()) {
+          err(e.line, "unknown function '" + e.name + "'");
+          return -1;
+        }
+        if (arity->second != static_cast<int>(e.args.size())) {
+          err(e.line, "wrong argument count for '" + e.name + "'");
+          return -1;
+        }
+        IrInsn call;
+        call.op = IrOp::Call;
+        call.sym = e.name;
+        for (const auto& arg : e.args) {
+          const int s = gen_expr(*arg);
+          if (s < 0) return -1;
+          call.args.push_back(s);
+        }
+        call.dst = temp();
+        const int dst = call.dst;
+        emit(std::move(call));
+        return dst;
+      }
+
+      case Expr::K::Syscall: {
+        IrInsn sc;
+        sc.op = IrOp::Syscall;
+        for (const auto& arg : e.args) {
+          const int s = gen_expr(*arg);
+          if (s < 0) return -1;
+          sc.args.push_back(s);
+        }
+        sc.dst = temp();
+        const int dst = sc.dst;
+        emit(std::move(sc));
+        return dst;
+      }
+
+      case Expr::K::Index: {
+        auto [addr, esize] = gen_addr(e);
+        if (addr < 0) return -1;
+        const int t = temp();
+        emit_op(esize == 1 ? IrOp::LoadB : IrOp::Load, t, addr);
+        return t;
+      }
+    }
+    err(e.line, "unhandled expression");
+    return -1;
+  }
+
+  // Pointer-scaled addition: base + index*esize into a fresh temp.
+  int scaled_add(int base, int index, int esize) {
+    int idx = index;
+    if (esize == 4) {
+      const int two = const_slot(2);
+      const int scaled = temp();
+      emit_op(IrOp::Shl, scaled, index, two);
+      idx = scaled;
+    }
+    const int t = temp();
+    emit_op(IrOp::Add, t, base, idx);
+    return t;
+  }
+
+  // Address of an lvalue; returns {slot holding address, element size}.
+  std::pair<int, int> gen_addr(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::Ident: {
+        if (const LocalVar* v = find_local(e.name)) {
+          const int t = temp();
+          emit_op(IrOp::AddrSlot, t, -1, -1, v->slot);
+          const int esize = (v->type.base == Type::Base::Char && v->array_elems >= 0) ? 1 : 4;
+          return {t, esize};
+        }
+        auto g = globals.find(e.name);
+        if (g == globals.end()) {
+          err(e.line, "unknown variable '" + e.name + "'");
+          return {-1, 4};
+        }
+        const int t = temp();
+        IrInsn i;
+        i.op = IrOp::AddrGlobal;
+        i.dst = t;
+        i.sym = e.name;
+        emit(std::move(i));
+        const int esize =
+            (g->second.type.base == Type::Base::Char && !g->second.type.is_pointer()) ? 1 : 4;
+        return {t, esize};
+      }
+      case Expr::K::Index: {
+        const Type base_type = type_of(*e.a);
+        const int esize = base_type.elem_size();
+        const int base = gen_expr(*e.a);
+        if (base < 0) return {-1, 4};
+        const int index = gen_expr(*e.b);
+        if (index < 0) return {-1, 4};
+        return {scaled_add(base, index, esize), esize};
+      }
+      case Expr::K::Unary:
+        if (e.op == Tok::Star) {
+          const Type t = type_of(e);
+          const int p = gen_expr(*e.a);
+          return {p, (t.base == Type::Base::Char && !t.is_pointer()) ? 1 : 4};
+        }
+        break;
+      default:
+        break;
+    }
+    err(e.line, "expression is not addressable");
+    return {-1, 4};
+  }
+
+  int gen_binary(const Expr& e) {
+    const Type ta = type_of(*e.a);
+    const Type tb = type_of(*e.b);
+
+    // Constant right operands become immediate forms (like any real
+    // compiler) for the ops whose backends support them.
+    if (e.b->k == Expr::K::Num) {
+      IrOp imm_op;
+      bool has_imm_form = true;
+      switch (e.op) {
+        case Tok::Plus: imm_op = IrOp::Add; break;
+        case Tok::Minus: imm_op = IrOp::Sub; break;
+        case Tok::Star: imm_op = IrOp::Mul; break;
+        case Tok::Amp: imm_op = IrOp::And; break;
+        case Tok::Pipe: imm_op = IrOp::Or; break;
+        case Tok::Caret: imm_op = IrOp::Xor; break;
+        case Tok::Shl: imm_op = IrOp::Shl; break;
+        case Tok::Shr: imm_op = IrOp::Sar; break;
+        case Tok::EqEq: imm_op = IrOp::CmpEq; break;
+        case Tok::Ne: imm_op = IrOp::CmpNe; break;
+        case Tok::Lt: imm_op = IrOp::CmpLt; break;
+        case Tok::Le: imm_op = IrOp::CmpLe; break;
+        case Tok::Gt: imm_op = IrOp::CmpGt; break;
+        case Tok::Ge: imm_op = IrOp::CmpGe; break;
+        default: has_imm_form = false; break;
+      }
+      if (has_imm_form) {
+        const int a_slot = gen_expr(*e.a);
+        if (a_slot < 0) return -1;
+        std::int32_t v = e.b->value;
+        // Pointer arithmetic scales the constant directly.
+        if ((e.op == Tok::Plus || e.op == Tok::Minus) && ta.is_pointer() &&
+            ta.elem_size() == 4) {
+          v *= 4;
+        }
+        const int t = temp();
+        IrInsn i;
+        i.op = imm_op;
+        i.dst = t;
+        i.a = a_slot;
+        i.b = -1;
+        i.imm = v;
+        emit(std::move(i));
+        return t;
+      }
+    }
+
+    int a = gen_expr(*e.a);
+    if (a < 0) return -1;
+    int b = gen_expr(*e.b);
+    if (b < 0) return -1;
+
+    // Pointer arithmetic scaling (p + i / i + p / p - i).
+    if ((e.op == Tok::Plus || e.op == Tok::Minus) && (ta.is_pointer() || tb.is_pointer())) {
+      if (ta.is_pointer() && !tb.is_pointer() && ta.elem_size() == 4) {
+        const int two = const_slot(2);
+        const int s = temp();
+        emit_op(IrOp::Shl, s, b, two);
+        b = s;
+      } else if (tb.is_pointer() && !ta.is_pointer() && tb.elem_size() == 4) {
+        const int two = const_slot(2);
+        const int s = temp();
+        emit_op(IrOp::Shl, s, a, two);
+        a = s;
+      }
+    }
+
+    const int t = temp();
+    IrOp op;
+    switch (e.op) {
+      case Tok::Plus: op = IrOp::Add; break;
+      case Tok::Minus: op = IrOp::Sub; break;
+      case Tok::Star: op = IrOp::Mul; break;
+      case Tok::Slash: op = IrOp::Div; break;
+      case Tok::Percent: op = IrOp::Mod; break;
+      case Tok::Amp: op = IrOp::And; break;
+      case Tok::Pipe: op = IrOp::Or; break;
+      case Tok::Caret: op = IrOp::Xor; break;
+      case Tok::Shl: op = IrOp::Shl; break;
+      case Tok::Shr: op = IrOp::Sar; break;
+      case Tok::EqEq: op = IrOp::CmpEq; break;
+      case Tok::Ne: op = IrOp::CmpNe; break;
+      case Tok::Lt: op = IrOp::CmpLt; break;
+      case Tok::Le: op = IrOp::CmpLe; break;
+      case Tok::Gt: op = IrOp::CmpGt; break;
+      case Tok::Ge: op = IrOp::CmpGe; break;
+      default:
+        err(e.line, "bad binary operator");
+        return -1;
+    }
+    emit_op(op, t, a, b);
+    return t;
+  }
+
+  // --- statements -------------------------------------------------------
+  bool gen_stmt(const Stmt& s) {
+    // Reset the temp bump allocator between statements (values never live
+    // across statements in this dialect).
+    cur_temp = frame_top;
+    switch (s.k) {
+      case Stmt::K::Expr:
+        return gen_expr(*s.expr) >= 0;
+
+      case Stmt::K::Decl: {
+        if (scopes.back().contains(s.name)) {
+          return err(s.line, "redefinition of '" + s.name + "'");
+        }
+        LocalVar v;
+        v.type = s.type;
+        if (s.array_size >= 0) {
+          const int words =
+              (s.type.base == Type::Base::Char && !s.type.is_pointer())
+                  ? (s.array_size + 3) / 4
+                  : s.array_size;
+          // Slots grow toward lower addresses but array elements ascend, so
+          // the array's base (lowest address) is its highest slot index.
+          v.slot = frame_top + std::max(words, 1) - 1;
+          v.array_elems = s.array_size;
+          frame_top += std::max(words, 1);
+        } else {
+          v.slot = frame_top++;
+        }
+        if (frame_top > fn->num_slots) fn->num_slots = frame_top;
+        cur_temp = frame_top;
+        scopes.back()[s.name] = v;
+        if (s.init) {
+          const int rhs = gen_expr(*s.init);
+          if (rhs < 0) return false;
+          emit_op(IrOp::Copy, v.slot, rhs);
+        }
+        return true;
+      }
+
+      case Stmt::K::If: {
+        const int cond = gen_expr(*s.expr);
+        if (cond < 0) return false;
+        const int l_else = new_label();
+        jz(cond, l_else);
+        for (const auto& sub : s.body) {
+          if (!gen_stmt(*sub)) return false;
+        }
+        if (s.else_body.empty()) {
+          label(l_else);
+        } else {
+          const int l_end = new_label();
+          jmp(l_end);
+          label(l_else);
+          for (const auto& sub : s.else_body) {
+            if (!gen_stmt(*sub)) return false;
+          }
+          label(l_end);
+        }
+        return true;
+      }
+
+      case Stmt::K::While: {
+        const int l_top = new_label();
+        const int l_end = new_label();
+        label(l_top);
+        cur_temp = frame_top;
+        const int cond = gen_expr(*s.expr);
+        if (cond < 0) return false;
+        jz(cond, l_end);
+        break_labels.push_back(l_end);
+        continue_labels.push_back(l_top);
+        for (const auto& sub : s.body) {
+          if (!gen_stmt(*sub)) return false;
+        }
+        break_labels.pop_back();
+        continue_labels.pop_back();
+        jmp(l_top);
+        label(l_end);
+        return true;
+      }
+
+      case Stmt::K::For: {
+        scopes.emplace_back();  // for-scope (the induction variable)
+        if (s.init_stmt && !gen_stmt(*s.init_stmt)) return false;
+        const int l_top = new_label();
+        const int l_step = new_label();
+        const int l_end = new_label();
+        label(l_top);
+        if (s.expr) {
+          cur_temp = frame_top;
+          const int cond = gen_expr(*s.expr);
+          if (cond < 0) return false;
+          jz(cond, l_end);
+        }
+        break_labels.push_back(l_end);
+        continue_labels.push_back(l_step);
+        for (const auto& sub : s.body) {
+          if (!gen_stmt(*sub)) return false;
+        }
+        break_labels.pop_back();
+        continue_labels.pop_back();
+        label(l_step);
+        if (s.step) {
+          cur_temp = frame_top;
+          if (gen_expr(*s.step) < 0) return false;
+        }
+        jmp(l_top);
+        label(l_end);
+        scopes.pop_back();
+        return true;
+      }
+
+      case Stmt::K::Return: {
+        int slot = -1;
+        if (s.expr) {
+          slot = gen_expr(*s.expr);
+          if (slot < 0) return false;
+        }
+        emit_op(IrOp::Ret, -1, slot);
+        return true;
+      }
+
+      case Stmt::K::Break:
+        if (break_labels.empty()) return err(s.line, "break outside a loop");
+        jmp(break_labels.back());
+        return true;
+
+      case Stmt::K::Continue:
+        if (continue_labels.empty()) return err(s.line, "continue outside a loop");
+        jmp(continue_labels.back());
+        return true;
+
+      case Stmt::K::Block: {
+        scopes.emplace_back();
+        for (const auto& sub : s.body) {
+          if (!gen_stmt(*sub)) return false;
+        }
+        scopes.pop_back();
+        return true;
+      }
+    }
+    return err(s.line, "unhandled statement");
+  }
+
+  bool gen_func(const Func& f) {
+    IrFunc ir;
+    ir.name = f.name;
+    ir.num_params = static_cast<int>(f.params.size());
+    ir.num_slots = ir.num_params;
+    fn = &ir;
+    scopes.clear();
+    scopes.emplace_back();
+    frame_top = ir.num_params;
+    cur_temp = frame_top;
+    break_labels.clear();
+    continue_labels.clear();
+
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      LocalVar v;
+      v.type = f.params[i].type;
+      v.slot = static_cast<int>(i);
+      scopes.back()[f.params[i].name] = v;
+    }
+    for (const auto& s : f.body) {
+      if (!gen_stmt(*s)) return false;
+    }
+    // Implicit return 0 (harmless if unreachable).
+    emit_op(IrOp::Ret, -1, -1);
+    out.funcs.push_back(std::move(ir));
+    fn = nullptr;
+    return true;
+  }
+
+  bool run() {
+    for (const auto& g : prog.globals) {
+      if (globals.contains(g.name)) {
+        return err(g.line, "redefinition of global '" + g.name + "'");
+      }
+      globals[g.name] = GlobalInfo{g.type, g.array_size >= 0};
+    }
+    for (const auto& f : prog.funcs) {
+      if (func_arity.contains(f.name)) {
+        return err(f.line, "redefinition of function '" + f.name + "'");
+      }
+      func_arity[f.name] = static_cast<int>(f.params.size());
+    }
+    for (const auto& f : prog.funcs) {
+      if (!gen_func(f)) return false;
+    }
+    out.globals = prog.globals;
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<IrProgram> generate(const Program& prog) {
+  Gen gen(prog);
+  if (!gen.run()) return fail(gen.error.empty() ? "codegen error" : gen.error);
+  return std::move(gen.out);
+}
+
+}  // namespace plx::cc

@@ -1,0 +1,19 @@
+// AST -> IR lowering (with name resolution and the dialect's minimal type
+// rules: int everywhere, char only behind pointers/arrays, one level of
+// indirection, pointer arithmetic scaled by element size).
+#pragma once
+
+#include "cc/ast.h"
+#include "cc/ir.h"
+
+namespace plx::cc {
+
+struct IrProgram {
+  std::vector<IrFunc> funcs;
+  std::vector<GlobalVar> globals;  // passed through for data emission
+  std::vector<std::pair<std::string, std::string>> strings;  // name -> bytes
+};
+
+Result<IrProgram> generate(const Program& prog);
+
+}  // namespace plx::cc

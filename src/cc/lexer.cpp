@@ -1,0 +1,263 @@
+#include "cc/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace plx::cc {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::String: return "string";
+    case Tok::CharLit: return "char literal";
+    case Tok::KwInt: return "int";
+    case Tok::KwChar: return "char";
+    case Tok::KwVoid: return "void";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwWhile: return "while";
+    case Tok::KwFor: return "for";
+    case Tok::KwReturn: return "return";
+    case Tok::KwBreak: return "break";
+    case Tok::KwContinue: return "continue";
+    case Tok::KwSyscall: return "__syscall";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Assign: return "=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Tilde: return "~";
+    case Tok::Bang: return "!";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::Le: return "<=";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::PlusPlus: return "++";
+    case Tok::MinusMinus: return "--";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"int", Tok::KwInt},         {"char", Tok::KwChar},
+      {"void", Tok::KwVoid},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+      {"for", Tok::KwFor},         {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"__syscall", Tok::KwSyscall},
+  };
+  return kw;
+}
+
+int escape_char(char c) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return '\0';
+    case '\\': return '\\';
+    case '\'': return '\'';
+    case '"': return '"';
+    default: return c;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  auto err = [&](const std::string& msg) {
+    return fail("line " + std::to_string(line) + ": " + msg);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) return err("unterminated comment");
+      i += 2;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_')) {
+        ++j;
+      }
+      tok.text = src.substr(i, j - i);
+      auto kw = keywords().find(tok.text);
+      tok.kind = (kw != keywords().end()) ? kw->second : Tok::Ident;
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      if (c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        if (i >= src.size() || !std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          return err("bad hex literal");
+        }
+        while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          const char h = static_cast<char>(std::tolower(static_cast<unsigned char>(src[i])));
+          v = v * 16 + (std::isdigit(static_cast<unsigned char>(h)) ? h - '0' : h - 'a' + 10);
+          ++i;
+        }
+      } else {
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          v = v * 10 + (src[i] - '0');
+          ++i;
+        }
+      }
+      tok.kind = Tok::Number;
+      tok.value = static_cast<std::int32_t>(v);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      std::string s;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          s += static_cast<char>(escape_char(src[i + 1]));
+          i += 2;
+        } else {
+          if (src[i] == '\n') ++line;
+          s += src[i++];
+        }
+      }
+      if (i >= src.size()) return err("unterminated string");
+      ++i;
+      tok.kind = Tok::String;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      if (i + 2 >= src.size()) return err("bad char literal");
+      int v;
+      if (src[i + 1] == '\\') {
+        v = escape_char(src[i + 2]);
+        if (i + 3 >= src.size() || src[i + 3] != '\'') return err("bad char literal");
+        i += 4;
+      } else {
+        v = static_cast<unsigned char>(src[i + 1]);
+        if (src[i + 2] != '\'') return err("bad char literal");
+        i += 3;
+      }
+      tok.kind = Tok::CharLit;
+      tok.value = v;
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    auto two = [&](char second, Tok then, Tok otherwise) {
+      if (i + 1 < src.size() && src[i + 1] == second) {
+        tok.kind = then;
+        i += 2;
+      } else {
+        tok.kind = otherwise;
+        ++i;
+      }
+    };
+
+    switch (c) {
+      case '(': tok.kind = Tok::LParen; ++i; break;
+      case ')': tok.kind = Tok::RParen; ++i; break;
+      case '{': tok.kind = Tok::LBrace; ++i; break;
+      case '}': tok.kind = Tok::RBrace; ++i; break;
+      case '[': tok.kind = Tok::LBracket; ++i; break;
+      case ']': tok.kind = Tok::RBracket; ++i; break;
+      case ',': tok.kind = Tok::Comma; ++i; break;
+      case ';': tok.kind = Tok::Semi; ++i; break;
+      case '+': two('+', Tok::PlusPlus, Tok::Plus); break;
+      case '-': two('-', Tok::MinusMinus, Tok::Minus); break;
+      case '*': tok.kind = Tok::Star; ++i; break;
+      case '/': tok.kind = Tok::Slash; ++i; break;
+      case '%': tok.kind = Tok::Percent; ++i; break;
+      case '^': tok.kind = Tok::Caret; ++i; break;
+      case '~': tok.kind = Tok::Tilde; ++i; break;
+      case '&': two('&', Tok::AmpAmp, Tok::Amp); break;
+      case '|': two('|', Tok::PipePipe, Tok::Pipe); break;
+      case '=': two('=', Tok::EqEq, Tok::Assign); break;
+      case '!': two('=', Tok::Ne, Tok::Bang); break;
+      case '<':
+        if (i + 1 < src.size() && src[i + 1] == '<') {
+          tok.kind = Tok::Shl;
+          i += 2;
+        } else {
+          two('=', Tok::Le, Tok::Lt);
+        }
+        break;
+      case '>':
+        if (i + 1 < src.size() && src[i + 1] == '>') {
+          tok.kind = Tok::Shr;
+          i += 2;
+        } else {
+          two('=', Tok::Ge, Tok::Gt);
+        }
+        break;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(tok));
+  }
+
+  Token eof;
+  eof.kind = Tok::End;
+  eof.line = line;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace plx::cc

@@ -1,0 +1,50 @@
+// Lexer for the PLX mini-C dialect.
+//
+// The corpus programs (src/workloads) and the in-VM runtime routines
+// (RC4/xor decryptors, chain generators) are written in this dialect and
+// compiled by src/cc into x86-32. The language is a small C subset: int /
+// char / pointers / arrays, functions, if/while/for, the usual operators,
+// and a __syscall builtin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace plx::cc {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  Number,
+  String,
+  CharLit,
+  // keywords
+  KwInt, KwChar, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+  KwBreak, KwContinue, KwSyscall,
+  // punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi,
+  Assign,        // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, Ne,
+  AmpAmp, PipePipe,
+  PlusPlus, MinusMinus,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // Ident / String
+  std::int32_t value = 0; // Number / CharLit
+  int line = 0;
+};
+
+Result<std::vector<Token>> lex(const std::string& source);
+
+const char* tok_name(Tok t);
+
+}  // namespace plx::cc

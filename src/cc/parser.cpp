@@ -1,0 +1,518 @@
+#include "cc/parser.h"
+
+namespace plx::cc {
+
+namespace {
+
+struct Parser {
+  std::vector<Token> toks;
+  std::size_t pos = 0;
+  std::string error;
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos + static_cast<std::size_t>(ahead);
+    return toks[std::min(i, toks.size() - 1)];
+  }
+  const Token& cur() const { return peek(0); }
+  Token take() { return toks[std::min(pos++, toks.size() - 1)]; }
+  bool at(Tok t) const { return cur().kind == t; }
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    ++pos;
+    return true;
+  }
+
+  bool err(const std::string& msg) {
+    if (error.empty()) {
+      error = "line " + std::to_string(cur().line) + ": " + msg;
+    }
+    return false;
+  }
+  bool expect(Tok t) {
+    if (accept(t)) return true;
+    return err(std::string("expected '") + tok_name(t) + "', got '" +
+               tok_name(cur().kind) + "'");
+  }
+
+  // --- types ----------------------------------------------------------------
+  bool is_type_start() const {
+    return at(Tok::KwInt) || at(Tok::KwChar) || at(Tok::KwVoid);
+  }
+
+  bool parse_type(Type& out) {
+    if (accept(Tok::KwInt)) {
+      out.base = Type::Base::Int;
+    } else if (accept(Tok::KwChar)) {
+      out.base = Type::Base::Char;
+    } else if (accept(Tok::KwVoid)) {
+      out.base = Type::Base::Void;
+    } else {
+      return err("expected a type");
+    }
+    out.ptr = 0;
+    while (accept(Tok::Star)) ++out.ptr;
+    if (out.ptr > 1) return err("only single-level pointers are supported");
+    if (out.base == Type::Base::Void && out.ptr > 0) return err("void* not supported");
+    return true;
+  }
+
+  // --- expressions ------------------------------------------------------
+  ExprPtr make(Expr::K k) {
+    auto e = std::make_unique<Expr>();
+    e->k = k;
+    e->line = cur().line;
+    return e;
+  }
+
+  ExprPtr parse_expr() { return parse_assign(); }
+
+  ExprPtr parse_assign() {
+    ExprPtr lhs = parse_logor();
+    if (!lhs) return nullptr;
+    if (accept(Tok::Assign)) {
+      auto e = make(Expr::K::Assign);
+      ExprPtr rhs = parse_assign();
+      if (!rhs) return nullptr;
+      if (lhs->k != Expr::K::Ident && lhs->k != Expr::K::Index &&
+          !(lhs->k == Expr::K::Unary && lhs->op == Tok::Star)) {
+        err("assignment target must be a variable, index or dereference");
+        return nullptr;
+      }
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_logor() {
+    ExprPtr a = parse_logand();
+    if (!a) return nullptr;
+    while (at(Tok::PipePipe)) {
+      take();
+      auto e = make(Expr::K::LogOr);
+      e->a = std::move(a);
+      e->b = parse_logand();
+      if (!e->b) return nullptr;
+      a = std::move(e);
+    }
+    return a;
+  }
+
+  ExprPtr parse_logand() {
+    ExprPtr a = parse_bitor();
+    if (!a) return nullptr;
+    while (at(Tok::AmpAmp)) {
+      take();
+      auto e = make(Expr::K::LogAnd);
+      e->a = std::move(a);
+      e->b = parse_bitor();
+      if (!e->b) return nullptr;
+      a = std::move(e);
+    }
+    return a;
+  }
+
+  // Generic left-associative binary level.
+  template <typename Next>
+  ExprPtr binary_level(std::initializer_list<Tok> ops, Next next) {
+    ExprPtr a = next();
+    if (!a) return nullptr;
+    for (;;) {
+      bool matched = false;
+      for (Tok t : ops) {
+        if (at(t)) {
+          auto e = make(Expr::K::Binary);
+          e->op = take().kind;
+          e->a = std::move(a);
+          e->b = next();
+          if (!e->b) return nullptr;
+          a = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return a;
+    }
+  }
+
+  ExprPtr parse_bitor() {
+    return binary_level({Tok::Pipe}, [this] { return parse_bitxor(); });
+  }
+  ExprPtr parse_bitxor() {
+    return binary_level({Tok::Caret}, [this] { return parse_bitand(); });
+  }
+  ExprPtr parse_bitand() {
+    return binary_level({Tok::Amp}, [this] { return parse_equality(); });
+  }
+  ExprPtr parse_equality() {
+    return binary_level({Tok::EqEq, Tok::Ne}, [this] { return parse_relational(); });
+  }
+  ExprPtr parse_relational() {
+    return binary_level({Tok::Lt, Tok::Gt, Tok::Le, Tok::Ge},
+                        [this] { return parse_shift(); });
+  }
+  ExprPtr parse_shift() {
+    return binary_level({Tok::Shl, Tok::Shr}, [this] { return parse_additive(); });
+  }
+  ExprPtr parse_additive() {
+    return binary_level({Tok::Plus, Tok::Minus}, [this] { return parse_term(); });
+  }
+  ExprPtr parse_term() {
+    return binary_level({Tok::Star, Tok::Slash, Tok::Percent},
+                        [this] { return parse_unary(); });
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::Minus) || at(Tok::Tilde) || at(Tok::Bang) || at(Tok::Star) ||
+        at(Tok::Amp)) {
+      auto e = make(Expr::K::Unary);
+      e->op = take().kind;
+      e->a = parse_unary();
+      if (!e->a) return nullptr;
+      if (e->op == Tok::Amp && e->a->k != Expr::K::Ident && e->a->k != Expr::K::Index) {
+        err("'&' needs a variable or array element");
+        return nullptr;
+      }
+      return e;
+    }
+    if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+      auto e = make(Expr::K::IncDec);
+      e->op = take().kind;
+      e->a = parse_unary();
+      if (!e->a) return nullptr;
+      if (e->a->k != Expr::K::Ident && e->a->k != Expr::K::Index) {
+        err("++/-- needs a variable or array element");
+        return nullptr;
+      }
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr a = parse_primary();
+    if (!a) return nullptr;
+    for (;;) {
+      if (accept(Tok::LBracket)) {
+        auto e = make(Expr::K::Index);
+        e->a = std::move(a);
+        e->b = parse_expr();
+        if (!e->b || !expect(Tok::RBracket)) return nullptr;
+        a = std::move(e);
+        continue;
+      }
+      if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+        // Postfix inc/dec: same node; value semantics are "updated value",
+        // which our workloads only use in statement position anyway.
+        auto e = make(Expr::K::IncDec);
+        e->op = take().kind;
+        if (a->k != Expr::K::Ident && a->k != Expr::K::Index) {
+          err("++/-- needs a variable or array element");
+          return nullptr;
+        }
+        e->a = std::move(a);
+        a = std::move(e);
+        continue;
+      }
+      return a;
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::Number) || at(Tok::CharLit)) {
+      auto e = make(Expr::K::Num);
+      e->value = take().value;
+      return e;
+    }
+    if (at(Tok::String)) {
+      auto e = make(Expr::K::Str);
+      e->text = take().text;
+      return e;
+    }
+    if (accept(Tok::KwSyscall)) {
+      auto e = make(Expr::K::Syscall);
+      if (!expect(Tok::LParen)) return nullptr;
+      if (!at(Tok::RParen)) {
+        do {
+          ExprPtr arg = parse_expr();
+          if (!arg) return nullptr;
+          e->args.push_back(std::move(arg));
+        } while (accept(Tok::Comma));
+      }
+      if (!expect(Tok::RParen)) return nullptr;
+      if (e->args.empty() || e->args.size() > 4) {
+        err("__syscall takes 1..4 arguments");
+        return nullptr;
+      }
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      std::string name = take().text;
+      if (accept(Tok::LParen)) {
+        auto e = make(Expr::K::Call);
+        e->name = std::move(name);
+        if (!at(Tok::RParen)) {
+          do {
+            ExprPtr arg = parse_expr();
+            if (!arg) return nullptr;
+            e->args.push_back(std::move(arg));
+          } while (accept(Tok::Comma));
+        }
+        if (!expect(Tok::RParen)) return nullptr;
+        return e;
+      }
+      auto e = make(Expr::K::Ident);
+      e->name = std::move(name);
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      if (!e || !expect(Tok::RParen)) return nullptr;
+      return e;
+    }
+    err(std::string("unexpected token '") + tok_name(cur().kind) + "'");
+    return nullptr;
+  }
+
+  // --- statements -------------------------------------------------------
+  StmtPtr make_stmt(Stmt::K k) {
+    auto s = std::make_unique<Stmt>();
+    s->k = k;
+    s->line = cur().line;
+    return s;
+  }
+
+  bool parse_block(std::vector<StmtPtr>& out) {
+    if (!expect(Tok::LBrace)) return false;
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End)) return err("unterminated block");
+      StmtPtr s = parse_stmt();
+      if (!s) return false;
+      out.push_back(std::move(s));
+    }
+    return expect(Tok::RBrace);
+  }
+
+  StmtPtr parse_stmt() {
+    if (is_type_start()) {
+      auto s = make_stmt(Stmt::K::Decl);
+      if (!parse_type(s->type)) return nullptr;
+      if (!at(Tok::Ident)) {
+        err("expected variable name");
+        return nullptr;
+      }
+      s->name = take().text;
+      if (accept(Tok::LBracket)) {
+        if (!at(Tok::Number)) {
+          err("array size must be a number literal");
+          return nullptr;
+        }
+        s->array_size = take().value;
+        if (!expect(Tok::RBracket)) return nullptr;
+      } else if (accept(Tok::Assign)) {
+        s->init = parse_expr();
+        if (!s->init) return nullptr;
+      }
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+    if (accept(Tok::KwIf)) {
+      auto s = make_stmt(Stmt::K::If);
+      if (!expect(Tok::LParen)) return nullptr;
+      s->expr = parse_expr();
+      if (!s->expr || !expect(Tok::RParen)) return nullptr;
+      if (at(Tok::LBrace)) {
+        if (!parse_block(s->body)) return nullptr;
+      } else {
+        StmtPtr one = parse_stmt();
+        if (!one) return nullptr;
+        s->body.push_back(std::move(one));
+      }
+      if (accept(Tok::KwElse)) {
+        if (at(Tok::LBrace)) {
+          if (!parse_block(s->else_body)) return nullptr;
+        } else {
+          StmtPtr one = parse_stmt();
+          if (!one) return nullptr;
+          s->else_body.push_back(std::move(one));
+        }
+      }
+      return s;
+    }
+    if (accept(Tok::KwWhile)) {
+      auto s = make_stmt(Stmt::K::While);
+      if (!expect(Tok::LParen)) return nullptr;
+      s->expr = parse_expr();
+      if (!s->expr || !expect(Tok::RParen)) return nullptr;
+      if (at(Tok::LBrace)) {
+        if (!parse_block(s->body)) return nullptr;
+      } else {
+        StmtPtr one = parse_stmt();
+        if (!one) return nullptr;
+        s->body.push_back(std::move(one));
+      }
+      return s;
+    }
+    if (accept(Tok::KwFor)) {
+      auto s = make_stmt(Stmt::K::For);
+      if (!expect(Tok::LParen)) return nullptr;
+      if (!at(Tok::Semi)) {
+        s->init_stmt = parse_stmt();  // decl or expr statement (eats ';')
+        if (!s->init_stmt) return nullptr;
+        if (s->init_stmt->k != Stmt::K::Decl && s->init_stmt->k != Stmt::K::Expr) {
+          err("bad for-initialiser");
+          return nullptr;
+        }
+      } else {
+        take();
+      }
+      if (!at(Tok::Semi)) {
+        s->expr = parse_expr();
+        if (!s->expr) return nullptr;
+      }
+      if (!expect(Tok::Semi)) return nullptr;
+      if (!at(Tok::RParen)) {
+        s->step = parse_expr();
+        if (!s->step) return nullptr;
+      }
+      if (!expect(Tok::RParen)) return nullptr;
+      if (at(Tok::LBrace)) {
+        if (!parse_block(s->body)) return nullptr;
+      } else {
+        StmtPtr one = parse_stmt();
+        if (!one) return nullptr;
+        s->body.push_back(std::move(one));
+      }
+      return s;
+    }
+    if (accept(Tok::KwReturn)) {
+      auto s = make_stmt(Stmt::K::Return);
+      if (!at(Tok::Semi)) {
+        s->expr = parse_expr();
+        if (!s->expr) return nullptr;
+      }
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+    if (accept(Tok::KwBreak)) {
+      auto s = make_stmt(Stmt::K::Break);
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+    if (accept(Tok::KwContinue)) {
+      auto s = make_stmt(Stmt::K::Continue);
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+    if (at(Tok::LBrace)) {
+      auto s = make_stmt(Stmt::K::Block);
+      if (!parse_block(s->body)) return nullptr;
+      return s;
+    }
+    auto s = make_stmt(Stmt::K::Expr);
+    s->expr = parse_expr();
+    if (!s->expr || !expect(Tok::Semi)) return nullptr;
+    return s;
+  }
+
+  // --- top level --------------------------------------------------------
+  bool parse_global_init(GlobalVar& g) {
+    if (!accept(Tok::Assign)) return true;
+    if (at(Tok::String)) {
+      g.str_init = take().text;
+      g.has_str_init = true;
+      return true;
+    }
+    if (accept(Tok::LBrace)) {
+      do {
+        bool neg = accept(Tok::Minus);
+        if (!at(Tok::Number) && !at(Tok::CharLit)) return err("bad array initialiser");
+        const std::int32_t v = take().value;
+        g.init.push_back(neg ? -v : v);
+      } while (accept(Tok::Comma));
+      return expect(Tok::RBrace);
+    }
+    bool neg = accept(Tok::Minus);
+    if (!at(Tok::Number) && !at(Tok::CharLit)) return err("bad initialiser");
+    const std::int32_t v = take().value;
+    g.init.push_back(neg ? -v : v);
+    return true;
+  }
+
+  bool parse_program(Program& prog) {
+    while (!at(Tok::End)) {
+      Type type;
+      if (!parse_type(type)) return false;
+      if (!at(Tok::Ident)) return err("expected a name");
+      const int line = cur().line;
+      std::string name = take().text;
+
+      if (accept(Tok::LParen)) {
+        Func fn;
+        fn.ret = type;
+        fn.name = std::move(name);
+        fn.line = line;
+        if (!at(Tok::RParen)) {
+          do {
+            if (at(Tok::KwVoid) && peek(1).kind == Tok::RParen) {
+              take();
+              break;
+            }
+            Param p;
+            if (!parse_type(p.type)) return false;
+            if (!at(Tok::Ident)) return err("expected parameter name");
+            p.name = take().text;
+            fn.params.push_back(std::move(p));
+          } while (accept(Tok::Comma));
+        }
+        if (!expect(Tok::RParen)) return false;
+        if (!parse_block(fn.body)) return false;
+        prog.funcs.push_back(std::move(fn));
+        continue;
+      }
+
+      GlobalVar g;
+      g.type = type;
+      g.name = std::move(name);
+      g.line = line;
+      if (accept(Tok::LBracket)) {
+        if (at(Tok::Number)) {
+          g.array_size = take().value;
+        } else {
+          g.array_size = 0;  // size from initialiser
+        }
+        if (!expect(Tok::RBracket)) return false;
+      }
+      if (!parse_global_init(g)) return false;
+      if (!expect(Tok::Semi)) return false;
+      if (g.array_size == 0) {
+        if (g.has_str_init) {
+          g.array_size = static_cast<int>(g.str_init.size()) + 1;
+        } else if (!g.init.empty()) {
+          g.array_size = static_cast<int>(g.init.size());
+        } else {
+          return err("array needs a size or an initialiser");
+        }
+      }
+      prog.globals.push_back(std::move(g));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<Program> parse(const std::string& source) {
+  auto toks = lex(source);
+  if (!toks) return fail(toks.error());
+  Parser p;
+  p.toks = std::move(toks).take();
+  Program prog;
+  if (!p.parse_program(prog)) {
+    return fail(p.error.empty() ? "parse error" : p.error);
+  }
+  return prog;
+}
+
+}  // namespace plx::cc

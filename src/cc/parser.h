@@ -1,0 +1,11 @@
+// Recursive-descent parser for the PLX mini-C dialect.
+#pragma once
+
+#include "cc/ast.h"
+#include "support/error.h"
+
+namespace plx::cc {
+
+Result<Program> parse(const std::string& source);
+
+}  // namespace plx::cc

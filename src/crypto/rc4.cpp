@@ -1,0 +1,35 @@
+#include "crypto/rc4.h"
+
+#include <utility>
+
+namespace plx::crypto {
+
+Rc4::Rc4(std::span<const std::uint8_t> key) {
+  for (int i = 0; i < 256; ++i) s_[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[static_cast<std::size_t>(i) % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::crypt(std::span<std::uint8_t> data) {
+  for (auto& b : data) b ^= next();
+}
+
+std::vector<std::uint8_t> rc4_crypt(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  Rc4 rc4(key);
+  rc4.crypt(out);
+  return out;
+}
+
+}  // namespace plx::crypto

@@ -1,0 +1,30 @@
+// RC4 stream cipher (host side).
+//
+// The paper evaluates RC4-encrypted function chains (§V-B, Figure 5). The
+// host-side implementation here encrypts chain bytes at protect time; the
+// matching decryptor that runs *inside* the protected program is mini-C code
+// in src/verify/hardening.cpp, and tests cross-check the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plx::crypto {
+
+class Rc4 {
+ public:
+  explicit Rc4(std::span<const std::uint8_t> key);
+
+  std::uint8_t next();  // next keystream byte
+  void crypt(std::span<std::uint8_t> data);  // xor data with keystream
+
+ private:
+  std::uint8_t s_[256];
+  std::uint8_t i_ = 0, j_ = 0;
+};
+
+std::vector<std::uint8_t> rc4_crypt(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> data);
+
+}  // namespace plx::crypto

@@ -1,0 +1,18 @@
+#include "crypto/xorstream.h"
+
+namespace plx::crypto {
+
+void xor_crypt_inplace(std::span<std::uint8_t> data, std::span<const std::uint8_t> key) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= key[i % key.size()];
+  }
+}
+
+std::vector<std::uint8_t> xor_crypt(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  xor_crypt_inplace(out, key);
+  return out;
+}
+
+}  // namespace plx::crypto

@@ -1,0 +1,16 @@
+// Repeating-key XOR (host side), the cheapest chain-hardening option the
+// paper evaluates. Involution: applying twice restores the plaintext.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plx::crypto {
+
+void xor_crypt_inplace(std::span<std::uint8_t> data, std::span<const std::uint8_t> key);
+
+std::vector<std::uint8_t> xor_crypt(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> data);
+
+}  // namespace plx::crypto

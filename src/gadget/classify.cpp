@@ -1,0 +1,487 @@
+#include "gadget/classify.h"
+
+namespace plx::gadget {
+
+using x86::Insn;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::OpSize;
+using x86::Reg;
+
+const char* gtype_name(GType t) {
+  switch (t) {
+    case GType::Unusable: return "unusable";
+    case GType::Transparent: return "transparent";
+    case GType::PopReg: return "pop-reg";
+    case GType::MovRegReg: return "mov-reg-reg";
+    case GType::AddRegReg: return "add-reg-reg";
+    case GType::SubRegReg: return "sub-reg-reg";
+    case GType::XorRegReg: return "xor-reg-reg";
+    case GType::AndRegReg: return "and-reg-reg";
+    case GType::OrRegReg: return "or-reg-reg";
+    case GType::NegReg: return "neg-reg";
+    case GType::NotReg: return "not-reg";
+    case GType::LoadMem: return "load-mem";
+    case GType::StoreMem: return "store-mem";
+    case GType::AddStoreMem: return "add-store-mem";
+    case GType::ShlClReg: return "shl-cl-reg";
+    case GType::ShrClReg: return "shr-cl-reg";
+    case GType::SarClReg: return "sar-cl-reg";
+    case GType::CmpRegReg: return "cmp-reg-reg";
+    case GType::TestRegReg: return "test-reg-reg";
+    case GType::SetccReg: return "setcc-reg";
+    case GType::MovzxReg: return "movzx-reg";
+    case GType::AddEspReg: return "add-esp-reg";
+    case GType::PopEsp: return "pop-esp";
+  }
+  return "?";
+}
+
+std::string Gadget::describe() const {
+  std::string out = gtype_name(type);
+  if (r1 != Reg::NONE) {
+    out += ' ';
+    out += x86::reg_name(r1);
+  }
+  if (r2 != Reg::NONE) {
+    out += ", ";
+    out += x86::reg_name(r2);
+  }
+  if (type == GType::SetccReg) {
+    out += " [";
+    out += x86::cond_name(cond);
+    out += ']';
+  }
+  if (far_ret) out += " (far)";
+  if (overlapping) out += " (overlap)";
+  return out;
+}
+
+namespace {
+
+constexpr std::uint16_t bit(Reg r) { return static_cast<std::uint16_t>(1u << static_cast<unsigned>(r)); }
+constexpr std::uint16_t kEspBit = 1u << 4;
+
+// Byte-granular constant tracking for one register.
+struct KnownVal {
+  std::uint32_t value = 0;
+  std::uint8_t mask = 0;  // bit b set => byte b of `value` is known
+
+  bool known_bytes(int lo, int n) const {
+    for (int b = lo; b < lo + n; ++b) {
+      if (!(mask & (1u << b))) return false;
+    }
+    return true;
+  }
+  std::uint32_t bytes(int lo, int n) const {
+    std::uint32_t v = 0;
+    for (int b = 0; b < n; ++b) v |= ((value >> ((lo + b) * 8)) & 0xff) << (b * 8);
+    return v;
+  }
+  void set_bytes(int lo, int n, std::uint32_t v, bool known) {
+    for (int b = 0; b < n; ++b) {
+      const int byte = lo + b;
+      if (known) {
+        value = (value & ~(0xffu << (byte * 8))) | (((v >> (b * 8)) & 0xff) << (byte * 8));
+        mask |= static_cast<std::uint8_t>(1u << byte);
+      } else {
+        mask &= static_cast<std::uint8_t>(~(1u << byte));
+      }
+    }
+  }
+};
+
+struct Sim {
+  KnownVal regs[8];
+
+  // Returns (byte offset, byte count, parent register) of a register operand.
+  static void locate(Reg r, OpSize size, int& lo, int& n, Reg& parent) {
+    const auto i = static_cast<unsigned>(r);
+    switch (size) {
+      case OpSize::Byte:
+        if (i < 4) {
+          parent = r;
+          lo = 0;
+        } else {
+          parent = static_cast<Reg>(i - 4);
+          lo = 1;
+        }
+        n = 1;
+        break;
+      case OpSize::Word:
+        parent = r;
+        lo = 0;
+        n = 2;
+        break;
+      case OpSize::Dword:
+        parent = r;
+        lo = 0;
+        n = 4;
+        break;
+    }
+  }
+
+  bool reg_known(Reg r, OpSize size, std::uint32_t& out) const {
+    int lo, n;
+    Reg parent;
+    locate(r, size, lo, n, parent);
+    const KnownVal& kv = regs[static_cast<unsigned>(parent)];
+    if (!kv.known_bytes(lo, n)) return false;
+    out = kv.bytes(lo, n);
+    return true;
+  }
+
+  void set_reg(Reg r, OpSize size, std::uint32_t v, bool known) {
+    int lo, n;
+    Reg parent;
+    locate(r, size, lo, n, parent);
+    regs[static_cast<unsigned>(parent)].set_bytes(lo, n, v, known);
+  }
+
+  // Value of an operand if statically known.
+  bool operand_known(const Operand& o, std::uint32_t& out) const {
+    if (o.kind == Operand::Kind::Imm) {
+      out = static_cast<std::uint32_t>(o.imm);
+      return true;
+    }
+    if (o.kind == Operand::Kind::Reg) return reg_known(o.reg, o.size, out);
+    return false;
+  }
+};
+
+Reg parent_of(const Operand& o) {
+  int lo, n;
+  Reg parent;
+  Sim::locate(o.reg, o.size, lo, n, parent);
+  return parent;
+}
+
+bool is_reg32(const Operand& o) {
+  return o.kind == Operand::Kind::Reg && o.size == OpSize::Dword;
+}
+
+bool is_low8(const Operand& o) {
+  return o.kind == Operand::Kind::Reg && o.size == OpSize::Byte &&
+         static_cast<unsigned>(o.reg) < 4;
+}
+
+// Simple base-only memory operand usable with scratch parking.
+bool parkable_mem(const x86::Mem& m) {
+  return m.base != Reg::NONE && m.base != Reg::ESP && m.index == Reg::NONE &&
+         m.disp >= -0x700 && m.disp <= 0x700;
+}
+
+}  // namespace
+
+void classify(std::span<const Insn> insns, Gadget& out) {
+  out.type = GType::Unusable;
+  out.r1 = out.r2 = Reg::NONE;
+  out.clobbers = 0;
+  out.total_pops = 0;
+  out.value_pop_index = 0;
+  out.scratch_addr_regs = 0;
+  out.far_ret = false;
+  out.ret_imm = 0;
+  out.disp = 0;
+  if (insns.empty()) return;
+
+  const Insn& term = insns.back();
+  if (term.op == Mnemonic::RETF) {
+    out.far_ret = true;
+  } else if (term.op != Mnemonic::RET) {
+    return;  // not a gadget at all
+  }
+  if (term.nops == 1) {
+    const std::uint32_t imm = static_cast<std::uint32_t>(term.ops[0].imm) & 0xffff;
+    if (imm % 4 != 0 || imm > 64) return;  // unusable stack adjustment
+    out.ret_imm = static_cast<std::uint16_t>(imm);
+  }
+
+  Sim sim;
+  GType type = GType::Transparent;  // promoted when a primary effect matches
+  Reg r1 = Reg::NONE, r2 = Reg::NONE;
+  std::uint16_t output_bit = 0;  // reg holding the primary result
+  bool primary_is_pop = false;
+  int primary_index = -1;  // body index of the primary effect (flag windows)
+
+  // Demotes the gadget back to Transparent; a destroyed PopReg primary's
+  // value word becomes a plain filler pop again.
+  auto demote = [&] {
+    if (primary_is_pop) {
+      ++out.total_pops;
+      primary_is_pop = false;
+    }
+    primary_index = -1;
+    type = GType::Transparent;
+    r1 = r2 = Reg::NONE;
+    output_bit = 0;
+  };
+
+  auto body = insns.subspan(0, insns.size() - 1);
+  for (std::size_t body_idx = 0; body_idx < body.size(); ++body_idx) {
+    const Insn& insn = body[body_idx];
+    const Operand& d = insn.ops[0];
+    const Operand& s = insn.ops[1];
+
+    // --- hard rejections ----------------------------------------------------
+    switch (insn.op) {
+      case Mnemonic::JMP:
+      case Mnemonic::JCC:
+      case Mnemonic::CALL:
+      case Mnemonic::RET:
+      case Mnemonic::RETF:
+      case Mnemonic::INT:
+      case Mnemonic::INT3:
+      case Mnemonic::HLT:
+      case Mnemonic::LEAVE:
+      case Mnemonic::PUSH:
+      case Mnemonic::PUSHAD:
+      case Mnemonic::PUSHFD:
+      case Mnemonic::DIV:   // may fault on chain-uncontrolled values
+      case Mnemonic::IDIV:
+      case Mnemonic::INVALID:
+        return;
+      default:
+        break;
+    }
+
+    // --- ESP discipline -------------------------------------------------
+    const auto fx = x86::reg_effects(insn);
+    if (fx.writes & kEspBit) {
+      if (insn.op == Mnemonic::POP && d.kind == Operand::Kind::Reg &&
+          d.reg == Reg::ESP && d.size == OpSize::Dword) {
+        // pop esp: usable only as the sole effect (chain epilogue).
+        if (type != GType::Transparent || out.total_pops != 0 || &insn != &body.back()) return;
+        out.type = GType::PopEsp;
+        return;  // nothing after it matters; term already checked
+      }
+      if (insn.op == Mnemonic::ADD && is_reg32(d) && d.reg == Reg::ESP && is_reg32(s)) {
+        if (type != GType::Transparent) return;
+        type = GType::AddEspReg;
+        r1 = s.reg;
+        primary_index = static_cast<int>(body_idx);
+        // After this, esp points into chain-controlled memory; any further
+        // instruction is fine only if it doesn't touch esp — keep scanning.
+        continue;
+      }
+      if (insn.op == Mnemonic::POP) {
+        // pop into something else (reg/mem) — handled below.
+      } else if (insn.op == Mnemonic::ADD && is_reg32(d) && d.reg == Reg::ESP &&
+                 s.kind == Operand::Kind::Imm && s.imm >= 0 && s.imm % 4 == 0 &&
+                 s.imm <= 32) {
+        out.total_pops = static_cast<std::uint8_t>(out.total_pops + s.imm / 4);
+        continue;
+      } else {
+        return;  // any other esp write derails the chain
+      }
+    }
+
+    // --- pops -----------------------------------------------------------
+    if (insn.op == Mnemonic::POP) {
+      if (d.kind != Operand::Kind::Reg || d.size != OpSize::Dword) return;  // pop [mem]
+      const Reg r = d.reg;
+      if (type == GType::Transparent && output_bit == 0) {
+        // Candidate primary effect: PopReg. Only promote if the register
+        // survives to the end (checked by later writes clearing it).
+        type = GType::PopReg;
+        r1 = r;
+        out.value_pop_index = out.total_pops;
+        output_bit = bit(r);
+        primary_is_pop = true;
+        primary_index = static_cast<int>(body_idx);
+      } else {
+        out.clobbers |= bit(r);
+        ++out.total_pops;
+        if (output_bit & bit(r)) demote();  // primary output destroyed
+        sim.set_reg(r, OpSize::Dword, 0, false);
+        continue;
+      }
+      // The value-carrying pop itself is not a filler; total_pops counts
+      // filler words only, value_pop_index remembers where the value goes.
+      sim.set_reg(r, OpSize::Dword, 0, false);
+      continue;
+    }
+
+    if (insn.op == Mnemonic::POPAD) {
+      // Consumes 8 words and clobbers everything; transparent filler.
+      out.total_pops = static_cast<std::uint8_t>(out.total_pops + 8);
+      out.clobbers |= 0xff & ~kEspBit;
+      for (int r = 0; r < 8; ++r) {
+        if (r != 4) sim.set_reg(static_cast<Reg>(r), OpSize::Dword, 0, false);
+      }
+      if (output_bit) demote();
+      continue;
+    }
+    if (insn.op == Mnemonic::POPFD) {
+      out.total_pops = static_cast<std::uint8_t>(out.total_pops + 1);
+      continue;
+    }
+
+    // --- memory accesses --------------------------------------------------
+    if (fx.writes_mem) {
+      if (d.kind != Operand::Kind::Mem) return;  // unexpected shape
+      if (!parkable_mem(d.mem)) return;
+      const bool is_primary_store =
+          type == GType::Transparent && insn.opsize == OpSize::Dword && is_reg32(s) &&
+          (insn.op == Mnemonic::MOV || insn.op == Mnemonic::ADD);
+      if (is_primary_store) {
+        type = (insn.op == Mnemonic::MOV) ? GType::StoreMem : GType::AddStoreMem;
+        r1 = d.mem.base;
+        r2 = s.reg;
+        out.disp = d.mem.disp;
+        primary_index = static_cast<int>(body_idx);
+        output_bit = 0;  // output is memory; register writes after are fine
+      } else {
+        // Any other write to a parkable address is harmless once the chain
+        // parks the base register on the sacrificial scratch area — the
+        // paper's Listing 1 gadgets (`add [eax], al`, `sar byte [ecx+7]`)
+        // are exactly this shape.
+        out.scratch_addr_regs |= bit(d.mem.base);
+      }
+      continue;
+    }
+    if (fx.reads_mem) {
+      const Operand& mo = (d.kind == Operand::Kind::Mem) ? d : s;
+      if (mo.kind != Operand::Kind::Mem || !parkable_mem(mo.mem)) return;
+      const bool is_primary_load = type == GType::Transparent &&
+                                   insn.op == Mnemonic::MOV && is_reg32(d) &&
+                                   mo.kind == Operand::Kind::Mem &&
+                                   insn.opsize == OpSize::Dword && &mo == &s;
+      if (is_primary_load) {
+        type = GType::LoadMem;
+        r1 = d.reg;
+        r2 = mo.mem.base;
+        out.disp = mo.mem.disp;
+        primary_index = static_cast<int>(body_idx);
+        output_bit = bit(d.reg);
+        sim.set_reg(d.reg, OpSize::Dword, 0, false);
+        continue;
+      }
+      // Incidental read: park the base register.
+      out.scratch_addr_regs |= bit(mo.mem.base);
+      // Fall through to the generic register-effect handling below.
+    }
+
+    // --- canonical register-to-register effects -----------------------------
+    const bool could_be_primary = (type == GType::Transparent) && !fx.reads_mem;
+    GType match = GType::Unusable;
+    if (could_be_primary && insn.nops == 2 && is_reg32(d) && is_reg32(s)) {
+      switch (insn.op) {
+        case Mnemonic::MOV: match = GType::MovRegReg; break;
+        case Mnemonic::ADD: match = GType::AddRegReg; break;
+        case Mnemonic::SUB: match = GType::SubRegReg; break;
+        case Mnemonic::XOR: match = GType::XorRegReg; break;
+        case Mnemonic::AND: match = GType::AndRegReg; break;
+        case Mnemonic::OR: match = GType::OrRegReg; break;
+        case Mnemonic::CMP: match = GType::CmpRegReg; break;
+        case Mnemonic::TEST: match = GType::TestRegReg; break;
+        default: break;
+      }
+      // xor r,r / sub r,r zero the register — useful but generic clobber.
+      if ((match == GType::XorRegReg || match == GType::SubRegReg) && d.reg == s.reg) {
+        match = GType::Unusable;
+      }
+    }
+    if (could_be_primary && insn.nops == 1 && is_reg32(d)) {
+      if (insn.op == Mnemonic::NEG) match = GType::NegReg;
+      if (insn.op == Mnemonic::NOT) match = GType::NotReg;
+    }
+    if (could_be_primary && insn.nops == 2 && is_reg32(d) &&
+        s.kind == Operand::Kind::Reg && s.size == OpSize::Byte && s.reg == Reg::ECX &&
+        d.reg != Reg::ECX) {
+      if (insn.op == Mnemonic::SHL) match = GType::ShlClReg;
+      if (insn.op == Mnemonic::SHR) match = GType::ShrClReg;
+      if (insn.op == Mnemonic::SAR) match = GType::SarClReg;
+    }
+    if (could_be_primary && insn.op == Mnemonic::SETCC && is_low8(d)) {
+      match = GType::SetccReg;
+    }
+    if (could_be_primary && insn.op == Mnemonic::MOVZX && is_reg32(d) && is_low8(s) &&
+        parent_of(s) == d.reg) {
+      match = GType::MovzxReg;
+    }
+
+    if (match != GType::Unusable) {
+      type = match;
+      primary_index = static_cast<int>(body_idx);
+      r1 = (d.kind == Operand::Kind::Reg) ? parent_of(d) : Reg::NONE;
+      r2 = (insn.nops >= 2 && s.kind == Operand::Kind::Reg) ? parent_of(s) : Reg::NONE;
+      if (match == GType::SetccReg) {
+        out.cond = insn.cond;
+        r2 = Reg::NONE;
+      }
+      if (match == GType::CmpRegReg || match == GType::TestRegReg) {
+        output_bit = 0;  // output is flags
+      } else {
+        output_bit = bit(r1);
+      }
+      sim.set_reg(d.reg, d.size, 0, false);
+      continue;
+    }
+
+    // --- generic side effect: track clobbers and constants -----------------
+    std::uint16_t writes = fx.writes & ~kEspBit;
+    if (writes & output_bit) demote();  // primary result destroyed
+    out.clobbers |= writes;
+
+    // Constant propagation for the handful of patterns we care about.
+    if (insn.op == Mnemonic::MOV && d.kind == Operand::Kind::Reg &&
+        s.kind == Operand::Kind::Imm) {
+      sim.set_reg(d.reg, d.size, static_cast<std::uint32_t>(s.imm), true);
+    } else if (insn.op == Mnemonic::AND && d.kind == Operand::Kind::Reg &&
+               s.kind == Operand::Kind::Imm && s.imm == 0) {
+      sim.set_reg(d.reg, d.size, 0, true);
+    } else if ((insn.op == Mnemonic::XOR || insn.op == Mnemonic::SUB) &&
+               d.kind == Operand::Kind::Reg && s.kind == Operand::Kind::Reg &&
+               d.reg == s.reg && d.size == s.size) {
+      sim.set_reg(d.reg, d.size, 0, true);
+    } else if (d.kind == Operand::Kind::Reg) {
+      sim.set_reg(d.reg, d.size, 0, false);
+    } else if (writes) {
+      // Conservatively forget every written register.
+      for (int r = 0; r < 8; ++r) {
+        if (writes & (1u << r)) sim.set_reg(static_cast<Reg>(r), OpSize::Dword, 0, false);
+      }
+    }
+  }
+
+  // A computational gadget whose incidental memory access goes through one
+  // of its own operand registers cannot be parked (the operand holds an
+  // arbitrary value / live address at that moment) — unusable. Transparent
+  // gadgets park everything (all registers are dead at weave points), and
+  // PopReg handles the conflict via selection (value_not_address).
+  if (type != GType::Transparent && type != GType::PopReg &&
+      type != GType::Unusable) {
+    std::uint16_t operand_bits = 0;
+    if (r1 != Reg::NONE) operand_bits |= bit(r1);
+    if (r2 != Reg::NONE) operand_bits |= bit(r2);
+    const bool pivot = type == GType::AddEspReg || type == GType::PopEsp;
+    if ((out.scratch_addr_regs & operand_bits) ||
+        (pivot && out.scratch_addr_regs != 0)) {
+      out.type = GType::Unusable;
+      return;
+    }
+  }
+
+  // Flag-window safety relative to the primary effect.
+  if (primary_index >= 0) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (static_cast<int>(i) == primary_index) continue;
+      if (x86::reg_effects(body[i]).writes_flags) {
+        if (static_cast<int>(i) < primary_index) {
+          out.flags_clean_before_effect = false;
+        } else {
+          out.flags_clean_after_effect = false;
+        }
+      }
+    }
+  }
+
+  // Primary outputs must not be reported as clobbers.
+  if (r1 != Reg::NONE) out.clobbers &= static_cast<std::uint16_t>(~bit(r1));
+  out.type = type;
+  out.r1 = r1;
+  out.r2 = r2;
+}
+
+}  // namespace plx::gadget

@@ -1,0 +1,21 @@
+// Gadget semantic classification.
+//
+// Given a decoded straight-line instruction sequence ending in ret/retf,
+// decide what the ROP compiler can do with it. The analysis is a small
+// forward simulation with byte-granular constant tracking, which is exactly
+// enough to recognise the paper's "harmless side effect" cases — e.g. the
+// Listing 1 gadget `and al,0; add [eax],al; add al,ch; retf`, whose memory
+// write is provably a no-op because al is known to be zero.
+#pragma once
+
+#include <span>
+
+#include "gadget/gadget.h"
+
+namespace plx::gadget {
+
+// `insns` must end with RET or RETF; fills every semantic field of `out`
+// except addr/len/overlapping (caller bookkeeping).
+void classify(std::span<const x86::Insn> insns, Gadget& out);
+
+}  // namespace plx::gadget

@@ -1,0 +1,85 @@
+// Gadget model shared by the scanner, classifier, catalog and ROP compiler.
+//
+// A gadget is a return-terminated instruction sequence found at *any* byte
+// offset of an executable section (aligned or not — unaligned decodes are
+// exactly what makes gadget-overlap protection work). The classifier assigns
+// each gadget a type the ROP compiler understands, plus the bookkeeping a
+// chain builder needs: which registers it clobbers, how many chain words it
+// consumes, whether it ends in a far return (extra dummy word), and whether
+// it performs an "incidental" memory access whose address register must be
+// parked on scratch memory first (the paper's Listing 1 far-ret gadget does
+// exactly this: `add [eax], al` with al == 0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "x86/insn.h"
+
+namespace plx::gadget {
+
+// Canonical gadget types, parameterised by r1/r2 (and cond for SETcc).
+enum class GType : std::uint8_t {
+  Unusable,    // decodes, but would derail or corrupt a chain
+  Transparent, // safe to execute mid-chain; computes nothing we rely on
+  PopReg,      // pop r1; ret
+  MovRegReg,   // mov r1, r2; ret           (r1 := r2)
+  AddRegReg,   // add r1, r2; ret
+  SubRegReg,
+  XorRegReg,
+  AndRegReg,
+  OrRegReg,
+  NegReg,      // neg r1; ret
+  NotReg,
+  LoadMem,     // mov r1, [r2]; ret
+  StoreMem,    // mov [r1], r2; ret
+  AddStoreMem, // add [r1], r2; ret          (store when [r1] pre-zeroed)
+  ShlClReg,    // shl r1, cl; ret
+  ShrClReg,
+  SarClReg,
+  CmpRegReg,   // cmp r1, r2; ret            (flag producer)
+  TestRegReg,  // test r1, r2; ret
+  SetccReg,    // setcc r1(low byte); ret
+  MovzxReg,    // movzx r1, r1_low; ret
+  AddEspReg,   // add esp, r1; ret           (in-chain branch pivot)
+  PopEsp,      // pop esp; ret               (chain epilogue / stack pivot)
+};
+
+const char* gtype_name(GType t);
+
+struct Gadget {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;  // total bytes including the terminating ret
+  std::vector<x86::Insn> insns;  // includes the ret
+
+  GType type = GType::Unusable;
+  x86::Reg r1 = x86::Reg::NONE;
+  x86::Reg r2 = x86::Reg::NONE;
+  x86::Cond cond = x86::Cond::O;
+
+  bool far_ret = false;        // retf: chain must follow with a dummy word
+  std::uint16_t ret_imm = 0;   // ret imm16: chain skips this many bytes
+  std::uint16_t clobbers = 0;  // GPR mask written besides the primary output
+  std::int32_t disp = 0;       // Load/Store/AddStore: [r +- disp] offset
+  std::uint8_t total_pops = 0;      // chain words consumed by pops
+  std::uint8_t value_pop_index = 0; // PopReg: which pop carries the value
+  // Registers used as addresses by incidental (harmless) memory accesses;
+  // the chain must point them at scratch memory before running this gadget.
+  std::uint16_t scratch_addr_regs = 0;
+  // Flag-window safety for cmp/test -> setcc pairs: no instruction after the
+  // primary effect writes EFLAGS / no instruction before it does.
+  bool flags_clean_after_effect = true;
+  bool flags_clean_before_effect = true;
+
+  // Set by callers that know the gadget overlaps instructions scheduled for
+  // protection (preferred by the chain compiler, per §III).
+  bool overlapping = false;
+
+  std::uint32_t end() const { return addr + len; }
+  bool usable() const { return type != GType::Unusable; }
+
+  std::string describe() const;
+};
+
+}  // namespace plx::gadget

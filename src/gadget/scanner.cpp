@@ -1,0 +1,53 @@
+#include "gadget/scanner.h"
+
+#include "gadget/classify.h"
+#include "x86/decoder.h"
+
+namespace plx::gadget {
+
+std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
+                               std::uint32_t base, const ScanOptions& opts) {
+  std::vector<Gadget> out;
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    // Decode forward from this offset until a ret, a rejection, or the caps.
+    std::vector<x86::Insn> insns;
+    std::size_t cur = off;
+    bool terminated = false;
+    for (int k = 0; k < opts.max_insns; ++k) {
+      if (cur >= bytes.size() || static_cast<int>(cur - off) > opts.max_bytes) break;
+      const auto insn = x86::decode(bytes.subspan(cur));
+      if (!insn) break;
+      if (static_cast<int>(cur - off + insn->len) > opts.max_bytes) break;
+      insns.push_back(*insn);
+      cur += insn->len;
+      if (insn->is_ret()) {
+        terminated = true;
+        break;
+      }
+      // Control flow other than the terminating ret aborts the sequence.
+      if (insn->is_branch()) break;
+    }
+    if (!terminated) continue;
+
+    Gadget g;
+    g.addr = base + static_cast<std::uint32_t>(off);
+    g.len = static_cast<std::uint8_t>(cur - off);
+    g.insns = std::move(insns);
+    classify(g.insns, g);
+    if (g.usable() || opts.include_unusable) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Gadget> scan(const img::Image& image, const ScanOptions& opts) {
+  std::vector<Gadget> out;
+  for (const auto& sec : image.sections) {
+    if (!(sec.perms & img::kPermExec)) continue;
+    auto found = scan_bytes(sec.bytes.span(), sec.vaddr, opts);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+}  // namespace plx::gadget

@@ -1,0 +1,26 @@
+// Gadget scanner: finds every return-terminated instruction sequence at
+// every byte offset of the executable sections of an image.
+#pragma once
+
+#include <vector>
+
+#include "gadget/gadget.h"
+#include "image/image.h"
+
+namespace plx::gadget {
+
+struct ScanOptions {
+  // The paper limits gadgets to six instructions (§VII-A): longer ones are
+  // hard to use in practical chains.
+  int max_insns = 6;
+  int max_bytes = 30;
+  bool include_unusable = false;  // keep Unusable gadgets in the output
+};
+
+std::vector<Gadget> scan(const img::Image& image, const ScanOptions& opts = {});
+
+// Scans one byte region (used by tests and the rewriter's re-verification).
+std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
+                               std::uint32_t base, const ScanOptions& opts = {});
+
+}  // namespace plx::gadget

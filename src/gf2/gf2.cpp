@@ -1,0 +1,100 @@
+#include "gf2/gf2.h"
+
+namespace plx::gf2 {
+
+Mat Mat::identity() {
+  Mat m;
+  for (int j = 0; j < 32; ++j) m.set_col(j, 1u << j);
+  return m;
+}
+
+Mat Mat::random_invertible(Rng& rng) {
+  for (;;) {
+    Mat m;
+    for (int j = 0; j < 32; ++j) m.set_col(j, rng.next_u32());
+    if (m.rank() == 32) return m;
+  }
+}
+
+Vec Mat::mul(Vec x) const {
+  Vec y = 0;
+  for (int j = 0; j < 32; ++j) {
+    if (x & (1u << j)) y ^= cols_[static_cast<std::size_t>(j)];
+  }
+  return y;
+}
+
+int Mat::rank() const {
+  std::array<Vec, 32> cols = cols_;
+  int rank = 0;
+  for (int bit = 0; bit < 32 && rank < 32; ++bit) {
+    // Find a column with this pivot bit set, at or after `rank`.
+    int pivot = -1;
+    for (int j = rank; j < 32; ++j) {
+      if (cols[static_cast<std::size_t>(j)] & (1u << bit)) {
+        pivot = j;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(cols[static_cast<std::size_t>(rank)], cols[static_cast<std::size_t>(pivot)]);
+    for (int j = 0; j < 32; ++j) {
+      if (j != rank && (cols[static_cast<std::size_t>(j)] & (1u << bit))) {
+        cols[static_cast<std::size_t>(j)] ^= cols[static_cast<std::size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<Mat> Mat::inverse() const {
+  // Gauss-Jordan on [M | I] operating on columns (column ops on M mirror on
+  // I; since we store column-major, work with rows of the transpose — or
+  // equivalently solve M X = I one pivot at a time on a row-echelon copy).
+  std::array<Vec, 32> a = cols_;          // working copy (columns of M)
+  std::array<Vec, 32> inv{};              // columns of the inverse-in-progress
+  Mat id = identity();
+  for (int j = 0; j < 32; ++j) inv[static_cast<std::size_t>(j)] = id.col(j);
+
+  // We do column reduction: after processing, a == I and inv == M^-1
+  // (column ops applied to I give M^-1 because M * (ops on I) = ops on M).
+  for (int bit = 0; bit < 32; ++bit) {
+    int pivot = -1;
+    for (int j = bit; j < 32; ++j) {
+      if (a[static_cast<std::size_t>(j)] & (1u << bit)) {
+        pivot = j;
+        break;
+      }
+    }
+    if (pivot < 0) return std::nullopt;
+    std::swap(a[static_cast<std::size_t>(bit)], a[static_cast<std::size_t>(pivot)]);
+    std::swap(inv[static_cast<std::size_t>(bit)], inv[static_cast<std::size_t>(pivot)]);
+    for (int j = 0; j < 32; ++j) {
+      if (j != bit && (a[static_cast<std::size_t>(j)] & (1u << bit))) {
+        a[static_cast<std::size_t>(j)] ^= a[static_cast<std::size_t>(bit)];
+        inv[static_cast<std::size_t>(j)] ^= inv[static_cast<std::size_t>(bit)];
+      }
+    }
+  }
+  Mat out;
+  for (int j = 0; j < 32; ++j) out.set_col(j, inv[static_cast<std::size_t>(j)]);
+  return out;
+}
+
+std::vector<std::uint8_t> decompose(const Mat& basis_inv, Vec v) {
+  const Vec coeffs = basis_inv.mul(v);
+  std::vector<std::uint8_t> out;
+  for (int j = 0; j < 32; ++j) {
+    if (coeffs & (1u << j)) out.push_back(static_cast<std::uint8_t>(j));
+  }
+  return out;
+}
+
+Vec combine(const Mat& basis, std::span<const std::uint8_t> indices) {
+  Vec v = 0;
+  for (const std::uint8_t j : indices) v ^= basis.col(j);
+  return v;
+}
+
+}  // namespace plx::gf2

@@ -1,0 +1,52 @@
+// GF(2) linear algebra over 32-bit vectors.
+//
+// Probabilistically generated function chains (§V-B of the paper) treat each
+// chain word as a vector in {0,1}^32 and regenerate it at runtime as an XOR
+// of basis vectors selected through index arrays. This module provides the
+// basis machinery: random invertible 32x32 matrices, inversion by
+// Gauss-Jordan elimination, and decomposition of a word into basis indices.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace plx::gf2 {
+
+using Vec = std::uint32_t;  // a vector in {0,1}^32, bit i = coordinate i
+
+// A 32x32 matrix over GF(2), stored column-major: col(j) is basis vector b_j.
+class Mat {
+ public:
+  Mat() = default;
+
+  static Mat identity();
+  // Random invertible matrix (rejection sampling on full rank).
+  static Mat random_invertible(Rng& rng);
+
+  Vec col(int j) const { return cols_[static_cast<std::size_t>(j)]; }
+  void set_col(int j, Vec v) { cols_[static_cast<std::size_t>(j)] = v; }
+
+  // y = M x  (x's bit j selects column j).
+  Vec mul(Vec x) const;
+
+  int rank() const;
+  std::optional<Mat> inverse() const;
+
+  bool operator==(const Mat&) const = default;
+
+ private:
+  std::array<Vec, 32> cols_{};
+};
+
+// Indices (ascending) of basis columns whose XOR equals v, i.e. the set bits
+// of basis_inv * v. combine(basis, decompose(basis, inv, v)) == v.
+std::vector<std::uint8_t> decompose(const Mat& basis_inv, Vec v);
+
+Vec combine(const Mat& basis, std::span<const std::uint8_t> indices);
+
+}  // namespace plx::gf2

@@ -1,0 +1,125 @@
+#include "image/image.h"
+
+#include <algorithm>
+
+namespace plx::img {
+
+Fragment* Module::find_fragment(const std::string& name) {
+  for (auto& f : fragments) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const Fragment* Module::find_fragment(const std::string& name) const {
+  for (const auto& f : fragments) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const Section* Image::find_section(const std::string& name) const {
+  for (const auto& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Section* Image::find_section(const std::string& name) {
+  for (auto& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Section* Image::section_at(std::uint32_t addr) const {
+  for (const auto& s : sections) {
+    if (s.contains(addr)) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Image::find_symbol(const std::string& name) const {
+  for (const auto& s : symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Image::func_at(std::uint32_t addr) const {
+  const Symbol* best = nullptr;
+  for (const auto& s : symbols) {
+    if (!s.is_func) continue;
+    if (addr >= s.vaddr && addr - s.vaddr < std::max<std::uint32_t>(s.size, 1)) {
+      if (!best || s.vaddr > best->vaddr) best = &s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> Image::read(std::uint32_t addr, std::uint32_t n) const {
+  const Section* s = section_at(addr);
+  if (!s) return {};
+  const std::uint32_t off = addr - s->vaddr;
+  if (off + n > s->bytes.size()) return {};
+  return {s->bytes.vec().begin() + off, s->bytes.vec().begin() + off + n};
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x31584c50;  // "PLX1"
+}
+
+Buffer Image::serialize() const {
+  Buffer out;
+  out.put_u32(kMagic);
+  out.put_u32(entry);
+  out.put_u32(static_cast<std::uint32_t>(sections.size()));
+  for (const auto& s : sections) {
+    out.put_str(s.name);
+    out.put_u32(s.vaddr);
+    out.put_u32(s.perms);
+    out.put_u32(static_cast<std::uint32_t>(s.bytes.size()));
+    out.put_bytes(s.bytes.span());
+  }
+  out.put_u32(static_cast<std::uint32_t>(symbols.size()));
+  for (const auto& s : symbols) {
+    out.put_str(s.name);
+    out.put_u32(s.vaddr);
+    out.put_u32(s.size);
+    out.put_u8(s.is_func ? 1 : 0);
+  }
+  return out;
+}
+
+Result<Image> Image::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get_u32() != kMagic) return fail("bad PLX magic");
+  Image img;
+  img.entry = r.get_u32();
+  const std::uint32_t nsec = r.get_u32();
+  if (!r.ok() || nsec > 1024) return fail("corrupt section count");
+  for (std::uint32_t i = 0; i < nsec; ++i) {
+    Section s;
+    s.name = r.get_str();
+    s.vaddr = r.get_u32();
+    s.perms = r.get_u32();
+    const std::uint32_t n = r.get_u32();
+    if (!r.ok() || n > r.remaining()) return fail("corrupt section body");
+    s.bytes = Buffer(r.get_bytes(n));
+    img.sections.push_back(std::move(s));
+  }
+  const std::uint32_t nsym = r.get_u32();
+  if (!r.ok() || nsym > (1u << 20)) return fail("corrupt symbol count");
+  for (std::uint32_t i = 0; i < nsym; ++i) {
+    Symbol s;
+    s.name = r.get_str();
+    s.vaddr = r.get_u32();
+    s.size = r.get_u32();
+    s.is_func = r.get_u8() != 0;
+    img.symbols.push_back(std::move(s));
+  }
+  if (!r.ok()) return fail("truncated image");
+  return img;
+}
+
+}  // namespace plx::img

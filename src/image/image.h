@@ -1,0 +1,161 @@
+// PLX binary image and symbolic module representation.
+//
+// Parallax works at two levels:
+//
+//  * img::Module — a *symbolic* program: fragments (functions / data
+//    objects) made of instructions and data items that may carry fixups
+//    (symbol references). The assembler and the mini-C compiler produce
+//    Modules; the rewriter edits Modules (splitting instructions, inserting
+//    spurious instructions, changing fragment alignment) exactly the way the
+//    paper's prototype leans on source/debug information to simplify binary
+//    rewriting (§I, §III).
+//
+//  * img::Image — the laid-out binary: sections with virtual addresses and
+//    final bytes, a symbol table, and an entry point. The VM executes
+//    Images; the gadget scanner scans them. layout() turns a Module into an
+//    Image deterministically, so the rewriter can re-lay-out after each edit
+//    and inspect the actual encoded bytes (displacement values, immediate
+//    bytes) that the gadget rules depend on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/buffer.h"
+#include "support/error.h"
+#include "x86/insn.h"
+
+namespace plx::img {
+
+// ---------------------------------------------------------------------------
+// Symbolic module
+// ---------------------------------------------------------------------------
+
+enum class SectionKind : std::uint8_t { Text, Data, Rodata, Bss };
+
+// How an item's bytes reference a symbol. All fixed-up fields are 4 bytes
+// and (by construction of our emitters) the *last* 4 bytes of the encoding,
+// except AbsData which patches a 4-byte data item.
+enum class Fixup : std::uint8_t {
+  None,
+  RelBranch,  // call/jmp/jcc rel32: field = sym + addend - (addr + len)
+  AbsImm,     // imm32 field = sym + addend (e.g. mov reg, offset sym)
+  AbsDisp,    // disp32 field = sym + addend (e.g. mov eax, [sym]) — the
+              // instruction must have no immediate operand after the disp
+  AbsData,    // 4-byte data item = sym + addend
+};
+
+struct Item {
+  enum class Kind : std::uint8_t { Insn, Data, Align };
+
+  Kind kind = Kind::Data;
+  x86::Insn insn;           // Kind::Insn
+  Buffer data;              // Kind::Data
+  std::uint32_t align = 1;  // Kind::Align: pad with NOPs (text) / zeros (data)
+
+  Fixup fixup = Fixup::None;
+  std::string sym;          // fixup target
+  std::int32_t addend = 0;
+
+  std::vector<std::string> labels;  // labels bound to this item's address
+
+  static Item make_insn(x86::Insn i) {
+    Item it;
+    it.kind = Kind::Insn;
+    it.insn = i;
+    return it;
+  }
+  static Item make_data(Buffer b) {
+    Item it;
+    it.kind = Kind::Data;
+    it.data = std::move(b);
+    return it;
+  }
+  static Item make_align(std::uint32_t a) {
+    Item it;
+    it.kind = Kind::Align;
+    it.align = a;
+    return it;
+  }
+};
+
+// A function or data object. Fragment order within a section is preserved by
+// layout; `align` is the fragment's start alignment, and `pad_before` lets
+// the rewriter insert extra padding to steer the addresses of everything
+// that follows (the §IV-B3 "rearranged code and data" rule).
+struct Fragment {
+  std::string name;
+  SectionKind section = SectionKind::Text;
+  std::vector<Item> items;
+  std::uint32_t align = 1;
+  std::uint32_t pad_before = 0;
+  bool is_func = false;
+};
+
+struct Module {
+  std::vector<Fragment> fragments;
+  std::string entry = "_start";
+
+  Fragment* find_fragment(const std::string& name);
+  const Fragment* find_fragment(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Laid-out image
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kPermRead = 1;
+constexpr std::uint32_t kPermWrite = 2;
+constexpr std::uint32_t kPermExec = 4;
+
+// Default virtual layout (mirrors a classic Linux/x86 static binary).
+constexpr std::uint32_t kTextBase = 0x08048000;
+constexpr std::uint32_t kRodataBase = 0x080c0000;
+constexpr std::uint32_t kDataBase = 0x080e0000;
+constexpr std::uint32_t kBssBase = 0x08100000;
+constexpr std::uint32_t kStackTop = 0xbffff000;
+constexpr std::uint32_t kStackSize = 0x40000;
+
+struct Section {
+  std::string name;
+  std::uint32_t vaddr = 0;
+  std::uint32_t perms = kPermRead;
+  Buffer bytes;
+
+  bool contains(std::uint32_t addr) const {
+    return addr >= vaddr && addr - vaddr < bytes.size();
+  }
+};
+
+struct Symbol {
+  std::string name;
+  std::uint32_t vaddr = 0;
+  std::uint32_t size = 0;
+  bool is_func = false;
+};
+
+class Image {
+ public:
+  std::vector<Section> sections;
+  std::vector<Symbol> symbols;
+  std::uint32_t entry = 0;
+
+  const Section* find_section(const std::string& name) const;
+  Section* find_section(const std::string& name);
+  const Section* section_at(std::uint32_t addr) const;
+
+  const Symbol* find_symbol(const std::string& name) const;
+  // Function symbol whose [vaddr, vaddr+size) contains addr, if any.
+  const Symbol* func_at(std::uint32_t addr) const;
+
+  // Read bytes across a section (returns empty on out-of-range).
+  std::vector<std::uint8_t> read(std::uint32_t addr, std::uint32_t n) const;
+
+  // Serialisation ("PLX1" container).
+  Buffer serialize() const;
+  static Result<Image> deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace plx::img

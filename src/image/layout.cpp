@@ -1,0 +1,216 @@
+#include "image/layout.h"
+
+#include <map>
+
+#include "x86/encoder.h"
+
+namespace plx::img {
+
+namespace {
+
+struct SectionPlan {
+  SectionKind kind;
+  const char* name;
+  std::uint32_t base;
+  std::uint32_t perms;
+};
+
+constexpr SectionPlan kPlans[] = {
+    {SectionKind::Text, ".text", kTextBase, kPermRead | kPermExec},
+    {SectionKind::Rodata, ".rodata", kRodataBase, kPermRead},
+    {SectionKind::Data, ".data", kDataBase, kPermRead | kPermWrite},
+    {SectionKind::Bss, ".bss", kBssBase, kPermRead | kPermWrite},
+};
+
+std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+  return (a <= 1) ? v : (v + a - 1) & ~(a - 1);
+}
+
+std::string mangle_label(const Fragment& frag, const std::string& label) {
+  return label.starts_with('.') ? frag.name + label : label;
+}
+
+// Encode an item's instruction, forcing wide forms for fixups. Returns the
+// encoded bytes.
+Result<Buffer> encode_item(const Item& item) {
+  x86::Insn insn = item.insn;
+  if (item.fixup != Fixup::None) insn.wide_imm = true;
+  Buffer bytes;
+  auto r = x86::encode(insn, bytes);
+  if (!r) return fail(r.error());
+  if (item.fixup == Fixup::RelBranch || item.fixup == Fixup::AbsImm ||
+      item.fixup == Fixup::AbsDisp) {
+    if (bytes.size() < 4) return fail("fixup instruction too short for a 32-bit field");
+  }
+  if (item.fixup == Fixup::AbsDisp) {
+    // The disp32 must be the last field; an immediate operand would follow it.
+    for (const auto& op : insn.ops) {
+      if (op.kind == x86::Operand::Kind::Imm) {
+        return fail("AbsDisp fixup with a trailing immediate operand is unsupported; "
+                    "load the address into a register first");
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<LayoutResult> layout(const Module& module) {
+  LayoutResult result;
+  result.items.resize(module.fragments.size());
+
+  // --- pass 1: encode everything and assign addresses -----------------------
+  // Per-section running cursors.
+  std::map<SectionKind, std::uint32_t> cursor;
+  for (const auto& plan : kPlans) cursor[plan.kind] = plan.base;
+
+  // Encoded bytes per item (empty for Align until addresses known).
+  std::vector<std::vector<Buffer>> encoded(module.fragments.size());
+  std::vector<std::uint32_t> frag_addr(module.fragments.size());
+
+  std::map<std::string, std::uint32_t> symtab;
+  auto define = [&](const std::string& name, std::uint32_t addr) -> Result<int> {
+    auto [it, inserted] = symtab.emplace(name, addr);
+    (void)it;
+    if (!inserted) return fail("duplicate symbol: " + name);
+    return 0;
+  };
+
+  for (std::size_t f = 0; f < module.fragments.size(); ++f) {
+    const Fragment& frag = module.fragments[f];
+    std::uint32_t& cur = cursor[frag.section];
+    cur += frag.pad_before;
+    cur = align_up(cur, frag.align);
+    frag_addr[f] = cur;
+    if (!frag.name.empty()) {
+      if (auto r = define(frag.name, cur); !r) return fail(r.error());
+    }
+
+    encoded[f].resize(frag.items.size());
+    result.items[f].resize(frag.items.size());
+    for (std::size_t i = 0; i < frag.items.size(); ++i) {
+      const Item& item = frag.items[i];
+      for (const auto& label : item.labels) {
+        if (auto r = define(mangle_label(frag, label), cur); !r) return fail(r.error());
+      }
+      std::uint32_t size = 0;
+      switch (item.kind) {
+        case Item::Kind::Insn: {
+          auto enc = encode_item(item);
+          if (!enc) {
+            return fail("in fragment '" + frag.name + "': " + enc.error());
+          }
+          encoded[f][i] = std::move(enc).take();
+          size = static_cast<std::uint32_t>(encoded[f][i].size());
+          break;
+        }
+        case Item::Kind::Data:
+          encoded[f][i] = item.data;
+          size = static_cast<std::uint32_t>(item.data.size());
+          break;
+        case Item::Kind::Align: {
+          const std::uint32_t target = align_up(cur, item.align);
+          size = target - cur;
+          Buffer pad;
+          const std::uint8_t fill = (frag.section == SectionKind::Text) ? 0x90 : 0x00;
+          for (std::uint32_t k = 0; k < size; ++k) pad.put_u8(fill);
+          encoded[f][i] = std::move(pad);
+          break;
+        }
+      }
+      result.items[f][i] = {cur, size};
+      cur += size;
+    }
+  }
+
+  // --- pass 2: resolve fixups and materialise sections ----------------------
+  for (std::size_t f = 0; f < module.fragments.size(); ++f) {
+    const Fragment& frag = module.fragments[f];
+    for (std::size_t i = 0; i < frag.items.size(); ++i) {
+      const Item& item = frag.items[i];
+      if (item.fixup == Fixup::None) continue;
+      const std::string target_name = mangle_label(frag, item.sym);
+      auto it = symtab.find(target_name);
+      if (it == symtab.end()) {
+        return fail("undefined symbol '" + item.sym + "' referenced from fragment '" +
+                    frag.name + "'");
+      }
+      const std::uint32_t s = it->second + static_cast<std::uint32_t>(item.addend);
+      const LaidOutItem& loc = result.items[f][i];
+      Buffer& bytes = encoded[f][i];
+      std::uint32_t value = 0;
+      switch (item.fixup) {
+        case Fixup::RelBranch:
+          value = s - (loc.addr + loc.size);
+          break;
+        case Fixup::AbsImm:
+        case Fixup::AbsDisp:
+        case Fixup::AbsData:
+          value = s;
+          break;
+        case Fixup::None:
+          break;
+      }
+      if (item.fixup == Fixup::AbsData) {
+        if (bytes.size() < 4) return fail("AbsData item smaller than 4 bytes");
+        bytes.set_u32(0, value);
+      } else {
+        bytes.set_u32(bytes.size() - 4, value);
+      }
+    }
+  }
+
+  // Build sections in plan order, concatenating fragment bytes with padding.
+  for (const auto& plan : kPlans) {
+    Section sec;
+    sec.name = plan.name;
+    sec.vaddr = plan.base;
+    sec.perms = plan.perms;
+    std::uint32_t end = plan.base;
+    bool any = false;
+    for (std::size_t f = 0; f < module.fragments.size(); ++f) {
+      const Fragment& frag = module.fragments[f];
+      if (frag.section != plan.kind) continue;
+      any = true;
+      // Pad up to the fragment start.
+      const std::uint8_t fill = (plan.kind == SectionKind::Text) ? 0x90 : 0x00;
+      while (end < frag_addr[f]) {
+        sec.bytes.put_u8(fill);
+        ++end;
+      }
+      for (std::size_t i = 0; i < frag.items.size(); ++i) {
+        sec.bytes.put_bytes(encoded[f][i].span());
+        end += static_cast<std::uint32_t>(encoded[f][i].size());
+      }
+    }
+    if (any) result.image.sections.push_back(std::move(sec));
+  }
+
+  // Symbols: fragments (with sizes) plus global labels.
+  for (std::size_t f = 0; f < module.fragments.size(); ++f) {
+    const Fragment& frag = module.fragments[f];
+    if (frag.name.empty()) continue;
+    std::uint32_t size = 0;
+    for (const auto& li : result.items[f]) size += li.size;
+    result.image.symbols.push_back(
+        Symbol{frag.name, frag_addr[f], size, frag.is_func});
+  }
+  for (std::size_t f = 0; f < module.fragments.size(); ++f) {
+    const Fragment& frag = module.fragments[f];
+    for (std::size_t i = 0; i < frag.items.size(); ++i) {
+      for (const auto& label : frag.items[i].labels) {
+        if (label.starts_with('.')) continue;
+        result.image.symbols.push_back(
+            Symbol{label, result.items[f][i].addr, 0, false});
+      }
+    }
+  }
+
+  auto entry_it = symtab.find(module.entry);
+  if (entry_it == symtab.end()) return fail("entry symbol not found: " + module.entry);
+  result.image.entry = entry_it->second;
+  return result;
+}
+
+}  // namespace plx::img

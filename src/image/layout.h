@@ -1,0 +1,32 @@
+// Module -> Image layout (a miniature linker).
+//
+// Deterministically assigns virtual addresses to fragments, encodes
+// instructions, resolves fixups and produces the final Image plus a map from
+// every module item to its laid-out address/size. The rewriter relies on
+// determinism: after editing the module it re-runs layout and inspects the
+// resulting bytes to confirm a crafted gadget actually appears.
+#pragma once
+
+#include "image/image.h"
+#include "support/error.h"
+
+namespace plx::img {
+
+struct LaidOutItem {
+  std::uint32_t addr = 0;
+  std::uint32_t size = 0;
+};
+
+struct LayoutResult {
+  Image image;
+  // items[f][i] corresponds to module.fragments[f].items[i].
+  std::vector<std::vector<LaidOutItem>> items;
+};
+
+// Lays out `module`. Fixup-carrying instructions are forced to wide (imm32 /
+// rel32) encodings so sizes are stable across the size and patch passes.
+// Labels beginning with '.' are fragment-local; all other labels and all
+// fragment names are global symbols.
+Result<LayoutResult> layout(const Module& module);
+
+}  // namespace plx::img

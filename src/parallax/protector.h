@@ -1,0 +1,90 @@
+// parallax::Protector — the public entry point (Figure 2 of the paper).
+//
+// Pipeline:
+//   1. Select verification code (caller-specified or the §VII-B heuristic).
+//   2. Replace each selected function's native body with a loader stub and
+//      reserve chain/frame/runtime storage.
+//   3. Lay out, scan for gadgets, build the gadget mapping; gadgets that
+//      overlap instructions marked for protection are flagged (preferred by
+//      the chain compiler and woven in as verification NOPs).
+//   4. Compile each selected function's IR into a function chain.
+//   5. Final layout, then materialise chain storage per the hardening mode
+//      (cleartext words / xor or RC4 ciphertext / probabilistic GF(2) index
+//      arrays).
+//
+// The result is a self-contained protected image: executing it exercises the
+// chains, which implicitly verify the gadget bytes that overlap protected
+// instructions. Tampering with those bytes makes the verification function
+// (real program code!) misbehave.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/profiler.h"
+#include "cc/compile.h"
+#include "gadget/catalog.h"
+#include "ropc/chain.h"
+#include "support/error.h"
+#include "verify/stub.h"
+
+namespace plx::parallax {
+
+using verify::Hardening;
+
+struct ProtectOptions {
+  // Functions to translate to verification chains; empty = auto-select.
+  std::vector<std::string> verify_functions;
+  int max_verify_functions = 1;
+  const analysis::Profile* profile = nullptr;  // used by auto-selection
+  double max_time_fraction = 0.02;  // §VII-B: verification code must be cold
+
+  Hardening hardening = Hardening::Cleartext;
+  int variants = 4;            // N for probabilistic chains
+  std::uint64_t seed = 0x9a11a;
+
+  // Weave transparent overlapping gadgets into chains as verification NOPs.
+  bool weave_overlapping = true;
+  int max_woven = 16;
+
+  // Run the §IV-B crafting rules (immediate modification with compensation,
+  // jump/data alignment) over the program before scanning, creating fresh
+  // overlapping gadgets for the chains to prefer and weave. Off by default:
+  // crafting perturbs code layout, which complicates byte-for-byte
+  // comparisons in callers that want them.
+  bool craft_gadgets = false;
+  int max_crafted_per_function = 4;
+
+  // Text ranges whose instructions count as "protected" (gadget preference
+  // and weaving); empty = every original program function.
+  std::vector<std::string> protect_functions;
+};
+
+struct Protected {
+  img::Image image;
+  std::vector<std::string> chain_functions;
+  std::map<std::string, ropc::Chain> chains;
+  Hardening hardening = Hardening::Cleartext;
+  int variants = 0;
+
+  // Gadget statistics (for reports and tests).
+  std::size_t gadgets_total = 0;
+  std::size_t gadgets_overlapping = 0;
+  std::size_t used_gadgets_overlapping = 0;
+
+  // All gadget start addresses referenced by chains (tamper-test targets).
+  std::vector<std::uint32_t> used_gadget_addrs;
+};
+
+class Protector {
+ public:
+  Result<Protected> protect(const cc::Compiled& program,
+                            const ProtectOptions& opts = {});
+};
+
+// Convenience: plain (unprotected) layout of a compiled program.
+Result<img::Image> layout_plain(const cc::Compiled& program);
+
+}  // namespace plx::parallax

@@ -1,0 +1,38 @@
+// Protectable-code-byte analysis — reproduces Figure 6.
+//
+// A code byte is *protectable* when an overlapping gadget can be crafted for
+// it with one of the §IV-B rules. The analyser measures, per rule, the
+// fraction of code bytes covered by at least one craftable gadget. As in the
+// paper, coverage per rule is counted independently (modifications may
+// conflict when applied together), the spurious rule is omitted from the
+// figure because it always applies, and gadgets are capped at six
+// instructions.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "image/layout.h"
+#include "rewrite/rules.h"
+
+namespace plx::rewrite {
+
+struct CoverageReport {
+  std::uint32_t code_bytes = 0;  // denominator: analysed instruction bytes
+  std::map<Rule, std::vector<bool>> covered;  // bitmap per rule over .text
+  std::vector<bool> any;                      // union (excluding Spurious)
+  std::uint32_t text_base = 0;
+
+  double fraction(Rule r) const;
+  double fraction_any() const;
+
+  // Bytes that count as program code (set during analysis).
+  std::vector<bool> any_mask_;
+};
+
+// Analyse a laid-out module. Only bytes inside text fragments whose names do
+// not start with "__plx" count (infrastructure is not program code).
+CoverageReport analyze_protectability(const img::Module& mod,
+                                      const img::LayoutResult& laid);
+
+}  // namespace plx::rewrite

@@ -1,0 +1,50 @@
+// The applying side of §IV-B: edits a module so that new overlapping gadgets
+// actually come into existence, preserving program semantics.
+//
+//  * ImmediateMod — rewrites a 32-bit immediate so one of its bytes encodes
+//    a ret, creating a gadget that overlaps the instruction; compensates
+//    with a follow-up instruction (xor for mov, add/sub splitting for
+//    add/sub), guarded by a flag-liveness check. `mov eax, imm` directly
+//    before the function epilogue is rewritten freely (return-value
+//    zero/non-zero semantics, §IV-B2).
+//  * JumpMod — adds alignment padding so a rel32 displacement byte becomes
+//    a ret opcode (the Listing 1 cleanup_and_exit trick).
+//  * Spurious — inserts a jumped-over gadget block next to the instruction
+//    (always applicable; costs one jmp, as the paper notes).
+//
+// Every application is verified by re-laying-out and checking that all
+// crafted gadget byte patterns still exist; conflicting edits are reverted
+// (the paper: "the required modifications may conflict").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/layout.h"
+#include "rewrite/rules.h"
+#include "support/error.h"
+
+namespace plx::rewrite {
+
+struct CraftOptions {
+  std::vector<std::string> functions;  // empty = all non-__plx text fragments
+  int max_per_function = 8;
+  bool use_spurious = false;  // off by default (slows protected code)
+};
+
+struct Crafted {
+  Rule rule;
+  std::string function;
+  std::vector<std::uint8_t> bytes;   // the gadget's final byte pattern
+  gadget::GType type;
+  std::uint32_t addr = 0;            // final address after the last layout
+};
+
+struct CraftResult {
+  img::Module module;
+  std::vector<Crafted> crafted;
+};
+
+Result<CraftResult> craft_gadgets(const img::Module& input, const CraftOptions& opts);
+
+}  // namespace plx::rewrite

@@ -1,0 +1,72 @@
+// The §IV-B binary rewriting rules.
+//
+// Shared helpers for the protectability analyser (Figure 6) and the applying
+// rewriter: given real encoded bytes, decide whether placing a ret/retf
+// opcode at a particular byte position creates a usable overlapping gadget,
+// and locate the 32-bit immediate / displacement fields the rules may edit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gadget/gadget.h"
+#include "image/layout.h"
+
+namespace plx::rewrite {
+
+enum class Rule : std::uint8_t {
+  ExistingNear,   // §IV-B1: gadgets already present (ret)
+  ExistingFar,    // §IV-B5: gadgets already present (retf)
+  ImmediateMod,   // §IV-B2: modified immediate operands
+  JumpMod,        // §IV-B3: rearranged code/data (displacement bytes)
+  Spurious,       // §IV-B4: inserted instructions (always applicable)
+};
+
+const char* rule_name(Rule r);
+
+// A gadget that would exist if `buf[pos]` were set to `opcode` (0xc3/0xcb).
+// Returns the most-covering usable gadget: scan backwards for the longest
+// decode run that terminates exactly after the planted ret.
+struct PlantedGadget {
+  std::size_t start = 0;  // offset in buf where the gadget begins
+  std::size_t end = 0;    // one past the planted ret byte
+  gadget::Gadget gadget;  // classified on the modified bytes
+};
+
+std::optional<PlantedGadget> try_plant_ret(std::span<const std::uint8_t> buf,
+                                           std::size_t pos, std::uint8_t opcode,
+                                           int max_insns = 6);
+
+// True for the instruction families the paper applies the immediate rule to
+// (add/adc/sub/sbb/mov with a 32-bit immediate field).
+bool immediate_rule_applies(const x86::Insn& insn);
+
+// Weaker gate: the instruction family matches and it has a register
+// destination with an immediate source, but the current encoding may be the
+// short imm8 form — the rule still applies after *widening* to the imm32
+// encoding (a semantics-preserving re-encoding the rewriter performs).
+bool immediate_rule_candidate(const x86::Insn& insn);
+
+// The full §IV-B2 rule: since instruction splitting lets the first operand
+// be *arbitrary* (a compensator restores the original value), every
+// immediate byte before the planted ret is freely choosable. Searches a
+// library of gadget-body templates for the most useful fill.
+struct PlantedImmGadget {
+  PlantedGadget planted;               // offsets relative to buf
+  std::array<std::uint8_t, 4> field;   // the resulting imm field bytes
+};
+std::optional<PlantedImmGadget> plant_in_imm_field(std::span<const std::uint8_t> buf,
+                                                   std::size_t field_off,
+                                                   int plant_rel,  // 0..3
+                                                   std::uint8_t opcode);
+
+// Byte offsets (relative to the instruction start) of the 32-bit immediate
+// field, if the *encoding* ends with an imm32. Empty otherwise.
+std::optional<std::size_t> imm32_field_offset(const x86::Insn& insn);
+
+// True for rel32 branch encodings the jump rule can steer (jmp/jcc/call).
+bool jump_rule_applies(const x86::Insn& insn);
+
+}  // namespace plx::rewrite

@@ -1,0 +1,82 @@
+#include "ropc/chain.h"
+
+namespace plx::ropc {
+
+Result<std::vector<std::uint32_t>> Chain::resolve(const img::Image& image) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    switch (w.k) {
+      case Word::K::Imm:
+        out.push_back(w.imm);
+        break;
+      case Word::K::SymRef: {
+        const img::Symbol* sym = image.find_symbol(w.sym);
+        if (!sym) return fail("chain references undefined symbol '" + w.sym + "'");
+        out.push_back(sym->vaddr + static_cast<std::uint32_t>(w.addend));
+        break;
+      }
+      case Word::K::Resume:
+        out.push_back(0);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Candidate test: same type/params, exact shape, liveness- and flag-safe.
+bool compatible(const gadget::Gadget& g, const GadgetSlot& slot) {
+  if (g.type != slot.type) return false;
+  if (slot.r1 != x86::Reg::NONE && g.r1 != slot.r1) return false;
+  if (slot.r2 != x86::Reg::NONE && g.r2 != slot.r2) return false;
+  if (slot.match_cond && g.cond != slot.cond) return false;
+  if (g.clobbers & slot.live) return false;
+  if (g.total_pops != slot.total_pops) return false;
+  if (g.type == gadget::GType::PopReg && g.value_pop_index != slot.value_pop_index) {
+    return false;
+  }
+  if (g.far_ret != slot.far_ret || g.ret_imm != slot.ret_imm) return false;
+  if (g.disp != slot.disp) return false;
+  // Parking was emitted for the original's scratch registers only.
+  if (g.scratch_addr_regs & ~slot.scratch_addr_regs) return false;
+  if (slot.need_flags_after && !g.flags_clean_after_effect) return false;
+  if (slot.need_flags_before && !g.flags_clean_before_effect) return false;
+  return true;
+}
+
+std::vector<const gadget::Gadget*> candidates_for(const GadgetSlot& slot,
+                                                  const gadget::Catalog& catalog) {
+  std::vector<const gadget::Gadget*> out;
+  for (const auto& g : catalog.all()) {
+    if (compatible(g, slot)) out.push_back(&g);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> make_variant(const Chain& chain,
+                                        std::vector<std::uint32_t> resolved,
+                                        const gadget::Catalog& catalog, Rng& rng) {
+  for (const auto& slot : chain.gadget_slots) {
+    auto cands = candidates_for(slot, catalog);
+    if (cands.empty()) continue;  // keep the original word
+    const auto* pick = cands[rng.below(static_cast<std::uint32_t>(cands.size()))];
+    resolved[slot.word_index] = pick->addr;
+  }
+  return resolved;
+}
+
+std::vector<std::size_t> slot_candidate_counts(const Chain& chain,
+                                               const gadget::Catalog& catalog) {
+  std::vector<std::size_t> out;
+  out.reserve(chain.gadget_slots.size());
+  for (const auto& slot : chain.gadget_slots) {
+    out.push_back(candidates_for(slot, catalog).size());
+  }
+  return out;
+}
+
+}  // namespace plx::ropc

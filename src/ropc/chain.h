@@ -1,0 +1,97 @@
+// Compiled ROP chain representation.
+//
+// A chain is a sequence of 32-bit words: gadget addresses, popped data,
+// in-chain esp deltas for branches, and one runtime-patched "resume" word
+// (the stack address the §V-A epilogue's `pop esp` pivots back to). Words
+// that depend on final layout (frame slots, global addresses) are kept
+// symbolic (symbol + addend) and resolved against the final image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gadget/catalog.h"
+#include "gadget/gadget.h"
+#include "image/image.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace plx::ropc {
+
+struct Word {
+  enum class K : std::uint8_t {
+    Imm,     // concrete value (gadget address, delta, filler constant)
+    SymRef,  // symbol + addend, resolved against the final image
+    Resume,  // placeholder; the loader stub writes the resume stack address
+  };
+  K k = K::Imm;
+  std::uint32_t imm = 0;
+  std::string sym;
+  std::int32_t addend = 0;
+
+  static Word make_imm(std::uint32_t v) { return Word{K::Imm, v, {}, 0}; }
+  static Word make_sym(std::string s, std::int32_t a) {
+    return Word{K::SymRef, 0, std::move(s), a};
+  }
+  static Word make_resume() { return Word{K::Resume, 0, {}, 0}; }
+};
+
+// Metadata for one gadget-address word: the constraints it was selected
+// under and the *shape* a substitute must match exactly so that all data
+// words keep their positions. This is what makes the paper's per-vector
+// variant generation (§V-B, Figure 4) sound: any shape-identical gadget of
+// the same type can replace the word independently of all other words.
+struct GadgetSlot {
+  std::size_t word_index = 0;
+  gadget::GType type = gadget::GType::Unusable;
+  x86::Reg r1 = x86::Reg::NONE;
+  x86::Reg r2 = x86::Reg::NONE;
+  x86::Cond cond = x86::Cond::O;
+  bool match_cond = false;       // SETcc slots must match the condition
+  std::uint16_t live = 0;        // registers a substitute must not clobber
+  // exact shape:
+  std::uint8_t total_pops = 0;
+  std::uint8_t value_pop_index = 0;
+  bool far_ret = false;
+  std::uint16_t ret_imm = 0;
+  std::int32_t disp = 0;
+  std::uint16_t scratch_addr_regs = 0;  // substitute's must be a subset
+  bool need_flags_after = false;
+  bool need_flags_before = false;
+};
+
+struct Chain {
+  std::vector<Word> words;
+  std::size_t resume_index = 0;   // index of the Resume word (the last word)
+  int frame_words = 0;            // slots + result, excluding the scratch area
+  std::string frame_sym;          // symbol of this chain's frame fragment
+
+  // Distinct gadget start addresses referenced (for tests / tamper checks).
+  std::vector<std::uint32_t> gadget_addrs;
+  // One entry per gadget-address word, in word order.
+  std::vector<GadgetSlot> gadget_slots;
+
+  std::uint32_t size_bytes() const {
+    return static_cast<std::uint32_t>(words.size() * 4);
+  }
+
+  // Resolve every word against an image symbol table. Fails on undefined
+  // symbols. The Resume word resolves to 0 (stub patches it at runtime).
+  Result<std::vector<std::uint32_t>> resolve(const img::Image& image) const;
+};
+
+// Produce a semantically-equivalent variant of resolved chain words by
+// independently re-picking each gadget slot among shape-identical catalog
+// candidates (§V-B). `resolved` must come from Chain::resolve on the final
+// image, and the catalog must be scanned from that same image.
+std::vector<std::uint32_t> make_variant(const Chain& chain,
+                                        std::vector<std::uint32_t> resolved,
+                                        const gadget::Catalog& catalog, Rng& rng);
+
+// Number of shape-compatible candidates per slot (diagnostics: the paper's
+// prod |G_i| variant-space bound).
+std::vector<std::size_t> slot_candidate_counts(const Chain& chain,
+                                               const gadget::Catalog& catalog);
+
+}  // namespace plx::ropc

@@ -1,0 +1,542 @@
+#include "ropc/ropc.h"
+
+#include <bit>
+#include <map>
+
+namespace plx::ropc {
+
+using cc::IrFunc;
+using cc::IrInsn;
+using cc::IrOp;
+using gadget::Gadget;
+using gadget::GType;
+using x86::Cond;
+using x86::Reg;
+
+namespace {
+
+constexpr std::uint16_t bit(Reg r) {
+  return static_cast<std::uint16_t>(1u << static_cast<unsigned>(r));
+}
+
+// Offset of the parking address inside the shared scratch area: centred so
+// that gadgets with negative or positive incidental displacements stay
+// inside the 4 KiB region.
+constexpr std::int32_t kParkOffset = 2048;
+
+// Extra constraints on gadget selection beyond type/params/liveness.
+struct Need {
+  bool zero_disp = false;          // dynamic address: cannot compensate disp
+  bool flags_clean_after = false;  // producer of a flag window
+  bool flags_clean_before = false; // consumer of a flag window
+  bool no_pivot_baggage = false;   // AddEspReg/PopEsp: no pops/far/ret_imm
+  bool value_not_address = false;  // PopReg of an arbitrary value: the value
+                                   // register must not double as an
+                                   // incidental access address
+  bool no_scratch = false;         // no incidental accesses at all (keeps the
+                                   // flag window free of parking pops)
+};
+
+struct Emitter {
+  const gadget::Catalog& cat;
+  const RopcOptions& opts;
+  Rng rng;
+  std::string frame_sym;
+  std::string scratch_sym;
+  const IrFunc& func;
+
+  Chain chain;
+  std::string error;
+  int pending_skip = 0;  // dummy words owed right after the next gadget addr
+
+  std::map<int, std::size_t> label_pos;
+  struct Patch {
+    std::size_t word_idx;   // the delta word to fill
+    int label;
+    std::size_t anchor;     // index ret pops from when delta == 0
+  };
+  std::vector<Patch> patches;
+
+  std::size_t verify_next = 0;  // cursor into opts.verify_pool
+
+  Emitter(const gadget::Catalog& c, const RopcOptions& o, std::string fs,
+          std::string ss, const IrFunc& f)
+      : cat(c), opts(o), rng(o.seed), frame_sym(std::move(fs)),
+        scratch_sym(std::move(ss)), func(f) {}
+
+  bool fail_with(const std::string& msg) {
+    if (error.empty()) error = "ropc(" + func.name + "): " + msg;
+    return false;
+  }
+
+  Word park_word() const { return Word::make_sym(scratch_sym, kParkOffset); }
+  Word slot_word(int slot) const { return Word::make_sym(frame_sym, 4 * slot); }
+  int result_slot() const { return func.num_slots; }
+
+  // --- gadget selection -------------------------------------------------
+  bool acceptable(const Gadget& g, GType type, Reg r1, Reg r2, std::uint16_t live,
+                  const Need& need) const {
+    if (g.type != type) return false;
+    if (r1 != Reg::NONE && g.r1 != r1) return false;
+    if (r2 != Reg::NONE && g.r2 != r2) return false;
+    if (g.clobbers & live) return false;
+    if (need.zero_disp && g.disp != 0) return false;
+    if (need.flags_clean_after && !g.flags_clean_after_effect) return false;
+    if (need.flags_clean_before && !g.flags_clean_before_effect) return false;
+    if (need.no_pivot_baggage && (g.total_pops != 0 || g.far_ret || g.ret_imm != 0)) {
+      return false;
+    }
+    if (need.value_not_address && type == GType::PopReg &&
+        (g.scratch_addr_regs & bit(g.r1))) {
+      return false;
+    }
+    if (need.no_scratch && g.scratch_addr_regs != 0) return false;
+    // Parking pops for scratch_addr_regs must themselves be clean, or we
+    // would recurse; require gadgets whose parking needs are satisfiable by
+    // clean pops (checked at emission).
+    return true;
+  }
+
+  const Gadget* select(GType type, Reg r1, Reg r2, std::uint16_t live, const Need& need) {
+    std::vector<const Gadget*> candidates;
+    for (const auto& g : cat.all()) {
+      if (acceptable(g, type, r1, r2, live, need)) candidates.push_back(&g);
+    }
+    if (candidates.empty()) return nullptr;
+    if (opts.randomize) {
+      // Uniform choice over acceptable candidates (probabilistic chains).
+      return candidates[rng.below(static_cast<std::uint32_t>(candidates.size()))];
+    }
+    // Deterministic: overlapping first, then fewest complications.
+    auto cost = [](const Gadget& g) {
+      return static_cast<int>(g.total_pops) * 4 + (g.far_ret ? 2 : 0) +
+             (g.ret_imm ? 2 : 0) + 3 * std::popcount(g.scratch_addr_regs) +
+             std::popcount(g.clobbers);
+    };
+    const Gadget* best = candidates[0];
+    for (const Gadget* g : candidates) {
+      const auto rank_g = std::pair(g->overlapping ? 0 : 1, cost(*g));
+      const auto rank_b = std::pair(best->overlapping ? 0 : 1, cost(*best));
+      if (rank_g < rank_b) best = g;
+    }
+    return best;
+  }
+
+  // --- word emission ------------------------------------------------------
+  void append_addr(const Gadget* g, std::uint16_t live, const Need& need) {
+    GadgetSlot slot;
+    slot.word_index = chain.words.size();
+    slot.type = g->type;
+    slot.r1 = g->r1;
+    slot.r2 = g->r2;
+    slot.cond = g->cond;
+    slot.match_cond = g->type == GType::SetccReg;
+    slot.live = live;
+    slot.total_pops = g->total_pops;
+    slot.value_pop_index = g->value_pop_index;
+    slot.far_ret = g->far_ret;
+    slot.ret_imm = g->ret_imm;
+    slot.disp = g->disp;
+    slot.scratch_addr_regs = g->scratch_addr_regs;
+    slot.need_flags_after = need.flags_clean_after;
+    slot.need_flags_before = need.flags_clean_before;
+    chain.gadget_slots.push_back(std::move(slot));
+
+    chain.words.push_back(Word::make_imm(g->addr));
+    chain.gadget_addrs.push_back(g->addr);
+    // Words skipped by the *previous* gadget's retf / ret imm16 land right
+    // after this address word.
+    for (int i = 0; i < pending_skip; ++i) {
+      chain.words.push_back(Word::make_imm(0));
+    }
+    pending_skip = 0;
+  }
+
+  // Emit one gadget. `values` are the words for value-carrying pops (only
+  // PopReg has one); filler pops receive the scratch parking address.
+  bool emit_gadget(const Gadget* g, const std::vector<Word>& values,
+                   std::uint16_t live, const Need& need = {}) {
+    // Park incidental-access address registers first.
+    std::uint16_t to_park = g->scratch_addr_regs;
+    for (int r = 0; r < 8 && to_park; ++r) {
+      if (!(to_park & (1u << r))) continue;
+      to_park = static_cast<std::uint16_t>(to_park & ~(1u << r));
+      const Reg reg = static_cast<Reg>(r);
+      if (reg == Reg::ESP) return fail_with("gadget needs esp parked");
+      Need clean;
+      clean.no_pivot_baggage = true;
+      const Gadget* popper = select(GType::PopReg, reg, Reg::NONE, live, clean);
+      if (!popper) {
+        return fail_with(std::string("no clean pop gadget to park ") +
+                         x86::reg_name(reg));
+      }
+      append_addr(popper, live, clean);
+      chain.words.push_back(park_word());
+    }
+
+    append_addr(g, live, need);
+    if (g->type == GType::PopReg) {
+      if (values.size() != 1) return fail_with("PopReg needs exactly one value");
+      for (std::uint8_t i = 0; i <= g->total_pops; ++i) {
+        if (i == g->value_pop_index) {
+          chain.words.push_back(values[0]);
+        } else {
+          chain.words.push_back(park_word());
+        }
+      }
+    } else {
+      if (!values.empty()) return fail_with("unexpected values for gadget");
+      for (std::uint8_t i = 0; i < g->total_pops; ++i) {
+        chain.words.push_back(park_word());
+      }
+    }
+    pending_skip = (g->far_ret ? 1 : 0) + g->ret_imm / 4;
+    return true;
+  }
+
+  // pop r <- value.
+  bool pop_value(Reg r, Word value, std::uint16_t live, bool value_is_address) {
+    Need need;
+    need.value_not_address = !value_is_address;
+    const Gadget* g = select(GType::PopReg, r, Reg::NONE, live, need);
+    if (!g) return fail_with(std::string("no pop gadget for ") + x86::reg_name(r));
+    return emit_gadget(g, {value}, live, need);
+  }
+
+  // A plain `ret` gadget used to flush pending skip words before labels.
+  bool emit_nop_gadget() {
+    Need need;
+    need.no_pivot_baggage = true;
+    for (const auto& g : cat.all()) {
+      if (g.type == GType::Transparent && g.total_pops == 0 && !g.far_ret &&
+          g.ret_imm == 0 && g.clobbers == 0 && g.scratch_addr_regs == 0) {
+        append_addr(&g, 0, need);
+        return true;
+      }
+    }
+    return fail_with("no plain ret gadget available");
+  }
+
+  bool flush_pending() {
+    if (pending_skip == 0) return true;
+    return emit_nop_gadget();
+  }
+
+  // --- composite operations ---------------------------------------------
+  // dst_reg <- [frame slot]: pop ecx <- addr, mov dst,[ecx]-style gadget.
+  bool load_slot(Reg dst, int slot, std::uint16_t live) {
+    const Gadget* g = select(GType::LoadMem, dst, Reg::ECX, live, Need{});
+    if (!g) return fail_with(std::string("no load gadget into ") + x86::reg_name(dst));
+    Word addr = slot_word(slot);
+    addr.addend -= g->disp;  // compensate [ecx+disp]
+    if (!pop_value(Reg::ECX, addr, live, /*value_is_address=*/true)) return false;
+    return emit_gadget(g, {}, live);
+  }
+
+  // [frame slot] <- eax: pop ecx <- addr, mov [ecx],eax.
+  bool store_slot(int slot, std::uint16_t live) {
+    const Gadget* g = select(GType::StoreMem, Reg::ECX, Reg::EAX, live, Need{});
+    if (!g) return fail_with("no store gadget");
+    Word addr = slot_word(slot);
+    addr.addend -= g->disp;
+    if (!pop_value(Reg::ECX, addr, live | bit(Reg::EAX), true)) return false;
+    return emit_gadget(g, {}, live | bit(Reg::EAX));
+  }
+
+  bool reg_move(Reg dst, Reg src, std::uint16_t live) {
+    const Gadget* g = select(GType::MovRegReg, dst, src, live, Need{});
+    if (!g) {
+      return fail_with(std::string("no mov gadget ") + x86::reg_name(dst) + ", " +
+                       x86::reg_name(src));
+    }
+    return emit_gadget(g, {}, live);
+  }
+
+  bool simple(GType type, Reg r1, Reg r2, std::uint16_t live, Need need = {}) {
+    const Gadget* g = select(type, r1, r2, live, need);
+    if (!g) return fail_with(std::string("no gadget of type ") + gadget::gtype_name(type));
+    return emit_gadget(g, {}, live, need);
+  }
+
+  // Emit the conditional/unconditional pivot tail: assumes eax already holds
+  // the delta (0 = fall through). Registers the patch for `label`.
+  bool pivot(std::size_t delta_word_idx, int label) {
+    Need need;
+    need.no_pivot_baggage = true;
+    const Gadget* g = select(GType::AddEspReg, Reg::EAX, Reg::NONE, 0, need);
+    if (!g) return fail_with("no add-esp gadget");
+    if (!emit_gadget(g, {}, 0)) return false;
+    patches.push_back(Patch{delta_word_idx, label, chain.words.size()});
+    return true;
+  }
+
+  // --- IR lowering --------------------------------------------------------
+  bool emit_insn(const IrInsn& insn) {
+    const std::uint16_t EAX = bit(Reg::EAX);
+    const std::uint16_t EDX = bit(Reg::EDX);
+    const std::uint16_t ECX = bit(Reg::ECX);
+
+    switch (insn.op) {
+      case IrOp::Const:
+        if (!pop_value(Reg::EAX, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
+                       0, false)) {
+          return false;
+        }
+        return store_slot(insn.dst, 0);
+
+      case IrOp::Copy:
+        return load_slot(Reg::EAX, insn.a, 0) && store_slot(insn.dst, 0);
+
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor: {
+        GType t = GType::AddRegReg;
+        if (insn.op == IrOp::Sub) t = GType::SubRegReg;
+        if (insn.op == IrOp::And) t = GType::AndRegReg;
+        if (insn.op == IrOp::Or) t = GType::OrRegReg;
+        if (insn.op == IrOp::Xor) t = GType::XorRegReg;
+        const bool rhs_ok =
+            insn.b >= 0
+                ? load_slot(Reg::EDX, insn.b, 0)
+                : pop_value(Reg::EDX, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
+                            0, false);
+        return rhs_ok && load_slot(Reg::EAX, insn.a, EDX) &&
+               simple(t, Reg::EAX, Reg::EDX, 0) &&
+               store_slot(insn.dst, 0);
+      }
+
+      case IrOp::Shl:
+      case IrOp::Sar: {
+        const GType t = insn.op == IrOp::Shl ? GType::ShlClReg : GType::SarClReg;
+        if (insn.b < 0) {
+          // Constant count: pop it straight into ecx.
+          return load_slot(Reg::EAX, insn.a, 0) &&
+                 pop_value(Reg::ECX,
+                           Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
+                           bit(Reg::EAX), false) &&
+                 simple(t, Reg::EAX, Reg::NONE, ECX) &&
+                 store_slot(insn.dst, 0);
+        }
+        return load_slot(Reg::EAX, insn.a, 0) &&
+               reg_move(Reg::EDX, Reg::EAX, 0) &&
+               load_slot(Reg::EAX, insn.b, EDX) &&
+               reg_move(Reg::ECX, Reg::EAX, EDX) &&
+               reg_move(Reg::EAX, Reg::EDX, ECX) &&
+               simple(t, Reg::EAX, Reg::NONE, 0) &&
+               store_slot(insn.dst, 0);
+      }
+
+      case IrOp::Neg:
+        return load_slot(Reg::EAX, insn.a, 0) &&
+               simple(GType::NegReg, Reg::EAX, Reg::NONE, 0) &&
+               store_slot(insn.dst, 0);
+
+      case IrOp::Not:
+        return load_slot(Reg::EAX, insn.a, 0) &&
+               simple(GType::NotReg, Reg::EAX, Reg::NONE, 0) &&
+               store_slot(insn.dst, 0);
+
+      case IrOp::CmpEq:
+      case IrOp::CmpNe:
+      case IrOp::CmpLt:
+      case IrOp::CmpLe:
+      case IrOp::CmpGt:
+      case IrOp::CmpGe: {
+        Cond cond = Cond::E;
+        switch (insn.op) {
+          case IrOp::CmpEq: cond = Cond::E; break;
+          case IrOp::CmpNe: cond = Cond::NE; break;
+          case IrOp::CmpLt: cond = Cond::L; break;
+          case IrOp::CmpLe: cond = Cond::LE; break;
+          case IrOp::CmpGt: cond = Cond::G; break;
+          case IrOp::CmpGe: cond = Cond::GE; break;
+          default: break;
+        }
+        if (insn.b >= 0) {
+          if (!load_slot(Reg::EDX, insn.b, 0)) return false;
+        } else if (!pop_value(Reg::EDX,
+                              Word::make_imm(static_cast<std::uint32_t>(insn.imm)), 0,
+                              false)) {
+          return false;
+        }
+        if (!load_slot(Reg::EAX, insn.a, EDX)) return false;
+        Need prod;
+        prod.flags_clean_after = true;
+        if (!simple(GType::CmpRegReg, Reg::EAX, Reg::EDX, 0, prod)) return false;
+        if (!emit_setcc(cond, 0)) return false;
+        if (!simple(GType::MovzxReg, Reg::EAX, Reg::NONE, 0)) return false;
+        return store_slot(insn.dst, 0);
+      }
+
+      case IrOp::Load:
+        return load_slot(Reg::EAX, insn.a, 0) &&           // eax = pointer
+               reg_move(Reg::ECX, Reg::EAX, 0) &&
+               dynamic_load(0) &&
+               store_slot(insn.dst, 0);
+
+      case IrOp::Store:
+        return load_slot(Reg::EAX, insn.a, 0) &&            // eax = pointer
+               reg_move(Reg::EDX, Reg::EAX, 0) &&
+               load_slot(Reg::EAX, insn.b, bit(Reg::EDX)) &&  // eax = value
+               reg_move(Reg::ECX, Reg::EDX, EAX) &&
+               dynamic_store(0);
+
+      case IrOp::AddrSlot:
+        return pop_value(Reg::EAX, slot_word(insn.imm), 0, true) &&
+               store_slot(insn.dst, 0);
+
+      case IrOp::AddrGlobal:
+        return pop_value(Reg::EAX, Word::make_sym(insn.sym, insn.imm), 0, true) &&
+               store_slot(insn.dst, 0);
+
+      case IrOp::Label:
+        if (!flush_pending()) return false;
+        label_pos[insn.imm] = chain.words.size();
+        return true;
+
+      case IrOp::Jmp: {
+        // pop eax <- delta; add esp, eax.
+        Need strict;
+        strict.value_not_address = true;
+        const Gadget* popper = select(GType::PopReg, Reg::EAX, Reg::NONE, 0, strict);
+        if (!popper) return fail_with("no pop eax gadget");
+        if (!emit_gadget(popper, {Word::make_imm(0)}, 0)) return false;
+        // Find where the delta word landed (value_pop_index within data).
+        const std::size_t delta_idx =
+            chain.words.size() - (popper->total_pops + 1) + popper->value_pop_index;
+        return pivot(delta_idx, insn.imm);
+      }
+
+      case IrOp::Jz: {
+        // pop edx <- delta; eax = value; test; sete; movzx; neg; and; pivot.
+        Need strict;
+        strict.value_not_address = true;
+        const Gadget* popper = select(GType::PopReg, Reg::EDX, Reg::NONE, 0, strict);
+        if (!popper) return fail_with("no pop edx gadget");
+        if (!emit_gadget(popper, {Word::make_imm(0)}, 0)) return false;
+        const std::size_t delta_idx =
+            chain.words.size() - (popper->total_pops + 1) + popper->value_pop_index;
+        const std::uint16_t EDXl = bit(Reg::EDX);
+        if (!load_slot(Reg::EAX, insn.a, EDXl)) return false;
+        Need prod;
+        prod.flags_clean_after = true;
+        if (!simple(GType::TestRegReg, Reg::EAX, Reg::EAX, EDXl, prod)) return false;
+        if (!emit_setcc(Cond::E, EDXl)) return false;
+        if (!simple(GType::MovzxReg, Reg::EAX, Reg::NONE, EDXl)) return false;
+        if (!simple(GType::NegReg, Reg::EAX, Reg::NONE, EDXl)) return false;
+        if (!simple(GType::AndRegReg, Reg::EAX, Reg::EDX, 0)) return false;
+        return pivot(delta_idx, insn.imm);
+      }
+
+      case IrOp::Ret:
+        if (insn.a >= 0) {
+          if (!load_slot(Reg::EAX, insn.a, 0)) return false;
+          if (!store_slot(result_slot(), 0)) return false;
+        }
+        {
+          // Jump to the epilogue label (allocated as label id num_labels).
+          IrInsn jmp;
+          jmp.op = IrOp::Jmp;
+          jmp.imm = func.num_labels;  // reserved epilogue label
+          return emit_insn(jmp);
+        }
+
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::Mod:
+      case IrOp::LoadB:
+      case IrOp::StoreB:
+      case IrOp::Call:
+      case IrOp::Syscall:
+        return fail_with(std::string("IR op '") + cc::irop_name(insn.op) +
+                         "' has no chain lowering (selection should filter it)");
+    }
+    return fail_with("unhandled IR op");
+  }
+
+  bool emit_setcc(Cond cond, std::uint16_t live) {
+    Need cons;
+    cons.flags_clean_before = true;
+    cons.no_scratch = true;  // parking pops would sit inside the flag window
+    for (const auto& g : cat.all()) {
+      if (g.type == GType::SetccReg && g.r1 == Reg::EAX && g.cond == cond &&
+          acceptable(g, GType::SetccReg, Reg::EAX, Reg::NONE, live, cons)) {
+        return emit_gadget(&g, {}, live, cons);
+      }
+    }
+    return fail_with(std::string("no set") + x86::cond_name(cond) + " gadget");
+  }
+
+  bool dynamic_load(std::uint16_t live) {
+    Need need;
+    need.zero_disp = true;
+    return simple(GType::LoadMem, Reg::EAX, Reg::ECX, live, need);
+  }
+
+  bool dynamic_store(std::uint16_t live) {
+    Need need;
+    need.zero_disp = true;
+    return simple(GType::StoreMem, Reg::ECX, Reg::EAX, live, need);
+  }
+
+  // Weave one pending verification NOP (transparent overlapping gadget).
+  bool weave_verification() {
+    if (verify_next >= opts.verify_pool.size()) return true;
+    const Gadget* g = opts.verify_pool[verify_next++];
+    return emit_gadget(g, {}, 0);
+  }
+
+  bool run() {
+    for (std::size_t i = 0; i < func.insns.size(); ++i) {
+      const IrOp op = func.insns[i].op;
+      if (!emit_insn(func.insns[i])) return false;
+      // Weave verification NOPs only on straight-line fall-through edges: a
+      // gadget after Jmp/Ret would be dead code and verify nothing.
+      const bool falls_through = op != IrOp::Jmp && op != IrOp::Jz && op != IrOp::Ret;
+      if (falls_through && !weave_verification()) return false;
+    }
+    // Any verification gadgets not yet placed go before the epilogue.
+    while (verify_next < opts.verify_pool.size()) {
+      if (!weave_verification()) return false;
+    }
+    // Epilogue (§V-A): bind the reserved label, then pop esp + resume word.
+    if (!flush_pending()) return false;
+    label_pos[func.num_labels] = chain.words.size();
+    Need need;
+    need.no_pivot_baggage = true;
+    const Gadget* pop_esp = select(GType::PopEsp, Reg::NONE, Reg::NONE, 0, need);
+    if (!pop_esp) return fail_with("no pop-esp gadget for the epilogue");
+    append_addr(pop_esp, 0, need);
+    chain.resume_index = chain.words.size();
+    chain.words.push_back(Word::make_resume());
+
+    // Patch branch deltas.
+    for (const auto& p : patches) {
+      auto it = label_pos.find(p.label);
+      if (it == label_pos.end()) return fail_with("unresolved chain label");
+      const std::int64_t delta =
+          (static_cast<std::int64_t>(it->second) - static_cast<std::int64_t>(p.anchor)) * 4;
+      chain.words[p.word_idx] = Word::make_imm(static_cast<std::uint32_t>(delta));
+    }
+    chain.frame_words = func.num_slots + 1;
+    chain.frame_sym = frame_sym;
+    return true;
+  }
+};
+
+}  // namespace
+
+RopCompiler::RopCompiler(const gadget::Catalog& catalog, std::string frame_sym,
+                         std::string scratch_sym)
+    : catalog_(catalog), frame_sym_(std::move(frame_sym)),
+      scratch_sym_(std::move(scratch_sym)) {}
+
+Result<Chain> RopCompiler::compile(const cc::IrFunc& func, const RopcOptions& opts) {
+  Emitter e(catalog_, opts, frame_sym_, scratch_sym_, func);
+  if (!e.run()) return fail(e.error);
+  return std::move(e.chain);
+}
+
+}  // namespace plx::ropc

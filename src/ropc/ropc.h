@@ -1,0 +1,49 @@
+// The ROP compiler (our ROPC/Q stand-in, §III/§V of the paper).
+//
+// Translates a mini-C IR function into a function chain against a gadget
+// catalog ("gadget mapping"). Overlapping gadgets are always preferred; on
+// request the compiler additionally *weaves* transparent overlapping gadgets
+// into the chain as verification NOPs, so tampering with protected bytes is
+// detected even when the overlapped gadget computes nothing the chain needs.
+//
+// Value model: IR slots live in a per-function static frame (`frame_sym`
+// data fragment) at frame + 4*slot; the return value goes to slot
+// `num_slots` (one extra word). Filler pops and incidental memory accesses
+// are parked on a shared 4 KiB scratch area (`scratch_sym` + 2048).
+//
+// Rejections: Call / Syscall / Div / Mod have no gadget lowering — the
+// §VII-B selection step filters such functions out (run lower_mul_for_rop
+// and lower_bytes_for_rop first to eliminate Mul/LoadB/StoreB).
+#pragma once
+
+#include "cc/ir.h"
+#include "gadget/catalog.h"
+#include "ropc/chain.h"
+#include "support/rng.h"
+
+namespace plx::ropc {
+
+struct RopcOptions {
+  // Choose uniformly among acceptable gadgets instead of deterministically:
+  // used to compile the N probabilistic chain variants of §V-B.
+  bool randomize = false;
+  std::uint64_t seed = 0;
+  // Transparent overlapping gadgets to weave in as verification NOPs, one
+  // per IR operation boundary (round-robin over the pool).
+  std::vector<const gadget::Gadget*> verify_pool;
+};
+
+class RopCompiler {
+ public:
+  RopCompiler(const gadget::Catalog& catalog, std::string frame_sym,
+              std::string scratch_sym);
+
+  Result<Chain> compile(const cc::IrFunc& func, const RopcOptions& opts = {});
+
+ private:
+  const gadget::Catalog& catalog_;
+  std::string frame_sym_;
+  std::string scratch_sym_;
+};
+
+}  // namespace plx::ropc

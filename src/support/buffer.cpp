@@ -1,0 +1,91 @@
+#include "support/buffer.h"
+
+namespace plx {
+
+void Buffer::put_u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void Buffer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Buffer::put_bytes(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+void Buffer::put_str(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+std::uint16_t Buffer::get_u16(std::size_t off) const {
+  return static_cast<std::uint16_t>(bytes_[off] | (bytes_[off + 1] << 8));
+}
+
+std::uint32_t Buffer::get_u32(std::size_t off) const {
+  return static_cast<std::uint32_t>(bytes_[off]) |
+         (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+}
+
+void Buffer::set_u16(std::size_t off, std::uint16_t v) {
+  bytes_[off] = static_cast<std::uint8_t>(v & 0xff);
+  bytes_[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+void Buffer::set_u32(std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_[off + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint8_t ByteReader::get_u8() {
+  if (off_ + 1 > bytes_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return bytes_[off_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  std::uint16_t lo = get_u8();
+  std::uint16_t hi = get_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::get_u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+  }
+  return v;
+}
+
+std::string ByteReader::get_str() {
+  std::uint32_t n = get_u32();
+  if (!ok_ || off_ + n > bytes_.size()) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + off_), n);
+  off_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  if (off_ + n > bytes_.size()) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(off_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
+  off_ += n;
+  return out;
+}
+
+}  // namespace plx

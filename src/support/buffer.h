@@ -1,0 +1,79 @@
+// Byte buffer with little-endian accessors.
+//
+// All binary data in Parallax (section contents, serialised images, ROP
+// chains) flows through plx::Buffer. It is a thin wrapper over
+// std::vector<uint8_t> adding the little-endian reads/writes that x86 work
+// constantly needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plx {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  Buffer(std::initializer_list<std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+  void resize(std::size_t n, std::uint8_t fill = 0) { bytes_.resize(n, fill); }
+
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::span<const std::uint8_t> span() const { return bytes_; }
+  std::span<std::uint8_t> span() { return bytes_; }
+  const std::vector<std::uint8_t>& vec() const { return bytes_; }
+
+  std::uint8_t operator[](std::size_t i) const { return bytes_[i]; }
+  std::uint8_t& operator[](std::size_t i) { return bytes_[i]; }
+
+  // --- appends -------------------------------------------------------------
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_str(const std::string& s);  // length-prefixed (u32)
+
+  // --- in-place access (bounds are the caller's responsibility) -----------
+  std::uint16_t get_u16(std::size_t off) const;
+  std::uint32_t get_u32(std::size_t off) const;
+  void set_u16(std::size_t off, std::uint16_t v);
+  void set_u32(std::size_t off, std::uint32_t v);
+
+  bool operator==(const Buffer& other) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Sequential reader over a byte span; `ok()` turns false on overrun instead
+// of throwing, so deserialisers can check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return ok_ ? bytes_.size() - off_ : 0; }
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::string get_str();  // length-prefixed (u32)
+  std::vector<std::uint8_t> get_bytes(std::size_t n);
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace plx

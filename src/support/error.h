@@ -1,0 +1,55 @@
+// Lightweight error propagation for Parallax.
+//
+// Most Parallax pipelines (assembler, compiler, rewriter) want to report a
+// human-readable reason on failure without exceptions crossing module
+// boundaries. plx::Result<T> is a minimal expected-like type: either a value
+// or an Error with a message.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace plx {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Error err) : state_(std::move(err)) {}        // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(state_).message;
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Convenience constructor so call sites read `return plx::fail("...")`.
+inline Error fail(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace plx

@@ -1,0 +1,44 @@
+#include "support/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace plx {
+
+std::string hexdump(std::span<const std::uint8_t> bytes, std::uint32_t base) {
+  std::string out;
+  char line[128];
+  for (std::size_t row = 0; row < bytes.size(); row += 16) {
+    int n = std::snprintf(line, sizeof line, "%08x  ", base + static_cast<std::uint32_t>(row));
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < bytes.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", bytes[row + i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < bytes.size(); ++i) {
+      const std::uint8_t c = bytes[row + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hexbytes(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  char buf[4];
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", bytes[i]);
+    if (i) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace plx

@@ -1,0 +1,17 @@
+// Hexdump helpers used by examples and error reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace plx {
+
+// Classic 16-bytes-per-line hexdump with an ASCII gutter. `base` is the
+// address printed for the first byte.
+std::string hexdump(std::span<const std::uint8_t> bytes, std::uint32_t base = 0);
+
+// Compact "55 89 e5 ..." rendering of a short byte run.
+std::string hexbytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace plx

@@ -1,0 +1,48 @@
+#include "support/rng.h"
+
+namespace plx {
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 to expand the seed into two non-zero state words.
+  auto mix = [](std::uint64_t& z) {
+    z += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t z = seed;
+  s0_ = mix(z);
+  s1_ = mix(z);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  // xorshift128+
+  std::uint64_t x = s0_;
+  const std::uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+std::uint32_t Rng::next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+std::uint32_t Rng::below(std::uint32_t bound) {
+  // Rejection-free multiply-shift; bias negligible for our uses but keep it
+  // honest with Lemire's method.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int32_t Rng::range(std::int32_t lo, std::int32_t hi) {
+  auto span = static_cast<std::uint32_t>(hi - lo) + 1u;
+  return lo + static_cast<std::int32_t>(below(span));
+}
+
+bool Rng::chance(double p) {
+  return next_u32() < static_cast<std::uint32_t>(p * 4294967295.0);
+}
+
+}  // namespace plx

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generator (xorshift128).
+//
+// Everything random in Parallax — probabilistic chain variant selection,
+// property-test input generation, workload inputs — uses this generator so
+// that runs are reproducible given a seed. The VM's `rand` syscall is backed
+// by an instance of this as well.
+#pragma once
+
+#include <cstdint>
+
+namespace plx {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint32_t below(std::uint32_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int32_t range(std::int32_t lo, std::int32_t hi);
+
+  bool chance(double p);  // true with probability p
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace plx

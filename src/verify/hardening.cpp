@@ -1,0 +1,278 @@
+#include "verify/hardening.h"
+
+#include "asm/assembler.h"
+
+#include "crypto/rc4.h"
+#include "crypto/xorstream.h"
+#include "gf2/gf2.h"
+
+namespace plx::verify {
+
+namespace {
+
+std::string key_data_fragment(std::span<const std::uint8_t> key) {
+  std::string out = "__plx_key:\n    db ";
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(static_cast<int>(key[i]));
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+const char* runtime_symbol(Hardening mode) {
+  switch (mode) {
+    case Hardening::Cleartext: return "";
+    case Hardening::Xor: return "__plx_xor_dec";
+    case Hardening::Rc4: return "__plx_rc4_dec";
+    case Hardening::Probabilistic: return "__plx_gen";
+  }
+  return "";
+}
+
+std::string runtime_asm_source(Hardening mode, std::span<const std::uint8_t> key) {
+  switch (mode) {
+    case Hardening::Cleartext:
+      return "";
+
+    case Hardening::Xor:
+      // __plx_xor_dec(dst, src, nbytes): repeating-key xor, 16-byte key.
+      return std::string(R"(
+.text
+__plx_xor_dec:
+    push ebp
+    mov ebp, esp
+    push esi
+    push edi
+    push ebx
+    mov edi, [ebp+8]
+    mov esi, [ebp+12]
+    mov ecx, [ebp+16]
+    mov ebx, offset __plx_key
+    xor edx, edx
+.loop:
+    cmp ecx, 0
+    je .done
+    mov al, [esi]
+    xor al, [ebx+edx]
+    mov [edi], al
+    inc esi
+    inc edi
+    inc edx
+    and edx, 15
+    dec ecx
+    jmp .loop
+.done:
+    pop ebx
+    pop edi
+    pop esi
+    leave
+    ret
+.data
+)") + key_data_fragment(key);
+
+    case Hardening::Rc4:
+      // __plx_rc4_dec(dst, src, nbytes): full RC4 (keyschedule per call, as
+      // evaluated in Figure 5 — this is what makes RC4 pathological for
+      // short chains). S-box lives in the frame.
+      return std::string(R"(
+.text
+__plx_rc4_dec:
+    push ebp
+    mov ebp, esp
+    sub esp, 256
+    push esi
+    push edi
+    push ebx
+    ; --- S[i] = i -------------------------------------------------------
+    xor eax, eax
+.init:
+    mov [ebp+eax-256], al
+    inc eax
+    cmp eax, 256
+    jne .init
+    ; --- keyschedule: j = (j + S[i] + key[i & 15]) & 255; swap ----------
+    xor esi, esi            ; i
+    xor ebx, ebx            ; j
+    mov ecx, offset __plx_key
+.ksa:
+    movzx eax, byte [ebp+esi-256]
+    add ebx, eax
+    mov edx, esi
+    and edx, 15
+    movzx edx, byte [ecx+edx]
+    add ebx, edx
+    and ebx, 255
+    movzx edx, byte [ebp+ebx-256]
+    mov [ebp+esi-256], dl
+    mov [ebp+ebx-256], al
+    inc esi
+    cmp esi, 256
+    jne .ksa
+    ; --- PRGA + xor -------------------------------------------------------
+    xor esi, esi            ; x
+    xor ebx, ebx            ; y
+    mov edi, [ebp+8]        ; dst
+    mov ecx, [ebp+16]       ; n
+.prga:
+    cmp ecx, 0
+    je .done
+    inc esi
+    and esi, 255
+    movzx eax, byte [ebp+esi-256]
+    add ebx, eax
+    and ebx, 255
+    movzx edx, byte [ebp+ebx-256]
+    mov [ebp+esi-256], dl
+    mov [ebp+ebx-256], al
+    add eax, edx
+    and eax, 255
+    movzx eax, byte [ebp+eax-256]
+    mov edx, [ebp+12]
+    xor al, [edx]
+    inc edx
+    mov [ebp+12], edx
+    mov [edi], al
+    inc edi
+    dec ecx
+    jmp .prga
+.done:
+    pop ebx
+    pop edi
+    pop esi
+    leave
+    ret
+.data
+)") + key_data_fragment(key);
+
+    case Hardening::Probabilistic:
+      // __plx_gen(dst, idx, basis, nwords, nvar): per word, pick a random
+      // variant r and XOR together the basis vectors its index list names
+      // (Figure 4). Index record stride: 33 words ([count, idx...]).
+      return R"(
+.text
+__plx_gen:
+    push ebp
+    mov ebp, esp
+    push esi
+    push edi
+    push ebx
+    mov eax, 512            ; one rand syscall seeds an inline LCG
+    int 0x80
+    mov edi, eax
+    xor esi, esi            ; word index i
+.words:
+    cmp esi, [ebp+20]
+    je .done
+    imul edi, edi, 1103515245
+    add edi, 12345
+    mov eax, edi
+    shr eax, 16
+    xor edx, edx
+    div dword [ebp+24]      ; edx = prng % nvar
+    mov eax, esi
+    imul eax, [ebp+24]
+    add eax, edx
+    imul eax, eax, 33
+    shl eax, 2
+    add eax, [ebp+12]       ; eax -> index record
+    mov ebx, [eax]          ; count
+    xor ecx, ecx            ; v
+.combine:
+    cmp ebx, 0
+    je .store
+    add eax, 4
+    mov edx, [eax]
+    shl edx, 2
+    add edx, [ebp+16]       ; basis
+    xor ecx, [edx]
+    dec ebx
+    jmp .combine
+.store:
+    mov edx, esi
+    shl edx, 2
+    add edx, [ebp+8]        ; dst
+    mov [edx], ecx
+    inc esi
+    jmp .words
+.done:
+    pop ebx
+    pop edi
+    pop esi
+    leave
+    ret
+)";
+  }
+  return "";
+}
+
+std::vector<std::uint8_t> encrypt_chain(Hardening mode,
+                                        std::span<const std::uint32_t> words,
+                                        std::span<const std::uint8_t> key) {
+  std::vector<std::uint8_t> plain;
+  plain.reserve(words.size() * 4);
+  for (std::uint32_t w : words) {
+    for (int i = 0; i < 4; ++i) {
+      plain.push_back(static_cast<std::uint8_t>((w >> (8 * i)) & 0xff));
+    }
+  }
+  switch (mode) {
+    case Hardening::Xor:
+      return crypto::xor_crypt(key, plain);
+    case Hardening::Rc4:
+      return crypto::rc4_crypt(key, plain);
+    default:
+      return plain;
+  }
+}
+
+Result<ProbStorage> build_prob_storage(
+    const std::vector<std::vector<std::uint32_t>>& variants, Rng& rng) {
+  if (variants.empty()) return fail("no chain variants");
+  const std::size_t nwords = variants[0].size();
+  for (const auto& v : variants) {
+    if (v.size() != nwords) return fail("chain variants differ in length");
+  }
+  const gf2::Mat basis = gf2::Mat::random_invertible(rng);
+  const auto inv = basis.inverse();
+  if (!inv) return fail("basis not invertible");
+
+  ProbStorage storage;
+  storage.basis.resize(32);
+  for (int j = 0; j < 32; ++j) storage.basis[static_cast<std::size_t>(j)] = basis.col(j);
+
+  const std::size_t nvar = variants.size();
+  storage.idx.assign(nwords * nvar * kIdxStride, 0);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    for (std::size_t r = 0; r < nvar; ++r) {
+      const auto indices = gf2::decompose(*inv, variants[r][i]);
+      std::uint32_t* rec = &storage.idx[(i * nvar + r) * kIdxStride];
+      rec[0] = static_cast<std::uint32_t>(indices.size());
+      for (std::size_t k = 0; k < indices.size(); ++k) rec[k + 1] = indices[k];
+    }
+  }
+  return storage;
+}
+
+std::vector<std::uint32_t> regenerate_prob(const ProbStorage& storage, int nwords,
+                                           int nvariants,
+                                           const std::vector<int>& picks) {
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(nwords), 0);
+  for (int i = 0; i < nwords; ++i) {
+    const int r = picks[static_cast<std::size_t>(i)] % nvariants;
+    const std::uint32_t* rec =
+        &storage.idx[(static_cast<std::size_t>(i) * static_cast<std::size_t>(nvariants) +
+                      static_cast<std::size_t>(r)) *
+                     kIdxStride];
+    std::uint32_t v = 0;
+    for (std::uint32_t k = 1; k <= rec[0]; ++k) {
+      v ^= storage.basis[rec[k]];
+    }
+    out[static_cast<std::size_t>(i)] = v;
+  }
+  return out;
+}
+
+}  // namespace plx::verify

@@ -1,0 +1,60 @@
+// Chain hardening (§V-B): in-image runtime routines and the host-side
+// transforms that prepare chain storage.
+//
+//  * Cleartext  — resolved chain words written straight into the image.
+//  * Xor / Rc4  — chain stored encrypted; a mini-C decryptor compiled into
+//                 the protected binary regenerates the executable chain on
+//                 every call (the stub pays for this, as in Figure 5).
+//  * Probabilistic — the chain is never stored at all. N shape-compatible
+//                 variants are decomposed over a random GF(2) basis into
+//                 index arrays A_1..A_N; a mini-C generator XORs basis
+//                 vectors together at runtime, choosing a random variant
+//                 *per word* (Figure 4), so up to N^l distinct chains can
+//                 materialise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "verify/stub.h"
+
+namespace plx::verify {
+
+// Index-array record stride, in words: [count, up to 32 indices].
+constexpr int kIdxStride = 33;
+
+// In-image runtime for `mode` as hand-written assembly (tight code, like the
+// native decryptors a real deployment would ship — the mini-C backend's
+// frame-machine output would dominate Figure 5's hardened-mode costs).
+// `key` is baked in as a data fragment. Key length must be 16.
+std::string runtime_asm_source(Hardening mode, std::span<const std::uint8_t> key);
+
+// Names of the runtime entry points (must match runtime_asm_source).
+const char* runtime_symbol(Hardening mode);
+
+// Host-side encryption of resolved chain words (excluding the resume word).
+std::vector<std::uint8_t> encrypt_chain(Hardening mode,
+                                        std::span<const std::uint32_t> words,
+                                        std::span<const std::uint8_t> key);
+
+// Host-side probabilistic storage: decomposes each variant's words over a
+// fresh random invertible basis. All variants must have equal length.
+struct ProbStorage {
+  std::vector<std::uint32_t> idx;    // nwords * nvariants * kIdxStride
+  std::vector<std::uint32_t> basis;  // 32 words
+};
+Result<ProbStorage> build_prob_storage(
+    const std::vector<std::vector<std::uint32_t>>& variants, Rng& rng);
+
+// Reference implementation of the in-image generator, used by tests to
+// cross-check the mini-C version: regenerates `nwords` words picking variant
+// choices from `pick(word_index) % nvariants`.
+std::vector<std::uint32_t> regenerate_prob(const ProbStorage& storage, int nwords,
+                                           int nvariants,
+                                           const std::vector<int>& picks);
+
+}  // namespace plx::verify

@@ -1,0 +1,236 @@
+#include "verify/microchain.h"
+
+#include "analysis/selection.h"
+#include "gadget/scanner.h"
+#include "image/layout.h"
+#include "ropc/ropc.h"
+#include "x86/build.h"
+
+namespace plx::verify {
+
+namespace {
+
+using namespace x86::ins;
+using cc::IrInsn;
+using cc::IrOp;
+using x86::Mem;
+using x86::Reg;
+
+img::Fragment data_fragment(const std::string& name, std::size_t bytes,
+                            std::uint32_t align = 4) {
+  img::Fragment f;
+  f.name = name;
+  f.section = img::SectionKind::Data;
+  f.align = align;
+  Buffer b;
+  b.resize(bytes);
+  f.items.push_back(img::Item::make_data(std::move(b)));
+  return f;
+}
+
+bool poke_words(img::Image& image, std::uint32_t addr,
+                std::span<const std::uint32_t> words) {
+  for (auto& sec : image.sections) {
+    if (!sec.contains(addr)) continue;
+    const std::uint32_t off = addr - sec.vaddr;
+    if (off + words.size() * 4 > sec.bytes.size()) return false;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      sec.bytes.set_u32(off + 4 * i, words[i]);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool is_native_op(IrOp op) {
+  return op == IrOp::Label || op == IrOp::Jmp || op == IrOp::Jz || op == IrOp::Ret;
+}
+
+}  // namespace
+
+Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
+                                                const std::string& function) {
+  const cc::IrFunc* ir = nullptr;
+  for (const auto& f : program.ir.funcs) {
+    if (f.name == function) ir = &f;
+  }
+  if (!ir) return fail("function '" + function + "' not found");
+  const cc::IrFunc lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*ir));
+  if (!analysis::chain_compilable(lowered)) {
+    return fail("function cannot be translated to chains");
+  }
+
+  img::Module mod = program.module;
+  const std::string frame_sym = "__plx_uframe_" + function;
+  auto chain_sym = [&](int k) { return "__plx_uchain_" + function + "_" + std::to_string(k); };
+  auto resume_sym = [&](int k) { return "__plx_ures_" + function + "_" + std::to_string(k); };
+
+  // ------------------------------------------------------------------
+  // Native skeleton: frame-based ops become inline µ-chain invocations.
+  // ------------------------------------------------------------------
+  img::Fragment skel;
+  skel.name = function;
+  skel.section = img::SectionKind::Text;
+  skel.is_func = true;
+  skel.align = 16;
+  std::vector<std::string> pending_labels;
+  auto put = [&](x86::Insn insn) {
+    img::Item item = img::Item::make_insn(insn);
+    item.labels = std::move(pending_labels);
+    pending_labels.clear();
+    skel.items.push_back(std::move(item));
+  };
+  auto put_fixup = [&](x86::Insn insn, img::Fixup fixup, const std::string& sym,
+                       std::int32_t addend = 0) {
+    img::Item item = img::Item::make_insn(insn);
+    item.fixup = fixup;
+    item.sym = sym;
+    item.addend = addend;
+    item.labels = std::move(pending_labels);
+    pending_labels.clear();
+    skel.items.push_back(std::move(item));
+  };
+
+  // Copy params into the frame ([esp + 4 + 4k]: no pushad yet, no ebp frame).
+  for (int p = 0; p < lowered.num_params; ++p) {
+    put(load(Reg::EAX, Mem{.base = Reg::ESP, .disp = 4 + 4 * p}));
+    put_fixup(store(Mem{}, Reg::EAX), img::Fixup::AbsDisp, frame_sym, 4 * p);
+  }
+
+  int nchains = 0;
+  for (const IrInsn& insn : lowered.insns) {
+    if (!is_native_op(insn.op)) {
+      const int k = nchains++;
+      // pushad; push offset .res_k; mov [ures_k], esp; mov esp, chain; ret
+      put(pushad());
+      x86::Insn push_res = push(0);
+      push_res.wide_imm = true;
+      put_fixup(push_res, img::Fixup::AbsImm, ".ures" + std::to_string(k));
+      put_fixup(store(Mem{}, Reg::ESP), img::Fixup::AbsDisp, resume_sym(k));
+      x86::Insn pivot = mov(Reg::ESP, 0);
+      put_fixup(pivot, img::Fixup::AbsImm, chain_sym(k));
+      put(ret());
+      img::Item res = img::Item::make_insn(popad());
+      res.labels.push_back(".ures" + std::to_string(k));
+      skel.items.push_back(std::move(res));
+      continue;
+    }
+    switch (insn.op) {
+      case IrOp::Label:
+        pending_labels.push_back(".L" + std::to_string(insn.imm));
+        break;
+      case IrOp::Jmp:
+        put_fixup(jmp_rel(0), img::Fixup::RelBranch, ".L" + std::to_string(insn.imm));
+        break;
+      case IrOp::Jz: {
+        x86::Insn ld = load(Reg::EAX, Mem{});
+        put_fixup(ld, img::Fixup::AbsDisp, frame_sym, 4 * insn.a);
+        put(test(Reg::EAX, Reg::EAX));
+        put_fixup(jcc_rel(x86::Cond::E, 0), img::Fixup::RelBranch,
+                  ".L" + std::to_string(insn.imm));
+        break;
+      }
+      case IrOp::Ret:
+        if (insn.a >= 0) {
+          x86::Insn ld = load(Reg::EAX, Mem{});
+          put_fixup(ld, img::Fixup::AbsDisp, frame_sym, 4 * insn.a);
+        } else {
+          put(mov(Reg::EAX, 0));
+        }
+        put(ret());
+        break;
+      default:
+        break;
+    }
+  }
+  if (!pending_labels.empty()) put(nop());
+  put(ret());  // safety net for functions falling off the end
+
+  img::Fragment* orig = mod.find_fragment(function);
+  if (!orig) return fail("no fragment for '" + function + "'");
+  *orig = std::move(skel);
+
+  mod.fragments.push_back(
+      data_fragment(frame_sym, 4u * (static_cast<std::size_t>(lowered.num_slots) + 1)));
+  mod.fragments.push_back(data_fragment("__plx_scratch", 4096, 16));
+  mod.fragments.push_back(gadget::utility_gadget_fragment());
+  for (int k = 0; k < nchains; ++k) {
+    mod.fragments.push_back(data_fragment(chain_sym(k), 0));
+    mod.fragments.push_back(data_fragment(resume_sym(k), 4, 1));
+  }
+  mod.fragments.push_back(data_fragment("__plx_guard", 16, 1));
+
+  // ------------------------------------------------------------------
+  // Preliminary layout, stable-gadget catalog (same recipe as Protector).
+  // ------------------------------------------------------------------
+  auto prelim = img::layout(mod);
+  if (!prelim) return fail(prelim.error());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mutable_ranges;
+  for (std::size_t f = 0; f < mod.fragments.size(); ++f) {
+    const img::Fragment& frag = mod.fragments[f];
+    if (frag.section != img::SectionKind::Text) continue;
+    for (std::size_t i = 0; i < frag.items.size(); ++i) {
+      const img::Item& item = frag.items[i];
+      if (item.fixup != img::Fixup::AbsImm && item.fixup != img::Fixup::AbsDisp) continue;
+      const img::LaidOutItem& loc = prelim.value().items[f][i];
+      if (loc.size >= 4) mutable_ranges.emplace_back(loc.addr + loc.size - 4, loc.addr + loc.size);
+    }
+  }
+  auto stable = [&](std::uint32_t lo, std::uint32_t hi) {
+    for (const auto& [mlo, mhi] : mutable_ranges) {
+      if (lo < mhi && hi > mlo) return false;
+    }
+    return true;
+  };
+  std::vector<gadget::Gadget> kept;
+  for (auto& g : gadget::scan(prelim.value().image)) {
+    if (stable(g.addr, g.end())) kept.push_back(std::move(g));
+  }
+  gadget::Catalog catalog(std::move(kept));
+
+  // ------------------------------------------------------------------
+  // One chain per straight-line op; size fragments; finalise.
+  // ------------------------------------------------------------------
+  ropc::RopCompiler rc(catalog, frame_sym, "__plx_scratch");
+  std::vector<ropc::Chain> chains;
+  int k = 0;
+  for (const IrInsn& insn : lowered.insns) {
+    if (is_native_op(insn.op)) continue;
+    cc::IrFunc one;
+    one.name = function + "#" + std::to_string(k);
+    one.num_params = lowered.num_params;
+    one.num_slots = lowered.num_slots;
+    one.num_labels = 0;
+    one.insns.push_back(insn);
+    auto chain = rc.compile(one);
+    if (!chain) return fail(chain.error());
+    mod.find_fragment(chain_sym(k))
+        ->items[0]
+        .data.resize((chain.value().words.size() - 1) * 4);
+    chains.push_back(std::move(chain).take());
+    ++k;
+  }
+
+  auto final_laid = img::layout(mod);
+  if (!final_laid) return fail(final_laid.error());
+  MicrochainProtected out;
+  out.image = std::move(final_laid).take().image;
+  out.num_microchains = nchains;
+
+  for (int i = 0; i < nchains; ++i) {
+    auto resolved = chains[static_cast<std::size_t>(i)].resolve(out.image);
+    if (!resolved) return fail(resolved.error());
+    std::vector<std::uint32_t> words = std::move(resolved).take();
+    words.pop_back();  // resume word lives in its own fragment
+    const img::Symbol* sym = out.image.find_symbol(chain_sym(i));
+    if (!sym || !poke_words(out.image, sym->vaddr, words)) {
+      return fail("microchain poke failed");
+    }
+    for (std::uint32_t a : chains[static_cast<std::size_t>(i)].gadget_addrs) {
+      out.used_gadget_addrs.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace plx::verify

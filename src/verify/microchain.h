@@ -1,0 +1,30 @@
+// Instruction-level verification: µ-chains (§V-C).
+//
+// Instead of translating a whole function into one chain, every IR operation
+// becomes its own tiny chain, invoked inline: pushad / pivot / one-op chain /
+// epilogue / popad, with control flow staying native between µ-chains
+// (Figure 3b). The paper evaluates this variant and rejects it: each µ-chain
+// pays its own prologue/epilogue, roughly doubling the overhead of function
+// chains, the inline setup code is easy to spot statically, and the chains
+// cannot live in self-modifying data. bench_microchains reproduces the ~2x
+// overhead comparison.
+#pragma once
+
+#include "cc/compile.h"
+#include "image/image.h"
+#include "support/error.h"
+
+namespace plx::verify {
+
+struct MicrochainProtected {
+  img::Image image;
+  int num_microchains = 0;
+  std::vector<std::uint32_t> used_gadget_addrs;
+};
+
+// Replaces `function` with a native skeleton whose straight-line operations
+// each execute via their own µ-chain.
+Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
+                                                const std::string& function);
+
+}  // namespace plx::verify

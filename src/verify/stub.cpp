@@ -1,0 +1,115 @@
+#include "verify/stub.h"
+
+#include "x86/build.h"
+
+namespace plx::verify {
+
+using namespace x86::ins;
+using x86::Mem;
+using x86::Reg;
+
+const char* hardening_name(Hardening h) {
+  switch (h) {
+    case Hardening::Cleartext: return "cleartext";
+    case Hardening::Xor: return "xor";
+    case Hardening::Rc4: return "rc4";
+    case Hardening::Probabilistic: return "probabilistic";
+  }
+  return "?";
+}
+
+img::Fragment emit_stub(const StubSpec& spec) {
+  img::Fragment frag;
+  frag.name = spec.func_name;
+  frag.section = img::SectionKind::Text;
+  frag.is_func = true;
+  frag.align = 16;
+
+  auto put = [&frag](x86::Insn insn) {
+    frag.items.push_back(img::Item::make_insn(insn));
+  };
+  auto put_fixup = [&frag](x86::Insn insn, img::Fixup fixup, const std::string& sym,
+                           std::int32_t addend = 0) {
+    img::Item item = img::Item::make_insn(insn);
+    item.fixup = fixup;
+    item.sym = sym;
+    item.addend = addend;
+    frag.items.push_back(std::move(item));
+  };
+
+  // (1) Save register state.
+  put(pushad());
+
+  // (2) Copy cdecl arguments into frame slots 0..n-1. After pushad the
+  // arguments sit at [esp + 36 + 4k].
+  for (int p = 0; p < spec.num_params; ++p) {
+    put(load(Reg::EAX, Mem{.base = Reg::ESP, .disp = 36 + 4 * p}));
+    // mov [frame + 4p], eax  (absolute, AbsDisp fixup)
+    put_fixup(store(Mem{}, Reg::EAX), img::Fixup::AbsDisp, spec.frame_sym, 4 * p);
+  }
+
+  // (3) Materialise the chain if hardened.
+  switch (spec.hardening) {
+    case Hardening::Cleartext:
+      break;
+    case Hardening::Xor:
+    case Hardening::Rc4: {
+      // routine(dst, src, nbytes) — push right-to-left.
+      x86::Insn push_len = make1(x86::Mnemonic::PUSH, mem(Mem{}));
+      put_fixup(push_len, img::Fixup::AbsDisp, spec.len_sym);
+      x86::Insn push_src = push(0);
+      push_src.wide_imm = true;
+      put_fixup(push_src, img::Fixup::AbsImm, spec.chain_src_sym);
+      x86::Insn push_dst = push(0);
+      push_dst.wide_imm = true;
+      put_fixup(push_dst, img::Fixup::AbsImm, spec.chain_exec_sym);
+      put_fixup(call_rel(0), img::Fixup::RelBranch, spec.routine_sym);
+      put(add(Reg::ESP, 12));
+      break;
+    }
+    case Hardening::Probabilistic: {
+      // routine(dst, idx, basis, nwords, nvariants).
+      x86::Insn push_nvar = push(spec.variants);
+      push_nvar.wide_imm = true;
+      put(push_nvar);
+      x86::Insn push_len = make1(x86::Mnemonic::PUSH, mem(Mem{}));
+      put_fixup(push_len, img::Fixup::AbsDisp, spec.len_sym);
+      x86::Insn push_basis = push(0);
+      push_basis.wide_imm = true;
+      put_fixup(push_basis, img::Fixup::AbsImm, spec.basis_sym);
+      x86::Insn push_idx = push(0);
+      push_idx.wide_imm = true;
+      put_fixup(push_idx, img::Fixup::AbsImm, spec.idx_sym);
+      x86::Insn push_dst = push(0);
+      push_dst.wide_imm = true;
+      put_fixup(push_dst, img::Fixup::AbsImm, spec.chain_exec_sym);
+      put_fixup(call_rel(0), img::Fixup::RelBranch, spec.routine_sym);
+      put(add(Reg::ESP, 20));
+      break;
+    }
+  }
+
+  // (4) Publish the resume stack address: push the resume label, then store
+  // esp (which now points at that slot) into the chain's resume word.
+  x86::Insn push_resume = push(0);
+  push_resume.wide_imm = true;
+  put_fixup(push_resume, img::Fixup::AbsImm, ".chain_resume");
+  put_fixup(store(Mem{}, Reg::ESP), img::Fixup::AbsDisp, spec.resume_sym);
+
+  // (5) Pivot into the chain.
+  x86::Insn load_chain = mov(Reg::ESP, 0);
+  put_fixup(load_chain, img::Fixup::AbsImm, spec.chain_exec_sym);
+  put(ret());
+
+  // Resume point: restore registers, fetch the return value from the frame.
+  img::Item resume_popad = img::Item::make_insn(popad());
+  resume_popad.labels.push_back(".chain_resume");
+  frag.items.push_back(std::move(resume_popad));
+  put_fixup(load(Reg::EAX, Mem{}), img::Fixup::AbsDisp, spec.frame_sym,
+            4 * spec.result_slot);
+  put(ret());
+
+  return frag;
+}
+
+}  // namespace plx::verify

@@ -1,0 +1,44 @@
+// Loader stub emission (§V-A).
+//
+// A function selected as verification code has its native body replaced by a
+// stub that (1) saves register state with pushad, (2) copies the cdecl
+// arguments into the chain's static frame, (3) optionally calls the in-image
+// hardening routine (xor / RC4 decryptor or the §V-B probabilistic
+// generator) to materialise the chain, (4) pushes the resume address and
+// publishes the resulting stack slot address in the chain's resume word, and
+// (5) pivots esp into the chain and returns. The chain's epilogue (`pop esp`
+// + resume word) lands back at the stub's resume point, which restores
+// registers and loads the return value from the frame's result slot.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace plx::verify {
+
+enum class Hardening : std::uint8_t { Cleartext, Xor, Rc4, Probabilistic };
+
+const char* hardening_name(Hardening h);
+
+struct StubSpec {
+  std::string func_name;       // fragment name (the function being replaced)
+  int num_params = 0;
+  int result_slot = 0;         // frame slot index of the return value
+  std::string frame_sym;       // per-function chain frame
+  std::string chain_exec_sym;  // executable chain words (all but resume)
+  std::string resume_sym;      // the 4-byte resume word fragment
+  Hardening hardening = Hardening::Cleartext;
+
+  // Hardened modes only:
+  std::string routine_sym;     // __plx_xor_dec / __plx_rc4_dec / __plx_gen
+  std::string chain_src_sym;   // encrypted chain source (xor / rc4)
+  std::string len_sym;         // u32 global: chain length (bytes or words)
+  std::string idx_sym;         // probabilistic: index arrays
+  std::string basis_sym;       // probabilistic: 32 basis words
+  int variants = 0;            // probabilistic: N
+};
+
+img::Fragment emit_stub(const StubSpec& spec);
+
+}  // namespace plx::verify

@@ -1,0 +1,699 @@
+// Instruction execution for vm::Machine. One function per concern: operand
+// access, flag computation, and the main dispatch in Machine::exec_one.
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+
+#include "vm/machine.h"
+
+namespace plx::vm {
+
+namespace {
+
+using x86::Cond;
+using x86::Insn;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::OpSize;
+using x86::Reg;
+
+std::uint32_t mask_for(OpSize s) {
+  switch (s) {
+    case OpSize::Byte: return 0xffu;
+    case OpSize::Word: return 0xffffu;
+    case OpSize::Dword: return 0xffffffffu;
+  }
+  return 0xffffffffu;
+}
+
+int bits_for(OpSize s) {
+  switch (s) {
+    case OpSize::Byte: return 8;
+    case OpSize::Word: return 16;
+    case OpSize::Dword: return 32;
+  }
+  return 32;
+}
+
+std::uint32_t sign_bit(OpSize s) { return 1u << (bits_for(s) - 1); }
+
+bool parity_even(std::uint32_t v) {
+  v &= 0xff;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return (v & 1) == 0;
+}
+
+}  // namespace
+
+// Execution context: wraps a Machine with operand access helpers for a
+// single instruction.
+struct ExecCtx {
+  Machine& m;
+  const Insn& insn;
+  bool ok = true;
+
+  std::uint32_t read_reg(Reg r, OpSize s) {
+    const auto i = static_cast<unsigned>(r);
+    switch (s) {
+      case OpSize::Byte:
+        return (i < 4) ? (m.reg[i] & 0xff) : ((m.reg[i - 4] >> 8) & 0xff);
+      case OpSize::Word:
+        return m.reg[i] & 0xffff;
+      case OpSize::Dword:
+        return m.reg[i];
+    }
+    return 0;
+  }
+
+  void write_reg(Reg r, OpSize s, std::uint32_t v) {
+    const auto i = static_cast<unsigned>(r);
+    switch (s) {
+      case OpSize::Byte:
+        if (i < 4) {
+          m.reg[i] = (m.reg[i] & 0xffffff00u) | (v & 0xff);
+        } else {
+          m.reg[i - 4] = (m.reg[i - 4] & 0xffff00ffu) | ((v & 0xff) << 8);
+        }
+        break;
+      case OpSize::Word:
+        m.reg[i] = (m.reg[i] & 0xffff0000u) | (v & 0xffff);
+        break;
+      case OpSize::Dword:
+        m.reg[i] = v;
+        break;
+    }
+  }
+
+  std::uint32_t effective_addr(const x86::Mem& mem) {
+    std::uint32_t a = static_cast<std::uint32_t>(mem.disp);
+    if (mem.base != Reg::NONE) a += m.gpr(mem.base);
+    if (mem.index != Reg::NONE) a += m.gpr(mem.index) * mem.scale;
+    return a;
+  }
+
+  std::uint32_t read_operand(const Operand& o) {
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        return read_reg(o.reg, o.size);
+      case Operand::Kind::Imm:
+        return static_cast<std::uint32_t>(o.imm) & mask_for(o.size == OpSize::Byte && insn.opsize != OpSize::Byte
+                                                                ? OpSize::Dword
+                                                                : insn.opsize);
+      case Operand::Kind::Mem: {
+        const std::uint32_t a = effective_addr(o.mem);
+        switch (o.size) {
+          case OpSize::Byte: return m.read_u8(a, ok);
+          case OpSize::Word: return m.read_u16(a, ok);
+          case OpSize::Dword: return m.read_u32(a, ok);
+        }
+        return 0;
+      }
+      default:
+        return 0;
+    }
+  }
+
+  void write_operand(const Operand& o, std::uint32_t v) {
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        write_reg(o.reg, o.size, v);
+        break;
+      case Operand::Kind::Mem: {
+        const std::uint32_t a = effective_addr(o.mem);
+        switch (o.size) {
+          case OpSize::Byte: ok = m.write_u8(a, static_cast<std::uint8_t>(v)); break;
+          case OpSize::Word: ok = m.write_u16(a, static_cast<std::uint16_t>(v)); break;
+          case OpSize::Dword: ok = m.write_u32(a, v); break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- flag helpers ----------------------------------------------------------
+  void set_flag(std::uint32_t f, bool v) {
+    if (v) {
+      m.eflags |= f;
+    } else {
+      m.eflags &= ~f;
+    }
+  }
+  bool flag(std::uint32_t f) const { return (m.eflags & f) != 0; }
+
+  void set_szp(std::uint32_t res, OpSize s) {
+    res &= mask_for(s);
+    set_flag(kZF, res == 0);
+    set_flag(kSF, (res & sign_bit(s)) != 0);
+    set_flag(kPF, parity_even(res));
+  }
+
+  std::uint32_t do_add(std::uint32_t a, std::uint32_t b, std::uint32_t cin, OpSize s) {
+    const std::uint32_t mask = mask_for(s);
+    a &= mask;
+    b &= mask;
+    const std::uint64_t wide = static_cast<std::uint64_t>(a) + b + cin;
+    const std::uint32_t res = static_cast<std::uint32_t>(wide) & mask;
+    set_flag(kCF, wide > mask);
+    set_flag(kOF, ((a ^ res) & (b ^ res) & sign_bit(s)) != 0);
+    set_szp(res, s);
+    return res;
+  }
+
+  std::uint32_t do_sub(std::uint32_t a, std::uint32_t b, std::uint32_t bin, OpSize s) {
+    const std::uint32_t mask = mask_for(s);
+    a &= mask;
+    b &= mask;
+    const std::uint64_t rhs = static_cast<std::uint64_t>(b) + bin;
+    const std::uint32_t res = static_cast<std::uint32_t>(a - b - bin) & mask;
+    set_flag(kCF, static_cast<std::uint64_t>(a) < rhs);
+    set_flag(kOF, ((a ^ b) & (a ^ res) & sign_bit(s)) != 0);
+    set_szp(res, s);
+    return res;
+  }
+
+  std::uint32_t do_logic(Mnemonic op, std::uint32_t a, std::uint32_t b, OpSize s) {
+    const std::uint32_t mask = mask_for(s);
+    std::uint32_t res = 0;
+    switch (op) {
+      case Mnemonic::AND:
+      case Mnemonic::TEST: res = a & b; break;
+      case Mnemonic::OR: res = a | b; break;
+      case Mnemonic::XOR: res = a ^ b; break;
+      default: break;
+    }
+    res &= mask;
+    set_flag(kCF, false);
+    set_flag(kOF, false);
+    set_szp(res, s);
+    return res;
+  }
+
+  bool cond_true(Cond c) const {
+    switch (c) {
+      case Cond::O: return flag(kOF);
+      case Cond::NO: return !flag(kOF);
+      case Cond::B: return flag(kCF);
+      case Cond::AE: return !flag(kCF);
+      case Cond::E: return flag(kZF);
+      case Cond::NE: return !flag(kZF);
+      case Cond::BE: return flag(kCF) || flag(kZF);
+      case Cond::A: return !flag(kCF) && !flag(kZF);
+      case Cond::S: return flag(kSF);
+      case Cond::NS: return !flag(kSF);
+      case Cond::P: return flag(kPF);
+      case Cond::NP: return !flag(kPF);
+      case Cond::L: return flag(kSF) != flag(kOF);
+      case Cond::GE: return flag(kSF) == flag(kOF);
+      case Cond::LE: return flag(kZF) || (flag(kSF) != flag(kOF));
+      case Cond::G: return !flag(kZF) && (flag(kSF) == flag(kOF));
+    }
+    return false;
+  }
+
+  // --- stack helpers ----------------------------------------------------------
+  void push32(std::uint32_t v) {
+    std::uint32_t& esp = m.gpr(Reg::ESP);
+    esp -= 4;
+    ok = ok && m.write_u32(esp, v);
+  }
+  std::uint32_t pop32() {
+    std::uint32_t& esp = m.gpr(Reg::ESP);
+    bool rok = true;
+    const std::uint32_t v = m.read_u32(esp, rok);
+    ok = ok && rok;
+    esp += 4;
+    return v;
+  }
+};
+
+bool Machine::exec_one(const x86::Insn& insn) {
+  ExecCtx c{*this, insn};
+  const OpSize s = insn.opsize;
+  std::uint64_t extra_cycles = 0;
+
+  // Advance eip first: rel targets and call return addresses are relative to
+  // the *next* instruction.
+  eip += insn.len;
+
+  auto mem_touch = [&](const Operand& o) {
+    if (o.kind == Operand::Kind::Mem) extra_cycles += 2;
+  };
+  mem_touch(insn.ops[0]);
+  mem_touch(insn.ops[1]);
+
+  switch (insn.op) {
+    case Mnemonic::ADD:
+    case Mnemonic::ADC:
+    case Mnemonic::SUB:
+    case Mnemonic::SBB:
+    case Mnemonic::CMP: {
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      const std::uint32_t b = c.read_operand(insn.ops[1]);
+      if (!c.ok) break;
+      const std::uint32_t carry = c.flag(kCF) ? 1 : 0;
+      std::uint32_t res = 0;
+      switch (insn.op) {
+        case Mnemonic::ADD: res = c.do_add(a, b, 0, s); break;
+        case Mnemonic::ADC: res = c.do_add(a, b, carry, s); break;
+        case Mnemonic::SUB: res = c.do_sub(a, b, 0, s); break;
+        case Mnemonic::SBB: res = c.do_sub(a, b, carry, s); break;
+        case Mnemonic::CMP: res = c.do_sub(a, b, 0, s); break;
+        default: break;
+      }
+      if (insn.op != Mnemonic::CMP) c.write_operand(insn.ops[0], res);
+      break;
+    }
+
+    case Mnemonic::AND:
+    case Mnemonic::OR:
+    case Mnemonic::XOR:
+    case Mnemonic::TEST: {
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      const std::uint32_t b = c.read_operand(insn.ops[1]);
+      if (!c.ok) break;
+      const std::uint32_t res = c.do_logic(insn.op, a, b, s);
+      if (insn.op != Mnemonic::TEST) c.write_operand(insn.ops[0], res);
+      break;
+    }
+
+    case Mnemonic::MOV: {
+      const std::uint32_t v = c.read_operand(insn.ops[1]);
+      if (!c.ok) break;
+      c.write_operand(insn.ops[0], v);
+      break;
+    }
+
+    case Mnemonic::MOVZX: {
+      const std::uint32_t v = c.read_operand(insn.ops[1]) & mask_for(insn.ops[1].size);
+      if (!c.ok) break;
+      c.write_reg(insn.ops[0].reg, OpSize::Dword, v);
+      break;
+    }
+    case Mnemonic::MOVSX: {
+      std::uint32_t v = c.read_operand(insn.ops[1]) & mask_for(insn.ops[1].size);
+      if (!c.ok) break;
+      if (insn.ops[1].size == OpSize::Byte) {
+        v = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(v)));
+      } else {
+        v = static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(v)));
+      }
+      c.write_reg(insn.ops[0].reg, OpSize::Dword, v);
+      break;
+    }
+
+    case Mnemonic::LEA:
+      c.write_reg(insn.ops[0].reg, OpSize::Dword, c.effective_addr(insn.ops[1].mem));
+      break;
+
+    case Mnemonic::XCHG: {
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      const std::uint32_t b = c.read_operand(insn.ops[1]);
+      if (!c.ok) break;
+      c.write_operand(insn.ops[0], b);
+      c.write_operand(insn.ops[1], a);
+      break;
+    }
+
+    case Mnemonic::PUSH: {
+      std::uint32_t v = c.read_operand(insn.ops[0]);
+      if (insn.ops[0].kind == Operand::Kind::Imm) {
+        v = static_cast<std::uint32_t>(insn.ops[0].imm);  // sign-extended
+      }
+      if (!c.ok) break;
+      c.push32(v);
+      extra_cycles += 2;
+      break;
+    }
+
+    case Mnemonic::POP: {
+      const std::uint32_t v = c.pop32();
+      if (!c.ok) break;
+      c.write_operand(insn.ops[0], v);  // pop esp: write overrides the +=4
+      extra_cycles += 2;
+      break;
+    }
+
+    case Mnemonic::PUSHAD: {
+      const std::uint32_t saved_esp = gpr(Reg::ESP);
+      c.push32(gpr(Reg::EAX));
+      c.push32(gpr(Reg::ECX));
+      c.push32(gpr(Reg::EDX));
+      c.push32(gpr(Reg::EBX));
+      c.push32(saved_esp);
+      c.push32(gpr(Reg::EBP));
+      c.push32(gpr(Reg::ESI));
+      c.push32(gpr(Reg::EDI));
+      extra_cycles += 16;
+      break;
+    }
+    case Mnemonic::POPAD: {
+      gpr(Reg::EDI) = c.pop32();
+      gpr(Reg::ESI) = c.pop32();
+      gpr(Reg::EBP) = c.pop32();
+      (void)c.pop32();  // skip saved esp
+      gpr(Reg::EBX) = c.pop32();
+      gpr(Reg::EDX) = c.pop32();
+      gpr(Reg::ECX) = c.pop32();
+      gpr(Reg::EAX) = c.pop32();
+      extra_cycles += 16;
+      break;
+    }
+
+    case Mnemonic::PUSHFD:
+      c.push32(eflags | 0x2);
+      extra_cycles += 2;
+      break;
+    case Mnemonic::POPFD:
+      eflags = c.pop32() & (kCF | kPF | kZF | kSF | kDF | kOF);
+      extra_cycles += 2;
+      break;
+
+    case Mnemonic::INC:
+    case Mnemonic::DEC: {
+      const bool cf = c.flag(kCF);  // INC/DEC preserve CF
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      const std::uint32_t res = (insn.op == Mnemonic::INC) ? c.do_add(a, 1, 0, s)
+                                                           : c.do_sub(a, 1, 0, s);
+      c.set_flag(kCF, cf);
+      c.write_operand(insn.ops[0], res);
+      break;
+    }
+
+    case Mnemonic::NOT: {
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      c.write_operand(insn.ops[0], ~a & mask_for(s));
+      break;
+    }
+    case Mnemonic::NEG: {
+      const std::uint32_t a = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      const std::uint32_t res = c.do_sub(0, a, 0, s);
+      c.set_flag(kCF, (a & mask_for(s)) != 0);
+      c.write_operand(insn.ops[0], res);
+      break;
+    }
+
+    case Mnemonic::MUL: {
+      extra_cycles += 8;
+      const std::uint32_t src = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      if (s == OpSize::Byte) {
+        const std::uint32_t prod = (gpr(Reg::EAX) & 0xff) * (src & 0xff);
+        c.write_reg(Reg::EAX, OpSize::Word, prod);
+        const bool hi = (prod >> 8) != 0;
+        c.set_flag(kCF, hi);
+        c.set_flag(kOF, hi);
+      } else {
+        const std::uint64_t prod = static_cast<std::uint64_t>(gpr(Reg::EAX)) * src;
+        gpr(Reg::EAX) = static_cast<std::uint32_t>(prod);
+        gpr(Reg::EDX) = static_cast<std::uint32_t>(prod >> 32);
+        const bool hi = gpr(Reg::EDX) != 0;
+        c.set_flag(kCF, hi);
+        c.set_flag(kOF, hi);
+      }
+      break;
+    }
+
+    case Mnemonic::IMUL: {
+      extra_cycles += 8;
+      if (insn.nops <= 1) {
+        const std::uint32_t src = c.read_operand(insn.ops[0]);
+        if (!c.ok) break;
+        if (s == OpSize::Byte) {
+          const std::int32_t prod = static_cast<std::int8_t>(gpr(Reg::EAX) & 0xff) *
+                                    static_cast<std::int8_t>(src & 0xff);
+          c.write_reg(Reg::EAX, OpSize::Word, static_cast<std::uint32_t>(prod));
+          const bool of = prod != static_cast<std::int8_t>(prod);
+          c.set_flag(kCF, of);
+          c.set_flag(kOF, of);
+        } else {
+          const std::int64_t prod = static_cast<std::int64_t>(static_cast<std::int32_t>(gpr(Reg::EAX))) *
+                                    static_cast<std::int32_t>(src);
+          gpr(Reg::EAX) = static_cast<std::uint32_t>(prod);
+          gpr(Reg::EDX) = static_cast<std::uint32_t>(static_cast<std::uint64_t>(prod) >> 32);
+          const bool of = prod != static_cast<std::int32_t>(prod);
+          c.set_flag(kCF, of);
+          c.set_flag(kOF, of);
+        }
+      } else {
+        const std::uint32_t a = (insn.nops == 2) ? c.read_operand(insn.ops[0])
+                                                 : c.read_operand(insn.ops[1]);
+        const std::uint32_t b = (insn.nops == 2)
+                                    ? c.read_operand(insn.ops[1])
+                                    : static_cast<std::uint32_t>(insn.ops[2].imm);
+        if (!c.ok) break;
+        const std::int64_t prod = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                                  static_cast<std::int32_t>(b);
+        const auto res = static_cast<std::uint32_t>(prod);
+        c.write_reg(insn.ops[0].reg, OpSize::Dword, res);
+        const bool of = prod != static_cast<std::int32_t>(res);
+        c.set_flag(kCF, of);
+        c.set_flag(kOF, of);
+        c.set_szp(res, OpSize::Dword);
+      }
+      break;
+    }
+
+    case Mnemonic::DIV: {
+      extra_cycles += 20;
+      const std::uint32_t src = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      if ((src & mask_for(s)) == 0) {
+        fault("divide by zero");
+        return false;
+      }
+      if (s == OpSize::Byte) {
+        const std::uint32_t dividend = gpr(Reg::EAX) & 0xffff;
+        const std::uint32_t q = dividend / (src & 0xff);
+        const std::uint32_t r = dividend % (src & 0xff);
+        if (q > 0xff) {
+          fault("divide overflow");
+          return false;
+        }
+        c.write_reg(Reg::EAX, OpSize::Word, (r << 8) | q);
+      } else {
+        const std::uint64_t dividend =
+            (static_cast<std::uint64_t>(gpr(Reg::EDX)) << 32) | gpr(Reg::EAX);
+        const std::uint64_t q = dividend / src;
+        if (q > 0xffffffffull) {
+          fault("divide overflow");
+          return false;
+        }
+        gpr(Reg::EAX) = static_cast<std::uint32_t>(q);
+        gpr(Reg::EDX) = static_cast<std::uint32_t>(dividend % src);
+      }
+      break;
+    }
+
+    case Mnemonic::IDIV: {
+      extra_cycles += 20;
+      const std::uint32_t src = c.read_operand(insn.ops[0]);
+      if (!c.ok) break;
+      if (s == OpSize::Byte) {
+        const auto divisor = static_cast<std::int32_t>(static_cast<std::int8_t>(src & 0xff));
+        if (divisor == 0) {
+          fault("divide by zero");
+          return false;
+        }
+        const auto dividend = static_cast<std::int32_t>(static_cast<std::int16_t>(gpr(Reg::EAX) & 0xffff));
+        const std::int32_t q = dividend / divisor;
+        const std::int32_t r = dividend % divisor;
+        if (q < -128 || q > 127) {
+          fault("divide overflow");
+          return false;
+        }
+        c.write_reg(Reg::EAX, OpSize::Word,
+                    ((static_cast<std::uint32_t>(r) & 0xff) << 8) |
+                        (static_cast<std::uint32_t>(q) & 0xff));
+      } else {
+        const auto divisor = static_cast<std::int32_t>(src);
+        if (divisor == 0) {
+          fault("divide by zero");
+          return false;
+        }
+        const auto dividend = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(gpr(Reg::EDX)) << 32) | gpr(Reg::EAX));
+        if (dividend == INT64_MIN && divisor == -1) {
+          fault("divide overflow");
+          return false;
+        }
+        const std::int64_t q = dividend / divisor;
+        const std::int64_t r = dividend % divisor;
+        if (q < INT32_MIN || q > INT32_MAX) {
+          fault("divide overflow");
+          return false;
+        }
+        gpr(Reg::EAX) = static_cast<std::uint32_t>(q);
+        gpr(Reg::EDX) = static_cast<std::uint32_t>(r);
+      }
+      break;
+    }
+
+    case Mnemonic::SHL:
+    case Mnemonic::SHR:
+    case Mnemonic::SAR: {
+      const std::uint32_t count = c.read_operand(insn.ops[1]) & 31;
+      std::uint32_t a = c.read_operand(insn.ops[0]) & mask_for(s);
+      if (!c.ok) break;
+      if (count == 0) {
+        break;  // flags unchanged
+      }
+      const int bits = bits_for(s);
+      std::uint32_t res = 0;
+      bool cf = false;
+      if (insn.op == Mnemonic::SHL) {
+        if (count <= static_cast<std::uint32_t>(bits)) {
+          cf = (a >> (bits - count)) & 1;
+        }
+        res = (count >= 32) ? 0 : (a << count);
+      } else if (insn.op == Mnemonic::SHR) {
+        cf = (count <= static_cast<std::uint32_t>(bits)) && ((a >> (count - 1)) & 1);
+        res = (count >= static_cast<std::uint32_t>(bits)) ? 0 : (a >> count);
+      } else {  // SAR
+        std::int32_t sa = static_cast<std::int32_t>(a << (32 - bits)) >> (32 - bits);
+        cf = (count >= static_cast<std::uint32_t>(bits))
+                 ? (sa < 0)
+                 : ((sa >> (count - 1)) & 1);
+        sa >>= std::min<std::uint32_t>(count, 31);
+        res = static_cast<std::uint32_t>(sa);
+      }
+      res &= mask_for(s);
+      c.set_flag(kCF, cf);
+      if (count == 1) {
+        if (insn.op == Mnemonic::SHL) {
+          c.set_flag(kOF, ((res ^ a) & sign_bit(s)) != 0);
+        } else if (insn.op == Mnemonic::SHR) {
+          c.set_flag(kOF, (a & sign_bit(s)) != 0);
+        } else {
+          c.set_flag(kOF, false);
+        }
+      }
+      c.set_szp(res, s);
+      c.write_operand(insn.ops[0], res);
+      break;
+    }
+
+    case Mnemonic::ROL:
+    case Mnemonic::ROR: {
+      const int bits = bits_for(s);
+      std::uint32_t count = (c.read_operand(insn.ops[1]) & 31) % static_cast<std::uint32_t>(bits);
+      const std::uint32_t a = c.read_operand(insn.ops[0]) & mask_for(s);
+      if (!c.ok) break;
+      std::uint32_t res = a;
+      if (count != 0) {
+        if (insn.op == Mnemonic::ROL) {
+          res = ((a << count) | (a >> (bits - count))) & mask_for(s);
+          c.set_flag(kCF, res & 1);
+        } else {
+          res = ((a >> count) | (a << (bits - count))) & mask_for(s);
+          c.set_flag(kCF, (res & sign_bit(s)) != 0);
+        }
+        c.write_operand(insn.ops[0], res);
+      }
+      break;
+    }
+
+    case Mnemonic::JMP: {
+      extra_cycles += 1;
+      if (insn.ops[0].kind == Operand::Kind::Rel) {
+        eip = insn.rel_target(eip - insn.len);
+      } else {
+        eip = c.read_operand(insn.ops[0]);
+      }
+      break;
+    }
+
+    case Mnemonic::JCC:
+      if (c.cond_true(insn.cond)) {
+        extra_cycles += 1;
+        eip = insn.rel_target(eip - insn.len);
+      }
+      break;
+
+    case Mnemonic::CALL: {
+      extra_cycles += 2;
+      const std::uint32_t ret_addr = eip;
+      std::uint32_t target = 0;
+      if (insn.ops[0].kind == Operand::Kind::Rel) {
+        target = insn.rel_target(eip - insn.len);
+      } else {
+        target = c.read_operand(insn.ops[0]);
+      }
+      if (!c.ok) break;
+      c.push32(ret_addr);
+      eip = target;
+      break;
+    }
+
+    case Mnemonic::RET: {
+      extra_cycles += 2;
+      eip = c.pop32();
+      if (insn.nops == 1) gpr(Reg::ESP) += static_cast<std::uint32_t>(insn.ops[0].imm);
+      break;
+    }
+
+    case Mnemonic::RETF: {
+      extra_cycles += 3;
+      eip = c.pop32();
+      (void)c.pop32();  // discard the code-segment slot
+      if (insn.nops == 1) gpr(Reg::ESP) += static_cast<std::uint32_t>(insn.ops[0].imm);
+      break;
+    }
+
+    case Mnemonic::LEAVE:
+      extra_cycles += 2;
+      gpr(Reg::ESP) = gpr(Reg::EBP);
+      gpr(Reg::EBP) = c.pop32();
+      break;
+
+    case Mnemonic::SETCC:
+      c.write_operand(insn.ops[0], c.cond_true(insn.cond) ? 1 : 0);
+      break;
+
+    case Mnemonic::CDQ:
+      gpr(Reg::EDX) = (gpr(Reg::EAX) & 0x80000000u) ? 0xffffffffu : 0;
+      break;
+
+    case Mnemonic::NOP:
+      break;
+
+    case Mnemonic::INT3:
+      fault("int3 breakpoint");
+      return false;
+
+    case Mnemonic::INT:
+      if ((insn.ops[0].imm & 0xff) == 0x80) {
+        extra_cycles += 50;
+        do_syscall();
+      } else {
+        fault("unsupported software interrupt");
+        return false;
+      }
+      break;
+
+    case Mnemonic::HLT:
+      fault("hlt executed");
+      return false;
+
+    case Mnemonic::CLC: c.set_flag(kCF, false); break;
+    case Mnemonic::STC: c.set_flag(kCF, true); break;
+    case Mnemonic::CMC: c.set_flag(kCF, !c.flag(kCF)); break;
+    case Mnemonic::CLD: c.set_flag(kDF, false); break;
+    case Mnemonic::STD: c.set_flag(kDF, true); break;
+
+    case Mnemonic::INVALID:
+      fault("invalid opcode");
+      return false;
+  }
+
+  result_.cycles += 1 + extra_cycles;
+  return c.ok && !stopped_;
+}
+
+}  // namespace plx::vm

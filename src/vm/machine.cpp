@@ -1,0 +1,253 @@
+#include "vm/machine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "x86/decoder.h"
+
+namespace plx::vm {
+
+Machine::Machine(const img::Image& image) {
+  for (const auto& sec : image.sections) {
+    Region r;
+    r.name = sec.name;
+    r.base = sec.vaddr;
+    r.perms = sec.perms;
+    r.bytes = sec.bytes.vec();
+    regions_.push_back(std::move(r));
+  }
+  // Stack region.
+  Region stack;
+  stack.name = "[stack]";
+  stack.base = img::kStackTop - img::kStackSize;
+  stack.perms = img::kPermRead | img::kPermWrite;
+  stack.bytes.resize(img::kStackSize);
+  regions_.push_back(std::move(stack));
+
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.base < b.base; });
+
+  for (const auto& sym : image.symbols) {
+    if (!sym.is_func || sym.size == 0) continue;
+    funcs_.push_back(FuncSpan{sym.vaddr, sym.vaddr + sym.size, sym.name});
+  }
+  std::sort(funcs_.begin(), funcs_.end(),
+            [](const FuncSpan& a, const FuncSpan& b) { return a.lo < b.lo; });
+
+  eip = image.entry;
+  gpr(x86::Reg::ESP) = img::kStackTop - 16;
+  // Push the exit sentinel as the entry function's return address.
+  gpr(x86::Reg::ESP) -= 4;
+  write_u32(gpr(x86::Reg::ESP), kExitSentinel);
+}
+
+Machine::Region* Machine::region_at(std::uint32_t addr) {
+  for (auto& r : regions_) {
+    if (r.contains(addr)) return &r;
+  }
+  return nullptr;
+}
+
+const Machine::Region* Machine::region_at(std::uint32_t addr) const {
+  for (const auto& r : regions_) {
+    if (r.contains(addr)) return &r;
+  }
+  return nullptr;
+}
+
+bool Machine::read_mem(std::uint32_t addr, void* out, std::uint32_t n) {
+  Region* r = region_at(addr);
+  if (!r || !r->contains(addr + n - 1)) {
+    fault("read fault");
+    return false;
+  }
+  if (!(r->perms & img::kPermRead)) {
+    fault("read from non-readable region " + r->name);
+    return false;
+  }
+  std::memcpy(out, r->bytes.data() + (addr - r->base), n);
+  return true;
+}
+
+bool Machine::write_mem(std::uint32_t addr, const void* in, std::uint32_t n) {
+  Region* r = region_at(addr);
+  if (!r || !r->contains(addr + n - 1)) {
+    fault("write fault");
+    return false;
+  }
+  if (!(r->perms & img::kPermWrite)) {
+    fault("write to non-writable region " + r->name);
+    return false;
+  }
+  std::memcpy(r->bytes.data() + (addr - r->base), in, n);
+  // A legitimate store re-synchronises the fetch view (cache coherence on a
+  // write; the Wurster attack specifically avoids going through this path).
+  for (std::uint32_t i = 0; i < n; ++i) icache_overlay_.erase(addr + i);
+  return true;
+}
+
+std::uint32_t Machine::read_u32(std::uint32_t addr, bool& ok) {
+  std::uint32_t v = 0;
+  ok = read_mem(addr, &v, 4);
+  return v;
+}
+
+std::uint16_t Machine::read_u16(std::uint32_t addr, bool& ok) {
+  std::uint16_t v = 0;
+  ok = read_mem(addr, &v, 2);
+  return v;
+}
+
+std::uint8_t Machine::read_u8(std::uint32_t addr, bool& ok) {
+  std::uint8_t v = 0;
+  ok = read_mem(addr, &v, 1);
+  return v;
+}
+
+bool Machine::write_u32(std::uint32_t addr, std::uint32_t v) { return write_mem(addr, &v, 4); }
+bool Machine::write_u16(std::uint32_t addr, std::uint16_t v) { return write_mem(addr, &v, 2); }
+bool Machine::write_u8(std::uint32_t addr, std::uint8_t v) { return write_mem(addr, &v, 1); }
+
+void Machine::tamper(std::uint32_t addr, std::uint8_t byte) {
+  Region* r = region_at(addr);
+  if (!r) return;
+  r->bytes[addr - r->base] = byte;
+  icache_overlay_.erase(addr);
+}
+
+void Machine::tamper(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) tamper(addr + static_cast<std::uint32_t>(i), bytes[i]);
+}
+
+void Machine::tamper_icache(std::uint32_t addr, std::uint8_t byte) {
+  icache_overlay_[addr] = byte;
+}
+
+void Machine::tamper_icache(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    icache_overlay_[addr + static_cast<std::uint32_t>(i)] = bytes[i];
+  }
+}
+
+std::uint8_t Machine::fetch_u8(std::uint32_t addr, bool& ok) const {
+  auto it = icache_overlay_.find(addr);
+  if (it != icache_overlay_.end()) {
+    ok = true;
+    return it->second;
+  }
+  const Region* r = region_at(addr);
+  if (!r) {
+    ok = false;
+    return 0;
+  }
+  ok = true;
+  return r->bytes[addr - r->base];
+}
+
+void Machine::fault(const std::string& what) {
+  if (stopped_) return;
+  result_.reason = StopReason::Fault;
+  result_.fault = what;
+  result_.fault_eip = eip;
+  stopped_ = true;
+}
+
+const Machine::FuncSpan* Machine::func_at(std::uint32_t addr) const {
+  // funcs_ sorted by lo; find last span with lo <= addr.
+  auto it = std::upper_bound(funcs_.begin(), funcs_.end(), addr,
+                             [](std::uint32_t a, const FuncSpan& f) { return a < f.lo; });
+  if (it == funcs_.begin()) return nullptr;
+  --it;
+  return (addr < it->hi) ? &*it : nullptr;
+}
+
+bool Machine::step() {
+  if (stopped_) return false;
+  if (eip == kExitSentinel) {
+    result_.reason = StopReason::Exited;
+    result_.exit_code = static_cast<std::int32_t>(gpr(x86::Reg::EAX));
+    stopped_ = true;
+    return false;
+  }
+
+  // Fetch through the instruction view.
+  std::uint8_t window[15];
+  bool ok = true;
+  const Region* r = region_at(eip);
+  if (!r) {
+    fault("fetch fault: no mapping");
+    return false;
+  }
+  if (enforce_nx && !(r->perms & img::kPermExec)) {
+    fault("fetch from non-executable region " + r->name);
+    return false;
+  }
+  std::size_t avail = 0;
+  for (; avail < sizeof window; ++avail) {
+    window[avail] = fetch_u8(eip + static_cast<std::uint32_t>(avail), ok);
+    if (!ok) break;
+  }
+  const auto insn = x86::decode({window, avail});
+  if (!insn) {
+    fault("invalid opcode");
+    return false;
+  }
+
+  if (pre_insn_hook) pre_insn_hook(eip);
+
+  const std::uint32_t insn_eip = eip;
+  const std::uint64_t cycles_before = result_.cycles;
+  if (!exec_one(*insn)) return false;
+  ++result_.instructions;
+
+  if (profile_enabled) {
+    if (const FuncSpan* f = func_at(insn_eip)) {
+      auto& st = profile_[f->name];
+      st.cycles += result_.cycles - cycles_before;
+      ++st.instructions;
+      if (insn->op == x86::Mnemonic::CALL) {
+        bool okt = true;
+        // Attribute the call to the *target* function's entry.
+        if (insn->ops[0].kind == x86::Operand::Kind::Rel) {
+          const std::uint32_t target = insn->rel_target(insn_eip);
+          if (const FuncSpan* g = func_at(target); g && g->lo == target) {
+            ++profile_[g->name].calls;
+          }
+        }
+        (void)okt;
+      }
+    }
+  }
+  return !stopped_;
+}
+
+RunResult Machine::run(std::uint64_t max_instructions) {
+  while (!stopped_) {
+    if (result_.instructions >= max_instructions) {
+      result_.reason = StopReason::BudgetExceeded;
+      stopped_ = true;
+      break;
+    }
+    step();
+  }
+  return result_;
+}
+
+RunResult Machine::call_function(std::uint32_t addr, const std::vector<std::uint32_t>& args,
+                                 std::uint64_t max_instructions) {
+  eip = addr;
+  std::uint32_t& esp = gpr(x86::Reg::ESP);
+  esp = img::kStackTop - 64;
+  // cdecl: push args right-to-left, then the sentinel return address.
+  for (auto it = args.rbegin(); it != args.rend(); ++it) {
+    esp -= 4;
+    write_u32(esp, *it);
+  }
+  esp -= 4;
+  write_u32(esp, kExitSentinel);
+  stopped_ = false;
+  result_ = RunResult{};
+  return run(max_instructions);
+}
+
+}  // namespace plx::vm

@@ -1,0 +1,170 @@
+// x86-32 virtual machine.
+//
+// Executes PLX images. This is the testbed substrate for the whole
+// reproduction: protected programs, their ROP verification chains, the
+// attacker's patches and the baseline defenses all run here.
+//
+// Two features exist specifically for the paper's experiments:
+//
+//  * Split instruction/data views ("Wurster mode"). tamper_icache() changes
+//    a byte as seen by *instruction fetch* only, exactly like the kernel
+//    page-table attack of Wurster et al. [36]: checksumming code reading the
+//    same address through a data load still sees the pristine byte, while
+//    executed code (including ROP gadgets!) sees the tampered byte.
+//
+//  * Deterministic cycle accounting and a per-function flat profile, standing
+//    in for the paper's wall-clock measurements. Only ratios are reported.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "image/image.h"
+#include "support/rng.h"
+#include "x86/insn.h"
+
+namespace plx::vm {
+
+// EFLAGS bits we model (AF is accepted but always reads back 0).
+constexpr std::uint32_t kCF = 1u << 0;
+constexpr std::uint32_t kPF = 1u << 2;
+constexpr std::uint32_t kZF = 1u << 6;
+constexpr std::uint32_t kSF = 1u << 7;
+constexpr std::uint32_t kDF = 1u << 10;
+constexpr std::uint32_t kOF = 1u << 11;
+
+enum class StopReason {
+  Running,        // only seen internally
+  Exited,         // exit syscall or return through the entry sentinel
+  Fault,          // invalid opcode / bad memory / div-by-zero / int3 / W^X
+  BudgetExceeded  // instruction budget exhausted
+};
+
+struct RunResult {
+  StopReason reason = StopReason::Running;
+  std::int32_t exit_code = 0;
+  std::string fault;          // human-readable fault description
+  std::uint32_t fault_eip = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  bool exited_ok(std::int32_t expect = 0) const {
+    return reason == StopReason::Exited && exit_code == expect;
+  }
+};
+
+struct FuncStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const img::Image& image);
+
+  // --- architectural state --------------------------------------------------
+  std::uint32_t reg[8] = {};  // indexed by x86::Reg
+  std::uint32_t eip = 0;
+  std::uint32_t eflags = 0;
+
+  std::uint32_t& gpr(x86::Reg r) { return reg[static_cast<int>(r)]; }
+  std::uint32_t gpr(x86::Reg r) const { return reg[static_cast<int>(r)]; }
+
+  // --- memory ---------------------------------------------------------------
+  struct Region {
+    std::string name;
+    std::uint32_t base = 0;
+    std::uint32_t perms = 0;
+    std::vector<std::uint8_t> bytes;
+    bool contains(std::uint32_t a) const { return a >= base && a - base < bytes.size(); }
+  };
+
+  // Data-view accessors (respect permissions; set fault on violation).
+  bool read_mem(std::uint32_t addr, void* out, std::uint32_t n);
+  bool write_mem(std::uint32_t addr, const void* in, std::uint32_t n);
+  std::uint32_t read_u32(std::uint32_t addr, bool& ok);
+  std::uint16_t read_u16(std::uint32_t addr, bool& ok);
+  std::uint8_t read_u8(std::uint32_t addr, bool& ok);
+  bool write_u32(std::uint32_t addr, std::uint32_t v);
+  bool write_u16(std::uint32_t addr, std::uint16_t v);
+  bool write_u8(std::uint32_t addr, std::uint8_t v);
+
+  // Attacker interface: patch ignoring permissions.
+  void tamper(std::uint32_t addr, std::uint8_t byte);              // both views
+  void tamper(std::uint32_t addr, std::span<const std::uint8_t>);  // both views
+  void tamper_icache(std::uint32_t addr, std::uint8_t byte);       // fetch view only
+  void tamper_icache(std::uint32_t addr, std::span<const std::uint8_t>);
+  void clear_icache_overlay() { icache_overlay_.clear(); }
+
+  // Fetch-view read (what execution sees); used by tests to inspect.
+  std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const;
+
+  Region* region_at(std::uint32_t addr);
+  const Region* region_at(std::uint32_t addr) const;
+
+  // --- execution --------------------------------------------------------
+  // Runs from the image entry point until exit/fault/budget.
+  RunResult run(std::uint64_t max_instructions = 100'000'000);
+
+  // Calls a function at `addr` with cdecl args; returns when it returns to
+  // the sentinel. Used by unit tests and the chain-slowdown benches.
+  RunResult call_function(std::uint32_t addr, const std::vector<std::uint32_t>& args,
+                          std::uint64_t max_instructions = 100'000'000);
+
+  // Single-step; updates `result_`. Returns false when stopped.
+  bool step();
+  const RunResult& result() const { return result_; }
+
+  // --- host / syscall state -------------------------------------------------
+  std::string output;                 // bytes written to fd 1/2
+  std::vector<std::uint8_t> input;    // bytes served by read(fd 0)
+  std::size_t input_pos = 0;
+  bool debugger_attached = false;     // makes ptrace(TRACEME) fail
+  std::uint32_t time_value = 1700000000;
+  Rng rng{0x5eed};
+
+  // Pre-instruction hook (tracing); called with the decoded eip.
+  std::function<void(std::uint32_t)> pre_insn_hook;
+
+  // --- profiling --------------------------------------------------------
+  bool profile_enabled = false;
+  const std::map<std::string, FuncStats>& profile() const { return profile_; }
+
+  std::uint64_t instructions() const { return result_.instructions; }
+  std::uint64_t cycles() const { return result_.cycles; }
+
+  // W^X enforcement on fetch (on by default; gadgets live in .text so
+  // Parallax never needs it off — see §V-B: chains are *data*, only gadget
+  // bodies execute).
+  bool enforce_nx = true;
+
+ private:
+  friend struct ExecCtx;
+
+  void fault(const std::string& what);
+  void do_syscall();
+  bool exec_one(const x86::Insn& insn);  // defined in exec.cpp
+
+  std::vector<Region> regions_;
+  std::unordered_map<std::uint32_t, std::uint8_t> icache_overlay_;
+  RunResult result_;
+  bool stopped_ = false;
+
+  // Sorted function table for profile attribution.
+  struct FuncSpan {
+    std::uint32_t lo, hi;
+    std::string name;
+  };
+  std::vector<FuncSpan> funcs_;
+  std::map<std::string, FuncStats> profile_;
+  const FuncSpan* func_at(std::uint32_t addr) const;
+
+  static constexpr std::uint32_t kExitSentinel = 0xffff0000;
+};
+
+}  // namespace plx::vm

@@ -1,0 +1,88 @@
+#include "vm/syscalls.h"
+
+#include <algorithm>
+
+#include "vm/machine.h"
+
+namespace plx::vm {
+
+using x86::Reg;
+
+void Machine::do_syscall() {
+  const std::uint32_t num = gpr(Reg::EAX);
+  const std::uint32_t a1 = gpr(Reg::EBX);
+  const std::uint32_t a2 = gpr(Reg::ECX);
+  const std::uint32_t a3 = gpr(Reg::EDX);
+  std::int32_t ret = sys::kEnosys;
+
+  switch (num) {
+    case sys::kExit:
+      result_.reason = StopReason::Exited;
+      result_.exit_code = static_cast<std::int32_t>(a1);
+      stopped_ = true;
+      return;
+
+    case sys::kWrite: {
+      if (a1 == 1 || a1 == 2) {
+        std::string chunk;
+        chunk.resize(a3);
+        bool ok = a3 == 0 || read_mem(a2, chunk.data(), a3);
+        if (!ok) return;  // fault already recorded
+        output += chunk;
+        ret = static_cast<std::int32_t>(a3);
+      } else {
+        ret = sys::kEperm;
+      }
+      break;
+    }
+
+    case sys::kRead: {
+      if (a1 == 0) {
+        const std::size_t avail = input.size() - std::min(input_pos, input.size());
+        const std::uint32_t n = std::min<std::uint32_t>(a3, static_cast<std::uint32_t>(avail));
+        if (n > 0) {
+          if (!write_mem(a2, input.data() + input_pos, n)) return;
+          input_pos += n;
+        }
+        ret = static_cast<std::int32_t>(n);
+      } else {
+        ret = sys::kEperm;
+      }
+      break;
+    }
+
+    case sys::kTime:
+      ret = static_cast<std::int32_t>(time_value);
+      break;
+
+    case sys::kGetpid:
+      ret = 1234;
+      break;
+
+    case sys::kPtrace:
+      // request 0 == PTRACE_TRACEME: succeeds unless a debugger is already
+      // attached — the paper's running example (§IV-A) hinges on this.
+      if (a1 == 0) {
+        ret = debugger_attached ? sys::kEperm : 0;
+      } else {
+        ret = sys::kEperm;
+      }
+      break;
+
+    case sys::kRand:
+      ret = static_cast<std::int32_t>(rng.next_u32() & 0x7fffffffu);
+      break;
+
+    case sys::kSrand:
+      rng = Rng(a1);
+      ret = 0;
+      break;
+
+    default:
+      ret = sys::kEnosys;
+      break;
+  }
+  gpr(Reg::EAX) = static_cast<std::uint32_t>(ret);
+}
+
+}  // namespace plx::vm

@@ -1,0 +1,26 @@
+// Syscall numbers understood by the VM's int 0x80 gate.
+//
+// The classic Linux/i386 numbers are used where an equivalent exists, so
+// workload code reads naturally; PLX-specific calls live above 512.
+// Arguments follow the i386 convention: eax = number, ebx/ecx/edx/esi/edi =
+// args, return value in eax (negative errno-style on failure).
+#pragma once
+
+#include <cstdint>
+
+namespace plx::vm::sys {
+
+constexpr std::uint32_t kExit = 1;
+constexpr std::uint32_t kRead = 3;    // (fd, buf, count) — fd 0 serves Machine::input
+constexpr std::uint32_t kWrite = 4;   // (fd, buf, count) — fd 1/2 append to Machine::output
+constexpr std::uint32_t kTime = 13;   // () -> Machine::time_value (non-deterministic input!)
+constexpr std::uint32_t kGetpid = 20;
+constexpr std::uint32_t kPtrace = 26;  // (request, pid, addr, data); request 0 = TRACEME
+
+constexpr std::uint32_t kRand = 512;   // () -> 31-bit pseudo-random (non-deterministic input!)
+constexpr std::uint32_t kSrand = 513;  // (seed)
+
+constexpr std::int32_t kEnosys = -38;
+constexpr std::int32_t kEperm = -1;
+
+}  // namespace plx::vm::sys

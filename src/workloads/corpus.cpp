@@ -1,0 +1,502 @@
+#include "workloads/corpus.h"
+
+namespace plx::workloads {
+
+namespace {
+
+// Corpus design notes
+// --------------------
+// Each program has (a) a *hot* inner loop that dominates runtime and never
+// calls the verification helper, and (b) a small arithmetic-rich helper
+// called from >= 2 sites at structural boundaries (per block / request /
+// frame). That mirrors the regime the paper's §VII-B selection finds in real
+// programs: the helper executes repeatedly (so integrity is verified
+// throughout the run) yet contributes well under 2% of cycles, keeping
+// whole-program overhead in the Figure 5b band even at 10-60x chain
+// slowdowns. Helpers avoid division (no chain lowering) and multiplication
+// (whose shift-add chain lowering would blow the slowdown out of the
+// paper's 3.7-64x range).
+
+// ---------------------------------------------------------------------------
+// minigzip — LZ77-style compressor (stands in for gzip).
+// Hot: the match-search loop. Cold helper: hash_step — per-block digest
+// update, called from two sites.
+// ---------------------------------------------------------------------------
+const char* kMinigzip = R"(
+int seed = 12345;
+char data[2048];
+char window[64];
+int out_tokens = 0;
+int digest = 1;
+
+int hash_step(int h, int c) {
+  h = (h << 5) ^ (h >> 3) ^ (c << 1) ^ c;
+  h = h & 0xffffff;
+  if (h == 0) h = 1;
+  return h;
+}
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+int fill_input() {
+  for (int i = 0; i < 2048; i++) {
+    int r = next_rand();
+    data[i] = (r & 15) + 'a';     // low-entropy: plenty of matches
+  }
+  return 0;
+}
+
+int find_match(int pos, int limit) {
+  int best = 0;
+  for (int w = 0; w < 64; w++) {
+    int len = 0;
+    while (len < 8 && pos + len < limit) {
+      if (window[(w + len) & 63] != data[pos + len]) break;
+      len++;
+    }
+    if (len > best) best = len;
+  }
+  return best;
+}
+
+int main() {
+  fill_input();
+  int pos = 0;
+  int block_sum = 0;
+  int block_end = 128;
+  while (pos < 2048) {
+    int len = find_match(pos, 2048);
+    if (len >= 3) {
+      out_tokens++;
+      block_sum = block_sum + len;
+      pos = pos + len;
+    } else {
+      block_sum = block_sum + data[pos];
+      pos = pos + 1;
+    }
+    window[pos & 63] = data[pos & 2047];
+    if (pos >= block_end) {
+      digest = hash_step(digest, block_sum);   // per-block digest
+      block_sum = 0;
+      block_end = block_end + 128;
+    }
+  }
+  digest = hash_step(digest, out_tokens);       // trailer digest
+  return digest & 0xff;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// minibzip2 — move-to-front + RLE block transform (stands in for bzip2).
+// Hot: the MTF ranking loop. Cold helper: rank_mix — per-group digest.
+// ---------------------------------------------------------------------------
+const char* kMinibzip2 = R"(
+int seed = 777;
+char block[3072];
+char mtf[256];
+int out = 0;
+int runs = 0;
+
+int rank_mix(int acc, int sym) {
+  int v = (acc << 3) + sym;
+  v = v ^ (acc >> 5);
+  v = v + (sym << 7);
+  if (v < 0) v = -v;
+  return v & 0xfffff;
+}
+
+int next_rand() {
+  seed = seed * 69069 + 1;
+  return (seed >> 12) & 0x7fff;
+}
+
+int fill_block() {
+  for (int i = 0; i < 3072; i++) {
+    block[i] = next_rand() & 31;
+  }
+  return 0;
+}
+
+int mtf_encode(int c) {
+  int r = 0;
+  while (mtf[r] != c) r++;
+  int i = r;
+  while (i > 0) {
+    mtf[i] = mtf[i - 1];
+    i--;
+  }
+  mtf[0] = c;
+  return r;
+}
+
+int main() {
+  fill_block();
+  for (int i = 0; i < 256; i++) mtf[i] = i;
+  int run = 0;
+  int prev = -1;
+  int group_sum = 0;
+  for (int i = 0; i < 3072; i++) {
+    int r = mtf_encode(block[i]);
+    if (r == prev) {
+      run++;
+    } else {
+      if (run > 1) runs++;
+      run = 1;
+      prev = r;
+    }
+    group_sum = group_sum + r;
+    if ((i & 255) == 255) {
+      out = rank_mix(out, group_sum);           // per-group digest
+      group_sum = 0;
+    }
+  }
+  out = rank_mix(out, runs);                     // trailer digest
+  return out & 0xff;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// miniwget — protocol response parser + body checksum (stands in for wget).
+// Hot: the body checksum loop (no helper calls). Cold helper: hex_digit —
+// chunk-size parsing and %-unescaping; genuinely non-deterministic-input
+// code, the class OH cannot protect (§VIII-C).
+// ---------------------------------------------------------------------------
+const char* kMiniwget = R"(
+char response[512] = "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nTransfer-Encoding: chunked\r\n\r\n1a\r\nabcdefghij%20klmnopqrstuvw\r\n10\r\n0123456789abcdef\r\n0\r\n\r\n";
+char body[128];
+int body_len = 0;
+int chunks = 0;
+int unescaped = 0;
+
+int hex_digit(int c) {
+  if (c >= '0') {
+    if (c <= '9') return c - '0';
+  }
+  if (c >= 'a') {
+    if (c <= 'f') return c - 'a' + 10;
+  }
+  if (c >= 'A') {
+    if (c <= 'F') return c - 'A' + 10;
+  }
+  return -1;
+}
+
+int skip_line(int pos) {
+  while (response[pos] != 13 && response[pos] != 0) pos++;
+  if (response[pos] == 13) pos = pos + 2;
+  return pos;
+}
+
+int download() {
+  body_len = 0;
+  int pos = 0;
+  while (response[pos] != 0) {
+    if (response[pos] == 13 && response[pos + 2] == 13) break;
+    pos++;
+  }
+  pos = pos + 4;
+  while (response[pos] != 0) {
+    int size = 0;
+    int d = hex_digit(response[pos]);
+    int p = pos;
+    while (d >= 0) {
+      size = size * 16 + d;
+      p++;
+      d = hex_digit(response[p]);
+    }
+    if (size == 0) break;
+    chunks++;
+    pos = skip_line(pos);
+    int i = 0;
+    while (i < size) {
+      int c = response[pos + i];
+      if (c == '%') {
+        unescaped++;
+        c = hex_digit(response[pos + i + 1]) * 16 + hex_digit(response[pos + i + 2]);
+        i = i + 3;
+      } else {
+        i = i + 1;
+      }
+      body[body_len] = c;
+      body_len++;
+    }
+    pos = skip_line(pos + size);
+  }
+  return body_len;
+}
+
+int main() {
+  int sum = 0;
+  for (int fetch = 0; fetch < 4; fetch++) {
+    download();
+    // Hot: verify/checksum the payload many times (disk-write CRC stand-in).
+    for (int round = 0; round < 1600; round++) {
+      for (int i = 0; i < body_len; i++) {
+        sum = (sum + body[i]) ^ (sum << 3);
+        sum = sum & 0xffffff;
+      }
+    }
+  }
+  return (sum ^ chunks ^ unescaped) & 0xff;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// mininginx — request routing event loop (stands in for nginx).
+// Hot: serving content (page checksum). Cold helper: route_mix — access-log
+// digest per request and per round.
+// ---------------------------------------------------------------------------
+const char* kMininginx = R"(
+char requests[448] = "GET /index.html HTTP/1.1\nGET /api/v1/users HTTP/1.1\nPOST /api/v1/users HTTP/1.1\nGET /static/css/main.css HTTP/1.1\nGET /api/v1/orders HTTP/1.1\nDELETE /api/v1/orders/42 HTTP/1.1\nGET /favicon.ico HTTP/1.1\nHEAD /health HTTP/1.1\n";
+char page[2048];
+int served[8];
+int log_sum = 0;
+
+int route_mix(int h, int c) {
+  h = h ^ (c << 1);
+  h = (h << 4) + h + c;
+  h = h & 0x7fffffff;
+  return h;
+}
+
+int build_page() {
+  for (int i = 0; i < 2048; i++) {
+    page[i] = 32 + ((i * 7) & 63);
+  }
+  return 0;
+}
+
+int serve(int route) {
+  // Hot path: checksum the page (content generation stand-in).
+  int sum = route;
+  for (int i = 0; i < 2048; i++) {
+    sum = (sum + page[i]) ^ (sum << 2);
+    sum = sum & 0xffffff;
+  }
+  return sum;
+}
+
+int main() {
+  build_page();
+  int acc = 0;
+  for (int round = 0; round < 12; round++) {
+    int pos = 0;
+    while (requests[pos] != 0) {
+      int method_end = pos;
+      while (requests[method_end] != ' ') method_end++;
+      int path_end = method_end + 1;
+      int h = 5381;
+      while (requests[path_end] != ' ') {
+        h = ((h << 5) + h) ^ requests[path_end];   // inline djb2 (hot-ish)
+        path_end++;
+      }
+      int r = h & 7;
+      served[r] = served[r] + 1;
+      acc = acc ^ serve(r);
+      log_sum = route_mix(log_sum, r);             // per-request log digest
+      while (requests[pos] != '\n' && requests[pos] != 0) pos++;
+      if (requests[pos] == '\n') pos++;
+    }
+    log_sum = route_mix(log_sum, round);            // per-round digest
+  }
+  for (int i = 0; i < 8; i++) acc = acc + served[i];
+  return (acc ^ log_sum) & 0xff;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// minigcc — tokeniser + constant-expression evaluator (stands in for gcc).
+// Hot: lexing a synthetic source buffer. Cold helper: fold — the constant
+// folding step, called from the evaluator's two reduction sites.
+// ---------------------------------------------------------------------------
+const char* kMinigcc = R"(
+int seed = 31337;
+char src[1024];
+int vals[64];
+int ops[64];
+int folded = 0;
+int idents = 0;
+int numbers = 0;
+
+int fold(int op, int a, int b) {
+  if (op == 0) return a + b;
+  if (op == 1) return a - b;
+  if (op == 2) return (a << 3) - (b & 0xffff);
+  if (op == 3) return a & b;
+  if (op == 4) return a | b;
+  return a ^ b;
+}
+
+int prec(int op) {
+  if (op == 2) return 2;
+  if (op == 0) return 1;
+  if (op == 1) return 1;
+  return 0;
+}
+
+int next_rand() {
+  seed = seed * 1664525 + 1013904223;
+  return (seed >> 10) & 0x7fff;
+}
+
+int gen_source() {
+  for (int i = 0; i < 1024; i++) {
+    int r = next_rand() & 63;
+    if (r < 20) {
+      src[i] = 'a' + (r & 15);
+    } else if (r < 40) {
+      src[i] = '0' + (r & 7);
+    } else if (r < 44) {
+      src[i] = '+';
+    } else if (r < 48) {
+      src[i] = '*';
+    } else if (r < 52) {
+      src[i] = '(';
+    } else if (r < 56) {
+      src[i] = ')';
+    } else {
+      src[i] = ' ';
+    }
+  }
+  src[1023] = 0;
+  return 0;
+}
+
+int lex_pass() {
+  // Hot: classify every character, accumulate token stats.
+  int toks = 0;
+  int i = 0;
+  while (src[i] != 0) {
+    int c = src[i];
+    if (c >= 'a' && c <= 'z') {
+      while (src[i] >= 'a' && src[i] <= 'z') i++;
+      idents++;
+      toks++;
+    } else if (c >= '0' && c <= '9') {
+      while (src[i] >= '0' && src[i] <= '9') i++;
+      numbers++;
+      toks++;
+    } else {
+      i++;
+      if (c != ' ') toks++;
+    }
+  }
+  return toks;
+}
+
+int eval_expr(int nterms) {
+  int vsp = 0;
+  int osp = 0;
+  vals[vsp] = next_rand();
+  vsp++;
+  for (int t = 1; t < nterms; t++) {
+    int op = next_rand() % 6;
+    while (osp > 0 && prec(ops[osp - 1]) >= prec(op)) {
+      osp--;
+      vsp--;
+      vals[vsp - 1] = fold(ops[osp], vals[vsp - 1], vals[vsp]);
+      folded++;
+    }
+    ops[osp] = op;
+    osp++;
+    vals[vsp] = next_rand();
+    vsp++;
+  }
+  while (osp > 0) {
+    osp--;
+    vsp--;
+    vals[vsp - 1] = fold(ops[osp], vals[vsp - 1], vals[vsp]);
+    folded++;
+  }
+  return vals[0];
+}
+
+int main() {
+  gen_source();
+  int acc = 0;
+  for (int pass = 0; pass < 160; pass++) {
+    acc = acc + lex_pass();            // hot
+  }
+  for (int e = 0; e < 6; e++) {
+    acc = acc ^ eval_expr(3 + (e & 7));  // cold constant folding
+    acc = acc & 0xffffff;
+  }
+  return (acc ^ folded ^ idents ^ numbers) & 0xff;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// minilame — audio filter + quantiser (stands in for lame).
+// Hot: the per-sample filter loop. Cold helper: clamp16 — applied to frame
+// peaks only. clamp16's chain is tiny, which reproduces the paper's lame
+// pathology under RC4 hardening (the keyschedule dwarfs a microseconds-long
+// chain).
+// ---------------------------------------------------------------------------
+const char* kMinilame = R"(
+int seed = 424242;
+int hist0 = 0;
+int hist1 = 0;
+int clipped = 0;
+
+int clamp16(int x) {
+  if (x > 32767) return 32767;
+  if (x < -32768) return -32768;
+  return x;
+}
+
+int main() {
+  int acc = 0;
+  int energy = 0;
+  int peak = 0;
+  int frames = 0;
+  for (int i = 0; i < 16000; i++) {
+    seed = seed * 1103515245 + 12345;
+    int s = ((seed >> 8) & 0xffff) - 32768;
+    // Two-tap IIR-ish filter in integer math (hot).
+    int y = s + ((hist0 * 3) >> 2) - (hist1 >> 1);
+    hist1 = hist0;
+    hist0 = y;
+    int a = y;
+    if (a < 0) a = -a;
+    if (a > peak) peak = a;
+    int q8 = (y >> 8) & 0xff;
+    energy = (energy + q8) & 0xffffff;
+    acc = (acc ^ q8) + (acc << 1);
+    acc = acc & 0xffffff;
+    if ((i & 1023) == 1023) {
+      int p = clamp16(peak);            // frame peak clamp (cold)
+      if (p != peak) clipped++;
+      acc = acc ^ clamp16(p - 16384);   // frame gain staging (cold)
+      peak = 0;
+      frames++;
+    }
+  }
+  return (acc ^ energy ^ clipped ^ frames) & 0xff;
+}
+)";
+
+}  // namespace
+
+const std::vector<Workload>& corpus() {
+  static const std::vector<Workload> kCorpus = {
+      {"miniwget", "wget", kMiniwget, "hex_digit"},
+      {"mininginx", "nginx", kMininginx, "route_mix"},
+      {"minibzip2", "bzip2", kMinibzip2, "rank_mix"},
+      {"minigzip", "gzip", kMinigzip, "hash_step"},
+      {"minigcc", "gcc", kMinigcc, "fold"},
+      {"minilame", "lame", kMinilame, "clamp16"},
+  };
+  return kCorpus;
+}
+
+const Workload* find_workload(const std::string& name) {
+  for (const auto& w : corpus()) {
+    if (w.name == name || w.paper_name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace plx::workloads

@@ -1,0 +1,32 @@
+// The evaluation corpus.
+//
+// The paper measures six real programs (wget, nginx, bzip2, gzip, gcc,
+// lame). Those binaries and their compiler are not reproducible offline, so
+// the corpus consists of six mini-C programs with the same *shape*: the same
+// kind of inner loops (compression, parsing, filtering, code generation) and
+// the same structural property the §VII-B selection relies on — small,
+// arithmetic-rich helper functions called repeatedly from several sites that
+// account for a sliver of total runtime. DESIGN.md documents the
+// substitution.
+//
+// Each workload carries a suggested verification function (the one §VII-B
+// picks) so benchmarks can run deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plx::workloads {
+
+struct Workload {
+  std::string name;         // matches the paper's program it stands in for
+  std::string paper_name;   // e.g. "gzip"
+  std::string source;       // mini-C
+  std::string verify_function;
+};
+
+const std::vector<Workload>& corpus();
+const Workload* find_workload(const std::string& name);
+
+}  // namespace plx::workloads

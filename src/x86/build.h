@@ -1,0 +1,130 @@
+// Fluent Insn construction helpers.
+//
+// The mini-C backend, the verification-stub emitter and many tests construct
+// instructions programmatically; these helpers keep those call sites
+// readable: `ins::mov(Reg::EAX, 42)`, `ins::add(Reg::ESI, Reg::EAX)`,
+// `ins::load(Reg::EAX, Mem{.base = Reg::EBP, .disp = -4})`.
+#pragma once
+
+#include "x86/insn.h"
+
+namespace plx::x86::ins {
+
+inline Insn make(Mnemonic op) {
+  Insn i;
+  i.op = op;
+  return i;
+}
+
+inline Insn make1(Mnemonic op, Operand a) {
+  Insn i;
+  i.op = op;
+  i.ops[0] = a;
+  i.nops = 1;
+  if (a.kind == Operand::Kind::Reg || a.kind == Operand::Kind::Mem) i.opsize = a.size;
+  return i;
+}
+
+inline Insn make2(Mnemonic op, Operand a, Operand b) {
+  Insn i;
+  i.op = op;
+  i.ops[0] = a;
+  i.ops[1] = b;
+  i.nops = 2;
+  if (a.kind == Operand::Kind::Reg || a.kind == Operand::Kind::Mem) i.opsize = a.size;
+  return i;
+}
+
+// --- operand shorthands -----------------------------------------------------
+inline Operand r(Reg reg) { return Operand::make_reg(reg); }
+inline Operand r8(Reg reg) { return Operand::make_reg(reg, OpSize::Byte); }
+inline Operand imm(std::int32_t v) { return Operand::make_imm(v); }
+inline Operand mem(Mem m, OpSize s = OpSize::Dword) { return Operand::make_mem(m, s); }
+inline Operand membd(Reg base, std::int32_t disp = 0, OpSize s = OpSize::Dword) {
+  return Operand::make_mem(Mem{.base = base, .disp = disp}, s);
+}
+inline Operand memabs(std::uint32_t addr, OpSize s = OpSize::Dword) {
+  return Operand::make_mem(Mem{.disp = static_cast<std::int32_t>(addr)}, s);
+}
+
+// --- common instructions ----------------------------------------------------
+inline Insn mov(Reg dst, std::int32_t v) { return make2(Mnemonic::MOV, r(dst), imm(v)); }
+inline Insn mov(Reg dst, Reg src) { return make2(Mnemonic::MOV, r(dst), r(src)); }
+inline Insn mov(Operand dst, Operand src) { return make2(Mnemonic::MOV, dst, src); }
+inline Insn add(Reg dst, Reg src) { return make2(Mnemonic::ADD, r(dst), r(src)); }
+inline Insn add(Reg dst, std::int32_t v) { return make2(Mnemonic::ADD, r(dst), imm(v)); }
+inline Insn sub(Reg dst, Reg src) { return make2(Mnemonic::SUB, r(dst), r(src)); }
+inline Insn sub(Reg dst, std::int32_t v) { return make2(Mnemonic::SUB, r(dst), imm(v)); }
+inline Insn xor_(Reg dst, Reg src) { return make2(Mnemonic::XOR, r(dst), r(src)); }
+inline Insn and_(Reg dst, Reg src) { return make2(Mnemonic::AND, r(dst), r(src)); }
+inline Insn or_(Reg dst, Reg src) { return make2(Mnemonic::OR, r(dst), r(src)); }
+inline Insn cmp(Reg a, Reg b) { return make2(Mnemonic::CMP, r(a), r(b)); }
+inline Insn cmp(Reg a, std::int32_t v) { return make2(Mnemonic::CMP, r(a), imm(v)); }
+inline Insn test(Reg a, Reg b) { return make2(Mnemonic::TEST, r(a), r(b)); }
+inline Insn push(Reg reg) { return make1(Mnemonic::PUSH, r(reg)); }
+inline Insn push(std::int32_t v) { return make1(Mnemonic::PUSH, imm(v)); }
+inline Insn pop(Reg reg) { return make1(Mnemonic::POP, r(reg)); }
+inline Insn inc(Reg reg) { return make1(Mnemonic::INC, r(reg)); }
+inline Insn dec(Reg reg) { return make1(Mnemonic::DEC, r(reg)); }
+inline Insn neg(Reg reg) { return make1(Mnemonic::NEG, r(reg)); }
+inline Insn not_(Reg reg) { return make1(Mnemonic::NOT, r(reg)); }
+inline Insn load(Reg dst, Mem src, OpSize s = OpSize::Dword) {
+  return make2(Mnemonic::MOV, Operand::make_reg(dst, s), Operand::make_mem(src, s));
+}
+inline Insn store(Mem dst, Reg src, OpSize s = OpSize::Dword) {
+  return make2(Mnemonic::MOV, Operand::make_mem(dst, s), Operand::make_reg(src, s));
+}
+inline Insn lea(Reg dst, Mem src) { return make2(Mnemonic::LEA, r(dst), Operand::make_mem(src)); }
+inline Insn ret() { return make(Mnemonic::RET); }
+inline Insn retf() { return make(Mnemonic::RETF); }
+inline Insn leave() { return make(Mnemonic::LEAVE); }
+inline Insn nop() { return make(Mnemonic::NOP); }
+inline Insn pushad() { return make(Mnemonic::PUSHAD); }
+inline Insn popad() { return make(Mnemonic::POPAD); }
+inline Insn pushfd() { return make(Mnemonic::PUSHFD); }
+inline Insn popfd() { return make(Mnemonic::POPFD); }
+inline Insn cdq() { return make(Mnemonic::CDQ); }
+inline Insn int_(std::uint8_t vector) {
+  return make1(Mnemonic::INT, Operand::make_imm(vector, OpSize::Byte));
+}
+inline Insn hlt() { return make(Mnemonic::HLT); }
+
+inline Insn jmp_rel(std::int32_t rel, bool wide = true) {
+  Insn i = make1(Mnemonic::JMP, Operand::make_rel(rel));
+  i.wide_imm = wide;
+  return i;
+}
+inline Insn jcc_rel(Cond c, std::int32_t rel, bool wide = true) {
+  Insn i = make1(Mnemonic::JCC, Operand::make_rel(rel));
+  i.cond = c;
+  i.wide_imm = wide;
+  return i;
+}
+inline Insn call_rel(std::int32_t rel) {
+  Insn i = make1(Mnemonic::CALL, Operand::make_rel(rel));
+  i.wide_imm = true;
+  return i;
+}
+inline Insn setcc(Cond c, Reg dst8) {
+  Insn i = make1(Mnemonic::SETCC, r8(dst8));
+  i.cond = c;
+  return i;
+}
+inline Insn movzx8(Reg dst, Reg src8) {
+  return make2(Mnemonic::MOVZX, r(dst), r8(src8));
+}
+inline Insn shl(Reg dst, std::int32_t n) {
+  return make2(Mnemonic::SHL, r(dst), Operand::make_imm(n, OpSize::Byte));
+}
+inline Insn shr(Reg dst, std::int32_t n) {
+  return make2(Mnemonic::SHR, r(dst), Operand::make_imm(n, OpSize::Byte));
+}
+inline Insn sar(Reg dst, std::int32_t n) {
+  return make2(Mnemonic::SAR, r(dst), Operand::make_imm(n, OpSize::Byte));
+}
+inline Insn shl_cl(Reg dst) { return make2(Mnemonic::SHL, r(dst), r8(Reg::ECX)); }
+inline Insn shr_cl(Reg dst) { return make2(Mnemonic::SHR, r(dst), r8(Reg::ECX)); }
+inline Insn sar_cl(Reg dst) { return make2(Mnemonic::SAR, r(dst), r8(Reg::ECX)); }
+inline Insn imul2(Reg dst, Reg src) { return make2(Mnemonic::IMUL, r(dst), r(src)); }
+
+}  // namespace plx::x86::ins

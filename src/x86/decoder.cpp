@@ -1,0 +1,577 @@
+#include "x86/decoder.h"
+
+namespace plx::x86 {
+
+namespace {
+
+// Cursor over the input; all reads check bounds and flip `ok` on overrun.
+struct Cursor {
+  std::span<const std::uint8_t> bytes;
+  std::size_t off = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (off >= bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes[off++];
+  }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8();
+    std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i8sx() { return static_cast<std::int8_t>(u8()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+};
+
+// Decodes a ModRM byte (and SIB/displacement) into an Operand. `size` is the
+// data size of the r/m operand. Returns the `reg` field via out-param.
+std::optional<Operand> decode_modrm(Cursor& cur, OpSize size, std::uint8_t& reg_field) {
+  const std::uint8_t modrm = cur.u8();
+  if (!cur.ok) return std::nullopt;
+  const std::uint8_t mod = modrm >> 6;
+  reg_field = (modrm >> 3) & 7;
+  const std::uint8_t rm = modrm & 7;
+
+  if (mod == 3) {
+    return Operand::make_reg(static_cast<Reg>(rm), size);
+  }
+
+  Mem mem;
+  if (rm == 4) {
+    // SIB byte follows.
+    const std::uint8_t sib = cur.u8();
+    if (!cur.ok) return std::nullopt;
+    const std::uint8_t ss = sib >> 6;
+    const std::uint8_t index = (sib >> 3) & 7;
+    const std::uint8_t base = sib & 7;
+    if (index != 4) {  // index==ESP means "no index"
+      mem.index = static_cast<Reg>(index);
+      mem.scale = static_cast<std::uint8_t>(1u << ss);
+    }
+    if (base == 5 && mod == 0) {
+      mem.base = Reg::NONE;
+      mem.disp = cur.i32();
+    } else {
+      mem.base = static_cast<Reg>(base);
+    }
+  } else if (rm == 5 && mod == 0) {
+    // [disp32]
+    mem.base = Reg::NONE;
+    mem.disp = cur.i32();
+  } else {
+    mem.base = static_cast<Reg>(rm);
+  }
+
+  if (mod == 1) {
+    mem.disp = cur.i8sx();
+  } else if (mod == 2) {
+    mem.disp = cur.i32();
+  }
+  if (!cur.ok) return std::nullopt;
+  return Operand::make_mem(mem, size);
+}
+
+// ALU family mnemonic by /r extension or opcode row: add,or,adc,sbb,and,sub,xor,cmp.
+Mnemonic alu_mnemonic(std::uint8_t idx) {
+  static constexpr Mnemonic kTable[] = {Mnemonic::ADD, Mnemonic::OR,  Mnemonic::ADC,
+                                        Mnemonic::SBB, Mnemonic::AND, Mnemonic::SUB,
+                                        Mnemonic::XOR, Mnemonic::CMP};
+  return kTable[idx & 7];
+}
+
+// Shift group (grp2) by /r extension. /2 (RCL) and /3 (RCR) are unsupported.
+Mnemonic shift_mnemonic(std::uint8_t ext) {
+  switch (ext) {
+    case 0: return Mnemonic::ROL;
+    case 1: return Mnemonic::ROR;
+    case 4: return Mnemonic::SHL;
+    case 5: return Mnemonic::SHR;
+    case 6: return Mnemonic::SHL;  // SAL == SHL
+    case 7: return Mnemonic::SAR;
+    default: return Mnemonic::INVALID;
+  }
+}
+
+std::optional<Insn> finish(Insn insn, const Cursor& cur) {
+  if (!cur.ok || insn.op == Mnemonic::INVALID) return std::nullopt;
+  insn.len = static_cast<std::uint8_t>(cur.off);
+  return insn;
+}
+
+std::optional<Insn> decode_0f(Cursor& cur) {
+  Insn insn;
+  const std::uint8_t op = cur.u8();
+  if (!cur.ok) return std::nullopt;
+
+  if (op >= 0x80 && op <= 0x8f) {  // Jcc rel32
+    insn.op = Mnemonic::JCC;
+    insn.cond = static_cast<Cond>(op & 0xf);
+    insn.ops[0] = Operand::make_rel(cur.i32());
+    insn.nops = 1;
+    insn.wide_imm = true;
+    return finish(insn, cur);
+  }
+  if (op >= 0x90 && op <= 0x9f) {  // SETcc r/m8
+    insn.op = Mnemonic::SETCC;
+    insn.cond = static_cast<Cond>(op & 0xf);
+    std::uint8_t reg_field = 0;
+    auto rm = decode_modrm(cur, OpSize::Byte, reg_field);
+    if (!rm) return std::nullopt;
+    insn.ops[0] = *rm;
+    insn.nops = 1;
+    insn.opsize = OpSize::Byte;
+    return finish(insn, cur);
+  }
+  switch (op) {
+    case 0xaf: {  // IMUL r32, r/m32
+      insn.op = Mnemonic::IMUL;
+      std::uint8_t reg_field = 0;
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm) return std::nullopt;
+      insn.ops[0] = Operand::make_reg(static_cast<Reg>(reg_field));
+      insn.ops[1] = *rm;
+      insn.nops = 2;
+      return finish(insn, cur);
+    }
+    case 0xb6:    // MOVZX r32, r/m8
+    case 0xb7:    // MOVZX r32, r/m16
+    case 0xbe:    // MOVSX r32, r/m8
+    case 0xbf: {  // MOVSX r32, r/m16
+      insn.op = (op == 0xb6 || op == 0xb7) ? Mnemonic::MOVZX : Mnemonic::MOVSX;
+      const OpSize src = (op & 1) ? OpSize::Word : OpSize::Byte;
+      std::uint8_t reg_field = 0;
+      auto rm = decode_modrm(cur, src, reg_field);
+      if (!rm) return std::nullopt;
+      insn.ops[0] = Operand::make_reg(static_cast<Reg>(reg_field));
+      insn.ops[1] = *rm;
+      insn.nops = 2;
+      return finish(insn, cur);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<Insn> decode(std::span<const std::uint8_t> bytes) {
+  Cursor cur{bytes};
+  Insn insn;
+  const std::uint8_t op = cur.u8();
+  if (!cur.ok) return std::nullopt;
+
+  // --- ALU family rows 0x00..0x3f (columns 0..5 of each row of 8) ----------
+  if (op < 0x40 && (op & 7) < 6) {
+    insn.op = alu_mnemonic(op >> 3);
+    const std::uint8_t col = op & 7;
+    if (col == 4) {  // AL, imm8
+      insn.ops[0] = Operand::make_reg(Reg::EAX, OpSize::Byte);
+      insn.ops[1] = Operand::make_imm(cur.i8sx(), OpSize::Byte);
+      insn.opsize = OpSize::Byte;
+    } else if (col == 5) {  // EAX, imm32
+      insn.ops[0] = Operand::make_reg(Reg::EAX);
+      insn.ops[1] = Operand::make_imm(cur.i32());
+    } else {
+      const OpSize size = (col & 1) ? OpSize::Dword : OpSize::Byte;
+      insn.opsize = size;
+      std::uint8_t reg_field = 0;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      const Operand reg = Operand::make_reg(static_cast<Reg>(reg_field), size);
+      if (col < 2) {  // r/m, r
+        insn.ops[0] = *rm;
+        insn.ops[1] = reg;
+      } else {  // r, r/m
+        insn.ops[0] = reg;
+        insn.ops[1] = *rm;
+      }
+    }
+    insn.nops = 2;
+    return finish(insn, cur);
+  }
+
+  if (op >= 0x40 && op <= 0x4f) {  // INC/DEC r32
+    insn.op = (op < 0x48) ? Mnemonic::INC : Mnemonic::DEC;
+    insn.ops[0] = Operand::make_reg(static_cast<Reg>(op & 7));
+    insn.nops = 1;
+    return finish(insn, cur);
+  }
+  if (op >= 0x50 && op <= 0x5f) {  // PUSH/POP r32
+    insn.op = (op < 0x58) ? Mnemonic::PUSH : Mnemonic::POP;
+    insn.ops[0] = Operand::make_reg(static_cast<Reg>(op & 7));
+    insn.nops = 1;
+    return finish(insn, cur);
+  }
+  if (op >= 0x70 && op <= 0x7f) {  // Jcc rel8
+    insn.op = Mnemonic::JCC;
+    insn.cond = static_cast<Cond>(op & 0xf);
+    insn.ops[0] = Operand::make_rel(cur.i8sx());
+    insn.nops = 1;
+    return finish(insn, cur);
+  }
+  if (op >= 0x91 && op <= 0x97) {  // XCHG EAX, r32
+    insn.op = Mnemonic::XCHG;
+    insn.ops[0] = Operand::make_reg(Reg::EAX);
+    insn.ops[1] = Operand::make_reg(static_cast<Reg>(op & 7));
+    insn.nops = 2;
+    return finish(insn, cur);
+  }
+  if (op >= 0xb0 && op <= 0xb7) {  // MOV r8, imm8
+    insn.op = Mnemonic::MOV;
+    insn.ops[0] = Operand::make_reg(static_cast<Reg>(op & 7), OpSize::Byte);
+    insn.ops[1] = Operand::make_imm(cur.i8sx(), OpSize::Byte);
+    insn.nops = 2;
+    insn.opsize = OpSize::Byte;
+    return finish(insn, cur);
+  }
+  if (op >= 0xb8 && op <= 0xbf) {  // MOV r32, imm32
+    insn.op = Mnemonic::MOV;
+    insn.ops[0] = Operand::make_reg(static_cast<Reg>(op & 7));
+    insn.ops[1] = Operand::make_imm(cur.i32());
+    insn.nops = 2;
+    return finish(insn, cur);
+  }
+
+  std::uint8_t reg_field = 0;
+  switch (op) {
+    case 0x0f:
+      return decode_0f(cur);
+    case 0x60:
+      insn.op = Mnemonic::PUSHAD;
+      return finish(insn, cur);
+    case 0x61:
+      insn.op = Mnemonic::POPAD;
+      return finish(insn, cur);
+    case 0x68:
+      insn.op = Mnemonic::PUSH;
+      insn.ops[0] = Operand::make_imm(cur.i32());
+      insn.nops = 1;
+      insn.wide_imm = true;
+      return finish(insn, cur);
+    case 0x69: {  // IMUL r32, r/m32, imm32
+      insn.op = Mnemonic::IMUL;
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm) return std::nullopt;
+      insn.ops[0] = Operand::make_reg(static_cast<Reg>(reg_field));
+      insn.ops[1] = *rm;
+      insn.ops[2] = Operand::make_imm(cur.i32());
+      insn.nops = 3;
+      insn.wide_imm = true;
+      return finish(insn, cur);
+    }
+    case 0x6a:
+      insn.op = Mnemonic::PUSH;
+      insn.ops[0] = Operand::make_imm(cur.i8sx());
+      insn.nops = 1;
+      return finish(insn, cur);
+    case 0x6b: {  // IMUL r32, r/m32, imm8
+      insn.op = Mnemonic::IMUL;
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm) return std::nullopt;
+      insn.ops[0] = Operand::make_reg(static_cast<Reg>(reg_field));
+      insn.ops[1] = *rm;
+      insn.ops[2] = Operand::make_imm(cur.i8sx());
+      insn.nops = 3;
+      return finish(insn, cur);
+    }
+    case 0x80:     // grp1 r/m8, imm8
+    case 0x81:     // grp1 r/m32, imm32
+    case 0x83: {   // grp1 r/m32, imm8 (sign-extended)
+      const OpSize size = (op == 0x80) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = alu_mnemonic(reg_field);
+      insn.ops[0] = *rm;
+      const std::int32_t imm = (op == 0x81) ? cur.i32() : cur.i8sx();
+      insn.ops[1] = Operand::make_imm(imm, (op == 0x80) ? OpSize::Byte : OpSize::Dword);
+      insn.nops = 2;
+      insn.opsize = size;
+      insn.wide_imm = (op == 0x81);
+      return finish(insn, cur);
+    }
+    case 0x84:     // TEST r/m8, r8
+    case 0x85: {   // TEST r/m32, r32
+      const OpSize size = (op == 0x84) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = Mnemonic::TEST;
+      insn.ops[0] = *rm;
+      insn.ops[1] = Operand::make_reg(static_cast<Reg>(reg_field), size);
+      insn.nops = 2;
+      insn.opsize = size;
+      return finish(insn, cur);
+    }
+    case 0x86:     // XCHG r/m8, r8
+    case 0x87: {   // XCHG r/m32, r32
+      const OpSize size = (op == 0x86) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = Mnemonic::XCHG;
+      insn.ops[0] = *rm;
+      insn.ops[1] = Operand::make_reg(static_cast<Reg>(reg_field), size);
+      insn.nops = 2;
+      insn.opsize = size;
+      return finish(insn, cur);
+    }
+    case 0x88:     // MOV r/m8, r8
+    case 0x89:     // MOV r/m32, r32
+    case 0x8a:     // MOV r8, r/m8
+    case 0x8b: {   // MOV r32, r/m32
+      const OpSize size = (op & 1) ? OpSize::Dword : OpSize::Byte;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = Mnemonic::MOV;
+      const Operand reg = Operand::make_reg(static_cast<Reg>(reg_field), size);
+      if (op < 0x8a) {
+        insn.ops[0] = *rm;
+        insn.ops[1] = reg;
+      } else {
+        insn.ops[0] = reg;
+        insn.ops[1] = *rm;
+      }
+      insn.nops = 2;
+      insn.opsize = size;
+      return finish(insn, cur);
+    }
+    case 0x8d: {  // LEA r32, m
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm || rm->kind != Operand::Kind::Mem) return std::nullopt;
+      insn.op = Mnemonic::LEA;
+      insn.ops[0] = Operand::make_reg(static_cast<Reg>(reg_field));
+      insn.ops[1] = *rm;
+      insn.nops = 2;
+      return finish(insn, cur);
+    }
+    case 0x8f: {  // POP r/m32 (/0 only)
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm || reg_field != 0) return std::nullopt;
+      insn.op = Mnemonic::POP;
+      insn.ops[0] = *rm;
+      insn.nops = 1;
+      return finish(insn, cur);
+    }
+    case 0x90:
+      insn.op = Mnemonic::NOP;
+      return finish(insn, cur);
+    case 0x99:
+      insn.op = Mnemonic::CDQ;
+      return finish(insn, cur);
+    case 0x9c:
+      insn.op = Mnemonic::PUSHFD;
+      return finish(insn, cur);
+    case 0x9d:
+      insn.op = Mnemonic::POPFD;
+      return finish(insn, cur);
+    case 0xa8:  // TEST AL, imm8
+      insn.op = Mnemonic::TEST;
+      insn.ops[0] = Operand::make_reg(Reg::EAX, OpSize::Byte);
+      insn.ops[1] = Operand::make_imm(cur.i8sx(), OpSize::Byte);
+      insn.nops = 2;
+      insn.opsize = OpSize::Byte;
+      return finish(insn, cur);
+    case 0xa9:  // TEST EAX, imm32
+      insn.op = Mnemonic::TEST;
+      insn.ops[0] = Operand::make_reg(Reg::EAX);
+      insn.ops[1] = Operand::make_imm(cur.i32());
+      insn.nops = 2;
+      return finish(insn, cur);
+    case 0xc0:     // grp2 r/m8, imm8
+    case 0xc1: {   // grp2 r/m32, imm8
+      const OpSize size = (op == 0xc0) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = shift_mnemonic(reg_field);
+      insn.ops[0] = *rm;
+      insn.ops[1] = Operand::make_imm(static_cast<std::int32_t>(cur.u8()), OpSize::Byte);
+      insn.nops = 2;
+      insn.opsize = size;
+      return finish(insn, cur);
+    }
+    case 0xc2:  // RET imm16
+      insn.op = Mnemonic::RET;
+      insn.ops[0] = Operand::make_imm(static_cast<std::int32_t>(cur.u16()), OpSize::Word);
+      insn.nops = 1;
+      return finish(insn, cur);
+    case 0xc3:
+      insn.op = Mnemonic::RET;
+      return finish(insn, cur);
+    case 0xc6:     // MOV r/m8, imm8 (/0)
+    case 0xc7: {   // MOV r/m32, imm32 (/0)
+      const OpSize size = (op == 0xc6) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm || reg_field != 0) return std::nullopt;
+      insn.op = Mnemonic::MOV;
+      insn.ops[0] = *rm;
+      const std::int32_t imm = (op == 0xc6) ? cur.i8sx() : cur.i32();
+      insn.ops[1] = Operand::make_imm(imm, size);
+      insn.nops = 2;
+      insn.opsize = size;
+      insn.wide_imm = (op == 0xc7);
+      return finish(insn, cur);
+    }
+    case 0xc9:
+      insn.op = Mnemonic::LEAVE;
+      return finish(insn, cur);
+    case 0xca:  // RETF imm16
+      insn.op = Mnemonic::RETF;
+      insn.ops[0] = Operand::make_imm(static_cast<std::int32_t>(cur.u16()), OpSize::Word);
+      insn.nops = 1;
+      return finish(insn, cur);
+    case 0xcb:
+      insn.op = Mnemonic::RETF;
+      return finish(insn, cur);
+    case 0xcc:
+      insn.op = Mnemonic::INT3;
+      return finish(insn, cur);
+    case 0xcd:
+      insn.op = Mnemonic::INT;
+      insn.ops[0] = Operand::make_imm(static_cast<std::int32_t>(cur.u8()), OpSize::Byte);
+      insn.nops = 1;
+      return finish(insn, cur);
+    case 0xd0:     // grp2 r/m8, 1
+    case 0xd1:     // grp2 r/m32, 1
+    case 0xd2:     // grp2 r/m8, CL
+    case 0xd3: {   // grp2 r/m32, CL
+      const OpSize size = (op & 1) ? OpSize::Dword : OpSize::Byte;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.op = shift_mnemonic(reg_field);
+      insn.ops[0] = *rm;
+      insn.ops[1] = (op < 0xd2) ? Operand::make_imm(1, OpSize::Byte)
+                                : Operand::make_reg(Reg::ECX, OpSize::Byte);
+      insn.nops = 2;
+      insn.opsize = size;
+      return finish(insn, cur);
+    }
+    case 0xe8:
+      insn.op = Mnemonic::CALL;
+      insn.ops[0] = Operand::make_rel(cur.i32());
+      insn.nops = 1;
+      insn.wide_imm = true;
+      return finish(insn, cur);
+    case 0xe9:
+      insn.op = Mnemonic::JMP;
+      insn.ops[0] = Operand::make_rel(cur.i32());
+      insn.nops = 1;
+      insn.wide_imm = true;
+      return finish(insn, cur);
+    case 0xeb:
+      insn.op = Mnemonic::JMP;
+      insn.ops[0] = Operand::make_rel(cur.i8sx());
+      insn.nops = 1;
+      return finish(insn, cur);
+    case 0xf4:
+      insn.op = Mnemonic::HLT;
+      return finish(insn, cur);
+    case 0xf5:
+      insn.op = Mnemonic::CMC;
+      return finish(insn, cur);
+    case 0xf6:     // grp3 r/m8
+    case 0xf7: {   // grp3 r/m32
+      const OpSize size = (op == 0xf6) ? OpSize::Byte : OpSize::Dword;
+      auto rm = decode_modrm(cur, size, reg_field);
+      if (!rm) return std::nullopt;
+      insn.opsize = size;
+      switch (reg_field) {
+        case 0:  // TEST r/m, imm
+          insn.op = Mnemonic::TEST;
+          insn.ops[0] = *rm;
+          insn.ops[1] = Operand::make_imm((op == 0xf6) ? cur.i8sx() : cur.i32(), size);
+          insn.nops = 2;
+          break;
+        case 2:
+          insn.op = Mnemonic::NOT;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        case 3:
+          insn.op = Mnemonic::NEG;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        case 4:
+          insn.op = Mnemonic::MUL;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        case 5:
+          insn.op = Mnemonic::IMUL;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        case 6:
+          insn.op = Mnemonic::DIV;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        case 7:
+          insn.op = Mnemonic::IDIV;
+          insn.ops[0] = *rm;
+          insn.nops = 1;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return finish(insn, cur);
+    }
+    case 0xf8:
+      insn.op = Mnemonic::CLC;
+      return finish(insn, cur);
+    case 0xf9:
+      insn.op = Mnemonic::STC;
+      return finish(insn, cur);
+    case 0xfc:
+      insn.op = Mnemonic::CLD;
+      return finish(insn, cur);
+    case 0xfd:
+      insn.op = Mnemonic::STD;
+      return finish(insn, cur);
+    case 0xfe: {  // grp4 r/m8: /0 INC, /1 DEC
+      auto rm = decode_modrm(cur, OpSize::Byte, reg_field);
+      if (!rm || reg_field > 1) return std::nullopt;
+      insn.op = (reg_field == 0) ? Mnemonic::INC : Mnemonic::DEC;
+      insn.ops[0] = *rm;
+      insn.nops = 1;
+      insn.opsize = OpSize::Byte;
+      return finish(insn, cur);
+    }
+    case 0xff: {  // grp5 r/m32
+      auto rm = decode_modrm(cur, OpSize::Dword, reg_field);
+      if (!rm) return std::nullopt;
+      switch (reg_field) {
+        case 0:
+          insn.op = Mnemonic::INC;
+          break;
+        case 1:
+          insn.op = Mnemonic::DEC;
+          break;
+        case 2:
+          insn.op = Mnemonic::CALL;
+          break;
+        case 4:
+          insn.op = Mnemonic::JMP;
+          break;
+        case 6:
+          insn.op = Mnemonic::PUSH;
+          break;
+        default:
+          return std::nullopt;
+      }
+      insn.ops[0] = *rm;
+      insn.nops = 1;
+      return finish(insn, cur);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace plx::x86

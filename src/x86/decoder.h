@@ -1,0 +1,20 @@
+// x86-32 instruction decoder.
+//
+// Decodes a single instruction from a byte span. Returns std::nullopt on any
+// byte sequence outside the supported subset — gadget scanning decodes at
+// every byte offset, so failure must be cheap and silent, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "x86/insn.h"
+
+namespace plx::x86 {
+
+// Decode one instruction starting at bytes[0]. On success the returned
+// Insn::len tells how many bytes were consumed.
+std::optional<Insn> decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace plx::x86

@@ -1,0 +1,516 @@
+#include "x86/encoder.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace plx::x86 {
+
+namespace {
+
+bool fits_i8(std::int32_t v) { return v >= -128 && v <= 127; }
+
+bool is_reg(const Operand& o) { return o.kind == Operand::Kind::Reg; }
+bool is_imm(const Operand& o) { return o.kind == Operand::Kind::Imm; }
+bool is_mem(const Operand& o) { return o.kind == Operand::Kind::Mem; }
+bool is_rel(const Operand& o) { return o.kind == Operand::Kind::Rel; }
+
+std::uint8_t regnum(Reg r) { return static_cast<std::uint8_t>(r); }
+
+// Emits ModRM (+SIB +disp) for an r/m operand with the given /reg field.
+Result<int> emit_modrm(const Operand& rm, std::uint8_t reg_field, Buffer& out) {
+  const std::size_t start = out.size();
+  if (is_reg(rm)) {
+    out.put_u8(static_cast<std::uint8_t>(0xc0 | (reg_field << 3) | regnum(rm.reg)));
+    return static_cast<int>(out.size() - start);
+  }
+  if (!is_mem(rm)) return fail("emit_modrm: operand is neither reg nor mem");
+
+  const Mem& m = rm.mem;
+  const bool has_index = m.index != Reg::NONE;
+  if (has_index && m.index == Reg::ESP) return fail("esp cannot be an index register");
+
+  // Absolute [disp32] (no base, no index): mod=00 rm=101.
+  if (m.base == Reg::NONE && !has_index) {
+    out.put_u8(static_cast<std::uint8_t>(0x00 | (reg_field << 3) | 5));
+    out.put_u32(static_cast<std::uint32_t>(m.disp));
+    return static_cast<int>(out.size() - start);
+  }
+  if (m.base == Reg::NONE && has_index) {
+    // [index*scale + disp32]: mod=00 rm=100, SIB base=101.
+    std::uint8_t ss = 0;
+    switch (m.scale) {
+      case 1: ss = 0; break;
+      case 2: ss = 1; break;
+      case 4: ss = 2; break;
+      case 8: ss = 3; break;
+      default: return fail("bad scale");
+    }
+    out.put_u8(static_cast<std::uint8_t>(0x00 | (reg_field << 3) | 4));
+    out.put_u8(static_cast<std::uint8_t>((ss << 6) | (regnum(m.index) << 3) | 5));
+    out.put_u32(static_cast<std::uint32_t>(m.disp));
+    return static_cast<int>(out.size() - start);
+  }
+
+  // Pick displacement size. [ebp] with no displacement still needs disp8=0.
+  std::uint8_t mod;
+  if (m.disp == 0 && m.base != Reg::EBP) {
+    mod = 0;
+  } else if (fits_i8(m.disp)) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+
+  const bool needs_sib = has_index || m.base == Reg::ESP;
+  if (needs_sib) {
+    std::uint8_t ss = 0;
+    switch (m.scale) {
+      case 1: ss = 0; break;
+      case 2: ss = 1; break;
+      case 4: ss = 2; break;
+      case 8: ss = 3; break;
+      default: return fail("bad scale");
+    }
+    const std::uint8_t index_bits = has_index ? regnum(m.index) : 4;
+    out.put_u8(static_cast<std::uint8_t>((mod << 6) | (reg_field << 3) | 4));
+    out.put_u8(static_cast<std::uint8_t>((ss << 6) | (index_bits << 3) | regnum(m.base)));
+  } else {
+    out.put_u8(static_cast<std::uint8_t>((mod << 6) | (reg_field << 3) | regnum(m.base)));
+  }
+  if (mod == 1) {
+    out.put_u8(static_cast<std::uint8_t>(m.disp));
+  } else if (mod == 2) {
+    out.put_u32(static_cast<std::uint32_t>(m.disp));
+  }
+  return static_cast<int>(out.size() - start);
+}
+
+// Index of an ALU mnemonic in the add/or/adc/sbb/and/sub/xor/cmp row, or -1.
+int alu_index(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::ADD: return 0;
+    case Mnemonic::OR: return 1;
+    case Mnemonic::ADC: return 2;
+    case Mnemonic::SBB: return 3;
+    case Mnemonic::AND: return 4;
+    case Mnemonic::SUB: return 5;
+    case Mnemonic::XOR: return 6;
+    case Mnemonic::CMP: return 7;
+    default: return -1;
+  }
+}
+
+int shift_ext(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::ROL: return 0;
+    case Mnemonic::ROR: return 1;
+    case Mnemonic::SHL: return 4;
+    case Mnemonic::SHR: return 5;
+    case Mnemonic::SAR: return 7;
+    default: return -1;
+  }
+}
+
+Result<int> encode_alu(const Insn& insn, Buffer& out) {
+  const int idx = alu_index(insn.op);
+  assert(idx >= 0);
+  const auto base = static_cast<std::uint8_t>(idx << 3);
+  const std::size_t start = out.size();
+  const Operand& dst = insn.ops[0];
+  const Operand& src = insn.ops[1];
+  const bool byte_op = insn.opsize == OpSize::Byte;
+
+  if (is_imm(src)) {
+    if (byte_op) {
+      if (is_reg(dst) && dst.reg == Reg::EAX && !insn.wide_imm) {
+        out.put_u8(static_cast<std::uint8_t>(base + 4));  // op AL, imm8
+        out.put_u8(static_cast<std::uint8_t>(src.imm));
+        return static_cast<int>(out.size() - start);
+      }
+      out.put_u8(0x80);
+      auto r = emit_modrm(dst, static_cast<std::uint8_t>(idx), out);
+      if (!r) return r;
+      out.put_u8(static_cast<std::uint8_t>(src.imm));
+      return static_cast<int>(out.size() - start);
+    }
+    if (fits_i8(src.imm) && !insn.wide_imm) {
+      out.put_u8(0x83);
+      auto r = emit_modrm(dst, static_cast<std::uint8_t>(idx), out);
+      if (!r) return r;
+      out.put_u8(static_cast<std::uint8_t>(src.imm));
+      return static_cast<int>(out.size() - start);
+    }
+    out.put_u8(0x81);
+    auto r = emit_modrm(dst, static_cast<std::uint8_t>(idx), out);
+    if (!r) return r;
+    out.put_u32(static_cast<std::uint32_t>(src.imm));
+    return static_cast<int>(out.size() - start);
+  }
+
+  if (is_reg(src)) {  // r/m, r  (MR form)
+    out.put_u8(static_cast<std::uint8_t>(base + (byte_op ? 0 : 1)));
+    auto r = emit_modrm(dst, regnum(src.reg), out);
+    if (!r) return r;
+    return static_cast<int>(out.size() - start);
+  }
+  if (is_mem(src) && is_reg(dst)) {  // r, r/m  (RM form)
+    out.put_u8(static_cast<std::uint8_t>(base + (byte_op ? 2 : 3)));
+    auto r = emit_modrm(src, regnum(dst.reg), out);
+    if (!r) return r;
+    return static_cast<int>(out.size() - start);
+  }
+  return fail("unsupported ALU operand combination");
+}
+
+Result<int> encode_mov(const Insn& insn, Buffer& out) {
+  const std::size_t start = out.size();
+  const Operand& dst = insn.ops[0];
+  const Operand& src = insn.ops[1];
+  const bool byte_op = insn.opsize == OpSize::Byte;
+
+  if (is_imm(src)) {
+    if (is_reg(dst)) {
+      if (byte_op) {
+        out.put_u8(static_cast<std::uint8_t>(0xb0 + regnum(dst.reg)));
+        out.put_u8(static_cast<std::uint8_t>(src.imm));
+      } else {
+        out.put_u8(static_cast<std::uint8_t>(0xb8 + regnum(dst.reg)));
+        out.put_u32(static_cast<std::uint32_t>(src.imm));
+      }
+      return static_cast<int>(out.size() - start);
+    }
+    out.put_u8(byte_op ? 0xc6 : 0xc7);
+    auto r = emit_modrm(dst, 0, out);
+    if (!r) return r;
+    if (byte_op) {
+      out.put_u8(static_cast<std::uint8_t>(src.imm));
+    } else {
+      out.put_u32(static_cast<std::uint32_t>(src.imm));
+    }
+    return static_cast<int>(out.size() - start);
+  }
+  if (is_reg(src)) {  // MR form
+    out.put_u8(byte_op ? 0x88 : 0x89);
+    auto r = emit_modrm(dst, regnum(src.reg), out);
+    if (!r) return r;
+    return static_cast<int>(out.size() - start);
+  }
+  if (is_mem(src) && is_reg(dst)) {  // RM form
+    out.put_u8(byte_op ? 0x8a : 0x8b);
+    auto r = emit_modrm(src, regnum(dst.reg), out);
+    if (!r) return r;
+    return static_cast<int>(out.size() - start);
+  }
+  return fail("unsupported MOV operand combination");
+}
+
+}  // namespace
+
+Result<int> encode(const Insn& insn, Buffer& out) {
+  const std::size_t start = out.size();
+  const Operand& op0 = insn.ops[0];
+  const Operand& op1 = insn.ops[1];
+
+  switch (insn.op) {
+    case Mnemonic::ADD:
+    case Mnemonic::OR:
+    case Mnemonic::ADC:
+    case Mnemonic::SBB:
+    case Mnemonic::AND:
+    case Mnemonic::SUB:
+    case Mnemonic::XOR:
+    case Mnemonic::CMP:
+      return encode_alu(insn, out);
+
+    case Mnemonic::MOV:
+      return encode_mov(insn, out);
+
+    case Mnemonic::TEST: {
+      const bool byte_op = insn.opsize == OpSize::Byte;
+      if (is_imm(op1)) {
+        out.put_u8(byte_op ? 0xf6 : 0xf7);
+        auto r = emit_modrm(op0, 0, out);
+        if (!r) return r;
+        if (byte_op) {
+          out.put_u8(static_cast<std::uint8_t>(op1.imm));
+        } else {
+          out.put_u32(static_cast<std::uint32_t>(op1.imm));
+        }
+        return static_cast<int>(out.size() - start);
+      }
+      if (is_reg(op1)) {
+        out.put_u8(byte_op ? 0x84 : 0x85);
+        auto r = emit_modrm(op0, regnum(op1.reg), out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      return fail("unsupported TEST operands");
+    }
+
+    case Mnemonic::LEA: {
+      if (!is_reg(op0) || !is_mem(op1)) return fail("LEA needs reg, mem");
+      out.put_u8(0x8d);
+      auto r = emit_modrm(op1, regnum(op0.reg), out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::XCHG: {
+      const bool byte_op = insn.opsize == OpSize::Byte;
+      if (!is_reg(op1)) return fail("XCHG second operand must be reg");
+      out.put_u8(byte_op ? 0x86 : 0x87);
+      auto r = emit_modrm(op0, regnum(op1.reg), out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::PUSH: {
+      if (is_reg(op0)) {
+        out.put_u8(static_cast<std::uint8_t>(0x50 + regnum(op0.reg)));
+        return static_cast<int>(out.size() - start);
+      }
+      if (is_imm(op0)) {
+        if (fits_i8(op0.imm) && !insn.wide_imm) {
+          out.put_u8(0x6a);
+          out.put_u8(static_cast<std::uint8_t>(op0.imm));
+        } else {
+          out.put_u8(0x68);
+          out.put_u32(static_cast<std::uint32_t>(op0.imm));
+        }
+        return static_cast<int>(out.size() - start);
+      }
+      if (is_mem(op0)) {
+        out.put_u8(0xff);
+        auto r = emit_modrm(op0, 6, out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      return fail("unsupported PUSH operand");
+    }
+
+    case Mnemonic::POP: {
+      if (is_reg(op0)) {
+        out.put_u8(static_cast<std::uint8_t>(0x58 + regnum(op0.reg)));
+        return static_cast<int>(out.size() - start);
+      }
+      if (is_mem(op0)) {
+        out.put_u8(0x8f);
+        auto r = emit_modrm(op0, 0, out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      return fail("unsupported POP operand");
+    }
+
+    case Mnemonic::PUSHAD: out.put_u8(0x60); return 1;
+    case Mnemonic::POPAD: out.put_u8(0x61); return 1;
+    case Mnemonic::PUSHFD: out.put_u8(0x9c); return 1;
+    case Mnemonic::POPFD: out.put_u8(0x9d); return 1;
+
+    case Mnemonic::INC:
+    case Mnemonic::DEC: {
+      const bool inc = insn.op == Mnemonic::INC;
+      if (insn.opsize == OpSize::Dword && is_reg(op0)) {
+        out.put_u8(static_cast<std::uint8_t>((inc ? 0x40 : 0x48) + regnum(op0.reg)));
+        return 1;
+      }
+      out.put_u8(insn.opsize == OpSize::Byte ? 0xfe : 0xff);
+      auto r = emit_modrm(op0, inc ? 0 : 1, out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::NOT:
+    case Mnemonic::NEG:
+    case Mnemonic::MUL:
+    case Mnemonic::DIV:
+    case Mnemonic::IDIV: {
+      std::uint8_t ext = 0;
+      switch (insn.op) {
+        case Mnemonic::NOT: ext = 2; break;
+        case Mnemonic::NEG: ext = 3; break;
+        case Mnemonic::MUL: ext = 4; break;
+        case Mnemonic::DIV: ext = 6; break;
+        case Mnemonic::IDIV: ext = 7; break;
+        default: break;
+      }
+      out.put_u8(insn.opsize == OpSize::Byte ? 0xf6 : 0xf7);
+      auto r = emit_modrm(op0, ext, out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::IMUL: {
+      if (insn.nops <= 1) {  // one-operand form, edx:eax = eax * r/m
+        out.put_u8(insn.opsize == OpSize::Byte ? 0xf6 : 0xf7);
+        auto r = emit_modrm(op0, 5, out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      if (insn.nops == 2) {  // imul r32, r/m32
+        if (!is_reg(op0)) return fail("IMUL dst must be reg");
+        out.put_u8(0x0f);
+        out.put_u8(0xaf);
+        auto r = emit_modrm(op1, regnum(op0.reg), out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      // imul r32, r/m32, imm
+      if (!is_reg(op0) || !is_imm(insn.ops[2])) return fail("bad 3-op IMUL");
+      const std::int32_t imm = insn.ops[2].imm;
+      if (fits_i8(imm) && !insn.wide_imm) {
+        out.put_u8(0x6b);
+        auto r = emit_modrm(op1, regnum(op0.reg), out);
+        if (!r) return r;
+        out.put_u8(static_cast<std::uint8_t>(imm));
+      } else {
+        out.put_u8(0x69);
+        auto r = emit_modrm(op1, regnum(op0.reg), out);
+        if (!r) return r;
+        out.put_u32(static_cast<std::uint32_t>(imm));
+      }
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::ROL:
+    case Mnemonic::ROR:
+    case Mnemonic::SHL:
+    case Mnemonic::SHR:
+    case Mnemonic::SAR: {
+      const int ext = shift_ext(insn.op);
+      const bool byte_op = insn.opsize == OpSize::Byte;
+      if (is_imm(op1)) {
+        if (op1.imm == 1) {
+          out.put_u8(byte_op ? 0xd0 : 0xd1);
+          auto r = emit_modrm(op0, static_cast<std::uint8_t>(ext), out);
+          if (!r) return r;
+        } else {
+          out.put_u8(byte_op ? 0xc0 : 0xc1);
+          auto r = emit_modrm(op0, static_cast<std::uint8_t>(ext), out);
+          if (!r) return r;
+          out.put_u8(static_cast<std::uint8_t>(op1.imm));
+        }
+        return static_cast<int>(out.size() - start);
+      }
+      if (is_reg(op1) && op1.reg == Reg::ECX && op1.size == OpSize::Byte) {
+        out.put_u8(byte_op ? 0xd2 : 0xd3);
+        auto r = emit_modrm(op0, static_cast<std::uint8_t>(ext), out);
+        if (!r) return r;
+        return static_cast<int>(out.size() - start);
+      }
+      return fail("shift count must be imm or cl");
+    }
+
+    case Mnemonic::JMP: {
+      if (is_rel(op0)) {
+        if (fits_i8(op0.rel) && !insn.wide_imm) {
+          out.put_u8(0xeb);
+          out.put_u8(static_cast<std::uint8_t>(op0.rel));
+        } else {
+          out.put_u8(0xe9);
+          out.put_u32(static_cast<std::uint32_t>(op0.rel));
+        }
+        return static_cast<int>(out.size() - start);
+      }
+      out.put_u8(0xff);
+      auto r = emit_modrm(op0, 4, out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::JCC: {
+      if (!is_rel(op0)) return fail("JCC needs rel operand");
+      if (fits_i8(op0.rel) && !insn.wide_imm) {
+        out.put_u8(static_cast<std::uint8_t>(0x70 + static_cast<std::uint8_t>(insn.cond)));
+        out.put_u8(static_cast<std::uint8_t>(op0.rel));
+      } else {
+        out.put_u8(0x0f);
+        out.put_u8(static_cast<std::uint8_t>(0x80 + static_cast<std::uint8_t>(insn.cond)));
+        out.put_u32(static_cast<std::uint32_t>(op0.rel));
+      }
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::CALL: {
+      if (is_rel(op0)) {
+        out.put_u8(0xe8);
+        out.put_u32(static_cast<std::uint32_t>(op0.rel));
+        return static_cast<int>(out.size() - start);
+      }
+      out.put_u8(0xff);
+      auto r = emit_modrm(op0, 2, out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::RET:
+      if (insn.nops == 1 && is_imm(op0)) {
+        out.put_u8(0xc2);
+        out.put_u16(static_cast<std::uint16_t>(op0.imm));
+      } else {
+        out.put_u8(0xc3);
+      }
+      return static_cast<int>(out.size() - start);
+
+    case Mnemonic::RETF:
+      if (insn.nops == 1 && is_imm(op0)) {
+        out.put_u8(0xca);
+        out.put_u16(static_cast<std::uint16_t>(op0.imm));
+      } else {
+        out.put_u8(0xcb);
+      }
+      return static_cast<int>(out.size() - start);
+
+    case Mnemonic::LEAVE: out.put_u8(0xc9); return 1;
+
+    case Mnemonic::SETCC: {
+      out.put_u8(0x0f);
+      out.put_u8(static_cast<std::uint8_t>(0x90 + static_cast<std::uint8_t>(insn.cond)));
+      auto r = emit_modrm(op0, 0, out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::MOVZX:
+    case Mnemonic::MOVSX: {
+      if (!is_reg(op0)) return fail("MOVZX/MOVSX dst must be reg");
+      const bool zx = insn.op == Mnemonic::MOVZX;
+      const bool word_src = op1.size == OpSize::Word;
+      out.put_u8(0x0f);
+      out.put_u8(static_cast<std::uint8_t>((zx ? 0xb6 : 0xbe) + (word_src ? 1 : 0)));
+      auto r = emit_modrm(op1, regnum(op0.reg), out);
+      if (!r) return r;
+      return static_cast<int>(out.size() - start);
+    }
+
+    case Mnemonic::NOP: out.put_u8(0x90); return 1;
+    case Mnemonic::CDQ: out.put_u8(0x99); return 1;
+    case Mnemonic::INT3: out.put_u8(0xcc); return 1;
+    case Mnemonic::INT:
+      out.put_u8(0xcd);
+      out.put_u8(static_cast<std::uint8_t>(op0.imm));
+      return 2;
+    case Mnemonic::HLT: out.put_u8(0xf4); return 1;
+    case Mnemonic::CLC: out.put_u8(0xf8); return 1;
+    case Mnemonic::STC: out.put_u8(0xf9); return 1;
+    case Mnemonic::CMC: out.put_u8(0xf5); return 1;
+    case Mnemonic::CLD: out.put_u8(0xfc); return 1;
+    case Mnemonic::STD: out.put_u8(0xfd); return 1;
+
+    case Mnemonic::INVALID:
+      return fail("cannot encode INVALID");
+  }
+  return fail("unreachable");
+}
+
+Buffer encode_must(const Insn& insn) {
+  Buffer out;
+  auto r = encode(insn, out);
+  if (!r) {
+    assert(false && "encode_must failed");
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace plx::x86

@@ -1,0 +1,26 @@
+// x86-32 instruction encoder.
+//
+// The inverse of the decoder: turns an Insn into machine bytes. Used by the
+// assembler, the mini-C backend, the rewriter (which needs precise control
+// over encoding forms — e.g. forcing a 4-byte immediate so a gadget byte can
+// be placed inside it, via Insn::wide_imm) and the verification-stub emitter.
+#pragma once
+
+#include <cstdint>
+
+#include "support/buffer.h"
+#include "support/error.h"
+#include "x86/insn.h"
+
+namespace plx::x86 {
+
+// Appends the encoding of `insn` to `out`; returns the number of bytes
+// written, or an error for operand combinations outside the supported ISA
+// subset. Round-trip property: decode(encode(i)) produces an equivalent Insn.
+Result<int> encode(const Insn& insn, Buffer& out);
+
+// Convenience: encode into a fresh buffer, asserting success. For call sites
+// constructing known-valid instructions (stub emitters, tests).
+Buffer encode_must(const Insn& insn);
+
+}  // namespace plx::x86

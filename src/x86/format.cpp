@@ -1,0 +1,111 @@
+#include "x86/format.h"
+
+#include <cstdio>
+
+#include "support/hexdump.h"
+#include "x86/decoder.h"
+
+namespace plx::x86 {
+
+namespace {
+
+std::string format_imm(std::int32_t v) {
+  char buf[16];
+  if (v >= 0 && v < 10) {
+    std::snprintf(buf, sizeof buf, "%d", v);
+  } else if (v < 0 && v > -10) {
+    std::snprintf(buf, sizeof buf, "%d", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "0x%x", static_cast<std::uint32_t>(v));
+  }
+  return buf;
+}
+
+std::string format_mem(const Mem& m, OpSize size) {
+  std::string out;
+  switch (size) {
+    case OpSize::Byte: out = "byte ["; break;
+    case OpSize::Word: out = "word ["; break;
+    case OpSize::Dword: out = "dword ["; break;
+  }
+  bool first = true;
+  if (m.base != Reg::NONE) {
+    out += reg_name(m.base);
+    first = false;
+  }
+  if (m.index != Reg::NONE) {
+    if (!first) out += '+';
+    out += reg_name(m.index);
+    if (m.scale != 1) {
+      out += '*';
+      out += static_cast<char>('0' + m.scale);
+    }
+    first = false;
+  }
+  if (m.disp != 0 || first) {
+    char buf[16];
+    if (!first && m.disp < 0) {
+      std::snprintf(buf, sizeof buf, "-0x%x", static_cast<std::uint32_t>(-m.disp));
+    } else {
+      if (!first) out += '+';
+      std::snprintf(buf, sizeof buf, "0x%x", static_cast<std::uint32_t>(m.disp));
+    }
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+std::string format_operand(const Operand& o, const Insn& insn, std::uint32_t addr) {
+  switch (o.kind) {
+    case Operand::Kind::None:
+      return {};
+    case Operand::Kind::Reg:
+      return reg_name(o.reg, o.size);
+    case Operand::Kind::Imm:
+      return format_imm(o.imm);
+    case Operand::Kind::Mem:
+      return format_mem(o.mem, o.size);
+    case Operand::Kind::Rel: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%x", insn.rel_target(addr));
+      return buf;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string format(const Insn& insn, std::uint32_t addr) {
+  std::string out = mnemonic_name(insn.op);
+  if (insn.op == Mnemonic::JCC || insn.op == Mnemonic::SETCC) {
+    out += cond_name(insn.cond);
+  }
+  for (std::uint8_t i = 0; i < insn.nops; ++i) {
+    out += (i == 0) ? " " : ", ";
+    out += format_operand(insn.ops[i], insn, addr);
+  }
+  return out;
+}
+
+std::string disassemble(std::span<const std::uint8_t> bytes, std::uint32_t base) {
+  std::string out;
+  char buf[64];
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto insn = decode(bytes.subspan(off));
+    const std::size_t len = insn ? insn->len : 1;
+    std::snprintf(buf, sizeof buf, "%8x:  ", base + static_cast<std::uint32_t>(off));
+    out += buf;
+    std::string hex = hexbytes(bytes.subspan(off, len));
+    hex.resize(22, ' ');
+    out += hex;
+    out += insn ? format(*insn, base + static_cast<std::uint32_t>(off)) : "(bad)";
+    out += '\n';
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace plx::x86

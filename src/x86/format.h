@@ -1,0 +1,23 @@
+// Intel-syntax text formatting for decoded instructions.
+//
+// Used for diagnostics, example output (disassembly listings like the
+// paper's Listing 1) and assembler error messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "x86/insn.h"
+
+namespace plx::x86 {
+
+// "mov eax, 0x2a" style rendering. `addr` is the instruction's own address,
+// used to print absolute targets for rel operands.
+std::string format(const Insn& insn, std::uint32_t addr = 0);
+
+// Full disassembly listing of a byte region: "addr: bytes  mnemonic".
+// Undecodable bytes are printed as "(bad)" and skipped one byte at a time.
+std::string disassemble(std::span<const std::uint8_t> bytes, std::uint32_t base);
+
+}  // namespace plx::x86

@@ -1,0 +1,318 @@
+#include "x86/insn.h"
+
+namespace plx::x86 {
+
+const char* reg_name(Reg r, OpSize size) {
+  static const char* const names32[] = {"eax", "ecx", "edx", "ebx",
+                                        "esp", "ebp", "esi", "edi"};
+  static const char* const names16[] = {"ax", "cx", "dx", "bx",
+                                        "sp", "bp", "si", "di"};
+  static const char* const names8[] = {"al", "cl", "dl", "bl",
+                                       "ah", "ch", "dh", "bh"};
+  if (r == Reg::NONE) return "<none>";
+  const auto i = static_cast<std::size_t>(r);
+  switch (size) {
+    case OpSize::Byte:
+      return names8[i];
+    case OpSize::Word:
+      return names16[i];
+    case OpSize::Dword:
+      return names32[i];
+  }
+  return "<bad>";
+}
+
+const char* mnemonic_name(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::INVALID: return "(bad)";
+    case Mnemonic::ADD: return "add";
+    case Mnemonic::OR: return "or";
+    case Mnemonic::ADC: return "adc";
+    case Mnemonic::SBB: return "sbb";
+    case Mnemonic::AND: return "and";
+    case Mnemonic::SUB: return "sub";
+    case Mnemonic::XOR: return "xor";
+    case Mnemonic::CMP: return "cmp";
+    case Mnemonic::TEST: return "test";
+    case Mnemonic::MOV: return "mov";
+    case Mnemonic::LEA: return "lea";
+    case Mnemonic::XCHG: return "xchg";
+    case Mnemonic::PUSH: return "push";
+    case Mnemonic::POP: return "pop";
+    case Mnemonic::PUSHAD: return "pushad";
+    case Mnemonic::POPAD: return "popad";
+    case Mnemonic::PUSHFD: return "pushfd";
+    case Mnemonic::POPFD: return "popfd";
+    case Mnemonic::INC: return "inc";
+    case Mnemonic::DEC: return "dec";
+    case Mnemonic::NOT: return "not";
+    case Mnemonic::NEG: return "neg";
+    case Mnemonic::MUL: return "mul";
+    case Mnemonic::IMUL: return "imul";
+    case Mnemonic::DIV: return "div";
+    case Mnemonic::IDIV: return "idiv";
+    case Mnemonic::ROL: return "rol";
+    case Mnemonic::ROR: return "ror";
+    case Mnemonic::SHL: return "shl";
+    case Mnemonic::SHR: return "shr";
+    case Mnemonic::SAR: return "sar";
+    case Mnemonic::JMP: return "jmp";
+    case Mnemonic::JCC: return "j";
+    case Mnemonic::CALL: return "call";
+    case Mnemonic::RET: return "ret";
+    case Mnemonic::RETF: return "retf";
+    case Mnemonic::LEAVE: return "leave";
+    case Mnemonic::SETCC: return "set";
+    case Mnemonic::MOVZX: return "movzx";
+    case Mnemonic::MOVSX: return "movsx";
+    case Mnemonic::NOP: return "nop";
+    case Mnemonic::CDQ: return "cdq";
+    case Mnemonic::INT3: return "int3";
+    case Mnemonic::INT: return "int";
+    case Mnemonic::HLT: return "hlt";
+    case Mnemonic::CLC: return "clc";
+    case Mnemonic::STC: return "stc";
+    case Mnemonic::CMC: return "cmc";
+    case Mnemonic::CLD: return "cld";
+    case Mnemonic::STD: return "std";
+  }
+  return "(bad)";
+}
+
+const char* cond_name(Cond c) {
+  static const char* const names[] = {"o", "no", "b",  "ae", "e",  "ne",
+                                      "be", "a",  "s",  "ns", "p",  "np",
+                                      "l",  "ge", "le", "g"};
+  return names[static_cast<std::size_t>(c)];
+}
+
+Reg parent_reg(Reg r8) {
+  const auto i = static_cast<std::uint8_t>(r8);
+  return i < 8 ? static_cast<Reg>(i & 3) : Reg::NONE;
+}
+
+namespace {
+
+std::uint16_t reg_bit(Reg r, OpSize size) {
+  if (r == Reg::NONE) return 0;
+  Reg effective = (size == OpSize::Byte) ? parent_reg(r) : r;
+  return static_cast<std::uint16_t>(1u << static_cast<unsigned>(effective));
+}
+
+void add_operand_reads(const Operand& o, RegEffects& fx) {
+  switch (o.kind) {
+    case Operand::Kind::Reg:
+      fx.reads |= reg_bit(o.reg, o.size);
+      break;
+    case Operand::Kind::Mem:
+      fx.reads |= reg_bit(o.mem.base, OpSize::Dword);
+      fx.reads |= reg_bit(o.mem.index, OpSize::Dword);
+      fx.reads_mem = true;
+      break;
+    default:
+      break;
+  }
+}
+
+void add_operand_writes(const Operand& o, RegEffects& fx) {
+  switch (o.kind) {
+    case Operand::Kind::Reg:
+      fx.writes |= reg_bit(o.reg, o.size);
+      break;
+    case Operand::Kind::Mem:
+      // Address registers are *read* even when the operand is written.
+      fx.reads |= reg_bit(o.mem.base, OpSize::Dword);
+      fx.reads |= reg_bit(o.mem.index, OpSize::Dword);
+      fx.writes_mem = true;
+      break;
+    default:
+      break;
+  }
+}
+
+constexpr std::uint16_t kEsp = 1u << 4;
+constexpr std::uint16_t kEax = 1u << 0;
+constexpr std::uint16_t kEcx = 1u << 1;
+constexpr std::uint16_t kEdx = 1u << 2;
+constexpr std::uint16_t kEbp = 1u << 5;
+constexpr std::uint16_t kAllGpr = 0xff;
+
+}  // namespace
+
+RegEffects reg_effects(const Insn& insn) {
+  RegEffects fx;
+  switch (insn.op) {
+    case Mnemonic::ADD:
+    case Mnemonic::OR:
+    case Mnemonic::AND:
+    case Mnemonic::SUB:
+    case Mnemonic::XOR:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::ADC:
+    case Mnemonic::SBB:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      fx.reads_flags = true;
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::CMP:
+    case Mnemonic::TEST:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_reads(insn.ops[1], fx);
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::MOV:
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      break;
+    case Mnemonic::MOVZX:
+    case Mnemonic::MOVSX:
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      break;
+    case Mnemonic::LEA:
+      fx.reads |= reg_bit(insn.ops[1].mem.base, OpSize::Dword);
+      fx.reads |= reg_bit(insn.ops[1].mem.index, OpSize::Dword);
+      add_operand_writes(insn.ops[0], fx);
+      break;
+    case Mnemonic::XCHG:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      add_operand_writes(insn.ops[1], fx);
+      break;
+    case Mnemonic::PUSH:
+      add_operand_reads(insn.ops[0], fx);
+      fx.reads |= kEsp;
+      fx.writes |= kEsp;
+      fx.writes_mem = true;
+      break;
+    case Mnemonic::POP:
+      add_operand_writes(insn.ops[0], fx);
+      fx.reads |= kEsp;
+      fx.writes |= kEsp;
+      fx.reads_mem = true;
+      break;
+    case Mnemonic::PUSHAD:
+      fx.reads |= kAllGpr;
+      fx.writes |= kEsp;
+      fx.writes_mem = true;
+      break;
+    case Mnemonic::POPAD:
+      fx.reads |= kEsp;
+      fx.writes |= kAllGpr & ~kEsp;
+      fx.writes |= kEsp;
+      fx.reads_mem = true;
+      break;
+    case Mnemonic::PUSHFD:
+      fx.reads_flags = true;
+      fx.reads |= kEsp;
+      fx.writes |= kEsp;
+      fx.writes_mem = true;
+      break;
+    case Mnemonic::POPFD:
+      fx.writes_flags = true;
+      fx.reads |= kEsp;
+      fx.writes |= kEsp;
+      fx.reads_mem = true;
+      break;
+    case Mnemonic::INC:
+    case Mnemonic::DEC:
+    case Mnemonic::NOT:
+    case Mnemonic::NEG:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_writes(insn.ops[0], fx);
+      if (insn.op != Mnemonic::NOT) fx.writes_flags = true;
+      break;
+    case Mnemonic::MUL:
+    case Mnemonic::IMUL:
+      if (insn.nops <= 1) {
+        add_operand_reads(insn.ops[0], fx);
+        fx.reads |= kEax;
+        fx.writes |= kEax | kEdx;
+      } else {
+        add_operand_reads(insn.ops[1], fx);
+        if (insn.nops == 2) add_operand_reads(insn.ops[0], fx);
+        add_operand_writes(insn.ops[0], fx);
+      }
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::DIV:
+    case Mnemonic::IDIV:
+      add_operand_reads(insn.ops[0], fx);
+      fx.reads |= kEax | kEdx;
+      fx.writes |= kEax | kEdx;
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::ROL:
+    case Mnemonic::ROR:
+    case Mnemonic::SHL:
+    case Mnemonic::SHR:
+    case Mnemonic::SAR:
+      add_operand_reads(insn.ops[0], fx);
+      add_operand_reads(insn.ops[1], fx);
+      add_operand_writes(insn.ops[0], fx);
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::JMP:
+    case Mnemonic::CALL:
+      add_operand_reads(insn.ops[0], fx);
+      if (insn.op == Mnemonic::CALL) {
+        fx.reads |= kEsp;
+        fx.writes |= kEsp;
+        fx.writes_mem = true;
+      }
+      break;
+    case Mnemonic::JCC:
+      fx.reads_flags = true;
+      break;
+    case Mnemonic::RET:
+    case Mnemonic::RETF:
+      fx.reads |= kEsp;
+      fx.writes |= kEsp;
+      fx.reads_mem = true;
+      break;
+    case Mnemonic::LEAVE:
+      fx.reads |= kEbp;
+      fx.writes |= kEsp | kEbp;
+      fx.reads_mem = true;
+      break;
+    case Mnemonic::SETCC:
+      fx.reads_flags = true;
+      add_operand_writes(insn.ops[0], fx);
+      break;
+    case Mnemonic::CDQ:
+      fx.reads |= kEax;
+      fx.writes |= kEdx;
+      break;
+    case Mnemonic::CLC:
+    case Mnemonic::STC:
+    case Mnemonic::CMC:
+    case Mnemonic::CLD:
+    case Mnemonic::STD:
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::INT:
+    case Mnemonic::INT3:
+      // Syscall gate: conservatively touches everything.
+      fx.reads = kAllGpr;
+      fx.writes = kAllGpr;
+      fx.reads_mem = fx.writes_mem = true;
+      fx.writes_flags = true;
+      break;
+    case Mnemonic::NOP:
+    case Mnemonic::HLT:
+    case Mnemonic::INVALID:
+      break;
+  }
+  (void)kEcx;
+  (void)kEdx;
+  return fx;
+}
+
+}  // namespace plx::x86

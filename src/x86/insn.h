@@ -1,0 +1,169 @@
+// x86-32 instruction model.
+//
+// Parallax reasons about real x86 encodings: gadget discovery depends on how
+// byte sequences decode at unaligned offsets, and the rewriting rules depend
+// on where immediates and displacements sit inside an encoding. This header
+// defines the decoded representation shared by the decoder, encoder, VM,
+// gadget classifier and rewriter.
+//
+// Scope: 32-bit protected mode, flat memory, no prefixes (operand-size,
+// segment, LOCK and REP prefixes decode as invalid). This keeps decode and
+// execution exactly consistent; DESIGN.md documents the restriction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace plx::x86 {
+
+// General-purpose registers in x86 encoding order. For byte-sized operands
+// the same indices mean AL,CL,DL,BL,AH,CH,DH,BH.
+enum class Reg : std::uint8_t {
+  EAX = 0,
+  ECX = 1,
+  EDX = 2,
+  EBX = 3,
+  ESP = 4,
+  EBP = 5,
+  ESI = 6,
+  EDI = 7,
+  NONE = 8,
+};
+
+constexpr int kNumRegs = 8;
+
+enum class OpSize : std::uint8_t { Byte, Word, Dword };
+
+// Condition codes in x86 tttn encoding order (Jcc 0x70+cc, SETcc 0x0f90+cc).
+enum class Cond : std::uint8_t {
+  O = 0x0,
+  NO = 0x1,
+  B = 0x2,
+  AE = 0x3,
+  E = 0x4,
+  NE = 0x5,
+  BE = 0x6,
+  A = 0x7,
+  S = 0x8,
+  NS = 0x9,
+  P = 0xa,
+  NP = 0xb,
+  L = 0xc,
+  GE = 0xd,
+  LE = 0xe,
+  G = 0xf,
+};
+
+enum class Mnemonic : std::uint8_t {
+  INVALID,
+  ADD, OR, ADC, SBB, AND, SUB, XOR, CMP,
+  TEST, MOV, LEA, XCHG,
+  PUSH, POP, PUSHAD, POPAD, PUSHFD, POPFD,
+  INC, DEC, NOT, NEG, MUL, IMUL, DIV, IDIV,
+  ROL, ROR, SHL, SHR, SAR,
+  JMP, JCC, CALL, RET, RETF, LEAVE,
+  SETCC, MOVZX, MOVSX,
+  NOP, CDQ, INT3, INT, HLT,
+  CLC, STC, CMC, CLD, STD,
+};
+
+// Memory operand: [base + index*scale + disp].
+struct Mem {
+  Reg base = Reg::NONE;
+  Reg index = Reg::NONE;
+  std::uint8_t scale = 1;  // 1, 2, 4 or 8
+  std::int32_t disp = 0;
+
+  bool operator==(const Mem&) const = default;
+};
+
+struct Operand {
+  enum class Kind : std::uint8_t { None, Reg, Imm, Mem, Rel };
+
+  Kind kind = Kind::None;
+  OpSize size = OpSize::Dword;  // size of the data this operand refers to
+  Reg reg = Reg::NONE;          // Kind::Reg
+  std::int32_t imm = 0;         // Kind::Imm (sign-extended to 32 bits)
+  Mem mem;                      // Kind::Mem
+  std::int32_t rel = 0;         // Kind::Rel: displacement relative to next insn
+
+  bool operator==(const Operand&) const = default;
+
+  static Operand none() { return {}; }
+  static Operand make_reg(Reg r, OpSize s = OpSize::Dword) {
+    Operand o;
+    o.kind = Kind::Reg;
+    o.reg = r;
+    o.size = s;
+    return o;
+  }
+  static Operand make_imm(std::int32_t v, OpSize s = OpSize::Dword) {
+    Operand o;
+    o.kind = Kind::Imm;
+    o.imm = v;
+    o.size = s;
+    return o;
+  }
+  static Operand make_mem(Mem m, OpSize s = OpSize::Dword) {
+    Operand o;
+    o.kind = Kind::Mem;
+    o.mem = m;
+    o.size = s;
+    return o;
+  }
+  static Operand make_rel(std::int32_t r) {
+    Operand o;
+    o.kind = Kind::Rel;
+    o.rel = r;
+    return o;
+  }
+};
+
+struct Insn {
+  Mnemonic op = Mnemonic::INVALID;
+  Cond cond = Cond::O;                // valid for JCC / SETCC
+  std::array<Operand, 3> ops{};       // up to 3 (IMUL r, r/m, imm)
+  std::uint8_t nops = 0;
+  std::uint8_t len = 0;               // encoded length in bytes
+  OpSize opsize = OpSize::Dword;      // operation width
+  bool wide_imm = false;              // encoder hint: force imm32/rel32 form
+
+  bool valid() const { return op != Mnemonic::INVALID; }
+
+  // Branch / call target given this instruction's address. Only meaningful
+  // when ops[0] is Kind::Rel and len is set.
+  std::uint32_t rel_target(std::uint32_t addr) const {
+    return addr + len + static_cast<std::uint32_t>(ops[0].rel);
+  }
+
+  bool is_ret() const { return op == Mnemonic::RET || op == Mnemonic::RETF; }
+  bool is_branch() const {
+    return op == Mnemonic::JMP || op == Mnemonic::JCC || op == Mnemonic::CALL;
+  }
+};
+
+// --- naming helpers (implemented in insn.cpp) -------------------------------
+const char* reg_name(Reg r, OpSize size = OpSize::Dword);
+const char* mnemonic_name(Mnemonic m);
+const char* cond_name(Cond c);
+
+// Registers read / written by an instruction, as bitmasks over Reg indices
+// (bit i set = register i involved). 8-bit registers map onto their parent
+// 32-bit register (AH -> EAX etc). ESP adjustments from push/pop/ret are
+// included. Used for gadget transparency analysis.
+struct RegEffects {
+  std::uint16_t reads = 0;
+  std::uint16_t writes = 0;
+  bool reads_mem = false;
+  bool writes_mem = false;
+  bool writes_flags = false;
+  bool reads_flags = false;
+};
+
+RegEffects reg_effects(const Insn& insn);
+
+// Parent 32-bit register of an 8-bit register index (AL..BH -> EAX..EBX).
+Reg parent_reg(Reg r8);
+
+}  // namespace plx::x86

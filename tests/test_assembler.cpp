@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "image/layout.h"
+#include "x86/decoder.h"
+#include "x86/format.h"
+
+namespace plx {
+namespace {
+
+using assembler::assemble;
+
+img::Image build(const std::string& src) {
+  auto mod = assemble(src);
+  EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error());
+  auto laid = img::layout(mod.value());
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  return std::move(laid).take().image;
+}
+
+std::vector<std::uint8_t> func_bytes(const img::Image& img, const std::string& name) {
+  const img::Symbol* sym = img.find_symbol(name);
+  EXPECT_TRUE(sym) << name;
+  return img.read(sym->vaddr, sym->size);
+}
+
+TEST(Assembler, BasicFunction) {
+  const auto img = build(R"(
+.entry f
+f:
+    push ebp
+    mov ebp, esp
+    mov eax, [ebp+8]
+    add eax, 2
+    leave
+    ret
+)");
+  const auto bytes = func_bytes(img, "f");
+  const std::vector<std::uint8_t> expect = {0x55, 0x89, 0xe5, 0x8b, 0x45,
+                                            0x08, 0x83, 0xc0, 0x02, 0xc9, 0xc3};
+  EXPECT_EQ(bytes, expect);
+}
+
+TEST(Assembler, LocalLabelsAndJcc) {
+  const auto img = build(R"(
+.entry f
+f:
+    mov ecx, 10
+.loop:
+    dec ecx
+    jnz .loop
+    ret
+)");
+  const auto bytes = func_bytes(img, "f");
+  // mov ecx,10 (5) ; dec ecx (1) ; jnz rel32 (6) ; ret
+  ASSERT_EQ(bytes.size(), 13u);
+  // jnz target must be the dec instruction (rel32 = -7).
+  EXPECT_EQ(bytes[6], 0x0f);
+  EXPECT_EQ(bytes[7], 0x85);
+  EXPECT_EQ(static_cast<std::int8_t>(bytes[8]), -7);
+}
+
+TEST(Assembler, CallAcrossFunctions) {
+  const auto img = build(R"(
+.entry main
+main:
+    call helper
+    ret
+helper:
+    mov eax, 1
+    ret
+)");
+  const auto bytes = func_bytes(img, "main");
+  auto insn = x86::decode(bytes);
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->op, x86::Mnemonic::CALL);
+  EXPECT_EQ(insn->rel_target(img.find_symbol("main")->vaddr),
+            img.find_symbol("helper")->vaddr);
+}
+
+TEST(Assembler, DataDirectives) {
+  const auto img = build(R"(
+.entry f
+f:
+    ret
+.data
+table:
+    dd 1, 2, f
+msg:
+    db "hi", 0
+buf:
+    resb 8
+)");
+  const img::Symbol* table = img.find_symbol("table");
+  ASSERT_TRUE(table);
+  const auto words = img.read(table->vaddr, 12);
+  EXPECT_EQ(words[0], 1);
+  EXPECT_EQ(words[4], 2);
+  const std::uint32_t fptr = static_cast<std::uint32_t>(words[8]) | (words[9] << 8) |
+                             (words[10] << 16) | (words[11] << 24);
+  EXPECT_EQ(fptr, img.find_symbol("f")->vaddr);
+  const auto msg = img.read(img.find_symbol("msg")->vaddr, 3);
+  EXPECT_EQ(msg[0], 'h');
+  EXPECT_EQ(msg[1], 'i');
+  EXPECT_EQ(msg[2], 0);
+  EXPECT_TRUE(img.find_symbol("buf"));
+}
+
+TEST(Assembler, OffsetAndAbsoluteAddressing) {
+  const auto img = build(R"(
+.entry f
+f:
+    mov eax, offset counter
+    mov ecx, [counter]
+    mov [counter], ecx
+    ret
+.data
+counter:
+    dd 7
+)");
+  const auto bytes = func_bytes(img, "f");
+  const std::uint32_t counter = img.find_symbol("counter")->vaddr;
+  // mov eax, imm32
+  EXPECT_EQ(bytes[0], 0xb8);
+  const std::uint32_t imm = static_cast<std::uint32_t>(bytes[1]) | (bytes[2] << 8) |
+                            (bytes[3] << 16) | (bytes[4] << 24);
+  EXPECT_EQ(imm, counter);
+  // mov ecx, [disp32]
+  EXPECT_EQ(bytes[5], 0x8b);
+  EXPECT_EQ(bytes[6], 0x0d);
+}
+
+TEST(Assembler, ByteOperations) {
+  const auto img = build(R"(
+.entry f
+f:
+    mov al, 1
+    cmp al, 0
+    add bl, ch
+    sete cl
+    movzx eax, cl
+    ret
+)");
+  const auto bytes = func_bytes(img, "f");
+  const std::vector<std::uint8_t> expect = {
+      0xb0, 0x01,        // mov al, 1
+      0x3c, 0x00,        // cmp al, 0
+      0x00, 0xeb,        // add bl, ch
+      0x0f, 0x94, 0xc1,  // sete cl
+      0x0f, 0xb6, 0xc1,  // movzx eax, cl
+      0xc3};
+  EXPECT_EQ(bytes, expect);
+}
+
+TEST(Assembler, SizedMemoryOperands) {
+  const auto img = build(R"(
+.entry f
+f:
+    mov byte [eax], 5
+    mov dword [eax], 5
+    inc byte [ecx]
+    ret
+)");
+  const auto bytes = func_bytes(img, "f");
+  EXPECT_EQ(bytes[0], 0xc6);  // mov r/m8, imm8
+  EXPECT_EQ(bytes[3], 0xc7);  // mov r/m32, imm32
+  EXPECT_EQ(bytes[9], 0xfe);  // inc r/m8
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto img = build(R"(
+; leading comment
+.entry f
+
+f:      # trailing comment style 2
+    ret ; done
+)");
+  EXPECT_EQ(func_bytes(img, "f"), (std::vector<std::uint8_t>{0xc3}));
+}
+
+TEST(Assembler, ScaledIndexSyntax) {
+  const auto img = build(R"(
+.entry f
+f:
+    mov eax, [esi+ecx*4+8]
+    lea edx, [eax+eax*2]
+    ret
+)");
+  const auto bytes = func_bytes(img, "f");
+  auto i1 = x86::decode(bytes);
+  ASSERT_TRUE(i1);
+  EXPECT_EQ(i1->ops[1].mem.scale, 4);
+  EXPECT_EQ(i1->ops[1].mem.disp, 8);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto r = assemble("f:\n    bogus eax, 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+
+  r = assemble("f:\n    mov eax\n    mov eax, [unclosed\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Assembler, JccRequiresLabel) {
+  auto r = assemble("f:\n    jne 5\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, SyscallConvention) {
+  const auto img = build(R"(
+.entry _start
+_start:
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+)");
+  const auto bytes = func_bytes(img, "_start");
+  EXPECT_EQ(bytes[10], 0xcd);
+  EXPECT_EQ(bytes[11], 0x80);
+}
+
+}  // namespace
+}  // namespace plx

@@ -1,0 +1,212 @@
+// Baseline defenses: checksumming networks and oblivious hashing, with
+// their documented strengths and weaknesses made executable.
+#include <gtest/gtest.h>
+
+#include "attack/wurster.h"
+#include "baseline/checksum.h"
+#include "baseline/oblivious_hash.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::baseline {
+namespace {
+
+const char* kProgram = R"(
+int secret_check(int key) {
+  if ((key ^ 0x5a5a) == 0x1234) return 1;
+  return 0;
+}
+int helper(int x) {
+  int three = 3;   // kept in a variable so the constant is materialised
+  return x * three + 1;
+}
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 50; i++) {
+    acc = acc + helper(i) + secret_check(i);
+    acc = acc & 0xffff;
+  }
+  return acc & 0xff;
+}
+)";
+
+std::int32_t reference_exit(const std::string& src = kProgram) {
+  auto compiled = cc::compile(src);
+  EXPECT_TRUE(compiled.ok());
+  auto laid = img::layout(compiled.value().module);
+  EXPECT_TRUE(laid.ok());
+  vm::Machine m(laid.value().image);
+  return m.run().exit_code;
+}
+
+TEST(Checksum, ProtectedProgramStillWorks) {
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto prot = protect_with_checksums(compiled.value());
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  vm::Machine m(prot.value().image);
+  auto r = m.run();
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+  EXPECT_EQ(r.exit_code, reference_exit());
+}
+
+TEST(Checksum, DetectsStaticPatch) {
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto prot = protect_with_checksums(compiled.value());
+  ASSERT_TRUE(prot.ok()) << prot.error();
+
+  // Statically patch a byte in a guarded function.
+  img::Image tampered = prot.value().image;
+  const img::Symbol* victim = tampered.find_symbol("secret_check");
+  ASSERT_TRUE(victim);
+  for (auto& sec : tampered.sections) {
+    if (sec.contains(victim->vaddr + 8)) {
+      sec.bytes[victim->vaddr + 8 - sec.vaddr] ^= 0x41;
+    }
+  }
+  vm::Machine m(tampered);
+  auto r = m.run();
+  ASSERT_EQ(r.reason, vm::StopReason::Exited);
+  EXPECT_EQ(r.exit_code, ChecksumProtected::kTamperExit);
+}
+
+TEST(Checksum, DefeatedByWursterAttack) {
+  // The paper's central motivating attack: patch the *fetch view* only.
+  // Checksums read through the data view and pass; the tampered code runs.
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto prot = protect_with_checksums(compiled.value());
+  ASSERT_TRUE(prot.ok()) << prot.error();
+
+  const img::Symbol* victim = prot.value().image.find_symbol("helper");
+  ASSERT_TRUE(victim);
+  // Rewrite helper's body: mov eax, 1; ret (changes program output).
+  const std::uint8_t patch[] = {0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3};
+  auto r = attack::run_with_icache_patch(prot.value().image, victim->vaddr, patch);
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+  // No tamper response fired...
+  EXPECT_NE(r.exit_code, ChecksumProtected::kTamperExit);
+  // ...and the attacker changed the program's behaviour.
+  EXPECT_NE(r.exit_code, reference_exit());
+}
+
+TEST(ObliviousHash, ProtectedProgramStillWorks) {
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto prot = protect_with_oh(compiled.value());
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  EXPECT_FALSE(prot.value().instrumented.empty());
+  vm::Machine m(prot.value().image);
+  auto r = m.run(500'000'000);
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+  EXPECT_EQ(r.exit_code, reference_exit());
+}
+
+TEST(ObliviousHash, DetectsSemanticTamper) {
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto prot = protect_with_oh(compiled.value());
+  ASSERT_TRUE(prot.ok()) << prot.error();
+
+  // Change helper's arithmetic (fetch view AND data view — OH is immune to
+  // the Wurster distinction because it never reads code).
+  img::Image tampered = prot.value().image;
+  const img::Symbol* victim = tampered.find_symbol("helper");
+  ASSERT_TRUE(victim);
+  bool patched = false;
+  for (auto& sec : tampered.sections) {
+    if (!sec.contains(victim->vaddr)) continue;
+    // Find the `mov eax, 3` constant (the multiplier) and bump it to 5.
+    for (std::uint32_t off = 0; off + 4 < victim->size; ++off) {
+      std::uint8_t* b = sec.bytes.data() + (victim->vaddr + off - sec.vaddr);
+      if (b[0] == 0xb8 && b[1] == 0x03 && b[2] == 0x00 && b[3] == 0x00 && b[4] == 0x00) {
+        b[1] = 0x05;
+        patched = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(patched);
+  vm::Machine m(tampered);
+  auto r = m.run(500'000'000);
+  ASSERT_EQ(r.reason, vm::StopReason::Exited);
+  EXPECT_EQ(r.exit_code, OhProtected::kTamperExit);
+}
+
+TEST(ObliviousHash, CannotProtectNonDeterministicCode) {
+  // A function whose behaviour depends on syscall results (the paper's
+  // ptrace detector class) is rejected by OH applicability...
+  const char* src = R"(
+int check_env() {
+  if (__syscall(512, 0, 0, 0) & 1) return 1;
+  return 0;
+}
+int main() { return check_env(); }
+)";
+  auto compiled = cc::compile(src);
+  ASSERT_TRUE(compiled.ok());
+  const cc::IrFunc* f = nullptr;
+  for (const auto& fn : compiled.value().ir.funcs) {
+    if (fn.name == "check_env") f = &fn;
+  }
+  ASSERT_TRUE(f);
+  EXPECT_FALSE(oh_applicable(*f));
+
+  OhOptions opts;
+  opts.functions = {"check_env"};
+  auto prot = protect_with_oh(compiled.value(), opts);
+  EXPECT_FALSE(prot.ok());
+}
+
+TEST(ObliviousHash, FalsePositiveOnChangedInput) {
+  // ...and even hashing only the deterministic caller misfires when the
+  // program's actual input differs from the recorded run.
+  const char* src = R"(
+int shape(int x) { return (x << 2) ^ (x >> 1); }
+int main() {
+  int v = __syscall(512, 0, 0, 0) & 15;
+  return shape(v) & 0xff;
+}
+)";
+  auto compiled = cc::compile(src);
+  ASSERT_TRUE(compiled.ok());
+  OhOptions opts;
+  opts.functions = {"shape"};
+  auto prot = protect_with_oh(compiled.value(), opts);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+
+  // Same rand seed as the recording run: passes.
+  vm::Machine same(prot.value().image);
+  auto r1 = same.run();
+  ASSERT_EQ(r1.reason, vm::StopReason::Exited);
+  EXPECT_NE(r1.exit_code, OhProtected::kTamperExit);
+
+  // Different seed => different hashed state => false positive.
+  vm::Machine diff(prot.value().image);
+  diff.rng = Rng(99);
+  auto r2 = diff.run();
+  ASSERT_EQ(r2.reason, vm::StopReason::Exited);
+  EXPECT_EQ(r2.exit_code, OhProtected::kTamperExit);
+}
+
+TEST(ObliviousHash, SlowsDownProtectedCode) {
+  // The cost structure the paper contrasts with: OH overhead lands on the
+  // protected code itself.
+  auto compiled = cc::compile(kProgram);
+  ASSERT_TRUE(compiled.ok());
+  auto plain = img::layout(compiled.value().module);
+  ASSERT_TRUE(plain.ok());
+  vm::Machine ref(plain.value().image);
+  const auto ref_run = ref.run();
+
+  auto prot = protect_with_oh(compiled.value());
+  ASSERT_TRUE(prot.ok());
+  vm::Machine m(prot.value().image);
+  const auto run = m.run(500'000'000);
+  EXPECT_GT(run.cycles, ref_run.cycles * 3 / 2)
+      << "OH instrumentation should visibly slow the program";
+}
+
+}  // namespace
+}  // namespace plx::baseline

@@ -1,0 +1,298 @@
+// End-to-end mini-C tests: compile, lay out, run in the VM, check results.
+#include <gtest/gtest.h>
+
+#include "cc/backend_x86.h"
+#include "cc/compile.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::cc {
+namespace {
+
+vm::RunResult run_c(const std::string& src, std::string* output = nullptr,
+                    std::uint64_t budget = 10'000'000) {
+  auto compiled = compile(src);
+  EXPECT_TRUE(compiled.ok()) << (compiled.ok() ? "" : compiled.error());
+  if (!compiled.ok()) return {};
+  auto laid = img::layout(compiled.value().module);
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  if (!laid.ok()) return {};
+  vm::Machine m(laid.value().image);
+  auto r = m.run(budget);
+  if (output) *output = m.output;
+  return r;
+}
+
+TEST(MiniC, ReturnsConstant) {
+  EXPECT_TRUE(run_c("int main() { return 42; }").exited_ok(42));
+}
+
+TEST(MiniC, Arithmetic) {
+  EXPECT_TRUE(run_c("int main() { return 2 + 3 * 4 - 5; }").exited_ok(9));
+  EXPECT_TRUE(run_c("int main() { return (2 + 3) * 4; }").exited_ok(20));
+  EXPECT_TRUE(run_c("int main() { return 17 / 5; }").exited_ok(3));
+  EXPECT_TRUE(run_c("int main() { return 17 % 5; }").exited_ok(2));
+  EXPECT_TRUE(run_c("int main() { return -17 / 5; }").exited_ok(-3));
+  EXPECT_TRUE(run_c("int main() { return 1 << 10; }").exited_ok(1024));
+  EXPECT_TRUE(run_c("int main() { return -16 >> 2; }").exited_ok(-4));
+  EXPECT_TRUE(run_c("int main() { return (0xff & 0x0f) | 0x30; }").exited_ok(0x3f));
+  EXPECT_TRUE(run_c("int main() { return 0xaa ^ 0xff; }").exited_ok(0x55));
+  EXPECT_TRUE(run_c("int main() { return ~0; }").exited_ok(-1));
+  EXPECT_TRUE(run_c("int main() { return -(5); }").exited_ok(-5));
+}
+
+TEST(MiniC, Comparisons) {
+  EXPECT_TRUE(run_c("int main() { return 3 < 5; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 5 < 3; }").exited_ok(0));
+  EXPECT_TRUE(run_c("int main() { return -1 < 1; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 3 <= 3; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 4 > 4; }").exited_ok(0));
+  EXPECT_TRUE(run_c("int main() { return 4 >= 4; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 7 == 7; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 7 != 7; }").exited_ok(0));
+  EXPECT_TRUE(run_c("int main() { return !5; }").exited_ok(0));
+  EXPECT_TRUE(run_c("int main() { return !0; }").exited_ok(1));
+}
+
+TEST(MiniC, ShortCircuit) {
+  // The right operand must not evaluate when short-circuited: make it a
+  // division by zero, which would fault.
+  EXPECT_TRUE(run_c("int main() { int z = 0; return 0 && (1 / z); }").exited_ok(0));
+  EXPECT_TRUE(run_c("int main() { int z = 0; return 1 || (1 / z); }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 1 && 2; }").exited_ok(1));
+  EXPECT_TRUE(run_c("int main() { return 0 || 0; }").exited_ok(0));
+}
+
+TEST(MiniC, ControlFlow) {
+  EXPECT_TRUE(run_c(R"(
+int main() {
+  int n = 0;
+  if (3 > 2) { n = 1; } else { n = 2; }
+  return n;
+})").exited_ok(1));
+
+  EXPECT_TRUE(run_c(R"(
+int main() {
+  int sum = 0;
+  int i = 1;
+  while (i <= 10) { sum = sum + i; i++; }
+  return sum;
+})").exited_ok(55));
+
+  EXPECT_TRUE(run_c(R"(
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 5; i++) {
+    if (i == 3) continue;
+    if (i == 4) break;
+    sum = sum + i;
+  }
+  return sum;
+})").exited_ok(3));
+}
+
+TEST(MiniC, FunctionsAndRecursion) {
+  EXPECT_TRUE(run_c(R"(
+int add(int a, int b) { return a + b; }
+int main() { return add(40, 2); }
+)").exited_ok(42));
+
+  EXPECT_TRUE(run_c(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)").exited_ok(144));
+}
+
+TEST(MiniC, GlobalsAndArrays) {
+  EXPECT_TRUE(run_c(R"(
+int counter = 7;
+int table[4] = {10, 20, 30, 40};
+int main() {
+  counter = counter + table[2];
+  return counter;
+})").exited_ok(37));
+
+  EXPECT_TRUE(run_c(R"(
+int buf[8];
+int main() {
+  for (int i = 0; i < 8; i++) buf[i] = i * i;
+  int sum = 0;
+  for (int i = 0; i < 8; i++) sum = sum + buf[i];
+  return sum;
+})").exited_ok(140));
+}
+
+TEST(MiniC, LocalArraysAndPointers) {
+  EXPECT_TRUE(run_c(R"(
+int main() {
+  int a[4];
+  a[0] = 5;
+  a[1] = 6;
+  int *p = a;
+  p[2] = 7;
+  *(p + 3) = 8;
+  return a[0] + a[1] + a[2] + a[3];
+})").exited_ok(26));
+
+  EXPECT_TRUE(run_c(R"(
+int deref(int *p) { return *p; }
+int main() {
+  int x = 99;
+  return deref(&x);
+})").exited_ok(99));
+}
+
+TEST(MiniC, CharArraysAreByteAddressed) {
+  EXPECT_TRUE(run_c(R"(
+char buf[8];
+int main() {
+  buf[0] = 'A';
+  buf[1] = buf[0] + 1;
+  buf[7] = 255;
+  return buf[0] + buf[1] + buf[7];
+})").exited_ok('A' + 'B' + 255));
+
+  EXPECT_TRUE(run_c(R"(
+int strlen_(char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  return n;
+}
+char msg[] = "hello";
+int main() { return strlen_(msg); }
+)").exited_ok(5));
+}
+
+TEST(MiniC, StringLiteralsAndSyscalls) {
+  std::string output;
+  auto r = run_c(R"(
+int write_str(char *s, int n) {
+  return __syscall(4, 1, s, n);
+}
+int main() {
+  write_str("hi there", 8);
+  return 0;
+})", &output);
+  EXPECT_TRUE(r.exited_ok(0));
+  EXPECT_EQ(output, "hi there");
+}
+
+TEST(MiniC, PtraceDetectorCompiles) {
+  // The paper's running example, in mini-C.
+  auto r = run_c(R"(
+int check_ptrace() {
+  if (__syscall(26, 0, 0, 0) < 0) {
+    return 1;   // debugger detected
+  }
+  return 0;
+}
+int main() { return check_ptrace(); }
+)");
+  EXPECT_TRUE(r.exited_ok(0));
+}
+
+TEST(MiniC, GlobalCharInit) {
+  EXPECT_TRUE(run_c(R"(
+char key[4] = {1, 2, 3, 4};
+int main() { return key[0] + key[3]; }
+)").exited_ok(5));
+}
+
+TEST(MiniC, NestedCallsAndComplexExpr) {
+  EXPECT_TRUE(run_c(R"(
+int sq(int x) { return x * x; }
+int main() {
+  return sq(sq(2)) + sq(3 + 1) - (sq(1) && sq(0));
+})").exited_ok(32));
+}
+
+TEST(MiniC, ErrorsReportLines) {
+  auto c = compile("int main() {\n  return undefined_var;\n}");
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.error().find("line 2"), std::string::npos);
+
+  c = compile("int main() { return 1 + ; }");
+  EXPECT_FALSE(c.ok());
+
+  c = compile("int f(int a) { return a; }\nint main() { return f(1, 2); }");
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.error().find("argument count"), std::string::npos);
+}
+
+TEST(MiniC, MulLoweringPreservesSemantics) {
+  // lower_mul_for_rop replaces Mul with a shift-add loop; run both via the
+  // x86 backend and compare (this is the transformation chains rely on).
+  const std::string src = R"(
+int mulcheck(int a, int b) { return a * b; }
+int main() { return 0; }
+)";
+  auto compiled = compile(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  const IrFunc* mul_fn = nullptr;
+  for (const auto& f : compiled.value().ir.funcs) {
+    if (f.name == "mulcheck") mul_fn = &f;
+  }
+  ASSERT_TRUE(mul_fn);
+  const IrFunc lowered = lower_mul_for_rop(*mul_fn);
+  for (const auto& insn : lowered.insns) {
+    EXPECT_NE(insn.op, IrOp::Mul);
+  }
+
+  // Build a module with the lowered body replacing the original.
+  img::Module mod = compiled.value().module;
+  for (auto& frag : mod.fragments) {
+    if (frag.name == "mulcheck") {
+      auto relowered = emit_func_x86(lowered);
+      ASSERT_TRUE(relowered.ok()) << relowered.error();
+      frag = std::move(relowered).take();
+    }
+  }
+  auto laid = img::layout(mod);
+  ASSERT_TRUE(laid.ok()) << laid.error();
+
+  const std::uint32_t fn_addr = laid.value().image.find_symbol("mulcheck")->vaddr;
+  const std::int32_t cases[][3] = {{3, 4, 12},        {0, 99, 0},
+                                   {-3, 4, -12},      {7, -6, -42},
+                                   {-5, -5, 25},      {100000, 3000, 300000000},
+                                   {1 << 16, 1 << 15, INT32_MIN}};
+  for (const auto& c : cases) {
+    vm::Machine m(laid.value().image);
+    auto r = m.call_function(fn_addr, {static_cast<std::uint32_t>(c[0]),
+                                       static_cast<std::uint32_t>(c[1])});
+    EXPECT_TRUE(r.exited_ok(c[2])) << c[0] << " * " << c[1];
+  }
+}
+
+TEST(MiniC, OpDiversityMetric) {
+  auto compiled = compile(R"(
+int rich(int a, int b) {
+  int c = a + b;
+  c = c - a;
+  c = c * 3;
+  c = c ^ b;
+  c = c & 0xff;
+  c = c | a;
+  c = c << 2;
+  if (c > b) c = c >> 1;
+  return c;
+}
+int poor(int a) { return a; }
+int main() { return 0; }
+)");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  const IrFunc *rich = nullptr, *poor = nullptr;
+  for (const auto& f : compiled.value().ir.funcs) {
+    if (f.name == "rich") rich = &f;
+    if (f.name == "poor") poor = &f;
+  }
+  ASSERT_TRUE(rich && poor);
+  EXPECT_GT(rich->op_diversity(), poor->op_diversity());
+  EXPECT_FALSE(rich->has_calls());
+  EXPECT_FALSE(rich->has_div());
+}
+
+}  // namespace
+}  // namespace plx::cc

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/rc4.h"
+#include "crypto/xorstream.h"
+
+namespace plx::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Rc4, KnownTestVectorKey) {
+  // RFC 6229 / classic test vector: key "Key", plaintext "Plaintext" =>
+  // ciphertext BBF316E8D940AF0AD3.
+  const auto key = bytes("Key");
+  const auto pt = bytes("Plaintext");
+  const auto ct = rc4_crypt(key, pt);
+  const std::vector<std::uint8_t> expect = {0xbb, 0xf3, 0x16, 0xe8, 0xd9,
+                                            0x40, 0xaf, 0x0a, 0xd3};
+  EXPECT_EQ(ct, expect);
+}
+
+TEST(Rc4, KnownTestVectorWiki) {
+  // Key "Wiki", plaintext "pedia" => 1021BF0420.
+  const auto ct = rc4_crypt(bytes("Wiki"), bytes("pedia"));
+  const std::vector<std::uint8_t> expect = {0x10, 0x21, 0xbf, 0x04, 0x20};
+  EXPECT_EQ(ct, expect);
+}
+
+TEST(Rc4, EncryptDecryptRoundtrips) {
+  const auto key = bytes("chain-key-123");
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  const auto ct = rc4_crypt(key, data);
+  EXPECT_NE(ct, data);
+  EXPECT_EQ(rc4_crypt(key, ct), data);
+}
+
+TEST(Rc4, DifferentKeysDiffer) {
+  const auto pt = bytes("the quick brown fox");
+  EXPECT_NE(rc4_crypt(bytes("k1"), pt), rc4_crypt(bytes("k2"), pt));
+}
+
+TEST(XorStream, Involution) {
+  const auto key = bytes("\x5a\xa5\x3c");
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  auto ct = xor_crypt(key, data);
+  EXPECT_NE(ct, data);
+  EXPECT_EQ(xor_crypt(key, ct), data);
+}
+
+TEST(XorStream, KeyRepeats) {
+  const std::vector<std::uint8_t> key = {0xff};
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0x02};
+  const auto ct = xor_crypt(key, data);
+  EXPECT_EQ(ct, (std::vector<std::uint8_t>{0xff, 0xfe, 0xfd}));
+}
+
+}  // namespace
+}  // namespace plx::crypto

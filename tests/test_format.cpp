@@ -1,0 +1,75 @@
+// Formatter / disassembler output tests (the listings the examples print).
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "x86/build.h"
+#include "x86/format.h"
+
+namespace plx::x86 {
+namespace {
+
+TEST(Format, CommonInstructions) {
+  EXPECT_EQ(format(ins::mov(Reg::EAX, 42)), "mov eax, 0x2a");
+  EXPECT_EQ(format(ins::mov(Reg::EBP, Reg::ESP)), "mov ebp, esp");
+  EXPECT_EQ(format(ins::add(Reg::ECX, 5)), "add ecx, 5");
+  EXPECT_EQ(format(ins::push(Reg::EBX)), "push ebx");
+  EXPECT_EQ(format(ins::ret()), "ret");
+  EXPECT_EQ(format(ins::retf()), "retf");
+  EXPECT_EQ(format(ins::int_(0x80)), "int 0x80");
+}
+
+TEST(Format, MemoryOperands) {
+  EXPECT_EQ(format(ins::load(Reg::EAX, Mem{.base = Reg::EBP, .disp = -4})),
+            "mov eax, dword [ebp-0x4]");
+  EXPECT_EQ(format(ins::store(Mem{.base = Reg::ESP}, Reg::EAX)),
+            "mov dword [esp], eax");
+  EXPECT_EQ(format(ins::load(Reg::ECX,
+                             Mem{.base = Reg::ESI, .index = Reg::EDX, .scale = 4, .disp = 8})),
+            "mov ecx, dword [esi+edx*4+0x8]");
+  EXPECT_EQ(format(ins::load(Reg::EAX, Mem{.disp = 0x8048000})),
+            "mov eax, dword [0x8048000]");
+  EXPECT_EQ(format(ins::store(Mem{.base = Reg::ECX}, Reg::EAX, OpSize::Byte)),
+            "mov byte [ecx], al");
+}
+
+TEST(Format, BranchesShowAbsoluteTargets) {
+  Insn j = ins::jcc_rel(Cond::NE, 0x10);
+  j.len = 6;
+  EXPECT_EQ(format(j, 0x8048000), "jne 0x8048016");
+  Insn c = ins::call_rel(-0x20);
+  c.len = 5;
+  EXPECT_EQ(format(c, 0x8048100), "call 0x80480e5");
+}
+
+TEST(Format, SetccAndCond) {
+  EXPECT_EQ(format(ins::setcc(Cond::GE, Reg::EAX)), "setge al");
+  Insn jb = ins::jcc_rel(Cond::B, 0);
+  jb.len = 6;  // rel targets are relative to the instruction end
+  EXPECT_EQ(format(jb, 0), "jb 0x6");
+}
+
+TEST(Disassemble, ListsAddressesBytesAndBadOpcodes) {
+  const std::vector<std::uint8_t> bytes = {0x55, 0x89, 0xe5, 0x0f, 0x05, 0xc3};
+  const std::string listing = disassemble(bytes, 0x1000);
+  EXPECT_NE(listing.find("push ebp"), std::string::npos);
+  EXPECT_NE(listing.find("mov ebp, esp"), std::string::npos);
+  EXPECT_NE(listing.find("(bad)"), std::string::npos);  // 0f 05 unsupported
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+  EXPECT_NE(listing.find("1000:"), std::string::npos);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok_result(7);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 7);
+
+  Result<int> err_result(plx::fail("boom"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error(), "boom");
+
+  Result<std::string> moved(std::string("abc"));
+  EXPECT_EQ(std::move(moved).take(), "abc");
+}
+
+}  // namespace
+}  // namespace plx::x86

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "gadget/catalog.h"
+#include "gadget/classify.h"
+#include "gadget/scanner.h"
+#include "image/layout.h"
+#include "x86/decoder.h"
+
+namespace plx::gadget {
+namespace {
+
+using x86::Cond;
+using x86::Reg;
+
+Gadget classify_bytes(std::initializer_list<std::uint8_t> raw) {
+  std::vector<std::uint8_t> bytes(raw);
+  std::vector<x86::Insn> insns;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    auto insn = x86::decode(std::span(bytes).subspan(off));
+    EXPECT_TRUE(insn) << "offset " << off;
+    if (!insn) break;
+    insns.push_back(*insn);
+    off += insn->len;
+  }
+  Gadget g;
+  g.insns = insns;
+  g.len = static_cast<std::uint8_t>(bytes.size());
+  classify(insns, g);
+  return g;
+}
+
+TEST(Classify, PopRegRet) {
+  const Gadget g = classify_bytes({0x58, 0xc3});  // pop eax; ret
+  EXPECT_EQ(g.type, GType::PopReg);
+  EXPECT_EQ(g.r1, Reg::EAX);
+  EXPECT_EQ(g.total_pops, 0);
+  EXPECT_EQ(g.value_pop_index, 0);
+}
+
+TEST(Classify, PopWithFiller) {
+  // pop ecx; pop edx; ret — primary PopReg(ecx) with one filler pop.
+  const Gadget g = classify_bytes({0x59, 0x5a, 0xc3});
+  EXPECT_EQ(g.type, GType::PopReg);
+  EXPECT_EQ(g.r1, Reg::ECX);
+  EXPECT_EQ(g.total_pops, 1);
+  EXPECT_EQ(g.value_pop_index, 0);
+  EXPECT_TRUE(g.clobbers & (1u << 2));  // edx clobbered
+}
+
+TEST(Classify, PopDestroyedByLaterPopDemotes) {
+  // pop eax; pop eax; ret — first value is overwritten; still consumes two
+  // words. Demoted to transparent... actually the SECOND pop wins nothing:
+  // our classifier keeps it transparent with 2 fillers.
+  const Gadget g = classify_bytes({0x58, 0x58, 0xc3});
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_EQ(g.total_pops, 2);
+}
+
+TEST(Classify, AluRegReg) {
+  EXPECT_EQ(classify_bytes({0x01, 0xd0, 0xc3}).type, GType::AddRegReg);  // add eax,edx
+  EXPECT_EQ(classify_bytes({0x29, 0xd0, 0xc3}).type, GType::SubRegReg);
+  EXPECT_EQ(classify_bytes({0x31, 0xd0, 0xc3}).type, GType::XorRegReg);
+  EXPECT_EQ(classify_bytes({0x21, 0xd0, 0xc3}).type, GType::AndRegReg);
+  EXPECT_EQ(classify_bytes({0x09, 0xd0, 0xc3}).type, GType::OrRegReg);
+  const Gadget g = classify_bytes({0x01, 0xd0, 0xc3});
+  EXPECT_EQ(g.r1, Reg::EAX);
+  EXPECT_EQ(g.r2, Reg::EDX);
+}
+
+TEST(Classify, XorSelfIsNotCanonical) {
+  // xor eax, eax zeroes — a clobber, not a usable ALU gadget.
+  const Gadget g = classify_bytes({0x31, 0xc0, 0xc3});
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_TRUE(g.clobbers & 1u);
+}
+
+TEST(Classify, LoadAndStore) {
+  const Gadget load = classify_bytes({0x8b, 0x01, 0xc3});  // mov eax,[ecx]; ret
+  EXPECT_EQ(load.type, GType::LoadMem);
+  EXPECT_EQ(load.r1, Reg::EAX);
+  EXPECT_EQ(load.r2, Reg::ECX);
+
+  const Gadget store = classify_bytes({0x89, 0x01, 0xc3});  // mov [ecx],eax; ret
+  EXPECT_EQ(store.type, GType::StoreMem);
+  EXPECT_EQ(store.r1, Reg::ECX);
+  EXPECT_EQ(store.r2, Reg::EAX);
+
+  const Gadget addstore = classify_bytes({0x01, 0x01, 0xc3});  // add [ecx],eax
+  EXPECT_EQ(addstore.type, GType::AddStoreMem);
+}
+
+TEST(Classify, LoadWithDisplacement) {
+  const Gadget g = classify_bytes({0x8b, 0x41, 0x08, 0xc3});  // mov eax,[ecx+8]
+  EXPECT_EQ(g.type, GType::LoadMem);
+  EXPECT_EQ(g.disp, 8);
+}
+
+TEST(Classify, PaperFarRetGadgetIsTransparent) {
+  // §IV-A Listing 1: and al,0; add [eax],al; add al,ch; retf. The memory
+  // write is harmless because al is provably zero; eax must be parked on
+  // scratch memory.
+  const Gadget g = classify_bytes({0x24, 0x00, 0x00, 0x00, 0x00, 0xe8, 0xcb});
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_TRUE(g.far_ret);
+  EXPECT_TRUE(g.scratch_addr_regs & 1u) << "eax must be parked";
+  EXPECT_TRUE(g.clobbers & 1u);
+}
+
+TEST(Classify, PaperSarGadget) {
+  // §IV-A: sar byte [ecx+0x7], 0x8b; ret — a byte memory write of an
+  // unpredictable value. The paper uses exactly this gadget: the write is
+  // harmless once ecx is parked on sacrificial scratch memory, so it
+  // classifies as a transparent verification gadget.
+  const Gadget g = classify_bytes({0xc0, 0x79, 0x07, 0x8b, 0xc3});
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_TRUE(g.scratch_addr_regs & (1u << 1)) << "ecx must be parked";
+}
+
+TEST(Classify, PaperJumpOffsetGadget) {
+  // §IV-A: add bl, ch; ret (byte-size ALU): no canonical 32-bit use, but
+  // transparent — exactly what verification NOP slots want.
+  const Gadget g = classify_bytes({0x00, 0xeb, 0xc3});
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_TRUE(g.clobbers & (1u << 3));  // ebx (via bl)
+}
+
+TEST(Classify, ShiftByCl) {
+  EXPECT_EQ(classify_bytes({0xd3, 0xe0, 0xc3}).type, GType::ShlClReg);
+  EXPECT_EQ(classify_bytes({0xd3, 0xe8, 0xc3}).type, GType::ShrClReg);
+  EXPECT_EQ(classify_bytes({0xd3, 0xf8, 0xc3}).type, GType::SarClReg);
+  const Gadget g = classify_bytes({0xd3, 0xe0, 0xc3});
+  EXPECT_EQ(g.r1, Reg::EAX);
+}
+
+TEST(Classify, CmpAndSetcc) {
+  EXPECT_EQ(classify_bytes({0x39, 0xd0, 0xc3}).type, GType::CmpRegReg);
+  const Gadget se = classify_bytes({0x0f, 0x94, 0xc0, 0xc3});  // sete al; ret
+  EXPECT_EQ(se.type, GType::SetccReg);
+  EXPECT_EQ(se.cond, Cond::E);
+  EXPECT_EQ(se.r1, Reg::EAX);
+  EXPECT_EQ(classify_bytes({0x0f, 0xb6, 0xc0, 0xc3}).type, GType::MovzxReg);
+}
+
+TEST(Classify, ChainPivots) {
+  const Gadget add_esp = classify_bytes({0x01, 0xc4, 0xc3});  // add esp, eax; ret
+  EXPECT_EQ(add_esp.type, GType::AddEspReg);
+  EXPECT_EQ(add_esp.r1, Reg::EAX);
+
+  const Gadget pop_esp = classify_bytes({0x5c, 0xc3});  // pop esp; ret
+  EXPECT_EQ(pop_esp.type, GType::PopEsp);
+}
+
+TEST(Classify, RejectsDerailers) {
+  EXPECT_EQ(classify_bytes({0x50, 0xc3}).type, GType::Unusable);  // push eax
+  EXPECT_EQ(classify_bytes({0xc9, 0xc3}).type, GType::Unusable);  // leave
+  EXPECT_EQ(classify_bytes({0xcd, 0x80, 0xc3}).type, GType::Unusable);  // int
+  EXPECT_EQ(classify_bytes({0xf7, 0xf1, 0xc3}).type, GType::Unusable);  // div ecx
+  // sub esp, 4 moves the stack pointer backwards into executed chain words.
+  EXPECT_EQ(classify_bytes({0x83, 0xec, 0x04, 0xc3}).type, GType::Unusable);
+}
+
+TEST(Classify, RetImmSkipsWords) {
+  const Gadget g = classify_bytes({0x58, 0xc2, 0x08, 0x00});  // pop eax; ret 8
+  EXPECT_EQ(g.type, GType::PopReg);
+  EXPECT_EQ(g.ret_imm, 8);
+  // Unaligned ret imm is unusable.
+  EXPECT_EQ(classify_bytes({0x58, 0xc2, 0x03, 0x00}).type, GType::Unusable);
+}
+
+TEST(Classify, AddEspImmBecomesFiller) {
+  const Gadget g = classify_bytes({0x83, 0xc4, 0x08, 0xc3});  // add esp, 8; ret
+  EXPECT_EQ(g.type, GType::Transparent);
+  EXPECT_EQ(g.total_pops, 2);
+}
+
+TEST(Scanner, FindsUnalignedGadgets) {
+  // mov eax, 0x00c35858: the immediate contains "pop eax; pop eax; ret" at
+  // offset 1 and "pop eax; ret" at offset 2.
+  const std::vector<std::uint8_t> bytes = {0xb8, 0x58, 0x58, 0xc3, 0x00};
+  auto gs = scan_bytes(bytes, 0x1000);
+  bool found_pop_ret = false;
+  for (const auto& g : gs) {
+    if (g.addr == 0x1002 && g.type == GType::PopReg && g.r1 == Reg::EAX) {
+      found_pop_ret = true;
+      EXPECT_EQ(g.len, 2);
+    }
+  }
+  EXPECT_TRUE(found_pop_ret);
+}
+
+TEST(Scanner, RespectsInstructionLimit) {
+  // Seven single-byte instructions before ret exceed the 6-insn cap from the
+  // start offset but shorter suffixes are still found.
+  const std::vector<std::uint8_t> bytes = {0x40, 0x40, 0x40, 0x40, 0x40,
+                                           0x40, 0x40, 0xc3};
+  ScanOptions opts;
+  opts.max_insns = 6;
+  auto gs = scan_bytes(bytes, 0, opts);
+  for (const auto& g : gs) {
+    EXPECT_LE(g.insns.size(), 6u);
+    EXPECT_NE(g.addr, 0u) << "offset 0 needs 8 instructions";
+  }
+  EXPECT_FALSE(gs.empty());
+}
+
+TEST(Scanner, UtilityFragmentProvidesFullVocabulary) {
+  img::Module m;
+  m.entry = "__plx_gadgets";
+  m.fragments.push_back(utility_gadget_fragment());
+  auto laid = img::layout(m);
+  ASSERT_TRUE(laid.ok()) << laid.error();
+  auto gs = scan(laid.value().image);
+  Catalog cat(std::move(gs));
+
+  const std::uint16_t no_live = 0;
+  for (Reg r : {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX, Reg::ESI, Reg::EDI}) {
+    EXPECT_TRUE(cat.pick(GType::PopReg, r, Reg::NONE, no_live)) << x86::reg_name(r);
+  }
+  EXPECT_TRUE(cat.pick(GType::LoadMem, Reg::EAX, Reg::ECX, no_live));
+  EXPECT_TRUE(cat.pick(GType::LoadMem, Reg::EDX, Reg::ECX, no_live));
+  EXPECT_TRUE(cat.pick(GType::StoreMem, Reg::ECX, Reg::EAX, no_live));
+  for (GType t : {GType::AddRegReg, GType::SubRegReg, GType::XorRegReg,
+                  GType::AndRegReg, GType::OrRegReg, GType::CmpRegReg}) {
+    EXPECT_TRUE(cat.pick(t, Reg::EAX, Reg::EDX, no_live)) << gtype_name(t);
+  }
+  EXPECT_TRUE(cat.pick(GType::NegReg, Reg::EAX, Reg::NONE, no_live));
+  EXPECT_TRUE(cat.pick(GType::NotReg, Reg::EAX, Reg::NONE, no_live));
+  for (GType t : {GType::ShlClReg, GType::ShrClReg, GType::SarClReg}) {
+    EXPECT_TRUE(cat.pick(t, Reg::EAX, Reg::NONE, no_live)) << gtype_name(t);
+  }
+  for (int cc = 0; cc < 16; ++cc) {
+    auto matches = cat.find(GType::SetccReg, Reg::EAX);
+    bool found = false;
+    for (const auto* g : matches) {
+      if (g->cond == static_cast<Cond>(cc)) found = true;
+    }
+    EXPECT_TRUE(found) << "setcc " << cc;
+  }
+  EXPECT_TRUE(cat.pick(GType::MovzxReg, Reg::EAX, Reg::NONE, no_live));
+  EXPECT_TRUE(cat.pick(GType::AddEspReg, Reg::EAX, Reg::NONE, no_live));
+  EXPECT_TRUE(cat.pick(GType::PopEsp, Reg::NONE, Reg::NONE, no_live));
+  EXPECT_TRUE(cat.pick(GType::MovRegReg, Reg::ECX, Reg::EAX, no_live));
+}
+
+TEST(Catalog, OverlappingPreferred) {
+  Gadget plain;
+  plain.type = GType::PopReg;
+  plain.r1 = Reg::EAX;
+  plain.addr = 0x100;
+  Gadget overlap = plain;
+  overlap.addr = 0x200;
+  overlap.overlapping = true;
+
+  Catalog cat;
+  cat.add(plain);
+  cat.add(overlap);
+  const Gadget* picked = cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 0);
+  ASSERT_TRUE(picked);
+  EXPECT_EQ(picked->addr, 0x200u);
+}
+
+TEST(Catalog, LiveRegisterMaskFiltersClobbers) {
+  Gadget g;
+  g.type = GType::PopReg;
+  g.r1 = Reg::EAX;
+  g.clobbers = 1u << 2;  // clobbers edx
+  Catalog cat;
+  cat.add(g);
+  EXPECT_TRUE(cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 0));
+  EXPECT_FALSE(cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 1u << 2));
+}
+
+TEST(Catalog, MarkOverlappingByRange) {
+  Gadget g;
+  g.type = GType::PopReg;
+  g.r1 = Reg::EAX;
+  g.addr = 0x100;
+  g.len = 2;
+  Catalog cat;
+  cat.add(g);
+  cat.mark_overlapping(0x102, 0x110);  // adjacent, no intersection
+  EXPECT_FALSE(cat.all()[0].overlapping);
+  cat.mark_overlapping(0x101, 0x110);  // overlaps last byte
+  EXPECT_TRUE(cat.all()[0].overlapping);
+}
+
+TEST(Catalog, PickRandomCoversCandidates) {
+  Catalog cat;
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    Gadget g;
+    g.type = GType::PopReg;
+    g.r1 = Reg::EAX;
+    g.addr = a;
+    cat.add(g);
+  }
+  Rng rng(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const Gadget* g = cat.pick_random(GType::PopReg, Reg::EAX, Reg::NONE, 0, rng);
+    ASSERT_TRUE(g);
+    seen.insert(g->addr);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all variants get exercised (§V-B diversity)
+}
+
+}  // namespace
+}  // namespace plx::gadget

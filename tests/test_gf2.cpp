@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "gf2/gf2.h"
+
+namespace plx::gf2 {
+namespace {
+
+TEST(Gf2, IdentityActsTrivially) {
+  const Mat id = Mat::identity();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec v = rng.next_u32();
+    EXPECT_EQ(id.mul(v), v);
+  }
+  EXPECT_EQ(id.rank(), 32);
+}
+
+TEST(Gf2, RandomInvertibleHasFullRank) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const Mat m = Mat::random_invertible(rng);
+    EXPECT_EQ(m.rank(), 32);
+  }
+}
+
+TEST(Gf2, SingularMatrixHasNoInverse) {
+  Mat m;  // all-zero
+  EXPECT_EQ(m.rank(), 0);
+  EXPECT_FALSE(m.inverse().has_value());
+
+  // Duplicate columns => rank < 32.
+  Mat dup = Mat::identity();
+  dup.set_col(5, dup.col(4));
+  EXPECT_LT(dup.rank(), 32);
+  EXPECT_FALSE(dup.inverse().has_value());
+}
+
+TEST(Gf2, InverseRoundtrips) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mat m = Mat::random_invertible(rng);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    for (int i = 0; i < 50; ++i) {
+      const Vec v = rng.next_u32();
+      EXPECT_EQ(m.mul(inv->mul(v)), v);
+      EXPECT_EQ(inv->mul(m.mul(v)), v);
+    }
+  }
+}
+
+TEST(Gf2, DecomposeCombineRoundtrips) {
+  Rng rng(4);
+  const Mat basis = Mat::random_invertible(rng);
+  const auto inv = basis.inverse();
+  ASSERT_TRUE(inv.has_value());
+  for (int i = 0; i < 500; ++i) {
+    const Vec v = rng.next_u32();
+    const auto indices = decompose(*inv, v);
+    EXPECT_EQ(combine(basis, indices), v);
+    // Indices are ascending and unique.
+    for (std::size_t k = 1; k < indices.size(); ++k) {
+      EXPECT_LT(indices[k - 1], indices[k]);
+    }
+  }
+}
+
+TEST(Gf2, DecomposeZeroIsEmpty) {
+  Rng rng(5);
+  const Mat basis = Mat::random_invertible(rng);
+  const auto inv = basis.inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(decompose(*inv, 0).empty());
+}
+
+TEST(Gf2, DifferentBasesGiveDifferentDecompositions) {
+  // The whole point of per-binary random bases: the same chain word
+  // decomposes differently, so index arrays are not portable across builds.
+  Rng rng(6);
+  const Mat b1 = Mat::random_invertible(rng);
+  const Mat b2 = Mat::random_invertible(rng);
+  const auto i1 = b1.inverse(), i2 = b2.inverse();
+  ASSERT_TRUE(i1 && i2);
+  int differing = 0;
+  for (int k = 0; k < 100; ++k) {
+    const Vec v = rng.next_u32();
+    if (decompose(*i1, v) != decompose(*i2, v)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+}  // namespace
+}  // namespace plx::gf2

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "image/layout.h"
+#include "x86/build.h"
+#include "x86/decoder.h"
+
+namespace plx::img {
+namespace {
+
+using namespace plx::x86;
+
+Fragment func(const std::string& name, std::vector<Item> items) {
+  Fragment f;
+  f.name = name;
+  f.section = SectionKind::Text;
+  f.is_func = true;
+  f.align = 16;
+  f.items = std::move(items);
+  return f;
+}
+
+TEST(Layout, AssignsAlignedAddresses) {
+  Module m;
+  m.entry = "a";
+  m.fragments.push_back(func("a", {Item::make_insn(ins::ret())}));
+  m.fragments.push_back(func("b", {Item::make_insn(ins::ret())}));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Image& img = r.value().image;
+  const Symbol* a = img.find_symbol("a");
+  const Symbol* b = img.find_symbol("b");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->vaddr, kTextBase);
+  EXPECT_EQ(b->vaddr % 16, 0u);
+  EXPECT_GT(b->vaddr, a->vaddr);
+  EXPECT_EQ(img.entry, a->vaddr);
+}
+
+TEST(Layout, PadBeforeShiftsFragment) {
+  Module m;
+  m.entry = "a";
+  m.fragments.push_back(func("a", {Item::make_insn(ins::ret())}));
+  Fragment b = func("b", {Item::make_insn(ins::ret())});
+  b.align = 1;
+  b.pad_before = 3;
+  m.fragments.push_back(b);
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().image.find_symbol("b")->vaddr, kTextBase + 1 + 3);
+}
+
+TEST(Layout, RelBranchFixupResolves) {
+  Module m;
+  m.entry = "caller";
+  Item call = Item::make_insn(ins::call_rel(0));
+  call.fixup = Fixup::RelBranch;
+  call.sym = "callee";
+  m.fragments.push_back(func("caller", {call, Item::make_insn(ins::ret())}));
+  m.fragments.push_back(func("callee", {Item::make_insn(ins::ret())}));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Image& img = r.value().image;
+  const auto bytes = img.read(img.entry, 5);
+  ASSERT_EQ(bytes.size(), 5u);
+  auto insn = x86::decode(bytes);
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(insn->rel_target(img.entry), img.find_symbol("callee")->vaddr);
+}
+
+TEST(Layout, AbsImmFixupResolves) {
+  Module m;
+  m.entry = "f";
+  Item mov = Item::make_insn(ins::mov(Reg::EAX, 0));
+  mov.fixup = Fixup::AbsImm;
+  mov.sym = "blob";
+  mov.addend = 4;
+  m.fragments.push_back(func("f", {mov, Item::make_insn(ins::ret())}));
+  Fragment data;
+  data.name = "blob";
+  data.section = SectionKind::Data;
+  data.align = 4;
+  Buffer payload;
+  payload.put_u32(0x11111111);
+  data.items.push_back(Item::make_data(std::move(payload)));
+  m.fragments.push_back(data);
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Image& img = r.value().image;
+  const auto bytes = img.read(img.entry, 5);
+  auto insn = x86::decode(bytes);
+  ASSERT_TRUE(insn);
+  EXPECT_EQ(static_cast<std::uint32_t>(insn->ops[1].imm),
+            img.find_symbol("blob")->vaddr + 4);
+}
+
+TEST(Layout, AbsDataFixupResolves) {
+  Module m;
+  m.entry = "f";
+  m.fragments.push_back(func("f", {Item::make_insn(ins::ret())}));
+  Fragment tbl;
+  tbl.name = "table";
+  tbl.section = SectionKind::Data;
+  Buffer word;
+  word.put_u32(0);
+  Item ptr = Item::make_data(std::move(word));
+  ptr.fixup = Fixup::AbsData;
+  ptr.sym = "f";
+  tbl.items.push_back(std::move(ptr));
+  m.fragments.push_back(tbl);
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Image& img = r.value().image;
+  const auto bytes = img.read(img.find_symbol("table")->vaddr, 4);
+  ASSERT_EQ(bytes.size(), 4u);
+  const std::uint32_t v = static_cast<std::uint32_t>(bytes[0]) | (bytes[1] << 8) |
+                          (bytes[2] << 16) | (bytes[3] << 24);
+  EXPECT_EQ(v, img.find_symbol("f")->vaddr);
+}
+
+TEST(Layout, LocalLabelsAreFragmentScoped) {
+  // Two fragments may both use ".loop" without collision.
+  auto make_loop_func = [](const std::string& name) {
+    Item top = Item::make_insn(ins::dec(Reg::EAX));
+    top.labels = {".loop"};
+    Item branch = Item::make_insn(ins::jcc_rel(Cond::NE, 0));
+    branch.fixup = Fixup::RelBranch;
+    branch.sym = ".loop";
+    return func(name, {top, branch, Item::make_insn(ins::ret())});
+  };
+  Module m;
+  m.entry = "f1";
+  m.fragments.push_back(make_loop_func("f1"));
+  m.fragments.push_back(make_loop_func("f2"));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(Layout, UndefinedSymbolFails) {
+  Module m;
+  m.entry = "f";
+  Item call = Item::make_insn(ins::call_rel(0));
+  call.fixup = Fixup::RelBranch;
+  call.sym = "missing";
+  m.fragments.push_back(func("f", {call}));
+  auto r = layout(m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("missing"), std::string::npos);
+}
+
+TEST(Layout, DuplicateSymbolFails) {
+  Module m;
+  m.entry = "f";
+  m.fragments.push_back(func("f", {Item::make_insn(ins::ret())}));
+  m.fragments.push_back(func("f", {Item::make_insn(ins::ret())}));
+  EXPECT_FALSE(layout(m).ok());
+}
+
+TEST(Layout, AlignItemPadsWithNops) {
+  Module m;
+  m.entry = "f";
+  Item pad = Item::make_align(8);
+  Item tail = Item::make_insn(ins::ret());
+  tail.labels = {"tail"};
+  m.fragments.push_back(func("f", {Item::make_insn(ins::nop()), pad, tail}));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Image& img = r.value().image;
+  const Symbol* tail_sym = img.find_symbol("tail");
+  ASSERT_TRUE(tail_sym);
+  EXPECT_EQ(tail_sym->vaddr % 8, 0u);
+  // Padding bytes are NOPs.
+  const auto fill = img.read(kTextBase + 1, 1);
+  EXPECT_EQ(fill[0], 0x90);
+}
+
+TEST(Image, SerializeDeserializeRoundtrip) {
+  Module m;
+  m.entry = "f";
+  m.fragments.push_back(func("f", {Item::make_insn(ins::mov(Reg::EAX, 7)),
+                                   Item::make_insn(ins::ret())}));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok());
+  const Image& img = r.value().image;
+  Buffer blob = img.serialize();
+  auto back = Image::deserialize(blob.span());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().entry, img.entry);
+  ASSERT_EQ(back.value().sections.size(), img.sections.size());
+  EXPECT_EQ(back.value().sections[0].bytes, img.sections[0].bytes);
+  EXPECT_EQ(back.value().find_symbol("f")->vaddr, img.find_symbol("f")->vaddr);
+}
+
+TEST(Image, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(Image::deserialize(garbage).ok());
+}
+
+TEST(Image, FuncAtFindsContainingFunction) {
+  Module m;
+  m.entry = "a";
+  m.fragments.push_back(func("a", {Item::make_insn(ins::nop()),
+                                   Item::make_insn(ins::ret())}));
+  m.fragments.push_back(func("b", {Item::make_insn(ins::ret())}));
+  auto r = layout(m);
+  ASSERT_TRUE(r.ok());
+  const Image& img = r.value().image;
+  const Symbol* a = img.find_symbol("a");
+  EXPECT_EQ(img.func_at(a->vaddr + 1)->name, "a");
+  EXPECT_EQ(img.func_at(img.find_symbol("b")->vaddr)->name, "b");
+  EXPECT_EQ(img.func_at(0x1000), nullptr);
+}
+
+}  // namespace
+}  // namespace plx::img

@@ -1,0 +1,159 @@
+// Focused ISA semantics tests for the VM interpreter — the trust anchor
+// under every other result. Table-driven: each case is an assembly body
+// that computes a value into eax and returns; the expected value is
+// computed by the (host) C++ semantics of the same operation.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::vm {
+namespace {
+
+std::uint32_t run_asm(const std::string& body, bool* faulted = nullptr) {
+  const std::string src = ".entry f\nf:\n" + body + "    ret\n";
+  auto mod = assembler::assemble(src);
+  EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error()) << "\n" << src;
+  auto laid = img::layout(mod.value());
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  Machine m(laid.value().image);
+  auto r = m.run(1'000'000);
+  if (faulted) {
+    *faulted = r.reason == StopReason::Fault;
+    return 0;
+  }
+  EXPECT_EQ(r.reason, StopReason::Exited) << r.fault << "\n" << src;
+  return static_cast<std::uint32_t>(r.exit_code);
+}
+
+struct Case {
+  const char* name;
+  const char* body;
+  std::uint32_t expect;
+};
+
+class IsaTable : public ::testing::TestWithParam<Case> {};
+
+const Case kCases[] = {
+    // --- byte-register aliasing ---------------------------------------------
+    {"ah_writes_bits_8_15",
+     "    mov eax, 0x11223344\n    mov ah, 0xab\n", 0x1122ab44},
+    {"al_writes_low_byte",
+     "    mov eax, 0x11223344\n    mov al, 0xcd\n", 0x112233cd},
+    {"ch_aliases_ecx_high_byte",
+     "    mov ecx, 0\n    mov ch, 0x7f\n    mov eax, ecx\n", 0x7f00},
+    {"byte_add_carries_within_byte",
+     "    mov eax, 0x10f0\n    add al, 0x20\n", 0x1010},
+    // --- word ops -------------------------------------------------------------
+    {"movzx_word", "    mov ecx, 0xffff8001\n    movzx eax, cx\n", 0x8001},
+    {"movsx_word", "    mov ecx, 0x8001\n    movsx eax, cx\n", 0xffff8001},
+    {"movsx_byte", "    mov cl, 0x80\n    movsx eax, cl\n", 0xffffff80},
+    // --- flags: carry / overflow / sign -------------------------------------
+    {"adc_chains_carry",
+     "    mov eax, 0xffffffff\n    add eax, 2\n    mov eax, 0\n    adc eax, 0\n", 1},
+    {"sbb_borrows",
+     "    mov eax, 1\n    sub eax, 2\n    mov eax, 10\n    sbb eax, 0\n", 9},
+    {"neg_sets_carry_for_nonzero",
+     "    mov eax, 5\n    neg eax\n    mov eax, 0\n    adc eax, 0\n", 1},
+    {"neg_clears_carry_for_zero",
+     "    mov eax, 0\n    neg eax\n    mov eax, 0\n    adc eax, 0\n", 0},
+    {"inc_preserves_carry",
+     "    mov eax, 0xffffffff\n    add eax, 1\n    mov ecx, 7\n    inc ecx\n"
+     "    mov eax, 0\n    adc eax, 0\n", 1},
+    {"cmp_signed_overflow_jl",
+     // INT_MIN < 1 signed: jl taken even though SF=0 after overflow.
+     "    mov eax, 0x80000000\n    cmp eax, 1\n    jl .yes\n    mov eax, 0\n"
+     "    ret\n.yes:\n    mov eax, 1\n", 1},
+    {"test_clears_carry",
+     "    mov eax, 0xffffffff\n    add eax, 1\n    test eax, eax\n"
+     "    mov eax, 0\n    adc eax, 0\n", 0},
+    // --- shifts and rotates ---------------------------------------------------
+    {"shl_count_zero_keeps_flags",
+     "    mov eax, 0xffffffff\n    add eax, 1\n    mov ecx, 0\n    mov edx, 1\n"
+     "    shl edx, cl\n    mov eax, 0\n    adc eax, 0\n", 1},
+    {"shr_carry_is_last_bit_out",
+     "    mov eax, 3\n    shr eax, 1\n    mov edx, 0\n    adc edx, 0\n"
+     "    mov eax, edx\n", 1},
+    {"sar_arithmetic", "    mov eax, 0x80000000\n    sar eax, 31\n", 0xffffffff},
+    {"shift_count_masked_to_31",
+     "    mov eax, 2\n    mov ecx, 33\n    shl eax, cl\n", 4},
+    {"rol_rotates", "    mov eax, 0x80000001\n    rol eax, 1\n", 0x3},
+    {"ror_rotates", "    mov eax, 0x80000001\n    ror eax, 1\n", 0xc0000000},
+    // --- mul/div families -------------------------------------------------
+    {"mul_sets_edx_high",
+     "    mov eax, 0x10000\n    mov ecx, 0x10000\n    mul ecx\n    mov eax, edx\n", 1},
+    {"imul_one_op_signed",
+     "    mov eax, -4\n    mov ecx, 3\n    imul ecx\n", static_cast<std::uint32_t>(-12)},
+    {"imul_three_op", "    mov ecx, 7\n    imul eax, ecx, -3\n",
+     static_cast<std::uint32_t>(-21)},
+    {"div_quotient_remainder",
+     "    mov edx, 0\n    mov eax, 17\n    mov ecx, 5\n    div ecx\n"
+     "    shl edx, 8\n    or eax, edx\n", 0x203},
+    {"idiv_negative",
+     "    mov eax, -17\n    cdq\n    mov ecx, 5\n    idiv ecx\n",
+     static_cast<std::uint32_t>(-3)},
+    {"cdq_sign_extends", "    mov eax, -1\n    cdq\n    mov eax, edx\n", 0xffffffff},
+    // --- xchg / lea -----------------------------------------------------------
+    {"xchg_swaps", "    mov eax, 1\n    mov ecx, 2\n    xchg eax, ecx\n", 2},
+    {"lea_computes",
+     "    mov ecx, 10\n    mov edx, 3\n    lea eax, [ecx+edx*4+5]\n", 27},
+    // --- stack ------------------------------------------------------------
+    {"push_imm_sign_extends",
+     "    push -1\n    pop eax\n", 0xffffffff},
+    {"pushfd_popfd_roundtrip",
+     "    mov eax, 0xffffffff\n    add eax, 1\n    pushfd\n    mov ecx, 100\n"
+     "    add ecx, ecx\n    popfd\n    mov eax, 0\n    adc eax, 0\n", 1},
+    {"ret_imm_pops_args",
+     "    push 11\n    push 22\n    call .g\n    ret\n.g:\n    mov eax, [esp+4]\n"
+     "    ret 8\n", 22},
+    // --- setcc family -----------------------------------------------------
+    {"setcc_all_conditions",
+     "    mov eax, 0\n    mov ecx, 5\n    cmp ecx, 5\n    sete al\n"
+     "    mov edx, 0\n    cmp ecx, 6\n    setl dl\n    add eax, edx\n"
+     "    mov edx, 0\n    cmp ecx, 4\n    setg dl\n    add eax, edx\n"
+     "    mov edx, 0\n    cmp ecx, 5\n    setae dl\n    add eax, edx\n", 4},
+    {"setcc_unsigned_vs_signed",
+     "    mov ecx, -1\n    cmp ecx, 1\n    mov eax, 0\n    seta al\n"
+     "    mov edx, 0\n    setg dl\n    shl eax, 1\n    or eax, edx\n", 2},
+    // --- not/neg flags --------------------------------------------------------
+    {"not_preserves_flags",
+     "    mov eax, 0xffffffff\n    add eax, 1\n    mov ecx, 0x0f\n    not ecx\n"
+     "    mov eax, 0\n    adc eax, 0\n", 1},
+};
+
+TEST_P(IsaTable, ComputesExpectedValue) {
+  const Case& c = GetParam();
+  EXPECT_EQ(run_asm(c.body), c.expect) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Semantics, IsaTable, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(IsaFaults, DivideOverflowFaults) {
+  bool faulted = false;
+  run_asm("    mov edx, 1\n    mov eax, 0\n    mov ecx, 1\n    div ecx\n", &faulted);
+  EXPECT_TRUE(faulted) << "quotient overflow must fault";
+}
+
+TEST(IsaFaults, IdivIntMinByMinusOneFaults) {
+  bool faulted = false;
+  run_asm("    mov eax, 0x80000000\n    cdq\n    mov ecx, -1\n    idiv ecx\n",
+          &faulted);
+  EXPECT_TRUE(faulted);
+}
+
+TEST(IsaFaults, Int3Faults) {
+  bool faulted = false;
+  run_asm("    int3\n", &faulted);
+  EXPECT_TRUE(faulted);
+}
+
+TEST(IsaFaults, UnmappedReadFaults) {
+  bool faulted = false;
+  run_asm("    mov eax, 0x100\n    mov eax, [eax]\n", &faulted);
+  EXPECT_TRUE(faulted);
+}
+
+}  // namespace
+}  // namespace plx::vm

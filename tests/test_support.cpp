@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "support/buffer.h"
+#include "support/hexdump.h"
+#include "support/rng.h"
+
+namespace plx {
+namespace {
+
+TEST(Buffer, LittleEndianAppend) {
+  Buffer b;
+  b.put_u8(0x11);
+  b.put_u16(0x2233);
+  b.put_u32(0x44556677);
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0x11);
+  EXPECT_EQ(b[1], 0x33);
+  EXPECT_EQ(b[2], 0x22);
+  EXPECT_EQ(b[3], 0x77);
+  EXPECT_EQ(b[4], 0x66);
+  EXPECT_EQ(b[5], 0x55);
+  EXPECT_EQ(b[6], 0x44);
+}
+
+TEST(Buffer, InPlaceAccess) {
+  Buffer b;
+  b.resize(8);
+  b.set_u32(2, 0xdeadbeef);
+  EXPECT_EQ(b.get_u32(2), 0xdeadbeefu);
+  b.set_u16(0, 0xcafe);
+  EXPECT_EQ(b.get_u16(0), 0xcafeu);
+}
+
+TEST(Buffer, StringIsLengthPrefixed) {
+  Buffer b;
+  b.put_str("abc");
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b.get_u32(0), 3u);
+  EXPECT_EQ(b[4], 'a');
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  Buffer b;
+  b.put_u32(42);
+  b.put_str("xy");
+  ByteReader r(b.span());
+  EXPECT_EQ(r.get_u32(), 42u);
+  EXPECT_EQ(r.get_str(), "xy");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, OverrunSetsNotOk) {
+  Buffer b;
+  b.put_u8(1);
+  ByteReader r(b.span());
+  (void)r.get_u32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, CorruptStringLengthSetsNotOk) {
+  Buffer b;
+  b.put_u32(1000);  // claims 1000 bytes follow
+  ByteReader r(b.span());
+  (void)r.get_str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Hexdump, FormatsBytes) {
+  const std::uint8_t data[] = {0x55, 0x89, 0xe5};
+  EXPECT_EQ(hexbytes(data), "55 89 e5");
+  const std::string dump = hexdump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("55 89 e5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plx

@@ -1,0 +1,250 @@
+// Verification-machinery unit tests: the in-image runtime routines (xor,
+// RC4, probabilistic generator — hand-written assembly) must agree exactly
+// with the host-side implementations that prepare chain storage, and the
+// loader stub must implement the §V-A contract.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "crypto/rc4.h"
+#include "crypto/xorstream.h"
+#include "image/layout.h"
+#include "verify/hardening.h"
+#include "verify/stub.h"
+#include "vm/machine.h"
+#include "x86/decoder.h"
+
+namespace plx::verify {
+namespace {
+
+// Builds an image containing just the runtime routine plus scratch buffers.
+struct RuntimeHarness {
+  img::Image image;
+  std::uint32_t routine = 0;
+  std::uint32_t buf_a = 0;  // 4 KiB
+  std::uint32_t buf_b = 0;  // 4 KiB
+
+  static RuntimeHarness build(Hardening mode, std::span<const std::uint8_t> key) {
+    const std::string src = runtime_asm_source(mode, key) + R"(
+.data
+__plx_buf_a:
+    resb 4096
+__plx_buf_b:
+    resb 32768
+)";
+    auto mod = assembler::assemble(src);
+    EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error());
+    mod.value().entry = runtime_symbol(mode);
+    auto laid = img::layout(mod.value());
+    EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+    RuntimeHarness h;
+    h.image = std::move(laid).take().image;
+    h.routine = h.image.find_symbol(runtime_symbol(mode))->vaddr;
+    h.buf_a = h.image.find_symbol("__plx_buf_a")->vaddr;
+    h.buf_b = h.image.find_symbol("__plx_buf_b")->vaddr;
+    return h;
+  }
+};
+
+std::vector<std::uint8_t> test_key() {
+  std::vector<std::uint8_t> key(16);
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  return key;
+}
+
+TEST(Runtime, XorDecryptorMatchesHost) {
+  const auto key = test_key();
+  auto h = RuntimeHarness::build(Hardening::Xor, key);
+
+  std::vector<std::uint8_t> plain(700);
+  for (std::size_t i = 0; i < plain.size(); ++i) plain[i] = static_cast<std::uint8_t>(i * 13);
+  const auto cipher = crypto::xor_crypt(key, plain);
+
+  vm::Machine m(h.image);
+  for (std::size_t i = 0; i < cipher.size(); ++i) {
+    m.write_u8(h.buf_b + static_cast<std::uint32_t>(i), cipher[i]);
+  }
+  auto r = m.call_function(h.routine,
+                           {h.buf_a, h.buf_b, static_cast<std::uint32_t>(cipher.size())});
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    bool ok = true;
+    ASSERT_EQ(m.read_u8(h.buf_a + static_cast<std::uint32_t>(i), ok), plain[i])
+        << "byte " << i;
+  }
+}
+
+TEST(Runtime, Rc4DecryptorMatchesHost) {
+  const auto key = test_key();
+  auto h = RuntimeHarness::build(Hardening::Rc4, key);
+
+  std::vector<std::uint8_t> plain(513);  // odd size: exercise tail bytes
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(255 - (i & 0xff));
+  }
+  const auto cipher = crypto::rc4_crypt(key, plain);
+
+  vm::Machine m(h.image);
+  for (std::size_t i = 0; i < cipher.size(); ++i) {
+    m.write_u8(h.buf_b + static_cast<std::uint32_t>(i), cipher[i]);
+  }
+  auto r = m.call_function(h.routine,
+                           {h.buf_a, h.buf_b, static_cast<std::uint32_t>(cipher.size())},
+                           50'000'000);
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    bool ok = true;
+    ASSERT_EQ(m.read_u8(h.buf_a + static_cast<std::uint32_t>(i), ok), plain[i])
+        << "byte " << i;
+  }
+}
+
+TEST(Runtime, GeneratorMatchesHostReference) {
+  // Build variants, decompose on the host, regenerate inside the VM, and
+  // check every produced word is one of the variant words for its position.
+  Rng rng(42);
+  const int nwords = 37;
+  const int nvar = 4;
+  std::vector<std::vector<std::uint32_t>> variants(nvar);
+  for (auto& v : variants) {
+    v.resize(nwords);
+    for (auto& w : v) w = rng.next_u32();
+  }
+  auto storage = build_prob_storage(variants, rng);
+  ASSERT_TRUE(storage.ok()) << storage.error();
+
+  auto h = RuntimeHarness::build(Hardening::Probabilistic, {});
+  // Lay the index arrays and basis into buf_b (idx) and after it (basis).
+  vm::Machine m(h.image);
+  const std::uint32_t idx_addr = h.buf_b;
+  std::uint32_t cursor = idx_addr;
+  for (std::uint32_t w : storage.value().idx) {
+    m.write_u32(cursor, w);
+    cursor += 4;
+  }
+  const std::uint32_t basis_addr = cursor;
+  for (std::uint32_t w : storage.value().basis) {
+    m.write_u32(cursor, w);
+    cursor += 4;
+  }
+  ASSERT_LT(cursor, h.buf_b + 32768u) << "harness buffers too small";
+
+  auto r = m.call_function(
+      h.routine, {h.buf_a, idx_addr, basis_addr, nwords, nvar}, 50'000'000);
+  ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
+
+  int non_first_variant = 0;
+  for (int i = 0; i < nwords; ++i) {
+    bool ok = true;
+    const std::uint32_t got = m.read_u32(h.buf_a + 4u * static_cast<std::uint32_t>(i), ok);
+    bool matches_some = false;
+    for (int v = 0; v < nvar; ++v) {
+      if (variants[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)] == got) {
+        matches_some = true;
+        if (v != 0) ++non_first_variant;
+      }
+    }
+    EXPECT_TRUE(matches_some) << "word " << i << " matches no variant";
+  }
+  // With nvar=4 and 37 words, essentially always some non-first picks.
+  EXPECT_GT(non_first_variant, 0);
+
+  // And the host reference regenerator agrees with the decomposition.
+  std::vector<int> picks(static_cast<std::size_t>(nwords), 2);
+  const auto regen = regenerate_prob(storage.value(), nwords, nvar, picks);
+  for (int i = 0; i < nwords; ++i) {
+    EXPECT_EQ(regen[static_cast<std::size_t>(i)],
+              variants[2][static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Stub, EmitsDecodableCode) {
+  StubSpec spec;
+  spec.func_name = "f";
+  spec.num_params = 2;
+  spec.result_slot = 5;
+  spec.frame_sym = "frame";
+  spec.chain_exec_sym = "chain";
+  spec.resume_sym = "resume";
+  const img::Fragment frag = emit_stub(spec);
+
+  img::Module mod;
+  mod.entry = "f";
+  mod.fragments.push_back(frag);
+  auto data = [](const char* name, std::size_t n) {
+    img::Fragment f;
+    f.name = name;
+    f.section = img::SectionKind::Data;
+    Buffer b;
+    b.resize(n);
+    f.items.push_back(img::Item::make_data(std::move(b)));
+    return f;
+  };
+  mod.fragments.push_back(data("frame", 64));
+  mod.fragments.push_back(data("chain", 64));
+  mod.fragments.push_back(data("resume", 4));
+  auto laid = img::layout(mod);
+  ASSERT_TRUE(laid.ok()) << laid.error();
+
+  // The stub must start with pushad and decode cleanly to the final ret.
+  const img::Symbol* f = laid.value().image.find_symbol("f");
+  const auto bytes = laid.value().image.read(f->vaddr, f->size);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes[0], 0x60);  // pushad
+  std::size_t off = 0;
+  int popads = 0;
+  while (off < bytes.size()) {
+    auto insn = x86::decode(std::span(bytes).subspan(off));
+    ASSERT_TRUE(insn) << "undecodable stub byte at +" << off;
+    if (insn->op == x86::Mnemonic::POPAD) ++popads;
+    off += insn->len;
+  }
+  EXPECT_EQ(popads, 1) << "exactly one resume point";
+}
+
+TEST(Stub, HardenedVariantsCallRuntime) {
+  for (Hardening mode : {Hardening::Xor, Hardening::Rc4, Hardening::Probabilistic}) {
+    StubSpec spec;
+    spec.func_name = "f";
+    spec.num_params = 0;
+    spec.frame_sym = "frame";
+    spec.chain_exec_sym = "chain";
+    spec.resume_sym = "resume";
+    spec.hardening = mode;
+    spec.routine_sym = runtime_symbol(mode);
+    spec.chain_src_sym = "src";
+    spec.len_sym = "len";
+    spec.idx_sym = "idx";
+    spec.basis_sym = "basis";
+    spec.variants = 4;
+    const img::Fragment frag = emit_stub(spec);
+    bool has_call = false;
+    for (const auto& item : frag.items) {
+      if (item.fixup == img::Fixup::RelBranch && item.sym == runtime_symbol(mode)) {
+        has_call = true;
+      }
+    }
+    EXPECT_TRUE(has_call) << hardening_name(mode);
+  }
+}
+
+TEST(Hardening, EncryptChainRoundtrips) {
+  const auto key = test_key();
+  std::vector<std::uint32_t> words = {0x08048123, 42, 0x080e0040, 0xfffffff0};
+  for (Hardening mode : {Hardening::Xor, Hardening::Rc4}) {
+    const auto ct = encrypt_chain(mode, words, key);
+    ASSERT_EQ(ct.size(), words.size() * 4);
+    // Decrypt on the host and compare.
+    std::vector<std::uint8_t> back = mode == Hardening::Xor
+                                         ? crypto::xor_crypt(key, ct)
+                                         : crypto::rc4_crypt(key, ct);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      const std::uint32_t w = static_cast<std::uint32_t>(back[4 * i]) |
+                              (back[4 * i + 1] << 8) | (back[4 * i + 2] << 16) |
+                              (static_cast<std::uint32_t>(back[4 * i + 3]) << 24);
+      EXPECT_EQ(w, words[i]) << hardening_name(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plx::verify

@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+#include "vm/syscalls.h"
+
+namespace plx::vm {
+namespace {
+
+img::Image build(const std::string& src) {
+  auto mod = assembler::assemble(src);
+  EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error());
+  auto laid = img::layout(mod.value());
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  return std::move(laid).take().image;
+}
+
+RunResult run_src(const std::string& src, Machine* out = nullptr) {
+  const auto image = build(src);
+  Machine m(image);
+  auto r = m.run(1'000'000);
+  if (out) *out = std::move(m);
+  return r;
+}
+
+TEST(Vm, ExitCodeViaSyscall) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 1
+    mov ebx, 42
+    int 0x80
+)");
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST(Vm, ExitViaSentinelReturn) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 7
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(7));
+}
+
+TEST(Vm, ArithmeticAndFlags) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 10
+    sub eax, 10
+    jz .ok
+    mov eax, 1
+    ret
+.ok:
+    mov eax, 0
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(0));
+}
+
+TEST(Vm, SignedComparisons) {
+  // -5 < 3 signed, but not unsigned.
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, -5
+    cmp eax, 3
+    jl .signed_ok
+    mov eax, 1
+    ret
+.signed_ok:
+    cmp eax, 3
+    jb .wrong          ; unsigned: 0xfffffffb > 3
+    mov eax, 0
+    ret
+.wrong:
+    mov eax, 2
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(0));
+}
+
+TEST(Vm, CarryAndAdc) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 0xffffffff
+    add eax, 1          ; sets CF, eax=0
+    mov ecx, 0
+    adc ecx, 0          ; ecx = 0 + 0 + CF = 1
+    mov eax, ecx
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(1));
+}
+
+TEST(Vm, MulDivFamily) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 6
+    mov ecx, 7
+    mul ecx             ; eax = 42
+    mov ecx, 5
+    cdq
+    idiv ecx            ; eax = 8, edx = 2
+    add eax, edx        ; 10
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(10));
+}
+
+TEST(Vm, DivideByZeroFaults) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 1
+    xor ecx, ecx
+    cdq
+    idiv ecx
+    ret
+)");
+  EXPECT_EQ(r.reason, StopReason::Fault);
+  EXPECT_NE(r.fault.find("divide"), std::string::npos);
+}
+
+TEST(Vm, ShiftSemantics) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 1
+    shl eax, 4          ; 16
+    mov ecx, 2
+    shr eax, cl         ; 4
+    mov edx, -8
+    sar edx, 1          ; -4
+    add eax, edx        ; 0
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(0));
+}
+
+TEST(Vm, CallAndStack) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    push 5
+    call double_it
+    add esp, 4
+    ret
+double_it:
+    push ebp
+    mov ebp, esp
+    mov eax, [ebp+8]
+    add eax, eax
+    leave
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(10));
+}
+
+TEST(Vm, PushadPopadRoundtrip) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, 1
+    mov ecx, 2
+    mov edx, 3
+    mov ebx, 4
+    pushad
+    mov eax, 99
+    mov ecx, 99
+    popad
+    add eax, ecx        ; 3
+    add eax, edx        ; 6
+    add eax, ebx        ; 10
+    ret
+)");
+  EXPECT_TRUE(r.exited_ok(10));
+}
+
+TEST(Vm, WriteSyscallCapturesOutput) {
+  Machine m(build(R"(
+.entry _start
+_start:
+    mov eax, 4
+    mov ebx, 1
+    mov ecx, offset msg
+    mov edx, 5
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+.data
+msg:
+    db "hello"
+)"));
+  auto r = m.run();
+  EXPECT_TRUE(r.exited_ok(0));
+  EXPECT_EQ(m.output, "hello");
+}
+
+TEST(Vm, ReadSyscallServesInput) {
+  Machine m(build(R"(
+.entry _start
+_start:
+    mov eax, 3
+    mov ebx, 0
+    mov ecx, offset buf
+    mov edx, 4
+    int 0x80
+    mov ecx, [buf]
+    mov eax, ecx
+    ret
+.data
+buf:
+    resb 8
+)"));
+  m.input = {'A', 'B', 'C', 'D'};
+  auto r = m.run();
+  EXPECT_TRUE(r.exited_ok(0x44434241));
+}
+
+TEST(Vm, PtraceDetectsDebugger) {
+  const std::string src = R"(
+.entry _start
+_start:
+    mov eax, 26
+    mov ebx, 0
+    int 0x80
+    ret
+)";
+  Machine clean(build(src));
+  EXPECT_TRUE(clean.run().exited_ok(0));
+
+  Machine debugged(build(src));
+  debugged.debugger_attached = true;
+  auto r = debugged.run();
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.exit_code, -1);
+}
+
+TEST(Vm, RopChainExecutes) {
+  // Build a classic ROP chain by hand: pop eax; ret / add eax, ecx-style
+  // gadgets driven entirely by ret. This is the mechanism function chains
+  // rely on, so it must work natively in the VM.
+  Machine m(build(R"(
+.entry _start
+_start:
+    mov ecx, 100
+    mov eax, offset chain
+    mov esp, eax          ; pivot to the chain
+    ret
+g_pop_eax:
+    pop eax
+    ret
+g_add_eax_ecx:
+    add eax, ecx
+    ret
+g_exit:
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+.data
+chain:
+    dd g_pop_eax
+    dd 23
+    dd g_add_eax_ecx
+    dd g_exit
+)"));
+  auto r = m.run();
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.exit_code, 123);
+}
+
+TEST(Vm, RetfGadgetConsumesTwoSlots) {
+  // Far returns pop EIP and a (discarded) CS slot — chains using retf
+  // gadgets must leave a dummy word, as in the paper's Listing 1 gadget.
+  Machine m(build(R"(
+.entry _start
+_start:
+    mov eax, offset chain
+    mov esp, eax
+    ret
+g_far:
+    mov eax, 55
+    retf
+g_exit:
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+.data
+chain:
+    dd g_far
+    dd g_exit
+    dd 0              ; dummy CS slot consumed by retf
+)"));
+  // Chain layout: ret -> g_far; retf pops g_exit + dummy.
+  auto r = m.run();
+  EXPECT_EQ(r.reason, StopReason::Exited);
+  EXPECT_EQ(r.exit_code, 55);
+}
+
+TEST(Vm, NxFaultsOnDataExecution) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, offset blob
+    jmp eax
+.data
+blob:
+    db 0x90, 0xc3
+)");
+  EXPECT_EQ(r.reason, StopReason::Fault);
+  EXPECT_NE(r.fault.find("non-executable"), std::string::npos);
+}
+
+TEST(Vm, WriteToTextFaults) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+    mov eax, offset _start
+    mov byte [eax], 0x90
+    ret
+)");
+  EXPECT_EQ(r.reason, StopReason::Fault);
+  EXPECT_NE(r.fault.find("non-writable"), std::string::npos);
+}
+
+TEST(Vm, TamperChangesBothViews) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  // Patch the mov immediate: exit code becomes 9.
+  m.tamper(image.entry + 1, 9);
+  EXPECT_TRUE(m.run().exited_ok(9));
+}
+
+TEST(Vm, IcacheTamperSplitsViews) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  m.tamper_icache(image.entry + 1, 9);
+  // Fetch view sees 9…
+  bool ok = false;
+  EXPECT_EQ(m.fetch_u8(image.entry + 1, ok), 9);
+  // …but a data read sees the original byte — the Wurster et al. split.
+  EXPECT_EQ(m.read_u8(image.entry + 1, ok), 1);
+  // And execution uses the fetch view.
+  EXPECT_TRUE(m.run().exited_ok(9));
+}
+
+TEST(Vm, LegitimateStoreResynchronisesIcache) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  m.tamper_icache(image.entry + 1, 9);
+  // A (privileged) write through the normal path clears the overlay.
+  m.tamper(image.entry + 1, 5);
+  bool ok = false;
+  EXPECT_EQ(m.fetch_u8(image.entry + 1, ok), 5);
+  EXPECT_TRUE(m.run().exited_ok(5));
+}
+
+TEST(Vm, InvalidOpcodeFaults) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  m.tamper(image.entry, 0x0f);  // 0f b8 is not decodable in our subset
+  auto r = m.run();
+  EXPECT_EQ(r.reason, StopReason::Fault);
+}
+
+TEST(Vm, BudgetExceededStops) {
+  auto r = run_src(R"(
+.entry _start
+_start:
+.spin:
+    jmp .spin
+)");
+  EXPECT_EQ(r.reason, StopReason::BudgetExceeded);
+}
+
+TEST(Vm, CallFunctionHelper) {
+  const auto image = build(R"(
+.entry add2
+add2:
+    push ebp
+    mov ebp, esp
+    mov eax, [ebp+8]
+    add eax, [ebp+12]
+    leave
+    ret
+)");
+  Machine m(image);
+  auto r = m.call_function(image.find_symbol("add2")->vaddr, {30, 12});
+  EXPECT_TRUE(r.exited_ok(42));
+}
+
+TEST(Vm, ProfileAttributesCycles) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    call hot
+    call hot
+    call cold
+    mov eax, 0
+    ret
+hot:
+    mov ecx, 50
+.spin:
+    dec ecx
+    jnz .spin
+    ret
+cold:
+    ret
+)");
+  Machine m(image);
+  m.profile_enabled = true;
+  EXPECT_TRUE(m.run().exited_ok(0));
+  const auto& prof = m.profile();
+  ASSERT_TRUE(prof.contains("hot"));
+  ASSERT_TRUE(prof.contains("cold"));
+  EXPECT_EQ(prof.at("hot").calls, 2u);
+  EXPECT_EQ(prof.at("cold").calls, 1u);
+  EXPECT_GT(prof.at("hot").cycles, prof.at("cold").cycles * 10);
+}
+
+TEST(Vm, CyclesAreDeterministic) {
+  const std::string src = R"(
+.entry _start
+_start:
+    mov ecx, 1000
+.spin:
+    dec ecx
+    jnz .spin
+    mov eax, 0
+    ret
+)";
+  auto r1 = run_src(src);
+  auto r2 = run_src(src);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_GT(r1.cycles, 2000u);
+}
+
+TEST(Vm, RandSyscallIsSeeded) {
+  const std::string src = R"(
+.entry _start
+_start:
+    mov eax, 512
+    int 0x80
+    ret
+)";
+  Machine a(build(src)), b(build(src));
+  a.rng = Rng(1);
+  b.rng = Rng(1);
+  EXPECT_EQ(a.run().exit_code, b.run().exit_code);
+  Machine c(build(src));
+  c.rng = Rng(2);
+  // Overwhelmingly likely to differ.
+  EXPECT_NE(a.result().exit_code, c.run().exit_code);
+}
+
+}  // namespace
+}  // namespace plx::vm

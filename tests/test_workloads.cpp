@@ -1,0 +1,145 @@
+// Corpus validation: each workload compiles, runs deterministically, has a
+// §VII-B-suitable verification function, and survives protection.
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "analysis/selection.h"
+#include "cc/compile.h"
+#include "image/layout.h"
+#include "parallax/protector.h"
+#include "vm/machine.h"
+#include "workloads/corpus.h"
+
+namespace plx::workloads {
+namespace {
+
+class EveryWorkload : public ::testing::TestWithParam<Workload> {};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, EveryWorkload, ::testing::ValuesIn(corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(EveryWorkload, CompilesAndRunsDeterministically) {
+  const Workload& w = GetParam();
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok()) << w.name << ": " << compiled.error();
+  auto laid = img::layout(compiled.value().module);
+  ASSERT_TRUE(laid.ok()) << laid.error();
+
+  vm::Machine m1(laid.value().image), m2(laid.value().image);
+  auto r1 = m1.run(200'000'000);
+  auto r2 = m2.run(200'000'000);
+  ASSERT_EQ(r1.reason, vm::StopReason::Exited) << w.name << ": " << r1.fault;
+  EXPECT_EQ(r1.exit_code, r2.exit_code);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  // Substantial but bounded runs: hot loops dominate, VM budget is sane.
+  EXPECT_GT(r1.cycles, 50'000u) << w.name;
+  EXPECT_LT(r1.cycles, 50'000'000u) << w.name;
+}
+
+TEST_P(EveryWorkload, VerificationFunctionIsColdAndCompilable) {
+  const Workload& w = GetParam();
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok());
+
+  const cc::IrFunc* vf = nullptr;
+  for (const auto& f : compiled.value().ir.funcs) {
+    if (f.name == w.verify_function) vf = &f;
+  }
+  ASSERT_TRUE(vf) << w.verify_function;
+  const auto lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*vf));
+  EXPECT_TRUE(analysis::chain_compilable(lowered)) << w.verify_function;
+
+  // Called from at least two sites (§VII-B step 1).
+  const auto cg = analysis::build_callgraph(compiled.value().ir);
+  EXPECT_GE(cg.sites(w.verify_function), 2) << w.verify_function;
+
+  // Contributes under the 2% threshold (§VII-B step 2) yet runs repeatedly.
+  auto laid = img::layout(compiled.value().module);
+  ASSERT_TRUE(laid.ok());
+  const auto profile = analysis::profile_run(laid.value().image);
+  ASSERT_EQ(profile.run.reason, vm::StopReason::Exited);
+  EXPECT_LT(profile.fraction(w.verify_function), 0.02) << w.name;
+  EXPECT_GE(profile.calls(w.verify_function), 10u) << w.name;
+}
+
+TEST_P(EveryWorkload, AutoSelectionAgreesWithSuggestion) {
+  const Workload& w = GetParam();
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok());
+  auto laid = img::layout(compiled.value().module);
+  ASSERT_TRUE(laid.ok());
+  const auto profile = analysis::profile_run(laid.value().image);
+  const auto cg = analysis::build_callgraph(compiled.value().ir);
+  const auto picks = analysis::select_verification_functions(compiled.value().ir, cg,
+                                                             &profile, {});
+  ASSERT_FALSE(picks.empty()) << w.name;
+  // The suggested function must at least be an eligible candidate; for most
+  // workloads it is the top pick (it maximises op diversity by design).
+  analysis::SelectionOptions all;
+  all.count = 100;
+  const auto eligible = analysis::select_verification_functions(compiled.value().ir,
+                                                                cg, &profile, all);
+  EXPECT_NE(std::find(eligible.begin(), eligible.end(), w.verify_function),
+            eligible.end())
+      << w.name << ": " << w.verify_function << " not even eligible";
+}
+
+TEST_P(EveryWorkload, ProtectedRunMatchesPlain) {
+  const Workload& w = GetParam();
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok());
+  auto plain = parallax::layout_plain(compiled.value());
+  ASSERT_TRUE(plain.ok());
+  vm::Machine ref(plain.value());
+  auto ref_run = ref.run(200'000'000);
+  ASSERT_EQ(ref_run.reason, vm::StopReason::Exited);
+
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {w.verify_function};
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), opts);
+  ASSERT_TRUE(prot.ok()) << w.name << ": " << prot.error();
+
+  vm::Machine m(prot.value().image);
+  auto run = m.run(400'000'000);
+  ASSERT_EQ(run.reason, vm::StopReason::Exited) << w.name << ": " << run.fault;
+  EXPECT_EQ(run.exit_code, ref_run.exit_code) << w.name;
+}
+
+TEST_P(EveryWorkload, TamperDetectionOnProtectedWorkload) {
+  const Workload& w = GetParam();
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok());
+  auto plain = parallax::layout_plain(compiled.value());
+  ASSERT_TRUE(plain.ok());
+  vm::Machine ref(plain.value());
+  const auto ref_run = ref.run(200'000'000);
+
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {w.verify_function};
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), opts);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  ASSERT_FALSE(prot.value().used_gadget_addrs.empty());
+
+  // Attack one used gadget.
+  const std::uint32_t victim = prot.value().used_gadget_addrs[1];
+  vm::Machine m(prot.value().image);
+  bool ok = true;
+  const std::uint8_t orig = m.read_u8(victim, ok);
+  m.tamper(victim, orig ^ 0x28);
+  auto run = m.run(400'000'000);
+  const bool detected =
+      run.reason != vm::StopReason::Exited || run.exit_code != ref_run.exit_code;
+  EXPECT_TRUE(detected) << w.name;
+}
+
+TEST(Corpus, HasSixPrograms) {
+  EXPECT_EQ(corpus().size(), 6u);
+  EXPECT_TRUE(find_workload("gzip"));
+  EXPECT_TRUE(find_workload("minigzip"));
+  EXPECT_FALSE(find_workload("emacs"));
+}
+
+}  // namespace
+}  // namespace plx::workloads

@@ -1,0 +1,287 @@
+// Decoder unit tests. Several byte sequences are taken verbatim from the
+// paper's Listing 1 gadget examples, so these tests double as a check that
+// our ISA subset covers the encodings Parallax's rules rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "x86/decoder.h"
+#include "x86/format.h"
+
+namespace plx::x86 {
+namespace {
+
+std::optional<Insn> dec(std::initializer_list<std::uint8_t> bytes) {
+  std::vector<std::uint8_t> v(bytes);
+  return decode(v);
+}
+
+TEST(Decode, PushPopRegisters) {
+  auto i = dec({0x55});  // push ebp
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::PUSH);
+  EXPECT_EQ(i->ops[0].reg, Reg::EBP);
+  EXPECT_EQ(i->len, 1);
+
+  i = dec({0x58});  // pop eax
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::POP);
+  EXPECT_EQ(i->ops[0].reg, Reg::EAX);
+}
+
+TEST(Decode, MovRegReg) {
+  auto i = dec({0x89, 0xe5});  // mov ebp, esp
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::MOV);
+  EXPECT_EQ(i->ops[0].reg, Reg::EBP);
+  EXPECT_EQ(i->ops[1].reg, Reg::ESP);
+  EXPECT_EQ(i->len, 2);
+}
+
+TEST(Decode, MovRegImm32) {
+  auto i = dec({0xb8, 0x2a, 0x00, 0x00, 0x00});  // mov eax, 42
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::MOV);
+  EXPECT_EQ(i->ops[0].reg, Reg::EAX);
+  EXPECT_EQ(i->ops[1].imm, 42);
+  EXPECT_EQ(i->len, 5);
+}
+
+TEST(Decode, SubEspImm8) {
+  auto i = dec({0x83, 0xec, 0x18});  // sub esp, 24
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SUB);
+  EXPECT_EQ(i->ops[0].reg, Reg::ESP);
+  EXPECT_EQ(i->ops[1].imm, 24);
+}
+
+TEST(Decode, MovMemEsp) {
+  auto i = dec({0x89, 0x04, 0x24});  // mov [esp], eax  (SIB, base=esp)
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::MOV);
+  ASSERT_EQ(i->ops[0].kind, Operand::Kind::Mem);
+  EXPECT_EQ(i->ops[0].mem.base, Reg::ESP);
+  EXPECT_EQ(i->ops[1].reg, Reg::EAX);
+  EXPECT_EQ(i->len, 3);
+}
+
+TEST(Decode, EbpDisp8) {
+  auto i = dec({0x8b, 0x45, 0x08});  // mov eax, [ebp+8]
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->ops[1].mem.base, Reg::EBP);
+  EXPECT_EQ(i->ops[1].mem.disp, 8);
+}
+
+TEST(Decode, NegativeDisp8) {
+  auto i = dec({0x8b, 0x45, 0xfc});  // mov eax, [ebp-4]
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->ops[1].mem.disp, -4);
+}
+
+TEST(Decode, SibScaledIndex) {
+  auto i = dec({0x8b, 0x44, 0x8e, 0x04});  // mov eax, [esi+ecx*4+4]
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->ops[1].mem.base, Reg::ESI);
+  EXPECT_EQ(i->ops[1].mem.index, Reg::ECX);
+  EXPECT_EQ(i->ops[1].mem.scale, 4);
+  EXPECT_EQ(i->ops[1].mem.disp, 4);
+}
+
+TEST(Decode, AbsoluteDisp32) {
+  auto i = dec({0xa1});  // 0xa1 (mov eax, moffs) is NOT in our subset
+  EXPECT_FALSE(i);
+  i = dec({0x8b, 0x0d, 0x44, 0x33, 0x22, 0x11});  // mov ecx, [0x11223344]
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->ops[1].mem.base, Reg::NONE);
+  EXPECT_EQ(i->ops[1].mem.disp, 0x11223344);
+}
+
+TEST(Decode, CallRel32) {
+  auto i = dec({0xe8, 0x05, 0x00, 0x00, 0x00});
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::CALL);
+  EXPECT_EQ(i->ops[0].rel, 5);
+  EXPECT_EQ(i->rel_target(0x100), 0x10au);
+}
+
+TEST(Decode, JccRel8AndRel32) {
+  auto i = dec({0x79, 0x05});  // jns +5
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::JCC);
+  EXPECT_EQ(i->cond, Cond::NS);
+  EXPECT_EQ(i->ops[0].rel, 5);
+
+  i = dec({0x0f, 0x84, 0x10, 0x00, 0x00, 0x00});  // je +0x10
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::JCC);
+  EXPECT_EQ(i->cond, Cond::E);
+  EXPECT_EQ(i->ops[0].rel, 0x10);
+  EXPECT_EQ(i->len, 6);
+}
+
+TEST(Decode, RetFamily) {
+  EXPECT_EQ(dec({0xc3})->op, Mnemonic::RET);
+  EXPECT_EQ(dec({0xcb})->op, Mnemonic::RETF);
+  auto i = dec({0xc2, 0x08, 0x00});  // ret 8
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::RET);
+  EXPECT_EQ(i->ops[0].imm, 8);
+}
+
+TEST(Decode, PaperGadgetAddBlChRet) {
+  // Listing 1: "add bl, ch; ret" — the gadget Parallax crafts by aligning
+  // cleanup_and_exit so the jump displacement byte becomes 0xc3.
+  auto i = dec({0x00, 0xeb, 0xc3});
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::ADD);
+  EXPECT_EQ(i->opsize, OpSize::Byte);
+  EXPECT_EQ(format(*i), "add bl, ch");
+  auto r = dec({0xc3});
+  EXPECT_EQ(r->op, Mnemonic::RET);
+}
+
+TEST(Decode, PaperGadgetSarByteRet) {
+  // Listing 1: "sar byte [ecx+0x7], 0x8b; ret" crafted inside a mov
+  // immediate operand.
+  auto i = dec({0xc0, 0x79, 0x07, 0x8b});
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SAR);
+  EXPECT_EQ(i->opsize, OpSize::Byte);
+  EXPECT_EQ(i->ops[0].mem.base, Reg::ECX);
+  EXPECT_EQ(i->ops[0].mem.disp, 7);
+  EXPECT_EQ(i->ops[1].imm, 0x8b);
+}
+
+TEST(Decode, PaperFarReturnGadget) {
+  // Listing 1: "and al, 0; add [eax], al; add al, ch; retf" — the existing
+  // 7-byte far-return gadget protecting the ptrace call.
+  const std::vector<std::uint8_t> bytes = {0x24, 0x00, 0x00, 0x00, 0x00, 0xe8, 0xcb};
+  std::size_t off = 0;
+  std::vector<Insn> insns;
+  while (off < bytes.size()) {
+    auto i = decode(std::span(bytes).subspan(off));
+    ASSERT_TRUE(i) << "at offset " << off;
+    insns.push_back(*i);
+    off += i->len;
+  }
+  ASSERT_EQ(insns.size(), 4u);
+  EXPECT_EQ(insns[0].op, Mnemonic::AND);   // and al, 0
+  EXPECT_EQ(insns[1].op, Mnemonic::ADD);   // add [eax], al
+  EXPECT_EQ(insns[2].op, Mnemonic::ADD);   // add al, ch
+  EXPECT_EQ(insns[3].op, Mnemonic::RETF);
+}
+
+TEST(Decode, Grp3Family) {
+  auto i = dec({0xf7, 0xd8});  // neg eax
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::NEG);
+  EXPECT_EQ(i->ops[0].reg, Reg::EAX);
+
+  i = dec({0xf7, 0xe1});  // mul ecx
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::MUL);
+
+  i = dec({0xf7, 0xf9});  // idiv ecx
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::IDIV);
+}
+
+TEST(Decode, SetccAndMovzx) {
+  auto i = dec({0x0f, 0x94, 0xc0});  // sete al
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SETCC);
+  EXPECT_EQ(i->cond, Cond::E);
+  EXPECT_EQ(i->ops[0].reg, Reg::EAX);
+  EXPECT_EQ(i->ops[0].size, OpSize::Byte);
+
+  i = dec({0x0f, 0xb6, 0xc0});  // movzx eax, al
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::MOVZX);
+  EXPECT_EQ(i->ops[1].size, OpSize::Byte);
+}
+
+TEST(Decode, ImulForms) {
+  auto i = dec({0x0f, 0xaf, 0xc1});  // imul eax, ecx
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::IMUL);
+  EXPECT_EQ(i->nops, 2);
+
+  i = dec({0x6b, 0xc0, 0x0a});  // imul eax, eax, 10
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->nops, 3);
+  EXPECT_EQ(i->ops[2].imm, 10);
+
+  i = dec({0x69, 0xc9, 0xe8, 0x03, 0x00, 0x00});  // imul ecx, ecx, 1000
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->ops[2].imm, 1000);
+}
+
+TEST(Decode, ShiftForms) {
+  auto i = dec({0xc1, 0xe0, 0x04});  // shl eax, 4
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SHL);
+  EXPECT_EQ(i->ops[1].imm, 4);
+
+  i = dec({0xd3, 0xe8});  // shr eax, cl
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SHR);
+  EXPECT_EQ(i->ops[1].reg, Reg::ECX);
+
+  i = dec({0xd1, 0xf8});  // sar eax, 1
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::SAR);
+  EXPECT_EQ(i->ops[1].imm, 1);
+}
+
+TEST(Decode, Grp5Forms) {
+  auto i = dec({0xff, 0xd0});  // call eax
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::CALL);
+  EXPECT_EQ(i->ops[0].reg, Reg::EAX);
+
+  i = dec({0xff, 0x75, 0x08});  // push [ebp+8]
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::PUSH);
+  EXPECT_EQ(i->ops[0].mem.base, Reg::EBP);
+
+  i = dec({0xff, 0xe1});  // jmp ecx
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Mnemonic::JMP);
+}
+
+TEST(Decode, InvalidBytesReturnNullopt) {
+  // Prefixes and unsupported opcodes must decode as invalid, not crash.
+  EXPECT_FALSE(dec({0x66, 0x90}));  // operand-size prefix
+  EXPECT_FALSE(dec({0xf0, 0x90}));  // lock prefix
+  EXPECT_FALSE(dec({0x0f, 0x05}));  // syscall (64-bit)
+  EXPECT_FALSE(dec({0xd8, 0xc0}));  // x87
+  EXPECT_FALSE(dec({0x8f, 0xc8}));  // pop r/m32 with /1 extension
+}
+
+TEST(Decode, TruncatedInputReturnsNullopt) {
+  EXPECT_FALSE(dec({0xb8, 0x01, 0x02}));        // mov eax, imm32 cut short
+  EXPECT_FALSE(dec({0x8b}));                    // missing modrm
+  EXPECT_FALSE(dec({0x8b, 0x84}));              // missing SIB
+  EXPECT_FALSE(dec({0x0f}));                    // lone two-byte escape
+  EXPECT_FALSE(decode(std::span<const std::uint8_t>{}));
+}
+
+TEST(Decode, EveryTwoByteSequenceIsSafe) {
+  // Exhaustive smoke test: decode must never crash or read out of bounds.
+  std::uint8_t buf[2];
+  int decoded = 0;
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      buf[0] = static_cast<std::uint8_t>(a);
+      buf[1] = static_cast<std::uint8_t>(b);
+      if (auto i = decode(buf)) {
+        EXPECT_LE(i->len, 2);
+        ++decoded;
+      }
+    }
+  }
+  EXPECT_GT(decoded, 1000);  // plenty of 1/2-byte instructions exist
+}
+
+}  // namespace
+}  // namespace plx::x86

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "x86/build.h"
+#include "x86/encoder.h"
+
+namespace plx::x86 {
+namespace {
+
+std::vector<std::uint8_t> enc(const Insn& insn) {
+  Buffer b;
+  auto r = encode(insn, b);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return b.vec();
+}
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(Encode, MovRegImm) {
+  EXPECT_EQ(enc(ins::mov(Reg::EAX, 42)), (Bytes{0xb8, 0x2a, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(enc(ins::mov(Reg::EDI, -1)), (Bytes{0xbf, 0xff, 0xff, 0xff, 0xff}));
+}
+
+TEST(Encode, MovRegReg) {
+  EXPECT_EQ(enc(ins::mov(Reg::EBP, Reg::ESP)), (Bytes{0x89, 0xe5}));
+}
+
+TEST(Encode, AluImmPicksShortForm) {
+  EXPECT_EQ(enc(ins::sub(Reg::ESP, 24)), (Bytes{0x83, 0xec, 0x18}));
+  // Large immediates take the 0x81 group-1 form (we do not use the 0x05
+  // eax-short-form on encode; the decoder still accepts it).
+  EXPECT_EQ(enc(ins::add(Reg::EAX, 1000)), (Bytes{0x81, 0xc0, 0xe8, 0x03, 0x00, 0x00}));
+}
+
+TEST(Encode, WideImmForcesLongForm) {
+  Insn i = ins::add(Reg::ECX, 1);
+  i.wide_imm = true;
+  EXPECT_EQ(enc(i), (Bytes{0x81, 0xc1, 0x01, 0x00, 0x00, 0x00}));
+}
+
+TEST(Encode, MemoryForms) {
+  EXPECT_EQ(enc(ins::load(Reg::EAX, Mem{.base = Reg::EBP, .disp = 8})),
+            (Bytes{0x8b, 0x45, 0x08}));
+  EXPECT_EQ(enc(ins::store(Mem{.base = Reg::ESP}, Reg::EAX)),
+            (Bytes{0x89, 0x04, 0x24}));
+  // [ebp] still needs a disp8 of zero.
+  EXPECT_EQ(enc(ins::load(Reg::EAX, Mem{.base = Reg::EBP})),
+            (Bytes{0x8b, 0x45, 0x00}));
+  // Absolute addressing.
+  EXPECT_EQ(enc(ins::load(Reg::ECX, Mem{.disp = 0x11223344})),
+            (Bytes{0x8b, 0x0d, 0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(Encode, ScaledIndex) {
+  EXPECT_EQ(enc(ins::load(Reg::EAX, Mem{.base = Reg::ESI, .index = Reg::ECX, .scale = 4, .disp = 4})),
+            (Bytes{0x8b, 0x44, 0x8e, 0x04}));
+}
+
+TEST(Encode, PushPop) {
+  EXPECT_EQ(enc(ins::push(Reg::EBP)), (Bytes{0x55}));
+  EXPECT_EQ(enc(ins::pop(Reg::EAX)), (Bytes{0x58}));
+  EXPECT_EQ(enc(ins::push(5)), (Bytes{0x6a, 0x05}));
+  Insn wide = ins::push(5);
+  wide.wide_imm = true;
+  EXPECT_EQ(enc(wide), (Bytes{0x68, 0x05, 0x00, 0x00, 0x00}));
+}
+
+TEST(Encode, Branches) {
+  EXPECT_EQ(enc(ins::jmp_rel(0x10, /*wide=*/false)), (Bytes{0xeb, 0x10}));
+  EXPECT_EQ(enc(ins::jmp_rel(0x10, /*wide=*/true)), (Bytes{0xe9, 0x10, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(enc(ins::jcc_rel(Cond::NS, 5, /*wide=*/false)), (Bytes{0x79, 0x05}));
+  EXPECT_EQ(enc(ins::jcc_rel(Cond::E, 5, /*wide=*/true)),
+            (Bytes{0x0f, 0x84, 0x05, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(enc(ins::call_rel(5)), (Bytes{0xe8, 0x05, 0x00, 0x00, 0x00}));
+}
+
+TEST(Encode, RetLeave) {
+  EXPECT_EQ(enc(ins::ret()), (Bytes{0xc3}));
+  EXPECT_EQ(enc(ins::retf()), (Bytes{0xcb}));
+  EXPECT_EQ(enc(ins::leave()), (Bytes{0xc9}));
+}
+
+TEST(Encode, SetccMovzx) {
+  EXPECT_EQ(enc(ins::setcc(Cond::E, Reg::EAX)), (Bytes{0x0f, 0x94, 0xc0}));
+  EXPECT_EQ(enc(ins::movzx8(Reg::EAX, Reg::EAX)), (Bytes{0x0f, 0xb6, 0xc0}));
+}
+
+TEST(Encode, Shifts) {
+  EXPECT_EQ(enc(ins::shl(Reg::EAX, 4)), (Bytes{0xc1, 0xe0, 0x04}));
+  EXPECT_EQ(enc(ins::sar(Reg::EAX, 1)), (Bytes{0xd1, 0xf8}));
+  EXPECT_EQ(enc(ins::shr_cl(Reg::EDX)), (Bytes{0xd3, 0xea}));
+}
+
+TEST(Encode, ByteOps) {
+  Insn i = ins::make2(Mnemonic::ADD, ins::r8(Reg::EBX), ins::r8(Reg::EBP));
+  // add bl, ch — the paper's crafted gadget body.
+  EXPECT_EQ(enc(i), (Bytes{0x00, 0xeb}));
+}
+
+TEST(Encode, IntSyscall) {
+  EXPECT_EQ(enc(ins::int_(0x80)), (Bytes{0xcd, 0x80}));
+}
+
+TEST(Encode, EspIndexRejected) {
+  Buffer b;
+  Insn i = ins::load(Reg::EAX, Mem{.base = Reg::EAX, .index = Reg::ESP, .scale = 1});
+  EXPECT_FALSE(encode(i, b).ok());
+}
+
+}  // namespace
+}  // namespace plx::x86

@@ -1,0 +1,142 @@
+// Property tests: decode/encode form a consistent pair.
+//
+//  * decode -> encode -> decode must reproduce the same instruction
+//    semantics (the re-encoding may legitimately be shorter, e.g. imm32
+//    forms that fit in imm8, so we compare decoded fields, not bytes).
+//  * builder-constructed instructions encode and decode back to themselves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+#include "x86/build.h"
+#include "x86/decoder.h"
+#include "x86/encoder.h"
+#include "x86/format.h"
+
+namespace plx::x86 {
+namespace {
+
+bool same_operand(const Operand& a, const Operand& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Operand::Kind::None: return true;
+    case Operand::Kind::Reg: return a.reg == b.reg && a.size == b.size;
+    case Operand::Kind::Imm: return a.imm == b.imm;
+    case Operand::Kind::Mem: return a.mem == b.mem && a.size == b.size;
+    case Operand::Kind::Rel: return a.rel == b.rel;
+  }
+  return false;
+}
+
+bool same_semantics(const Insn& a, const Insn& b) {
+  if (a.op != b.op || a.nops != b.nops || a.opsize != b.opsize) return false;
+  if ((a.op == Mnemonic::JCC || a.op == Mnemonic::SETCC) && a.cond != b.cond) return false;
+  for (int i = 0; i < a.nops; ++i) {
+    if (!same_operand(a.ops[i], b.ops[i])) return false;
+  }
+  return true;
+}
+
+TEST(Roundtrip, RandomByteSequences) {
+  Rng rng(0xdec0de);
+  int decoded = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    std::uint8_t buf[15];
+    for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.next_u32());
+    const auto insn = decode(buf);
+    if (!insn) continue;
+    ++decoded;
+    Buffer out;
+    auto enc = encode(*insn, out);
+    ASSERT_TRUE(enc.ok()) << "cannot re-encode: " << format(*insn) << " ["
+                          << enc.error() << "]";
+    const auto again = decode(out.span());
+    ASSERT_TRUE(again) << "re-decoding failed for " << format(*insn);
+    EXPECT_TRUE(same_semantics(*insn, *again))
+        << "mismatch: " << format(*insn) << " vs " << format(*again);
+    // The re-encoding may differ in length: shorter when an imm32 fits in
+    // imm8, or slightly longer when the original used an accumulator
+    // short-form (xchg eax,r / op eax,imm32) that we render canonically.
+    EXPECT_LE(again->len, insn->len + 1) << format(*insn);
+  }
+  // Random bytes decode reasonably often (the x86 map is dense).
+  EXPECT_GT(decoded, 20000);
+}
+
+TEST(Roundtrip, BuilderInstructionsExact) {
+  // Exercise the builder surface; each instruction must decode back to
+  // identical semantics AND identical bytes on a second encode.
+  std::vector<Insn> insns;
+  for (int r = 0; r < 8; ++r) {
+    const Reg reg = static_cast<Reg>(r);
+    insns.push_back(ins::push(reg));
+    insns.push_back(ins::pop(reg));
+    insns.push_back(ins::inc(reg));
+    insns.push_back(ins::dec(reg));
+    insns.push_back(ins::neg(reg));
+    insns.push_back(ins::not_(reg));
+    insns.push_back(ins::mov(reg, 0x12345678));
+    insns.push_back(ins::mov(reg, Reg::EAX));
+    insns.push_back(ins::add(reg, Reg::ECX));
+    insns.push_back(ins::sub(reg, 7));
+    insns.push_back(ins::xor_(reg, reg));
+    insns.push_back(ins::cmp(reg, 100000));
+    insns.push_back(ins::load(reg, Mem{.base = Reg::EBP, .disp = -8 * r}));
+    insns.push_back(ins::store(Mem{.base = Reg::ESP, .disp = 4 * r}, reg));
+    insns.push_back(ins::shl(reg, 3));
+    insns.push_back(ins::sar(reg, 31));
+  }
+  for (int cc = 0; cc < 16; ++cc) {
+    insns.push_back(ins::jcc_rel(static_cast<Cond>(cc), 0x1234));
+    insns.push_back(ins::setcc(static_cast<Cond>(cc), Reg::ECX));
+  }
+  insns.push_back(ins::ret());
+  insns.push_back(ins::retf());
+  insns.push_back(ins::leave());
+  insns.push_back(ins::pushad());
+  insns.push_back(ins::popad());
+  insns.push_back(ins::pushfd());
+  insns.push_back(ins::popfd());
+  insns.push_back(ins::cdq());
+  insns.push_back(ins::nop());
+  insns.push_back(ins::int_(0x80));
+  insns.push_back(ins::call_rel(-123456));
+  insns.push_back(ins::jmp_rel(99));
+  insns.push_back(ins::imul2(Reg::EDX, Reg::ESI));
+  insns.push_back(ins::movzx8(Reg::EBX, Reg::ECX));
+  insns.push_back(ins::lea(Reg::EAX, Mem{.base = Reg::EDX, .index = Reg::EDI, .scale = 2, .disp = 5}));
+
+  for (const auto& insn : insns) {
+    Buffer out;
+    auto enc = encode(insn, out);
+    ASSERT_TRUE(enc.ok()) << format(insn) << ": " << enc.error();
+    const auto back = decode(out.span());
+    ASSERT_TRUE(back) << format(insn);
+    EXPECT_TRUE(same_semantics(insn, *back))
+        << format(insn) << " vs " << format(*back);
+    Buffer out2;
+    ASSERT_TRUE(encode(*back, out2).ok());
+    EXPECT_EQ(out.vec(), out2.vec()) << format(insn);
+  }
+}
+
+TEST(Roundtrip, DecodedLengthMatchesConsumed) {
+  // For every decodable prefix, len must equal the bytes the decoder read:
+  // decoding the truncated buffer of len-1 bytes must fail.
+  Rng rng(0x1e47);
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::uint8_t buf[15];
+    for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.next_u32());
+    const auto insn = decode(buf);
+    if (!insn || insn->len < 2) continue;
+    const auto truncated = decode(std::span(buf, insn->len - 1u));
+    if (truncated) {
+      // A shorter decode is only acceptable if it consumed fewer bytes.
+      EXPECT_LT(truncated->len, insn->len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plx::x86
