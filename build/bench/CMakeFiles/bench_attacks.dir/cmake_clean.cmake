@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attacks.dir/bench_attacks.cpp.o"
+  "CMakeFiles/bench_attacks.dir/bench_attacks.cpp.o.d"
+  "bench_attacks"
+  "bench_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microchains.dir/bench_microchains.cpp.o"
+  "CMakeFiles/bench_microchains.dir/bench_microchains.cpp.o.d"
+  "bench_microchains"
+  "bench_microchains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microchains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

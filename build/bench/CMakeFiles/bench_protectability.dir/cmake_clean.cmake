@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protectability.dir/bench_protectability.cpp.o"
+  "CMakeFiles/bench_protectability.dir/bench_protectability.cpp.o.d"
+  "bench_protectability"
+  "bench_protectability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protectability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_crack.dir/license_crack.cpp.o"
+  "CMakeFiles/license_crack.dir/license_crack.cpp.o.d"
+  "license_crack"
+  "license_crack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_crack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

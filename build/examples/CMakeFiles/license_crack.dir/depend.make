@@ -1,0 +1,2 @@
+# Empty dependencies file for license_crack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plxtool.dir/plxtool.cpp.o"
+  "CMakeFiles/plxtool.dir/plxtool.cpp.o.d"
+  "plxtool"
+  "plxtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plxtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_chains.dir/probabilistic_chains.cpp.o"
+  "CMakeFiles/probabilistic_chains.dir/probabilistic_chains.cpp.o.d"
+  "probabilistic_chains"
+  "probabilistic_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

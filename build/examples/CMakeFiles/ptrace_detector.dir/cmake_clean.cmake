@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrace_detector.dir/ptrace_detector.cpp.o"
+  "CMakeFiles/ptrace_detector.dir/ptrace_detector.cpp.o.d"
+  "ptrace_detector"
+  "ptrace_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrace_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

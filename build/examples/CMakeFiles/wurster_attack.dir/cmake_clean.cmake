@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wurster_attack.dir/wurster_attack.cpp.o"
+  "CMakeFiles/wurster_attack.dir/wurster_attack.cpp.o.d"
+  "wurster_attack"
+  "wurster_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wurster_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cpp" "src/CMakeFiles/parallax.dir/analysis/callgraph.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/analysis/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/profiler.cpp" "src/CMakeFiles/parallax.dir/analysis/profiler.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/analysis/profiler.cpp.o.d"
+  "/root/repo/src/analysis/selection.cpp" "src/CMakeFiles/parallax.dir/analysis/selection.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/analysis/selection.cpp.o.d"
+  "/root/repo/src/asm/assembler.cpp" "src/CMakeFiles/parallax.dir/asm/assembler.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/asm/assembler.cpp.o.d"
+  "/root/repo/src/attack/patcher.cpp" "src/CMakeFiles/parallax.dir/attack/patcher.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/attack/patcher.cpp.o.d"
+  "/root/repo/src/attack/wurster.cpp" "src/CMakeFiles/parallax.dir/attack/wurster.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/attack/wurster.cpp.o.d"
+  "/root/repo/src/baseline/checksum.cpp" "src/CMakeFiles/parallax.dir/baseline/checksum.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/baseline/checksum.cpp.o.d"
+  "/root/repo/src/baseline/oblivious_hash.cpp" "src/CMakeFiles/parallax.dir/baseline/oblivious_hash.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/baseline/oblivious_hash.cpp.o.d"
+  "/root/repo/src/cc/backend_x86.cpp" "src/CMakeFiles/parallax.dir/cc/backend_x86.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/backend_x86.cpp.o.d"
+  "/root/repo/src/cc/compile.cpp" "src/CMakeFiles/parallax.dir/cc/compile.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/compile.cpp.o.d"
+  "/root/repo/src/cc/ir.cpp" "src/CMakeFiles/parallax.dir/cc/ir.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/ir.cpp.o.d"
+  "/root/repo/src/cc/irgen.cpp" "src/CMakeFiles/parallax.dir/cc/irgen.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/irgen.cpp.o.d"
+  "/root/repo/src/cc/lexer.cpp" "src/CMakeFiles/parallax.dir/cc/lexer.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/lexer.cpp.o.d"
+  "/root/repo/src/cc/parser.cpp" "src/CMakeFiles/parallax.dir/cc/parser.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/cc/parser.cpp.o.d"
+  "/root/repo/src/crypto/rc4.cpp" "src/CMakeFiles/parallax.dir/crypto/rc4.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/crypto/rc4.cpp.o.d"
+  "/root/repo/src/crypto/xorstream.cpp" "src/CMakeFiles/parallax.dir/crypto/xorstream.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/crypto/xorstream.cpp.o.d"
+  "/root/repo/src/gadget/catalog.cpp" "src/CMakeFiles/parallax.dir/gadget/catalog.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/gadget/catalog.cpp.o.d"
+  "/root/repo/src/gadget/classify.cpp" "src/CMakeFiles/parallax.dir/gadget/classify.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/gadget/classify.cpp.o.d"
+  "/root/repo/src/gadget/scanner.cpp" "src/CMakeFiles/parallax.dir/gadget/scanner.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/gadget/scanner.cpp.o.d"
+  "/root/repo/src/gf2/gf2.cpp" "src/CMakeFiles/parallax.dir/gf2/gf2.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/gf2/gf2.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/CMakeFiles/parallax.dir/image/image.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/image/image.cpp.o.d"
+  "/root/repo/src/image/layout.cpp" "src/CMakeFiles/parallax.dir/image/layout.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/image/layout.cpp.o.d"
+  "/root/repo/src/parallax/protector.cpp" "src/CMakeFiles/parallax.dir/parallax/protector.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/parallax/protector.cpp.o.d"
+  "/root/repo/src/rewrite/protectability.cpp" "src/CMakeFiles/parallax.dir/rewrite/protectability.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/rewrite/protectability.cpp.o.d"
+  "/root/repo/src/rewrite/rewriter.cpp" "src/CMakeFiles/parallax.dir/rewrite/rewriter.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/rewrite/rewriter.cpp.o.d"
+  "/root/repo/src/rewrite/rules.cpp" "src/CMakeFiles/parallax.dir/rewrite/rules.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/rewrite/rules.cpp.o.d"
+  "/root/repo/src/ropc/chain.cpp" "src/CMakeFiles/parallax.dir/ropc/chain.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/ropc/chain.cpp.o.d"
+  "/root/repo/src/ropc/ropc.cpp" "src/CMakeFiles/parallax.dir/ropc/ropc.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/ropc/ropc.cpp.o.d"
+  "/root/repo/src/support/buffer.cpp" "src/CMakeFiles/parallax.dir/support/buffer.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/support/buffer.cpp.o.d"
+  "/root/repo/src/support/hexdump.cpp" "src/CMakeFiles/parallax.dir/support/hexdump.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/support/hexdump.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/parallax.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/support/rng.cpp.o.d"
+  "/root/repo/src/verify/hardening.cpp" "src/CMakeFiles/parallax.dir/verify/hardening.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/verify/hardening.cpp.o.d"
+  "/root/repo/src/verify/microchain.cpp" "src/CMakeFiles/parallax.dir/verify/microchain.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/verify/microchain.cpp.o.d"
+  "/root/repo/src/verify/stub.cpp" "src/CMakeFiles/parallax.dir/verify/stub.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/verify/stub.cpp.o.d"
+  "/root/repo/src/vm/exec.cpp" "src/CMakeFiles/parallax.dir/vm/exec.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/vm/exec.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/CMakeFiles/parallax.dir/vm/machine.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/vm/machine.cpp.o.d"
+  "/root/repo/src/vm/syscalls.cpp" "src/CMakeFiles/parallax.dir/vm/syscalls.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/vm/syscalls.cpp.o.d"
+  "/root/repo/src/workloads/corpus.cpp" "src/CMakeFiles/parallax.dir/workloads/corpus.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/workloads/corpus.cpp.o.d"
+  "/root/repo/src/x86/decoder.cpp" "src/CMakeFiles/parallax.dir/x86/decoder.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/x86/decoder.cpp.o.d"
+  "/root/repo/src/x86/encoder.cpp" "src/CMakeFiles/parallax.dir/x86/encoder.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/x86/encoder.cpp.o.d"
+  "/root/repo/src/x86/format.cpp" "src/CMakeFiles/parallax.dir/x86/format.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/x86/format.cpp.o.d"
+  "/root/repo/src/x86/insn.cpp" "src/CMakeFiles/parallax.dir/x86/insn.cpp.o" "gcc" "src/CMakeFiles/parallax.dir/x86/insn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

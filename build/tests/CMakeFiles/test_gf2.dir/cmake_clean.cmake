@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2.dir/test_gf2.cpp.o"
+  "CMakeFiles/test_gf2.dir/test_gf2.cpp.o.d"
+  "test_gf2"
+  "test_gf2.pdb"
+  "test_gf2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

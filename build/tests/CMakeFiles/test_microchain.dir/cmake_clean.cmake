@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microchain.dir/test_microchain.cpp.o"
+  "CMakeFiles/test_microchain.dir/test_microchain.cpp.o.d"
+  "test_microchain"
+  "test_microchain.pdb"
+  "test_microchain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

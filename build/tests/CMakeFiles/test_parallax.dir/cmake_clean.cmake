@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallax.dir/test_parallax.cpp.o"
+  "CMakeFiles/test_parallax.dir/test_parallax.cpp.o.d"
+  "test_parallax"
+  "test_parallax.pdb"
+  "test_parallax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

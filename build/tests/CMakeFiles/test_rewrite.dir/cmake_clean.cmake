@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite.dir/test_rewrite.cpp.o"
+  "CMakeFiles/test_rewrite.dir/test_rewrite.cpp.o.d"
+  "test_rewrite"
+  "test_rewrite.pdb"
+  "test_rewrite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ropc.dir/test_ropc.cpp.o"
+  "CMakeFiles/test_ropc.dir/test_ropc.cpp.o.d"
+  "test_ropc"
+  "test_ropc.pdb"
+  "test_ropc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ropc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

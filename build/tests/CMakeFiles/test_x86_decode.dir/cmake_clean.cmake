@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_decode.dir/test_x86_decode.cpp.o"
+  "CMakeFiles/test_x86_decode.dir/test_x86_decode.cpp.o.d"
+  "test_x86_decode"
+  "test_x86_decode.pdb"
+  "test_x86_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_encode.dir/test_x86_encode.cpp.o"
+  "CMakeFiles/test_x86_encode.dir/test_x86_encode.cpp.o.d"
+  "test_x86_encode"
+  "test_x86_encode.pdb"
+  "test_x86_encode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_roundtrip.dir/test_x86_roundtrip.cpp.o"
+  "CMakeFiles/test_x86_roundtrip.dir/test_x86_roundtrip.cpp.o.d"
+  "test_x86_roundtrip"
+  "test_x86_roundtrip.pdb"
+  "test_x86_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

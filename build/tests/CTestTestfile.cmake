@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_decode[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_encode[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_gf2[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_gadget[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_ropc[1]_include.cmake")
+include("/root/repo/build/tests/test_parallax[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_microchain[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_format[1]_include.cmake")
