@@ -26,7 +26,7 @@ void ablate_weaving() {
   std::printf("=== Ablation 1: transparent-gadget weaving ===\n");
   std::printf("%-10s %12s %12s %14s %14s %12s\n", "program", "slots(off)",
               "slots(on)", "extra-cyc(off)", "extra-cyc(on)", "overlap-used");
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     const double plain = static_cast<double>(bw.profile.run.cycles);
 
@@ -58,12 +58,17 @@ void ablate_weaving() {
 
 void ablate_variants() {
   std::printf("=== Ablation 2: probabilistic variant count N ===\n");
-  const auto& w = *workloads::find_workload("gzip");
+  // Under --plx_smoke, reuse the (already tiny) smoke corpus entry and a
+  // single variant count instead of the full gzip sweep.
+  const auto& w = bench::smoke() ? bench::bench_corpus()[0]
+                                 : *workloads::find_workload("gzip");
   auto bw = bench::build_workload(w);
   const double plain = static_cast<double>(bw.profile.run.cycles);
   std::printf("%-4s %14s %14s %16s\n", "N", "idx-bytes", "extra-cycles",
               "distinct-slots");
-  for (int n : {2, 4, 8}) {
+  const std::vector<int> counts_to_try =
+      bench::smoke() ? std::vector<int>{2} : std::vector<int>{2, 4, 8};
+  for (int n : counts_to_try) {
     auto prot = bench::protect_workload(bw, Hardening::Probabilistic, n);
     const img::Symbol* idx =
         prot.image.find_symbol("__plx_idx_" + w.verify_function);
@@ -89,7 +94,7 @@ void ablate_slot_sources() {
   std::printf("=== Ablation 3: where chain slots come from ===\n");
   std::printf("%-10s %10s %14s %14s\n", "program", "slots", "overlap-slots",
               "utility-slots");
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     parallax::Protector p;
     parallax::ProtectOptions opts;
@@ -116,7 +121,7 @@ void ablate_crafting() {
   std::printf("=== Ablation 4: §IV-B gadget crafting in the pipeline ===\n");
   std::printf("%-10s %16s %16s %16s\n", "program", "overlap(off)", "overlap(on)",
               "extra-cycles(on)");
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     const double plain = static_cast<double>(bw.profile.run.cycles);
     parallax::Protector p;
@@ -161,11 +166,15 @@ BENCHMARK(BM_WeavingCost)->Args({3, 0})->Args({3, 1})->Unit(benchmark::kMillisec
 }  // namespace
 
 int main(int argc, char** argv) {
+  plx::bench::init("ablation", argc, argv);
   ablate_weaving();
   ablate_variants();
   ablate_slot_sources();
   ablate_crafting();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

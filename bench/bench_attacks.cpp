@@ -179,6 +179,8 @@ int main() { return probe(); }
     }
     std::printf("\nparallax gadget-byte flip detection: %d/%d (%.0f%%)\n", broke,
                 total, 100.0 * broke / total);
+    bench::session().figure("gadget_flip_detection_percent",
+                            total ? 100.0 * broke / total : 0.0);
     std::printf("(undetected flips produced semantically equivalent gadgets — "
                 "the attacker escape hatch of §VIII-C)\n\n");
   }
@@ -202,8 +204,12 @@ BENCHMARK(BM_StaticPatchAttack)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  plx::bench::init("attacks", argc, argv);
   print_matrix();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

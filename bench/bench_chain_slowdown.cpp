@@ -29,7 +29,7 @@ void print_table() {
   std::printf("=== Figure 5a: verification function (chain) slowdown ===\n");
   std::printf("%-10s %-12s %8s %10s | %10s %10s %10s %10s\n", "program", "function",
               "calls", "native/cl", "cleartext", "xor", "prob", "rc4");
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     const std::uint64_t calls = bw.profile.calls(w.verify_function);
     const auto& vf_stats = bw.profile.stats.at(w.verify_function);
@@ -46,6 +46,9 @@ void print_table() {
       const double extra = static_cast<double>(run.cycles) - plain_cycles;
       const double chain_per_call = native_per_call + extra / static_cast<double>(calls);
       std::printf(" %9.1fx", chain_per_call / native_per_call);
+      bench::session().figure(
+          "chain_slowdown_x/" + w.name + "/" + verify::hardening_name(mode),
+          chain_per_call / native_per_call);
     }
     std::printf("\n");
   }
@@ -69,8 +72,12 @@ BENCHMARK(BM_ProtectedRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  plx::bench::init("chain_slowdown", argc, argv);
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

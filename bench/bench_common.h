@@ -1,8 +1,23 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Besides the build/protect/run wrappers, this header carries the bench
+// reporting layer: every binary calls bench::init() first and
+// bench::write_json() after its tables, producing BENCH_<name>.json with
+// per-stage wall-clock times (compile, scan, protect, run), host-side
+// throughput (VM instructions/sec, scanner bytes/sec) and the VM-cycle
+// figures the tables print. `--plx_smoke` switches to a tiny budget (first
+// corpus workload only, no google-benchmark pass) so ctest can validate the
+// pipeline quickly; see bench/CMakeLists.txt's bench_smoke tests.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/profiler.h"
 #include "cc/compile.h"
@@ -13,6 +28,165 @@
 
 namespace plx::bench {
 
+// Accumulated timing/throughput state for one bench binary. Not thread-safe:
+// record from the main thread (time whole parallel regions, not their
+// workers).
+class Session {
+ public:
+  std::string name = "bench";
+  bool smoke = false;
+
+  void add_stage(const char* stage, double seconds) {
+    for (auto& [k, v] : stages_) {
+      if (k == stage) {
+        v += seconds;
+        return;
+      }
+    }
+    stages_.emplace_back(stage, seconds);
+  }
+
+  void note_vm_run(const vm::RunResult& r, double seconds) {
+    vm_instructions_ += r.instructions;
+    vm_cycles_ += r.cycles;
+    vm_run_seconds_ += seconds;
+    add_stage("run", seconds);
+  }
+
+  void note_scan(std::uint64_t bytes, double seconds) {
+    scan_bytes_ += bytes;
+    scan_seconds_ += seconds;
+    add_stage("scan", seconds);
+  }
+
+  void figure(const std::string& key, double value) {
+    figures_.emplace_back(key, value);
+  }
+
+  // Writes BENCH_<name>.json into the working directory.
+  void write_json() const {
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    const double total =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    out << "{\n";
+    out << "  \"bench\": \"" << escape(name) << "\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"wall_seconds_total\": " << num(total) << ",\n";
+    out << "  \"stages\": {";
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      out << (i ? ", " : "") << '"' << escape(stages_[i].first)
+          << "\": " << num(stages_[i].second);
+    }
+    out << "},\n";
+    out << "  \"throughput\": {\n";
+    out << "    \"vm_instructions_total\": " << vm_instructions_ << ",\n";
+    out << "    \"vm_cycles_total\": " << vm_cycles_ << ",\n";
+    out << "    \"vm_run_seconds\": " << num(vm_run_seconds_) << ",\n";
+    out << "    \"vm_instructions_per_sec\": "
+        << num(rate(static_cast<double>(vm_instructions_), vm_run_seconds_))
+        << ",\n";
+    out << "    \"vm_cycles_per_sec\": "
+        << num(rate(static_cast<double>(vm_cycles_), vm_run_seconds_)) << ",\n";
+    out << "    \"scanner_bytes_total\": " << scan_bytes_ << ",\n";
+    out << "    \"scanner_scan_seconds\": " << num(scan_seconds_) << ",\n";
+    out << "    \"scanner_bytes_per_sec\": "
+        << num(rate(static_cast<double>(scan_bytes_), scan_seconds_)) << "\n";
+    out << "  },\n";
+    out << "  \"figures\": {";
+    for (std::size_t i = 0; i < figures_.size(); ++i) {
+      out << (i ? ",\n              " : "") << '"' << escape(figures_[i].first)
+          << "\": " << num(figures_[i].second);
+    }
+    out << "}\n";
+    out << "}\n";
+    std::printf("[bench] wrote %s\n", path.c_str());
+  }
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+
+ private:
+  static double rate(double amount, double seconds) {
+    return seconds > 0 ? amount / seconds : 0.0;
+  }
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // JSON has no NaN/Inf literals; a degenerate sample becomes 0.
+    if (std::strstr(buf, "nan") || std::strstr(buf, "inf")) return "0";
+    return buf;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, double>> stages_;  // insertion order
+  std::vector<std::pair<std::string, double>> figures_;
+  std::uint64_t vm_instructions_ = 0;
+  std::uint64_t vm_cycles_ = 0;
+  double vm_run_seconds_ = 0;
+  std::uint64_t scan_bytes_ = 0;
+  double scan_seconds_ = 0;
+};
+
+inline Session& session() {
+  static Session s;
+  return s;
+}
+
+// Call first thing in main(): names the JSON report and strips --plx_smoke
+// from argv before google-benchmark sees it.
+inline void init(const std::string& name, int& argc, char** argv) {
+  Session& s = session();
+  s.name = name;
+  s.start_ = Session::Clock::now();
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plx_smoke") == 0) {
+      s.smoke = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+inline bool smoke() { return session().smoke; }
+inline void write_json() { session().write_json(); }
+
+// RAII stage timer; accumulates into session() under `stage`.
+class StageTimer {
+ public:
+  explicit StageTimer(const char* stage) : stage_(stage) {}
+  ~StageTimer() { session().add_stage(stage_, seconds()); }
+  double seconds() const {
+    return std::chrono::duration<double>(Session::Clock::now() - t0_).count();
+  }
+
+ private:
+  const char* stage_;
+  Session::Clock::time_point t0_ = Session::Clock::now();
+};
+
+// The corpus a bench iterates: everything normally, only the first workload
+// under --plx_smoke.
+inline std::span<const workloads::Workload> bench_corpus() {
+  const auto& all = workloads::corpus();
+  return session().smoke ? std::span(all).first(1) : std::span(all);
+}
+
 struct BuiltWorkload {
   workloads::Workload meta;
   cc::Compiled compiled;
@@ -21,6 +195,7 @@ struct BuiltWorkload {
 };
 
 inline BuiltWorkload build_workload(const workloads::Workload& w) {
+  const auto t0 = Session::Clock::now();
   auto compiled = cc::compile(w.source);
   if (!compiled) {
     std::fprintf(stderr, "FATAL %s: %s\n", w.name.c_str(), compiled.error().c_str());
@@ -31,8 +206,17 @@ inline BuiltWorkload build_workload(const workloads::Workload& w) {
     std::fprintf(stderr, "FATAL %s: %s\n", w.name.c_str(), plain.error().c_str());
     std::exit(1);
   }
+  session().add_stage(
+      "compile",
+      std::chrono::duration<double>(Session::Clock::now() - t0).count());
   BuiltWorkload out{w, std::move(compiled).take(), std::move(plain).take(), {}};
-  out.profile = analysis::profile_run(out.plain);
+  {
+    const auto t0 = Session::Clock::now();
+    out.profile = analysis::profile_run(out.plain);
+    session().note_vm_run(
+        out.profile.run,
+        std::chrono::duration<double>(Session::Clock::now() - t0).count());
+  }
   if (out.profile.run.reason != vm::StopReason::Exited) {
     std::fprintf(stderr, "FATAL %s: plain run failed: %s\n", w.name.c_str(),
                  out.profile.run.fault.c_str());
@@ -44,6 +228,7 @@ inline BuiltWorkload build_workload(const workloads::Workload& w) {
 inline parallax::Protected protect_workload(const BuiltWorkload& bw,
                                             parallax::Hardening mode,
                                             int variants = 4) {
+  StageTimer timer("protect");
   parallax::ProtectOptions opts;
   opts.verify_functions = {bw.meta.verify_function};
   opts.hardening = mode;
@@ -61,7 +246,12 @@ inline parallax::Protected protect_workload(const BuiltWorkload& bw,
 inline vm::RunResult run_image(const img::Image& image,
                                std::uint64_t budget = 2'000'000'000ull) {
   vm::Machine m(image);
+  // Time the run only: Machine construction copies the image and is not VM
+  // execution.
+  const auto t0 = Session::Clock::now();
   auto r = m.run(budget);
+  session().note_vm_run(
+      r, std::chrono::duration<double>(Session::Clock::now() - t0).count());
   if (r.reason != vm::StopReason::Exited) {
     std::fprintf(stderr, "FATAL: run did not exit cleanly: %s @%08x\n",
                  r.fault.c_str(), r.fault_eip);

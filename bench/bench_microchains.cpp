@@ -19,7 +19,7 @@ void print_table() {
               "plain-cycles", "fchain-extra", "uchain-extra", "ratio");
   double ratio_sum = 0;
   int n = 0;
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     const double plain = static_cast<double>(bw.profile.run.cycles);
 
@@ -44,12 +44,14 @@ void print_table() {
     const double ratio = uextra / fextra;
     std::printf("%-10s %-12s %12.0f %14.0f %14.0f %7.2fx\n", w.paper_name.c_str(),
                 w.verify_function.c_str(), plain, fextra, uextra, ratio);
+    bench::session().figure("uchain_over_fchain_x/" + w.name, ratio);
     ratio_sum += ratio;
     ++n;
   }
   if (n) {
     std::printf("%-10s %-12s %12s %14s %14s %7.2fx\n", "average", "", "", "", "",
                 ratio_sum / n);
+    bench::session().figure("uchain_over_fchain_x/average", ratio_sum / n);
   }
   std::printf("(paper: u-chain overhead exceeds function chains by ~2x on "
               "average)\n\n");
@@ -74,8 +76,12 @@ BENCHMARK(BM_MicrochainRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  plx::bench::init("microchains", argc, argv);
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -24,18 +24,23 @@ void print_table() {
   std::printf("=== Figure 5b: whole-program runtime overhead ===\n");
   std::printf("%-10s %14s %5s | %10s %10s %10s %10s\n", "program", "plain-cycles",
               "vf%%", "cleartext", "xor", "prob", "rc4");
-  for (const auto& w : workloads::corpus()) {
+  for (const auto& w : bench::bench_corpus()) {
     auto bw = bench::build_workload(w);
     const double plain_cycles = static_cast<double>(bw.profile.run.cycles);
     std::printf("%-10s %14llu %4.2f%% |", w.paper_name.c_str(),
                 static_cast<unsigned long long>(bw.profile.run.cycles),
                 100.0 * bw.profile.fraction(w.verify_function));
+    bench::session().figure("plain_cycles/" + w.name,
+                            static_cast<double>(bw.profile.run.cycles));
     for (Hardening mode : kModes) {
       auto prot = bench::protect_workload(bw, mode);
       auto run = bench::run_image(prot.image);
       const double overhead =
           (static_cast<double>(run.cycles) - plain_cycles) / plain_cycles;
       std::printf(" %9.2f%%", 100.0 * overhead);
+      bench::session().figure(
+          "overhead_percent/" + w.name + "/" + verify::hardening_name(mode),
+          100.0 * overhead);
     }
     std::printf("\n");
   }
@@ -57,8 +62,12 @@ BENCHMARK(BM_ProtectPipeline)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  plx::bench::init("overhead", argc, argv);
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

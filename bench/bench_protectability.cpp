@@ -10,50 +10,111 @@
 // The spurious-instruction rule always applies and is omitted, as in the
 // paper. Absolute numbers shift with the corpus/compiler; the shape to check
 // is the ordering and the dominance of the modification rules.
+//
+// The per-workload compile+layout+analyze pipeline is independent across
+// workloads, so it is sharded over the process-wide thread pool; results are
+// printed in corpus order afterwards. A separate timed pass measures raw
+// gadget-scanner throughput (bytes/sec) for the JSON report.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
+#include <vector>
 
 #include "bench_common.h"
+#include "gadget/scanner.h"
 #include "rewrite/protectability.h"
+#include "support/thread_pool.h"
 
 namespace {
 
 using namespace plx;
 
-void print_table() {
+struct Analyzed {
+  const workloads::Workload* w = nullptr;
+  std::optional<rewrite::CoverageReport> report;
+  img::Image image;  // laid-out plain image, reused by the scan pass
+  std::string error;
+};
+
+std::vector<Analyzed> analyze_corpus() {
+  const auto corpus = bench::bench_corpus();
+  std::vector<Analyzed> rows(corpus.size());
+  bench::StageTimer timer("compile");
+  support::ThreadPool::shared().parallel_for(corpus.size(), [&](std::size_t i) {
+    Analyzed& row = rows[i];
+    row.w = &corpus[i];
+    auto compiled = cc::compile(corpus[i].source);
+    if (!compiled) {
+      row.error = compiled.error();
+      return;
+    }
+    auto laid = img::layout(compiled.value().module);
+    if (!laid) {
+      row.error = laid.error();
+      return;
+    }
+    row.report =
+        rewrite::analyze_protectability(compiled.value().module, laid.value());
+    row.image = std::move(laid).take().image;
+  });
+  return rows;
+}
+
+void print_table(const std::vector<Analyzed>& rows) {
   std::printf("=== Figure 6: protectable code bytes per rewriting rule ===\n");
   std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "program", "bytes",
               "near-ret", "far-ret", "imm-mod", "jump-mod", "any");
   double sum_any = 0;
   int n = 0;
-  for (const auto& w : workloads::corpus()) {
-    auto compiled = cc::compile(w.source);
-    if (!compiled) {
-      std::fprintf(stderr, "%s: %s\n", w.name.c_str(), compiled.error().c_str());
+  for (const auto& row : rows) {
+    if (!row.report) {
+      std::fprintf(stderr, "%s: %s\n", row.w->name.c_str(), row.error.c_str());
       std::exit(1);
     }
-    auto laid = img::layout(compiled.value().module);
-    if (!laid) {
-      std::fprintf(stderr, "%s: %s\n", w.name.c_str(), laid.error().c_str());
-      std::exit(1);
-    }
-    const auto report =
-        rewrite::analyze_protectability(compiled.value().module, laid.value());
+    const auto& report = *row.report;
     std::printf("%-10s %10u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
-                w.paper_name.c_str(), report.code_bytes,
+                row.w->paper_name.c_str(), report.code_bytes,
                 100.0 * report.fraction(rewrite::Rule::ExistingNear),
                 100.0 * report.fraction(rewrite::Rule::ExistingFar),
                 100.0 * report.fraction(rewrite::Rule::ImmediateMod),
                 100.0 * report.fraction(rewrite::Rule::JumpMod),
                 100.0 * report.fraction_any());
+    bench::session().figure("protectable_any_percent/" + row.w->name,
+                            100.0 * report.fraction_any());
     sum_any += report.fraction_any();
     ++n;
   }
   std::printf("%-10s %10s %10s %10s %10s %10s %9.1f%%\n", "average", "", "", "", "",
               "", 100.0 * sum_any / n);
+  bench::session().figure("protectable_any_percent/average", 100.0 * sum_any / n);
   std::printf("(paper: near 3-6%%, far <=1%%, imm 37-60%%, jump 43-84%%, "
               "any 63-90%% avg 75%%; spurious always applies and is omitted)\n\n");
+}
+
+// Timed full-image gadget scans; feeds scanner_bytes_per_sec in the JSON.
+// Repeated so the sample is long enough for a stable host-side rate.
+void scan_throughput(const std::vector<Analyzed>& rows) {
+  const int reps = bench::smoke() ? 1 : 40;
+  std::uint64_t gadgets = 0;
+  const auto t0 = bench::Session::Clock::now();
+  std::uint64_t bytes = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& row : rows) {
+      const auto found = gadget::scan(row.image);
+      gadgets += found.size();
+      for (const auto& sec : row.image.sections) {
+        if (sec.perms & img::kPermExec) bytes += sec.bytes.size();
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(bench::Session::Clock::now() - t0).count();
+  bench::session().note_scan(bytes, secs);
+  std::printf("scanner: %llu bytes in %.3fs (%.0f bytes/sec), %llu gadgets\n\n",
+              static_cast<unsigned long long>(bytes), secs,
+              secs > 0 ? static_cast<double>(bytes) / secs : 0.0,
+              static_cast<unsigned long long>(gadgets));
 }
 
 // Host-side cost of the analysis itself.
@@ -72,8 +133,14 @@ BENCHMARK(BM_AnalyzeProtectability)->DenseRange(0, 5);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  plx::bench::init("protectability", argc, argv);
+  const auto rows = analyze_corpus();
+  print_table(rows);
+  scan_throughput(rows);
+  plx::bench::write_json();
+  if (!plx::bench::smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

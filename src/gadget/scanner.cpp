@@ -1,12 +1,102 @@
 #include "gadget/scanner.h"
 
+#include <algorithm>
+
 #include "gadget/classify.h"
+#include "support/thread_pool.h"
 #include "x86/decoder.h"
 
 namespace plx::gadget {
 
+namespace {
+
+// A decoded chain either never reaches a ret (kNoChain) or reaches one in
+// `steps` instructions spanning `len` bytes. Values are clamped just past
+// the caps: anything longer is equally unusable, and clamping keeps the
+// per-chunk DP independent of how far the chain runs beyond the window.
+constexpr std::uint16_t kNoChain = 0;
+
+struct ChainInfo {
+  std::uint16_t steps = kNoChain;  // instructions through the terminating ret
+  std::uint16_t len = 0;           // bytes through the terminating ret
+};
+
+// Scans window, emitting only gadgets whose start offset lies in
+// [emit_begin, emit_end). `base` is the virtual address of window[0].
+void scan_window(std::span<const std::uint8_t> window, std::uint32_t base,
+                 const ScanOptions& opts, std::size_t emit_begin,
+                 std::size_t emit_end, std::vector<Gadget>& out) {
+  const std::size_t n = window.size();
+  if (n == 0 || emit_begin >= emit_end) return;
+
+  // Pass 1: decode every offset exactly once.
+  std::vector<x86::Insn> dec(n);  // dec[i].valid() == false where undecodable
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto insn = x86::decode(window.subspan(i))) dec[i] = *insn;
+  }
+
+  // Pass 2: successor-chain DP, back to front (successors have higher
+  // offsets). chain[i] describes the unique run of straight-line
+  // instructions from offset i through its terminating ret, if any.
+  const auto cap_steps = static_cast<std::uint16_t>(
+      std::min(opts.max_insns + 1, 0xffff));
+  const auto cap_len = static_cast<std::uint16_t>(
+      std::min(opts.max_bytes + 1, 0xffff));
+  std::vector<ChainInfo> chain(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const x86::Insn& insn = dec[i];
+    if (!insn.valid()) continue;
+    if (insn.is_ret()) {
+      chain[i] = {1, insn.len};
+      continue;
+    }
+    if (insn.is_branch()) continue;  // non-ret control flow derails the chain
+    const std::size_t next = i + insn.len;
+    if (next >= n || chain[next].steps == kNoChain) continue;
+    chain[i].steps = static_cast<std::uint16_t>(
+        std::min<int>(chain[next].steps + 1, cap_steps));
+    chain[i].len = static_cast<std::uint16_t>(
+        std::min<int>(chain[next].len + insn.len, cap_len));
+  }
+
+  // Pass 3: emit, in ascending start offset (the naive scan's order).
+  for (std::size_t off = emit_begin; off < emit_end; ++off) {
+    const ChainInfo& c = chain[off];
+    if (c.steps == kNoChain || c.steps > opts.max_insns ||
+        c.len > opts.max_bytes) {
+      continue;
+    }
+    Gadget g;
+    g.addr = base + static_cast<std::uint32_t>(off);
+    g.len = static_cast<std::uint8_t>(c.len);
+    g.insns.reserve(c.steps);
+    for (std::size_t cur = off; g.insns.size() < c.steps; cur += dec[cur].len) {
+      g.insns.push_back(dec[cur]);
+    }
+    classify(g.insns, g);
+    if (g.usable() || opts.include_unusable) out.push_back(std::move(g));
+  }
+}
+
+// Bytes of window needed past a chunk's emit range so every chain that the
+// full-section scan would accept is fully visible: a chain is capped at
+// max_bytes, and a lone instruction can encode up to 15 bytes.
+std::size_t seam_overlap(const ScanOptions& opts) {
+  return static_cast<std::size_t>(std::max(opts.max_bytes, 15)) + 1;
+}
+
+}  // namespace
+
 std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
                                std::uint32_t base, const ScanOptions& opts) {
+  std::vector<Gadget> out;
+  scan_window(bytes, base, opts, 0, bytes.size(), out);
+  return out;
+}
+
+std::vector<Gadget> scan_bytes_reference(std::span<const std::uint8_t> bytes,
+                                         std::uint32_t base,
+                                         const ScanOptions& opts) {
   std::vector<Gadget> out;
   for (std::size_t off = 0; off < bytes.size(); ++off) {
     // Decode forward from this offset until a ret, a rejection, or the caps.
@@ -40,12 +130,50 @@ std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<Gadget> scan(const img::Image& image, const ScanOptions& opts) {
-  std::vector<Gadget> out;
+  // Build the chunk work list: executable sections split into chunks, each
+  // scanning a window extended past its emit range by the seam overlap.
+  struct Chunk {
+    const img::Section* sec;
+    std::size_t begin, end;  // emit range within the section
+  };
+  std::vector<Chunk> chunks;
+  std::size_t chunk_bytes = opts.chunk_bytes;
+  if (chunk_bytes == 0) {
+    // Big enough that per-chunk decode dominates dispatch overhead.
+    chunk_bytes = 16 * 1024;
+  }
   for (const auto& sec : image.sections) {
     if (!(sec.perms & img::kPermExec)) continue;
-    auto found = scan_bytes(sec.bytes.span(), sec.vaddr, opts);
-    out.insert(out.end(), std::make_move_iterator(found.begin()),
-               std::make_move_iterator(found.end()));
+    const std::size_t n = sec.bytes.size();
+    for (std::size_t b = 0; b < n; b += chunk_bytes) {
+      chunks.push_back({&sec, b, std::min(b + chunk_bytes, n)});
+    }
+  }
+
+  std::vector<std::vector<Gadget>> found(chunks.size());
+  auto run_chunk = [&](std::size_t ci) {
+    const Chunk& c = chunks[ci];
+    const std::size_t win_end =
+        std::min(c.end + seam_overlap(opts), c.sec->bytes.size());
+    const auto window = c.sec->bytes.span().subspan(c.begin, win_end - c.begin);
+    scan_window(window, c.sec->vaddr + static_cast<std::uint32_t>(c.begin),
+                opts, 0, c.end - c.begin, found[ci]);
+  };
+
+  if (opts.parallel && chunks.size() > 1) {
+    support::ThreadPool::shared().parallel_for(chunks.size(), run_chunk);
+  } else {
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) run_chunk(ci);
+  }
+
+  // Concatenate in chunk order: identical to the sequential section scan.
+  std::vector<Gadget> out;
+  std::size_t total = 0;
+  for (const auto& f : found) total += f.size();
+  out.reserve(total);
+  for (auto& f : found) {
+    out.insert(out.end(), std::make_move_iterator(f.begin()),
+               std::make_move_iterator(f.end()));
   }
   return out;
 }

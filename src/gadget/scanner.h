@@ -1,5 +1,15 @@
 // Gadget scanner: finds every return-terminated instruction sequence at
 // every byte offset of the executable sections of an image.
+//
+// The scan is memoized: each byte offset is decoded exactly once, successor
+// links (offset -> offset + insn.len) form chains, and a reverse pass marks
+// every offset whose chain reaches a ret within the instruction/byte caps.
+// This is O(n) decodes instead of the naive O(n * max_insns). scan() further
+// shards big sections into chunks run on the shared thread pool; chunks
+// overlap at the seams by the maximum gadget length so no gadget is missed,
+// and results are concatenated in chunk order, so the output is
+// byte-identical to a sequential scan (tests/test_scanner_equivalence.cpp
+// asserts this against a naive reference).
 #pragma once
 
 #include <vector>
@@ -15,12 +25,26 @@ struct ScanOptions {
   int max_insns = 6;
   int max_bytes = 30;
   bool include_unusable = false;  // keep Unusable gadgets in the output
+
+  // Sharding knobs for scan(). chunk_bytes == 0 picks a chunk size
+  // automatically; tests set a tiny value to force seams through small
+  // inputs. parallel == false keeps everything on the calling thread.
+  std::size_t chunk_bytes = 0;
+  bool parallel = true;
 };
 
 std::vector<Gadget> scan(const img::Image& image, const ScanOptions& opts = {});
 
 // Scans one byte region (used by tests and the rewriter's re-verification).
+// Memoized single-threaded scan; same output as the naive reference.
 std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
                                std::uint32_t base, const ScanOptions& opts = {});
+
+// Reference implementation: re-decodes from every start offset (the
+// pre-memoization algorithm). Kept for the equivalence tests; O(n * max_insns)
+// decodes — do not use on hot paths.
+std::vector<Gadget> scan_bytes_reference(std::span<const std::uint8_t> bytes,
+                                         std::uint32_t base,
+                                         const ScanOptions& opts = {});
 
 }  // namespace plx::gadget

@@ -1,0 +1,116 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+
+namespace plx::support {
+
+namespace {
+// Set while a thread is executing pool tasks; parallel_for consults it to
+// avoid nested fan-out (a worker waiting on sub-tasks could deadlock a
+// fully-busy pool).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock lk(mu_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::unique_lock lk(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return active_ == 0 && queue_.empty(); });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || t_in_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Atomic work-stealing counter: each participant claims the next index.
+  // The calling thread joins in, so the pool being busy never blocks
+  // progress, and completion is tracked independently of pool idleness
+  // (other callers' tasks may be in flight). The latch is shared-owned by
+  // the helper tasks: the caller may return (and destroy fn's frame) the
+  // moment done == n, which only happens after every fn(i) has finished.
+  struct Latch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<Latch>();
+
+  auto drain = [st, n, &fn] {
+    for (;;) {
+      const std::size_t i = st->next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+      st->done.fetch_add(1);
+    }
+  };
+
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st, drain, n] {
+      drain();
+      std::unique_lock lk(st->mu);
+      st->cv.notify_all();
+    });
+  }
+  drain();
+  std::unique_lock lk(st->mu);
+  st->cv.wait(lk, [&] { return st->done.load() >= n; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace plx::support

@@ -1,0 +1,61 @@
+// Fixed-size worker thread pool for CPU-bound sharded work.
+//
+// Used to shard gadget scanning across sections/chunks and to run
+// per-workload analyses in the benches concurrently. Tasks must not throw:
+// the pool has no channel to report exceptions, so a throwing task
+// terminates the process.
+//
+// parallel_for() called from inside a worker thread degrades to an inline
+// loop instead of re-submitting, so nested data parallelism cannot deadlock
+// the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plx::support {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueue one task. Tasks may run in any order relative to each other.
+  void submit(std::function<void()> fn);
+
+  // Block until every task submitted so far has finished.
+  void wait_idle();
+
+  // Run fn(0) .. fn(n-1), blocking until all complete. Iterations execute
+  // concurrently; callers are responsible for making them independent.
+  // Runs inline when n <= 1, when the pool has no workers, or when called
+  // from a pool worker thread (no nested fan-out).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide shared pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when queue_ grows / shutdown
+  std::condition_variable idle_cv_;   // signalled when active_ + queue_ drains
+  std::size_t active_ = 0;            // tasks currently executing
+  bool shutdown_ = false;
+};
+
+}  // namespace plx::support

@@ -7,6 +7,75 @@
 
 namespace plx::vm {
 
+namespace {
+
+// Flag computation for the specialised ALU fast-ops; bit-for-bit the same as
+// ExecCtx::do_add / do_sub / set_szp in exec.cpp for dword operands.
+bool parity_even(std::uint32_t v) {
+  v &= 0xff;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return (v & 1) == 0;
+}
+
+void set_flag(std::uint32_t& eflags, std::uint32_t f, bool v) {
+  if (v) {
+    eflags |= f;
+  } else {
+    eflags &= ~f;
+  }
+}
+
+void set_szp(std::uint32_t& eflags, std::uint32_t res) {
+  set_flag(eflags, kZF, res == 0);
+  set_flag(eflags, kSF, (res & 0x80000000u) != 0);
+  set_flag(eflags, kPF, parity_even(res));
+}
+
+std::uint32_t fast_add32(std::uint32_t& eflags, std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) + b;
+  const std::uint32_t res = static_cast<std::uint32_t>(wide);
+  set_flag(eflags, kCF, wide > 0xffffffffu);
+  set_flag(eflags, kOF, ((a ^ res) & (b ^ res) & 0x80000000u) != 0);
+  set_szp(eflags, res);
+  return res;
+}
+
+std::uint32_t fast_sub32(std::uint32_t& eflags, std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t res = a - b;
+  set_flag(eflags, kCF, a < b);
+  set_flag(eflags, kOF, ((a ^ b) & (a ^ res) & 0x80000000u) != 0);
+  set_szp(eflags, res);
+  return res;
+}
+
+// Same table as ExecCtx::cond_true.
+bool cond_true(std::uint32_t eflags, x86::Cond c) {
+  const auto flag = [eflags](std::uint32_t f) { return (eflags & f) != 0; };
+  switch (c) {
+    case x86::Cond::O: return flag(kOF);
+    case x86::Cond::NO: return !flag(kOF);
+    case x86::Cond::B: return flag(kCF);
+    case x86::Cond::AE: return !flag(kCF);
+    case x86::Cond::E: return flag(kZF);
+    case x86::Cond::NE: return !flag(kZF);
+    case x86::Cond::BE: return flag(kCF) || flag(kZF);
+    case x86::Cond::A: return !flag(kCF) && !flag(kZF);
+    case x86::Cond::S: return flag(kSF);
+    case x86::Cond::NS: return !flag(kSF);
+    case x86::Cond::P: return flag(kPF);
+    case x86::Cond::NP: return !flag(kPF);
+    case x86::Cond::L: return flag(kSF) != flag(kOF);
+    case x86::Cond::GE: return flag(kSF) == flag(kOF);
+    case x86::Cond::LE: return flag(kZF) || (flag(kSF) != flag(kOF));
+    case x86::Cond::G: return !flag(kZF) && (flag(kSF) == flag(kOF));
+  }
+  return false;
+}
+
+}  // namespace
+
 Machine::Machine(const img::Image& image) {
   for (const auto& sec : image.sections) {
     Region r;
@@ -27,12 +96,23 @@ Machine::Machine(const img::Image& image) {
   std::sort(regions_.begin(), regions_.end(),
             [](const Region& a, const Region& b) { return a.base < b.base; });
 
+  // Region perms never change after construction, so the executable spans —
+  // the only places a predecode window can start — are fixed now. Must be
+  // ready before the first write_mem below.
+  for (const auto& r : regions_) {
+    if (r.perms & img::kPermExec) {
+      exec_spans_.emplace_back(r.base,
+                               r.base + static_cast<std::uint32_t>(r.bytes.size()));
+    }
+  }
+
   for (const auto& sym : image.symbols) {
     if (!sym.is_func || sym.size == 0) continue;
     funcs_.push_back(FuncSpan{sym.vaddr, sym.vaddr + sym.size, sym.name});
   }
   std::sort(funcs_.begin(), funcs_.end(),
             [](const FuncSpan& a, const FuncSpan& b) { return a.lo < b.lo; });
+  func_stats_.assign(funcs_.size(), FuncStats{});
 
   eip = image.entry;
   gpr(x86::Reg::ESP) = img::kStackTop - 16;
@@ -55,8 +135,24 @@ const Machine::Region* Machine::region_at(std::uint32_t addr) const {
   return nullptr;
 }
 
+bool Machine::mutation_hits_exec(std::uint32_t addr, std::uint32_t n) const {
+  // A cached decode window starts inside an executable region and covers at
+  // most 15 bytes, so a mutation of [addr, addr+n) can only affect windows
+  // starting in [addr-14, addr+n).
+  const std::uint32_t lo = addr >= 14 ? addr - 14 : 0;
+  const std::uint64_t hi = static_cast<std::uint64_t>(addr) + n;
+  for (const auto& [slo, shi] : exec_spans_) {
+    if (lo < shi && hi > slo) return true;
+  }
+  return false;
+}
+
 bool Machine::read_mem(std::uint32_t addr, void* out, std::uint32_t n) {
-  Region* r = region_at(addr);
+  Region* r = data_region_cache_;
+  if (!r || !r->contains(addr)) {
+    r = region_at(addr);
+    if (r) data_region_cache_ = r;
+  }
   if (!r || !r->contains(addr + n - 1)) {
     fault("read fault");
     return false;
@@ -70,7 +166,11 @@ bool Machine::read_mem(std::uint32_t addr, void* out, std::uint32_t n) {
 }
 
 bool Machine::write_mem(std::uint32_t addr, const void* in, std::uint32_t n) {
-  Region* r = region_at(addr);
+  Region* r = data_region_cache_;
+  if (!r || !r->contains(addr)) {
+    r = region_at(addr);
+    if (r) data_region_cache_ = r;
+  }
   if (!r || !r->contains(addr + n - 1)) {
     fault("write fault");
     return false;
@@ -82,7 +182,10 @@ bool Machine::write_mem(std::uint32_t addr, const void* in, std::uint32_t n) {
   std::memcpy(r->bytes.data() + (addr - r->base), in, n);
   // A legitimate store re-synchronises the fetch view (cache coherence on a
   // write; the Wurster attack specifically avoids going through this path).
-  for (std::uint32_t i = 0; i < n; ++i) icache_overlay_.erase(addr + i);
+  if (!icache_overlay_.empty()) {
+    for (std::uint32_t i = 0; i < n; ++i) icache_overlay_.erase(addr + i);
+  }
+  if (mutation_hits_exec(addr, n)) invalidate_predecode();
   return true;
 }
 
@@ -113,6 +216,7 @@ void Machine::tamper(std::uint32_t addr, std::uint8_t byte) {
   if (!r) return;
   r->bytes[addr - r->base] = byte;
   icache_overlay_.erase(addr);
+  invalidate_predecode();
 }
 
 void Machine::tamper(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
@@ -121,12 +225,14 @@ void Machine::tamper(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
 
 void Machine::tamper_icache(std::uint32_t addr, std::uint8_t byte) {
   icache_overlay_[addr] = byte;
+  invalidate_predecode();
 }
 
 void Machine::tamper_icache(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     icache_overlay_[addr + static_cast<std::uint32_t>(i)] = bytes[i];
   }
+  invalidate_predecode();
 }
 
 std::uint8_t Machine::fetch_u8(std::uint32_t addr, bool& ok) const {
@@ -152,17 +258,292 @@ void Machine::fault(const std::string& what) {
   stopped_ = true;
 }
 
-const Machine::FuncSpan* Machine::func_at(std::uint32_t addr) const {
+int Machine::func_index_at(std::uint32_t addr) {
+  if (last_func_ != 0) {
+    const FuncSpan& f = funcs_[last_func_ - 1];
+    if (addr >= f.lo && addr < f.hi) return static_cast<int>(last_func_ - 1);
+  }
   // funcs_ sorted by lo; find last span with lo <= addr.
   auto it = std::upper_bound(funcs_.begin(), funcs_.end(), addr,
                              [](std::uint32_t a, const FuncSpan& f) { return a < f.lo; });
-  if (it == funcs_.begin()) return nullptr;
+  if (it == funcs_.begin()) return -1;
   --it;
-  return (addr < it->hi) ? &*it : nullptr;
+  if (addr >= it->hi) return -1;
+  const auto idx = static_cast<std::size_t>(it - funcs_.begin());
+  last_func_ = idx + 1;
+  return static_cast<int>(idx);
+}
+
+const std::map<std::string, FuncStats>& Machine::profile() const {
+  if (profile_dirty_) {
+    profile_.clear();
+    for (std::size_t i = 0; i < funcs_.size(); ++i) {
+      const FuncStats& st = func_stats_[i];
+      if (st.cycles == 0 && st.instructions == 0 && st.calls == 0) continue;
+      FuncStats& dst = profile_[funcs_[i].name];
+      dst.cycles += st.cycles;
+      dst.instructions += st.instructions;
+      dst.calls += st.calls;
+    }
+    profile_dirty_ = false;
+  }
+  return profile_;
+}
+
+void Machine::classify_fast(Predecoded& p) {
+  const x86::Insn& insn = p.insn;
+  p.len = insn.len;
+  p.fast = FastOp::None;
+  if (insn.op == x86::Mnemonic::RET && insn.nops == 0) {
+    p.fast = FastOp::RetN;
+    return;
+  }
+  if (insn.op == x86::Mnemonic::PUSH) {
+    if (insn.ops[0].kind == x86::Operand::Kind::Imm) {
+      p.fast = FastOp::PushI;
+      p.imm = insn.ops[0].imm;
+    } else if (insn.ops[0].kind == x86::Operand::Kind::Reg &&
+               insn.ops[0].size == x86::OpSize::Dword) {
+      p.fast = FastOp::PushR;
+      p.r1 = static_cast<std::uint8_t>(insn.ops[0].reg);
+    }
+    return;
+  }
+  if (insn.op == x86::Mnemonic::POP &&
+      insn.ops[0].kind == x86::Operand::Kind::Reg &&
+      insn.ops[0].size == x86::OpSize::Dword) {
+    p.fast = FastOp::PopR;
+    p.r1 = static_cast<std::uint8_t>(insn.ops[0].reg);
+    return;
+  }
+  if (insn.op == x86::Mnemonic::JMP &&
+      insn.ops[0].kind == x86::Operand::Kind::Rel) {
+    p.fast = FastOp::JmpRel;
+    p.imm = insn.ops[0].rel;
+    return;
+  }
+  if (insn.op == x86::Mnemonic::JCC &&
+      insn.ops[0].kind == x86::Operand::Kind::Rel) {
+    p.fast = FastOp::JccRel;
+    p.imm = insn.ops[0].rel;
+    p.aux = static_cast<std::uint8_t>(insn.cond);
+    return;
+  }
+  const bool is_add = insn.op == x86::Mnemonic::ADD;
+  const bool is_sub = insn.op == x86::Mnemonic::SUB;
+  const bool is_cmp = insn.op == x86::Mnemonic::CMP;
+  if ((is_add || is_sub || is_cmp) && insn.opsize == x86::OpSize::Dword &&
+      insn.ops[0].kind == x86::Operand::Kind::Reg &&
+      insn.ops[0].size == x86::OpSize::Dword) {
+    p.r1 = static_cast<std::uint8_t>(insn.ops[0].reg);
+    if (insn.ops[1].kind == x86::Operand::Kind::Reg &&
+        insn.ops[1].size == x86::OpSize::Dword) {
+      p.r2 = static_cast<std::uint8_t>(insn.ops[1].reg);
+      p.fast = is_add ? FastOp::AddRR : is_sub ? FastOp::SubRR : FastOp::CmpRR;
+    } else if (insn.ops[1].kind == x86::Operand::Kind::Imm) {
+      // read_operand masks immediates to the dword op size, so both imm32
+      // and sign-extended imm8 forms reduce to the stored value.
+      p.imm = insn.ops[1].imm;
+      p.fast = is_add ? FastOp::AddRI : is_sub ? FastOp::SubRI : FastOp::CmpRI;
+    }
+    return;
+  }
+  if (insn.op != x86::Mnemonic::MOV || insn.opsize != x86::OpSize::Dword) return;
+  const x86::Operand& dst = insn.ops[0];
+  const x86::Operand& src = insn.ops[1];
+  if (dst.size != x86::OpSize::Dword || src.size != x86::OpSize::Dword) return;
+
+  const auto set_mem = [&p](const x86::Mem& m) {
+    p.imm = m.disp;
+    p.mbase = static_cast<std::uint8_t>(m.base);
+    p.midx = static_cast<std::uint8_t>(m.index);
+    p.mscale = m.scale;
+  };
+  if (dst.kind == x86::Operand::Kind::Reg) {
+    p.r1 = static_cast<std::uint8_t>(dst.reg);
+    switch (src.kind) {
+      case x86::Operand::Kind::Reg:
+        p.fast = FastOp::MovRR;
+        p.r2 = static_cast<std::uint8_t>(src.reg);
+        return;
+      case x86::Operand::Kind::Imm:
+        p.fast = FastOp::MovRI;
+        p.imm = src.imm;
+        return;
+      case x86::Operand::Kind::Mem:
+        p.fast = FastOp::MovRM;
+        set_mem(src.mem);
+        return;
+      default:
+        return;
+    }
+  }
+  if (dst.kind == x86::Operand::Kind::Mem) {
+    set_mem(dst.mem);
+    if (src.kind == x86::Operand::Kind::Reg) {
+      p.fast = FastOp::MovMR;
+      p.r2 = static_cast<std::uint8_t>(src.reg);
+    }
+    // mov [mem], imm needs both disp and imm; not worth growing the entry —
+    // it stays on the generic path.
+  }
+}
+
+bool Machine::exec_fast(const Predecoded& p) {
+  // Mirrors exec_one for the specialised shapes: eip advances before any
+  // operand access (fault_eip points past the instruction, as the generic
+  // path does), MOV writes no flags, cycles are 1 plus 2 per memory operand.
+  eip += p.len;
+  switch (p.fast) {
+    case FastOp::MovRR:
+      reg[p.r1] = reg[p.r2];
+      result_.cycles += 1;
+      return true;
+    case FastOp::MovRI:
+      reg[p.r1] = static_cast<std::uint32_t>(p.imm);
+      result_.cycles += 1;
+      return true;
+    case FastOp::MovRM: {
+      std::uint32_t a = static_cast<std::uint32_t>(p.imm);
+      if (p.mbase != 8) a += reg[p.mbase];
+      if (p.midx != 8) a += reg[p.midx] * p.mscale;
+      bool ok = true;
+      const std::uint32_t v = read_u32(a, ok);
+      // Cycles accrue even on a fault, exactly like exec_one's epilogue.
+      result_.cycles += 3;
+      if (!ok) return false;
+      reg[p.r1] = v;
+      return true;
+    }
+    case FastOp::MovMR: {
+      std::uint32_t a = static_cast<std::uint32_t>(p.imm);
+      if (p.mbase != 8) a += reg[p.mbase];
+      if (p.midx != 8) a += reg[p.midx] * p.mscale;
+      const bool ok = write_u32(a, reg[p.r2]);
+      result_.cycles += 3;
+      return ok;
+    }
+    case FastOp::PushR:
+    case FastOp::PushI: {
+      // Generic PUSH reads the source before the esp decrement (push esp
+      // stores the pre-decrement value) and charges its 2 extra cycles even
+      // when the stack write faults.
+      const std::uint32_t v = p.fast == FastOp::PushR
+                                  ? reg[p.r1]
+                                  : static_cast<std::uint32_t>(p.imm);
+      std::uint32_t& esp = gpr(x86::Reg::ESP);
+      esp -= 4;
+      const bool ok = write_u32(esp, v);
+      result_.cycles += 3;
+      return ok;
+    }
+    case FastOp::PopR: {
+      // Generic POP bumps esp even when the read faults, but breaks out
+      // *before* its extra_cycles — a faulting pop costs 1 cycle, and the
+      // destination (including pop esp) is written only on success.
+      std::uint32_t& esp = gpr(x86::Reg::ESP);
+      bool ok = true;
+      const std::uint32_t v = read_u32(esp, ok);
+      esp += 4;
+      if (!ok) {
+        result_.cycles += 1;
+        return false;
+      }
+      reg[p.r1] = v;  // pop esp: overrides the += 4, as in exec_one
+      result_.cycles += 3;
+      return true;
+    }
+    case FastOp::RetN: {
+      // Generic RET pops into eip unconditionally (the fault, if any, is
+      // raised by the stack read with eip still past the ret) and charges
+      // its cycles either way.
+      std::uint32_t& esp = gpr(x86::Reg::ESP);
+      bool ok = true;
+      const std::uint32_t v = read_u32(esp, ok);
+      esp += 4;
+      eip = v;
+      result_.cycles += 3;
+      return ok;
+    }
+    case FastOp::AddRR:
+    case FastOp::AddRI:
+      reg[p.r1] = fast_add32(eflags, reg[p.r1],
+                             p.fast == FastOp::AddRR
+                                 ? reg[p.r2]
+                                 : static_cast<std::uint32_t>(p.imm));
+      result_.cycles += 1;
+      return true;
+    case FastOp::SubRR:
+    case FastOp::SubRI:
+      reg[p.r1] = fast_sub32(eflags, reg[p.r1],
+                             p.fast == FastOp::SubRR
+                                 ? reg[p.r2]
+                                 : static_cast<std::uint32_t>(p.imm));
+      result_.cycles += 1;
+      return true;
+    case FastOp::CmpRR:
+    case FastOp::CmpRI:
+      fast_sub32(eflags, reg[p.r1],
+                 p.fast == FastOp::CmpRR ? reg[p.r2]
+                                         : static_cast<std::uint32_t>(p.imm));
+      result_.cycles += 1;
+      return true;
+    case FastOp::JmpRel:
+      eip += static_cast<std::uint32_t>(p.imm);
+      result_.cycles += 2;
+      return true;
+    case FastOp::JccRel:
+      // Taken branches cost the extra cycle, as in exec_one.
+      if (cond_true(eflags, static_cast<x86::Cond>(p.aux))) {
+        eip += static_cast<std::uint32_t>(p.imm);
+        result_.cycles += 2;
+      } else {
+        result_.cycles += 1;
+      }
+      return true;
+    default:
+      return false;  // unreachable
+  }
+}
+
+const Machine::Predecoded* Machine::predecode_lookup(Region& r, std::uint32_t at) {
+  if (r.predecode_slot.empty()) return nullptr;
+  const std::uint32_t slot = r.predecode_slot[at - r.base];
+  if (slot == 0 || slot > predecode_pool_.size()) return nullptr;
+  const Predecoded& p = predecode_pool_[slot - 1];
+  // A slot can be stale after an invalidation rebuilt the pool; the eip tag
+  // rejects entries that were re-used for a different address.
+  if (p.eip != at) return nullptr;
+  return &p;
+}
+
+const Machine::Predecoded* Machine::predecode_insert(Region& r, std::uint32_t at,
+                                                     const x86::Insn& insn) {
+  if (!(r.perms & img::kPermExec)) {
+    // Only reachable with enforce_nx off. Writes to non-executable regions
+    // do not invalidate the cache, so never cache decodes from them.
+    uncached_.insn = insn;
+    uncached_.eip = at;
+    classify_fast(uncached_);
+    return &uncached_;
+  }
+  if (r.predecode_slot.empty()) r.predecode_slot.assign(r.bytes.size(), 0);
+  Predecoded p;
+  p.insn = insn;
+  p.eip = at;
+  classify_fast(p);
+  predecode_pool_.push_back(std::move(p));
+  r.predecode_slot[at - r.base] = static_cast<std::uint32_t>(predecode_pool_.size());
+  return &predecode_pool_.back();
 }
 
 bool Machine::step() {
   if (stopped_) return false;
+  if (predecode_stale_) {
+    predecode_pool_.clear();
+    predecode_stale_ = false;
+    ++predecode_invalidations_;
+  }
   if (eip == kExitSentinel) {
     result_.reason = StopReason::Exited;
     result_.exit_code = static_cast<std::int32_t>(gpr(x86::Reg::EAX));
@@ -170,52 +551,68 @@ bool Machine::step() {
     return false;
   }
 
-  // Fetch through the instruction view.
-  std::uint8_t window[15];
-  bool ok = true;
-  const Region* r = region_at(eip);
-  if (!r) {
-    fault("fetch fault: no mapping");
-    return false;
+  Region* r = fetch_region_cache_;
+  if (!r || !r->contains(eip)) {
+    r = region_at(eip);
+    if (!r) {
+      fault("fetch fault: no mapping");
+      return false;
+    }
+    fetch_region_cache_ = r;
   }
   if (enforce_nx && !(r->perms & img::kPermExec)) {
     fault("fetch from non-executable region " + r->name);
     return false;
   }
-  std::size_t avail = 0;
-  for (; avail < sizeof window; ++avail) {
-    window[avail] = fetch_u8(eip + static_cast<std::uint32_t>(avail), ok);
-    if (!ok) break;
-  }
-  const auto insn = x86::decode({window, avail});
-  if (!insn) {
-    fault("invalid opcode");
-    return false;
+
+  const Predecoded* pre = predecode_lookup(*r, eip);
+  if (!pre) {
+    // Fetch through the instruction view and decode once; subsequent
+    // executions of this address hit the cache until code bytes change.
+    std::uint8_t window[15];
+    bool ok = true;
+    std::size_t avail = 0;
+    for (; avail < sizeof window; ++avail) {
+      window[avail] = fetch_u8(eip + static_cast<std::uint32_t>(avail), ok);
+      if (!ok) break;
+    }
+    const auto decoded = x86::decode({window, avail});
+    if (!decoded) {
+      fault("invalid opcode");
+      return false;
+    }
+    pre = predecode_insert(*r, eip, *decoded);
   }
 
   if (pre_insn_hook) pre_insn_hook(eip);
 
   const std::uint32_t insn_eip = eip;
   const std::uint64_t cycles_before = result_.cycles;
-  if (!exec_one(*insn)) return false;
+  // `pre` stays valid through exec_one: invalidations triggered by stores
+  // only mark the pool stale; the drop is deferred to the next step().
+  const x86::Insn* insn = &pre->insn;
+  if (pre->fast != FastOp::None) {
+    if (!exec_fast(*pre)) return false;
+  } else {
+    if (!exec_one(*insn)) return false;
+  }
   ++result_.instructions;
 
   if (profile_enabled) {
-    if (const FuncSpan* f = func_at(insn_eip)) {
-      auto& st = profile_[f->name];
+    if (const int fi = func_index_at(insn_eip); fi >= 0) {
+      FuncStats& st = func_stats_[static_cast<std::size_t>(fi)];
       st.cycles += result_.cycles - cycles_before;
       ++st.instructions;
-      if (insn->op == x86::Mnemonic::CALL) {
-        bool okt = true;
+      if (insn->op == x86::Mnemonic::CALL &&
+          insn->ops[0].kind == x86::Operand::Kind::Rel) {
         // Attribute the call to the *target* function's entry.
-        if (insn->ops[0].kind == x86::Operand::Kind::Rel) {
-          const std::uint32_t target = insn->rel_target(insn_eip);
-          if (const FuncSpan* g = func_at(target); g && g->lo == target) {
-            ++profile_[g->name].calls;
-          }
+        const std::uint32_t target = insn->rel_target(insn_eip);
+        if (const int gi = func_index_at(target);
+            gi >= 0 && funcs_[static_cast<std::size_t>(gi)].lo == target) {
+          ++func_stats_[static_cast<std::size_t>(gi)].calls;
         }
-        (void)okt;
       }
+      profile_dirty_ = true;
     }
   }
   return !stopped_;

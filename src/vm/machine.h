@@ -14,6 +14,16 @@
 //
 //  * Deterministic cycle accounting and a per-function flat profile, standing
 //    in for the paper's wall-clock measurements. Only ratios are reported.
+//
+// Performance: step() serves decoded instructions from a predecode cache
+// (one slot per byte of each executable region) so each address is decoded
+// once, not once per execution — the translation-cache idea of DBT systems.
+// Any mutation of fetch-visible bytes that could overlap a cached decode
+// window (D-side writes near executable regions, tamper / tamper_icache,
+// overlay clears) bumps a generation and drops the cache, so self-modifying
+// code, runtime patching attacks and the Wurster split-cache semantics stay
+// exact; DESIGN.md §"Performance architecture" spells out the invalidation
+// rules and tests/test_predecode.cpp proves them.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +91,9 @@ class Machine {
     std::uint32_t base = 0;
     std::uint32_t perms = 0;
     std::vector<std::uint8_t> bytes;
+    // Predecode slot per byte: index+1 into Machine::predecode_pool_, or 0.
+    // Lazily sized on first fetch; only populated for executable regions.
+    std::vector<std::uint32_t> predecode_slot;
     bool contains(std::uint32_t a) const { return a >= base && a - base < bytes.size(); }
   };
 
@@ -99,7 +112,10 @@ class Machine {
   void tamper(std::uint32_t addr, std::span<const std::uint8_t>);  // both views
   void tamper_icache(std::uint32_t addr, std::uint8_t byte);       // fetch view only
   void tamper_icache(std::uint32_t addr, std::span<const std::uint8_t>);
-  void clear_icache_overlay() { icache_overlay_.clear(); }
+  void clear_icache_overlay() {
+    icache_overlay_.clear();
+    invalidate_predecode();
+  }
 
   // Fetch-view read (what execution sees); used by tests to inspect.
   std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const;
@@ -133,7 +149,7 @@ class Machine {
 
   // --- profiling --------------------------------------------------------
   bool profile_enabled = false;
-  const std::map<std::string, FuncStats>& profile() const { return profile_; }
+  const std::map<std::string, FuncStats>& profile() const;
 
   std::uint64_t instructions() const { return result_.instructions; }
   std::uint64_t cycles() const { return result_.cycles; }
@@ -143,6 +159,10 @@ class Machine {
   // bodies execute).
   bool enforce_nx = true;
 
+  // Number of decoded-instruction cache invalidations (observability; tests
+  // use it to assert the cache actually drops on code mutation).
+  std::uint64_t predecode_invalidations() const { return predecode_invalidations_; }
+
  private:
   friend struct ExecCtx;
 
@@ -150,10 +170,73 @@ class Machine {
   void do_syscall();
   bool exec_one(const x86::Insn& insn);  // defined in exec.cpp
 
+  // --- predecode cache ------------------------------------------------------
+  // Micro-op specialisation computed once at predecode time: the hottest
+  // instruction shapes (dword MOV forms are ~70% of the dynamic mix) skip
+  // the generic exec_one dispatch entirely. Cycle accounting and fault
+  // semantics are identical to the generic path (1 cycle, +2 per memory
+  // operand, eip advanced before operand access).
+  enum class FastOp : std::uint8_t {
+    None,   // run through exec_one
+    MovRR,  // mov r32, r32
+    MovRI,  // mov r32, imm32
+    MovRM,  // mov r32, [mem]
+    MovMR,  // mov [mem], r32
+    PushR,  // push r32
+    PushI,  // push imm
+    PopR,   // pop r32
+    RetN,   // ret (no imm16)
+    AddRR,  // add r32, r32
+    AddRI,  // add r32, imm
+    SubRR,  // sub r32, r32
+    SubRI,  // sub r32, imm
+    CmpRR,  // cmp r32, r32
+    CmpRI,  // cmp r32, imm
+    JmpRel, // jmp rel8/rel32
+    JccRel, // jcc rel8/rel32 (aux = condition code)
+  };
+  struct Predecoded {
+    x86::Insn insn;
+    std::uint32_t eip = 0;
+    // FastOp operand fields (valid when fast != None).
+    std::int32_t imm = 0;  // immediate, displacement or branch offset
+    FastOp fast = FastOp::None;
+    std::uint8_t len = 0;
+    std::uint8_t r1 = 0, r2 = 0;             // dst / src register index
+    std::uint8_t mbase = 0, midx = 0, mscale = 1;  // memory operand (8 = none)
+    std::uint8_t aux = 0;                    // JccRel: x86::Cond
+  };
+  static void classify_fast(Predecoded& p);
+  // Executes a FastOp inline. Returns false on fault (the instruction does
+  // not retire, as in the generic path).
+  bool exec_fast(const Predecoded& p);
+  // Marks the cache stale. The actual drop is deferred to the top of the
+  // next step() so a pointer into the pool stays valid across the exec_one()
+  // that triggered the invalidation (self-modifying stores).
+  void invalidate_predecode() { predecode_stale_ = true; }
+  // True if a mutation of [addr, addr+n) could change bytes inside any
+  // cached 15-byte decode window (windows start inside executable regions).
+  bool mutation_hits_exec(std::uint32_t addr, std::uint32_t n) const;
+  const Predecoded* predecode_lookup(Region& r, std::uint32_t at);
+  const Predecoded* predecode_insert(Region& r, std::uint32_t at,
+                                     const x86::Insn& insn);
+
   std::vector<Region> regions_;
   std::unordered_map<std::uint32_t, std::uint8_t> icache_overlay_;
   RunResult result_;
   bool stopped_ = false;
+
+  std::vector<Predecoded> predecode_pool_;
+  Predecoded uncached_;  // decode target when the region is not cacheable
+  bool predecode_stale_ = false;
+  std::uint64_t predecode_invalidations_ = 0;
+  // [lo, hi) spans of executable regions, precomputed (perms are immutable
+  // after construction) so the write path can test overlap cheaply.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exec_spans_;
+  // Spatial-locality caches; regions_ is never resized after construction,
+  // so the pointers are stable.
+  Region* fetch_region_cache_ = nullptr;
+  Region* data_region_cache_ = nullptr;
 
   // Sorted function table for profile attribution.
   struct FuncSpan {
@@ -161,8 +244,13 @@ class Machine {
     std::string name;
   };
   std::vector<FuncSpan> funcs_;
-  std::map<std::string, FuncStats> profile_;
-  const FuncSpan* func_at(std::uint32_t addr) const;
+  // Stats are accumulated per FuncSpan index (no string hashing on the hot
+  // path); profile() materialises the by-name map on demand.
+  std::vector<FuncStats> func_stats_;
+  std::size_t last_func_ = 0;  // index of the last span hit (+1), 0 = none
+  mutable std::map<std::string, FuncStats> profile_;
+  mutable bool profile_dirty_ = false;
+  int func_index_at(std::uint32_t addr);
 
   static constexpr std::uint32_t kExitSentinel = 0xffff0000;
 };

@@ -1,0 +1,146 @@
+// The VM's predecode cache must be invisible: self-modifying code, host-side
+// patches (tamper), Wurster-style I-cache-only patches and overlay clears
+// must all behave exactly as they did when every instruction was decoded on
+// every fetch — on warm caches, mid-run, and across re-runs of one Machine.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::vm {
+namespace {
+
+img::Image build(const std::string& src) {
+  auto mod = assembler::assemble(src);
+  EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error());
+  auto laid = img::layout(mod.value());
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  return std::move(laid).take().image;
+}
+
+// Makes every executable section writable too, so the program itself can
+// patch code through the ordinary D-side store path (W+X self-modifying
+// code; the VM's W^X default only guards fetch, writes obey section perms).
+img::Image make_text_writable(img::Image image) {
+  for (auto& sec : image.sections) {
+    if (sec.perms & img::kPermExec) sec.perms |= img::kPermWrite;
+  }
+  return image;
+}
+
+TEST(Predecode, SelfModifyingStoreTakesEffectMidRun) {
+  // The loop body executes `mov eax, 5` (warming the cache), then stores a
+  // new immediate byte into that very instruction. The second iteration must
+  // run the *patched* instruction: 5 + 7, not 5 + 5.
+  const auto image = make_text_writable(build(R"(
+.entry _start
+_start:
+    mov ecx, 2
+    mov ebx, 0
+patchme:
+    mov eax, 5
+    add ebx, eax
+    mov edx, offset patchme
+    mov byte [edx+1], 7     ; rewrite the mov's imm32 low byte
+    sub ecx, 1
+    jnz patchme
+    mov eax, ebx
+    ret
+)"));
+  Machine m(image);
+  auto r = m.run();
+  EXPECT_TRUE(r.exited_ok(12)) << r.fault;
+  // The store really did drop the decoded-instruction cache.
+  EXPECT_GE(m.predecode_invalidations(), 1u);
+}
+
+TEST(Predecode, DataStoresDoNotInvalidate) {
+  const auto image = build(R"(
+.entry _start
+_start:
+    mov ecx, 100
+.loop:
+    mov eax, offset counter
+    mov dword [eax], ecx
+    sub ecx, 1
+    jnz .loop
+    mov eax, [eax]
+    ret
+.data
+counter:
+    dd 0
+)");
+  Machine m(image);
+  EXPECT_TRUE(m.run().exited_ok(1));
+  // Plain data traffic must not thrash the predecode cache.
+  EXPECT_EQ(m.predecode_invalidations(), 0u);
+}
+
+TEST(Predecode, TamperBetweenRunsRedecodes) {
+  const auto image = build(R"(
+.entry f
+f:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  // Warm the cache.
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
+  // Host-side patch of both views; the warm cache must not serve stale 1.
+  m.tamper(image.entry + 1, 9);
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(9));
+  EXPECT_GE(m.predecode_invalidations(), 1u);
+}
+
+TEST(Predecode, IcacheTamperDesynchronisesWarmCache) {
+  const auto image = build(R"(
+.entry f
+f:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
+
+  // Wurster split: patch the fetch view only, after the cache is warm.
+  m.tamper_icache(image.entry + 1, 9);
+  bool ok = false;
+  EXPECT_EQ(m.read_u8(image.entry + 1, ok), 1);  // D-side still pristine
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(9));
+
+  // Resynchronising drops the overlay *and* the cached desynced decode.
+  m.clear_icache_overlay();
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
+}
+
+TEST(Predecode, RepeatedRunsAreDeterministic) {
+  const auto image = build(R"(
+.entry f
+f:
+    mov ecx, 50
+    mov eax, 0
+.loop:
+    add eax, ecx
+    sub ecx, 1
+    jnz .loop
+    ret
+)");
+  Machine warm(image);
+  const auto first = warm.call_function(image.entry, {});
+  const auto second = warm.call_function(image.entry, {});
+  Machine cold(image);
+  const auto fresh = cold.call_function(image.entry, {});
+
+  // Warm-cache, re-run and cold-cache executions agree cycle-for-cycle —
+  // the cache changes host speed, never guest-visible accounting.
+  EXPECT_TRUE(first.exited_ok(1275));
+  EXPECT_EQ(first.instructions, second.instructions);
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.instructions, fresh.instructions);
+  EXPECT_EQ(first.cycles, fresh.cycles);
+  EXPECT_EQ(warm.predecode_invalidations(), 0u);
+}
+
+}  // namespace
+}  // namespace plx::vm

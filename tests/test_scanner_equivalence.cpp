@@ -1,0 +1,183 @@
+// The memoized / chunked / parallel scanner must produce *byte-identical*
+// gadget sets to the naive re-decode-from-every-offset reference — same
+// gadgets, same classification, same order. This is what lets the hot paths
+// use the fast scanner while the paper-facing results stay those of the
+// straightforward algorithm.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cc/compile.h"
+#include "gadget/scanner.h"
+#include "image/layout.h"
+#include "parallax/protector.h"
+#include "support/rng.h"
+#include "workloads/corpus.h"
+#include "x86/format.h"
+
+namespace plx::gadget {
+namespace {
+
+// Full-fidelity fingerprint of a gadget: every classification field plus the
+// formatted instruction list.
+std::string fingerprint(const Gadget& g) {
+  std::ostringstream os;
+  os << std::hex << g.addr << '/' << std::dec << int(g.len) << ' '
+     << gtype_name(g.type) << " r1=" << int(g.r1) << " r2=" << int(g.r2)
+     << " cond=" << int(g.cond) << " far=" << g.far_ret
+     << " imm=" << g.ret_imm << " clob=" << g.clobbers << " disp=" << g.disp
+     << " pops=" << int(g.total_pops) << '/' << int(g.value_pop_index)
+     << " scratch=" << g.scratch_addr_regs
+     << " flags=" << g.flags_clean_before_effect << g.flags_clean_after_effect
+     << " insns=[";
+  for (const auto& insn : g.insns) os << x86::format(insn) << "; ";
+  os << ']';
+  return os.str();
+}
+
+void expect_identical(const std::vector<Gadget>& got,
+                      const std::vector<Gadget>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(fingerprint(got[i]), fingerprint(want[i]))
+        << what << " diverges at gadget " << i;
+  }
+}
+
+img::Image build_workload_image(const workloads::Workload& w) {
+  auto compiled = cc::compile(w.source);
+  EXPECT_TRUE(compiled.ok()) << (compiled.ok() ? "" : compiled.error());
+  auto laid = img::layout(compiled.value().module);
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  return std::move(laid).take().image;
+}
+
+// scan() restricted to one thread and huge chunks == scan_bytes per section,
+// concatenated. Reference for comparing the sharded variants.
+std::vector<Gadget> scan_sections_reference(const img::Image& image,
+                                            ScanOptions opts) {
+  std::vector<Gadget> out;
+  for (const auto& sec : image.sections) {
+    if (!(sec.perms & img::kPermExec)) continue;
+    auto part = scan_bytes_reference(sec.bytes.span(), sec.vaddr, opts);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+class ScannerEquivalenceCorpus
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScannerEquivalenceCorpus, MemoizedMatchesNaive) {
+  const auto& w = workloads::corpus()[GetParam()];
+  const auto image = build_workload_image(w);
+
+  for (bool include_unusable : {false, true}) {
+    ScanOptions opts;
+    opts.include_unusable = include_unusable;
+    const auto want = scan_sections_reference(image, opts);
+    ASSERT_FALSE(want.empty());
+
+    // Memoized single-window scan per section.
+    {
+      std::vector<Gadget> got;
+      for (const auto& sec : image.sections) {
+        if (!(sec.perms & img::kPermExec)) continue;
+        auto part = scan_bytes(sec.bytes.span(), sec.vaddr, opts);
+        got.insert(got.end(), part.begin(), part.end());
+      }
+      expect_identical(got, want, w.name + "/memoized");
+    }
+
+    // Default chunked parallel scan.
+    expect_identical(scan(image, opts), want, w.name + "/parallel");
+
+    // Tiny chunks force every seam configuration through small sections:
+    // chains straddling chunk boundaries must come out of the chunk that
+    // owns their start offset, via the seam overlap.
+    for (std::size_t chunk : {1u, 7u, 64u}) {
+      ScanOptions seam = opts;
+      seam.chunk_bytes = chunk;
+      expect_identical(scan(image, seam), want,
+                       w.name + "/chunk" + std::to_string(chunk));
+      seam.parallel = false;
+      expect_identical(scan(image, seam), want,
+                       w.name + "/chunk" + std::to_string(chunk) + "/serial");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ScannerEquivalenceCorpus,
+                         ::testing::Range<std::size_t>(0, 6),
+                         [](const auto& info) {
+                           return workloads::corpus()[info.param].name;
+                         });
+
+TEST(ScannerEquivalence, ProtectedImageMatchesToo) {
+  // Protected images carry the chain data and utility gadget set — denser
+  // and weirder byte soup than plain code.
+  const auto& w = workloads::corpus()[0];
+  auto compiled = cc::compile(w.source);
+  ASSERT_TRUE(compiled.ok());
+  parallax::ProtectOptions popts;
+  popts.verify_functions = {w.verify_function};
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), popts);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+
+  ScanOptions opts;
+  opts.include_unusable = true;
+  const auto want = scan_sections_reference(prot.value().image, opts);
+  expect_identical(scan(prot.value().image, opts), want, "protected");
+  ScanOptions seams = opts;
+  seams.chunk_bytes = 13;
+  expect_identical(scan(prot.value().image, seams), want, "protected/seams");
+}
+
+TEST(ScannerEquivalence, RandomBuffers) {
+  // Random byte soup exercises decode failures, over-cap chains, and chains
+  // that run off the end of the buffer — at every seam offset.
+  Rng rng{0xc0ffee};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> bytes(512 + trial * 37);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    // Sprinkle rets so chains exist.
+    for (std::size_t i = 13; i < bytes.size(); i += 29) bytes[i] = 0xc3;
+
+    ScanOptions opts;
+    opts.include_unusable = (trial % 2) == 0;
+    const auto want = scan_bytes_reference(bytes, 0x1000, opts);
+    expect_identical(scan_bytes(bytes, 0x1000, opts), want, "random/memoized");
+  }
+}
+
+TEST(ScannerEquivalence, CapsRespectedAtChunkSeams) {
+  // A long run of single-byte instructions ending in ret: every suffix short
+  // enough is a gadget, longer ones are rejected by the caps. With 1-byte
+  // chunks every boundary is a seam.
+  std::vector<std::uint8_t> bytes(100, 0x90);  // nop sled
+  bytes.back() = 0xc3;
+
+  for (int max_insns : {1, 3, 6}) {
+    ScanOptions opts;
+    opts.max_insns = max_insns;
+    opts.include_unusable = true;
+    const auto want = scan_bytes_reference(bytes, 0x4000, opts);
+    ASSERT_EQ(want.size(), static_cast<std::size_t>(max_insns));
+    expect_identical(scan_bytes(bytes, 0x4000, opts), want, "sled/memoized");
+
+    img::Image image;
+    img::Section sec;
+    sec.name = ".text";
+    sec.vaddr = 0x4000;
+    sec.perms = img::kPermRead | img::kPermExec;
+    sec.bytes = Buffer(bytes);
+    image.sections.push_back(std::move(sec));
+    ScanOptions seams = opts;
+    seams.chunk_bytes = 1;
+    expect_identical(scan(image, seams), want, "sled/seams");
+  }
+}
+
+}  // namespace
+}  // namespace plx::gadget

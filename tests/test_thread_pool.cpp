@@ -1,0 +1,86 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace plx::support {
+namespace {
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int ran = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, ParallelForReturnsOnlyWhenAllDone) {
+  // Results written without synchronisation: parallel_for's completion is
+  // the only barrier. TSan/ASan builds would flag any early return.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2'000;
+  std::vector<std::uint64_t> out(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { out[i] = i * i; });
+  std::uint64_t sum = std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  // sum of squares 0..n-1 = (n-1)n(2n-1)/6
+  EXPECT_EQ(sum, std::uint64_t{kN - 1} * kN * (2 * kN - 1) / 6);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A task running on a pool worker may itself call parallel_for (the
+  // scanner inside a pool-sharded bench does); the nested call must run
+  // inline rather than wait on the occupied workers.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SharedPoolIsUsableConcurrently) {
+  auto& pool = ThreadPool::shared();
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(64, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 640);
+}
+
+TEST(ThreadPool, ZeroThreadRequestStillWorks) {
+  // threads == 0 means "pick a default"; must never mean "no workers".
+  ThreadPool pool(0);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace plx::support
