@@ -23,10 +23,14 @@
 #include "cc/compile.h"
 #include "image/layout.h"
 #include "parallax/protector.h"
+#include "support/json.h"
 #include "vm/machine.h"
 #include "workloads/corpus.h"
 
 namespace plx::bench {
+
+using json::escape;
+using json::num;
 
 // Accumulated timing/throughput state for one bench binary. Not thread-safe:
 // record from the main thread (time whole parallel regions, not their
@@ -114,21 +118,6 @@ class Session {
  private:
   static double rate(double amount, double seconds) {
     return seconds > 0 ? amount / seconds : 0.0;
-  }
-  static std::string num(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    // JSON has no NaN/Inf literals; a degenerate sample becomes 0.
-    if (std::strstr(buf, "nan") || std::strstr(buf, "inf")) return "0";
-    return buf;
-  }
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
   }
 
   std::vector<std::pair<std::string, double>> stages_;  // insertion order

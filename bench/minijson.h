@@ -1,0 +1,240 @@
+// A deliberately small recursive-descent JSON reader shared by the report
+// schema checkers (validate_bench_json, validate_fuzz_json) — just enough
+// structure checking for those schemas, no external dependency. Kept
+// independent of the emitter (support/json.h) on purpose: a checker that
+// reused the writer's code could inherit its bugs.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace plx::minijson {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  // monostate = null
+  std::variant<std::monostate, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v;
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  double number() const { return std::get<double>(v); }
+  const Object* object() const {
+    auto* p = std::get_if<std::shared_ptr<Object>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  const Array* array() const {
+    auto* p = std::get_if<std::shared_ptr<Array>>(&v);
+    return p ? p->get() : nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << what << " at byte " << pos_;
+      error_ = os.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out.v = std::move(s);
+      return true;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, c == 't' ? "true" : "false");
+    if (c == 'n') return parse_keyword(out, "null");
+    return parse_number(out);
+  }
+
+  bool parse_keyword(Value& out, const std::string& kw) {
+    if (text_.compare(pos_, kw.size(), kw) != 0) return fail("bad keyword");
+    pos_ += kw.size();
+    if (kw == "true") out.v = true;
+    else if (kw == "false") out.v = false;
+    else out.v = std::monostate{};
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    try {
+      std::size_t used = 0;
+      const std::string tok = text_.substr(start, pos_ - start);
+      const double d = std::stod(tok, &used);
+      if (used != tok.size()) return fail("malformed number");
+      out.v = d;
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: the reports only emit ASCII; keep the raw escape.
+            if (text_.size() - pos_ < 4) return fail("bad \\u escape");
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(Value& out) {
+    if (!eat('{')) return fail("expected '{'");
+    auto obj = std::make_shared<Object>();
+    skip_ws();
+    if (eat('}')) {
+      out.v = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      Value val;
+      if (!parse_value(val)) return false;
+      (*obj)[key] = std::move(val);
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    if (!eat('[')) return fail("expected '['");
+    auto arr = std::make_shared<Array>();
+    skip_ws();
+    if (eat(']')) {
+      out.v = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value val;
+      if (!parse_value(val)) return false;
+      arr->push_back(std::move(val));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    out.v = std::move(arr);
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// An object-valued key whose members are all numbers (the common shape of
+// the report schemas: "stages", "throughput", "outcomes", ...).
+inline bool check_numeric_object(const Object& root, const std::string& key,
+                                 bool require_nonempty, std::string& why) {
+  auto it = root.find(key);
+  if (it == root.end()) {
+    why = "missing key \"" + key + "\"";
+    return false;
+  }
+  const Object* obj = it->second.object();
+  if (!obj) {
+    why = "\"" + key + "\" is not an object";
+    return false;
+  }
+  if (require_nonempty && obj->empty()) {
+    why = "\"" + key + "\" is empty";
+    return false;
+  }
+  for (const auto& [k, v] : *obj) {
+    if (!v.is_number()) {
+      why = "\"" + key + "." + k + "\" is not a number";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plx::minijson

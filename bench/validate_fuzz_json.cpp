@@ -1,0 +1,137 @@
+// Validates a FUZZ_<name>.json report emitted by the tamper-fuzzing harness
+// (src/fuzz/report.cpp). Used by the fuzz_smoke ctest targets: exits 0 iff
+// every file given on the command line parses as JSON and carries the
+// required keys with the right shapes:
+//
+//   fuzz             string
+//   schema_version   number (currently 1)
+//   golden           non-empty object, all values numbers
+//   outcomes         non-empty object, all values numbers
+//   escapes          array
+//
+// With --require-no-escapes, a non-empty "escapes" array is itself a
+// failure — this is how CI enforces the zero-escape guarantee: the report
+// names the exact surviving mutants in the error output.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "minijson.h"
+
+namespace {
+
+using plx::minijson::Array;
+using plx::minijson::Object;
+using plx::minijson::Parser;
+using plx::minijson::Value;
+using plx::minijson::check_numeric_object;
+
+bool validate(const std::string& path, bool require_no_escapes,
+              std::string& why) {
+  std::ifstream in(path);
+  if (!in) {
+    why = "cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Parser parser(buf.str());
+  Value root;
+  if (!parser.parse(root)) {
+    why = "parse error: " + parser.error();
+    return false;
+  }
+  const Object* obj = root.object();
+  if (!obj) {
+    why = "top level is not an object";
+    return false;
+  }
+
+  auto fuzz = obj->find("fuzz");
+  if (fuzz == obj->end() || !fuzz->second.is_string()) {
+    why = "missing string key \"fuzz\"";
+    return false;
+  }
+  auto ver = obj->find("schema_version");
+  if (ver == obj->end() || !ver->second.is_number()) {
+    why = "missing numeric key \"schema_version\"";
+    return false;
+  }
+  if (ver->second.number() != 1.0) {
+    why = "unsupported schema_version";
+    return false;
+  }
+  if (!check_numeric_object(*obj, "golden", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+  if (!check_numeric_object(*obj, "outcomes", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+  auto esc = obj->find("escapes");
+  if (esc == obj->end()) {
+    why = "missing key \"escapes\"";
+    return false;
+  }
+  const Array* escapes = esc->second.array();
+  if (!escapes) {
+    why = "\"escapes\" is not an array";
+    return false;
+  }
+  if (require_no_escapes && !escapes->empty()) {
+    std::ostringstream os;
+    os << escapes->size() << " escape(s):";
+    for (const Value& e : *escapes) {
+      const Object* eo = e.object();
+      if (!eo) continue;
+      os << " [";
+      auto addr = eo->find("addr");
+      if (addr != eo->end() && addr->second.is_number()) {
+        char hex[16];
+        std::snprintf(hex, sizeof hex, "0x%08x",
+                      static_cast<unsigned>(addr->second.number()));
+        os << "addr=" << hex;
+      }
+      for (const char* key : {"origin", "outcome", "detail"}) {
+        auto it = eo->find(key);
+        if (it != eo->end() && it->second.is_string()) {
+          os << " " << key << "=" << std::get<std::string>(it->second.v);
+        }
+      }
+      os << "]";
+    }
+    why = os.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool require_no_escapes = false;
+  int bad = 0;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-no-escapes") == 0) {
+      require_no_escapes = true;
+      continue;
+    }
+    ++files;
+    std::string why;
+    if (validate(argv[i], require_no_escapes, why)) {
+      std::printf("%s: ok\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], why.c_str());
+      ++bad;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "usage: %s [--require-no-escapes] FUZZ_*.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  return bad ? 1 : 0;
+}

@@ -1,0 +1,205 @@
+// plxfuzz — differential tamper-fuzzing CLI (src/fuzz).
+//
+//   $ ./examples/plxfuzz --target quickstart
+//   $ ./examples/plxfuzz --all --smoke
+//   $ ./examples/plxfuzz --target license --masks full --random 512
+//
+// Protects the named target, records its golden trace, then runs the
+// exhaustive protected-byte sweep plus the seeded random campaign and writes
+// FUZZ_<target>.json (schema checked by bench/validate_fuzz_json). Exits
+// non-zero if any campaign produced an escape — a strict protected-byte
+// mutant that was not DETECTED.
+//
+// Flags:
+//   --target NAME     fuzz one target (built-ins: quickstart, ptrace,
+//                     license; plus the workload corpus by name)
+//   --all             fuzz every built-in target
+//   --list            print addressable target names and exit
+//   --seed N          campaign + protection seed (default 0x9a11a)
+//   --smoke           quick masks {01,80,ff} and 64 random mutants (default)
+//   --full            all 255 sweep masks and 512 random mutants
+//   --random N        override the random-campaign size
+//   --advisory        sweep advisory (woven transparent) ranges too
+//   --hardening MODE  cleartext | xor | rc4 | probabilistic
+//   --backend B       tamper (snapshot/restore, default) | patch (static
+//                     image patch via src/attack + fresh VM per mutant)
+//   --out DIR         report directory (default .)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+#include "fuzz/report.h"
+#include "fuzz/targets.h"
+#include "verify/stub.h"
+
+namespace {
+
+using namespace plx;
+
+int fuzz_one(const std::string& name, const fuzz::CampaignOptions& opts,
+             parallax::Hardening mode, bool smoke, const std::string& out_dir) {
+  const fuzz::Target* target = fuzz::find_target(name);
+  if (!target) {
+    std::fprintf(stderr, "plxfuzz: unknown target '%s' (try --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto prot = fuzz::protect_target(*target, mode, opts.seed);
+  if (!prot) {
+    std::fprintf(stderr, "plxfuzz: %s\n", prot.error().c_str());
+    return 2;
+  }
+
+  fuzz::TamperFuzzer fuzzer(prot.value().image,
+                            prot.value().protected_ranges);
+  if (!fuzzer.ok()) {
+    std::fprintf(stderr, "plxfuzz: %s: golden run did not exit cleanly\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("[%s] golden: exit=%d, %llu instructions; %zu protected bytes "
+              "(%zu strict)\n",
+              name.c_str(), fuzzer.golden().exit_code,
+              static_cast<unsigned long long>(fuzzer.golden().instructions),
+              fuzzer.protected_bytes(), fuzzer.strict_bytes());
+
+  const fuzz::CampaignStats sweep = fuzzer.sweep(opts);
+  std::printf("[%s] sweep:  %zu mutants: %zu detected, %zu silent, %zu benign, "
+              "%zu timeout -> %zu escape(s)\n",
+              name.c_str(), sweep.total, sweep.detected,
+              sweep.silent_corruption, sweep.benign, sweep.timeout,
+              sweep.escapes.size());
+  const fuzz::CampaignStats random = fuzzer.random(opts);
+  std::printf("[%s] random: %zu mutants: %zu detected, %zu silent, %zu benign, "
+              "%zu timeout -> %zu escape(s)\n",
+              name.c_str(), random.total, random.detected,
+              random.silent_corruption, random.benign, random.timeout,
+              random.escapes.size());
+
+  fuzz::FuzzReport report;
+  report.name = name;
+  report.smoke = smoke;
+  report.seed = opts.seed;
+  report.hardening = verify::hardening_name(mode);
+  report.backend = opts.backend == fuzz::Backend::VmTamper ? "tamper" : "patch";
+  report.golden = fuzzer.golden();
+  report.protected_bytes = fuzzer.protected_bytes();
+  report.strict_bytes = fuzzer.strict_bytes();
+  report.sweep = sweep;
+  report.random = random;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!fuzz::write_fuzz_json(report, out_dir)) {
+    std::fprintf(stderr, "plxfuzz: cannot write %s/FUZZ_%s.json\n",
+                 out_dir.c_str(), name.c_str());
+    return 2;
+  }
+  std::printf("[%s] wrote %s/FUZZ_%s.json\n", name.c_str(), out_dir.c_str(),
+              name.c_str());
+
+  std::size_t escapes = sweep.escapes.size() + random.escapes.size();
+  for (const auto& agg : {sweep, random}) {
+    for (const auto& e : agg.escapes) {
+      std::fprintf(stderr, "[%s] ESCAPE @%08x (%s, %s): %s\n", name.c_str(),
+                   e.mutation.addr, e.mutation.origin,
+                   fuzz::outcome_name(e.outcome), e.detail.c_str());
+    }
+  }
+  return escapes ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  fuzz::CampaignOptions opts;
+  parallax::Hardening mode = parallax::Hardening::Cleartext;
+  bool smoke = true;
+  int random_override = -1;
+  std::string out_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plxfuzz: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--target") {
+      names.push_back(need("--target"));
+    } else if (a == "--all") {
+      for (const auto& t : fuzz::builtin_targets()) names.push_back(t.name);
+    } else if (a == "--list") {
+      for (const auto& n : fuzz::target_names()) std::printf("%s\n", n.c_str());
+      return 0;
+    } else if (a == "--seed") {
+      opts.seed = std::strtoull(need("--seed"), nullptr, 0);
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--full") {
+      smoke = false;
+      opts.sweep_masks = fuzz::all_masks();
+      opts.random_mutants = 512;
+    } else if (a == "--random") {
+      random_override = std::atoi(need("--random"));
+    } else if (a == "--advisory") {
+      opts.include_advisory = true;
+    } else if (a == "--masks") {
+      const std::string m = need("--masks");
+      if (m == "full") opts.sweep_masks = fuzz::all_masks();
+      else if (m == "quick") opts.sweep_masks = {0x01, 0x80, 0xff};
+      else {
+        std::fprintf(stderr, "plxfuzz: --masks full|quick\n");
+        return 2;
+      }
+    } else if (a == "--hardening") {
+      const std::string h = need("--hardening");
+      if (h == "cleartext") mode = parallax::Hardening::Cleartext;
+      else if (h == "xor") mode = parallax::Hardening::Xor;
+      else if (h == "rc4") mode = parallax::Hardening::Rc4;
+      else if (h == "probabilistic") mode = parallax::Hardening::Probabilistic;
+      else {
+        std::fprintf(stderr,
+                     "plxfuzz: --hardening cleartext|xor|rc4|probabilistic\n");
+        return 2;
+      }
+    } else if (a == "--backend") {
+      const std::string b = need("--backend");
+      if (b == "tamper") opts.backend = fuzz::Backend::VmTamper;
+      else if (b == "patch") opts.backend = fuzz::Backend::ImagePatch;
+      else {
+        std::fprintf(stderr, "plxfuzz: --backend tamper|patch\n");
+        return 2;
+      }
+    } else if (a == "--out") {
+      out_dir = need("--out");
+    } else {
+      std::fprintf(stderr, "plxfuzz: unknown flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (smoke) opts.random_mutants = 64;
+  if (random_override >= 0) opts.random_mutants = random_override;
+  if (names.empty()) {
+    std::fprintf(stderr,
+                 "usage: plxfuzz --target NAME | --all [--seed N] [--smoke | "
+                 "--full] [--random N] [--masks full|quick] [--advisory] "
+                 "[--hardening MODE] [--backend tamper|patch] [--out DIR]\n");
+    return 2;
+  }
+
+  int rc = 0;
+  for (const auto& n : names) {
+    const int r = fuzz_one(n, opts, mode, smoke, out_dir);
+    if (r > rc) rc = r;
+  }
+  return rc;
+}

@@ -8,6 +8,7 @@
 
 #include "attack/patcher.h"
 #include "cc/compile.h"
+#include "fuzz/targets.h"
 #include "parallax/protector.h"
 #include "vm/machine.h"
 #include "x86/format.h"
@@ -15,35 +16,10 @@
 int main() {
   using namespace plx;
 
-  const char* source = R"(
-int traced = 0;
-int mix(int a, int b) {
-  int r = (a << 2) ^ b;
-  r = r + (a & 0xff);
-  if (r < 0) r = -r;
-  return r;
-}
-int check_ptrace() {
-  // ptrace(PTRACE_TRACEME): fails if a debugger is already attached.
-  if (__syscall(26, 0, 0, 0) < 0) {
-    traced = 1;
-    return 1;
-  }
-  return 0;
-}
-int main() {
-  int h = 5;
-  if (check_ptrace()) {
-    return 66;            // cleanup_and_exit
-  }
-  for (int i = 0; i < 12; i++) {
-    h = mix(h, i + 100);
-  }
-  return h & 0xff;        // normal operation
-}
-)";
-
-  auto compiled = cc::compile(source);
+  // The detector source lives in the fuzz target registry, so
+  // `plxfuzz --target ptrace` tamper-fuzzes exactly this program.
+  const fuzz::Target* target = fuzz::find_target("ptrace");
+  auto compiled = cc::compile(target->source);
   auto plain = parallax::layout_plain(compiled.value());
 
   // Show the detector's disassembly, Listing-1 style.

@@ -8,30 +8,18 @@
 #include <cstdio>
 
 #include "cc/compile.h"
+#include "fuzz/targets.h"
 #include "parallax/protector.h"
 #include "vm/machine.h"
 
 int main() {
   using namespace plx;
 
-  // 1. A program with an arithmetic helper worth protecting.
-  const char* source = R"(
-int checksum(int acc, int v) {
-  acc = (acc << 5) ^ v;
-  acc = acc + (v >> 3);
-  if (acc < 0) acc = -acc;
-  return acc & 0xffffff;
-}
-int main() {
-  int acc = 7;
-  for (int i = 0; i < 32; i++) {
-    acc = checksum(acc, i * 2654435761);
-  }
-  return acc & 0xff;
-}
-)";
-
-  auto compiled = cc::compile(source);
+  // 1. A program with an arithmetic helper worth protecting. The source
+  //    lives in the fuzz target registry, so `plxfuzz --target quickstart`
+  //    tamper-fuzzes exactly this program.
+  const fuzz::Target* target = fuzz::find_target("quickstart");
+  auto compiled = cc::compile(target->source);
   if (!compiled) {
     std::printf("compile error: %s\n", compiled.error().c_str());
     return 1;

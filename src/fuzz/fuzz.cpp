@@ -1,0 +1,282 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "attack/patcher.h"
+#include "x86/decoder.h"
+#include "support/thread_pool.h"
+
+namespace plx::fuzz {
+
+namespace {
+
+// Per-case deterministic stream derivation (splitmix64): case i of a
+// campaign draws from Rng(derive(seed, i)), so mutation generation is
+// independent of sharding and thread count.
+std::uint64_t derive(std::uint64_t seed, std::uint64_t i) {
+  std::uint64_t z = seed + (i + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint8_t kProtectedBit = 1;
+constexpr std::uint8_t kStrictBit = 2;
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Detected: return "DETECTED";
+    case Outcome::SilentCorruption: return "SILENT_CORRUPTION";
+    case Outcome::Benign: return "BENIGN";
+    case Outcome::Timeout: return "TIMEOUT";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> all_masks() {
+  std::vector<std::uint8_t> m(255);
+  for (int i = 0; i < 255; ++i) m[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+  return m;
+}
+
+void CampaignStats::merge(const CampaignStats& other) {
+  total += other.total;
+  detected += other.detected;
+  silent_corruption += other.silent_corruption;
+  benign += other.benign;
+  timeout += other.timeout;
+  mutant_instructions += other.mutant_instructions;
+  seconds += other.seconds;
+  escapes.insert(escapes.end(), other.escapes.begin(), other.escapes.end());
+}
+
+GoldenTrace record_golden(const img::Image& image, std::uint64_t budget,
+                          std::unordered_set<std::uint32_t>* exec_starts) {
+  vm::Machine m(image);
+  if (exec_starts) {
+    m.pre_insn_hook = [exec_starts](std::uint32_t eip) {
+      exec_starts->insert(eip);
+    };
+  }
+  const auto r = m.run(budget);
+  GoldenTrace g;
+  g.reason = r.reason;
+  g.exit_code = r.exit_code;
+  g.output = m.output;
+  g.syscalls = m.syscall_counts;
+  g.syscall_digest = m.syscall_digest;
+  g.instructions = r.instructions;
+  g.cycles = r.cycles;
+  g.state_digest = m.state_digest();
+  return g;
+}
+
+Outcome classify(const GoldenTrace& golden, const vm::Machine& m,
+                 const vm::RunResult& r, bool protected_target,
+                 std::string* detail) {
+  const auto set = [detail](const std::string& s) {
+    if (detail) *detail = s;
+  };
+  if (r.reason == vm::StopReason::BudgetExceeded) {
+    set("step budget exhausted");
+    return Outcome::Timeout;
+  }
+  if (r.reason != golden.reason) {
+    set(r.reason == vm::StopReason::Fault ? "fault: " + r.fault
+                                          : "stop reason diverged");
+    return Outcome::Detected;
+  }
+  if (r.exit_code != golden.exit_code) {
+    set("exit " + std::to_string(r.exit_code) + " != " +
+        std::to_string(golden.exit_code));
+    return Outcome::Detected;
+  }
+  if (m.output != golden.output) {
+    set("output diverged");
+    return Outcome::Detected;
+  }
+  if (m.syscall_counts != golden.syscalls) {
+    set("syscall summary diverged");
+    return Outcome::Detected;
+  }
+  if (m.syscall_digest != golden.syscall_digest) {
+    set("syscall arguments diverged");
+    return Outcome::Detected;
+  }
+  if (r.instructions != golden.instructions || r.cycles != golden.cycles) {
+    set("instruction/cycle count diverged");
+    return Outcome::Detected;
+  }
+  if (m.state_digest() != golden.state_digest) {
+    set("end-state (registers/memory) diverged");
+    return Outcome::Detected;
+  }
+  set(protected_target ? "protected byte tolerated the mutation"
+                       : "behaviour identical");
+  return protected_target ? Outcome::SilentCorruption : Outcome::Benign;
+}
+
+TamperFuzzer::TamperFuzzer(const img::Image& image,
+                           std::vector<parallax::ProtectedRange> ranges,
+                           std::uint64_t golden_budget)
+    : image_(image), ranges_(std::move(ranges)) {
+  std::unordered_set<std::uint32_t> starts;
+  golden_ = record_golden(image_, golden_budget, &starts);
+  // Expand instruction starts to per-byte coverage: every byte an executed
+  // instruction occupies was fetched, hence implicitly verified.
+  for (std::uint32_t s : starts) {
+    const auto window = image_.read(s, 15);
+    const auto insn = x86::decode(window);
+    const std::uint32_t len = insn ? insn->len : 1;
+    for (std::uint32_t a = s; a < s + len; ++a) covered_.insert(a);
+  }
+}
+
+// Byte -> tier flags. Strict requires both a computational range AND golden
+// coverage: a gadget on a path the golden input never takes is not executed,
+// hence not implicitly verified by this run. Protected-but-not-strict bytes
+// (advisory ranges, uncovered computational bytes) report survivors as
+// SILENT_CORRUPTION without counting them as escapes.
+std::map<std::uint32_t, std::uint8_t> TamperFuzzer::byte_tiers() const {
+  std::map<std::uint32_t, std::uint8_t> tiers;
+  for (const auto& r : ranges_) {
+    for (std::uint32_t a = r.lo; a < r.hi; ++a) {
+      const bool strict = r.computational && covered_.count(a) != 0;
+      tiers[a] |= kProtectedBit | (strict ? kStrictBit : 0);
+    }
+  }
+  return tiers;
+}
+
+std::size_t TamperFuzzer::strict_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [a, t] : byte_tiers()) n += (t & kStrictBit) ? 1 : 0;
+  return n;
+}
+
+std::size_t TamperFuzzer::protected_bytes() const {
+  return byte_tiers().size();
+}
+
+CampaignStats TamperFuzzer::sweep(const CampaignOptions& opts) const {
+  std::vector<Mutation> cases;
+  for (const auto& [addr, tier] : byte_tiers()) {
+    const bool strict = (tier & kStrictBit) != 0;
+    if (!strict && !opts.include_advisory) continue;
+    const auto orig = image_.read(addr, 1);
+    if (orig.empty()) continue;
+    for (std::uint8_t mask : opts.sweep_masks) {
+      if (mask == 0) continue;
+      Mutation mu;
+      mu.addr = addr;
+      mu.bytes = {static_cast<std::uint8_t>(orig[0] ^ mask)};
+      mu.strict = strict;
+      mu.protected_ = true;
+      mu.origin = "sweep";
+      cases.push_back(std::move(mu));
+    }
+  }
+  return run_cases(cases, opts);
+}
+
+CampaignStats TamperFuzzer::random(const CampaignOptions& opts) const {
+  const img::Section* text = image_.find_section(".text");
+  if (!text || text->bytes.size() == 0) return {};
+  const auto tiers = byte_tiers();
+  const std::uint32_t size = static_cast<std::uint32_t>(text->bytes.size());
+
+  std::vector<Mutation> cases;
+  cases.reserve(static_cast<std::size_t>(std::max(opts.random_mutants, 0)));
+  for (int i = 0; i < opts.random_mutants; ++i) {
+    Rng rng(derive(opts.seed, static_cast<std::uint64_t>(i)));
+    const std::uint32_t n =
+        1 + rng.below(static_cast<std::uint32_t>(std::max(opts.max_random_bytes, 1)));
+    const std::uint32_t span = std::min(n, size);
+    const std::uint32_t off = rng.below(size - span + 1);
+    Mutation mu;
+    mu.addr = text->vaddr + off;
+    const auto orig = image_.read(mu.addr, span);
+    for (std::uint32_t j = 0; j < span; ++j) {
+      const std::uint8_t mask = static_cast<std::uint8_t>(1 + rng.below(255));
+      mu.bytes.push_back(static_cast<std::uint8_t>(orig[j] ^ mask));
+      const auto it = tiers.find(mu.addr + j);
+      if (it != tiers.end()) {
+        mu.protected_ = true;
+        mu.strict |= (it->second & kStrictBit) != 0;
+      }
+    }
+    mu.origin = "random";
+    cases.push_back(std::move(mu));
+  }
+  return run_cases(cases, opts);
+}
+
+CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
+                                      const CampaignOptions& opts) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignStats stats;
+  stats.total = cases.size();
+  if (cases.empty()) return stats;
+
+  const std::uint64_t budget =
+      std::max(opts.min_budget, opts.budget_multiplier * golden_.instructions);
+
+  std::vector<CaseResult> results(cases.size());
+  const std::size_t nshards =
+      std::min<std::size_t>(std::max(1u, opts.shards), cases.size());
+  const std::size_t chunk = (cases.size() + nshards - 1) / nshards;
+
+  support::ThreadPool::shared().parallel_for(nshards, [&](std::size_t shard) {
+    const std::size_t lo = shard * chunk;
+    const std::size_t hi = std::min(lo + chunk, cases.size());
+    if (lo >= hi) return;
+
+    // One VM per shard; restore the pristine snapshot between mutants.
+    vm::Machine vm_instance(image_);
+    const vm::Machine::Snapshot pristine = vm_instance.snapshot();
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Mutation& mu = cases[i];
+      CaseResult& out = results[i];
+      out.mutation = mu;
+      if (opts.backend == Backend::VmTamper) {
+        vm_instance.restore(pristine);
+        vm_instance.tamper(mu.addr, std::span<const std::uint8_t>(mu.bytes));
+        const auto r = vm_instance.run(budget);
+        out.outcome = classify(golden_, vm_instance, r, mu.protected_, &out.detail);
+        out.instructions = r.instructions;
+      } else {
+        img::Image patched = image_;
+        attack::patch_bytes(patched, mu.addr, mu.bytes);
+        vm::Machine m2(patched);
+        const auto r = m2.run(budget);
+        out.outcome = classify(golden_, m2, r, mu.protected_, &out.detail);
+        out.instructions = r.instructions;
+      }
+    }
+  });
+
+  for (const auto& cr : results) {
+    stats.mutant_instructions += cr.instructions;
+    switch (cr.outcome) {
+      case Outcome::Detected: ++stats.detected; break;
+      case Outcome::SilentCorruption: ++stats.silent_corruption; break;
+      case Outcome::Benign: ++stats.benign; break;
+      case Outcome::Timeout: ++stats.timeout; break;
+    }
+    // A strict mutant that times out malfunctioned (it could not reproduce
+    // the golden trace within a 16x budget) — only bit-for-bit survival of a
+    // strict byte is an escape.
+    if (cr.mutation.strict && cr.outcome == Outcome::SilentCorruption) {
+      stats.escapes.push_back(cr);
+    }
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+}  // namespace plx::fuzz

@@ -1,0 +1,193 @@
+// Differential tamper-fuzzing harness with a golden-trace oracle.
+//
+// Parallax's core claim (§IV, §VII) is that modifying a protected
+// instruction destroys an overlapping gadget and thereby breaks a
+// functionally-required verification chain. This module tests that claim
+// systematically instead of by hand-picked examples: it runs a protected
+// image once to record a golden trace (stop reason, exit status, output
+// bytes, per-syscall counts, instruction/cycle totals), then drives tamper
+// campaigns — an exhaustive single-byte sweep over the protected-byte map
+// exported by parallax::Protector, and seeded random multi-byte mutations
+// over the whole text section — re-executing every mutant and classifying
+// it against the oracle:
+//
+//   DETECTED           the mutant deviates from the golden trace: it faults
+//                      (chain derailed into garbage / NX / bad memory), or
+//                      exits with a different status, output, syscall
+//                      summary, or instruction/cycle count. This is
+//                      Parallax's detection-by-malfunction.
+//   SILENT_CORRUPTION  a mutant that hit a protected byte yet reproduced
+//                      the golden trace bit-for-bit: the modification
+//                      survived. On a strict (computational) range this is
+//                      an ESCAPE — the claim failed for that byte.
+//   BENIGN             a mutant that only touched unprotected bytes and
+//                      reproduced the golden trace (e.g. never-executed or
+//                      dead bytes); expected, not a failure.
+//   TIMEOUT            the mutant exceeded its step budget (a multiple of
+//                      the golden instruction count): it hung. A hang is a
+//                      malfunction — the mutant could not reproduce the
+//                      golden trace — so it is a detection whose signal is
+//                      liveness rather than state; it is reported separately
+//                      but is not an escape.
+//
+// Escapes are therefore exactly the strict-range mutants classified
+// SILENT_CORRUPTION. A byte is strict when it lies in a computational
+// (non-transparent-slot) gadget range AND was actually executed by the
+// golden run: implicit verification only covers bytes the chains fetch and
+// execute, so a computational gadget sitting on a path the golden input
+// never takes is not verified by that run — its bytes are advisory for
+// this trace, exactly like woven transparent gadgets. The fuzzer measures
+// golden-run byte coverage itself (vm pre_insn_hook).
+//
+// Campaigns shard over support/thread_pool with one VM instance
+// per shard: the worker takes a vm::Machine::Snapshot of the pristine start
+// state once and replays restore -> tamper -> run per mutant, so a mutant
+// costs one guest execution, not an image copy + Machine construction.
+// Mutations are derived from per-case splitmix streams of the campaign
+// seed, so results are byte-identical regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "image/image.h"
+#include "parallax/protector.h"
+#include "vm/machine.h"
+
+namespace plx::fuzz {
+
+// The golden oracle: everything observable about one reference execution.
+struct GoldenTrace {
+  vm::StopReason reason = vm::StopReason::Running;
+  std::int32_t exit_code = 0;
+  std::string output;
+  std::map<std::uint32_t, std::uint64_t> syscalls;
+  std::uint64_t syscall_digest = 0;  // full-width syscall argument trace
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t state_digest = 0;  // registers + writable memory at stop
+
+  bool usable() const { return reason == vm::StopReason::Exited; }
+};
+
+enum class Outcome : std::uint8_t { Detected, SilentCorruption, Benign, Timeout };
+const char* outcome_name(Outcome o);
+
+// One mutant: replacement bytes at an absolute address.
+struct Mutation {
+  std::uint32_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+  bool strict = false;       // touches a strict (computational) protected byte
+  bool protected_ = false;   // touches any protected byte (incl. advisory)
+  const char* origin = "";   // "sweep" | "random" | caller-defined
+};
+
+struct CaseResult {
+  Mutation mutation;
+  Outcome outcome = Outcome::Benign;
+  std::string detail;  // fault text / "exit 12 != 7" / "output diverged" ...
+  std::uint64_t instructions = 0;  // guest instructions the mutant executed
+};
+
+// How mutants are applied. VmTamper is the fast path (snapshot/restore on a
+// per-shard Machine). ImagePatch goes through the attack toolkit's static
+// patcher (src/attack) on a copy of the image plus a fresh Machine per
+// mutant — the exact mechanics of a cracked redistributable. Both must
+// classify identically (tests/test_fuzz.cpp proves it on a sample).
+enum class Backend : std::uint8_t { VmTamper, ImagePatch };
+
+struct CampaignOptions {
+  std::uint64_t seed = 0x9a11a;
+  // XOR masks applied per protected byte by the exhaustive sweep. The smoke
+  // default probes a low bit, the high bit and full inversion; pass all of
+  // 0x01..0xff (see all_masks()) for a full campaign.
+  std::vector<std::uint8_t> sweep_masks = {0x01, 0x80, 0xff};
+  // Also sweep advisory (woven-transparent) ranges. Their survivors are
+  // reported as SILENT_CORRUPTION but are not escapes.
+  bool include_advisory = false;
+  int random_mutants = 128;   // random campaign size
+  int max_random_bytes = 4;   // 1..N mutated bytes per random case
+  // Mutant step budget = max(min_budget, budget_multiplier * golden insns).
+  std::uint64_t budget_multiplier = 16;
+  std::uint64_t min_budget = 1'000'000;
+  Backend backend = Backend::VmTamper;
+  unsigned shards = 64;  // fixed, so results do not depend on thread count
+};
+
+std::vector<std::uint8_t> all_masks();  // {0x01 .. 0xff}
+
+struct CampaignStats {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::size_t silent_corruption = 0;
+  std::size_t benign = 0;
+  std::size_t timeout = 0;
+  std::uint64_t mutant_instructions = 0;  // guest work across all mutants
+  double seconds = 0;
+  std::vector<CaseResult> escapes;  // strict-range mutants that survived
+                                    // bit-for-bit (SILENT_CORRUPTION)
+
+  void merge(const CampaignStats& other);
+};
+
+class TamperFuzzer {
+ public:
+  // Records the golden trace on construction (one full run of `image`).
+  // `ranges` is the protected-byte map (parallax::Protected::protected_ranges
+  // or hand-built for tests).
+  TamperFuzzer(const img::Image& image,
+               std::vector<parallax::ProtectedRange> ranges,
+               std::uint64_t golden_budget = 2'000'000'000ull);
+
+  bool ok() const { return golden_.usable(); }
+  const GoldenTrace& golden() const { return golden_; }
+  const std::vector<parallax::ProtectedRange>& ranges() const { return ranges_; }
+
+  // Was this byte executed (fetched as part of a run instruction) by the
+  // golden run?
+  bool covered(std::uint32_t addr) const { return covered_.count(addr) != 0; }
+
+  // Number of distinct strict / total protected bytes. Strict = lies in a
+  // computational range AND covered by the golden run.
+  std::size_t strict_bytes() const;
+  std::size_t protected_bytes() const;
+
+  // Exhaustive single-byte sweep: every protected byte (strict tier, plus
+  // advisory if opted in) x every mask in opts.sweep_masks.
+  CampaignStats sweep(const CampaignOptions& opts = {}) const;
+
+  // Seeded random campaign over the whole text section: each case flips
+  // 1..max_random_bytes consecutive bytes with random non-zero masks.
+  CampaignStats random(const CampaignOptions& opts = {}) const;
+
+  // Classify an explicit mutation list (the primitive the two campaign
+  // shapes build on; exposed for tests and custom campaigns).
+  CampaignStats run_cases(const std::vector<Mutation>& cases,
+                          const CampaignOptions& opts) const;
+
+ private:
+  std::map<std::uint32_t, std::uint8_t> byte_tiers() const;
+
+  img::Image image_;
+  std::vector<parallax::ProtectedRange> ranges_;
+  GoldenTrace golden_;
+  std::unordered_set<std::uint32_t> covered_;  // bytes executed by golden run
+};
+
+// Records a golden trace for an arbitrary image (also used internally).
+// When `exec_starts` is given, collects the EIP of every executed
+// instruction into it (the golden-run coverage measurement).
+GoldenTrace record_golden(const img::Image& image,
+                          std::uint64_t budget = 2'000'000'000ull,
+                          std::unordered_set<std::uint32_t>* exec_starts = nullptr);
+
+// Classifies one finished mutant run against the oracle. `m` is the machine
+// the mutant ran on (for output/syscall comparison).
+Outcome classify(const GoldenTrace& golden, const vm::Machine& m,
+                 const vm::RunResult& r, bool protected_target,
+                 std::string* detail = nullptr);
+
+}  // namespace plx::fuzz

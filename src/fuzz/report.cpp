@@ -1,0 +1,89 @@
+#include "fuzz/report.h"
+
+#include <fstream>
+
+#include "support/json.h"
+
+namespace plx::fuzz {
+
+namespace {
+
+std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t total_syscalls(const GoldenTrace& g) {
+  std::uint64_t n = 0;
+  for (const auto& [num, count] : g.syscalls) n += count;
+  return n;
+}
+
+void emit_campaign(std::ofstream& out, const char* key,
+                   const CampaignStats& s, bool last) {
+  out << "    \"" << key << "\": {"
+      << "\"total\": " << s.total << ", \"detected\": " << s.detected
+      << ", \"silent_corruption\": " << s.silent_corruption
+      << ", \"benign\": " << s.benign << ", \"timeout\": " << s.timeout
+      << ", \"escapes\": " << s.escapes.size()
+      << ", \"mutant_instructions\": " << s.mutant_instructions
+      << ", \"seconds\": " << json::num(s.seconds) << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+bool write_fuzz_json(const FuzzReport& report, const std::string& dir) {
+  const std::string path = dir + "/FUZZ_" + report.name + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+
+  CampaignStats agg = report.sweep;
+  agg.merge(report.random);
+
+  out << "{\n";
+  out << "  \"fuzz\": \"" << json::escape(report.name) << "\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"smoke\": " << (report.smoke ? "true" : "false") << ",\n";
+  out << "  \"seed\": " << report.seed << ",\n";
+  out << "  \"hardening\": \"" << json::escape(report.hardening) << "\",\n";
+  out << "  \"backend\": \"" << json::escape(report.backend) << "\",\n";
+  out << "  \"wall_seconds_total\": " << json::num(report.wall_seconds) << ",\n";
+  out << "  \"golden\": {"
+      << "\"exit_code\": " << report.golden.exit_code
+      << ", \"instructions\": " << report.golden.instructions
+      << ", \"cycles\": " << report.golden.cycles
+      << ", \"output_bytes\": " << report.golden.output.size()
+      << ", \"syscall_invocations\": " << total_syscalls(report.golden)
+      << "},\n";
+  out << "  \"coverage\": {"
+      << "\"protected_bytes\": " << report.protected_bytes
+      << ", \"strict_bytes\": " << report.strict_bytes << "},\n";
+  out << "  \"campaigns\": {\n";
+  emit_campaign(out, "sweep", report.sweep, /*last=*/false);
+  emit_campaign(out, "random", report.random, /*last=*/true);
+  out << "  },\n";
+  out << "  \"outcomes\": {"
+      << "\"total\": " << agg.total << ", \"detected\": " << agg.detected
+      << ", \"silent_corruption\": " << agg.silent_corruption
+      << ", \"benign\": " << agg.benign << ", \"timeout\": " << agg.timeout
+      << "},\n";
+  out << "  \"escapes\": [";
+  for (std::size_t i = 0; i < agg.escapes.size(); ++i) {
+    const CaseResult& e = agg.escapes[i];
+    out << (i ? "," : "") << "\n    {\"addr\": " << e.mutation.addr
+        << ", \"bytes\": \"" << hex_bytes(e.mutation.bytes) << "\""
+        << ", \"origin\": \"" << json::escape(e.mutation.origin) << "\""
+        << ", \"outcome\": \"" << outcome_name(e.outcome) << "\""
+        << ", \"detail\": \"" << json::escape(e.detail) << "\"}";
+  }
+  out << (agg.escapes.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace plx::fuzz

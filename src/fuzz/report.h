@@ -1,0 +1,32 @@
+// FUZZ_<name>.json emission — the fuzzing analogue of the bench layer's
+// BENCH_<name>.json (bench/bench_common.h); same minimal-JSON conventions
+// via support/json.h. Schema documented in README.md; checked by
+// bench/validate_fuzz_json.
+#pragma once
+
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace plx::fuzz {
+
+struct FuzzReport {
+  std::string name;       // target name; file becomes FUZZ_<name>.json
+  bool smoke = false;
+  std::uint64_t seed = 0;
+  std::string hardening;  // verify::hardening_name of the protected image
+  std::string backend;    // "tamper" | "patch"
+  GoldenTrace golden;
+  std::size_t protected_bytes = 0;
+  std::size_t strict_bytes = 0;
+  CampaignStats sweep;
+  CampaignStats random;
+  double wall_seconds = 0;
+};
+
+// Writes <dir>/FUZZ_<name>.json. Returns false if the file cannot be
+// written. Escapes from both campaigns are listed verbatim so a CI failure
+// names the exact surviving mutant.
+bool write_fuzz_json(const FuzzReport& report, const std::string& dir = ".");
+
+}  // namespace plx::fuzz

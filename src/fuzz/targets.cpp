@@ -1,0 +1,154 @@
+#include "fuzz/targets.h"
+
+#include "cc/compile.h"
+#include "workloads/corpus.h"
+
+namespace plx::fuzz {
+
+namespace {
+
+// The quickstart program (examples/quickstart.cpp runs this same source):
+// an arithmetic helper worth protecting, called from a hot loop.
+//
+// The verification function is written the way the paper's threat model
+// wants verification code written (DESIGN.md §10):
+//  - full 32-bit state stays live everywhere (no byte masks, full-width
+//    exit code) — values that fit in one byte cannot distinguish a
+//    width-narrowed mutant of the chain (`add eax, edx` -> `add al, dl`)
+//    from the original;
+//  - branchless — the chain's conditional support slots (test/setcc/neg on
+//    a 0-or-1 value) compute on a one-bit domain where narrowed mutants are
+//    structurally equivalent, the §VIII semantics-preserving caveat.
+const char* kQuickstart = R"(
+int checksum(int acc, int v) {
+  acc = (acc << 5) ^ v;
+  acc = acc + (v >> 3);
+  acc = acc ^ (acc >> 11);
+  acc = acc + (acc << 7);
+  return acc;
+}
+int main() {
+  int acc = 7;
+  for (int i = 0; i < 32; i++) {
+    acc = checksum(acc, i * 2654435761 + 40503);
+  }
+  return acc;
+}
+)";
+
+// The paper's §IV-A running example (examples/ptrace_detector.cpp): a
+// ptrace-based debugger detector — non-deterministic code that oblivious
+// hashing cannot protect.
+const char* kPtrace = R"(
+int traced = 0;
+int mix(int a, int b) {
+  int r = (a << 2) ^ b;
+  r = r + (b << 9) + a;
+  r = r ^ (r >> 13);
+  return r;
+}
+int check_ptrace() {
+  // ptrace(PTRACE_TRACEME): fails if a debugger is already attached.
+  if (__syscall(26, 0, 0, 0) < 0) {
+    traced = 1;
+    return 1;
+  }
+  return 0;
+}
+int main() {
+  int h = 5;
+  if (check_ptrace()) {
+    return 66;            // cleanup_and_exit
+  }
+  for (int i = 0; i < 24; i++) {
+    h = mix(h, i * 2654435761 + 100);
+  }
+  return h;               // normal operation (full-width result)
+}
+)";
+
+// The license check the attack tests crack (tests/test_attacks.cpp): the
+// denied exit code carries the hash, so output is sensitive to mix().
+const char* kLicense = R"(
+int last_hash = 0;
+int mix(int a, int b) {
+  int r = (a << 3) ^ b;
+  r = r + (a << 7) + b;
+  r = r ^ (r >> 9);
+  return r;
+}
+int check_license(int key) {
+  int h = 17;
+  for (int i = 0; i < 16; i++) {
+    h = mix(h, key * 40503 + i);
+  }
+  last_hash = h;
+  if (h != 0x4d2) {
+    return 0;           // invalid
+  }
+  return 1;             // valid
+}
+int main() {
+  if (check_license(999)) {
+    return 42;          // unlocked
+  }
+  return last_hash;     // denied: exit carries the full hash
+}
+)";
+
+// Workload-corpus entries, materialised once as targets.
+const std::vector<Target>& corpus_targets() {
+  static const std::vector<Target> targets = [] {
+    std::vector<Target> v;
+    for (const auto& w : workloads::corpus()) {
+      v.push_back({w.name, w.source, w.verify_function});
+    }
+    return v;
+  }();
+  return targets;
+}
+
+}  // namespace
+
+const std::vector<Target>& builtin_targets() {
+  static const std::vector<Target> targets = {
+      {"quickstart", kQuickstart, "checksum"},
+      {"ptrace", kPtrace, "mix"},
+      {"license", kLicense, "mix"},
+  };
+  return targets;
+}
+
+const Target* find_target(const std::string& name) {
+  for (const auto& t : builtin_targets()) {
+    if (t.name == name) return &t;
+  }
+  for (const auto& t : corpus_targets()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> target_names() {
+  std::vector<std::string> names;
+  for (const auto& t : builtin_targets()) names.push_back(t.name);
+  for (const auto& w : workloads::corpus()) names.push_back(w.name);
+  return names;
+}
+
+Result<parallax::Protected> protect_target(const Target& t,
+                                           parallax::Hardening mode,
+                                           std::uint64_t seed) {
+  auto compiled = cc::compile(t.source);
+  if (!compiled) return fail("compile " + t.name + ": " + compiled.error());
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {t.verify_function};
+  opts.hardening = mode;
+  opts.seed = seed;
+  parallax::Protector p;
+  auto prot = p.protect(compiled.value(), opts);
+  if (!prot) return fail("protect " + t.name + ": " + prot.error());
+  return std::move(prot).take();
+}
+
+}  // namespace plx::fuzz

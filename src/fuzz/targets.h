@@ -1,0 +1,38 @@
+// Named fuzzing targets: mini-C programs with a designated verification
+// function, ready to protect and tamper-fuzz. The built-ins are the repo's
+// canonical scenarios — the quickstart checksum program, the paper's §IV-A
+// ptrace detector, and the license check from the attack tests — and the
+// examples include them from here so the fuzzed program IS the example
+// program. Workload-corpus entries (src/workloads) are addressable by name
+// too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallax/protector.h"
+#include "support/error.h"
+
+namespace plx::fuzz {
+
+struct Target {
+  std::string name;
+  std::string source;           // mini-C
+  std::string verify_function;  // chain function passed to the protector
+};
+
+// quickstart, ptrace, license.
+const std::vector<Target>& builtin_targets();
+
+// Built-ins first, then workload-corpus entries by name; nullptr if unknown.
+const Target* find_target(const std::string& name);
+
+// All addressable target names (built-ins + corpus).
+std::vector<std::string> target_names();
+
+// Compile + protect a target with the given hardening mode.
+Result<parallax::Protected> protect_target(const Target& t,
+                                           parallax::Hardening mode,
+                                           std::uint64_t seed = 0x9a11a);
+
+}  // namespace plx::fuzz

@@ -400,6 +400,48 @@ Result<Protected> Protector::protect(const cc::Compiled& program,
     result.chains.emplace(pf.name, std::move(pf.chain));
   }
 
+  // Protected-byte map: the byte extent of every gadget referenced by any
+  // chain. gadget_addrs[i] parallels gadget_slots[i], so the slot type tells
+  // whether a use is computational (strict tier) or a woven transparent
+  // verification NOP (advisory tier). A computational gadget's leading nop
+  // filler (e.g. `nop; nop; pop eax; ret` classified PopReg) is emitted as a
+  // separate advisory range: those bytes execute but compute nothing, so a
+  // flip that yields another chain-transparent instruction survives — the
+  // same §VIII-C escape hatch as fully transparent slots.
+  {
+    std::map<std::uint32_t, const gadget::Gadget*> by_addr;
+    for (const auto& g : catalog.all()) by_addr.emplace(g.addr, &g);
+    std::map<std::uint32_t, ProtectedRange> ranges;
+    for (const auto& [name, chain] : result.chains) {
+      for (std::size_t i = 0; i < chain.gadget_addrs.size(); ++i) {
+        const auto it = by_addr.find(chain.gadget_addrs[i]);
+        if (it == by_addr.end()) continue;  // defensive; addrs come from catalog
+        const gadget::Gadget& g = *it->second;
+        const bool computational =
+            chain.gadget_slots[i].type != gadget::GType::Transparent;
+        std::uint32_t core = g.addr;
+        if (computational) {
+          for (const auto& insn : g.insns) {
+            if (insn.op != x86::Mnemonic::NOP) break;
+            core += insn.len;
+          }
+        }
+        if (core > g.addr) {  // leading nop filler: advisory only
+          ProtectedRange& pad = ranges[g.addr];
+          pad.lo = g.addr;
+          pad.hi = std::max(pad.hi, core);
+          pad.overlapping |= g.overlapping;
+        }
+        ProtectedRange& r = ranges[core];
+        r.lo = core;
+        r.hi = std::max(r.hi, g.end());
+        r.overlapping |= g.overlapping;
+        r.computational |= computational;
+      }
+    }
+    for (const auto& [addr, r] : ranges) result.protected_ranges.push_back(r);
+  }
+
   return result;
 }
 

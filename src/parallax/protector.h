@@ -62,6 +62,24 @@ struct ProtectOptions {
   std::vector<std::string> protect_functions;
 };
 
+// One byte range of the image that the chains implicitly verify by
+// *executing* it: the body of a gadget some chain references. This is the
+// protected-byte map the tamper-fuzzing harness sweeps (src/fuzz).
+//
+// `computational` distinguishes the strict tier: the gadget fills at least
+// one non-transparent chain slot, so its bytes are functionally required —
+// any behavioural change to them derails or corrupts the chain. Gadgets used
+// only as woven verification NOPs (transparent slots) are still executed and
+// verified, but §VIII-C's escape hatch is widest there: a flip that yields
+// another chain-transparent sequence goes unnoticed, so they are reported as
+// an advisory tier rather than swept for the zero-escape guarantee.
+struct ProtectedRange {
+  std::uint32_t lo = 0;        // first protected byte
+  std::uint32_t hi = 0;        // one past the last (gadget end incl. ret)
+  bool overlapping = false;    // gadget overlaps protected program code
+  bool computational = false;  // strict tier (non-transparent chain slot)
+};
+
 struct Protected {
   img::Image image;
   std::vector<std::string> chain_functions;
@@ -76,6 +94,10 @@ struct Protected {
 
   // All gadget start addresses referenced by chains (tamper-test targets).
   std::vector<std::uint32_t> used_gadget_addrs;
+
+  // Byte extents of every chain-referenced gadget, sorted by lo, one entry
+  // per distinct gadget (flags OR-ed over all of its uses).
+  std::vector<ProtectedRange> protected_ranges;
 };
 
 class Protector {

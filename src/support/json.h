@@ -1,0 +1,34 @@
+// Minimal JSON *emission* helpers shared by every machine-readable report
+// writer (bench/bench_common.h's BENCH_<name>.json, src/fuzz's
+// FUZZ_<name>.json). Emission only — the schema checkers in bench/ carry
+// their own reader so they cannot inherit an emitter bug.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace plx::json {
+
+// Escapes '"' and '\\' (the only characters our reports can contain that
+// JSON strings cannot carry verbatim; all report text is ASCII).
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Shortest round-trippable rendering of a double. JSON has no NaN/Inf
+// literals; a degenerate sample becomes 0.
+inline std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  if (std::strstr(buf, "nan") || std::strstr(buf, "inf")) return "0";
+  return buf;
+}
+
+}  // namespace plx::json

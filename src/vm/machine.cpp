@@ -235,6 +235,74 @@ void Machine::tamper_icache(std::uint32_t addr, std::span<const std::uint8_t> by
   invalidate_predecode();
 }
 
+Machine::Snapshot Machine::snapshot() const {
+  Snapshot s;
+  std::copy(std::begin(reg), std::end(reg), std::begin(s.reg));
+  s.eip = eip;
+  s.eflags = eflags;
+  s.region_bytes.reserve(regions_.size());
+  for (const auto& r : regions_) s.region_bytes.push_back(r.bytes);
+  s.icache_overlay = icache_overlay_;
+  s.result = result_;
+  s.stopped = stopped_;
+  s.output = output;
+  s.input = input;
+  s.input_pos = input_pos;
+  s.debugger_attached = debugger_attached;
+  s.time_value = time_value;
+  s.rng = rng;
+  s.syscall_counts = syscall_counts;
+  s.syscall_digest = syscall_digest;
+  s.func_stats = func_stats_;
+  return s;
+}
+
+void Machine::restore(const Snapshot& s) {
+  if (s.region_bytes.size() != regions_.size()) return;  // foreign snapshot
+  std::copy(std::begin(s.reg), std::end(s.reg), std::begin(reg));
+  eip = s.eip;
+  eflags = s.eflags;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    // Region extents are immutable after construction; only content reverts.
+    std::copy(s.region_bytes[i].begin(), s.region_bytes[i].end(),
+              regions_[i].bytes.begin());
+  }
+  icache_overlay_ = s.icache_overlay;
+  result_ = s.result;
+  stopped_ = s.stopped;
+  output = s.output;
+  input = s.input;
+  input_pos = s.input_pos;
+  debugger_attached = s.debugger_attached;
+  time_value = s.time_value;
+  rng = s.rng;
+  syscall_counts = s.syscall_counts;
+  syscall_digest = s.syscall_digest;
+  func_stats_ = s.func_stats;
+  last_func_ = 0;
+  profile_dirty_ = true;
+  // The restored code bytes / overlay may differ from what the warm cache
+  // decoded — drop it, exactly like tamper() does.
+  invalidate_predecode();
+}
+
+std::uint64_t Machine::state_digest() const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * kPrime;
+    }
+  };
+  for (std::uint32_t r : reg) mix32(r);
+  mix32(eflags);
+  for (const auto& r : regions_) {
+    if (!(r.perms & img::kPermWrite)) continue;
+    for (std::uint8_t b : r.bytes) h = (h ^ b) * kPrime;
+  }
+  return h;
+}
+
 std::uint8_t Machine::fetch_u8(std::uint32_t addr, bool& ok) const {
   auto it = icache_overlay_.find(addr);
   if (it != icache_overlay_.end()) {

@@ -117,6 +117,34 @@ class Machine {
     invalidate_predecode();
   }
 
+  // --- snapshot / restore ---------------------------------------------------
+  // Full machine state capture for cheap re-execution (the tamper-fuzzing
+  // harness restores the pristine state between mutants instead of paying a
+  // Machine construction per run). restore() invalidates the predecode cache
+  // exactly like tamper() does — the restored bytes may differ from the ones
+  // the warm cache decoded — and is only valid against the Machine the
+  // snapshot was taken from (region layout must match).
+  struct Snapshot {
+    std::uint32_t reg[8] = {};
+    std::uint32_t eip = 0;
+    std::uint32_t eflags = 0;
+    std::vector<std::vector<std::uint8_t>> region_bytes;  // one per region
+    std::unordered_map<std::uint32_t, std::uint8_t> icache_overlay;
+    RunResult result;
+    bool stopped = false;
+    std::string output;
+    std::vector<std::uint8_t> input;
+    std::size_t input_pos = 0;
+    bool debugger_attached = false;
+    std::uint32_t time_value = 0;
+    Rng rng{0};
+    std::map<std::uint32_t, std::uint64_t> syscall_counts;
+    std::uint64_t syscall_digest = 0;
+    std::vector<FuncStats> func_stats;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
   // Fetch-view read (what execution sees); used by tests to inspect.
   std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const;
 
@@ -143,6 +171,20 @@ class Machine {
   bool debugger_attached = false;     // makes ptrace(TRACEME) fail
   std::uint32_t time_value = 1700000000;
   Rng rng{0x5eed};
+  // Per-syscall-number invocation counts (the fuzzing oracle's "syscall
+  // summary"); includes unknown numbers that returned ENOSYS.
+  std::map<std::uint32_t, std::uint64_t> syscall_counts;
+  // Order-sensitive FNV-1a digest of every syscall's (number, ebx, ecx, edx):
+  // the full-width argument trace, where `syscall_counts` only keeps
+  // invocation counts. Catches tampering whose corruption reaches a syscall
+  // argument that the kernel-side effect then truncates (e.g. exit status).
+  std::uint64_t syscall_digest = 0xcbf29ce484222325ull;
+
+  // FNV-1a digest of the current architectural end state: registers, eflags,
+  // and every writable region's bytes. The fuzzing oracle compares digests
+  // after the run, so mutants that corrupt memory the program never prints
+  // (e.g. chain frames, globals) still count as a behavioural divergence.
+  std::uint64_t state_digest() const;
 
   // Pre-instruction hook (tracing); called with the decoded eip.
   std::function<void(std::uint32_t)> pre_insn_hook;

@@ -14,6 +14,13 @@ void Machine::do_syscall() {
   const std::uint32_t a2 = gpr(Reg::ECX);
   const std::uint32_t a3 = gpr(Reg::EDX);
   std::int32_t ret = sys::kEnosys;
+  ++syscall_counts[num];
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (std::uint32_t v : {num, a1, a2, a3}) {
+    for (int i = 0; i < 4; ++i) {
+      syscall_digest = (syscall_digest ^ ((v >> (8 * i)) & 0xff)) * kPrime;
+    }
+  }
 
   switch (num) {
     case sys::kExit:

@@ -1,0 +1,191 @@
+// Differential tamper-fuzzing harness tests (src/fuzz): golden-trace
+// determinism, the outcome taxonomy on crafted mutants, backend equivalence
+// (VM tamper vs static image patch), thread-count independence, and the
+// end-to-end zero-escape property on a protected target.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/report.h"
+#include "fuzz/targets.h"
+#include "image/layout.h"
+#include "vm/machine.h"
+
+namespace plx::fuzz {
+namespace {
+
+img::Image build(const std::string& src) {
+  auto mod = assembler::assemble(src);
+  EXPECT_TRUE(mod.ok()) << (mod.ok() ? "" : mod.error());
+  auto laid = img::layout(mod.value());
+  EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
+  return std::move(laid).take().image;
+}
+
+// mov eax, 42 (5 bytes) ; ret (1 byte) ; two dead nops.
+img::Image tiny_image() {
+  return build(R"(
+.entry _start
+_start:
+    mov eax, 42
+    ret
+    nop
+    nop
+)");
+}
+
+TEST(Fuzz, GoldenTraceIsDeterministic) {
+  const auto image = tiny_image();
+  const GoldenTrace a = record_golden(image);
+  const GoldenTrace b = record_golden(image);
+  EXPECT_TRUE(a.usable());
+  EXPECT_EQ(a.exit_code, 42);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.syscalls, b.syscalls);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Fuzz, OutcomeTaxonomyOnCraftedMutants) {
+  const auto image = tiny_image();
+  TamperFuzzer fuzzer(image, {});
+  ASSERT_TRUE(fuzzer.ok());
+  const std::uint32_t entry = image.entry;
+
+  std::vector<Mutation> cases;
+  // [0] BENIGN: a dead nop becomes something else — never executed.
+  cases.push_back({entry + 6, {0x90 ^ 0x28}, false, false, "test"});
+  // [1] DETECTED: the mov's immediate low byte changes the exit code.
+  cases.push_back({entry + 1, {0x2a ^ 0xff}, true, true, "test"});
+  // [2] TIMEOUT: the ret becomes jmp $-0 (eb fe), an infinite loop.
+  cases.push_back({entry + 5, {0xeb, 0xfe}, false, false, "test"});
+  // [3] SILENT_CORRUPTION + escape: the same dead-byte flip as [0], but
+  //     declared a strict protected byte — the harness must report the
+  //     survival as an escape.
+  cases.push_back({entry + 6, {0x90 ^ 0x28}, true, true, "test"});
+
+  CampaignOptions opts;
+  const CampaignStats stats = fuzzer.run_cases(cases, opts);
+  EXPECT_EQ(stats.total, 4u);
+  EXPECT_EQ(stats.benign, 1u);
+  EXPECT_EQ(stats.detected, 1u);
+  EXPECT_EQ(stats.timeout, 1u);
+  EXPECT_EQ(stats.silent_corruption, 1u);
+  ASSERT_EQ(stats.escapes.size(), 1u);
+  EXPECT_EQ(stats.escapes[0].mutation.addr, entry + 6);
+  EXPECT_EQ(stats.escapes[0].outcome, Outcome::SilentCorruption);
+}
+
+TEST(Fuzz, BackendsClassifyIdentically) {
+  // The snapshot/restore fast path and the static-patch path (src/attack +
+  // fresh Machine) must agree on every outcome.
+  const fuzz::Target* target = find_target("license");
+  ASSERT_TRUE(target);
+  auto prot = protect_target(*target, parallax::Hardening::Cleartext);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  TamperFuzzer fuzzer(prot.value().image, prot.value().protected_ranges);
+  ASSERT_TRUE(fuzzer.ok());
+
+  CampaignOptions tamper_opts;
+  tamper_opts.sweep_masks = {0x01};
+  CampaignOptions patch_opts = tamper_opts;
+  patch_opts.backend = Backend::ImagePatch;
+
+  const CampaignStats a = fuzzer.sweep(tamper_opts);
+  const CampaignStats b = fuzzer.sweep(patch_opts);
+  EXPECT_GT(a.total, 0u);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.silent_corruption, b.silent_corruption);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.timeout, b.timeout);
+  EXPECT_EQ(a.escapes.size(), b.escapes.size());
+}
+
+TEST(Fuzz, ResultsIndependentOfShardCount) {
+  const fuzz::Target* target = find_target("license");
+  ASSERT_TRUE(target);
+  auto prot = protect_target(*target, parallax::Hardening::Cleartext);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  TamperFuzzer fuzzer(prot.value().image, prot.value().protected_ranges);
+  ASSERT_TRUE(fuzzer.ok());
+
+  CampaignOptions many;
+  many.random_mutants = 48;
+  CampaignOptions few = many;
+  few.shards = 1;
+
+  const CampaignStats a = fuzzer.random(many);
+  const CampaignStats b = fuzzer.random(few);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.silent_corruption, b.silent_corruption);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.timeout, b.timeout);
+  EXPECT_EQ(a.mutant_instructions, b.mutant_instructions);
+}
+
+TEST(Fuzz, LicenseSweepHasNoEscapes) {
+  // The paper's core claim on the license target: every single-bit flip of a
+  // strict protected byte is detected.
+  const fuzz::Target* target = find_target("license");
+  ASSERT_TRUE(target);
+  auto prot = protect_target(*target, parallax::Hardening::Cleartext);
+  ASSERT_TRUE(prot.ok()) << prot.error();
+  TamperFuzzer fuzzer(prot.value().image, prot.value().protected_ranges);
+  ASSERT_TRUE(fuzzer.ok());
+  ASSERT_GT(fuzzer.strict_bytes(), 0u);
+
+  CampaignOptions opts;  // smoke masks {01, 80, ff}
+  const CampaignStats stats = fuzzer.sweep(opts);
+  EXPECT_GT(stats.total, 0u);
+  EXPECT_EQ(stats.detected, stats.total);
+  for (const auto& e : stats.escapes) {
+    ADD_FAILURE() << "escape @" << std::hex << e.mutation.addr << ": "
+                  << e.detail;
+  }
+}
+
+TEST(Fuzz, ReportWritesWellFormedJson) {
+  const auto image = tiny_image();
+  TamperFuzzer fuzzer(image, {});
+  ASSERT_TRUE(fuzzer.ok());
+
+  FuzzReport report;
+  report.name = "unit";
+  report.seed = 1;
+  report.hardening = "cleartext";
+  report.backend = "tamper";
+  report.golden = fuzzer.golden();
+  CampaignOptions opts;
+  report.sweep = fuzzer.run_cases(
+      {{image.entry + 6, {0x00}, true, true, "sweep"}}, opts);
+  ASSERT_TRUE(write_fuzz_json(report, ::testing::TempDir()));
+
+  std::ifstream in(::testing::TempDir() + "/FUZZ_unit.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"fuzz\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"escapes\""), std::string::npos);
+  // The dead-byte survivor above must be listed as an escape.
+  EXPECT_NE(text.find("SILENT_CORRUPTION"), std::string::npos);
+}
+
+TEST(Fuzz, TargetRegistry) {
+  EXPECT_TRUE(find_target("quickstart"));
+  EXPECT_TRUE(find_target("ptrace"));
+  EXPECT_TRUE(find_target("license"));
+  EXPECT_FALSE(find_target("no-such-target"));
+  EXPECT_GE(target_names().size(), 3u);
+}
+
+}  // namespace
+}  // namespace plx::fuzz

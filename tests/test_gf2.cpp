@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gf2/gf2.h"
 
 namespace plx::gf2 {
@@ -87,6 +89,57 @@ TEST(Gf2, DifferentBasesGiveDifferentDecompositions) {
     if (decompose(*i1, v) != decompose(*i2, v)) ++differing;
   }
   EXPECT_GT(differing, 90);
+}
+
+TEST(Gf2, TamperedBasisCorruptsRegeneratedWords) {
+  // Probabilistic chains store a basis + index arrays instead of chain
+  // words. Flipping a single bit of the stored basis (one byte of image
+  // data) must corrupt the words regenerated from it — this is what makes
+  // the storage itself tamper-sensitive.
+  Rng rng(7);
+  const Mat basis = Mat::random_invertible(rng);
+  const auto inv = basis.inverse();
+  ASSERT_TRUE(inv.has_value());
+
+  Mat tampered = basis;
+  tampered.set_col(11, tampered.col(11) ^ (1u << 19));  // one flipped bit
+
+  int corrupted = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const Vec v = rng.next_u32();
+    const auto indices = decompose(*inv, v);
+    if (combine(tampered, indices) != v) ++corrupted;
+  }
+  // Column 11 participates in ~half of all decompositions; every one of
+  // those regenerates wrong.
+  EXPECT_GT(corrupted, kTrials / 3);
+}
+
+TEST(Gf2, TamperedIndexSelectionCorruptsRegeneratedWords) {
+  // Same for the index arrays: adding or removing one basis column from a
+  // stored decomposition changes the combined word (columns are linearly
+  // independent, so no other subset compensates).
+  Rng rng(8);
+  const Mat basis = Mat::random_invertible(rng);
+  const auto inv = basis.inverse();
+  ASSERT_TRUE(inv.has_value());
+
+  for (int i = 0; i < 100; ++i) {
+    const Vec v = rng.next_u32();
+    auto indices = decompose(*inv, v);
+    ASSERT_EQ(combine(basis, indices), v);
+    // Toggle membership of one column (a one-bit flip of the index mask).
+    const int victim = static_cast<int>(rng.next_u32() % 32);
+    auto it = std::find(indices.begin(), indices.end(), victim);
+    if (it != indices.end()) {
+      indices.erase(it);
+    } else {
+      indices.push_back(victim);
+      std::sort(indices.begin(), indices.end());
+    }
+    EXPECT_NE(combine(basis, indices), v) << "trial " << i;
+  }
 }
 
 }  // namespace

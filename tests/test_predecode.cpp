@@ -114,6 +114,80 @@ f:
   EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
 }
 
+TEST(Predecode, RestoreAfterTamperRedecodes) {
+  // snapshot/restore must invalidate the predecode cache exactly like
+  // tamper(): a restore rewrites code bytes underneath any warm decode.
+  const auto image = build(R"(
+.entry f
+f:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  const Machine::Snapshot pristine = m.snapshot();
+
+  // Warm the cache on the pristine code, then mutate and re-run.
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
+  m.tamper(image.entry + 1, 9);
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(9));
+
+  // Restoring the pristine snapshot over the tampered (and now warm-cached)
+  // code must bring back the original behaviour, not the cached decode.
+  const auto before = m.predecode_invalidations();
+  m.restore(pristine);
+  EXPECT_TRUE(m.call_function(image.entry, {}).exited_ok(1));
+  EXPECT_GT(m.predecode_invalidations(), before);
+}
+
+TEST(Predecode, RestoreOfTamperedSnapshotOverWarmCache) {
+  // The other direction: a snapshot taken AFTER tampering, restored onto a
+  // machine whose cache is warm with the pristine decode, must execute the
+  // tampered bytes.
+  const auto image = build(R"(
+.entry f
+f:
+    mov eax, 1
+    ret
+)");
+  Machine m(image);
+  m.tamper(image.entry + 1, 9);
+  const Machine::Snapshot tampered = m.snapshot();
+
+  Machine victim(image);
+  // Warm the victim's cache with the pristine instruction...
+  EXPECT_TRUE(victim.call_function(image.entry, {}).exited_ok(1));
+  // ...then lay the tampered snapshot over it.
+  victim.restore(tampered);
+  EXPECT_TRUE(victim.call_function(image.entry, {}).exited_ok(9));
+}
+
+TEST(Predecode, SnapshotRestoreRoundTripIsExact) {
+  // restore(snapshot()) is a no-op for guest-visible behaviour: a run after
+  // the round trip matches a run without it, instruction for instruction.
+  const auto image = build(R"(
+.entry f
+f:
+    mov ecx, 50
+    mov eax, 0
+.loop:
+    add eax, ecx
+    sub ecx, 1
+    jnz .loop
+    ret
+)");
+  Machine a(image);
+  const auto plain = a.call_function(image.entry, {});
+
+  Machine b(image);
+  b.restore(b.snapshot());
+  const auto round = b.call_function(image.entry, {});
+
+  EXPECT_TRUE(plain.exited_ok(1275));
+  EXPECT_TRUE(round.exited_ok(1275));
+  EXPECT_EQ(plain.instructions, round.instructions);
+  EXPECT_EQ(plain.cycles, round.cycles);
+}
+
 TEST(Predecode, RepeatedRunsAreDeterministic) {
   const auto image = build(R"(
 .entry f

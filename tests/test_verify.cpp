@@ -7,6 +7,8 @@
 #include "asm/assembler.h"
 #include "crypto/rc4.h"
 #include "crypto/xorstream.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/targets.h"
 #include "image/layout.h"
 #include "verify/hardening.h"
 #include "verify/stub.h"
@@ -242,6 +244,36 @@ TEST(Hardening, EncryptChainRoundtrips) {
                               (back[4 * i + 1] << 8) | (back[4 * i + 2] << 16) |
                               (static_cast<std::uint32_t>(back[4 * i + 3]) << 24);
       EXPECT_EQ(w, words[i]) << hardening_name(mode);
+    }
+  }
+}
+
+TEST(HardenedTamper, FlippedProtectedByteBreaksChain) {
+  // The end-to-end claim, per hardening mode: flip one bit of any strict
+  // (computational) protected byte of a hardened image and the verification
+  // chain must malfunction — no escape survives the sweep. Encrypted chain
+  // storage (xor/rc4) and regenerated storage (probabilistic) must not
+  // weaken the implicit gadget-byte verification.
+  const fuzz::Target* target = fuzz::find_target("license");
+  ASSERT_TRUE(target);
+  for (Hardening mode :
+       {Hardening::Xor, Hardening::Rc4, Hardening::Probabilistic}) {
+    auto prot = fuzz::protect_target(*target, mode);
+    ASSERT_TRUE(prot.ok()) << hardening_name(mode) << ": " << prot.error();
+
+    fuzz::TamperFuzzer fuzzer(prot.value().image,
+                              prot.value().protected_ranges);
+    ASSERT_TRUE(fuzzer.ok()) << hardening_name(mode);
+    ASSERT_GT(fuzzer.strict_bytes(), 0u) << hardening_name(mode);
+
+    fuzz::CampaignOptions opts;
+    opts.sweep_masks = {0x01};  // one bit is all tampering should need
+    const auto stats = fuzzer.sweep(opts);
+    EXPECT_GT(stats.total, 0u) << hardening_name(mode);
+    EXPECT_EQ(stats.detected, stats.total) << hardening_name(mode);
+    for (const auto& e : stats.escapes) {
+      ADD_FAILURE() << hardening_name(mode) << ": escape @" << std::hex
+                    << e.mutation.addr << ": " << e.detail;
     }
   }
 }

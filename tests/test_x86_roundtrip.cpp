@@ -6,8 +6,12 @@
 //  * builder-constructed instructions encode and decode back to themselves.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "asm/assembler.h"
+#include "image/layout.h"
 #include "support/rng.h"
 #include "x86/build.h"
 #include "x86/decoder.h"
@@ -137,6 +141,142 @@ TEST(Roundtrip, DecodedLengthMatchesConsumed) {
     }
   }
 }
+
+// --- assembler-sourced property test -------------------------------------
+//
+// Generates random VALID instructions as Intel-syntax text, assembles them
+// (src/asm), lays the module out, then decodes the emitted bytes back
+// sequentially. Every instruction must decode, re-encode, and decode again
+// to the same semantics, and format() must always produce a mnemonic.
+
+namespace {
+
+const char* kRegNames[8] = {"eax", "ecx", "edx", "ebx",
+                            "esp", "ebp", "esi", "edi"};
+
+std::string rand_reg(Rng& rng, bool allow_esp = true) {
+  for (;;) {
+    const int r = static_cast<int>(rng.below(8));
+    if (!allow_esp && r == 4) continue;  // ESP cannot be an index
+    return kRegNames[r];
+  }
+}
+
+std::string rand_imm(Rng& rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", rng.next_u32());
+  return buf;
+}
+
+std::string rand_mem(Rng& rng) {
+  std::string m = "[" + rand_reg(rng);
+  if (rng.below(2)) {
+    const int scale = 1 << rng.below(4);
+    m += "+" + rand_reg(rng, /*allow_esp=*/false) + "*" + std::to_string(scale);
+  }
+  switch (rng.below(3)) {
+    case 0: break;  // no displacement
+    case 1: m += (rng.below(2) ? "+" : "-") + std::to_string(rng.below(128));
+            break;
+    default: m += "+" + std::to_string(0x1000 + rng.below(0x10000)); break;
+  }
+  return m + "]";
+}
+
+// One random valid instruction line from a grammar limited to non-branch
+// mnemonics over r32 / imm / [base(+index*scale)(+disp)] operands.
+std::string rand_insn_line(Rng& rng) {
+  static const char* kAlu[] = {"add", "or",  "and", "sub",
+                               "xor", "cmp", "mov", "test"};
+  switch (rng.below(8)) {
+    case 0: {  // alu r32, r32
+      return std::string(kAlu[rng.below(8)]) + " " + rand_reg(rng) + ", " +
+             rand_reg(rng);
+    }
+    case 1: {  // alu r32, imm
+      return std::string(kAlu[rng.below(8)]) + " " + rand_reg(rng) + ", " +
+             rand_imm(rng);
+    }
+    case 2: {  // alu r32, [mem] — no "test": x86 only encodes `test r/m, r`
+      static const char* kAluMem[] = {"add", "or",  "and", "sub",
+                                      "xor", "cmp", "mov"};
+      return std::string(kAluMem[rng.below(7)]) + " " + rand_reg(rng) + ", " +
+             rand_mem(rng);
+    }
+    case 3: {  // mov/add/xor [mem], r32
+      static const char* kStore[] = {"mov", "add", "xor", "sub"};
+      return std::string(kStore[rng.below(4)]) + " " + rand_mem(rng) + ", " +
+             rand_reg(rng);
+    }
+    case 4: {  // unary r32
+      static const char* kUnary[] = {"inc", "dec", "neg", "not"};
+      return std::string(kUnary[rng.below(4)]) + " " + rand_reg(rng);
+    }
+    case 5: {  // shift r32, count
+      static const char* kShift[] = {"shl", "shr", "sar"};
+      return std::string(kShift[rng.below(3)]) + " " + rand_reg(rng) + ", " +
+             std::to_string(rng.below(32));
+    }
+    case 6: {  // push/pop
+      if (rng.below(3) == 0) return "push " + rand_imm(rng);
+      return (rng.below(2) ? std::string("push ") : std::string("pop ")) +
+             rand_reg(rng);
+    }
+    default: {  // lea / imul / xchg
+      switch (rng.below(3)) {
+        case 0: return "lea " + rand_reg(rng) + ", " + rand_mem(rng);
+        case 1: return "imul " + rand_reg(rng) + ", " + rand_reg(rng);
+        default: return "xchg " + rand_reg(rng) + ", " + rand_reg(rng);
+      }
+    }
+  }
+}
+
+TEST(Roundtrip, AssembledRandomInstructions) {
+  constexpr int kCount = 10000;
+  Rng rng(0xa53b1e);
+
+  std::string src = ".entry f\nf:\n";
+  for (int i = 0; i < kCount; ++i) {
+    src += "    " + rand_insn_line(rng) + "\n";
+  }
+  src += "    ret\n";
+
+  auto mod = plx::assembler::assemble(src);
+  ASSERT_TRUE(mod.ok()) << mod.error();
+  auto laid = plx::img::layout(mod.value());
+  ASSERT_TRUE(laid.ok()) << laid.error();
+  const plx::img::Image& image = laid.value().image;
+  const plx::img::Symbol* f = image.find_symbol("f");
+  ASSERT_TRUE(f);
+  const auto bytes = image.read(f->vaddr, f->size);
+  ASSERT_FALSE(bytes.empty());
+
+  int count = 0;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const auto insn = decode(std::span(bytes).subspan(pos));
+    ASSERT_TRUE(insn) << "undecodable at +" << pos << " of instruction "
+                      << count;
+    ++count;
+    // format() must always name the instruction.
+    const std::string text = format(*insn);
+    ASSERT_FALSE(text.empty());
+    EXPECT_NE(text[0], ' ') << "empty mnemonic: '" << text << "'";
+    // Re-encode and decode back: semantics must be preserved.
+    Buffer out;
+    auto enc = encode(*insn, out);
+    ASSERT_TRUE(enc.ok()) << text << " [" << enc.error() << "]";
+    const auto again = decode(out.span());
+    ASSERT_TRUE(again) << text;
+    EXPECT_TRUE(same_semantics(*insn, *again))
+        << text << " vs " << format(*again);
+    pos += insn->len;
+  }
+  EXPECT_EQ(count, kCount + 1);  // + the final ret
+}
+
+}  // namespace
 
 }  // namespace
 }  // namespace plx::x86
