@@ -10,11 +10,10 @@
 //
 // The reader lives in minijson.h (shared with validate_fuzz_json).
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "minijson.h"
+#include "support/file_io.h"
 
 namespace {
 
@@ -24,15 +23,13 @@ using plx::minijson::Value;
 using plx::minijson::check_numeric_object;
 
 bool validate(const std::string& path, std::string& why) {
-  std::ifstream in(path);
-  if (!in) {
-    why = "cannot open";
+  auto text = plx::support::read_text_file(path);
+  if (!text) {
+    why = text.error().str();
     return false;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
 
-  Parser parser(buf.str());
+  Parser parser(text.value());
   Value root;
   if (!parser.parse(root)) {
     why = "parse error: " + parser.error();

@@ -14,11 +14,11 @@
 // names the exact surviving mutants in the error output.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "minijson.h"
+#include "support/file_io.h"
 
 namespace {
 
@@ -30,15 +30,13 @@ using plx::minijson::check_numeric_object;
 
 bool validate(const std::string& path, bool require_no_escapes,
               std::string& why) {
-  std::ifstream in(path);
-  if (!in) {
-    why = "cannot open";
+  auto text = plx::support::read_text_file(path);
+  if (!text) {
+    why = text.error().str();
     return false;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
 
-  Parser parser(buf.str());
+  Parser parser(text.value());
   Value root;
   if (!parser.parse(root)) {
     why = "parse error: " + parser.error();

@@ -1,0 +1,205 @@
+// Validates a PROTECT_<name>.json report emitted by the batch protection
+// driver (src/parallax/batch.cpp, `plxtool protect-all`). Used by the
+// protect_smoke ctest targets: exits 0 iff every file given on the command
+// line parses as JSON and carries the required keys with the right shapes:
+//
+//   protect          string (report/workload name)
+//   schema_version   number (currently 1)
+//   ok               bool
+//   error            object with string code/stage/message (required iff
+//                    ok is false)
+//   image_bytes      number
+//   image_fnv64      16-digit lowercase hex string
+//   stages           non-empty array; each element an object with a string
+//                    "stage", numeric "millis"/"input_bytes"/"output_bytes",
+//                    an all-numeric "counters" object and a "warnings" array
+//   totals           non-empty object, all values numbers
+//
+// With --require-ok, a report whose "ok" is false is itself a failure —
+// this is how CI enforces that every corpus workload protects cleanly: the
+// report carries the structured diagnostic naming the failing stage.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <variant>
+
+#include "minijson.h"
+#include "support/file_io.h"
+
+namespace {
+
+using plx::minijson::Array;
+using plx::minijson::Object;
+using plx::minijson::Parser;
+using plx::minijson::Value;
+using plx::minijson::check_numeric_object;
+
+bool is_bool(const Value& v) { return std::holds_alternative<bool>(v.v); }
+
+bool check_stage(const Object& stage, std::size_t index, std::string& why) {
+  const std::string at = "stages[" + std::to_string(index) + "]";
+  auto name = stage.find("stage");
+  if (name == stage.end() || !name->second.is_string()) {
+    why = at + " missing string key \"stage\"";
+    return false;
+  }
+  for (const char* key : {"millis", "input_bytes", "output_bytes"}) {
+    auto it = stage.find(key);
+    if (it == stage.end() || !it->second.is_number()) {
+      why = at + " missing numeric key \"" + key + "\"";
+      return false;
+    }
+  }
+  if (!check_numeric_object(stage, "counters", /*require_nonempty=*/false,
+                            why)) {
+    why = at + " " + why;
+    return false;
+  }
+  auto warn = stage.find("warnings");
+  if (warn == stage.end() || !warn->second.array()) {
+    why = at + " missing array key \"warnings\"";
+    return false;
+  }
+  for (const Value& w : *warn->second.array()) {
+    if (!w.is_string()) {
+      why = at + " has a non-string warning";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate(const std::string& path, bool require_ok, std::string& why) {
+  auto text = plx::support::read_text_file(path);
+  if (!text) {
+    why = text.error().str();
+    return false;
+  }
+
+  Parser parser(text.value());
+  Value root;
+  if (!parser.parse(root)) {
+    why = "parse error: " + parser.error();
+    return false;
+  }
+  const Object* obj = root.object();
+  if (!obj) {
+    why = "top level is not an object";
+    return false;
+  }
+
+  auto name = obj->find("protect");
+  if (name == obj->end() || !name->second.is_string()) {
+    why = "missing string key \"protect\"";
+    return false;
+  }
+  auto ver = obj->find("schema_version");
+  if (ver == obj->end() || !ver->second.is_number()) {
+    why = "missing numeric key \"schema_version\"";
+    return false;
+  }
+  if (ver->second.number() != 1.0) {
+    why = "unsupported schema_version";
+    return false;
+  }
+
+  auto ok = obj->find("ok");
+  if (ok == obj->end() || !is_bool(ok->second)) {
+    why = "missing bool key \"ok\"";
+    return false;
+  }
+  const bool succeeded = std::get<bool>(ok->second.v);
+  if (!succeeded) {
+    auto err = obj->find("error");
+    const Object* eo = err == obj->end() ? nullptr : err->second.object();
+    if (!eo) {
+      why = "\"ok\" is false but \"error\" object is missing";
+      return false;
+    }
+    for (const char* key : {"code", "stage", "message"}) {
+      auto it = eo->find(key);
+      if (it == eo->end() || !it->second.is_string()) {
+        why = std::string("\"error\" missing string key \"") + key + "\"";
+        return false;
+      }
+    }
+  }
+
+  auto bytes = obj->find("image_bytes");
+  if (bytes == obj->end() || !bytes->second.is_number()) {
+    why = "missing numeric key \"image_bytes\"";
+    return false;
+  }
+  auto fnv = obj->find("image_fnv64");
+  if (fnv == obj->end() || !fnv->second.is_string()) {
+    why = "missing string key \"image_fnv64\"";
+    return false;
+  }
+  const std::string& digest = std::get<std::string>(fnv->second.v);
+  if (digest.size() != 16 ||
+      digest.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    why = "\"image_fnv64\" is not 16 hex digits";
+    return false;
+  }
+
+  auto stages = obj->find("stages");
+  const Array* arr = stages == obj->end() ? nullptr : stages->second.array();
+  if (!arr) {
+    why = "missing array key \"stages\"";
+    return false;
+  }
+  if (arr->empty()) {
+    why = "\"stages\" is empty";
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const Object* stage = (*arr)[i].object();
+    if (!stage) {
+      why = "stages[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    if (!check_stage(*stage, i, why)) return false;
+  }
+
+  if (!check_numeric_object(*obj, "totals", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+
+  if (require_ok && !succeeded) {
+    auto err = obj->find("error");
+    const Object* eo = err->second.object();
+    auto msg = eo->find("message");
+    why = "\"ok\" is false: " + std::get<std::string>(msg->second.v);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool require_ok = false;
+  int bad = 0;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-ok") == 0) {
+      require_ok = true;
+      continue;
+    }
+    ++files;
+    std::string why;
+    if (validate(argv[i], require_ok, why)) {
+      std::printf("%s: ok\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], why.c_str());
+      ++bad;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "usage: %s [--require-ok] PROTECT_*.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  return bad ? 1 : 0;
+}

@@ -13,6 +13,9 @@
 // Flags:
 //   --target NAME     fuzz one target (built-ins: quickstart, ptrace,
 //                     license; plus the workload corpus by name)
+//   --source FILE     fuzz a mini-C source file instead of a named target
+//                     (requires --vf for the verification function)
+//   --vf NAME         verification function for --source targets
 //   --all             fuzz every built-in target
 //   --list            print addressable target names and exit
 //   --seed N          campaign + protection seed (default 0x9a11a)
@@ -34,22 +37,18 @@
 #include "fuzz/fuzz.h"
 #include "fuzz/report.h"
 #include "fuzz/targets.h"
+#include "support/file_io.h"
 #include "verify/stub.h"
 
 namespace {
 
 using namespace plx;
 
-int fuzz_one(const std::string& name, const fuzz::CampaignOptions& opts,
+int fuzz_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
              parallax::Hardening mode, bool smoke, const std::string& out_dir) {
-  const fuzz::Target* target = fuzz::find_target(name);
-  if (!target) {
-    std::fprintf(stderr, "plxfuzz: unknown target '%s' (try --list)\n",
-                 name.c_str());
-    return 2;
-  }
+  const std::string& name = target.name;
   const auto t0 = std::chrono::steady_clock::now();
-  auto prot = fuzz::protect_target(*target, mode, opts.seed);
+  auto prot = fuzz::protect_target(target, mode, opts.seed);
   if (!prot) {
     std::fprintf(stderr, "plxfuzz: %s\n", prot.error().c_str());
     return 2;
@@ -118,6 +117,7 @@ int fuzz_one(const std::string& name, const fuzz::CampaignOptions& opts,
 
 int main(int argc, char** argv) {
   std::vector<std::string> names;
+  std::string source_path, source_vf;
   fuzz::CampaignOptions opts;
   parallax::Hardening mode = parallax::Hardening::Cleartext;
   bool smoke = true;
@@ -135,6 +135,10 @@ int main(int argc, char** argv) {
     };
     if (a == "--target") {
       names.push_back(need("--target"));
+    } else if (a == "--source") {
+      source_path = need("--source");
+    } else if (a == "--vf") {
+      source_vf = need("--vf");
     } else if (a == "--all") {
       for (const auto& t : fuzz::builtin_targets()) names.push_back(t.name);
     } else if (a == "--list") {
@@ -188,17 +192,47 @@ int main(int argc, char** argv) {
   }
   if (smoke) opts.random_mutants = 64;
   if (random_override >= 0) opts.random_mutants = random_override;
-  if (names.empty()) {
+
+  std::vector<fuzz::Target> targets;
+  for (const auto& n : names) {
+    const fuzz::Target* t = fuzz::find_target(n);
+    if (!t) {
+      std::fprintf(stderr, "plxfuzz: unknown target '%s' (try --list)\n",
+                   n.c_str());
+      return 2;
+    }
+    targets.push_back(*t);
+  }
+  if (!source_path.empty()) {
+    if (source_vf.empty()) {
+      std::fprintf(stderr, "plxfuzz: --source needs --vf NAME\n");
+      return 2;
+    }
+    auto src = support::read_text_file(source_path);
+    if (!src) {
+      std::fprintf(stderr, "plxfuzz: %s\n", src.error().c_str());
+      return 2;
+    }
+    // Report name: basename without extension (PROTECT-style naming).
+    std::string stem = source_path;
+    if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
+      stem = stem.substr(slash + 1);
+    if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+      stem = stem.substr(0, dot);
+    targets.push_back(fuzz::Target{stem, std::move(src).take(), source_vf});
+  }
+  if (targets.empty()) {
     std::fprintf(stderr,
-                 "usage: plxfuzz --target NAME | --all [--seed N] [--smoke | "
+                 "usage: plxfuzz --target NAME | --source FILE --vf NAME | "
+                 "--all [--seed N] [--smoke | "
                  "--full] [--random N] [--masks full|quick] [--advisory] "
                  "[--hardening MODE] [--backend tamper|patch] [--out DIR]\n");
     return 2;
   }
 
   int rc = 0;
-  for (const auto& n : names) {
-    const int r = fuzz_one(n, opts, mode, smoke, out_dir);
+  for (const auto& t : targets) {
+    const int r = fuzz_one(t, opts, mode, smoke, out_dir);
     if (r > rc) rc = r;
   }
   return rc;

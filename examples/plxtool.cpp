@@ -1,24 +1,27 @@
 // plxtool — command-line front end for the Parallax toolchain.
 //
-//   plxtool compile  prog.c -o prog.plx         mini-C -> PLX image
-//   plxtool protect  prog.c -o prog.plx         full Parallax pipeline
+//   plxtool compile     prog.c -o prog.plx      mini-C -> PLX image
+//   plxtool protect     prog.c -o prog.plx      full Parallax pipeline
 //            [--vf NAME] [--mode cleartext|xor|rc4|prob] [--variants N]
-//   plxtool run      prog.plx                   execute in the VM
-//   plxtool disasm   prog.plx [SYMBOL]          disassemble a function
-//   plxtool gadgets  prog.plx                   gadget census
-//   plxtool coverage prog.c                     Figure-6 protectability report
+//            [--trace]                          per-stage timing table
+//   plxtool protect-all                         batch-protect the corpus
+//            [--mode MODE] [--seed N] [--threads N] [--out DIR]
+//   plxtool run         prog.plx                execute in the VM
+//   plxtool disasm      prog.plx [SYMBOL]       disassemble a function
+//   plxtool gadgets     prog.plx                gadget census
+//   plxtool coverage    prog.c                  Figure-6 protectability report
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "cc/compile.h"
 #include "gadget/scanner.h"
 #include "image/layout.h"
+#include "parallax/batch.h"
 #include "parallax/protector.h"
 #include "rewrite/protectability.h"
+#include "support/file_io.h"
 #include "vm/machine.h"
 #include "x86/format.h"
 
@@ -28,42 +31,51 @@ using namespace plx;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: plxtool <compile|protect|run|disasm|gadgets|coverage> ...\n"
-               "  compile  prog.c -o prog.plx\n"
-               "  protect  prog.c -o prog.plx [--vf NAME] [--mode MODE] [--variants N]\n"
-               "  run      prog.plx [--budget N]\n"
-               "  disasm   prog.plx [SYMBOL]\n"
-               "  gadgets  prog.plx\n"
-               "  coverage prog.c\n");
+               "usage: plxtool <compile|protect|protect-all|run|disasm|gadgets|coverage> ...\n"
+               "  compile     prog.c -o prog.plx\n"
+               "  protect     prog.c -o prog.plx [--vf NAME] [--mode MODE] [--variants N] [--trace]\n"
+               "  protect-all [--mode MODE] [--seed N] [--threads N] [--out DIR]\n"
+               "  run         prog.plx [--budget N]\n"
+               "  disasm      prog.plx [SYMBOL]\n"
+               "  gadgets     prog.plx\n"
+               "  coverage    prog.c\n");
   return 2;
 }
 
-std::string slurp(const std::string& path, bool& ok) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    ok = false;
-    return {};
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  ok = true;
-  return ss.str();
-}
-
-bool write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(out);
-}
-
 Result<img::Image> load_image(const std::string& path) {
-  bool ok = true;
-  const std::string blob = slurp(path, ok);
-  if (!ok) return fail("cannot read " + path);
-  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
-  return img::Image::deserialize(bytes);
+  auto bytes = support::read_binary_file(path);
+  if (!bytes) return std::move(bytes).take_error();
+  return img::Image::deserialize(bytes.value());
+}
+
+bool parse_mode(const std::string& mode, parallax::Hardening& out) {
+  if (mode == "cleartext") out = parallax::Hardening::Cleartext;
+  else if (mode == "xor") out = parallax::Hardening::Xor;
+  else if (mode == "rc4") out = parallax::Hardening::Rc4;
+  else if (mode == "prob") out = parallax::Hardening::Probabilistic;
+  else return false;
+  return true;
+}
+
+// The `protect --trace` stage table; one row per executed pipeline stage.
+void print_traces(const std::vector<parallax::StageTrace>& traces) {
+  std::printf("  %-14s %9s %10s %10s  %s\n", "stage", "millis", "in_bytes",
+              "out_bytes", "counters");
+  double total = 0;
+  for (const auto& t : traces) {
+    total += t.millis;
+    std::string counters;
+    for (const auto& [k, v] : t.counters) {
+      if (!counters.empty()) counters += ' ';
+      counters += k + '=' + std::to_string(v);
+    }
+    std::printf("  %-14s %9.3f %10zu %10zu  %s\n", t.stage.c_str(), t.millis,
+                t.input_bytes, t.output_bytes, counters.c_str());
+    for (const auto& w : t.warnings) {
+      std::printf("  %-14s warning: %s\n", "", w.c_str());
+    }
+  }
+  std::printf("  %-14s %9.3f\n", "total", total);
 }
 
 int cmd_compile(int argc, char** argv) {
@@ -76,13 +88,12 @@ int cmd_compile(int argc, char** argv) {
     }
   }
   if (src_path.empty()) return usage();
-  bool ok = true;
-  const std::string src = slurp(src_path, ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", src_path.c_str());
+  auto src = support::read_text_file(src_path);
+  if (!src) {
+    std::fprintf(stderr, "%s\n", src.error().c_str());
     return 1;
   }
-  auto compiled = cc::compile(src);
+  auto compiled = cc::compile(src.value());
   if (!compiled) {
     std::fprintf(stderr, "%s: %s\n", src_path.c_str(), compiled.error().c_str());
     return 1;
@@ -93,7 +104,7 @@ int cmd_compile(int argc, char** argv) {
     return 1;
   }
   const Buffer blob = laid.value().image.serialize();
-  if (!write_file(out_path, blob.span())) {
+  if (!support::write_binary_file(out_path, blob.span())) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
@@ -105,6 +116,7 @@ int cmd_compile(int argc, char** argv) {
 int cmd_protect(int argc, char** argv) {
   std::string src_path, out_path = "a.plx", vf, mode = "cleartext";
   int variants = 4;
+  bool trace = false;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
       out_path = argv[++i];
@@ -114,18 +126,19 @@ int cmd_protect(int argc, char** argv) {
       mode = argv[++i];
     } else if (!std::strcmp(argv[i], "--variants") && i + 1 < argc) {
       variants = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
     } else {
       src_path = argv[i];
     }
   }
   if (src_path.empty()) return usage();
-  bool ok = true;
-  const std::string src = slurp(src_path, ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", src_path.c_str());
+  auto src = support::read_text_file(src_path);
+  if (!src) {
+    std::fprintf(stderr, "%s\n", src.error().c_str());
     return 1;
   }
-  auto compiled = cc::compile(src);
+  auto compiled = cc::compile(src.value());
   if (!compiled) {
     std::fprintf(stderr, "%s: %s\n", src_path.c_str(), compiled.error().c_str());
     return 1;
@@ -133,15 +146,7 @@ int cmd_protect(int argc, char** argv) {
 
   parallax::ProtectOptions opts;
   if (!vf.empty()) opts.verify_functions = {vf};
-  if (mode == "cleartext") {
-    opts.hardening = parallax::Hardening::Cleartext;
-  } else if (mode == "xor") {
-    opts.hardening = parallax::Hardening::Xor;
-  } else if (mode == "rc4") {
-    opts.hardening = parallax::Hardening::Rc4;
-  } else if (mode == "prob") {
-    opts.hardening = parallax::Hardening::Probabilistic;
-  } else {
+  if (!parse_mode(mode, opts.hardening)) {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
   }
@@ -167,12 +172,13 @@ int cmd_protect(int argc, char** argv) {
     return 1;
   }
   const Buffer blob = prot.value().image.serialize();
-  if (!write_file(out_path, blob.span())) {
+  if (!support::write_binary_file(out_path, blob.span())) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::printf("wrote %s  [mode=%s]\n", out_path.c_str(),
               verify::hardening_name(opts.hardening));
+  if (trace) print_traces(prot.value().traces);
   for (const auto& f : prot.value().chain_functions) {
     const auto& chain = prot.value().chains.at(f);
     std::printf("  chain %-16s %4zu words, %3zu gadget slots\n", f.c_str(),
@@ -256,15 +262,68 @@ int cmd_gadgets(int argc, char** argv) {
   return 0;
 }
 
+// Batch-protect the whole evaluation corpus across the thread pool, writing
+// PROTECT_<name>.json per workload (the protect_smoke ctest label validates
+// these against the schema in bench/validate_protect_json).
+int cmd_protect_all(int argc, char** argv) {
+  std::string mode = "cleartext", out_dir = ".";
+  std::uint64_t seed = 0x9a11a;
+  unsigned threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  parallax::Hardening hardening;
+  if (!parse_mode(mode, hardening)) {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  const auto jobs = parallax::corpus_jobs(hardening, seed);
+  const auto results = parallax::protect_batch(jobs, threads);
+
+  int rc = 0;
+  for (const auto& r : results) {
+    if (r.ok) {
+      std::printf("[%s] ok: %zu bytes, fnv64=%016llx, %zu chains (%zu words), "
+                  "%.3f ms\n",
+                  r.name.c_str(), r.image_bytes,
+                  static_cast<unsigned long long>(r.image_fnv64), r.chains,
+                  r.chain_words, r.millis_total);
+    } else {
+      std::fprintf(stderr, "[%s] FAILED (%s): %s\n", r.name.c_str(),
+                   diag_code_name(r.error.code()), r.error.c_str());
+      rc = 1;
+    }
+    if (!parallax::write_protect_json(r, out_dir)) {
+      std::fprintf(stderr, "[%s] cannot write %s/PROTECT_%s.json\n",
+                   r.name.c_str(), out_dir.c_str(), r.name.c_str());
+      rc = 1;
+    }
+  }
+  std::printf("protect-all: %zu workloads [mode=%s], reports in %s\n",
+              results.size(), verify::hardening_name(hardening),
+              out_dir.c_str());
+  return rc;
+}
+
 int cmd_coverage(int argc, char** argv) {
   if (argc < 1) return usage();
-  bool ok = true;
-  const std::string src = slurp(argv[0], ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", argv[0]);
+  auto src = support::read_text_file(argv[0]);
+  if (!src) {
+    std::fprintf(stderr, "%s\n", src.error().c_str());
     return 1;
   }
-  auto compiled = cc::compile(src);
+  auto compiled = cc::compile(src.value());
   if (!compiled) {
     std::fprintf(stderr, "%s\n", compiled.error().c_str());
     return 1;
@@ -294,6 +353,7 @@ int main(int argc, char** argv) {
   argv += 2;
   if (cmd == "compile") return cmd_compile(argc, argv);
   if (cmd == "protect") return cmd_protect(argc, argv);
+  if (cmd == "protect-all") return cmd_protect_all(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "disasm") return cmd_disasm(argc, argv);
   if (cmd == "gadgets") return cmd_gadgets(argc, argv);

@@ -11,6 +11,11 @@ namespace plx::assembler {
 
 namespace {
 
+inline plx::Diag asm_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::AsmError, "asm", std::move(msg));
+}
+
+
 using x86::Cond;
 using x86::Insn;
 using x86::Mem;
@@ -582,7 +587,7 @@ Result<img::Module> assemble(const std::string& source) {
     const std::string line =
         source.substr(pos, (nl == std::string::npos ? source.size() : nl) - pos);
     ++state.line_no;
-    if (!state.handle_line(line)) return fail(state.error);
+    if (!state.handle_line(line)) return asm_fail(state.error);
     if (nl == std::string::npos) break;
     pos = nl + 1;
   }

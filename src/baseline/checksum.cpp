@@ -7,6 +7,10 @@ namespace plx::baseline {
 
 namespace {
 
+inline Diag base_fail(std::string msg) {
+  return Diag(DiagCode::BaselineError, "baseline.checksum", std::move(msg));
+}
+
 // Word-sum checker. The loads go through the VM's *data* view — which is
 // precisely why the Wurster attack defeats this entire technique class.
 const char* kCheckerSource = R"(
@@ -92,14 +96,14 @@ Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
   if (guarded.empty()) {
     for (const auto& f : program.ir.funcs) guarded.push_back(f.name);
   }
-  if (guarded.empty()) return fail("nothing to guard");
+  if (guarded.empty()) return base_fail("nothing to guard");
 
   // Compile and append the checker.
   cc::CompileOptions copts;
   copts.with_start = false;
   copts.entry_func = "__cs_guard";
   auto checker = cc::compile(kCheckerSource, copts);
-  if (!checker) return fail(checker.error());
+  if (!checker) return std::move(checker).take_error().with_context("checksum checker");
   for (auto& frag : checker.value().module.fragments) {
     mod.fragments.push_back(frag);
   }
@@ -124,7 +128,7 @@ Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
 
   for (std::size_t i = 0; i < guarded.size(); ++i) {
     img::Fragment* frag = mod.find_fragment(guarded[i]);
-    if (!frag) return fail("no fragment for '" + guarded[i] + "'");
+    if (!frag) return base_fail("no fragment for '" + guarded[i] + "'");
     // Cross-verification: check the next ring member AND the one after it,
     // so killing a function's callers does not silence the checks on it.
     const std::string prefix = "__cs_" + guarded[i];
@@ -143,7 +147,7 @@ Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
   }
 
   auto laid = img::layout(mod);
-  if (!laid) return fail(laid.error());
+  if (!laid) return std::move(laid).take_error().with_context("checksum layout");
   ChecksumProtected out;
   out.image = std::move(laid).take().image;
   out.guarded = guarded;
@@ -163,14 +167,14 @@ Result<ChecksumProtected> protect_with_checksums(const cc::Compiled& program,
 
   for (std::size_t i = 0; i < guarded.size(); ++i) {
     if (!fill("__cs_" + guarded[i], guarded[(i + 1) % guarded.size()])) {
-      return fail("guard patching failed for " + guarded[i]);
+      return base_fail("guard patching failed for " + guarded[i]);
     }
     if (guarded.size() > 2 &&
         !fill("__cs2_" + guarded[i], guarded[(i + 2) % guarded.size()])) {
-      return fail("secondary guard patching failed for " + guarded[i]);
+      return base_fail("secondary guard patching failed for " + guarded[i]);
     }
   }
-  if (!fill("__cs_self", "__cs_guard")) return fail("self-guard patching failed");
+  if (!fill("__cs_self", "__cs_guard")) return base_fail("self-guard patching failed");
   return out;
 }
 

@@ -22,6 +22,10 @@ bool oh_applicable(const IrFunc& f) {
 
 namespace {
 
+inline Diag oh_fail(std::string msg) {
+  return Diag(DiagCode::BaselineError, "baseline.ohash", std::move(msg));
+}
+
 bool hashable(IrOp op) {
   switch (op) {
     case IrOp::Const:
@@ -153,13 +157,13 @@ Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions
     const bool wanted = targets.empty() ? oh_applicable(f) : targets.contains(f.name);
     if (!wanted) continue;
     if (!oh_applicable(f)) {
-      return fail("OH cannot protect non-deterministic function '" + f.name +
+      return oh_fail("OH cannot protect non-deterministic function '" + f.name +
                   "' (depends on syscall inputs)");
     }
     f = instrument(f, std::max(1, opts.every));
     out.instrumented.push_back(f.name);
   }
-  if (out.instrumented.empty()) return fail("nothing OH-applicable to instrument");
+  if (out.instrumented.empty()) return oh_fail("nothing OH-applicable to instrument");
   for (auto& f : ir.funcs) {
     if (f.name == "main") f = guard_main(f);
   }
@@ -172,7 +176,7 @@ Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions
   }
   for (const auto& f : ir.funcs) {
     auto frag = cc::emit_func_x86(f);
-    if (!frag) return fail(frag.error());
+    if (!frag) return std::move(frag).take_error().with_context("OH instrumentation");
     mod.fragments.push_back(std::move(frag).take());
   }
   for (const auto& g : ir.globals) {
@@ -193,14 +197,14 @@ Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions
   }
 
   auto laid = img::layout(mod);
-  if (!laid) return fail(laid.error());
+  if (!laid) return std::move(laid).take_error().with_context("OH layout");
   out.image = std::move(laid).take().image;
 
   // Recording run (the "dynamic testing" phase): record mode on.
   const img::Symbol* record_sym = out.image.find_symbol("__oh_record");
   const img::Symbol* hash_sym = out.image.find_symbol("__oh_hash");
   const img::Symbol* expect_sym = out.image.find_symbol("__oh_expected");
-  if (!record_sym || !hash_sym || !expect_sym) return fail("missing OH globals");
+  if (!record_sym || !hash_sym || !expect_sym) return oh_fail("missing OH globals");
 
   img::Image recording = out.image;
   for (auto& sec : recording.sections) {
@@ -211,11 +215,11 @@ Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions
   vm::Machine rec(recording);
   auto run = rec.run(500'000'000);
   if (run.reason != vm::StopReason::Exited) {
-    return fail("OH recording run did not complete: " + run.fault);
+    return oh_fail("OH recording run did not complete: " + run.fault);
   }
   bool ok = true;
   out.recorded_hash = rec.read_u32(hash_sym->vaddr, ok);
-  if (!ok) return fail("could not read recorded hash");
+  if (!ok) return oh_fail("could not read recorded hash");
 
   for (auto& sec : out.image.sections) {
     if (sec.contains(expect_sym->vaddr)) {

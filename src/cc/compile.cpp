@@ -9,9 +9,9 @@ namespace plx::cc {
 
 Result<Compiled> compile(const std::string& source, const CompileOptions& opts) {
   auto ast = parse(source);
-  if (!ast) return fail(ast.error());
+  if (!ast) return std::move(ast).take_error();
   auto ir = generate(ast.value());
-  if (!ir) return fail(ir.error());
+  if (!ir) return std::move(ir).take_error();
 
   Compiled out;
   out.ir = std::move(ir).take();
@@ -38,7 +38,9 @@ Result<Compiled> compile(const std::string& source, const CompileOptions& opts) 
 
   for (const auto& f : out.ir.funcs) {
     auto frag = emit_func_x86(f);
-    if (!frag) return fail("in function '" + f.name + "': " + frag.error());
+    if (!frag) {
+      return std::move(frag).take_error().with_context("in function '" + f.name + "'");
+    }
     out.module.fragments.push_back(std::move(frag).take());
   }
   for (const auto& g : out.ir.globals) {

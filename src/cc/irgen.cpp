@@ -22,6 +22,7 @@ struct Gen {
   const Program& prog;
   IrProgram out;
   std::string error;
+  std::string error_func;  // function being generated when the error fired
 
   // Per-function state.
   IrFunc* fn = nullptr;
@@ -36,7 +37,10 @@ struct Gen {
   explicit Gen(const Program& p) : prog(p) {}
 
   bool err(int line, const std::string& msg) {
-    if (error.empty()) error = "line " + std::to_string(line) + ": " + msg;
+    if (error.empty()) {
+      error = "line " + std::to_string(line) + ": " + msg;
+      if (fn) error_func = fn->name;
+    }
     return false;
   }
 
@@ -691,7 +695,14 @@ struct Gen {
 
 Result<IrProgram> generate(const Program& prog) {
   Gen gen(prog);
-  if (!gen.run()) return fail(gen.error.empty() ? "codegen error" : gen.error);
+  if (!gen.run()) {
+    Diag d(DiagCode::IrGenError, "cc.irgen",
+           gen.error.empty() ? "codegen error" : gen.error);
+    if (!gen.error_func.empty()) {
+      d.with_context("in function '" + gen.error_func + "'");
+    }
+    return d;
+  }
   return std::move(gen.out);
 }
 

@@ -60,6 +60,11 @@ const char* tok_name(Tok t) {
 
 namespace {
 
+inline plx::Diag lex_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::LexError, "cc.lex", std::move(msg));
+}
+
+
 const std::map<std::string, Tok>& keywords() {
   static const std::map<std::string, Tok> kw = {
       {"int", Tok::KwInt},         {"char", Tok::KwChar},
@@ -92,7 +97,7 @@ Result<std::vector<Token>> lex(const std::string& src) {
   std::size_t i = 0;
   int line = 1;
   auto err = [&](const std::string& msg) {
-    return fail("line " + std::to_string(line) + ": " + msg);
+    return lex_fail("line " + std::to_string(line) + ": " + msg);
   };
 
   while (i < src.size()) {

@@ -8,6 +8,8 @@ struct Parser {
   std::vector<Token> toks;
   std::size_t pos = 0;
   std::string error;
+  std::string error_func;  // function being parsed when the error fired
+  std::string cur_func;
 
   const Token& peek(int ahead = 0) const {
     const std::size_t i = pos + static_cast<std::size_t>(ahead);
@@ -25,6 +27,7 @@ struct Parser {
   bool err(const std::string& msg) {
     if (error.empty()) {
       error = "line " + std::to_string(cur().line) + ": " + msg;
+      error_func = cur_func;
     }
     return false;
   }
@@ -467,7 +470,9 @@ struct Parser {
           } while (accept(Tok::Comma));
         }
         if (!expect(Tok::RParen)) return false;
+        cur_func = fn.name;
         if (!parse_block(fn.body)) return false;
+        cur_func.clear();
         prog.funcs.push_back(std::move(fn));
         continue;
       }
@@ -505,12 +510,17 @@ struct Parser {
 
 Result<Program> parse(const std::string& source) {
   auto toks = lex(source);
-  if (!toks) return fail(toks.error());
+  if (!toks) return std::move(toks).take_error();
   Parser p;
   p.toks = std::move(toks).take();
   Program prog;
   if (!p.parse_program(prog)) {
-    return fail(p.error.empty() ? "parse error" : p.error);
+    Diag d(DiagCode::ParseError, "cc.parse",
+           p.error.empty() ? "parse error" : p.error);
+    if (!p.error_func.empty()) {
+      d.with_context("in function '" + p.error_func + "'");
+    }
+    return d;
   }
   return prog;
 }

@@ -140,14 +140,14 @@ Result<parallax::Protected> protect_target(const Target& t,
                                            parallax::Hardening mode,
                                            std::uint64_t seed) {
   auto compiled = cc::compile(t.source);
-  if (!compiled) return fail("compile " + t.name + ": " + compiled.error());
+  if (!compiled) return std::move(compiled).take_error().with_context("compile " + t.name);
   parallax::ProtectOptions opts;
   opts.verify_functions = {t.verify_function};
   opts.hardening = mode;
   opts.seed = seed;
   parallax::Protector p;
   auto prot = p.protect(compiled.value(), opts);
-  if (!prot) return fail("protect " + t.name + ": " + prot.error());
+  if (!prot) return std::move(prot).take_error().with_context("protect " + t.name);
   return std::move(prot).take();
 }
 

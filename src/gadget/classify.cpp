@@ -123,7 +123,7 @@ struct Sim {
 
   bool reg_known(Reg r, OpSize size, std::uint32_t& out) const {
     int lo, n;
-    Reg parent;
+    Reg parent = r;
     locate(r, size, lo, n, parent);
     const KnownVal& kv = regs[static_cast<unsigned>(parent)];
     if (!kv.known_bytes(lo, n)) return false;
@@ -133,7 +133,7 @@ struct Sim {
 
   void set_reg(Reg r, OpSize size, std::uint32_t v, bool known) {
     int lo, n;
-    Reg parent;
+    Reg parent = r;
     locate(r, size, lo, n, parent);
     regs[static_cast<unsigned>(parent)].set_bytes(lo, n, v, known);
   }
@@ -151,7 +151,7 @@ struct Sim {
 
 Reg parent_of(const Operand& o) {
   int lo, n;
-  Reg parent;
+  Reg parent = o.reg;
   Sim::locate(o.reg, o.size, lo, n, parent);
   return parent;
 }

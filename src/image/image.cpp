@@ -66,6 +66,11 @@ std::vector<std::uint8_t> Image::read(std::uint32_t addr, std::uint32_t n) const
 }
 
 namespace {
+
+inline plx::Diag img_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::ImageFormat, "image.format", std::move(msg));
+}
+
 constexpr std::uint32_t kMagic = 0x31584c50;  // "PLX1"
 }
 
@@ -93,23 +98,23 @@ Buffer Image::serialize() const {
 
 Result<Image> Image::deserialize(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
-  if (r.get_u32() != kMagic) return fail("bad PLX magic");
+  if (r.get_u32() != kMagic) return img_fail("bad PLX magic");
   Image img;
   img.entry = r.get_u32();
   const std::uint32_t nsec = r.get_u32();
-  if (!r.ok() || nsec > 1024) return fail("corrupt section count");
+  if (!r.ok() || nsec > 1024) return img_fail("corrupt section count");
   for (std::uint32_t i = 0; i < nsec; ++i) {
     Section s;
     s.name = r.get_str();
     s.vaddr = r.get_u32();
     s.perms = r.get_u32();
     const std::uint32_t n = r.get_u32();
-    if (!r.ok() || n > r.remaining()) return fail("corrupt section body");
+    if (!r.ok() || n > r.remaining()) return img_fail("corrupt section body");
     s.bytes = Buffer(r.get_bytes(n));
     img.sections.push_back(std::move(s));
   }
   const std::uint32_t nsym = r.get_u32();
-  if (!r.ok() || nsym > (1u << 20)) return fail("corrupt symbol count");
+  if (!r.ok() || nsym > (1u << 20)) return img_fail("corrupt symbol count");
   for (std::uint32_t i = 0; i < nsym; ++i) {
     Symbol s;
     s.name = r.get_str();
@@ -118,7 +123,7 @@ Result<Image> Image::deserialize(std::span<const std::uint8_t> bytes) {
     s.is_func = r.get_u8() != 0;
     img.symbols.push_back(std::move(s));
   }
-  if (!r.ok()) return fail("truncated image");
+  if (!r.ok()) return img_fail("truncated image");
   return img;
 }
 

@@ -8,6 +8,13 @@ namespace plx::img {
 
 namespace {
 
+inline Diag lay_fail(std::string msg) {
+  return Diag(DiagCode::LayoutError, "image.layout", std::move(msg));
+}
+inline Diag sym_fail(std::string msg) {
+  return Diag(DiagCode::MissingSymbol, "image.layout", std::move(msg));
+}
+
 struct SectionPlan {
   SectionKind kind;
   const char* name;
@@ -37,16 +44,16 @@ Result<Buffer> encode_item(const Item& item) {
   if (item.fixup != Fixup::None) insn.wide_imm = true;
   Buffer bytes;
   auto r = x86::encode(insn, bytes);
-  if (!r) return fail(r.error());
+  if (!r) return std::move(r).take_error().with_context("encoding instruction");
   if (item.fixup == Fixup::RelBranch || item.fixup == Fixup::AbsImm ||
       item.fixup == Fixup::AbsDisp) {
-    if (bytes.size() < 4) return fail("fixup instruction too short for a 32-bit field");
+    if (bytes.size() < 4) return lay_fail("fixup instruction too short for a 32-bit field");
   }
   if (item.fixup == Fixup::AbsDisp) {
     // The disp32 must be the last field; an immediate operand would follow it.
     for (const auto& op : insn.ops) {
       if (op.kind == x86::Operand::Kind::Imm) {
-        return fail("AbsDisp fixup with a trailing immediate operand is unsupported; "
+        return lay_fail("AbsDisp fixup with a trailing immediate operand is unsupported; "
                     "load the address into a register first");
       }
     }
@@ -73,7 +80,7 @@ Result<LayoutResult> layout(const Module& module) {
   auto define = [&](const std::string& name, std::uint32_t addr) -> Result<int> {
     auto [it, inserted] = symtab.emplace(name, addr);
     (void)it;
-    if (!inserted) return fail("duplicate symbol: " + name);
+    if (!inserted) return lay_fail("duplicate symbol: " + name);
     return 0;
   };
 
@@ -84,7 +91,7 @@ Result<LayoutResult> layout(const Module& module) {
     cur = align_up(cur, frag.align);
     frag_addr[f] = cur;
     if (!frag.name.empty()) {
-      if (auto r = define(frag.name, cur); !r) return fail(r.error());
+      if (auto r = define(frag.name, cur); !r) return std::move(r).take_error();
     }
 
     encoded[f].resize(frag.items.size());
@@ -92,14 +99,14 @@ Result<LayoutResult> layout(const Module& module) {
     for (std::size_t i = 0; i < frag.items.size(); ++i) {
       const Item& item = frag.items[i];
       for (const auto& label : item.labels) {
-        if (auto r = define(mangle_label(frag, label), cur); !r) return fail(r.error());
+        if (auto r = define(mangle_label(frag, label), cur); !r) return std::move(r).take_error();
       }
       std::uint32_t size = 0;
       switch (item.kind) {
         case Item::Kind::Insn: {
           auto enc = encode_item(item);
           if (!enc) {
-            return fail("in fragment '" + frag.name + "': " + enc.error());
+            return std::move(enc).take_error().with_context("in fragment '" + frag.name + "'");
           }
           encoded[f][i] = std::move(enc).take();
           size = static_cast<std::uint32_t>(encoded[f][i].size());
@@ -133,8 +140,8 @@ Result<LayoutResult> layout(const Module& module) {
       const std::string target_name = mangle_label(frag, item.sym);
       auto it = symtab.find(target_name);
       if (it == symtab.end()) {
-        return fail("undefined symbol '" + item.sym + "' referenced from fragment '" +
-                    frag.name + "'");
+        return sym_fail("undefined symbol '" + item.sym + "' referenced from fragment '" +
+                        frag.name + "'");
       }
       const std::uint32_t s = it->second + static_cast<std::uint32_t>(item.addend);
       const LaidOutItem& loc = result.items[f][i];
@@ -153,7 +160,7 @@ Result<LayoutResult> layout(const Module& module) {
           break;
       }
       if (item.fixup == Fixup::AbsData) {
-        if (bytes.size() < 4) return fail("AbsData item smaller than 4 bytes");
+        if (bytes.size() < 4) return lay_fail("AbsData item smaller than 4 bytes");
         bytes.set_u32(0, value);
       } else {
         bytes.set_u32(bytes.size() - 4, value);
@@ -208,7 +215,7 @@ Result<LayoutResult> layout(const Module& module) {
   }
 
   auto entry_it = symtab.find(module.entry);
-  if (entry_it == symtab.end()) return fail("entry symbol not found: " + module.entry);
+  if (entry_it == symtab.end()) return sym_fail("entry symbol not found: " + module.entry);
   result.image.entry = entry_it->second;
   return result;
 }

@@ -1,0 +1,150 @@
+#include "parallax/batch.h"
+
+#include <fstream>
+
+#include "cc/compile.h"
+#include "parallax/pipeline.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+#include "workloads/corpus.h"
+
+namespace plx::parallax {
+
+namespace {
+
+// One job, start to finish: compile, then replay the stage sequence so the
+// traces survive even when a stage fails partway.
+BatchResult run_job(const BatchJob& job) {
+  BatchResult r;
+  r.name = job.name;
+
+  auto compiled = cc::compile(job.source);
+  if (!compiled) {
+    r.error = std::move(compiled).take_error().with_context(
+        "batch job '" + job.name + "'");
+    return r;
+  }
+
+  PipelineContext ctx = make_context(compiled.value(), job.opts);
+  for (const Stage* stage : protection_stages()) {
+    auto status = run_stage(*stage, ctx);
+    if (!status) {
+      r.error = std::move(status).take_error().with_context(
+          "batch job '" + job.name + "'");
+      r.traces = std::move(ctx.out.traces);
+      for (const auto& t : r.traces) r.millis_total += t.millis;
+      return r;
+    }
+  }
+
+  Protected& prot = ctx.out;
+  r.ok = true;
+  r.traces = std::move(prot.traces);
+  for (const auto& t : r.traces) r.millis_total += t.millis;
+
+  const Buffer blob = prot.image.serialize();
+  r.image_bytes = blob.size();
+  r.image_fnv64 = fnv1a64(blob.span().data(), blob.size());
+  r.chains = prot.chains.size();
+  for (const auto& [name, chain] : prot.chains) {
+    r.chain_words += chain.words.size();
+  }
+  r.gadgets_total = prot.gadgets_total;
+  r.gadgets_overlapping = prot.gadgets_overlapping;
+  r.used_gadgets_overlapping = prot.used_gadgets_overlapping;
+  return r;
+}
+
+void emit_trace(std::ofstream& out, const StageTrace& t, bool last) {
+  out << "    {\"stage\": \"" << json::escape(t.stage) << "\""
+      << ", \"millis\": " << json::num(t.millis)
+      << ", \"input_bytes\": " << t.input_bytes
+      << ", \"output_bytes\": " << t.output_bytes << ", \"counters\": {";
+  for (std::size_t i = 0; i < t.counters.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json::escape(t.counters[i].first)
+        << "\": " << t.counters[i].second;
+  }
+  out << "}, \"warnings\": [";
+  for (std::size_t i = 0; i < t.warnings.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json::escape(t.warnings[i]) << "\"";
+  }
+  out << "]}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<BatchResult> protect_batch(const std::vector<BatchJob>& jobs,
+                                       unsigned threads) {
+  std::vector<BatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i]);
+    return results;
+  }
+  support::ThreadPool pool(threads);
+  pool.parallel_for(jobs.size(),
+                    [&](std::size_t i) { results[i] = run_job(jobs[i]); });
+  return results;
+}
+
+std::vector<BatchJob> corpus_jobs(Hardening hardening, std::uint64_t seed) {
+  std::vector<BatchJob> jobs;
+  for (const auto& w : workloads::corpus()) {
+    BatchJob job;
+    job.name = w.name;
+    job.source = w.source;
+    job.opts.verify_functions = {w.verify_function};
+    job.opts.hardening = hardening;
+    job.opts.seed = seed;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+bool write_protect_json(const BatchResult& r, const std::string& dir) {
+  const std::string path = dir + "/PROTECT_" + r.name + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+
+  char fnv_hex[24];
+  std::snprintf(fnv_hex, sizeof fnv_hex, "%016llx",
+                static_cast<unsigned long long>(r.image_fnv64));
+
+  out << "{\n";
+  out << "  \"protect\": \"" << json::escape(r.name) << "\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+  if (!r.ok) {
+    out << "  \"error\": {\"code\": \"" << diag_code_name(r.error.code())
+        << "\", \"stage\": \"" << json::escape(r.error.stage())
+        << "\", \"message\": \"" << json::escape(r.error.str()) << "\"},\n";
+  }
+  out << "  \"image_bytes\": " << r.image_bytes << ",\n";
+  out << "  \"image_fnv64\": \"" << fnv_hex << "\",\n";
+  out << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < r.traces.size(); ++i) {
+    emit_trace(out, r.traces[i], i + 1 == r.traces.size());
+  }
+  out << "  ],\n";
+  out << "  \"totals\": {"
+      << "\"millis\": " << json::num(r.millis_total)
+      << ", \"stages\": " << r.traces.size() << ", \"chains\": " << r.chains
+      << ", \"chain_words\": " << r.chain_words
+      << ", \"gadgets_total\": " << r.gadgets_total
+      << ", \"gadgets_overlapping\": " << r.gadgets_overlapping
+      << ", \"used_gadgets_overlapping\": " << r.used_gadgets_overlapping
+      << "}\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace plx::parallax

@@ -1,0 +1,66 @@
+// Parallel batch protection driver.
+//
+// Protects many programs (typically the six-workload evaluation corpus)
+// across the worker thread pool, one independent pipeline per job, and
+// aggregates each job's StageTraces into a PROTECT_<name>.json report
+// (schema checked by bench/validate_protect_json, exercised by the
+// protect_smoke ctest label).
+//
+// Results are deterministic in thread count: each job is fully determined by
+// its (source, options) pair, jobs share no mutable state, and the result
+// vector is positionally aligned with the job vector regardless of the order
+// workers finish in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallax/protector.h"
+
+namespace plx::parallax {
+
+struct BatchJob {
+  std::string name;    // report name: PROTECT_<name>.json
+  std::string source;  // mini-C source
+  ProtectOptions opts;
+};
+
+struct BatchResult {
+  std::string name;
+  bool ok = false;
+  Diag error;  // meaningful iff !ok (code/stage/context preserved)
+
+  // Stages that executed, in order — also populated on failure, up to and
+  // including the stage that failed.
+  std::vector<StageTrace> traces;
+
+  // Success-only aggregates.
+  std::size_t image_bytes = 0;
+  std::uint64_t image_fnv64 = 0;  // digest of the serialized image
+  std::size_t chains = 0;
+  std::size_t chain_words = 0;
+  std::size_t gadgets_total = 0;
+  std::size_t gadgets_overlapping = 0;
+  std::size_t used_gadgets_overlapping = 0;
+
+  double millis_total = 0;  // sum of stage wall times
+};
+
+// Protect every job concurrently (threads == 0 picks hardware concurrency;
+// threads == 1 runs serially on the calling thread).
+std::vector<BatchResult> protect_batch(const std::vector<BatchJob>& jobs,
+                                       unsigned threads = 0);
+
+// One job per corpus workload, using each workload's suggested verification
+// function (deterministic; benchmarks use the same pinning).
+std::vector<BatchJob> corpus_jobs(Hardening hardening = Hardening::Cleartext,
+                                  std::uint64_t seed = 0x9a11a);
+
+// Write PROTECT_<name>.json into `dir`; returns false on IO failure.
+bool write_protect_json(const BatchResult& result, const std::string& dir);
+
+// FNV-1a 64-bit, the digest used for image_fnv64 (exposed for tests).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+}  // namespace plx::parallax

@@ -1,0 +1,688 @@
+#include "parallax/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "analysis/callgraph.h"
+#include "analysis/selection.h"
+#include "asm/assembler.h"
+#include "gadget/scanner.h"
+#include "rewrite/rewriter.h"
+#include "ropc/ropc.h"
+#include "verify/hardening.h"
+
+namespace plx::parallax {
+
+namespace {
+
+img::Fragment data_fragment(const std::string& name, std::size_t bytes,
+                            std::uint32_t align = 4) {
+  img::Fragment f;
+  f.name = name;
+  f.section = img::SectionKind::Data;
+  f.align = align;
+  Buffer b;
+  b.resize(bytes);
+  f.items.push_back(img::Item::make_data(std::move(b)));
+  return f;
+}
+
+// Overwrite image bytes at an absolute address (content patching never moves
+// anything, so it is safe after final layout).
+bool poke(img::Image& image, std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  for (auto& sec : image.sections) {
+    if (!sec.contains(addr)) continue;
+    const std::uint32_t off = addr - sec.vaddr;
+    if (off + bytes.size() > sec.bytes.size()) return false;
+    std::copy(bytes.begin(), bytes.end(), sec.bytes.data() + off);
+    return true;
+  }
+  return false;
+}
+
+bool poke_words(img::Image& image, std::uint32_t addr,
+                std::span<const std::uint32_t> words) {
+  Buffer b;
+  for (std::uint32_t w : words) b.put_u32(w);
+  return poke(image, addr, b.span());
+}
+
+// Laid-out image bytes visible at this point of the pipeline: the final
+// image once it exists, else the preliminary layout, else nothing yet.
+std::size_t visible_bytes(const PipelineContext& ctx) {
+  const img::Image* image = nullptr;
+  if (!ctx.out.image.sections.empty()) {
+    image = &ctx.out.image;
+  } else if (ctx.prelim) {
+    image = &ctx.prelim->image;
+  }
+  if (!image) return 0;
+  std::size_t n = 0;
+  for (const auto& sec : image->sections) n += sec.bytes.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// select: pick verification functions and lower their IR (§VII-B).
+// ---------------------------------------------------------------------------
+class SelectStage final : public Stage {
+ public:
+  const char* name() const override { return "select"; }
+  Status run(PipelineContext& ctx) const override {
+    const cc::Compiled& program = *ctx.program;
+    const ProtectOptions& opts = ctx.opts;
+
+    std::vector<std::string> vfs = opts.verify_functions;
+    if (vfs.empty()) {
+      const auto cg = analysis::build_callgraph(program.ir);
+      analysis::SelectionOptions sel;
+      sel.count = opts.max_verify_functions;
+      sel.max_time_fraction = opts.max_time_fraction;
+      vfs = analysis::select_verification_functions(program.ir, cg, opts.profile, sel);
+      if (vfs.empty()) {
+        return fail(DiagCode::SelectionError, "parallax.select",
+                    "no suitable verification function found (§VII-B)");
+      }
+      if (!opts.profile) {
+        ctx.warn("auto-selection ran without a profile; §VII-B coldness is "
+                 "estimated statically");
+      }
+    }
+
+    for (const auto& fname : vfs) {
+      const cc::IrFunc* ir = nullptr;
+      for (const auto& f : program.ir.funcs) {
+        if (f.name == fname) ir = &f;
+      }
+      if (!ir) {
+        return fail(DiagCode::SelectionError, "parallax.select",
+                    "verification function '" + fname + "' not found");
+      }
+      cc::IrFunc lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*ir));
+      if (!analysis::chain_compilable(lowered)) {
+        return fail(DiagCode::SelectionError, "parallax.select",
+                    "function '" + fname + "' cannot be translated to a chain "
+                    "(calls, syscalls or division)");
+      }
+      PipelineContext::FuncState pf;
+      pf.name = fname;
+      pf.lowered = std::move(lowered);
+      pf.frame = "__plx_frame_" + fname;
+      pf.exec = "__plx_chain_" + fname;
+      pf.resume = "__plx_resume_" + fname;
+      pf.src = "__plx_src_" + fname;
+      pf.len = "__plx_len_" + fname;
+      pf.idx = "__plx_idx_" + fname;
+      pf.basis = "__plx_basis_" + fname;
+      ctx.funcs.push_back(std::move(pf));
+    }
+
+    ctx.count("ir_functions", program.ir.funcs.size());
+    ctx.count("verify_functions", ctx.funcs.size());
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// stub-install: replace verification bodies with loader stubs, reserve
+// storage fragments, assemble the hardening runtime, optionally run the
+// §IV-B crafting rules over the remaining program functions.
+// ---------------------------------------------------------------------------
+class StubInstallStage final : public Stage {
+ public:
+  const char* name() const override { return "stub-install"; }
+  Status run(PipelineContext& ctx) const override {
+    const ProtectOptions& opts = ctx.opts;
+    img::Module& mod = ctx.mod;
+
+    for (auto& pf : ctx.funcs) {
+      img::Fragment* frag = mod.find_fragment(pf.name);
+      if (!frag) {
+        return fail(DiagCode::StubError, "parallax.stub_install",
+                    "no text fragment for '" + pf.name + "'");
+      }
+
+      verify::StubSpec spec;
+      spec.func_name = pf.name;
+      spec.num_params = pf.lowered.num_params;
+      spec.result_slot = pf.lowered.num_slots;
+      spec.frame_sym = pf.frame;
+      spec.chain_exec_sym = pf.exec;
+      spec.resume_sym = pf.resume;
+      spec.hardening = opts.hardening;
+      spec.routine_sym = verify::runtime_symbol(opts.hardening);
+      spec.chain_src_sym = pf.src;
+      spec.len_sym = pf.len;
+      spec.idx_sym = pf.idx;
+      spec.basis_sym = pf.basis;
+      spec.variants = opts.variants;
+      *frag = verify::emit_stub(spec);
+
+      mod.fragments.push_back(data_fragment(
+          pf.frame, 4u * (static_cast<std::size_t>(pf.lowered.num_slots) + 1)));
+      // Chain words, then the resume word: consecutive data fragments stay
+      // adjacent in layout (align 1 on the resume keeps them contiguous).
+      mod.fragments.push_back(data_fragment(pf.exec, 0));
+      mod.fragments.back().align = 4;
+      img::Fragment resume = data_fragment(pf.resume, 4, 1);
+      mod.fragments.push_back(std::move(resume));
+
+      if (opts.hardening == Hardening::Xor || opts.hardening == Hardening::Rc4) {
+        mod.fragments.push_back(data_fragment(pf.src, 0));
+        mod.fragments.push_back(data_fragment(pf.len, 4));
+      } else if (opts.hardening == Hardening::Probabilistic) {
+        mod.fragments.push_back(data_fragment(pf.idx, 0));
+        mod.fragments.push_back(data_fragment(pf.basis, 128));
+        mod.fragments.push_back(data_fragment(pf.len, 4));
+      }
+    }
+
+    // Shared scratch parking area and the utility gadget set.
+    mod.fragments.push_back(data_fragment("__plx_scratch", 4096, 16));
+    mod.fragments.push_back(gadget::utility_gadget_fragment());
+
+    // Hardening runtime (hand-written assembly), if any.
+    if (opts.hardening != Hardening::Cleartext) {
+      std::vector<std::uint8_t> key(16);
+      for (auto& b : key) b = static_cast<std::uint8_t>(ctx.rng.next_u32());
+      const std::string src = verify::runtime_asm_source(opts.hardening, key);
+      auto runtime = assembler::assemble(src);
+      if (!runtime) {
+        return std::move(runtime).take_error().with_context("hardening runtime");
+      }
+      for (auto& frag : runtime.value().fragments) {
+        mod.fragments.push_back(frag);
+      }
+      // Stash the key where materialisation can reuse it.
+      img::Fragment key_frag = data_fragment("__plx_hostkey", key.size(), 1);
+      Buffer kb{std::vector<std::uint8_t>(key)};
+      key_frag.items[0] = img::Item::make_data(std::move(kb));
+      mod.fragments.push_back(std::move(key_frag));
+    }
+
+    // §IV-B crafting: create fresh overlapping gadgets inside the remaining
+    // program functions (the verification functions' bodies are stubs now,
+    // so crafting there would be wasted). Must happen before the preliminary
+    // layout: the edits change text layout.
+    std::size_t crafted_count = 0;
+    if (opts.craft_gadgets) {
+      rewrite::CraftOptions copts;
+      copts.max_per_function = opts.max_crafted_per_function;
+      for (const auto& frag : mod.fragments) {
+        if (frag.section != img::SectionKind::Text || !frag.is_func) continue;
+        if (frag.name.starts_with("__plx")) continue;
+        bool is_vf = false;
+        for (const auto& pf : ctx.funcs) is_vf |= pf.name == frag.name;
+        if (!is_vf) copts.functions.push_back(frag.name);
+      }
+      auto crafted = rewrite::craft_gadgets(mod, copts);
+      if (!crafted) {
+        return std::move(crafted).take_error().with_context("gadget crafting");
+      }
+      crafted_count = crafted.value().crafted.size();
+      if (crafted_count == 0) {
+        ctx.warn("crafting was requested but no §IV-B rule applied");
+      }
+      mod = std::move(crafted).take().module;
+    }
+
+    ctx.count("fragments", mod.fragments.size());
+    if (opts.craft_gadgets) ctx.count("crafted_gadgets", crafted_count);
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// layout: preliminary layout. Text positions are final after this stage —
+// only data fragment sizes change later — but the 32-bit fixup fields of
+// text instructions referencing data symbols will be re-patched, so their
+// byte ranges are collected as mutable.
+// ---------------------------------------------------------------------------
+class LayoutStage final : public Stage {
+ public:
+  const char* name() const override { return "layout"; }
+  Status run(PipelineContext& ctx) const override {
+    auto prelim = img::layout(ctx.mod);
+    if (!prelim) {
+      return std::move(prelim).take_error().with_context("preliminary layout");
+    }
+    ctx.prelim = std::move(prelim).take();
+
+    for (std::size_t f = 0; f < ctx.mod.fragments.size(); ++f) {
+      const img::Fragment& frag = ctx.mod.fragments[f];
+      if (frag.section != img::SectionKind::Text) continue;
+      for (std::size_t i = 0; i < frag.items.size(); ++i) {
+        const img::Item& item = frag.items[i];
+        if (item.fixup != img::Fixup::AbsImm && item.fixup != img::Fixup::AbsDisp) {
+          continue;
+        }
+        const img::LaidOutItem& loc = ctx.prelim->items[f][i];
+        if (loc.size >= 4) {
+          ctx.mutable_ranges.emplace_back(loc.addr + loc.size - 4,
+                                          loc.addr + loc.size);
+        }
+      }
+    }
+
+    ctx.count("symbols", ctx.prelim->image.symbols.size());
+    ctx.count("mutable_ranges", ctx.mutable_ranges.size());
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// scan: gadget scan over the preliminary image; gadgets intersecting mutable
+// fixup bytes are dropped (their bytes may still change).
+// ---------------------------------------------------------------------------
+class ScanStage final : public Stage {
+ public:
+  const char* name() const override { return "scan"; }
+  Status run(PipelineContext& ctx) const override {
+    if (!ctx.prelim) {
+      return fail(DiagCode::Internal, "parallax.scan",
+                  "scan stage ran before layout");
+    }
+    auto intersects_mutable = [&](std::uint32_t lo, std::uint32_t hi) {
+      for (const auto& [mlo, mhi] : ctx.mutable_ranges) {
+        if (lo < mhi && hi > mlo) return true;
+      }
+      return false;
+    };
+
+    std::size_t scanned = 0;
+    std::vector<gadget::Gadget> stable_gadgets;
+    for (auto& g : gadget::scan(ctx.prelim->image)) {
+      ++scanned;
+      if (!intersects_mutable(g.addr, g.end())) {
+        stable_gadgets.push_back(std::move(g));
+      }
+    }
+    const std::size_t stable = stable_gadgets.size();
+    ctx.catalog = gadget::Catalog(std::move(stable_gadgets));
+
+    ctx.count("gadgets_scanned", scanned);
+    ctx.count("gadgets_stable", stable);
+    ctx.count("gadgets_dropped_mutable", scanned - stable);
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// gadget-map: mark gadgets overlapping protected instructions (the "gadget
+// mapping" of §III) and build the weave pool of transparent overlapping
+// gadgets the chain compiler may insert as verification NOPs.
+// ---------------------------------------------------------------------------
+class GadgetMapStage final : public Stage {
+ public:
+  const char* name() const override { return "gadget-map"; }
+  Status run(PipelineContext& ctx) const override {
+    if (!ctx.prelim) {
+      return fail(DiagCode::Internal, "parallax.gadget_map",
+                  "gadget-map stage ran before layout");
+    }
+    const ProtectOptions& opts = ctx.opts;
+
+    // Default: every original program function is protected (stubs, runtime
+    // and the utility set are infrastructure).
+    std::set<std::string> protect_set(opts.protect_functions.begin(),
+                                      opts.protect_functions.end());
+    std::set<std::string> infra = {"__plx_gadgets"};
+    for (const auto& pf : ctx.funcs) infra.insert(pf.name);
+    if (opts.hardening != Hardening::Cleartext) {
+      infra.insert(verify::runtime_symbol(opts.hardening));
+    }
+    std::size_t protected_funcs = 0;
+    for (const auto& sym : ctx.prelim->image.symbols) {
+      if (!sym.is_func || sym.size == 0) continue;
+      if (sym.name.starts_with("__plx")) continue;
+      if (infra.contains(sym.name)) continue;
+      if (!protect_set.empty() && !protect_set.contains(sym.name)) continue;
+      ctx.catalog.mark_overlapping(sym.vaddr, sym.vaddr + sym.size);
+      ++protected_funcs;
+    }
+
+    std::size_t overlapping = 0;
+    for (const auto& g : ctx.catalog.all()) {
+      if (g.overlapping) ++overlapping;
+    }
+
+    if (opts.weave_overlapping) {
+      ctx.weave_pool = ctx.catalog.overlapping_transparent();
+      if (static_cast<int>(ctx.weave_pool.size()) > opts.max_woven) {
+        ctx.warn("weave pool truncated to max_woven=" +
+                 std::to_string(opts.max_woven) + " (had " +
+                 std::to_string(ctx.weave_pool.size()) + ")");
+        ctx.weave_pool.resize(static_cast<std::size_t>(opts.max_woven));
+      }
+      if (ctx.weave_pool.empty()) {
+        ctx.warn("weaving requested but no transparent overlapping gadgets "
+                 "exist; chains carry no woven verification NOPs");
+      }
+    }
+
+    ctx.count("protected_functions", protected_funcs);
+    ctx.count("gadgets_overlapping", overlapping);
+    ctx.count("weave_pool", ctx.weave_pool.size());
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// chain-compile: translate each verification function's IR into a gadget
+// chain; size the storage fragments that depend on chain length; append the
+// guard padding fragments.
+// ---------------------------------------------------------------------------
+class ChainCompileStage final : public Stage {
+ public:
+  const char* name() const override { return "chain-compile"; }
+  Status run(PipelineContext& ctx) const override {
+    const ProtectOptions& opts = ctx.opts;
+    img::Module& mod = ctx.mod;
+
+    std::size_t total_words = 0;
+    std::size_t total_slots = 0;
+    for (auto& pf : ctx.funcs) {
+      ropc::RopCompiler rc(ctx.catalog, pf.frame, "__plx_scratch");
+      ropc::RopcOptions ropts;
+      ropts.verify_pool = ctx.weave_pool;
+      ropts.seed = opts.seed;
+      auto chain = rc.compile(pf.lowered, ropts);
+      if (!chain) {
+        return std::move(chain).take_error().with_context(
+            "chain for '" + pf.name + "'");
+      }
+      pf.chain = std::move(chain).take();
+      if (pf.chain.resume_index != pf.chain.words.size() - 1) {
+        return fail(DiagCode::Internal, "parallax.chain_compile",
+                    "resume word is not last");
+      }
+      total_words += pf.chain.words.size();
+      total_slots += pf.chain.gadget_slots.size();
+      // Size the storage: exec area holds every word except the resume word
+      // (which is the adjacent __plx_resume fragment).
+      const std::size_t exec_words = pf.chain.words.size() - 1;
+      mod.find_fragment(pf.exec)->items[0].data.resize(exec_words * 4);
+      if (opts.hardening == Hardening::Xor || opts.hardening == Hardening::Rc4) {
+        mod.find_fragment(pf.src)->items[0].data.resize(exec_words * 4);
+      } else if (opts.hardening == Hardening::Probabilistic) {
+        mod.find_fragment(pf.idx)->items[0].data.resize(
+            exec_words * static_cast<std::size_t>(opts.variants) *
+            verify::kIdxStride * 4);
+      }
+    }
+
+    // Guard padding so chain byte-ops lowered to word RMW stay in bounds.
+    mod.fragments.push_back(data_fragment("__plx_guard", 16, 1));
+    img::Fragment ro_guard = data_fragment("__plx_roguard", 16, 1);
+    ro_guard.section = img::SectionKind::Rodata;
+    mod.fragments.push_back(std::move(ro_guard));
+
+    ctx.count("chains", ctx.funcs.size());
+    ctx.count("chain_words", total_words);
+    ctx.count("gadget_slots", total_slots);
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// final-layout: lay out the module with final data sizes and verify that no
+// stable text byte moved or changed since the gadget scan.
+// ---------------------------------------------------------------------------
+class FinalLayoutStage final : public Stage {
+ public:
+  const char* name() const override { return "final-layout"; }
+  Status run(PipelineContext& ctx) const override {
+    if (!ctx.prelim) {
+      return fail(DiagCode::Internal, "parallax.final_layout",
+                  "final-layout stage ran before layout");
+    }
+    auto final_laid = img::layout(ctx.mod);
+    if (!final_laid) {
+      return std::move(final_laid).take_error().with_context("final layout");
+    }
+    ctx.out.image = std::move(final_laid).take().image;
+    ctx.out.hardening = ctx.opts.hardening;
+    ctx.out.variants = ctx.opts.variants;
+
+    const img::Section* t0 = ctx.prelim->image.find_section(".text");
+    const img::Section* t1 = ctx.out.image.find_section(".text");
+    if (!t0 || !t1 || t0->vaddr != t1->vaddr ||
+        t0->bytes.size() != t1->bytes.size()) {
+      return fail(DiagCode::Internal, "parallax.final_layout",
+                  "text layout changed between scan and finalisation");
+    }
+    Buffer masked0 = t0->bytes, masked1 = t1->bytes;
+    for (const auto& [mlo, mhi] : ctx.mutable_ranges) {
+      for (std::uint32_t a = mlo; a < mhi; ++a) {
+        masked0[a - t0->vaddr] = 0;
+        masked1[a - t1->vaddr] = 0;
+      }
+    }
+    if (masked0 != masked1) {
+      return fail(DiagCode::Internal, "parallax.final_layout",
+                  "stable text bytes changed between scan and finalisation");
+    }
+
+    ctx.count("symbols", ctx.out.image.symbols.size());
+    ctx.count("text_bytes", t1->bytes.size());
+    return ok_status();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// materialize: resolve every chain against the final image and poke the
+// chain storage per the hardening mode; compute the protected-byte map.
+// ---------------------------------------------------------------------------
+class MaterializeStage final : public Stage {
+ public:
+  const char* name() const override { return "materialize"; }
+  Status run(PipelineContext& ctx) const override {
+    const ProtectOptions& opts = ctx.opts;
+    Protected& result = ctx.out;
+
+    std::vector<std::uint8_t> key;
+    if (const img::Symbol* k = result.image.find_symbol("__plx_hostkey")) {
+      key = result.image.read(k->vaddr, 16);
+    }
+
+    std::set<std::uint32_t> overlap_addrs;
+    for (const auto& g : ctx.catalog.all()) {
+      if (g.overlapping) overlap_addrs.insert(g.addr);
+    }
+    result.gadgets_total = ctx.catalog.size();
+    result.gadgets_overlapping = overlap_addrs.size();
+
+    for (auto& pf : ctx.funcs) {
+      auto resolved = pf.chain.resolve(result.image);
+      if (!resolved) {
+        return std::move(resolved).take_error().with_context(
+            "resolving chain for '" + pf.name + "'");
+      }
+      std::vector<std::uint32_t> words = std::move(resolved).take();
+      words.pop_back();  // the resume word lives in __plx_resume_<f>
+
+      const img::Symbol* exec_sym = result.image.find_symbol(pf.exec);
+      if (!exec_sym) {
+        return fail(DiagCode::MaterializeError, "parallax.materialize",
+                    "missing chain area symbol");
+      }
+
+      switch (opts.hardening) {
+        case Hardening::Cleartext:
+          if (!poke_words(result.image, exec_sym->vaddr, words)) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "chain poke out of range");
+          }
+          break;
+        case Hardening::Xor:
+        case Hardening::Rc4: {
+          const auto ct = verify::encrypt_chain(opts.hardening, words, key);
+          const img::Symbol* src_sym = result.image.find_symbol(pf.src);
+          const img::Symbol* len_sym = result.image.find_symbol(pf.len);
+          if (!src_sym || !len_sym) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "missing hardening symbols");
+          }
+          if (!poke(result.image, src_sym->vaddr, ct)) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "src poke failed");
+          }
+          const std::uint32_t len_bytes =
+              static_cast<std::uint32_t>(words.size() * 4);
+          if (!poke_words(result.image, len_sym->vaddr, {&len_bytes, 1})) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "len poke failed");
+          }
+          break;
+        }
+        case Hardening::Probabilistic: {
+          std::vector<std::vector<std::uint32_t>> variants;
+          variants.push_back(words);
+          for (int v = 1; v < opts.variants; ++v) {
+            variants.push_back(
+                ropc::make_variant(pf.chain, words, ctx.catalog, ctx.rng));
+          }
+          auto storage = verify::build_prob_storage(variants, ctx.rng);
+          if (!storage) {
+            return std::move(storage).take_error().with_context(
+                "probabilistic storage for '" + pf.name + "'");
+          }
+          const img::Symbol* idx_sym = result.image.find_symbol(pf.idx);
+          const img::Symbol* basis_sym = result.image.find_symbol(pf.basis);
+          const img::Symbol* len_sym = result.image.find_symbol(pf.len);
+          if (!idx_sym || !basis_sym || !len_sym) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "missing prob symbols");
+          }
+          if (!poke_words(result.image, idx_sym->vaddr, storage.value().idx) ||
+              !poke_words(result.image, basis_sym->vaddr, storage.value().basis)) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "prob storage poke failed");
+          }
+          const std::uint32_t len_words = static_cast<std::uint32_t>(words.size());
+          if (!poke_words(result.image, len_sym->vaddr, {&len_words, 1})) {
+            return fail(DiagCode::MaterializeError, "parallax.materialize",
+                        "len poke failed");
+          }
+          break;
+        }
+      }
+
+      for (std::uint32_t a : pf.chain.gadget_addrs) {
+        result.used_gadget_addrs.push_back(a);
+        if (overlap_addrs.contains(a)) ++result.used_gadgets_overlapping;
+      }
+      result.chain_functions.push_back(pf.name);
+      result.chains.emplace(pf.name, std::move(pf.chain));
+    }
+
+    // Protected-byte map: the byte extent of every gadget referenced by any
+    // chain. gadget_addrs[i] parallels gadget_slots[i], so the slot type
+    // tells whether a use is computational (strict tier) or a woven
+    // transparent verification NOP (advisory tier). A computational gadget's
+    // leading nop filler (e.g. `nop; nop; pop eax; ret` classified PopReg)
+    // is emitted as a separate advisory range: those bytes execute but
+    // compute nothing, so a flip that yields another chain-transparent
+    // instruction survives — the same §VIII-C escape hatch as fully
+    // transparent slots.
+    {
+      std::map<std::uint32_t, const gadget::Gadget*> by_addr;
+      for (const auto& g : ctx.catalog.all()) by_addr.emplace(g.addr, &g);
+      std::map<std::uint32_t, ProtectedRange> ranges;
+      for (const auto& [fname, chain] : result.chains) {
+        for (std::size_t i = 0; i < chain.gadget_addrs.size(); ++i) {
+          const auto it = by_addr.find(chain.gadget_addrs[i]);
+          if (it == by_addr.end()) continue;  // defensive; addrs come from catalog
+          const gadget::Gadget& g = *it->second;
+          const bool computational =
+              chain.gadget_slots[i].type != gadget::GType::Transparent;
+          std::uint32_t core = g.addr;
+          if (computational) {
+            for (const auto& insn : g.insns) {
+              if (insn.op != x86::Mnemonic::NOP) break;
+              core += insn.len;
+            }
+          }
+          if (core > g.addr) {  // leading nop filler: advisory only
+            ProtectedRange& pad = ranges[g.addr];
+            pad.lo = g.addr;
+            pad.hi = std::max(pad.hi, core);
+            pad.overlapping |= g.overlapping;
+          }
+          ProtectedRange& r = ranges[core];
+          r.lo = core;
+          r.hi = std::max(r.hi, g.end());
+          r.overlapping |= g.overlapping;
+          r.computational |= computational;
+        }
+      }
+      for (const auto& [addr, r] : ranges) result.protected_ranges.push_back(r);
+    }
+
+    ctx.count("used_gadgets", result.used_gadget_addrs.size());
+    ctx.count("used_gadgets_overlapping", result.used_gadgets_overlapping);
+    ctx.count("protected_ranges", result.protected_ranges.size());
+    return ok_status();
+  }
+};
+
+}  // namespace
+
+const std::vector<const Stage*>& protection_stages() {
+  static const SelectStage select;
+  static const StubInstallStage stub_install;
+  static const LayoutStage layout;
+  static const ScanStage scan;
+  static const GadgetMapStage gadget_map;
+  static const ChainCompileStage chain_compile;
+  static const FinalLayoutStage final_layout;
+  static const MaterializeStage materialize;
+  static const std::vector<const Stage*> kStages = {
+      &select,       &stub_install,  &layout,       &scan,
+      &gadget_map,   &chain_compile, &final_layout, &materialize,
+  };
+  return kStages;
+}
+
+PipelineContext make_context(const cc::Compiled& program,
+                             const ProtectOptions& opts) {
+  PipelineContext ctx;
+  ctx.program = &program;
+  ctx.opts = opts;
+  ctx.rng = Rng(opts.seed);
+  ctx.mod = program.module;
+  return ctx;
+}
+
+Status run_stage(const Stage& stage, PipelineContext& ctx) {
+  StageTrace trace;
+  trace.stage = stage.name();
+  trace.input_bytes = visible_bytes(ctx);
+  ctx.active = &trace;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status status = stage.run(ctx);
+  const auto t1 = std::chrono::steady_clock::now();
+  ctx.active = nullptr;
+  trace.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  trace.output_bytes = visible_bytes(ctx);
+  ctx.out.traces.push_back(std::move(trace));
+  if (!status) {
+    return std::move(status).take_error().with_context(
+        std::string("stage '") + stage.name() + "'");
+  }
+  return status;
+}
+
+Result<Protected> run_pipeline(const cc::Compiled& program,
+                               const ProtectOptions& opts) {
+  PipelineContext ctx = make_context(program, opts);
+  for (const Stage* stage : protection_stages()) {
+    auto status = run_stage(*stage, ctx);
+    if (!status) return std::move(status).take_error();
+  }
+  return std::move(ctx.out);
+}
+
+}  // namespace plx::parallax

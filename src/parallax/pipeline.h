@@ -1,0 +1,104 @@
+// The staged protection pipeline (Figure 2 of the paper).
+//
+// Protector::protect used to be one monolithic body; it is now a sequence of
+// eight named stages sharing a PipelineContext:
+//
+//   select        pick verification functions, lower their IR (§VII-B)
+//   stub-install  replace bodies with loader stubs, add storage fragments,
+//                 assemble the hardening runtime, optionally craft gadgets
+//   layout        preliminary layout; collect mutable fixup-byte ranges
+//   scan          scan the laid-out image for gadgets, drop unstable ones
+//   gadget-map    mark gadgets overlapping protected code, build weave pool
+//   chain-compile compile each function's IR into a gadget chain (§III)
+//   final-layout  final layout; verify text bytes stable since the scan
+//   materialize   resolve chains and poke chain storage per hardening mode
+//
+// Each stage emits a StageTrace (wall time, image sizes, counters,
+// warnings), so the bench layer and the batch driver can see where time goes
+// and why an attempt fails. Stages are individually runnable: tests replay
+// the sequence stage by stage on a PipelineContext and may inspect (or
+// perturb) the context between stages. run_pipeline() is the thin driver
+// Protector::protect delegates to; its output is byte-identical to the old
+// monolith.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gadget/catalog.h"
+#include "image/layout.h"
+#include "parallax/protector.h"
+#include "support/rng.h"
+
+namespace plx::parallax {
+
+// Shared mutable state threaded through the stage sequence. A context is
+// valid for exactly one protection attempt: make_context() then the stages
+// in protection_stages() order.
+struct PipelineContext {
+  // Inputs (fixed at make_context time).
+  const cc::Compiled* program = nullptr;
+  ProtectOptions opts;
+
+  // Single RNG threaded through every stage, in stage order, so the staged
+  // pipeline consumes the stream exactly like the old monolith did.
+  Rng rng{0};
+
+  // Per-verification-function working state.
+  struct FuncState {
+    std::string name;
+    cc::IrFunc lowered;
+    // Artifact symbol names for this function's storage fragments.
+    std::string frame, exec, resume, src, len, idx, basis;
+    ropc::Chain chain;
+  };
+
+  img::Module mod;                      // module being rewritten
+  std::vector<FuncState> funcs;         // filled by select
+  std::optional<img::LayoutResult> prelim;  // filled by layout
+  // 32-bit fixup fields of text instructions referencing data symbols; these
+  // bytes may change when data fragments get their final sizes, so gadgets
+  // must not be built on them.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mutable_ranges;
+  gadget::Catalog catalog;              // filled by scan
+  std::vector<const gadget::Gadget*> weave_pool;  // filled by gadget-map
+
+  Protected out;                        // result being assembled
+
+  // Trace hook for the stage currently executing (set by run_stage).
+  StageTrace* active = nullptr;
+  void count(std::string key, std::uint64_t value) {
+    if (active) active->counters.emplace_back(std::move(key), value);
+  }
+  void warn(std::string message) {
+    if (active) active->warnings.push_back(std::move(message));
+  }
+};
+
+// One pipeline stage. Implementations live in pipeline.cpp; they are
+// stateless singletons, so a Stage pointer may be cached freely.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual Status run(PipelineContext& ctx) const = 0;
+};
+
+// The Figure-2 stage sequence, in execution order. Stable singletons.
+const std::vector<const Stage*>& protection_stages();
+
+// Fresh context for one protection attempt. No stage has run yet.
+PipelineContext make_context(const cc::Compiled& program,
+                             const ProtectOptions& opts);
+
+// Run one stage: times it, appends a StageTrace to ctx.out.traces, and wraps
+// any failure with a "stage '<name>'" context frame.
+Status run_stage(const Stage& stage, PipelineContext& ctx);
+
+// Thin driver: make_context, run every stage in order, return the result.
+Result<Protected> run_pipeline(const cc::Compiled& program,
+                               const ProtectOptions& opts);
+
+}  // namespace plx::parallax

@@ -1,448 +1,21 @@
+// Protector is a thin driver over the staged pipeline in pipeline.cpp; see
+// that file (and pipeline.h) for the Figure-2 stage sequence.
 #include "parallax/protector.h"
 
-#include <algorithm>
-#include <set>
-
-#include "analysis/callgraph.h"
-#include "analysis/selection.h"
-#include "asm/assembler.h"
-#include "gadget/scanner.h"
 #include "image/layout.h"
-#include "rewrite/rewriter.h"
-#include "ropc/ropc.h"
-#include "verify/hardening.h"
+#include "parallax/pipeline.h"
 
 namespace plx::parallax {
 
-namespace {
-
-struct Artifacts {
-  std::string frame;
-  std::string exec;
-  std::string resume;
-  std::string src;
-  std::string len;
-  std::string idx;
-  std::string basis;
-};
-
-Artifacts artifact_names(const std::string& func) {
-  return Artifacts{
-      "__plx_frame_" + func, "__plx_chain_" + func,  "__plx_resume_" + func,
-      "__plx_src_" + func,   "__plx_len_" + func,    "__plx_idx_" + func,
-      "__plx_basis_" + func,
-  };
-}
-
-img::Fragment data_fragment(const std::string& name, std::size_t bytes,
-                            std::uint32_t align = 4) {
-  img::Fragment f;
-  f.name = name;
-  f.section = img::SectionKind::Data;
-  f.align = align;
-  Buffer b;
-  b.resize(bytes);
-  f.items.push_back(img::Item::make_data(std::move(b)));
-  return f;
-}
-
-// Overwrite image bytes at an absolute address (content patching never moves
-// anything, so it is safe after final layout).
-bool poke(img::Image& image, std::uint32_t addr, std::span<const std::uint8_t> bytes) {
-  for (auto& sec : image.sections) {
-    if (!sec.contains(addr)) continue;
-    const std::uint32_t off = addr - sec.vaddr;
-    if (off + bytes.size() > sec.bytes.size()) return false;
-    std::copy(bytes.begin(), bytes.end(), sec.bytes.data() + off);
-    return true;
-  }
-  return false;
-}
-
-bool poke_words(img::Image& image, std::uint32_t addr,
-                std::span<const std::uint32_t> words) {
-  Buffer b;
-  for (std::uint32_t w : words) b.put_u32(w);
-  return poke(image, addr, b.span());
-}
-
-}  // namespace
-
 Result<img::Image> layout_plain(const cc::Compiled& program) {
   auto laid = img::layout(program.module);
-  if (!laid) return fail(laid.error());
+  if (!laid) return std::move(laid).take_error();
   return std::move(laid).take().image;
 }
 
 Result<Protected> Protector::protect(const cc::Compiled& program,
                                      const ProtectOptions& opts) {
-  Rng rng(opts.seed);
-  img::Module mod = program.module;
-
-  // ---------------------------------------------------------------------
-  // 1. Pick verification functions.
-  // ---------------------------------------------------------------------
-  std::vector<std::string> vfs = opts.verify_functions;
-  if (vfs.empty()) {
-    const auto cg = analysis::build_callgraph(program.ir);
-    analysis::SelectionOptions sel;
-    sel.count = opts.max_verify_functions;
-    sel.max_time_fraction = opts.max_time_fraction;
-    vfs = analysis::select_verification_functions(program.ir, cg, opts.profile, sel);
-    if (vfs.empty()) return fail("no suitable verification function found (§VII-B)");
-  }
-
-  struct PerFunc {
-    std::string name;
-    cc::IrFunc lowered;
-    Artifacts art;
-    ropc::Chain chain;
-  };
-  std::vector<PerFunc> funcs;
-
-  for (const auto& name : vfs) {
-    const cc::IrFunc* ir = nullptr;
-    for (const auto& f : program.ir.funcs) {
-      if (f.name == name) ir = &f;
-    }
-    if (!ir) return fail("verification function '" + name + "' not found");
-    cc::IrFunc lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*ir));
-    if (!analysis::chain_compilable(lowered)) {
-      return fail("function '" + name + "' cannot be translated to a chain " +
-                  "(calls, syscalls or division)");
-    }
-    PerFunc pf;
-    pf.name = name;
-    pf.lowered = std::move(lowered);
-    pf.art = artifact_names(name);
-    funcs.push_back(std::move(pf));
-  }
-
-  // ---------------------------------------------------------------------
-  // 2. Replace bodies with stubs; add storage fragments (placeholders for
-  //    anything whose size depends on the compiled chain).
-  // ---------------------------------------------------------------------
-  for (auto& pf : funcs) {
-    img::Fragment* frag = mod.find_fragment(pf.name);
-    if (!frag) return fail("no text fragment for '" + pf.name + "'");
-
-    verify::StubSpec spec;
-    spec.func_name = pf.name;
-    spec.num_params = pf.lowered.num_params;
-    spec.result_slot = pf.lowered.num_slots;
-    spec.frame_sym = pf.art.frame;
-    spec.chain_exec_sym = pf.art.exec;
-    spec.resume_sym = pf.art.resume;
-    spec.hardening = opts.hardening;
-    spec.routine_sym = verify::runtime_symbol(opts.hardening);
-    spec.chain_src_sym = pf.art.src;
-    spec.len_sym = pf.art.len;
-    spec.idx_sym = pf.art.idx;
-    spec.basis_sym = pf.art.basis;
-    spec.variants = opts.variants;
-    *frag = verify::emit_stub(spec);
-
-    mod.fragments.push_back(
-        data_fragment(pf.art.frame, 4u * (static_cast<std::size_t>(pf.lowered.num_slots) + 1)));
-    // Chain words, then the resume word: consecutive data fragments stay
-    // adjacent in layout (align 1 on the resume keeps them contiguous).
-    mod.fragments.push_back(data_fragment(pf.art.exec, 0));
-    mod.fragments.back().align = 4;
-    img::Fragment resume = data_fragment(pf.art.resume, 4, 1);
-    mod.fragments.push_back(std::move(resume));
-
-    if (opts.hardening == Hardening::Xor || opts.hardening == Hardening::Rc4) {
-      mod.fragments.push_back(data_fragment(pf.art.src, 0));
-      mod.fragments.push_back(data_fragment(pf.art.len, 4));
-    } else if (opts.hardening == Hardening::Probabilistic) {
-      mod.fragments.push_back(data_fragment(pf.art.idx, 0));
-      mod.fragments.push_back(data_fragment(pf.art.basis, 128));
-      mod.fragments.push_back(data_fragment(pf.art.len, 4));
-    }
-  }
-
-  // Shared scratch parking area and the utility gadget set.
-  mod.fragments.push_back(data_fragment("__plx_scratch", 4096, 16));
-  mod.fragments.push_back(gadget::utility_gadget_fragment());
-
-  // Hardening runtime (hand-written assembly), if any.
-  if (opts.hardening != Hardening::Cleartext) {
-    std::vector<std::uint8_t> key(16);
-    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u32());
-    const std::string src = verify::runtime_asm_source(opts.hardening, key);
-    auto runtime = assembler::assemble(src);
-    if (!runtime) return fail("runtime assembly failed: " + runtime.error());
-    for (auto& frag : runtime.value().fragments) {
-      mod.fragments.push_back(frag);
-    }
-    // Stash the key where finalisation can reuse it.
-    img::Fragment key_frag = data_fragment("__plx_hostkey", key.size(), 1);
-    Buffer kb{std::vector<std::uint8_t>(key)};
-    key_frag.items[0] = img::Item::make_data(std::move(kb));
-    mod.fragments.push_back(std::move(key_frag));
-  }
-
-  // §IV-B crafting: create fresh overlapping gadgets inside the remaining
-  // program functions (the verification functions' bodies are stubs now, so
-  // crafting there would be wasted). Must happen before the preliminary
-  // layout: the edits change text layout.
-  if (opts.craft_gadgets) {
-    rewrite::CraftOptions copts;
-    copts.max_per_function = opts.max_crafted_per_function;
-    for (const auto& frag : mod.fragments) {
-      if (frag.section != img::SectionKind::Text || !frag.is_func) continue;
-      if (frag.name.starts_with("__plx")) continue;
-      bool is_vf = false;
-      for (const auto& pf : funcs) is_vf |= pf.name == frag.name;
-      if (!is_vf) copts.functions.push_back(frag.name);
-    }
-    auto crafted = rewrite::craft_gadgets(mod, copts);
-    if (!crafted) return fail("gadget crafting: " + crafted.error());
-    mod = std::move(crafted).take().module;
-  }
-
-  // ---------------------------------------------------------------------
-  // 3. Preliminary layout + gadget scan. Text is final after this point —
-  //    only data fragment sizes change below.
-  // ---------------------------------------------------------------------
-  auto prelim = img::layout(mod);
-  if (!prelim) return fail("preliminary layout: " + prelim.error());
-
-  // Text *positions* are final now, but the 32-bit fixup fields of text
-  // instructions that reference data symbols will be re-patched when data
-  // fragments get their real sizes. Gadgets must not be built on such
-  // mutable bytes: collect the field ranges and drop intersecting gadgets.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> mutable_ranges;
-  for (std::size_t f = 0; f < mod.fragments.size(); ++f) {
-    const img::Fragment& frag = mod.fragments[f];
-    if (frag.section != img::SectionKind::Text) continue;
-    for (std::size_t i = 0; i < frag.items.size(); ++i) {
-      const img::Item& item = frag.items[i];
-      if (item.fixup != img::Fixup::AbsImm && item.fixup != img::Fixup::AbsDisp) {
-        continue;
-      }
-      const img::LaidOutItem& loc = prelim.value().items[f][i];
-      if (loc.size >= 4) {
-        mutable_ranges.emplace_back(loc.addr + loc.size - 4, loc.addr + loc.size);
-      }
-    }
-  }
-  auto intersects_mutable = [&](std::uint32_t lo, std::uint32_t hi) {
-    for (const auto& [mlo, mhi] : mutable_ranges) {
-      if (lo < mhi && hi > mlo) return true;
-    }
-    return false;
-  };
-
-  std::vector<gadget::Gadget> stable_gadgets;
-  for (auto& g : gadget::scan(prelim.value().image)) {
-    if (!intersects_mutable(g.addr, g.end())) stable_gadgets.push_back(std::move(g));
-  }
-  gadget::Catalog catalog(std::move(stable_gadgets));
-
-  // Mark gadgets overlapping protected instructions. Default: every original
-  // program function (stubs, runtime and the utility set are infrastructure).
-  std::set<std::string> protect_set(opts.protect_functions.begin(),
-                                    opts.protect_functions.end());
-  std::set<std::string> infra = {"__plx_gadgets"};
-  for (const auto& pf : funcs) infra.insert(pf.name);
-  if (opts.hardening != Hardening::Cleartext) {
-    infra.insert(verify::runtime_symbol(opts.hardening));
-  }
-  for (const auto& sym : prelim.value().image.symbols) {
-    if (!sym.is_func || sym.size == 0) continue;
-    if (sym.name.starts_with("__plx")) continue;
-    if (infra.contains(sym.name)) continue;
-    if (!protect_set.empty() && !protect_set.contains(sym.name)) continue;
-    catalog.mark_overlapping(sym.vaddr, sym.vaddr + sym.size);
-  }
-
-  // ---------------------------------------------------------------------
-  // 4. Compile the chains.
-  // ---------------------------------------------------------------------
-  std::vector<const gadget::Gadget*> weave_pool;
-  if (opts.weave_overlapping) {
-    weave_pool = catalog.overlapping_transparent();
-    if (static_cast<int>(weave_pool.size()) > opts.max_woven) {
-      weave_pool.resize(static_cast<std::size_t>(opts.max_woven));
-    }
-  }
-
-  for (auto& pf : funcs) {
-    ropc::RopCompiler rc(catalog, pf.art.frame, "__plx_scratch");
-    ropc::RopcOptions ropts;
-    ropts.verify_pool = weave_pool;
-    ropts.seed = opts.seed;
-    auto chain = rc.compile(pf.lowered, ropts);
-    if (!chain) return fail(chain.error());
-    pf.chain = std::move(chain).take();
-    if (pf.chain.resume_index != pf.chain.words.size() - 1) {
-      return fail("internal: resume word is not last");
-    }
-    // Size the storage: exec area holds every word except the resume word
-    // (which is the adjacent __plx_resume fragment).
-    const std::size_t exec_words = pf.chain.words.size() - 1;
-    mod.find_fragment(pf.art.exec)->items[0].data.resize(exec_words * 4);
-    if (opts.hardening == Hardening::Xor || opts.hardening == Hardening::Rc4) {
-      mod.find_fragment(pf.art.src)->items[0].data.resize(exec_words * 4);
-    } else if (opts.hardening == Hardening::Probabilistic) {
-      mod.find_fragment(pf.art.idx)
-          ->items[0]
-          .data.resize(exec_words * static_cast<std::size_t>(opts.variants) *
-                       verify::kIdxStride * 4);
-    }
-  }
-
-  // Guard padding so chain byte-ops lowered to word RMW stay in bounds.
-  mod.fragments.push_back(data_fragment("__plx_guard", 16, 1));
-  img::Fragment ro_guard = data_fragment("__plx_roguard", 16, 1);
-  ro_guard.section = img::SectionKind::Rodata;
-  mod.fragments.push_back(std::move(ro_guard));
-
-  // ---------------------------------------------------------------------
-  // 5. Final layout; verify text stability; materialise chain storage.
-  // ---------------------------------------------------------------------
-  auto final_laid = img::layout(mod);
-  if (!final_laid) return fail("final layout: " + final_laid.error());
-  Protected result;
-  result.image = std::move(final_laid).take().image;
-  result.hardening = opts.hardening;
-  result.variants = opts.variants;
-
-  {
-    const img::Section* t0 = prelim.value().image.find_section(".text");
-    const img::Section* t1 = result.image.find_section(".text");
-    if (!t0 || !t1 || t0->vaddr != t1->vaddr ||
-        t0->bytes.size() != t1->bytes.size()) {
-      return fail("internal: text layout changed between scan and finalisation");
-    }
-    Buffer masked0 = t0->bytes, masked1 = t1->bytes;
-    for (const auto& [mlo, mhi] : mutable_ranges) {
-      for (std::uint32_t a = mlo; a < mhi; ++a) {
-        masked0[a - t0->vaddr] = 0;
-        masked1[a - t1->vaddr] = 0;
-      }
-    }
-    if (masked0 != masked1) {
-      return fail("internal: stable text bytes changed between scan and finalisation");
-    }
-  }
-
-  std::vector<std::uint8_t> key;
-  if (const img::Symbol* k = result.image.find_symbol("__plx_hostkey")) {
-    key = result.image.read(k->vaddr, 16);
-  }
-
-  std::set<std::uint32_t> overlap_addrs;
-  for (const auto& g : catalog.all()) {
-    if (g.overlapping) overlap_addrs.insert(g.addr);
-  }
-  result.gadgets_total = catalog.size();
-  result.gadgets_overlapping = overlap_addrs.size();
-
-  for (auto& pf : funcs) {
-    auto resolved = pf.chain.resolve(result.image);
-    if (!resolved) return fail(resolved.error());
-    std::vector<std::uint32_t> words = std::move(resolved).take();
-    words.pop_back();  // the resume word lives in __plx_resume_<f>
-
-    const img::Symbol* exec_sym = result.image.find_symbol(pf.art.exec);
-    if (!exec_sym) return fail("missing chain area symbol");
-
-    switch (opts.hardening) {
-      case Hardening::Cleartext:
-        if (!poke_words(result.image, exec_sym->vaddr, words)) {
-          return fail("chain poke out of range");
-        }
-        break;
-      case Hardening::Xor:
-      case Hardening::Rc4: {
-        const auto ct = verify::encrypt_chain(opts.hardening, words, key);
-        const img::Symbol* src_sym = result.image.find_symbol(pf.art.src);
-        const img::Symbol* len_sym = result.image.find_symbol(pf.art.len);
-        if (!src_sym || !len_sym) return fail("missing hardening symbols");
-        if (!poke(result.image, src_sym->vaddr, ct)) return fail("src poke failed");
-        const std::uint32_t len_bytes = static_cast<std::uint32_t>(words.size() * 4);
-        if (!poke_words(result.image, len_sym->vaddr, {&len_bytes, 1})) {
-          return fail("len poke failed");
-        }
-        break;
-      }
-      case Hardening::Probabilistic: {
-        std::vector<std::vector<std::uint32_t>> variants;
-        variants.push_back(words);
-        for (int v = 1; v < opts.variants; ++v) {
-          variants.push_back(ropc::make_variant(pf.chain, words, catalog, rng));
-        }
-        auto storage = verify::build_prob_storage(variants, rng);
-        if (!storage) return fail(storage.error());
-        const img::Symbol* idx_sym = result.image.find_symbol(pf.art.idx);
-        const img::Symbol* basis_sym = result.image.find_symbol(pf.art.basis);
-        const img::Symbol* len_sym = result.image.find_symbol(pf.art.len);
-        if (!idx_sym || !basis_sym || !len_sym) return fail("missing prob symbols");
-        if (!poke_words(result.image, idx_sym->vaddr, storage.value().idx) ||
-            !poke_words(result.image, basis_sym->vaddr, storage.value().basis)) {
-          return fail("prob storage poke failed");
-        }
-        const std::uint32_t len_words = static_cast<std::uint32_t>(words.size());
-        if (!poke_words(result.image, len_sym->vaddr, {&len_words, 1})) {
-          return fail("len poke failed");
-        }
-        break;
-      }
-    }
-
-    for (std::uint32_t a : pf.chain.gadget_addrs) {
-      result.used_gadget_addrs.push_back(a);
-      if (overlap_addrs.contains(a)) ++result.used_gadgets_overlapping;
-    }
-    result.chain_functions.push_back(pf.name);
-    result.chains.emplace(pf.name, std::move(pf.chain));
-  }
-
-  // Protected-byte map: the byte extent of every gadget referenced by any
-  // chain. gadget_addrs[i] parallels gadget_slots[i], so the slot type tells
-  // whether a use is computational (strict tier) or a woven transparent
-  // verification NOP (advisory tier). A computational gadget's leading nop
-  // filler (e.g. `nop; nop; pop eax; ret` classified PopReg) is emitted as a
-  // separate advisory range: those bytes execute but compute nothing, so a
-  // flip that yields another chain-transparent instruction survives — the
-  // same §VIII-C escape hatch as fully transparent slots.
-  {
-    std::map<std::uint32_t, const gadget::Gadget*> by_addr;
-    for (const auto& g : catalog.all()) by_addr.emplace(g.addr, &g);
-    std::map<std::uint32_t, ProtectedRange> ranges;
-    for (const auto& [name, chain] : result.chains) {
-      for (std::size_t i = 0; i < chain.gadget_addrs.size(); ++i) {
-        const auto it = by_addr.find(chain.gadget_addrs[i]);
-        if (it == by_addr.end()) continue;  // defensive; addrs come from catalog
-        const gadget::Gadget& g = *it->second;
-        const bool computational =
-            chain.gadget_slots[i].type != gadget::GType::Transparent;
-        std::uint32_t core = g.addr;
-        if (computational) {
-          for (const auto& insn : g.insns) {
-            if (insn.op != x86::Mnemonic::NOP) break;
-            core += insn.len;
-          }
-        }
-        if (core > g.addr) {  // leading nop filler: advisory only
-          ProtectedRange& pad = ranges[g.addr];
-          pad.lo = g.addr;
-          pad.hi = std::max(pad.hi, core);
-          pad.overlapping |= g.overlapping;
-        }
-        ProtectedRange& r = ranges[core];
-        r.lo = core;
-        r.hi = std::max(r.hi, g.end());
-        r.overlapping |= g.overlapping;
-        r.computational |= computational;
-      }
-    }
-    for (const auto& [addr, r] : ranges) result.protected_ranges.push_back(r);
-  }
-
-  return result;
+  return run_pipeline(program, opts);
 }
 
 }  // namespace plx::parallax

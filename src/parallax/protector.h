@@ -80,6 +80,27 @@ struct ProtectedRange {
   bool computational = false;  // strict tier (non-transparent chain slot)
 };
 
+// Observability record emitted by each pipeline stage (src/parallax/pipeline).
+// Sizes refer to the laid-out image bytes visible when the stage ran (0 for
+// stages that run before any layout exists); counters carry stage-specific
+// quantities (gadget counts, chain words, ...) in a deterministic order so
+// reports are reproducible.
+struct StageTrace {
+  std::string stage;
+  double millis = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::string> warnings;
+
+  std::uint64_t counter(const std::string& key) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return 0;
+  }
+};
+
 struct Protected {
   img::Image image;
   std::vector<std::string> chain_functions;
@@ -98,6 +119,9 @@ struct Protected {
   // Byte extents of every chain-referenced gadget, sorted by lo, one entry
   // per distinct gadget (flags OR-ed over all of its uses).
   std::vector<ProtectedRange> protected_ranges;
+
+  // One trace per executed pipeline stage, in execution order.
+  std::vector<StageTrace> traces;
 };
 
 class Protector {

@@ -11,6 +11,11 @@ namespace plx::rewrite {
 
 namespace {
 
+inline plx::Diag craft_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::RewriteError, "rewrite.craft", std::move(msg));
+}
+
+
 using x86::Insn;
 using x86::Mnemonic;
 using x86::Operand;
@@ -395,7 +400,7 @@ Result<CraftResult> craft_gadgets(const img::Module& input, const CraftOptions& 
   crafter.mod = input;
   crafter.opts = opts;
   if (!crafter.run()) {
-    return fail(crafter.error.empty() ? "gadget crafting failed" : crafter.error);
+    return craft_fail(crafter.error.empty() ? "gadget crafting failed" : crafter.error);
   }
   CraftResult out;
   out.module = std::move(crafter.mod);

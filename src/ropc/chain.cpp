@@ -2,6 +2,11 @@
 
 namespace plx::ropc {
 
+inline plx::Diag resolve_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::ChainResolveError, "ropc.resolve", std::move(msg));
+}
+
+
 Result<std::vector<std::uint32_t>> Chain::resolve(const img::Image& image) const {
   std::vector<std::uint32_t> out;
   out.reserve(words.size());
@@ -12,7 +17,7 @@ Result<std::vector<std::uint32_t>> Chain::resolve(const img::Image& image) const
         break;
       case Word::K::SymRef: {
         const img::Symbol* sym = image.find_symbol(w.sym);
-        if (!sym) return fail("chain references undefined symbol '" + w.sym + "'");
+        if (!sym) return resolve_fail("chain references undefined symbol '" + w.sym + "'");
         out.push_back(sym->vaddr + static_cast<std::uint32_t>(w.addend));
         break;
       }

@@ -15,6 +15,11 @@ using x86::Reg;
 
 namespace {
 
+inline plx::Diag ropc_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::ChainCompileError, "ropc.compile", std::move(msg));
+}
+
+
 constexpr std::uint16_t bit(Reg r) {
   return static_cast<std::uint16_t>(1u << static_cast<unsigned>(r));
 }
@@ -535,7 +540,7 @@ RopCompiler::RopCompiler(const gadget::Catalog& catalog, std::string frame_sym,
 
 Result<Chain> RopCompiler::compile(const cc::IrFunc& func, const RopcOptions& opts) {
   Emitter e(catalog_, opts, frame_sym_, scratch_sym_, func);
-  if (!e.run()) return fail(e.error);
+  if (!e.run()) return ropc_fail(e.error);
   return std::move(e.chain);
 }
 

@@ -1,55 +1,230 @@
-// Lightweight error propagation for Parallax.
+// Structured diagnostics for Parallax.
 //
-// Most Parallax pipelines (assembler, compiler, rewriter) want to report a
-// human-readable reason on failure without exceptions crossing module
-// boundaries. plx::Result<T> is a minimal expected-like type: either a value
-// or an Error with a message.
+// Most Parallax pipelines (assembler, compiler, rewriter, protector) want to
+// report failures across module boundaries without exceptions. plx::Result<T>
+// is a minimal expected-like type: either a value or a Diag.
+//
+// A Diag is more than a string: it carries an error-code enum (machine
+// checkable), the originating stage/module (e.g. "image.layout",
+// "parallax.chain_compile"), a context chain built up with with_context() as
+// the failure propagates outward, and any warnings collected before the
+// failure. str() renders the whole thing for humans; code/stage/message stay
+// addressable for tests, the batch driver, and JSON reports.
 #pragma once
 
-#include <cassert>
-#include <optional>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace plx {
 
-struct Error {
-  std::string message;
+// One value per failure *kind*. Codes are coarse on purpose: they identify
+// which subsystem rejected the input (and roughly why), not every distinct
+// message. diag_code_name() gives the stable string used in reports.
+enum class DiagCode {
+  Unspecified,    // legacy fail("...") call sites; no classification
+  Io,             // file read/write
+  LexError,       // cc front end
+  ParseError,
+  IrGenError,
+  BackendError,   // cc x86 backend
+  AsmError,       // hand-written assembly (runtime stubs)
+  EncodeError,    // x86 instruction encoding
+  LayoutError,    // image layout / symbol resolution
+  ImageFormat,    // image (de)serialization
+  MissingSymbol,
+  ChainCompileError,  // ropc: IR -> gadget chain
+  ChainResolveError,  // ropc: chain words -> final addresses
+  RewriteError,       // §IV-B gadget crafting
+  HardeningError,     // chain encryption / probabilistic storage
+  SelectionError,     // §VII-B verification-function selection
+  StubError,          // loader stub installation
+  MaterializeError,   // final chain storage pokes
+  BaselineError,      // baseline protectors (checksum, oblivious hash)
+  FuzzError,          // tamper-fuzzing targets
+  BatchError,         // batch protection driver
+  Internal,           // invariant violation; always a Parallax bug
 };
+
+inline const char* diag_code_name(DiagCode c) {
+  switch (c) {
+    case DiagCode::Unspecified: return "unspecified";
+    case DiagCode::Io: return "io";
+    case DiagCode::LexError: return "lex";
+    case DiagCode::ParseError: return "parse";
+    case DiagCode::IrGenError: return "irgen";
+    case DiagCode::BackendError: return "backend";
+    case DiagCode::AsmError: return "asm";
+    case DiagCode::EncodeError: return "encode";
+    case DiagCode::LayoutError: return "layout";
+    case DiagCode::ImageFormat: return "image-format";
+    case DiagCode::MissingSymbol: return "missing-symbol";
+    case DiagCode::ChainCompileError: return "chain-compile";
+    case DiagCode::ChainResolveError: return "chain-resolve";
+    case DiagCode::RewriteError: return "rewrite";
+    case DiagCode::HardeningError: return "hardening";
+    case DiagCode::SelectionError: return "selection";
+    case DiagCode::StubError: return "stub";
+    case DiagCode::MaterializeError: return "materialize";
+    case DiagCode::BaselineError: return "baseline";
+    case DiagCode::FuzzError: return "fuzz";
+    case DiagCode::BatchError: return "batch";
+    case DiagCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+class Diag {
+ public:
+  Diag() = default;
+  // Implicit from a bare message: keeps `return fail("...")` call sites and
+  // string literals in mixed expressions working (code = Unspecified).
+  Diag(std::string message) : message_(std::move(message)) {}  // NOLINT(implicit)
+  Diag(const char* message) : message_(message ? message : "") {}  // NOLINT(implicit)
+  Diag(DiagCode code, std::string stage, std::string message)
+      : code_(code), stage_(std::move(stage)), message_(std::move(message)) {}
+
+  DiagCode code() const { return code_; }
+  const std::string& stage() const { return stage_; }
+  const std::string& message() const { return message_; }
+  const std::vector<std::string>& context() const { return context_; }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  // Wrap the diagnostic as it propagates outward: the newest frame is the
+  // outermost (rendered first). Chainable; usable on temporaries:
+  //   return std::move(laid).take_error().with_context("final layout");
+  Diag& with_context(std::string frame) & {
+    context_.push_back(std::move(frame));
+    rendered_.clear();
+    return *this;
+  }
+  Diag&& with_context(std::string frame) && {
+    context_.push_back(std::move(frame));
+    rendered_.clear();
+    return std::move(*this);
+  }
+
+  Diag& with_warning(std::string warning) & {
+    warnings_.push_back(std::move(warning));
+    return *this;
+  }
+  Diag&& with_warning(std::string warning) && {
+    warnings_.push_back(std::move(warning));
+    return std::move(*this);
+  }
+
+  // Human rendering: "[stage] outer: inner: message". The code is not part of
+  // the rendering (reports carry it separately via diag_code_name()).
+  std::string str() const {
+    std::string out;
+    if (!stage_.empty()) {
+      out += "[";
+      out += stage_;
+      out += "] ";
+    }
+    for (auto it = context_.rbegin(); it != context_.rend(); ++it) {
+      out += *it;
+      out += ": ";
+    }
+    out += message_;
+    return out;
+  }
+
+  // Stable pointer for printf-style call sites; cached per Diag instance.
+  const char* c_str() const {
+    if (rendered_.empty()) rendered_ = str();
+    return rendered_.c_str();
+  }
+
+  operator std::string() const { return str(); }  // NOLINT(implicit)
+
+ private:
+  DiagCode code_ = DiagCode::Unspecified;
+  std::string stage_;
+  std::string message_;
+  std::vector<std::string> context_;   // innermost first; rendered outer-first
+  std::vector<std::string> warnings_;  // collected before the failure
+  mutable std::string rendered_;       // c_str() cache
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Diag& d) {
+  return os << d.str();
+}
+inline std::string operator+(const std::string& a, const Diag& d) { return a + d.str(); }
+inline std::string operator+(const Diag& d, const std::string& b) { return d.str() + b; }
+inline std::string operator+(const char* a, const Diag& d) { return std::string(a) + d.str(); }
+inline std::string operator+(const Diag& d, const char* b) { return d.str() + b; }
+
+// Legacy alias: modules that stored plx::Error now store a Diag.
+using Error = Diag;
 
 template <typename T>
 class Result {
  public:
-  Result(T value) : state_(std::move(value)) {}        // NOLINT(implicit)
-  Result(Error err) : state_(std::move(err)) {}        // NOLINT(implicit)
+  Result(T value) : state_(std::move(value)) {}      // NOLINT(implicit)
+  Result(Diag diag) : state_(std::move(diag)) {}     // NOLINT(implicit)
 
   bool ok() const { return std::holds_alternative<T>(state_); }
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    require_ok("value()");
     return std::get<T>(state_);
   }
   T& value() & {
-    assert(ok());
+    require_ok("value()");
     return std::get<T>(state_);
   }
   T&& take() && {
-    assert(ok());
+    require_ok("take()");
     return std::get<T>(std::move(state_));
   }
 
-  const std::string& error() const {
-    assert(!ok());
-    return std::get<Error>(state_).message;
+  const Diag& error() const {
+    require_err("error()");
+    return std::get<Diag>(state_);
+  }
+  // Move the diagnostic out (for re-wrapping with with_context()).
+  Diag&& take_error() && {
+    require_err("take_error()");
+    return std::get<Diag>(std::move(state_));
   }
 
  private:
-  std::variant<T, Error> state_;
+  // Wrong-state access is a hard error in every build type: assert() compiles
+  // out under NDEBUG and would turn misuse into UB on std::get. Abort with
+  // the stored diagnostic so the failure is actionable.
+  void require_ok(const char* what) const {
+    if (ok()) return;
+    std::fprintf(stderr, "plx::Result: %s on error result: %s\n", what,
+                 std::get<Diag>(state_).c_str());
+    std::abort();
+  }
+  void require_err(const char* what) const {
+    if (!ok()) return;
+    std::fprintf(stderr, "plx::Result: %s on ok result\n", what);
+    std::abort();
+  }
+
+  std::variant<T, Diag> state_;
 };
 
-// Convenience constructor so call sites read `return plx::fail("...")`.
-inline Error fail(std::string message) { return Error{std::move(message)}; }
+// Value type for operations that succeed with nothing to return (pipeline
+// stages, validators). `Status ok = Unit{};`
+struct Unit {};
+using Status = Result<Unit>;
+inline Status ok_status() { return Unit{}; }
+
+// Convenience constructors so call sites read `return plx::fail(...)`.
+inline Diag fail(const char* message) { return Diag(message); }
+inline Diag fail(std::string message) { return Diag(std::move(message)); }
+inline Diag fail(Diag diag) { return diag; }
+inline Diag fail(DiagCode code, std::string stage, std::string message) {
+  return Diag(code, std::move(stage), std::move(message));
+}
 
 }  // namespace plx

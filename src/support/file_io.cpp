@@ -1,0 +1,42 @@
+#include "support/file_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace plx::support {
+
+namespace {
+
+Diag io_fail(std::string message) {
+  return Diag(DiagCode::Io, "support.io", std::move(message));
+}
+
+}  // namespace
+
+Result<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_fail("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return io_fail("read error on " + path);
+  return ss.str();
+}
+
+Result<std::vector<std::uint8_t>> read_binary_file(const std::string& path) {
+  auto text = read_text_file(path);
+  if (!text) return std::move(text).take_error();
+  const std::string& blob = text.value();
+  return std::vector<std::uint8_t>(blob.begin(), blob.end());
+}
+
+Status write_binary_file(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return io_fail("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return io_fail("write error on " + path);
+  return ok_status();
+}
+
+}  // namespace plx::support

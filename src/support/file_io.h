@@ -1,0 +1,28 @@
+// Shared file IO for the CLI front ends and report validators.
+//
+// The example tools (plxtool, plxfuzz) and the bench-side JSON validators all
+// need the same three operations: slurp a text file, slurp a binary file,
+// write a binary blob. Each used to carry its own ifstream/rdbuf copy; this
+// is the one implementation, reporting failures as DiagCode::Io diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace plx::support {
+
+// Whole file as a string (read in binary mode, so no newline translation).
+Result<std::string> read_text_file(const std::string& path);
+
+// Whole file as raw bytes.
+Result<std::vector<std::uint8_t>> read_binary_file(const std::string& path);
+
+// Create/truncate `path` with exactly `bytes`.
+Status write_binary_file(const std::string& path,
+                         std::span<const std::uint8_t> bytes);
+
+}  // namespace plx::support

@@ -10,6 +10,11 @@ namespace plx::verify {
 
 namespace {
 
+inline plx::Diag hard_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::HardeningError, "verify.hardening", std::move(msg));
+}
+
+
 std::string key_data_fragment(std::span<const std::uint8_t> key) {
   std::string out = "__plx_key:\n    db ";
   for (std::size_t i = 0; i < key.size(); ++i) {
@@ -230,14 +235,14 @@ std::vector<std::uint8_t> encrypt_chain(Hardening mode,
 
 Result<ProbStorage> build_prob_storage(
     const std::vector<std::vector<std::uint32_t>>& variants, Rng& rng) {
-  if (variants.empty()) return fail("no chain variants");
+  if (variants.empty()) return hard_fail("no chain variants");
   const std::size_t nwords = variants[0].size();
   for (const auto& v : variants) {
-    if (v.size() != nwords) return fail("chain variants differ in length");
+    if (v.size() != nwords) return hard_fail("chain variants differ in length");
   }
   const gf2::Mat basis = gf2::Mat::random_invertible(rng);
   const auto inv = basis.inverse();
-  if (!inv) return fail("basis not invertible");
+  if (!inv) return hard_fail("basis not invertible");
 
   ProbStorage storage;
   storage.basis.resize(32);

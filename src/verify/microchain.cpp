@@ -10,6 +10,10 @@ namespace plx::verify {
 
 namespace {
 
+inline Diag mc_fail(std::string msg) {
+  return Diag(DiagCode::ChainCompileError, "verify.microchain", std::move(msg));
+}
+
 using namespace x86::ins;
 using cc::IrInsn;
 using cc::IrOp;
@@ -54,10 +58,10 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
   for (const auto& f : program.ir.funcs) {
     if (f.name == function) ir = &f;
   }
-  if (!ir) return fail("function '" + function + "' not found");
+  if (!ir) return mc_fail("function '" + function + "' not found");
   const cc::IrFunc lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*ir));
   if (!analysis::chain_compilable(lowered)) {
-    return fail("function cannot be translated to chains");
+    return mc_fail("function cannot be translated to chains");
   }
 
   img::Module mod = program.module;
@@ -147,7 +151,7 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
   put(ret());  // safety net for functions falling off the end
 
   img::Fragment* orig = mod.find_fragment(function);
-  if (!orig) return fail("no fragment for '" + function + "'");
+  if (!orig) return mc_fail("no fragment for '" + function + "'");
   *orig = std::move(skel);
 
   mod.fragments.push_back(
@@ -164,7 +168,7 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
   // Preliminary layout, stable-gadget catalog (same recipe as Protector).
   // ------------------------------------------------------------------
   auto prelim = img::layout(mod);
-  if (!prelim) return fail(prelim.error());
+  if (!prelim) return std::move(prelim).take_error().with_context("microchain preliminary layout");
   std::vector<std::pair<std::uint32_t, std::uint32_t>> mutable_ranges;
   for (std::size_t f = 0; f < mod.fragments.size(); ++f) {
     const img::Fragment& frag = mod.fragments[f];
@@ -203,7 +207,7 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
     one.num_labels = 0;
     one.insns.push_back(insn);
     auto chain = rc.compile(one);
-    if (!chain) return fail(chain.error());
+    if (!chain) return std::move(chain).take_error().with_context("microchain for " + one.name);
     mod.find_fragment(chain_sym(k))
         ->items[0]
         .data.resize((chain.value().words.size() - 1) * 4);
@@ -212,19 +216,19 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
   }
 
   auto final_laid = img::layout(mod);
-  if (!final_laid) return fail(final_laid.error());
+  if (!final_laid) return std::move(final_laid).take_error().with_context("microchain final layout");
   MicrochainProtected out;
   out.image = std::move(final_laid).take().image;
   out.num_microchains = nchains;
 
   for (int i = 0; i < nchains; ++i) {
     auto resolved = chains[static_cast<std::size_t>(i)].resolve(out.image);
-    if (!resolved) return fail(resolved.error());
+    if (!resolved) return std::move(resolved).take_error().with_context("microchain resolve");
     std::vector<std::uint32_t> words = std::move(resolved).take();
     words.pop_back();  // resume word lives in its own fragment
     const img::Symbol* sym = out.image.find_symbol(chain_sym(i));
     if (!sym || !poke_words(out.image, sym->vaddr, words)) {
-      return fail("microchain poke failed");
+      return mc_fail("microchain poke failed");
     }
     for (std::uint32_t a : chains[static_cast<std::size_t>(i)].gadget_addrs) {
       out.used_gadget_addrs.push_back(a);

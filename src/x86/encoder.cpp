@@ -7,6 +7,11 @@ namespace plx::x86 {
 
 namespace {
 
+inline plx::Diag enc_fail(std::string msg) {
+  return plx::Diag(plx::DiagCode::EncodeError, "x86.encode", std::move(msg));
+}
+
+
 bool fits_i8(std::int32_t v) { return v >= -128 && v <= 127; }
 
 bool is_reg(const Operand& o) { return o.kind == Operand::Kind::Reg; }
@@ -23,11 +28,11 @@ Result<int> emit_modrm(const Operand& rm, std::uint8_t reg_field, Buffer& out) {
     out.put_u8(static_cast<std::uint8_t>(0xc0 | (reg_field << 3) | regnum(rm.reg)));
     return static_cast<int>(out.size() - start);
   }
-  if (!is_mem(rm)) return fail("emit_modrm: operand is neither reg nor mem");
+  if (!is_mem(rm)) return enc_fail("emit_modrm: operand is neither reg nor mem");
 
   const Mem& m = rm.mem;
   const bool has_index = m.index != Reg::NONE;
-  if (has_index && m.index == Reg::ESP) return fail("esp cannot be an index register");
+  if (has_index && m.index == Reg::ESP) return enc_fail("esp cannot be an index register");
 
   // Absolute [disp32] (no base, no index): mod=00 rm=101.
   if (m.base == Reg::NONE && !has_index) {
@@ -43,7 +48,7 @@ Result<int> emit_modrm(const Operand& rm, std::uint8_t reg_field, Buffer& out) {
       case 2: ss = 1; break;
       case 4: ss = 2; break;
       case 8: ss = 3; break;
-      default: return fail("bad scale");
+      default: return enc_fail("bad scale");
     }
     out.put_u8(static_cast<std::uint8_t>(0x00 | (reg_field << 3) | 4));
     out.put_u8(static_cast<std::uint8_t>((ss << 6) | (regnum(m.index) << 3) | 5));
@@ -69,7 +74,7 @@ Result<int> emit_modrm(const Operand& rm, std::uint8_t reg_field, Buffer& out) {
       case 2: ss = 1; break;
       case 4: ss = 2; break;
       case 8: ss = 3; break;
-      default: return fail("bad scale");
+      default: return enc_fail("bad scale");
     }
     const std::uint8_t index_bits = has_index ? regnum(m.index) : 4;
     out.put_u8(static_cast<std::uint8_t>((mod << 6) | (reg_field << 3) | 4));
@@ -159,7 +164,7 @@ Result<int> encode_alu(const Insn& insn, Buffer& out) {
     if (!r) return r;
     return static_cast<int>(out.size() - start);
   }
-  return fail("unsupported ALU operand combination");
+  return enc_fail("unsupported ALU operand combination");
 }
 
 Result<int> encode_mov(const Insn& insn, Buffer& out) {
@@ -201,7 +206,7 @@ Result<int> encode_mov(const Insn& insn, Buffer& out) {
     if (!r) return r;
     return static_cast<int>(out.size() - start);
   }
-  return fail("unsupported MOV operand combination");
+  return enc_fail("unsupported MOV operand combination");
 }
 
 }  // namespace
@@ -244,11 +249,11 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         if (!r) return r;
         return static_cast<int>(out.size() - start);
       }
-      return fail("unsupported TEST operands");
+      return enc_fail("unsupported TEST operands");
     }
 
     case Mnemonic::LEA: {
-      if (!is_reg(op0) || !is_mem(op1)) return fail("LEA needs reg, mem");
+      if (!is_reg(op0) || !is_mem(op1)) return enc_fail("LEA needs reg, mem");
       out.put_u8(0x8d);
       auto r = emit_modrm(op1, regnum(op0.reg), out);
       if (!r) return r;
@@ -257,7 +262,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
 
     case Mnemonic::XCHG: {
       const bool byte_op = insn.opsize == OpSize::Byte;
-      if (!is_reg(op1)) return fail("XCHG second operand must be reg");
+      if (!is_reg(op1)) return enc_fail("XCHG second operand must be reg");
       out.put_u8(byte_op ? 0x86 : 0x87);
       auto r = emit_modrm(op0, regnum(op1.reg), out);
       if (!r) return r;
@@ -285,7 +290,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         if (!r) return r;
         return static_cast<int>(out.size() - start);
       }
-      return fail("unsupported PUSH operand");
+      return enc_fail("unsupported PUSH operand");
     }
 
     case Mnemonic::POP: {
@@ -299,7 +304,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         if (!r) return r;
         return static_cast<int>(out.size() - start);
       }
-      return fail("unsupported POP operand");
+      return enc_fail("unsupported POP operand");
     }
 
     case Mnemonic::PUSHAD: out.put_u8(0x60); return 1;
@@ -348,7 +353,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         return static_cast<int>(out.size() - start);
       }
       if (insn.nops == 2) {  // imul r32, r/m32
-        if (!is_reg(op0)) return fail("IMUL dst must be reg");
+        if (!is_reg(op0)) return enc_fail("IMUL dst must be reg");
         out.put_u8(0x0f);
         out.put_u8(0xaf);
         auto r = emit_modrm(op1, regnum(op0.reg), out);
@@ -356,7 +361,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         return static_cast<int>(out.size() - start);
       }
       // imul r32, r/m32, imm
-      if (!is_reg(op0) || !is_imm(insn.ops[2])) return fail("bad 3-op IMUL");
+      if (!is_reg(op0) || !is_imm(insn.ops[2])) return enc_fail("bad 3-op IMUL");
       const std::int32_t imm = insn.ops[2].imm;
       if (fits_i8(imm) && !insn.wide_imm) {
         out.put_u8(0x6b);
@@ -398,7 +403,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
         if (!r) return r;
         return static_cast<int>(out.size() - start);
       }
-      return fail("shift count must be imm or cl");
+      return enc_fail("shift count must be imm or cl");
     }
 
     case Mnemonic::JMP: {
@@ -419,7 +424,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
     }
 
     case Mnemonic::JCC: {
-      if (!is_rel(op0)) return fail("JCC needs rel operand");
+      if (!is_rel(op0)) return enc_fail("JCC needs rel operand");
       if (fits_i8(op0.rel) && !insn.wide_imm) {
         out.put_u8(static_cast<std::uint8_t>(0x70 + static_cast<std::uint8_t>(insn.cond)));
         out.put_u8(static_cast<std::uint8_t>(op0.rel));
@@ -473,7 +478,7 @@ Result<int> encode(const Insn& insn, Buffer& out) {
 
     case Mnemonic::MOVZX:
     case Mnemonic::MOVSX: {
-      if (!is_reg(op0)) return fail("MOVZX/MOVSX dst must be reg");
+      if (!is_reg(op0)) return enc_fail("MOVZX/MOVSX dst must be reg");
       const bool zx = insn.op == Mnemonic::MOVZX;
       const bool word_src = op1.size == OpSize::Word;
       out.put_u8(0x0f);
@@ -498,9 +503,9 @@ Result<int> encode(const Insn& insn, Buffer& out) {
     case Mnemonic::STD: out.put_u8(0xfd); return 1;
 
     case Mnemonic::INVALID:
-      return fail("cannot encode INVALID");
+      return enc_fail("cannot encode INVALID");
   }
-  return fail("unreachable");
+  return enc_fail("unreachable");
 }
 
 Buffer encode_must(const Insn& insn) {

@@ -196,7 +196,7 @@ f:
 TEST(Assembler, ErrorsCarryLineNumbers) {
   auto r = assemble("f:\n    bogus eax, 1\n");
   ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+  EXPECT_NE(r.error().str().find("line 2"), std::string::npos);
 
   r = assemble("f:\n    mov eax\n    mov eax, [unclosed\n");
   ASSERT_FALSE(r.ok());

@@ -212,14 +212,14 @@ int main() {
 TEST(MiniC, ErrorsReportLines) {
   auto c = compile("int main() {\n  return undefined_var;\n}");
   ASSERT_FALSE(c.ok());
-  EXPECT_NE(c.error().find("line 2"), std::string::npos);
+  EXPECT_NE(c.error().str().find("line 2"), std::string::npos);
 
   c = compile("int main() { return 1 + ; }");
   EXPECT_FALSE(c.ok());
 
   c = compile("int f(int a) { return a; }\nint main() { return f(1, 2); }");
   ASSERT_FALSE(c.ok());
-  EXPECT_NE(c.error().find("argument count"), std::string::npos);
+  EXPECT_NE(c.error().str().find("argument count"), std::string::npos);
 }
 
 TEST(MiniC, MulLoweringPreservesSemantics) {

@@ -65,7 +65,7 @@ TEST(Result, ValueAndErrorPaths) {
 
   Result<int> err_result(plx::fail("boom"));
   ASSERT_FALSE(err_result.ok());
-  EXPECT_EQ(err_result.error(), "boom");
+  EXPECT_EQ(err_result.error().str(), "boom");
 
   Result<std::string> moved(std::string("abc"));
   EXPECT_EQ(std::move(moved).take(), "abc");

@@ -144,7 +144,7 @@ TEST(Layout, UndefinedSymbolFails) {
   m.fragments.push_back(func("f", {call}));
   auto r = layout(m);
   ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.error().find("missing"), std::string::npos);
+  EXPECT_NE(r.error().str().find("missing"), std::string::npos);
 }
 
 TEST(Layout, DuplicateSymbolFails) {

@@ -265,7 +265,7 @@ TEST(Parallax, MissingVerificationFunctionFails) {
   Protector p;
   auto r = p.protect(compiled.value(), opts);
   ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.error().find("nonexistent"), std::string::npos);
+  EXPECT_NE(r.error().str().find("nonexistent"), std::string::npos);
 }
 
 TEST(Parallax, UncompilableVerificationFunctionFails) {

@@ -1,0 +1,289 @@
+// The staged-pipeline refactor contract (src/parallax/pipeline):
+//
+//  - run_pipeline() output is byte-identical to the pre-refactor monolith:
+//    the golden FNV-1a digests below were recorded from the monolithic
+//    Protector::protect over the whole corpus x hardening matrix and must
+//    never drift without an intentional, understood pipeline change;
+//  - stage traces are complete, ordered and carry the documented counters;
+//  - the stage sequence can be replayed stage by stage on a PipelineContext
+//    with the same result as the driver;
+//  - the batch driver (src/parallax/batch) is deterministic in thread count
+//    and reports structured diagnostics for failing jobs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "cc/compile.h"
+#include "parallax/batch.h"
+#include "parallax/pipeline.h"
+#include "parallax/protector.h"
+#include "support/file_io.h"
+#include "workloads/corpus.h"
+
+namespace plx {
+namespace {
+
+struct Golden {
+  const char* workload;
+  parallax::Hardening mode;
+  std::uint64_t fnv64;
+  std::size_t bytes;
+};
+
+// Recorded from the pre-refactor monolithic protector (default options,
+// seed 0x9a11a, each workload's suggested verification function).
+constexpr parallax::Hardening kClear = parallax::Hardening::Cleartext;
+constexpr parallax::Hardening kXor = parallax::Hardening::Xor;
+constexpr parallax::Hardening kRc4 = parallax::Hardening::Rc4;
+constexpr parallax::Hardening kProb = parallax::Hardening::Probabilistic;
+constexpr Golden kGolden[] = {
+    {"miniwget", kClear, 0x2c0e5e28fa0e3706ull, 8234},
+    {"miniwget", kXor, 0x31469c10f6aa34c9ull, 9496},
+    {"miniwget", kRc4, 0xcab2c4600cb8dd3eull, 9649},
+    {"miniwget", kProb, 0xc8f6505b67a2186full, 139647},
+    {"mininginx", kClear, 0x6244056e4451755bull, 9201},
+    {"mininginx", kXor, 0xa42c83cd44917df1ull, 9903},
+    {"mininginx", kRc4, 0xab1282f1bbe98545ull, 10056},
+    {"mininginx", kProb, 0x099222f42fb442f5ull, 67206},
+    {"minibzip2", kClear, 0xb7963d8238267002ull, 9999},
+    {"minibzip2", kXor, 0xe2372ed1729d1431ull, 10891},
+    {"minibzip2", kRc4, 0x9b30a0d777bdc824ull, 11044},
+    {"minibzip2", kProb, 0x1cb1cbeafec9c04cull, 92817},
+    {"minigzip", kClear, 0x92fb6bc5a487a9e0ull, 8846},
+    {"minigzip", kXor, 0xa2e3c43f07488bf3ull, 9708},
+    {"minigzip", kRc4, 0x64e4b86e9dca7d60ull, 9861},
+    {"minigzip", kProb, 0x120bf4c1eb00819aull, 87443},
+    {"minigcc", kClear, 0x949e8314b0664f1cull, 10828},
+    {"minigcc", kXor, 0xb5697bd4c452d7d9ull, 12160},
+    {"minigcc", kRc4, 0xe8ef952f0b145d58ull, 12313},
+    {"minigcc", kProb, 0xe1d7f27a470e48d1ull, 152786},
+    {"minilame", kClear, 0xd68286fbdeaec513ull, 6076},
+    {"minilame", kXor, 0x5709d35d0d0edafcull, 6774},
+    {"minilame", kRc4, 0x84cb3131b587b28dull, 6927},
+    {"minilame", kProb, 0x0d96a07a404342fcull, 65659},
+};
+
+const cc::Compiled& compiled_workload(const std::string& name) {
+  static std::map<std::string, cc::Compiled> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const workloads::Workload* w = workloads::find_workload(name);
+    EXPECT_NE(w, nullptr) << name;
+    auto compiled = cc::compile(w->source);
+    EXPECT_TRUE(compiled.ok()) << compiled.error().str();
+    it = cache.emplace(name, std::move(compiled).take()).first;
+  }
+  return it->second;
+}
+
+parallax::ProtectOptions options_for(const std::string& name,
+                                     parallax::Hardening mode) {
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {workloads::find_workload(name)->verify_function};
+  opts.hardening = mode;
+  return opts;
+}
+
+TEST(Pipeline, GoldenImageDigests) {
+  for (const Golden& g : kGolden) {
+    parallax::Protector protector;
+    auto prot =
+        protector.protect(compiled_workload(g.workload), options_for(g.workload, g.mode));
+    ASSERT_TRUE(prot.ok()) << g.workload << ": " << prot.error().str();
+    const Buffer blob = prot.value().image.serialize();
+    EXPECT_EQ(blob.size(), g.bytes) << g.workload;
+    EXPECT_EQ(parallax::fnv1a64(blob.span().data(), blob.size()), g.fnv64)
+        << g.workload << " mode " << static_cast<int>(g.mode);
+  }
+}
+
+TEST(Pipeline, StageTracesCompleteAndOrdered) {
+  parallax::Protector protector;
+  auto prot = protector.protect(compiled_workload("miniwget"),
+                                options_for("miniwget", kXor));
+  ASSERT_TRUE(prot.ok()) << prot.error().str();
+
+  const auto& traces = prot.value().traces;
+  const auto& stages = parallax::protection_stages();
+  ASSERT_EQ(traces.size(), stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    EXPECT_EQ(traces[i].stage, stages[i]->name());
+    EXPECT_GE(traces[i].millis, 0.0);
+  }
+
+  // select/stub-install run before any layout exists; later stages see the
+  // laid-out image.
+  EXPECT_EQ(traces[0].stage, "select");
+  EXPECT_EQ(traces[0].input_bytes, 0u);
+  EXPECT_EQ(traces.back().stage, "materialize");
+  EXPECT_GT(traces.back().output_bytes, 0u);
+
+  // Documented counters the bench layer keys on.
+  auto find = [&](const std::string& name) -> const parallax::StageTrace& {
+    for (const auto& t : traces) {
+      if (t.stage == name) return t;
+    }
+    ADD_FAILURE() << "no trace for stage " << name;
+    static parallax::StageTrace empty;
+    return empty;
+  };
+  EXPECT_EQ(find("select").counter("verify_functions"), 1u);
+  EXPECT_GT(find("scan").counter("gadgets_stable"), 0u);
+  EXPECT_EQ(find("chain-compile").counter("chains"), 1u);
+  EXPECT_GT(find("chain-compile").counter("chain_words"), 0u);
+  EXPECT_GT(find("materialize").counter("protected_ranges"), 0u);
+}
+
+TEST(Pipeline, StagewiseReplayMatchesDriver) {
+  const auto& program = compiled_workload("minilame");
+  const auto opts = options_for("minilame", kRc4);
+
+  parallax::Protector protector;
+  auto via_driver = protector.protect(program, opts);
+  ASSERT_TRUE(via_driver.ok());
+
+  parallax::PipelineContext ctx = parallax::make_context(program, opts);
+  for (const parallax::Stage* stage : parallax::protection_stages()) {
+    auto status = parallax::run_stage(*stage, ctx);
+    ASSERT_TRUE(status.ok()) << stage->name() << ": " << status.error().str();
+  }
+
+  const Buffer a = via_driver.value().image.serialize();
+  const Buffer b = ctx.out.image.serialize();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(parallax::fnv1a64(a.span().data(), a.size()),
+            parallax::fnv1a64(b.span().data(), b.size()));
+}
+
+TEST(Pipeline, StageFailureNamesTheStage) {
+  // An unknown verification function fails in select, and the diagnostic
+  // carries the stage frame plus a machine-checkable code.
+  parallax::ProtectOptions opts;
+  opts.verify_functions = {"no_such_function"};
+  parallax::Protector protector;
+  auto prot = protector.protect(compiled_workload("miniwget"), opts);
+  ASSERT_FALSE(prot.ok());
+  EXPECT_EQ(prot.error().code(), DiagCode::SelectionError);
+  EXPECT_NE(prot.error().str().find("stage 'select'"), std::string::npos)
+      << prot.error().str();
+}
+
+TEST(Batch, DeterministicAcrossThreadCounts) {
+  const auto jobs = parallax::corpus_jobs(kXor);
+  ASSERT_EQ(jobs.size(), 6u);
+  const auto serial = parallax::protect_batch(jobs, 1);
+  const auto parallel = parallax::protect_batch(jobs, 4);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial[i].name, jobs[i].name);
+    EXPECT_TRUE(serial[i].ok) << serial[i].error.str();
+    EXPECT_TRUE(parallel[i].ok) << parallel[i].error.str();
+    EXPECT_EQ(serial[i].image_fnv64, parallel[i].image_fnv64) << jobs[i].name;
+    EXPECT_EQ(serial[i].image_bytes, parallel[i].image_bytes);
+    EXPECT_EQ(serial[i].chain_words, parallel[i].chain_words);
+  }
+}
+
+TEST(Batch, MatchesSingleProtectorRuns) {
+  // A batch job is the same computation as a lone Protector::protect — the
+  // xor row of the golden table must hold through the batch driver too.
+  const auto results = parallax::protect_batch(parallax::corpus_jobs(kXor), 0);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.name << ": " << r.error.str();
+    bool found = false;
+    for (const Golden& g : kGolden) {
+      if (g.workload != r.name || g.mode != kXor) continue;
+      found = true;
+      EXPECT_EQ(r.image_fnv64, g.fnv64) << r.name;
+      EXPECT_EQ(r.image_bytes, g.bytes) << r.name;
+    }
+    EXPECT_TRUE(found) << r.name;
+  }
+}
+
+TEST(Batch, FailingJobCarriesStructuredDiagnostic) {
+  parallax::BatchJob bad;
+  bad.name = "broken";
+  bad.source = "int main( {";
+  auto results = parallax::protect_batch({bad}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].name, "broken");
+  EXPECT_EQ(results[0].error.code(), DiagCode::ParseError);
+  EXPECT_NE(results[0].error.str().find("batch job 'broken'"),
+            std::string::npos)
+      << results[0].error.str();
+  EXPECT_TRUE(results[0].traces.empty());
+}
+
+TEST(Batch, WritesProtectJson) {
+  auto jobs = parallax::corpus_jobs(kClear);
+  jobs.resize(1);
+  const auto results = parallax::protect_batch(jobs, 1);
+  ASSERT_TRUE(results[0].ok);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(parallax::write_protect_json(results[0], dir));
+
+  auto text =
+      support::read_text_file(dir + "/PROTECT_" + results[0].name + ".json");
+  ASSERT_TRUE(text.ok()) << text.error().str();
+  const std::string& json = text.value();
+  EXPECT_NE(json.find("\"protect\": \"miniwget\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"materialize\""), std::string::npos);
+  char fnv_hex[24];
+  std::snprintf(fnv_hex, sizeof fnv_hex, "%016llx",
+                static_cast<unsigned long long>(results[0].image_fnv64));
+  EXPECT_NE(json.find(fnv_hex), std::string::npos);
+}
+
+TEST(Diag, RendersStageAndContextChain) {
+  Diag d(DiagCode::LayoutError, "image.layout", "undefined symbol 'x'");
+  d.with_context("laying out module").with_context("stage 'layout'");
+  EXPECT_EQ(d.str(),
+            "[image.layout] stage 'layout': laying out module: "
+            "undefined symbol 'x'");
+  EXPECT_EQ(d.code(), DiagCode::LayoutError);
+  EXPECT_STREQ(diag_code_name(d.code()), "layout");
+}
+
+TEST(Diag, WarningsTravelWithTheDiagnostic) {
+  Diag d(DiagCode::StubError, "parallax.stub", "boom");
+  d.with_warning("crafting produced nothing");
+  ASSERT_EQ(d.warnings().size(), 1u);
+  EXPECT_EQ(d.warnings()[0], "crafting produced nothing");
+}
+
+TEST(Diag, ImplicitStringConversionKeepsLegacyCallSites) {
+  Result<int> r = fail("plain message");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), DiagCode::Unspecified);
+  EXPECT_EQ(r.error().str(), "plain message");
+}
+
+using DiagDeathTest = ::testing::Test;
+
+TEST(DiagDeathTest, ValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = fail(DiagCode::Internal, "test", "nope");
+        (void)r.value();
+      },
+      "value\\(\\) on error result");
+}
+
+TEST(DiagDeathTest, ErrorOnOkAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = 7;
+        (void)r.error();
+      },
+      "error\\(\\) on ok result");
+}
+
+}  // namespace
+}  // namespace plx
