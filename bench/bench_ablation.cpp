@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
   ablate_slot_sources();
   ablate_crafting();
   plx::bench::write_json();
-  if (!plx::bench::smoke()) {
+  if (!plx::bench::tables_only()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

@@ -181,6 +181,8 @@ int main() { return probe(); }
                 total, 100.0 * broke / total);
     bench::session().figure("gadget_flip_detection_percent",
                             total ? 100.0 * broke / total : 0.0);
+    bench::session().figure("gadget_flips_detected", broke);
+    bench::session().figure("gadget_flips_total", total);
     std::printf("(undetected flips produced semantically equivalent gadgets — "
                 "the attacker escape hatch of §VIII-C)\n\n");
   }
@@ -207,7 +209,7 @@ int main(int argc, char** argv) {
   plx::bench::init("attacks", argc, argv);
   print_matrix();
   plx::bench::write_json();
-  if (!plx::bench::smoke()) {
+  if (!plx::bench::tables_only()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

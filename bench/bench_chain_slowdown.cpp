@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   plx::bench::init("chain_slowdown", argc, argv);
   print_table();
   plx::bench::write_json();
-  if (!plx::bench::smoke()) {
+  if (!plx::bench::tables_only()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

@@ -1,13 +1,21 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 //
 // Besides the build/protect/run wrappers, this header carries the bench
-// reporting layer: every binary calls bench::init() first and
-// bench::write_json() after its tables, producing BENCH_<name>.json with
-// per-stage wall-clock times (compile, scan, protect, run), host-side
-// throughput (VM instructions/sec, scanner bytes/sec) and the VM-cycle
-// figures the tables print. `--plx_smoke` switches to a tiny budget (first
-// corpus workload only, no google-benchmark pass) so ctest can validate the
-// pipeline quickly; see bench/CMakeLists.txt's bench_smoke tests.
+// reporting layer, now a thin shell over telemetry::Registry (DESIGN.md
+// §12): every binary calls bench::init() first and bench::write_json()
+// after its tables, producing a schema-v2 BENCH_<name>.json with per-stage
+// wall-clock times ("stages", including the protector's per-pipeline-stage
+// breakdown), host-side throughput (VM instructions/sec, scanner
+// bytes/sec), deterministic pipeline counters and the VM-cycle figures the
+// tables print ("figures" — the values `plxreport` renders into
+// EXPERIMENTS.md and gates against bench/baselines/).
+//
+// Two flags, stripped from argv before google-benchmark sees them:
+//   --plx_smoke    tiny budget: first corpus workload only, no
+//                  google-benchmark pass (ctest bench_smoke validation).
+//   --plx_tables   full corpus tables, but still no google-benchmark pass:
+//                  the cheap deterministic run the perf_gate fixture uses
+//                  to produce report artifacts.
 #pragma once
 
 #include <chrono>
@@ -23,48 +31,50 @@
 #include "cc/compile.h"
 #include "image/layout.h"
 #include "parallax/protector.h"
-#include "support/json.h"
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+#include "telemetry/telemetry.h"
 #include "vm/machine.h"
 #include "workloads/corpus.h"
 
 namespace plx::bench {
 
-using json::escape;
-using json::num;
-
-// Accumulated timing/throughput state for one bench binary. Not thread-safe:
-// record from the main thread (time whole parallel regions, not their
-// workers).
+// Accumulated timing/throughput state for one bench binary, recorded into a
+// telemetry::Registry under the section prefixes
+//   stages/      accumulated wall-clock per stage (timers)
+//   throughput/  VM/scanner totals (counters) and their seconds (timers)
+//   pipeline/    protector per-stage counters (via ProtectOptions::registry)
+//   figures/     the printed figure values (gauges)
+// The registry itself is thread-safe; still record from the main thread
+// (time whole parallel regions, not their workers) for wall-clock metrics.
 class Session {
  public:
   std::string name = "bench";
   bool smoke = false;
+  bool tables = false;
+
+  telemetry::Registry& registry() { return registry_; }
+  const telemetry::Registry& registry() const { return registry_; }
 
   void add_stage(const char* stage, double seconds) {
-    for (auto& [k, v] : stages_) {
-      if (k == stage) {
-        v += seconds;
-        return;
-      }
-    }
-    stages_.emplace_back(stage, seconds);
+    registry_.add_seconds(std::string("stages/") + stage, seconds);
   }
 
   void note_vm_run(const vm::RunResult& r, double seconds) {
-    vm_instructions_ += r.instructions;
-    vm_cycles_ += r.cycles;
-    vm_run_seconds_ += seconds;
+    registry_.add("throughput/vm_instructions_total", r.instructions);
+    registry_.add("throughput/vm_cycles_total", r.cycles);
+    registry_.add_seconds("throughput/vm_run", seconds);
     add_stage("run", seconds);
   }
 
   void note_scan(std::uint64_t bytes, double seconds) {
-    scan_bytes_ += bytes;
-    scan_seconds_ += seconds;
+    registry_.add("throughput/scanner_bytes_total", bytes);
+    registry_.add_seconds("throughput/scanner_scan", seconds);
     add_stage("scan", seconds);
   }
 
   void figure(const std::string& key, double value) {
-    figures_.emplace_back(key, value);
+    registry_.set("figures/" + key, value);
   }
 
   // Writes BENCH_<name>.json into the working directory.
@@ -77,38 +87,37 @@ class Session {
     }
     const double total =
         std::chrono::duration<double>(Clock::now() - start_).count();
-    out << "{\n";
-    out << "  \"bench\": \"" << escape(name) << "\",\n";
-    out << "  \"schema_version\": 1,\n";
-    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-    out << "  \"wall_seconds_total\": " << num(total) << ",\n";
-    out << "  \"stages\": {";
-    for (std::size_t i = 0; i < stages_.size(); ++i) {
-      out << (i ? ", " : "") << '"' << escape(stages_[i].first)
-          << "\": " << num(stages_[i].second);
-    }
-    out << "},\n";
-    out << "  \"throughput\": {\n";
-    out << "    \"vm_instructions_total\": " << vm_instructions_ << ",\n";
-    out << "    \"vm_cycles_total\": " << vm_cycles_ << ",\n";
-    out << "    \"vm_run_seconds\": " << num(vm_run_seconds_) << ",\n";
-    out << "    \"vm_instructions_per_sec\": "
-        << num(rate(static_cast<double>(vm_instructions_), vm_run_seconds_))
-        << ",\n";
-    out << "    \"vm_cycles_per_sec\": "
-        << num(rate(static_cast<double>(vm_cycles_), vm_run_seconds_)) << ",\n";
-    out << "    \"scanner_bytes_total\": " << scan_bytes_ << ",\n";
-    out << "    \"scanner_scan_seconds\": " << num(scan_seconds_) << ",\n";
-    out << "    \"scanner_bytes_per_sec\": "
-        << num(rate(static_cast<double>(scan_bytes_), scan_seconds_)) << "\n";
-    out << "  },\n";
-    out << "  \"figures\": {";
-    for (std::size_t i = 0; i < figures_.size(); ++i) {
-      out << (i ? ",\n              " : "") << '"' << escape(figures_[i].first)
-          << "\": " << num(figures_[i].second);
-    }
-    out << "}\n";
-    out << "}\n";
+    const auto vm_instructions =
+        registry_.counter("throughput/vm_instructions_total");
+    const auto vm_cycles = registry_.counter("throughput/vm_cycles_total");
+    const double vm_seconds = registry_.timer_seconds("throughput/vm_run");
+    const auto scan_bytes =
+        registry_.counter("throughput/scanner_bytes_total");
+    const double scan_seconds =
+        registry_.timer_seconds("throughput/scanner_scan");
+
+    telemetry::JsonWriter w(out);
+    telemetry::write_envelope(w, telemetry::kToolBench, name);
+    w.field_bool("smoke", smoke);
+    w.field_bool("tables", tables);
+    w.field_num("wall_seconds_total", total);
+    telemetry::write_timers(w, "stages", registry_, "stages/");
+    w.begin_object("throughput");
+    w.field_u64("vm_instructions_total", vm_instructions);
+    w.field_u64("vm_cycles_total", vm_cycles);
+    w.field_num("vm_run_seconds", vm_seconds);
+    w.field_num("vm_instructions_per_sec",
+                rate(static_cast<double>(vm_instructions), vm_seconds));
+    w.field_num("vm_cycles_per_sec",
+                rate(static_cast<double>(vm_cycles), vm_seconds));
+    w.field_u64("scanner_bytes_total", scan_bytes);
+    w.field_num("scanner_scan_seconds", scan_seconds);
+    w.field_num("scanner_bytes_per_sec",
+                rate(static_cast<double>(scan_bytes), scan_seconds));
+    w.end_object();
+    telemetry::write_counters(w, "pipeline", registry_, "pipeline/");
+    telemetry::write_gauges(w, "figures", registry_, "figures/");
+    w.end_object();
     std::printf("[bench] wrote %s\n", path.c_str());
   }
 
@@ -120,13 +129,7 @@ class Session {
     return seconds > 0 ? amount / seconds : 0.0;
   }
 
-  std::vector<std::pair<std::string, double>> stages_;  // insertion order
-  std::vector<std::pair<std::string, double>> figures_;
-  std::uint64_t vm_instructions_ = 0;
-  std::uint64_t vm_cycles_ = 0;
-  double vm_run_seconds_ = 0;
-  std::uint64_t scan_bytes_ = 0;
-  double scan_seconds_ = 0;
+  telemetry::Registry registry_;
 };
 
 inline Session& session() {
@@ -134,8 +137,8 @@ inline Session& session() {
   return s;
 }
 
-// Call first thing in main(): names the JSON report and strips --plx_smoke
-// from argv before google-benchmark sees it.
+// Call first thing in main(): names the JSON report and strips the --plx_*
+// flags from argv before google-benchmark sees them.
 inline void init(const std::string& name, int& argc, char** argv) {
   Session& s = session();
   s.name = name;
@@ -144,6 +147,8 @@ inline void init(const std::string& name, int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plx_smoke") == 0) {
       s.smoke = true;
+    } else if (std::strcmp(argv[i], "--plx_tables") == 0) {
+      s.tables = true;
     } else {
       argv[w++] = argv[i];
     }
@@ -153,6 +158,8 @@ inline void init(const std::string& name, int& argc, char** argv) {
 }
 
 inline bool smoke() { return session().smoke; }
+// True when the google-benchmark pass should be skipped (both fast modes).
+inline bool tables_only() { return session().smoke || session().tables; }
 inline void write_json() { session().write_json(); }
 
 // RAII stage timer; accumulates into session() under `stage`.
@@ -222,6 +229,7 @@ inline parallax::Protected protect_workload(const BuiltWorkload& bw,
   opts.verify_functions = {bw.meta.verify_function};
   opts.hardening = mode;
   opts.variants = variants;
+  opts.registry = &session().registry();
   parallax::Protector p;
   auto prot = p.protect(bw.compiled, opts);
   if (!prot) {

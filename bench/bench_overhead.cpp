@@ -32,6 +32,8 @@ void print_table() {
                 100.0 * bw.profile.fraction(w.verify_function));
     bench::session().figure("plain_cycles/" + w.name,
                             static_cast<double>(bw.profile.run.cycles));
+    bench::session().figure("vf_share_percent/" + w.name,
+                            100.0 * bw.profile.fraction(w.verify_function));
     for (Hardening mode : kModes) {
       auto prot = bench::protect_workload(bw, mode);
       auto run = bench::run_image(prot.image);
@@ -65,7 +67,7 @@ int main(int argc, char** argv) {
   plx::bench::init("overhead", argc, argv);
   print_table();
   plx::bench::write_json();
-  if (!plx::bench::smoke()) {
+  if (!plx::bench::tables_only()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

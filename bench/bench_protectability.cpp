@@ -80,6 +80,15 @@ void print_table(const std::vector<Analyzed>& rows) {
                 100.0 * report.fraction(rewrite::Rule::ImmediateMod),
                 100.0 * report.fraction(rewrite::Rule::JumpMod),
                 100.0 * report.fraction_any());
+    bench::session().figure("code_bytes/" + row.w->name, report.code_bytes);
+    bench::session().figure("protectable_near_percent/" + row.w->name,
+                            100.0 * report.fraction(rewrite::Rule::ExistingNear));
+    bench::session().figure("protectable_far_percent/" + row.w->name,
+                            100.0 * report.fraction(rewrite::Rule::ExistingFar));
+    bench::session().figure("protectable_imm_percent/" + row.w->name,
+                            100.0 * report.fraction(rewrite::Rule::ImmediateMod));
+    bench::session().figure("protectable_jump_percent/" + row.w->name,
+                            100.0 * report.fraction(rewrite::Rule::JumpMod));
     bench::session().figure("protectable_any_percent/" + row.w->name,
                             100.0 * report.fraction_any());
     sum_any += report.fraction_any();
@@ -138,7 +147,7 @@ int main(int argc, char** argv) {
   print_table(rows);
   scan_throughput(rows);
   plx::bench::write_json();
-  if (!plx::bench::smoke()) {
+  if (!plx::bench::tables_only()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

@@ -3,23 +3,27 @@
 // file given on the command line parses as JSON and carries the required
 // keys with the right shapes:
 //
-//   bench            string
-//   schema_version   number (currently 1)
-//   stages           object, all values numbers
-//   throughput       non-empty object, all values numbers
+//   tool/name/bench/schema_version   the shared schema-v2 envelope
+//   stages                           object, all values numbers
+//   throughput                       non-empty object, all values numbers
+//   pipeline                         object, all values numbers
+//   figures                          object, all values numbers
 //
-// The reader lives in minijson.h (shared with validate_fuzz_json).
+// The reader lives in support/minijson.h (shared with validate_fuzz_json);
+// it is deliberately independent of the telemetry emitter.
 #include <cstdio>
 #include <string>
 
-#include "minijson.h"
 #include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/schema.h"
 
 namespace {
 
 using plx::minijson::Object;
 using plx::minijson::Parser;
 using plx::minijson::Value;
+using plx::minijson::check_envelope;
 using plx::minijson::check_numeric_object;
 
 bool validate(const std::string& path, std::string& why) {
@@ -41,24 +45,19 @@ bool validate(const std::string& path, std::string& why) {
     return false;
   }
 
-  auto bench = obj->find("bench");
-  if (bench == obj->end() || !bench->second.is_string()) {
-    why = "missing string key \"bench\"";
-    return false;
-  }
-  auto ver = obj->find("schema_version");
-  if (ver == obj->end() || !ver->second.is_number()) {
-    why = "missing numeric key \"schema_version\"";
-    return false;
-  }
-  if (ver->second.number() != 1.0) {
-    why = "unsupported schema_version";
+  if (!check_envelope(*obj, "bench", plx::telemetry::kSchemaVersion, why)) {
     return false;
   }
   if (!check_numeric_object(*obj, "stages", /*require_nonempty=*/false, why)) {
     return false;
   }
   if (!check_numeric_object(*obj, "throughput", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+  if (!check_numeric_object(*obj, "pipeline", /*require_nonempty=*/false, why)) {
+    return false;
+  }
+  if (!check_numeric_object(*obj, "figures", /*require_nonempty=*/false, why)) {
     return false;
   }
   return true;

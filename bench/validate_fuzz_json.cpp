@@ -3,11 +3,10 @@
 // every file given on the command line parses as JSON and carries the
 // required keys with the right shapes:
 //
-//   fuzz             string
-//   schema_version   number (currently 1)
-//   golden           non-empty object, all values numbers
-//   outcomes         non-empty object, all values numbers
-//   escapes          array
+//   tool/name/fuzz/schema_version   the shared schema-v2 envelope
+//   golden                          non-empty object, all values numbers
+//   outcomes                        non-empty object, all values numbers
+//   escapes                         array
 //
 // With --require-no-escapes, a non-empty "escapes" array is itself a
 // failure — this is how CI enforces the zero-escape guarantee: the report
@@ -17,8 +16,9 @@
 #include <sstream>
 #include <string>
 
-#include "minijson.h"
 #include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/schema.h"
 
 namespace {
 
@@ -26,6 +26,7 @@ using plx::minijson::Array;
 using plx::minijson::Object;
 using plx::minijson::Parser;
 using plx::minijson::Value;
+using plx::minijson::check_envelope;
 using plx::minijson::check_numeric_object;
 
 bool validate(const std::string& path, bool require_no_escapes,
@@ -48,18 +49,7 @@ bool validate(const std::string& path, bool require_no_escapes,
     return false;
   }
 
-  auto fuzz = obj->find("fuzz");
-  if (fuzz == obj->end() || !fuzz->second.is_string()) {
-    why = "missing string key \"fuzz\"";
-    return false;
-  }
-  auto ver = obj->find("schema_version");
-  if (ver == obj->end() || !ver->second.is_number()) {
-    why = "missing numeric key \"schema_version\"";
-    return false;
-  }
-  if (ver->second.number() != 1.0) {
-    why = "unsupported schema_version";
+  if (!check_envelope(*obj, "fuzz", plx::telemetry::kSchemaVersion, why)) {
     return false;
   }
   if (!check_numeric_object(*obj, "golden", /*require_nonempty=*/true, why)) {

@@ -3,8 +3,7 @@
 // protect_smoke ctest targets: exits 0 iff every file given on the command
 // line parses as JSON and carries the required keys with the right shapes:
 //
-//   protect          string (report/workload name)
-//   schema_version   number (currently 1)
+//   tool/name/protect/schema_version   the shared schema-v2 envelope
 //   ok               bool
 //   error            object with string code/stage/message (required iff
 //                    ok is false)
@@ -24,8 +23,9 @@
 #include <string>
 #include <variant>
 
-#include "minijson.h"
 #include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/schema.h"
 
 namespace {
 
@@ -33,6 +33,7 @@ using plx::minijson::Array;
 using plx::minijson::Object;
 using plx::minijson::Parser;
 using plx::minijson::Value;
+using plx::minijson::check_envelope;
 using plx::minijson::check_numeric_object;
 
 bool is_bool(const Value& v) { return std::holds_alternative<bool>(v.v); }
@@ -89,18 +90,7 @@ bool validate(const std::string& path, bool require_ok, std::string& why) {
     return false;
   }
 
-  auto name = obj->find("protect");
-  if (name == obj->end() || !name->second.is_string()) {
-    why = "missing string key \"protect\"";
-    return false;
-  }
-  auto ver = obj->find("schema_version");
-  if (ver == obj->end() || !ver->second.is_number()) {
-    why = "missing numeric key \"schema_version\"";
-    return false;
-  }
-  if (ver->second.number() != 1.0) {
-    why = "unsupported schema_version";
+  if (!check_envelope(*obj, "protect", plx::telemetry::kSchemaVersion, why)) {
     return false;
   }
 

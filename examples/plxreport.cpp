@@ -1,0 +1,267 @@
+// plxreport — aggregate the machine-readable report artifacts
+// (BENCH_/FUZZ_/PROTECT_<name>.json, schema v2) into the measured tables of
+// EXPERIMENTS.md and gate them against the tracked baselines in
+// bench/baselines/ (DESIGN.md §12).
+//
+//   plxreport render   --dir DIR
+//       Print every generated Markdown block to stdout.
+//   plxreport update   --dir DIR --experiments FILE
+//       Splice freshly rendered blocks over the marked regions of FILE.
+//   plxreport check    --dir DIR --experiments FILE
+//       Fail (exit 1) if any marked block of FILE differs byte-for-byte
+//       from what the artifacts render — committed doc vs measured drift.
+//   plxreport gate     --dir DIR --baselines DIR
+//       Compare every artifact against its BASELINE_<name>.json; fail on
+//       any out-of-tolerance / mismatched / missing pinned metric. A
+//       missing baseline file is a warning, not a failure.
+//   plxreport baseline --dir DIR --out DIR
+//       (Re)write the baseline files from the artifacts in --dir.
+//   plxreport diag [--update FILE | --check FILE]
+//       Print the generated Diag error-code reference table, splice it
+//       into FILE (README.md), or verify FILE already embeds it.
+//
+// `check` + `gate` together form the perf_gate ctest label (bench/
+// CMakeLists.txt): cycle-derived metrics gate exactly (the VM is
+// deterministic), wall-clock throughput at ±30%.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/compare.h"
+#include "telemetry/report_md.h"
+#include "telemetry/schema.h"
+
+namespace {
+
+using namespace plx;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: plxreport render   [--dir DIR]\n"
+      "       plxreport update   [--dir DIR] --experiments FILE\n"
+      "       plxreport check    [--dir DIR] --experiments FILE\n"
+      "       plxreport gate     [--dir DIR] --baselines DIR\n"
+      "       plxreport baseline [--dir DIR] --out DIR\n"
+      "       plxreport diag     [--update FILE | --check FILE]\n");
+  return 2;
+}
+
+int fatal(const std::string& what) {
+  std::fprintf(stderr, "plxreport: %s\n", what.c_str());
+  return 1;
+}
+
+Result<telemetry::Artifacts> load(const std::string& dir) {
+  auto artifacts = telemetry::load_artifacts(dir);
+  if (artifacts && artifacts.value().files.empty()) {
+    return fail(DiagCode::Io, "plxreport",
+                "no report artifacts (BENCH_/FUZZ_/PROTECT_*.json) in '" +
+                    dir + "'");
+  }
+  return artifacts;
+}
+
+bool write_text(const std::string& path, const std::string& text,
+                std::string& why) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out) {
+    why = "cannot write '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+int cmd_render(const std::string& dir) {
+  auto artifacts = load(dir);
+  if (!artifacts) return fatal(artifacts.error().str());
+  std::fputs(telemetry::render_report(artifacts.value()).c_str(), stdout);
+  return 0;
+}
+
+int splice_into(const std::string& path, const std::vector<telemetry::Block>& blocks) {
+  auto text = support::read_text_file(path);
+  if (!text) return fatal(text.error().str());
+  auto spliced = telemetry::splice_blocks(text.value(), blocks);
+  if (!spliced) return fatal(spliced.error().str());
+  std::string why;
+  if (!write_text(path, spliced.value(), why)) return fatal(why);
+  std::printf("plxreport: updated %zu block(s) in %s\n", blocks.size(),
+              path.c_str());
+  return 0;
+}
+
+int check_against(const std::string& path,
+                  const std::vector<telemetry::Block>& blocks,
+                  const char* regen_hint) {
+  auto text = support::read_text_file(path);
+  if (!text) return fatal(text.error().str());
+  std::string error;
+  const auto stale = telemetry::stale_blocks(text.value(), blocks, error);
+  if (!error.empty()) return fatal(path + ": " + error);
+  if (!stale.empty()) {
+    std::fprintf(stderr,
+                 "plxreport: %s is stale versus the measured artifacts; "
+                 "block(s):", path.c_str());
+    for (const auto& id : stale) std::fprintf(stderr, " %s", id.c_str());
+    std::fprintf(stderr, "\n  regenerate with: %s\n", regen_hint);
+    return 1;
+  }
+  std::printf("plxreport: %s matches the artifacts (%zu block(s))\n",
+              path.c_str(), blocks.size());
+  return 0;
+}
+
+int cmd_update(const std::string& dir, const std::string& experiments) {
+  auto artifacts = load(dir);
+  if (!artifacts) return fatal(artifacts.error().str());
+  return splice_into(experiments, telemetry::render_blocks(artifacts.value()));
+}
+
+int cmd_check(const std::string& dir, const std::string& experiments) {
+  auto artifacts = load(dir);
+  if (!artifacts) return fatal(artifacts.error().str());
+  return check_against(experiments, telemetry::render_blocks(artifacts.value()),
+                       "plxreport update");
+}
+
+// "BASELINE_protect_miniwget.json" -> "protect_miniwget" (the report name).
+std::string baseline_report_name(const std::string& file) {
+  std::string stem = file.substr(0, file.size() - 5);  // drop ".json"
+  return stem.substr(std::strlen("BASELINE_"));
+}
+
+int cmd_gate(const std::string& dir, const std::string& baselines) {
+  auto artifacts = load(dir);
+  if (!artifacts) return fatal(artifacts.error().str());
+
+  std::size_t failures = 0, warnings = 0, metrics = 0;
+  for (const auto& [file, value] : artifacts.value().files) {
+    const std::string bname = telemetry::baseline_file_for(file);
+    const std::string bpath = baselines + "/" + bname;
+    if (!std::filesystem::exists(bpath)) {
+      std::printf("WARN  %s: no baseline (%s); not gated\n", file.c_str(),
+                  bname.c_str());
+      ++warnings;
+      continue;
+    }
+    auto btext = support::read_text_file(bpath);
+    if (!btext) return fatal(btext.error().str());
+    minijson::Parser parser(btext.value());
+    minijson::Value broot;
+    if (!parser.parse(broot) || !broot.object()) {
+      return fatal(bpath + ": parse error: " + parser.error());
+    }
+    const auto result =
+        telemetry::compare_artifact(file, *value.object(), *broot.object());
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "FAIL  %s: %s\n", file.c_str(),
+                   result.error.c_str());
+      ++failures;
+      continue;
+    }
+    metrics += result.checks.size();
+    for (const auto& check : result.checks) {
+      if (check.ok()) continue;
+      ++failures;
+      if (check.baseline.is_string) {
+        std::fprintf(stderr, "FAIL  %s: %s: %s (baseline \"%s\", current %s)\n",
+                     file.c_str(), check.baseline.name.c_str(),
+                     telemetry::verdict_name(check.verdict),
+                     check.baseline.text.c_str(),
+                     check.verdict == telemetry::Verdict::MissingMetric
+                         ? "<missing>"
+                         : ("\"" + check.current_text + "\"").c_str());
+      } else {
+        std::fprintf(stderr,
+                     "FAIL  %s: %s: %s (baseline %.17g ±%.0f%%, current %s)\n",
+                     file.c_str(), check.baseline.name.c_str(),
+                     telemetry::verdict_name(check.verdict),
+                     check.baseline.value, 100.0 * check.baseline.tolerance,
+                     check.verdict == telemetry::Verdict::MissingMetric
+                         ? "<missing>"
+                         : std::to_string(check.current).c_str());
+      }
+    }
+    if (result.ok()) {
+      std::printf("ok    %s: %zu metric(s) within tolerance of %s\n",
+                  file.c_str(), result.checks.size(), bname.c_str());
+    }
+  }
+  std::printf(
+      "plxreport gate: %zu artifact(s), %zu metric(s) checked, %zu "
+      "failure(s), %zu warning(s)\n",
+      artifacts.value().files.size(), metrics, failures, warnings);
+  return failures ? 1 : 0;
+}
+
+int cmd_baseline(const std::string& dir, const std::string& out_dir) {
+  auto artifacts = load(dir);
+  if (!artifacts) return fatal(artifacts.error().str());
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  for (const auto& [file, value] : artifacts.value().files) {
+    const std::string bname = telemetry::baseline_file_for(file);
+    const std::string rendered = telemetry::render_baseline(
+        baseline_report_name(bname), file, *value.object());
+    std::string why;
+    if (!write_text(out_dir + "/" + bname, rendered, why)) return fatal(why);
+    std::printf("plxreport: wrote %s/%s\n", out_dir.c_str(), bname.c_str());
+  }
+  return 0;
+}
+
+int cmd_diag(const std::string& update, const std::string& check) {
+  const std::vector<telemetry::Block> blocks = {
+      {"diag-codes", telemetry::render_diag_table()}};
+  if (!update.empty()) return splice_into(update, blocks);
+  if (!check.empty()) return check_against(check, blocks, "plxreport diag --update");
+  std::fputs(blocks[0].text.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::string dir = ".", experiments, baselines, out, update, check;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plxreport: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--dir") == 0) dir = next("--dir");
+    else if (std::strcmp(argv[i], "--experiments") == 0) experiments = next("--experiments");
+    else if (std::strcmp(argv[i], "--baselines") == 0) baselines = next("--baselines");
+    else if (std::strcmp(argv[i], "--out") == 0) out = next("--out");
+    else if (std::strcmp(argv[i], "--update") == 0) update = next("--update");
+    else if (std::strcmp(argv[i], "--check") == 0) check = next("--check");
+    else return usage();
+  }
+
+  if (cmd == "render") return cmd_render(dir);
+  if (cmd == "update") {
+    return experiments.empty() ? usage() : cmd_update(dir, experiments);
+  }
+  if (cmd == "check") {
+    return experiments.empty() ? usage() : cmd_check(dir, experiments);
+  }
+  if (cmd == "gate") {
+    return baselines.empty() ? usage() : cmd_gate(dir, baselines);
+  }
+  if (cmd == "baseline") {
+    return out.empty() ? usage() : cmd_baseline(dir, out);
+  }
+  if (cmd == "diag") return cmd_diag(update, check);
+  return usage();
+}

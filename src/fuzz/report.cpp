@@ -2,11 +2,14 @@
 
 #include <fstream>
 
-#include "support/json.h"
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
 
 namespace plx::fuzz {
 
 namespace {
+
+using telemetry::JsonWriter;
 
 std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
   static const char* digits = "0123456789abcdef";
@@ -24,15 +27,21 @@ std::uint64_t total_syscalls(const GoldenTrace& g) {
   return n;
 }
 
-void emit_campaign(std::ofstream& out, const char* key,
-                   const CampaignStats& s, bool last) {
-  out << "    \"" << key << "\": {"
-      << "\"total\": " << s.total << ", \"detected\": " << s.detected
-      << ", \"silent_corruption\": " << s.silent_corruption
-      << ", \"benign\": " << s.benign << ", \"timeout\": " << s.timeout
-      << ", \"escapes\": " << s.escapes.size()
-      << ", \"mutant_instructions\": " << s.mutant_instructions
-      << ", \"seconds\": " << json::num(s.seconds) << "}" << (last ? "\n" : ",\n");
+void emit_outcomes(JsonWriter& w, const CampaignStats& s) {
+  w.field_u64("total", s.total);
+  w.field_u64("detected", s.detected);
+  w.field_u64("silent_corruption", s.silent_corruption);
+  w.field_u64("benign", s.benign);
+  w.field_u64("timeout", s.timeout);
+}
+
+void emit_campaign(JsonWriter& w, const char* key, const CampaignStats& s) {
+  w.begin_object(key);
+  emit_outcomes(w, s);
+  w.field_u64("escapes", s.escapes.size());
+  w.field_u64("mutant_instructions", s.mutant_instructions);
+  w.field_num("seconds", s.seconds);
+  w.end_object();
 }
 
 }  // namespace
@@ -45,44 +54,43 @@ bool write_fuzz_json(const FuzzReport& report, const std::string& dir) {
   CampaignStats agg = report.sweep;
   agg.merge(report.random);
 
-  out << "{\n";
-  out << "  \"fuzz\": \"" << json::escape(report.name) << "\",\n";
-  out << "  \"schema_version\": 1,\n";
-  out << "  \"smoke\": " << (report.smoke ? "true" : "false") << ",\n";
-  out << "  \"seed\": " << report.seed << ",\n";
-  out << "  \"hardening\": \"" << json::escape(report.hardening) << "\",\n";
-  out << "  \"backend\": \"" << json::escape(report.backend) << "\",\n";
-  out << "  \"wall_seconds_total\": " << json::num(report.wall_seconds) << ",\n";
-  out << "  \"golden\": {"
-      << "\"exit_code\": " << report.golden.exit_code
-      << ", \"instructions\": " << report.golden.instructions
-      << ", \"cycles\": " << report.golden.cycles
-      << ", \"output_bytes\": " << report.golden.output.size()
-      << ", \"syscall_invocations\": " << total_syscalls(report.golden)
-      << "},\n";
-  out << "  \"coverage\": {"
-      << "\"protected_bytes\": " << report.protected_bytes
-      << ", \"strict_bytes\": " << report.strict_bytes << "},\n";
-  out << "  \"campaigns\": {\n";
-  emit_campaign(out, "sweep", report.sweep, /*last=*/false);
-  emit_campaign(out, "random", report.random, /*last=*/true);
-  out << "  },\n";
-  out << "  \"outcomes\": {"
-      << "\"total\": " << agg.total << ", \"detected\": " << agg.detected
-      << ", \"silent_corruption\": " << agg.silent_corruption
-      << ", \"benign\": " << agg.benign << ", \"timeout\": " << agg.timeout
-      << "},\n";
-  out << "  \"escapes\": [";
-  for (std::size_t i = 0; i < agg.escapes.size(); ++i) {
-    const CaseResult& e = agg.escapes[i];
-    out << (i ? "," : "") << "\n    {\"addr\": " << e.mutation.addr
-        << ", \"bytes\": \"" << hex_bytes(e.mutation.bytes) << "\""
-        << ", \"origin\": \"" << json::escape(e.mutation.origin) << "\""
-        << ", \"outcome\": \"" << outcome_name(e.outcome) << "\""
-        << ", \"detail\": \"" << json::escape(e.detail) << "\"}";
+  JsonWriter w(out);
+  telemetry::write_envelope(w, telemetry::kToolFuzz, report.name);
+  w.field_bool("smoke", report.smoke);
+  w.field_u64("seed", report.seed);
+  w.field_str("hardening", report.hardening);
+  w.field_str("backend", report.backend);
+  w.field_num("wall_seconds_total", report.wall_seconds);
+  w.begin_object("golden");
+  w.field_int("exit_code", report.golden.exit_code);
+  w.field_u64("instructions", report.golden.instructions);
+  w.field_u64("cycles", report.golden.cycles);
+  w.field_u64("output_bytes", report.golden.output.size());
+  w.field_u64("syscall_invocations", total_syscalls(report.golden));
+  w.end_object();
+  w.begin_object("coverage");
+  w.field_u64("protected_bytes", report.protected_bytes);
+  w.field_u64("strict_bytes", report.strict_bytes);
+  w.end_object();
+  w.begin_object("campaigns");
+  emit_campaign(w, "sweep", report.sweep);
+  emit_campaign(w, "random", report.random);
+  w.end_object();
+  w.begin_object("outcomes");
+  emit_outcomes(w, agg);
+  w.end_object();
+  w.begin_array("escapes");
+  for (const CaseResult& e : agg.escapes) {
+    w.begin_object();
+    w.field_u64("addr", e.mutation.addr);
+    w.field_str("bytes", hex_bytes(e.mutation.bytes));
+    w.field_str("origin", e.mutation.origin);
+    w.field_str("outcome", outcome_name(e.outcome));
+    w.field_str("detail", e.detail);
+    w.end_object();
   }
-  out << (agg.escapes.empty() ? "]\n" : "\n  ]\n");
-  out << "}\n";
+  w.end_array();
+  w.end_object();
   return static_cast<bool>(out);
 }
 

@@ -1,7 +1,7 @@
 // FUZZ_<name>.json emission — the fuzzing analogue of the bench layer's
-// BENCH_<name>.json (bench/bench_common.h); same minimal-JSON conventions
-// via support/json.h. Schema documented in README.md; checked by
-// bench/validate_fuzz_json.
+// BENCH_<name>.json (bench/bench_common.h); emitted through the shared
+// schema-v2 writer (telemetry/report.h). Schema documented in README.md;
+// checked by bench/validate_fuzz_json.
 #pragma once
 
 #include <string>

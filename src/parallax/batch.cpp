@@ -4,8 +4,9 @@
 
 #include "cc/compile.h"
 #include "parallax/pipeline.h"
-#include "support/json.h"
 #include "support/thread_pool.h"
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
 #include "workloads/corpus.h"
 
 namespace plx::parallax {
@@ -55,20 +56,19 @@ BatchResult run_job(const BatchJob& job) {
   return r;
 }
 
-void emit_trace(std::ofstream& out, const StageTrace& t, bool last) {
-  out << "    {\"stage\": \"" << json::escape(t.stage) << "\""
-      << ", \"millis\": " << json::num(t.millis)
-      << ", \"input_bytes\": " << t.input_bytes
-      << ", \"output_bytes\": " << t.output_bytes << ", \"counters\": {";
-  for (std::size_t i = 0; i < t.counters.size(); ++i) {
-    out << (i ? ", " : "") << "\"" << json::escape(t.counters[i].first)
-        << "\": " << t.counters[i].second;
-  }
-  out << "}, \"warnings\": [";
-  for (std::size_t i = 0; i < t.warnings.size(); ++i) {
-    out << (i ? ", " : "") << "\"" << json::escape(t.warnings[i]) << "\"";
-  }
-  out << "]}" << (last ? "\n" : ",\n");
+void emit_trace(telemetry::JsonWriter& w, const StageTrace& t) {
+  w.begin_object();
+  w.field_str("stage", t.stage);
+  w.field_num("millis", t.millis);
+  w.field_u64("input_bytes", t.input_bytes);
+  w.field_u64("output_bytes", t.output_bytes);
+  w.begin_object("counters");
+  for (const auto& [key, value] : t.counters) w.field_u64(key, value);
+  w.end_object();
+  w.begin_array("warnings");
+  for (const auto& warning : t.warnings) w.value_str(warning);
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace
@@ -119,31 +119,31 @@ bool write_protect_json(const BatchResult& r, const std::string& dir) {
   std::snprintf(fnv_hex, sizeof fnv_hex, "%016llx",
                 static_cast<unsigned long long>(r.image_fnv64));
 
-  out << "{\n";
-  out << "  \"protect\": \"" << json::escape(r.name) << "\",\n";
-  out << "  \"schema_version\": 1,\n";
-  out << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+  telemetry::JsonWriter w(out);
+  telemetry::write_envelope(w, telemetry::kToolProtect, r.name);
+  w.field_bool("ok", r.ok);
   if (!r.ok) {
-    out << "  \"error\": {\"code\": \"" << diag_code_name(r.error.code())
-        << "\", \"stage\": \"" << json::escape(r.error.stage())
-        << "\", \"message\": \"" << json::escape(r.error.str()) << "\"},\n";
+    w.begin_object("error");
+    w.field_str("code", diag_code_name(r.error.code()));
+    w.field_str("stage", r.error.stage());
+    w.field_str("message", r.error.str());
+    w.end_object();
   }
-  out << "  \"image_bytes\": " << r.image_bytes << ",\n";
-  out << "  \"image_fnv64\": \"" << fnv_hex << "\",\n";
-  out << "  \"stages\": [\n";
-  for (std::size_t i = 0; i < r.traces.size(); ++i) {
-    emit_trace(out, r.traces[i], i + 1 == r.traces.size());
-  }
-  out << "  ],\n";
-  out << "  \"totals\": {"
-      << "\"millis\": " << json::num(r.millis_total)
-      << ", \"stages\": " << r.traces.size() << ", \"chains\": " << r.chains
-      << ", \"chain_words\": " << r.chain_words
-      << ", \"gadgets_total\": " << r.gadgets_total
-      << ", \"gadgets_overlapping\": " << r.gadgets_overlapping
-      << ", \"used_gadgets_overlapping\": " << r.used_gadgets_overlapping
-      << "}\n";
-  out << "}\n";
+  w.field_u64("image_bytes", r.image_bytes);
+  w.field_str("image_fnv64", fnv_hex);
+  w.begin_array("stages");
+  for (const StageTrace& t : r.traces) emit_trace(w, t);
+  w.end_array();
+  w.begin_object("totals");
+  w.field_num("millis", r.millis_total);
+  w.field_u64("stages", r.traces.size());
+  w.field_u64("chains", r.chains);
+  w.field_u64("chain_words", r.chain_words);
+  w.field_u64("gadgets_total", r.gadgets_total);
+  w.field_u64("gadgets_overlapping", r.gadgets_overlapping);
+  w.field_u64("used_gadgets_overlapping", r.used_gadgets_overlapping);
+  w.end_object();
+  w.end_object();
   return static_cast<bool>(out);
 }
 

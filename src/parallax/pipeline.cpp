@@ -11,6 +11,7 @@
 #include "gadget/scanner.h"
 #include "rewrite/rewriter.h"
 #include "ropc/ropc.h"
+#include "telemetry/telemetry.h"
 #include "verify/hardening.h"
 
 namespace plx::parallax {
@@ -667,6 +668,12 @@ Status run_stage(const Stage& stage, PipelineContext& ctx) {
   ctx.active = nullptr;
   trace.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
   trace.output_bytes = visible_bytes(ctx);
+  if (telemetry::Registry* reg = ctx.opts.registry) {
+    reg->add_seconds("stages/pipeline/" + trace.stage, trace.millis / 1000.0);
+    for (const auto& [key, value] : trace.counters) {
+      reg->add("pipeline/" + trace.stage + "/" + key, value);
+    }
+  }
   ctx.out.traces.push_back(std::move(trace));
   if (!status) {
     return std::move(status).take_error().with_context(

@@ -30,6 +30,10 @@
 #include "support/error.h"
 #include "verify/stub.h"
 
+namespace plx::telemetry {
+class Registry;
+}
+
 namespace plx::parallax {
 
 using verify::Hardening;
@@ -60,6 +64,13 @@ struct ProtectOptions {
   // Text ranges whose instructions count as "protected" (gadget preference
   // and weaving); empty = every original program function.
   std::vector<std::string> protect_functions;
+
+  // Optional telemetry sink. When set, each executed pipeline stage records
+  // its wall-clock under "stages/pipeline/<stage>" and every StageTrace
+  // counter under "pipeline/<stage>/<counter>" — the same data as `traces`,
+  // but accumulated across protect() calls (the bench sessions point this
+  // at their report registry). Not owned; must outlive protect().
+  telemetry::Registry* registry = nullptr;
 };
 
 // One byte range of the image that the chains implicitly verify by

@@ -12,6 +12,7 @@
 // addressable for tests, the batch driver, and JSON reports.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -25,57 +26,84 @@ namespace plx {
 // One value per failure *kind*. Codes are coarse on purpose: they identify
 // which subsystem rejected the input (and roughly why), not every distinct
 // message. diag_code_name() gives the stable string used in reports.
+//
+// The list lives in one X-macro so the enum, the stable report string, the
+// human description, and the reference table in the docs (README.md
+// "Diagnostic codes", rendered by telemetry::render_diag_table and kept in
+// sync by tests/test_docs.cpp) can never drift apart. Append new codes at
+// the end and regenerate the docs table with `plxreport diag`.
+#define PLX_DIAG_CODE_LIST(X)                                                  \
+  X(Unspecified, "unspecified", "legacy fail(...) call sites; no classification") \
+  X(Io, "io", "file read/write failed")                                        \
+  X(LexError, "lex", "mini-C front end: tokenization failed")                  \
+  X(ParseError, "parse", "mini-C front end: syntax error")                     \
+  X(IrGenError, "irgen", "mini-C front end: IR generation failed")             \
+  X(BackendError, "backend", "mini-C x86 backend rejected a function")         \
+  X(AsmError, "asm", "hand-written assembly (runtime stubs) failed to assemble") \
+  X(EncodeError, "encode", "x86 instruction encoding failed")                  \
+  X(LayoutError, "layout", "image layout / symbol resolution failed")          \
+  X(ImageFormat, "image-format", "image (de)serialization rejected the bytes") \
+  X(MissingSymbol, "missing-symbol", "named symbol absent from the module")    \
+  X(ChainCompileError, "chain-compile", "ropc: IR to gadget chain lowering failed") \
+  X(ChainResolveError, "chain-resolve", "ropc: chain words to final addresses failed") \
+  X(RewriteError, "rewrite", "section IV-B gadget crafting failed")            \
+  X(HardeningError, "hardening", "chain encryption / probabilistic storage failed") \
+  X(SelectionError, "selection", "section VII-B verification-function selection failed") \
+  X(StubError, "stub", "loader stub installation failed")                      \
+  X(MaterializeError, "materialize", "final chain storage pokes failed")       \
+  X(BaselineError, "baseline", "baseline protectors (checksum, oblivious hash)") \
+  X(FuzzError, "fuzz", "tamper-fuzzing target setup failed")                   \
+  X(BatchError, "batch", "batch protection driver failed")                     \
+  X(Internal, "internal", "invariant violation; always a Parallax bug")
+
 enum class DiagCode {
-  Unspecified,    // legacy fail("...") call sites; no classification
-  Io,             // file read/write
-  LexError,       // cc front end
-  ParseError,
-  IrGenError,
-  BackendError,   // cc x86 backend
-  AsmError,       // hand-written assembly (runtime stubs)
-  EncodeError,    // x86 instruction encoding
-  LayoutError,    // image layout / symbol resolution
-  ImageFormat,    // image (de)serialization
-  MissingSymbol,
-  ChainCompileError,  // ropc: IR -> gadget chain
-  ChainResolveError,  // ropc: chain words -> final addresses
-  RewriteError,       // §IV-B gadget crafting
-  HardeningError,     // chain encryption / probabilistic storage
-  SelectionError,     // §VII-B verification-function selection
-  StubError,          // loader stub installation
-  MaterializeError,   // final chain storage pokes
-  BaselineError,      // baseline protectors (checksum, oblivious hash)
-  FuzzError,          // tamper-fuzzing targets
-  BatchError,         // batch protection driver
-  Internal,           // invariant violation; always a Parallax bug
+#define PLX_DIAG_ENUMERATOR(name, str, desc) name,
+  PLX_DIAG_CODE_LIST(PLX_DIAG_ENUMERATOR)
+#undef PLX_DIAG_ENUMERATOR
 };
+
+inline constexpr DiagCode kAllDiagCodes[] = {
+#define PLX_DIAG_VALUE(name, str, desc) DiagCode::name,
+    PLX_DIAG_CODE_LIST(PLX_DIAG_VALUE)
+#undef PLX_DIAG_VALUE
+};
+inline constexpr std::size_t kDiagCodeCount =
+    sizeof(kAllDiagCodes) / sizeof(kAllDiagCodes[0]);
 
 inline const char* diag_code_name(DiagCode c) {
   switch (c) {
-    case DiagCode::Unspecified: return "unspecified";
-    case DiagCode::Io: return "io";
-    case DiagCode::LexError: return "lex";
-    case DiagCode::ParseError: return "parse";
-    case DiagCode::IrGenError: return "irgen";
-    case DiagCode::BackendError: return "backend";
-    case DiagCode::AsmError: return "asm";
-    case DiagCode::EncodeError: return "encode";
-    case DiagCode::LayoutError: return "layout";
-    case DiagCode::ImageFormat: return "image-format";
-    case DiagCode::MissingSymbol: return "missing-symbol";
-    case DiagCode::ChainCompileError: return "chain-compile";
-    case DiagCode::ChainResolveError: return "chain-resolve";
-    case DiagCode::RewriteError: return "rewrite";
-    case DiagCode::HardeningError: return "hardening";
-    case DiagCode::SelectionError: return "selection";
-    case DiagCode::StubError: return "stub";
-    case DiagCode::MaterializeError: return "materialize";
-    case DiagCode::BaselineError: return "baseline";
-    case DiagCode::FuzzError: return "fuzz";
-    case DiagCode::BatchError: return "batch";
-    case DiagCode::Internal: return "internal";
+#define PLX_DIAG_NAME_CASE(name, str, desc) \
+  case DiagCode::name:                      \
+    return str;
+    PLX_DIAG_CODE_LIST(PLX_DIAG_NAME_CASE)
+#undef PLX_DIAG_NAME_CASE
   }
   return "unknown";
+}
+
+// One-line human description, used for the generated reference table in the
+// docs (and anywhere a code needs explaining without its message).
+inline const char* diag_code_description(DiagCode c) {
+  switch (c) {
+#define PLX_DIAG_DESC_CASE(name, str, desc) \
+  case DiagCode::name:                      \
+    return desc;
+    PLX_DIAG_CODE_LIST(PLX_DIAG_DESC_CASE)
+#undef PLX_DIAG_DESC_CASE
+  }
+  return "";
+}
+
+// Enumerator identifier ("ChainCompileError"), for the docs table.
+inline const char* diag_code_enum_name(DiagCode c) {
+  switch (c) {
+#define PLX_DIAG_ENUM_CASE(name, str, desc) \
+  case DiagCode::name:                      \
+    return #name;
+    PLX_DIAG_CODE_LIST(PLX_DIAG_ENUM_CASE)
+#undef PLX_DIAG_ENUM_CASE
+  }
+  return "";
 }
 
 class Diag {

@@ -210,6 +210,47 @@ class Parser {
   std::string error_;
 };
 
+// The shared schema-v2 report envelope (telemetry/schema.h): "tool" names
+// the emitter, "name" the report, "<tool>" is the legacy alias of "name"
+// kept for pre-v2 readers, and "schema_version" must match exactly —
+// cross-version comparison of measured data is forbidden by design.
+inline bool check_envelope(const Object& root, const std::string& tool,
+                           int schema_version, std::string& why) {
+  auto tool_it = root.find("tool");
+  if (tool_it == root.end() || !tool_it->second.is_string()) {
+    why = "missing string key \"tool\"";
+    return false;
+  }
+  if (std::get<std::string>(tool_it->second.v) != tool) {
+    why = "\"tool\" is not \"" + tool + "\"";
+    return false;
+  }
+  auto name_it = root.find("name");
+  if (name_it == root.end() || !name_it->second.is_string()) {
+    why = "missing string key \"name\"";
+    return false;
+  }
+  auto alias_it = root.find(tool);
+  if (alias_it == root.end() || !alias_it->second.is_string() ||
+      std::get<std::string>(alias_it->second.v) !=
+          std::get<std::string>(name_it->second.v)) {
+    why = "legacy alias \"" + tool + "\" missing or not equal to \"name\"";
+    return false;
+  }
+  auto ver = root.find("schema_version");
+  if (ver == root.end() || !ver->second.is_number()) {
+    why = "missing numeric key \"schema_version\"";
+    return false;
+  }
+  if (ver->second.number() != static_cast<double>(schema_version)) {
+    std::ostringstream os;
+    os << "schema_version is not " << schema_version;
+    why = os.str();
+    return false;
+  }
+  return true;
+}
+
 // An object-valued key whose members are all numbers (the common shape of
 // the report schemas: "stages", "throughput", "outcomes", ...).
 inline bool check_numeric_object(const Object& root, const std::string& key,

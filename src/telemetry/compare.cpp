@@ -1,0 +1,245 @@
+#include "telemetry/compare.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+
+namespace plx::telemetry {
+
+namespace {
+
+// Pure wall-clock timings are not gated: the throughput rates (which carry
+// a tolerance band) already summarize them, and raw seconds vary run to run.
+bool excluded_path(const std::string& path) {
+  return path.find("seconds") != std::string::npos ||
+         path.find("millis") != std::string::npos ||
+         path.find("wall") != std::string::npos;
+}
+
+double default_tolerance(const std::string& path) {
+  const std::string suffix = "_per_sec";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return kDefaultThroughputTolerance;
+  }
+  return 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// A "<stem>_..._per_sec" rate is only a measurement if its sibling window
+// ("<stem>..._seconds", e.g. vm_run_seconds for vm_* rates) is long enough;
+// a rate over a near-zero window is host-scheduler noise and is not pinned.
+bool rate_window_too_small(const minijson::Object& siblings,
+                           const std::string& rate_key) {
+  const std::string stem = rate_key.substr(0, rate_key.find('_'));
+  for (const auto& [k, v] : siblings) {
+    if (k.rfind(stem, 0) == 0 && ends_with(k, "_seconds") && v.is_number()) {
+      return v.number() < kMinRateWindowSeconds;
+    }
+  }
+  return false;  // no window sibling: pin as usual
+}
+
+void flatten(const std::string& path, const minijson::Value& v,
+             std::vector<Metric>& out) {
+  if (v.is_number()) {
+    if (excluded_path(path)) return;
+    out.push_back({path, /*is_string=*/false, v.number(), "",
+                   default_tolerance(path)});
+    return;
+  }
+  if (v.is_string()) {
+    // The only gated string metric: the serialized-image digest, the
+    // strongest whole-pipeline determinism check a protect report carries.
+    if (path == "image_fnv64") {
+      out.push_back(
+          {path, /*is_string=*/true, 0, std::get<std::string>(v.v), 0});
+    }
+    return;
+  }
+  if (const minijson::Object* obj = v.object()) {
+    for (const auto& [k, sub] : *obj) {
+      if (ends_with(k, "_per_sec") && sub.is_number() &&
+          rate_window_too_small(*obj, k)) {
+        continue;
+      }
+      flatten(path.empty() ? k : path + "/" + k, sub, out);
+    }
+  }
+  // Arrays (stage traces, escape lists) are intentionally not gated.
+}
+
+const minijson::Value* find_path(const minijson::Object& root,
+                                 const std::string& path) {
+  const minijson::Object* obj = &root;
+  std::size_t begin = 0;
+  for (;;) {
+    // Flat sections store '/'-bearing names as single keys (the bench
+    // "pipeline" object holds "chain-compile/chain_words" literally), so
+    // the whole remaining path is tried as a key before descending.
+    auto whole = obj->find(path.substr(begin));
+    if (whole != obj->end()) return &whole->second;
+    const std::size_t slash = path.find('/', begin);
+    if (slash == std::string::npos) return nullptr;
+    auto it = obj->find(path.substr(begin, slash - begin));
+    if (it == obj->end()) return nullptr;
+    obj = it->second.object();
+    if (!obj) return nullptr;
+    begin = slash + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Metric> gatable_metrics(const minijson::Object& artifact) {
+  std::vector<Metric> out;
+  for (const auto& [k, v] : artifact) {
+    if (k == "schema_version" || k == "seed") continue;
+    flatten(k, v, out);
+  }
+  return out;
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Pass: return "pass";
+    case Verdict::OutOfTolerance: return "out-of-tolerance";
+    case Verdict::ValueMismatch: return "value-mismatch";
+    case Verdict::MissingMetric: return "missing-metric";
+  }
+  return "unknown";
+}
+
+std::size_t GateResult::failures() const {
+  std::size_t n = 0;
+  for (const auto& c : checks) {
+    if (!c.ok()) ++n;
+  }
+  return n;
+}
+
+GateResult compare_artifact(const std::string& artifact_name,
+                            const minijson::Object& artifact,
+                            const minijson::Object& baseline) {
+  GateResult result;
+  result.artifact = artifact_name;
+  result.baseline_name = baseline_file_for(artifact_name);
+
+  auto ver = baseline.find("schema_version");
+  if (ver == baseline.end() || !ver->second.is_number() ||
+      ver->second.number() != static_cast<double>(kSchemaVersion)) {
+    std::ostringstream os;
+    os << "baseline schema_version is not " << kSchemaVersion
+       << " (regenerate with `plxreport baseline`)";
+    result.error = os.str();
+    return result;
+  }
+  auto metrics = baseline.find("metrics");
+  const minijson::Object* mobj =
+      metrics == baseline.end() ? nullptr : metrics->second.object();
+  if (!mobj) {
+    result.error = "baseline has no \"metrics\" object";
+    return result;
+  }
+
+  for (const auto& [name, spec] : *mobj) {
+    const minijson::Object* so = spec.object();
+    if (!so) {
+      result.error = "metric \"" + name + "\" is not an object";
+      return result;
+    }
+    MetricCheck check;
+    check.baseline.name = name;
+    auto tol = so->find("tolerance");
+    check.baseline.tolerance =
+        (tol != so->end() && tol->second.is_number()) ? tol->second.number()
+                                                      : 0;
+    auto text = so->find("text");
+    auto value = so->find("value");
+    if (text != so->end() && text->second.is_string()) {
+      check.baseline.is_string = true;
+      check.baseline.text = std::get<std::string>(text->second.v);
+    } else if (value != so->end() && value->second.is_number()) {
+      check.baseline.value = value->second.number();
+    } else {
+      result.error = "metric \"" + name + "\" has neither value nor text";
+      return result;
+    }
+
+    const minijson::Value* cur = find_path(artifact, name);
+    if (check.baseline.is_string) {
+      if (!cur || !cur->is_string()) {
+        check.verdict = Verdict::MissingMetric;
+      } else {
+        check.current_text = std::get<std::string>(cur->v);
+        check.verdict = check.current_text == check.baseline.text
+                            ? Verdict::Pass
+                            : Verdict::ValueMismatch;
+      }
+    } else {
+      if (!cur || !cur->is_number()) {
+        check.verdict = Verdict::MissingMetric;
+      } else {
+        check.current = cur->number();
+        const double base = check.baseline.value;
+        const double band = check.baseline.tolerance * std::fabs(base);
+        check.verdict = std::fabs(check.current - base) <= band
+                            ? Verdict::Pass
+                            : Verdict::OutOfTolerance;
+      }
+    }
+    result.checks.push_back(std::move(check));
+  }
+  return result;
+}
+
+std::string baseline_file_for(const std::string& artifact_file) {
+  const std::string ext = ".json";
+  if (artifact_file.size() <= ext.size() ||
+      artifact_file.compare(artifact_file.size() - ext.size(), ext.size(),
+                            ext) != 0) {
+    return "";
+  }
+  const std::string stem =
+      artifact_file.substr(0, artifact_file.size() - ext.size());
+  if (stem.rfind("BENCH_", 0) == 0) {
+    return "BASELINE_" + stem.substr(6) + ext;
+  }
+  if (stem.rfind("FUZZ_", 0) == 0) {
+    return "BASELINE_fuzz_" + stem.substr(5) + ext;
+  }
+  if (stem.rfind("PROTECT_", 0) == 0) {
+    return "BASELINE_protect_" + stem.substr(8) + ext;
+  }
+  return "";
+}
+
+std::string render_baseline(const std::string& name, const std::string& source,
+                            const minijson::Object& artifact) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_envelope(w, kToolBaseline, name);
+  w.field_str("source", source);
+  w.begin_object("metrics");
+  for (const Metric& m : gatable_metrics(artifact)) {
+    w.begin_object(m.name);
+    if (m.is_string) {
+      w.field_str("text", m.text);
+    } else {
+      w.field_num("value", m.value);
+    }
+    w.field_num("tolerance", m.tolerance);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace plx::telemetry

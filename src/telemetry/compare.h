@@ -1,0 +1,100 @@
+// Regression comparator: current report artifacts vs tracked baselines
+// (bench/baselines/BASELINE_<name>.json). Used by `plxreport gate` / the
+// perf_gate ctest label; unit-tested in tests/test_report.cpp.
+//
+// A baseline pins a set of metrics, each with a per-metric tolerance:
+//
+//   tolerance 0     exact match. Used for every deterministic metric —
+//                   VM cycle counts, figure values derived from them,
+//                   fuzz outcome counts, chain/gadget totals, image
+//                   digests. The VM's cycle model is deterministic, so any
+//                   deviation is a real behaviour change, not noise.
+//   tolerance t>0   relative band: |current - baseline| <= t * |baseline|.
+//                   Used for host wall-clock throughput (instructions/sec,
+//                   bytes/sec), gated at ±30% by default.
+//
+// Metric names are '/'-joined JSON paths into the artifact ("figures/...",
+// "throughput/vm_instructions_per_sec", "totals/chains"); string-valued
+// metrics (e.g. protect's "image_fnv64") compare exactly. Metrics present
+// in the artifact but not in the baseline never fail the gate — adding
+// instrumentation must not require touching every baseline — but a metric
+// pinned by the baseline and missing from the artifact does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/minijson.h"
+
+namespace plx::telemetry {
+
+// One gatable metric extracted from (or pinned by) a report.
+struct Metric {
+  std::string name;
+  bool is_string = false;
+  double value = 0;
+  std::string text;        // string metrics only
+  double tolerance = 0;    // relative; 0 = exact
+};
+
+// Flatten an artifact into its gatable metrics with default tolerances:
+// numeric leaves of top-level objects ('/'-joined paths) plus top-level
+// numerics and the string "image_fnv64" digest. Pure timing keys (seconds /
+// millis / wall) and the envelope are excluded; *_per_sec rates get
+// kDefaultThroughputTolerance, everything else is exact. Arrays are skipped.
+// A rate whose sibling measurement window ("vm_run_seconds" for vm_* rates,
+// "scanner_scan_seconds" for scanner_* rates) is under
+// kMinRateWindowSeconds is noise, not a measurement, and is not pinned.
+std::vector<Metric> gatable_metrics(const minijson::Object& artifact);
+
+inline constexpr double kDefaultThroughputTolerance = 0.30;
+inline constexpr double kMinRateWindowSeconds = 0.5;
+
+enum class Verdict {
+  Pass,
+  OutOfTolerance,   // numeric deviation beyond the allowed band
+  ValueMismatch,    // string metric differs
+  MissingMetric,    // pinned by the baseline, absent from the artifact
+};
+
+const char* verdict_name(Verdict v);
+
+struct MetricCheck {
+  Metric baseline;
+  double current = 0;        // numeric metrics, when present
+  std::string current_text;  // string metrics, when present
+  Verdict verdict = Verdict::Pass;
+  bool ok() const { return verdict == Verdict::Pass; }
+};
+
+struct GateResult {
+  std::string artifact;       // artifact file name (e.g. BENCH_overhead.json)
+  std::string baseline_name;  // expected baseline file name
+  bool baseline_missing = false;  // warning, not a failure
+  std::string error;              // malformed baseline/artifact; a failure
+  std::vector<MetricCheck> checks;
+
+  std::size_t failures() const;
+  bool ok() const { return error.empty() && failures() == 0; }
+};
+
+// Compare one artifact against one parsed baseline. The baseline's
+// schema_version must equal telemetry::kSchemaVersion and its "metrics"
+// object must be well-formed, else GateResult::error is set.
+GateResult compare_artifact(const std::string& artifact_name,
+                            const minijson::Object& artifact,
+                            const minijson::Object& baseline);
+
+// Expected baseline file name for a report artifact file name:
+//   BENCH_overhead.json    -> BASELINE_overhead.json
+//   FUZZ_quickstart.json   -> BASELINE_fuzz_quickstart.json
+//   PROTECT_miniwget.json  -> BASELINE_protect_miniwget.json
+// Returns "" for file names that are not report artifacts.
+std::string baseline_file_for(const std::string& artifact_file);
+
+// Render a BASELINE_<name>.json for an artifact (schema-v2 envelope, one
+// "metrics" entry per gatable metric). `source` names the artifact file.
+std::string render_baseline(const std::string& name, const std::string& source,
+                            const minijson::Object& artifact);
+
+}  // namespace plx::telemetry

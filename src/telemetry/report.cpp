@@ -1,0 +1,137 @@
+#include "telemetry/report.h"
+
+#include "support/json.h"
+#include "telemetry/schema.h"
+
+namespace plx::telemetry {
+
+void JsonWriter::indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::open_value(const std::string* key) {
+  if (!stack_.empty()) {
+    if (!stack_.back().first) out_ << ',';
+    stack_.back().first = false;
+    indent();
+  }
+  if (key) out_ << '"' << json::escape(*key) << "\": ";
+}
+
+void JsonWriter::begin_object() {
+  open_value(nullptr);
+  out_ << '{';
+  stack_.push_back({/*array=*/false, /*first=*/true});
+}
+
+void JsonWriter::begin_object(const std::string& key) {
+  open_value(&key);
+  out_ << '{';
+  stack_.push_back({/*array=*/false, /*first=*/true});
+}
+
+void JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ << '}';
+  if (stack_.empty()) out_ << '\n';
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  open_value(&key);
+  out_ << '[';
+  stack_.push_back({/*array=*/true, /*first=*/true});
+}
+
+void JsonWriter::end_array() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ << ']';
+}
+
+void JsonWriter::value_str(const std::string& value) {
+  open_value(nullptr);
+  out_ << '"' << json::escape(value) << '"';
+}
+
+void JsonWriter::field_str(const std::string& key, const std::string& value) {
+  open_value(&key);
+  out_ << '"' << json::escape(value) << '"';
+}
+
+void JsonWriter::field_num(const std::string& key, double value) {
+  open_value(&key);
+  out_ << json::num(value);
+}
+
+void JsonWriter::field_u64(const std::string& key, std::uint64_t value) {
+  open_value(&key);
+  out_ << value;
+}
+
+void JsonWriter::field_int(const std::string& key, int value) {
+  open_value(&key);
+  out_ << value;
+}
+
+void JsonWriter::field_bool(const std::string& key, bool value) {
+  open_value(&key);
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::field_raw(const std::string& key, const std::string& json) {
+  open_value(&key);
+  out_ << json;
+}
+
+void write_envelope(JsonWriter& w, const char* tool, const std::string& name) {
+  w.begin_object();
+  w.field_str("tool", tool);
+  w.field_str("name", name);
+  w.field_str(tool, name);  // legacy pre-v2 key ("bench"/"fuzz"/"protect")
+  w.field_int("schema_version", kSchemaVersion);
+}
+
+void write_counters(JsonWriter& w, const std::string& key, const Registry& r,
+                    const std::string& prefix) {
+  w.begin_object(key);
+  for (const auto& [k, v] : r.counters(prefix)) w.field_u64(k, v);
+  w.end_object();
+}
+
+void write_timers(JsonWriter& w, const std::string& key, const Registry& r,
+                  const std::string& prefix) {
+  w.begin_object(key);
+  // The "_seconds" suffix both names the unit and marks the metric as
+  // wall-clock so the regression gate's timing exclusion applies to every
+  // timer, whatever its registry name.
+  for (const auto& [k, v] : r.timers(prefix)) w.field_num(k + "_seconds", v);
+  w.end_object();
+}
+
+void write_gauges(JsonWriter& w, const std::string& key, const Registry& r,
+                  const std::string& prefix) {
+  w.begin_object(key);
+  for (const auto& [k, v] : r.gauges(prefix)) w.field_num(k, v);
+  w.end_object();
+}
+
+void write_distributions(JsonWriter& w, const std::string& key,
+                         const Registry& r, const std::string& prefix) {
+  w.begin_object(key);
+  for (const auto& [k, d] : r.distributions(prefix)) {
+    w.begin_object(k);
+    w.field_u64("count", d.count);
+    w.field_num("min", d.min);
+    w.field_num("max", d.max);
+    w.field_num("sum", d.sum);
+    w.field_num("mean", d.mean());
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace plx::telemetry

@@ -1,0 +1,79 @@
+// Schema-v2 report emission (DESIGN.md §12).
+//
+// JsonWriter is a small comma/indent-tracking JSON emitter; every report
+// writer in the repository (bench_common.h, src/fuzz/report.cpp,
+// src/parallax/batch.cpp, `plxreport baseline`) builds its file through it,
+// opening with write_envelope() so the shared envelope
+// (tool/name/schema_version, telemetry/schema.h) is emitted by exactly one
+// piece of code. The registry section helpers turn a prefix-filtered
+// Registry snapshot into a flat numeric JSON object.
+//
+// The schema *checkers* (bench/validate_*_json.cpp) deliberately do not use
+// this writer: they read with support/minijson.h so a checker cannot
+// inherit an emitter bug.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace plx::telemetry {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  // Containers. The unkeyed forms open the root value or an array element.
+  void begin_object();
+  void begin_object(const std::string& key);
+  void end_object();
+  void begin_array(const std::string& key);
+  void end_array();
+
+  // Bare array element.
+  void value_str(const std::string& value);
+
+  // Fields (inside an object).
+  void field_str(const std::string& key, const std::string& value);
+  void field_num(const std::string& key, double value);
+  void field_u64(const std::string& key, std::uint64_t value);
+  void field_int(const std::string& key, int value);
+  void field_bool(const std::string& key, bool value);
+  // Pre-rendered JSON value (caller guarantees well-formedness).
+  void field_raw(const std::string& key, const std::string& json);
+
+ private:
+  void open_value(const std::string* key);
+  void indent();
+
+  std::ostream& out_;
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Frame> stack_;
+};
+
+// Opens the root object and writes the shared envelope:
+//   "tool", "name", "<tool>" (legacy alias), "schema_version".
+// The caller writes its sections afterwards and finishes with end_object().
+void write_envelope(JsonWriter& w, const char* tool, const std::string& name);
+
+// Emit one registry section as a flat numeric object under `key`: every
+// metric of that kind whose name starts with `prefix`, prefix stripped,
+// insertion order. Timer keys gain a "_seconds" suffix (which also marks
+// them as ungated wall-clock for telemetry/compare.h). Distributions render
+// as {count,min,max,sum,mean} objects.
+void write_counters(JsonWriter& w, const std::string& key, const Registry& r,
+                    const std::string& prefix);
+void write_timers(JsonWriter& w, const std::string& key, const Registry& r,
+                  const std::string& prefix);
+void write_gauges(JsonWriter& w, const std::string& key, const Registry& r,
+                  const std::string& prefix);
+void write_distributions(JsonWriter& w, const std::string& key,
+                         const Registry& r, const std::string& prefix);
+
+}  // namespace plx::telemetry

@@ -1,0 +1,72 @@
+// Markdown report generation from measured report artifacts (DESIGN.md §12).
+//
+// `plxreport` aggregates every BENCH_/FUZZ_/PROTECT_<name>.json in a
+// directory into the measured tables of EXPERIMENTS.md. Each table is one
+// *block*, delimited by HTML-comment markers that name the block, its
+// source artifact and the schema version:
+//
+//   <!-- plxreport:begin fig5a source=BENCH_chain_slowdown.json schema=2 -->
+//   ...generated markdown (annotation line + table)...
+//   <!-- plxreport:end fig5a -->
+//
+// EXPERIMENTS.md embeds these blocks between hand-written narrative;
+// `plxreport update` splices freshly rendered blocks over the marked
+// regions and `plxreport check` (the perf_gate ctest label) fails when the
+// committed text differs byte-for-byte from what the artifacts say. Paper
+// reference values are renderer constants — they are transcription, not
+// measurement; everything measured comes from the artifacts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/minijson.h"
+
+namespace plx::telemetry {
+
+// Parsed report artifacts, keyed by file name (BENCH_overhead.json, ...).
+struct Artifacts {
+  std::map<std::string, minijson::Value> files;
+
+  const minijson::Object* find(const std::string& file) const;
+};
+
+// Parse every report artifact (BENCH_/FUZZ_/PROTECT_*.json) in `dir`.
+// Files that fail to parse or whose schema_version is not
+// telemetry::kSchemaVersion are an error (the artifact set must be
+// regenerated as one coherent run, never mixed across schema versions).
+Result<Artifacts> load_artifacts(const std::string& dir);
+
+struct Block {
+  std::string id;    // "fig5a", "fuzz", ...
+  std::string text;  // full block incl. begin/end marker lines, '\n'-terminated
+};
+
+// Render every block whose source artifacts are present, in canonical order
+// (fig6, fig5a, fig5b, uchains, attacks, fuzz, protect).
+std::vector<Block> render_blocks(const Artifacts& artifacts);
+
+// All blocks joined with blank lines — `plxreport render` output.
+std::string render_report(const Artifacts& artifacts);
+
+// Splice `blocks` over the marked regions of `text` (an EXPERIMENTS.md).
+// Fails if a begin marker lacks its end, names a block that was not
+// rendered, or a rendered block has no markers in `text` — the committed
+// document and the artifact set must describe the same experiments.
+Result<std::string> splice_blocks(const std::string& text,
+                                  const std::vector<Block>& blocks);
+
+// Ids of marked blocks in `text` whose content differs from `blocks`
+// (byte-for-byte). Sets `error` and returns empty on malformed markers.
+std::vector<std::string> stale_blocks(const std::string& text,
+                                      const std::vector<Block>& blocks,
+                                      std::string& error);
+
+// The Diag error-code reference table (README.md "Diagnostic codes"),
+// generated from PLX_DIAG_CODE_LIST in support/error.h and kept in sync by
+// tests/test_docs.cpp. Same marker convention, id "diag-codes".
+std::string render_diag_table();
+
+}  // namespace plx::telemetry

@@ -1,0 +1,31 @@
+// The one versioned schema shared by every machine-readable report this
+// repository emits or consumes: BENCH_<name>.json (bench/bench_common.h),
+// FUZZ_<name>.json (src/fuzz/report.cpp), PROTECT_<name>.json
+// (src/parallax/batch.cpp) and the tracked regression baselines
+// BASELINE_<name>.json (bench/baselines/, written by `plxreport baseline`).
+//
+// Every report carries the common envelope
+//
+//   "tool":           "bench" | "fuzz" | "protect" | "baseline"
+//   "name":           report name (also used in the file name)
+//   "<tool>":         legacy alias of "name" (pre-v2 readers keyed on it)
+//   "schema_version": kSchemaVersion
+//
+// followed by tool-specific sections. Compatibility rule (DESIGN.md §12):
+// readers accept *exactly* kSchemaVersion — a version bump is a deliberate,
+// repo-wide event that regenerates every committed artifact (baselines,
+// EXPERIMENTS.md blocks) in the same change. There is no sliding window:
+// cross-version comparison of measured data is how silent bench drift
+// sneaks in, so the validators and `plxreport` reject any mismatch.
+#pragma once
+
+namespace plx::telemetry {
+
+inline constexpr int kSchemaVersion = 2;
+
+inline constexpr const char* kToolBench = "bench";
+inline constexpr const char* kToolFuzz = "fuzz";
+inline constexpr const char* kToolProtect = "protect";
+inline constexpr const char* kToolBaseline = "baseline";
+
+}  // namespace plx::telemetry

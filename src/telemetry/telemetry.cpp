@@ -1,0 +1,163 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+namespace plx::telemetry {
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) return *this;
+  // Lock both sides in address order to keep copies deadlock-free.
+  const Registry* first = this < &other ? this : &other;
+  const Registry* second = this < &other ? &other : this;
+  std::scoped_lock lock(first->mu_, second->mu_);
+  counters_ = other.counters_;
+  timers_ = other.timers_;
+  gauges_ = other.gauges_;
+  dists_ = other.dists_;
+  return *this;
+}
+
+template <typename T>
+T& Registry::slot(Series<T>& series, const std::string& name) {
+  for (auto& [k, v] : series) {
+    if (k == name) return v;
+  }
+  series.emplace_back(name, T{});
+  return series.back().second;
+}
+
+template <typename T>
+Registry::Series<T> Registry::filtered(const Series<T>& series,
+                                       const std::string& prefix) {
+  if (prefix.empty()) return series;
+  Series<T> out;
+  for (const auto& [k, v] : series) {
+    if (k.size() >= prefix.size() && k.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(k.substr(prefix.size()), v);
+    }
+  }
+  return out;
+}
+
+void Registry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot(counters_, name) += delta;
+}
+
+void Registry::add_seconds(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot(timers_, name) += seconds;
+}
+
+void Registry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot(gauges_, name) = value;
+}
+
+void Registry::record(const std::string& name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot(dists_, name).record(sample);
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : counters_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+double Registry::timer_seconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : timers_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : gauges_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+Distribution Registry::distribution(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : dists_) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filtered(counters_, prefix);
+}
+
+std::vector<std::pair<std::string, double>> Registry::timers(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filtered(timers_, prefix);
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filtered(gauges_, prefix);
+}
+
+std::vector<std::pair<std::string, Distribution>> Registry::distributions(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filtered(dists_, prefix);
+}
+
+void Registry::merge(const Registry& other) {
+  if (this == &other) return;
+  const Registry snapshot = other;  // avoid holding both locks while merging
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : snapshot.counters_) slot(counters_, k) += v;
+  for (const auto& [k, v] : snapshot.timers_) slot(timers_, k) += v;
+  for (const auto& [k, v] : snapshot.gauges_) slot(gauges_, k) = v;
+  for (const auto& [k, v] : snapshot.dists_) {
+    Distribution& d = slot(dists_, k);
+    if (v.count == 0) continue;
+    if (d.count == 0) {
+      d = v;
+    } else {
+      if (v.min < d.min) d.min = v.min;
+      if (v.max > d.max) d.max = v.max;
+      d.sum += v.sum;
+      d.count += v.count;
+    }
+  }
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && timers_.empty() && gauges_.empty() &&
+         dists_.empty();
+}
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(Registry& registry, std::string name)
+    : registry_(registry), name_(std::move(name)), start_ns_(now_ns()) {}
+
+double ScopedTimer::seconds() const {
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer() { registry_.add_seconds(name_, seconds()); }
+
+}  // namespace plx::telemetry

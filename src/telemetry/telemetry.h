@@ -1,0 +1,118 @@
+// telemetry::Registry — the one recording API behind every machine-readable
+// report (DESIGN.md §12).
+//
+// Before this subsystem existed the three report emitters (bench sessions,
+// the fuzz harness, the batch protection driver) each kept their own ad-hoc
+// accumulators; now they all record named metrics into a Registry and emit
+// through telemetry/report.h, so the schema lives in exactly one place.
+//
+// Four metric kinds, all keyed by a flat string name:
+//
+//   counter       monotonically accumulated integer (events, bytes, cycles)
+//   timer         accumulated wall-clock seconds
+//   gauge         last-written double (the printed figure values)
+//   distribution  count/min/max/sum over recorded samples
+//
+// Names use '/'-separated sections ("stages/compile",
+// "figures/overhead_percent/miniwget/rc4"); report writers select a section
+// by prefix and strip it on emission. Insertion order is preserved per kind,
+// so reports are deterministic in recording order.
+//
+// Thread-safe: every mutation and read takes an internal mutex. Parallel
+// pipeline jobs may share one Registry, though recording from the main
+// thread (timing whole parallel regions, not their workers) is still the
+// right call for wall-clock metrics.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plx::telemetry {
+
+struct Distribution {
+  std::uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+
+  void record(double sample) {
+    if (count == 0 || sample < min) min = sample;
+    if (count == 0 || sample > max) max = sample;
+    sum += sample;
+    ++count;
+  }
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  // Copyable (data only; the copy gets its own mutex) so results can be
+  // snapshotted out of worker contexts.
+  Registry(const Registry& other) { *this = other; }
+  Registry& operator=(const Registry& other);
+
+  void add(const std::string& name, std::uint64_t delta = 1);
+  void add_seconds(const std::string& name, double seconds);
+  void set(const std::string& name, double value);
+  void record(const std::string& name, double sample);
+
+  // Reads return 0 / empty for names never recorded.
+  std::uint64_t counter(const std::string& name) const;
+  double timer_seconds(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  Distribution distribution(const std::string& name) const;
+
+  // Snapshots in insertion order, filtered to names starting with `prefix`
+  // (empty prefix = everything); the prefix is stripped from the keys.
+  std::vector<std::pair<std::string, std::uint64_t>> counters(
+      const std::string& prefix = "") const;
+  std::vector<std::pair<std::string, double>> timers(
+      const std::string& prefix = "") const;
+  std::vector<std::pair<std::string, double>> gauges(
+      const std::string& prefix = "") const;
+  std::vector<std::pair<std::string, Distribution>> distributions(
+      const std::string& prefix = "") const;
+
+  // Accumulate `other` into this registry: counters/timers add, gauges
+  // overwrite (last write wins), distributions merge.
+  void merge(const Registry& other);
+
+  bool empty() const;
+
+ private:
+  template <typename T>
+  using Series = std::vector<std::pair<std::string, T>>;
+
+  template <typename T>
+  static T& slot(Series<T>& series, const std::string& name);
+  template <typename T>
+  static Series<T> filtered(const Series<T>& series, const std::string& prefix);
+
+  mutable std::mutex mu_;
+  Series<std::uint64_t> counters_;
+  Series<double> timers_;
+  Series<double> gauges_;
+  Series<Distribution> dists_;
+};
+
+// RAII timer accumulating into a Registry timer on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double seconds() const;
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace plx::telemetry

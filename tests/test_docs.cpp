@@ -1,0 +1,89 @@
+// Generated documentation stays in sync with the source of truth:
+// README.md's Diag reference table is rendered from PLX_DIAG_CODE_LIST
+// (support/error.h) and EXPERIMENTS.md embeds the plxreport marker blocks
+// the perf_gate label regenerates. Compiled with PLX_SOURCE_DIR pointing at
+// the repository root (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "support/error.h"
+#include "support/file_io.h"
+#include "telemetry/report_md.h"
+
+namespace {
+
+using namespace plx;
+
+std::string read_doc(const char* name) {
+  auto text = support::read_text_file(std::string(PLX_SOURCE_DIR) + "/" + name);
+  EXPECT_TRUE(text.ok()) << name << ": " << text.error().str();
+  return text.ok() ? text.value() : std::string();
+}
+
+TEST(Docs, DiagCodeNamesUniqueAndDescribed) {
+  std::set<std::string> names, enums;
+  for (DiagCode c : kAllDiagCodes) {
+    const std::string name = diag_code_name(c);
+    const std::string enum_name = diag_code_enum_name(c);
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(enum_name.empty());
+    EXPECT_FALSE(std::string(diag_code_description(c)).empty()) << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate code " << name;
+    EXPECT_TRUE(enums.insert(enum_name).second)
+        << "duplicate enumerator " << enum_name;
+  }
+  EXPECT_EQ(names.size(), kDiagCodeCount);
+}
+
+TEST(Docs, DiagTableListsEveryCode) {
+  const std::string table = telemetry::render_diag_table();
+  for (DiagCode c : kAllDiagCodes) {
+    EXPECT_NE(table.find("| `" + std::string(diag_code_name(c)) + "` |"),
+              std::string::npos)
+        << diag_code_name(c);
+    EXPECT_NE(
+        table.find("`DiagCode::" + std::string(diag_code_enum_name(c)) + "`"),
+        std::string::npos)
+        << diag_code_enum_name(c);
+  }
+}
+
+// README.md embeds the generated table byte-for-byte; regenerating is
+// `plxreport diag --update README.md`.
+TEST(Docs, ReadmeDiagTableInSync) {
+  const std::string readme = read_doc("README.md");
+  ASSERT_FALSE(readme.empty());
+  std::string error;
+  const auto stale = telemetry::stale_blocks(
+      readme, {{"diag-codes", telemetry::render_diag_table()}}, error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(stale.empty())
+      << "README.md diag-codes table is out of date; regenerate with "
+         "`plxreport diag --update README.md`";
+}
+
+// The measured-table markers perf_gate checks must all be present and
+// well-formed. (Their *content* is checked against live artifacts by the
+// perf_gate_experiments ctest, which has the measured data this unit test
+// deliberately does not regenerate.)
+TEST(Docs, ExperimentsEmbedsEveryReportBlock) {
+  const std::string text = read_doc("EXPERIMENTS.md");
+  ASSERT_FALSE(text.empty());
+  for (const char* id : {"fig6", "fig5a", "fig5b", "uchains", "attacks",
+                         "fuzz", "protect"}) {
+    EXPECT_NE(text.find("<!-- plxreport:begin " + std::string(id) + " "),
+              std::string::npos)
+        << id;
+    EXPECT_NE(text.find("<!-- plxreport:end " + std::string(id) + " -->"),
+              std::string::npos)
+        << id;
+  }
+  // Every marked block parses (no unterminated regions).
+  std::string error;
+  telemetry::stale_blocks(text, {}, error);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+}  // namespace

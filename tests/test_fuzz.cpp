@@ -172,8 +172,10 @@ TEST(Fuzz, ReportWritesWellFormedJson) {
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
+  EXPECT_NE(text.find("\"tool\": \"fuzz\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"unit\""), std::string::npos);
   EXPECT_NE(text.find("\"fuzz\": \"unit\""), std::string::npos);
-  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(text.find("\"escapes\""), std::string::npos);
   // The dead-byte survivor above must be listed as an escape.
   EXPECT_NE(text.find("SILENT_CORRUPTION"), std::string::npos);

@@ -231,8 +231,10 @@ TEST(Batch, WritesProtectJson) {
       support::read_text_file(dir + "/PROTECT_" + results[0].name + ".json");
   ASSERT_TRUE(text.ok()) << text.error().str();
   const std::string& json = text.value();
+  EXPECT_NE(json.find("\"tool\": \"protect\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"miniwget\""), std::string::npos);
   EXPECT_NE(json.find("\"protect\": \"miniwget\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
   EXPECT_NE(json.find("\"stage\": \"materialize\""), std::string::npos);
   char fnv_hex[24];

@@ -1,0 +1,381 @@
+// telemetry/compare.h (the perf-gate comparator) and telemetry/report_md.h
+// (the EXPERIMENTS.md block renderer/splicer) — DESIGN.md §12.
+#include <gtest/gtest.h>
+
+#include "support/minijson.h"
+#include "telemetry/compare.h"
+#include "telemetry/report_md.h"
+#include "telemetry/schema.h"
+
+namespace {
+
+using namespace plx;
+using telemetry::Artifacts;
+using telemetry::Block;
+using telemetry::Verdict;
+
+minijson::Value parse_json(const std::string& text) {
+  minijson::Parser parser(text);
+  minijson::Value v;
+  EXPECT_TRUE(parser.parse(v)) << parser.error() << "\n" << text;
+  return v;
+}
+
+const minijson::Object& obj(const minijson::Value& v) { return *v.object(); }
+
+// ---------------------------------------------------------------- comparator
+
+TEST(GatableMetrics, SkipsEnvelopeTimingAndArrays) {
+  const auto artifact = parse_json(R"({
+    "tool": "bench", "name": "x", "bench": "x", "schema_version": 2,
+    "seed": 123,
+    "wall_seconds_total": 1.5,
+    "stages": {"compile_seconds": 0.5, "pipeline/scan_seconds": 0.1},
+    "throughput": {"vm_cycles_total": 100, "vm_instructions_per_sec": 5e6},
+    "figures": {"overhead_percent/miniwget/xor": 2.5},
+    "escapes": [{"addr": 1}]
+  })");
+  const auto metrics = telemetry::gatable_metrics(obj(artifact));
+  std::vector<std::string> names;
+  for (const auto& m : metrics) names.push_back(m.name);
+  // Deterministic metrics present...
+  EXPECT_NE(std::find(names.begin(), names.end(), "throughput/vm_cycles_total"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "figures/overhead_percent/miniwget/xor"),
+            names.end());
+  // ...envelope ints, raw timings, and arrays are not gated.
+  for (const auto& n : names) {
+    EXPECT_NE(n, "schema_version");
+    EXPECT_NE(n, "seed");
+    EXPECT_EQ(n.find("seconds"), std::string::npos) << n;
+    EXPECT_EQ(n.find("escapes"), std::string::npos) << n;
+  }
+  // Throughput rates carry the ±30% band; cycle counts are exact.
+  for (const auto& m : metrics) {
+    if (m.name == "throughput/vm_instructions_per_sec") {
+      EXPECT_DOUBLE_EQ(m.tolerance, telemetry::kDefaultThroughputTolerance);
+    }
+    if (m.name == "throughput/vm_cycles_total") {
+      EXPECT_DOUBLE_EQ(m.tolerance, 0.0);
+    }
+  }
+}
+
+TEST(GatableMetrics, RatesOverTinyWindowsAreNotPinned) {
+  const auto artifact = parse_json(R"({
+    "schema_version": 2,
+    "throughput": {
+      "vm_instructions_total": 4788,
+      "vm_run_seconds": 0.0001,
+      "vm_instructions_per_sec": 47880000,
+      "scanner_bytes_total": 5000000,
+      "scanner_scan_seconds": 2.0,
+      "scanner_bytes_per_sec": 2500000
+    }
+  })");
+  const auto metrics = telemetry::gatable_metrics(obj(artifact));
+  std::vector<std::string> names;
+  for (const auto& m : metrics) names.push_back(m.name);
+  // The vm rate's window is sub-millisecond: scheduler noise, not pinned.
+  EXPECT_EQ(std::find(names.begin(), names.end(),
+                      "throughput/vm_instructions_per_sec"),
+            names.end());
+  // The scanner rate has a real 2 s window: pinned with the ±30% band.
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "throughput/scanner_bytes_per_sec"),
+            names.end());
+  // Totals stay pinned exactly either way.
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "throughput/vm_instructions_total"),
+            names.end());
+}
+
+TEST(GatableMetrics, ImageDigestIsTheOnlyStringMetric) {
+  const auto artifact = parse_json(R"({
+    "tool": "protect", "name": "w", "protect": "w", "schema_version": 2,
+    "image_fnv64": "31469c10f6aa34c9", "hardening": "xor",
+    "image_bytes": 9496
+  })");
+  const auto metrics = telemetry::gatable_metrics(obj(artifact));
+  bool digest = false;
+  for (const auto& m : metrics) {
+    if (m.is_string) {
+      EXPECT_EQ(m.name, "image_fnv64");
+      EXPECT_EQ(m.text, "31469c10f6aa34c9");
+      EXPECT_DOUBLE_EQ(m.tolerance, 0.0);
+      digest = true;
+    }
+  }
+  EXPECT_TRUE(digest);
+}
+
+minijson::Value baseline_with(const std::string& metrics_json) {
+  return parse_json(R"({
+    "tool": "baseline", "name": "x", "baseline": "x", "schema_version": 2,
+    "metrics": )" + metrics_json + "}");
+}
+
+TEST(CompareArtifact, ExactMetricViolationFails) {
+  const auto artifact = parse_json(
+      R"({"schema_version": 2, "totals": {"chains": 2}})");
+  const auto base = baseline_with(
+      R"({"totals/chains": {"value": 1, "tolerance": 0}})");
+  const auto r =
+      telemetry::compare_artifact("BENCH_x.json", obj(artifact), obj(base));
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_EQ(r.checks[0].verdict, Verdict::OutOfTolerance);
+  EXPECT_EQ(r.failures(), 1u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompareArtifact, ToleranceBandPassesInsideFailsOutside) {
+  const auto artifact = parse_json(
+      R"({"schema_version": 2, "throughput": {"vm_instructions_per_sec": 125}})");
+  const auto inside = baseline_with(
+      R"({"throughput/vm_instructions_per_sec": {"value": 100, "tolerance": 0.30}})");
+  EXPECT_TRUE(telemetry::compare_artifact("BENCH_x.json", obj(artifact),
+                                          obj(inside))
+                  .ok());
+  const auto outside = baseline_with(
+      R"({"throughput/vm_instructions_per_sec": {"value": 90, "tolerance": 0.30}})");
+  const auto r = telemetry::compare_artifact("BENCH_x.json", obj(artifact),
+                                             obj(outside));
+  EXPECT_EQ(r.failures(), 1u);
+  EXPECT_EQ(r.checks[0].verdict, Verdict::OutOfTolerance);
+}
+
+TEST(CompareArtifact, PinnedMetricMissingFromArtifactFails) {
+  const auto artifact = parse_json(R"({"schema_version": 2, "totals": {}})");
+  const auto base = baseline_with(
+      R"({"totals/chains": {"value": 1, "tolerance": 0}})");
+  const auto r =
+      telemetry::compare_artifact("BENCH_x.json", obj(artifact), obj(base));
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_EQ(r.checks[0].verdict, Verdict::MissingMetric);
+}
+
+TEST(CompareArtifact, UnpinnedArtifactMetricNeverFails) {
+  const auto artifact = parse_json(
+      R"({"schema_version": 2, "totals": {"chains": 1, "brand_new_counter": 7}})");
+  const auto base = baseline_with(
+      R"({"totals/chains": {"value": 1, "tolerance": 0}})");
+  const auto r =
+      telemetry::compare_artifact("BENCH_x.json", obj(artifact), obj(base));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.checks.size(), 1u);
+}
+
+TEST(CompareArtifact, StringDigestMismatch) {
+  const auto artifact = parse_json(
+      R"({"schema_version": 2, "image_fnv64": "deadbeefdeadbeef"})");
+  const auto base = baseline_with(
+      R"({"image_fnv64": {"text": "31469c10f6aa34c9", "tolerance": 0}})");
+  const auto r =
+      telemetry::compare_artifact("PROTECT_x.json", obj(artifact), obj(base));
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_EQ(r.checks[0].verdict, Verdict::ValueMismatch);
+  EXPECT_EQ(r.checks[0].current_text, "deadbeefdeadbeef");
+}
+
+// Regression test: flat sections (bench "pipeline"/"figures") store
+// '/'-bearing names as single literal keys; the comparator must resolve
+// "pipeline/chain-compile/chain_words" against
+// {"pipeline": {"chain-compile/chain_words": ...}}.
+TEST(CompareArtifact, ResolvesFlatKeysContainingSlashes) {
+  const auto artifact = parse_json(R"({
+    "schema_version": 2,
+    "pipeline": {"chain-compile/chain_words": 447},
+    "figures": {"overhead_percent/miniwget/xor": 2.5}
+  })");
+  const auto base = baseline_with(R"({
+    "pipeline/chain-compile/chain_words": {"value": 447, "tolerance": 0},
+    "figures/overhead_percent/miniwget/xor": {"value": 2.5, "tolerance": 0}
+  })");
+  const auto r =
+      telemetry::compare_artifact("BENCH_x.json", obj(artifact), obj(base));
+  EXPECT_TRUE(r.ok()) << r.failures() << " failure(s)";
+  EXPECT_EQ(r.checks.size(), 2u);
+}
+
+TEST(CompareArtifact, RejectsBaselineWithWrongSchemaVersion) {
+  const auto artifact = parse_json(R"({"schema_version": 2})");
+  const auto base = parse_json(
+      R"({"schema_version": 1, "metrics": {}})");
+  const auto r =
+      telemetry::compare_artifact("BENCH_x.json", obj(artifact), obj(base));
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BaselineFiles, NamingConvention) {
+  EXPECT_EQ(telemetry::baseline_file_for("BENCH_overhead.json"),
+            "BASELINE_overhead.json");
+  EXPECT_EQ(telemetry::baseline_file_for("FUZZ_quickstart.json"),
+            "BASELINE_fuzz_quickstart.json");
+  EXPECT_EQ(telemetry::baseline_file_for("PROTECT_miniwget.json"),
+            "BASELINE_protect_miniwget.json");
+  EXPECT_EQ(telemetry::baseline_file_for("notes.txt"), "");
+  EXPECT_EQ(telemetry::baseline_file_for("OTHER_x.json"), "");
+}
+
+TEST(BaselineFiles, RenderedBaselineGatesItsOwnArtifactClean) {
+  const auto artifact = parse_json(R"({
+    "tool": "protect", "name": "w", "protect": "w", "schema_version": 2,
+    "image_bytes": 9496, "image_fnv64": "31469c10f6aa34c9",
+    "totals": {"chains": 1, "chain_words": 249},
+    "pipeline": {"chain-compile/chain_words": 447}
+  })");
+  const std::string rendered = telemetry::render_baseline(
+      "protect_w", "PROTECT_w.json", obj(artifact));
+  const auto base = parse_json(rendered);
+  std::string why;
+  EXPECT_TRUE(minijson::check_envelope(obj(base), "baseline",
+                                       telemetry::kSchemaVersion, why))
+      << why;
+  const auto r =
+      telemetry::compare_artifact("PROTECT_w.json", obj(artifact), obj(base));
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.checks.size(), 5u);  // 4 numerics + the digest
+}
+
+// ------------------------------------------------------------- markdown
+
+Artifacts one_artifact(const std::string& file, const std::string& json) {
+  Artifacts a;
+  a.files.emplace(file, parse_json(json));
+  return a;
+}
+
+TEST(ReportMd, GoldenFuzzBlock) {
+  const auto artifacts = one_artifact("FUZZ_synth.json", R"({
+    "tool": "fuzz", "name": "synth", "fuzz": "synth", "schema_version": 2,
+    "hardening": "cleartext", "backend": "tamper",
+    "coverage": {"protected_bytes": 40, "strict_bytes": 30},
+    "campaigns": {"sweep": {"escapes": 1}, "random": {"escapes": 0}},
+    "outcomes": {"total": 100, "detected": 90, "silent_corruption": 1,
+                 "benign": 8, "timeout": 1}
+  })");
+  const auto blocks = telemetry::render_blocks(artifacts);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].id, "fuzz");
+  const std::string expected =
+      "<!-- plxreport:begin fuzz source=FUZZ_*.json schema=2 -->\n"
+      "*Measured values generated by `plxreport` from `FUZZ_*.json` (schema "
+      "v2); do not edit by hand — regenerate with `plxreport update`.*\n"
+      "\n"
+      "| target | hardening | backend | protected bytes (strict) | mutants | "
+      "detected | silent | benign | timeout | escapes |\n"
+      "|---|---|---|---|---|---|---|---|---|---|\n"
+      "| synth | cleartext | tamper | 40 (30) | 100 | 90 | 1 | 8 | 1 | 1 |\n"
+      "<!-- plxreport:end fuzz -->\n";
+  EXPECT_EQ(blocks[0].text, expected);
+}
+
+TEST(ReportMd, GoldenProtectBlock) {
+  const auto artifacts = one_artifact("PROTECT_synthprog.json", R"({
+    "tool": "protect", "name": "synthprog", "protect": "synthprog",
+    "schema_version": 2, "ok": true,
+    "image_bytes": 1234, "image_fnv64": "00ff00ff00ff00ff",
+    "totals": {"chains": 1, "chain_words": 10, "gadgets_total": 20,
+               "gadgets_overlapping": 5, "used_gadgets_overlapping": 4}
+  })");
+  const auto blocks = telemetry::render_blocks(artifacts);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].id, "protect");
+  const std::string expected =
+      "<!-- plxreport:begin protect source=PROTECT_*.json schema=2 -->\n"
+      "*Measured values generated by `plxreport` from `PROTECT_*.json` "
+      "(schema v2); do not edit by hand — regenerate with `plxreport "
+      "update`.*\n"
+      "\n"
+      "| workload | image bytes | image fnv64 | chains | chain words | "
+      "gadgets | overlapping | used overlapping |\n"
+      "|---|---|---|---|---|---|---|---|\n"
+      "| synthprog | 1234 | `00ff00ff00ff00ff` | 1 | 10 | 20 | 5 | 4 |\n"
+      "<!-- plxreport:end protect -->\n";
+  EXPECT_EQ(blocks[0].text, expected);
+}
+
+TEST(ReportMd, MissingFiguresRenderDashesNotCrashes) {
+  const auto artifacts = one_artifact("BENCH_attacks.json", R"({
+    "tool": "bench", "name": "attacks", "bench": "attacks",
+    "schema_version": 2, "figures": {}
+  })");
+  const auto blocks = telemetry::render_blocks(artifacts);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].id, "attacks");
+  EXPECT_NE(blocks[0].text.find("| —/— (—) |"), std::string::npos)
+      << blocks[0].text;
+}
+
+const char* kDoc =
+    "# Title\n"
+    "\n"
+    "prose before\n"
+    "<!-- plxreport:begin fuzz source=FUZZ_*.json schema=2 -->\n"
+    "old stale table\n"
+    "<!-- plxreport:end fuzz -->\n"
+    "prose after\n";
+
+TEST(ReportMd, SpliceReplacesMarkedRegionKeepsProse) {
+  const std::vector<Block> blocks = {
+      {"fuzz",
+       "<!-- plxreport:begin fuzz source=FUZZ_*.json schema=2 -->\n"
+       "new table\n"
+       "<!-- plxreport:end fuzz -->\n"}};
+  const auto out = telemetry::splice_blocks(kDoc, blocks);
+  ASSERT_TRUE(out.ok()) << out.error().str();
+  EXPECT_EQ(out.value(),
+            "# Title\n"
+            "\n"
+            "prose before\n"
+            "<!-- plxreport:begin fuzz source=FUZZ_*.json schema=2 -->\n"
+            "new table\n"
+            "<!-- plxreport:end fuzz -->\n"
+            "prose after\n");
+}
+
+TEST(ReportMd, SpliceFailsOnMarkerWithoutRenderedBlock) {
+  const auto out = telemetry::splice_blocks(kDoc, {});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ReportMd, SpliceFailsOnRenderedBlockWithoutMarker) {
+  const std::vector<Block> blocks = {{"protect", "x\n"}};
+  const auto out = telemetry::splice_blocks("no markers here\n", blocks);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ReportMd, SpliceFailsOnUnterminatedMarker) {
+  const auto out = telemetry::splice_blocks(
+      "<!-- plxreport:begin fuzz source=x schema=2 -->\nnever closed\n", {});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ReportMd, StaleDetectsSingleByteDrift) {
+  const std::string fresh =
+      "<!-- plxreport:begin fuzz source=FUZZ_*.json schema=2 -->\n"
+      "old stale table\n"
+      "<!-- plxreport:end fuzz -->\n";
+  std::string error;
+  // Identical region: not stale.
+  EXPECT_TRUE(
+      telemetry::stale_blocks(kDoc, {{"fuzz", fresh}}, error).empty());
+  EXPECT_TRUE(error.empty());
+  // One byte changed: stale.
+  std::string drifted = fresh;
+  drifted[drifted.find("stale")] = 'S';
+  const auto stale = telemetry::stale_blocks(kDoc, {{"fuzz", drifted}}, error);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "fuzz");
+  // A rendered block with no markers in the doc is also reported.
+  const auto missing =
+      telemetry::stale_blocks("plain text\n", {{"fuzz", fresh}}, error);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], "fuzz");
+}
+
+}  // namespace

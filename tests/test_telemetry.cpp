@@ -1,0 +1,201 @@
+// telemetry::Registry + JsonWriter + the shared schema-v2 envelope
+// (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/minijson.h"
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace plx;
+using telemetry::JsonWriter;
+using telemetry::Registry;
+
+minijson::Value parse_json(const std::string& text) {
+  minijson::Parser parser(text);
+  minijson::Value v;
+  EXPECT_TRUE(parser.parse(v)) << parser.error() << "\n" << text;
+  return v;
+}
+
+TEST(Registry, CountersAccumulate) {
+  Registry r;
+  r.add("events");
+  r.add("events", 4);
+  r.add("bytes", 100);
+  EXPECT_EQ(r.counter("events"), 5u);
+  EXPECT_EQ(r.counter("bytes"), 100u);
+  EXPECT_EQ(r.counter("never-recorded"), 0u);
+}
+
+TEST(Registry, TimersAccumulateSeconds) {
+  Registry r;
+  r.add_seconds("run", 1.5);
+  r.add_seconds("run", 0.25);
+  EXPECT_DOUBLE_EQ(r.timer_seconds("run"), 1.75);
+  EXPECT_DOUBLE_EQ(r.timer_seconds("never"), 0.0);
+}
+
+TEST(Registry, GaugeLastWriteWins) {
+  Registry r;
+  r.set("overhead", 1.0);
+  r.set("overhead", 2.5);
+  EXPECT_DOUBLE_EQ(r.gauge("overhead"), 2.5);
+}
+
+TEST(Registry, DistributionStats) {
+  Registry r;
+  r.record("lat", 3.0);
+  r.record("lat", 1.0);
+  r.record("lat", 2.0);
+  const auto d = r.distribution("lat");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 3.0);
+  EXPECT_DOUBLE_EQ(d.sum, 6.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(r.distribution("never").mean(), 0.0);
+}
+
+TEST(Registry, PrefixSnapshotsStripPrefixAndKeepOrder) {
+  Registry r;
+  r.add("stages/compile", 1);
+  r.add("figures/x", 7);
+  r.add("stages/run", 2);
+  const auto stages = r.counters("stages/");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].first, "compile");
+  EXPECT_EQ(stages[1].first, "run");
+  EXPECT_EQ(stages[1].second, 2u);
+  const auto all = r.counters();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1].first, "figures/x");
+}
+
+TEST(Registry, MergeAddsCountersTimersOverwritesGauges) {
+  Registry a, b;
+  a.add("n", 1);
+  a.add_seconds("t", 1.0);
+  a.set("g", 1.0);
+  b.add("n", 2);
+  b.add_seconds("t", 0.5);
+  b.set("g", 9.0);
+  b.record("d", 4.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("n"), 3u);
+  EXPECT_DOUBLE_EQ(a.timer_seconds("t"), 1.5);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.distribution("d").count, 1u);
+}
+
+TEST(Registry, CopyIsIndependent) {
+  Registry a;
+  a.add("n", 1);
+  Registry b = a;
+  b.add("n", 10);
+  EXPECT_EQ(a.counter("n"), 1u);
+  EXPECT_EQ(b.counter("n"), 11u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(Registry().empty());
+}
+
+TEST(Registry, ScopedTimerAccumulates) {
+  Registry r;
+  { telemetry::ScopedTimer t(r, "scope"); }
+  { telemetry::ScopedTimer t(r, "scope"); }
+  EXPECT_GT(r.timer_seconds("scope"), 0.0);
+  const auto timers = r.timers();
+  ASSERT_EQ(timers.size(), 1u);
+  EXPECT_EQ(timers[0].first, "scope");
+}
+
+TEST(JsonWriter, EmitsParseableNestedJson) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field_str("s", "a \"quoted\"\nline\\");
+  w.field_num("f", 1.5);
+  w.field_u64("u", 1234567890123ull);
+  w.field_bool("b", true);
+  w.begin_object("nested");
+  w.field_int("i", -3);
+  w.end_object();
+  w.begin_array("arr");
+  w.value_str("x");
+  w.begin_object();
+  w.field_num("y", 2);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const std::string text = os.str();
+  EXPECT_EQ(text.back(), '\n');
+  const auto root = parse_json(text);
+  const minijson::Object& obj = *root.object();
+  EXPECT_EQ(std::get<std::string>(obj.at("s").v), "a \"quoted\"\nline\\");
+  EXPECT_DOUBLE_EQ(obj.at("f").number(), 1.5);
+  EXPECT_DOUBLE_EQ(obj.at("u").number(), 1234567890123.0);
+  EXPECT_EQ(std::get<bool>(obj.at("b").v), true);
+  EXPECT_DOUBLE_EQ(obj.at("nested").object()->at("i").number(), -3.0);
+  const auto& arr = *std::get<std::shared_ptr<minijson::Array>>(obj.at("arr").v);
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(arr[0].v), "x");
+  EXPECT_DOUBLE_EQ(arr[1].object()->at("y").number(), 2.0);
+}
+
+TEST(JsonWriter, EnvelopeMatchesSchemaAndValidators) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  telemetry::write_envelope(w, telemetry::kToolBench, "overhead");
+  w.end_object();
+  const auto root = parse_json(os.str());
+  const minijson::Object& obj = *root.object();
+  EXPECT_EQ(std::get<std::string>(obj.at("tool").v), "bench");
+  EXPECT_EQ(std::get<std::string>(obj.at("name").v), "overhead");
+  // Legacy alias: the tool name keys the report name again.
+  EXPECT_EQ(std::get<std::string>(obj.at("bench").v), "overhead");
+  EXPECT_DOUBLE_EQ(obj.at("schema_version").number(),
+                   static_cast<double>(telemetry::kSchemaVersion));
+
+  std::string why;
+  EXPECT_TRUE(
+      minijson::check_envelope(obj, "bench", telemetry::kSchemaVersion, why))
+      << why;
+  EXPECT_FALSE(
+      minijson::check_envelope(obj, "fuzz", telemetry::kSchemaVersion, why));
+  EXPECT_FALSE(minijson::check_envelope(obj, "bench",
+                                        telemetry::kSchemaVersion + 1, why));
+}
+
+TEST(JsonWriter, RegistrySectionsAndTimerSuffix) {
+  Registry r;
+  r.add("pipeline/scan/gadgets", 42);
+  r.add_seconds("stages/compile", 0.5);
+  r.set("figures/overhead_percent/miniwget/xor", 2.5);
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  telemetry::write_counters(w, "pipeline", r, "pipeline/");
+  telemetry::write_timers(w, "stages", r, "stages/");
+  telemetry::write_gauges(w, "figures", r, "figures/");
+  w.end_object();
+
+  const auto root = parse_json(os.str());
+  const minijson::Object& obj = *root.object();
+  // Flat keys: the '/'-bearing remainder of the name is one literal key.
+  EXPECT_DOUBLE_EQ(obj.at("pipeline").object()->at("scan/gadgets").number(),
+                   42.0);
+  // Timers gain the "_seconds" suffix that marks them ungated.
+  EXPECT_DOUBLE_EQ(obj.at("stages").object()->at("compile_seconds").number(),
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      obj.at("figures").object()->at("overhead_percent/miniwget/xor").number(),
+      2.5);
+}
+
+}  // namespace
