@@ -1,0 +1,420 @@
+// One schema checker for every report artifact this repository emits:
+// BENCH_/FUZZ_/PROTECT_/TRACE_<name>.json. The schema is inferred from each
+// file's basename prefix (or forced with --schema); the per-tool section
+// checks are what the former validate_bench_json / validate_fuzz_json /
+// validate_protect_json drivers enforced, plus the TRACE checks, in one
+// binary instead of four copies of the envelope boilerplate.
+//
+// Shared envelope (telemetry/schema.h): tool/name/<tool>/schema_version.
+//
+//   bench     stages/pipeline/figures numeric objects, non-empty throughput
+//   fuzz      non-empty golden + outcomes, escapes array;
+//             --require-no-escapes fails on any escape, naming the mutants
+//   protect   ok bool (+ structured error when false), image_bytes,
+//             16-hex image_fnv64, non-empty stages array, non-empty totals;
+//             --require-ok fails when ok is false
+//   trace     traceEvents array of well-formed Chrome trace events; when the
+//             "vm" attribution section is present, app+chain instructions
+//             and cycles must sum EXACTLY to the VM totals (the
+//             RetireObserver guarantee, vm/machine.h)
+//
+// The reader is support/minijson.h, deliberately independent of the
+// telemetry emitter: a checker reusing the writer would inherit its bugs.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/schema.h"
+
+namespace {
+
+using plx::minijson::Array;
+using plx::minijson::Object;
+using plx::minijson::Parser;
+using plx::minijson::Value;
+using plx::minijson::check_envelope;
+using plx::minijson::check_numeric_object;
+
+bool is_bool(const Value& v) { return std::holds_alternative<bool>(v.v); }
+
+// --- bench -----------------------------------------------------------------
+
+bool validate_bench(const Object& obj, std::string& why) {
+  return check_numeric_object(obj, "stages", /*require_nonempty=*/false, why) &&
+         check_numeric_object(obj, "throughput", /*require_nonempty=*/true,
+                              why) &&
+         check_numeric_object(obj, "pipeline", /*require_nonempty=*/false,
+                              why) &&
+         check_numeric_object(obj, "figures", /*require_nonempty=*/false, why);
+}
+
+// --- fuzz ------------------------------------------------------------------
+
+bool validate_fuzz(const Object& obj, bool require_no_escapes,
+                   std::string& why) {
+  if (!check_numeric_object(obj, "golden", /*require_nonempty=*/true, why) ||
+      !check_numeric_object(obj, "outcomes", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+  auto esc = obj.find("escapes");
+  if (esc == obj.end()) {
+    why = "missing key \"escapes\"";
+    return false;
+  }
+  const Array* escapes = esc->second.array();
+  if (!escapes) {
+    why = "\"escapes\" is not an array";
+    return false;
+  }
+  if (require_no_escapes && !escapes->empty()) {
+    std::ostringstream os;
+    os << escapes->size() << " escape(s):";
+    for (const Value& e : *escapes) {
+      const Object* eo = e.object();
+      if (!eo) continue;
+      os << " [";
+      auto addr = eo->find("addr");
+      if (addr != eo->end() && addr->second.is_number()) {
+        char hex[16];
+        std::snprintf(hex, sizeof hex, "0x%08x",
+                      static_cast<unsigned>(addr->second.number()));
+        os << "addr=" << hex;
+      }
+      for (const char* key : {"origin", "outcome", "detail"}) {
+        auto it = eo->find(key);
+        if (it != eo->end() && it->second.is_string()) {
+          os << " " << key << "=" << std::get<std::string>(it->second.v);
+        }
+      }
+      os << "]";
+    }
+    why = os.str();
+    return false;
+  }
+  return true;
+}
+
+// --- protect ---------------------------------------------------------------
+
+bool check_stage(const Object& stage, std::size_t index, std::string& why) {
+  const std::string at = "stages[" + std::to_string(index) + "]";
+  auto name = stage.find("stage");
+  if (name == stage.end() || !name->second.is_string()) {
+    why = at + " missing string key \"stage\"";
+    return false;
+  }
+  for (const char* key : {"millis", "input_bytes", "output_bytes"}) {
+    auto it = stage.find(key);
+    if (it == stage.end() || !it->second.is_number()) {
+      why = at + " missing numeric key \"" + key + "\"";
+      return false;
+    }
+  }
+  if (!check_numeric_object(stage, "counters", /*require_nonempty=*/false,
+                            why)) {
+    why = at + " " + why;
+    return false;
+  }
+  auto warn = stage.find("warnings");
+  if (warn == stage.end() || !warn->second.array()) {
+    why = at + " missing array key \"warnings\"";
+    return false;
+  }
+  for (const Value& w : *warn->second.array()) {
+    if (!w.is_string()) {
+      why = at + " has a non-string warning";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_protect(const Object& obj, bool require_ok, std::string& why) {
+  auto ok = obj.find("ok");
+  if (ok == obj.end() || !is_bool(ok->second)) {
+    why = "missing bool key \"ok\"";
+    return false;
+  }
+  const bool succeeded = std::get<bool>(ok->second.v);
+  if (!succeeded) {
+    auto err = obj.find("error");
+    const Object* eo = err == obj.end() ? nullptr : err->second.object();
+    if (!eo) {
+      why = "\"ok\" is false but \"error\" object is missing";
+      return false;
+    }
+    for (const char* key : {"code", "stage", "message"}) {
+      auto it = eo->find(key);
+      if (it == eo->end() || !it->second.is_string()) {
+        why = std::string("\"error\" missing string key \"") + key + "\"";
+        return false;
+      }
+    }
+  }
+
+  auto bytes = obj.find("image_bytes");
+  if (bytes == obj.end() || !bytes->second.is_number()) {
+    why = "missing numeric key \"image_bytes\"";
+    return false;
+  }
+  auto fnv = obj.find("image_fnv64");
+  if (fnv == obj.end() || !fnv->second.is_string()) {
+    why = "missing string key \"image_fnv64\"";
+    return false;
+  }
+  const std::string& digest = std::get<std::string>(fnv->second.v);
+  if (digest.size() != 16 ||
+      digest.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    why = "\"image_fnv64\" is not 16 hex digits";
+    return false;
+  }
+
+  auto stages = obj.find("stages");
+  const Array* arr = stages == obj.end() ? nullptr : stages->second.array();
+  if (!arr) {
+    why = "missing array key \"stages\"";
+    return false;
+  }
+  if (arr->empty()) {
+    why = "\"stages\" is empty";
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const Object* stage = (*arr)[i].object();
+    if (!stage) {
+      why = "stages[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    if (!check_stage(*stage, i, why)) return false;
+  }
+
+  if (!check_numeric_object(obj, "totals", /*require_nonempty=*/true, why)) {
+    return false;
+  }
+
+  if (require_ok && !succeeded) {
+    auto err = obj.find("error");
+    const Object* eo = err->second.object();
+    auto msg = eo->find("message");
+    why = "\"ok\" is false: " + std::get<std::string>(msg->second.v);
+    return false;
+  }
+  return true;
+}
+
+// --- trace -----------------------------------------------------------------
+
+bool check_trace_event(const Object& e, std::size_t index, std::string& why) {
+  const std::string at = "traceEvents[" + std::to_string(index) + "]";
+  auto ph = e.find("ph");
+  if (ph == e.end() || !ph->second.is_string()) {
+    why = at + " missing string key \"ph\"";
+    return false;
+  }
+  const std::string& phase = std::get<std::string>(ph->second.v);
+  if (phase != "X" && phase != "i" && phase != "C" && phase != "M") {
+    why = at + " has unknown phase \"" + phase + "\"";
+    return false;
+  }
+  auto name = e.find("name");
+  if (name == e.end() || !name->second.is_string()) {
+    why = at + " missing string key \"name\"";
+    return false;
+  }
+  for (const char* key : {"pid", "tid"}) {
+    auto it = e.find(key);
+    if (it == e.end() || !it->second.is_number()) {
+      why = at + " missing numeric key \"" + key + "\"";
+      return false;
+    }
+  }
+  if (phase == "M") return true;  // metadata carries no timestamp
+  auto ts = e.find("ts");
+  if (ts == e.end() || !ts->second.is_number() || ts->second.number() < 0) {
+    why = at + " missing non-negative numeric key \"ts\"";
+    return false;
+  }
+  if (phase == "X") {
+    auto dur = e.find("dur");
+    if (dur == e.end() || !dur->second.is_number() ||
+        dur->second.number() < 0) {
+      why = at + " (complete) missing non-negative numeric key \"dur\"";
+      return false;
+    }
+  }
+  if (phase == "C") {
+    auto args = e.find("args");
+    if (args == e.end() || !args->second.object() ||
+        args->second.object()->empty()) {
+      why = at + " (counter) missing non-empty \"args\" object";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_trace(const Object& obj, std::string& why) {
+  auto events = obj.find("traceEvents");
+  const Array* arr = events == obj.end() ? nullptr : events->second.array();
+  if (!arr) {
+    why = "missing array key \"traceEvents\"";
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const Object* e = (*arr)[i].object();
+    if (!e) {
+      why = "traceEvents[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    if (!check_trace_event(*e, i, why)) return false;
+  }
+
+  for (const char* section : {"vm", "chains", "spans"}) {
+    if (obj.find(section) == obj.end()) continue;
+    if (!check_numeric_object(obj, section, /*require_nonempty=*/false, why)) {
+      return false;
+    }
+  }
+
+  // The attribution guarantee: app + chain sums to the VM total EXACTLY
+  // (vm/machine.h RetireObserver). All values are integers well under 2^53,
+  // so the doubles compare exactly.
+  auto vm_it = obj.find("vm");
+  if (vm_it != obj.end()) {
+    const Object& vm_obj = *vm_it->second.object();
+    auto num = [&](const char* key, double& out) {
+      auto it = vm_obj.find(key);
+      if (it == vm_obj.end() || !it->second.is_number()) {
+        why = std::string("\"vm\" missing numeric key \"") + key + "\"";
+        return false;
+      }
+      out = it->second.number();
+      return true;
+    };
+    double cycles, app_c, chain_c, insns, app_i, chain_i;
+    if (!num("cycles", cycles) || !num("app_cycles", app_c) ||
+        !num("chain_cycles", chain_c) || !num("instructions", insns) ||
+        !num("app_instructions", app_i) || !num("chain_instructions", chain_i))
+      return false;
+    if (app_c + chain_c != cycles) {
+      std::ostringstream os;
+      os << "cycle attribution is not exact: app " << app_c << " + chain "
+         << chain_c << " != total " << cycles;
+      why = os.str();
+      return false;
+    }
+    if (app_i + chain_i != insns) {
+      std::ostringstream os;
+      os << "instruction attribution is not exact: app " << app_i
+         << " + chain " << chain_i << " != total " << insns;
+      why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- driver ----------------------------------------------------------------
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// bench/fuzz/protect/trace from the BENCH_/FUZZ_/PROTECT_/TRACE_ prefix.
+std::string schema_for(const std::string& path) {
+  const std::string base = basename_of(path);
+  if (base.rfind("BENCH_", 0) == 0) return "bench";
+  if (base.rfind("FUZZ_", 0) == 0) return "fuzz";
+  if (base.rfind("PROTECT_", 0) == 0) return "protect";
+  if (base.rfind("TRACE_", 0) == 0) return "trace";
+  return "";
+}
+
+struct Flags {
+  bool require_no_escapes = false;
+  bool require_ok = false;
+  std::string schema;  // empty = infer per file
+};
+
+bool validate(const std::string& path, const Flags& flags, std::string& why) {
+  const std::string schema =
+      flags.schema.empty() ? schema_for(path) : flags.schema;
+  if (schema.empty()) {
+    why = "cannot infer schema from file name (expect BENCH_/FUZZ_/PROTECT_/"
+          "TRACE_ prefix, or pass --schema)";
+    return false;
+  }
+
+  auto text = plx::support::read_text_file(path);
+  if (!text) {
+    why = text.error().str();
+    return false;
+  }
+  Parser parser(text.value());
+  Value root;
+  if (!parser.parse(root)) {
+    why = "parse error: " + parser.error();
+    return false;
+  }
+  const Object* obj = root.object();
+  if (!obj) {
+    why = "top level is not an object";
+    return false;
+  }
+  if (!check_envelope(*obj, schema.c_str(), plx::telemetry::kSchemaVersion,
+                      why)) {
+    return false;
+  }
+
+  if (schema == "bench") return validate_bench(*obj, why);
+  if (schema == "fuzz")
+    return validate_fuzz(*obj, flags.require_no_escapes, why);
+  if (schema == "protect") return validate_protect(*obj, flags.require_ok, why);
+  if (schema == "trace") return validate_trace(*obj, why);
+  why = "unknown schema \"" + schema + "\"";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  int bad = 0;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-no-escapes") == 0) {
+      flags.require_no_escapes = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--require-ok") == 0) {
+      flags.require_ok = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      flags.schema = argv[++i];
+      continue;
+    }
+    ++files;
+    std::string why;
+    if (validate(argv[i], flags, why)) {
+      std::printf("%s: ok\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], why.c_str());
+      ++bad;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [--schema bench|fuzz|protect|trace] "
+                 "[--require-no-escapes] [--require-ok] REPORT.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  return bad ? 1 : 0;
+}

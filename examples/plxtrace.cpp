@@ -1,0 +1,408 @@
+// plxtrace — record and inspect execution traces (DESIGN.md §13).
+//
+//   plxtrace record --target NAME [--hardening MODE] [--seed N] [--out DIR]
+//                   [--window N] [--capacity N] [--budget N]
+//       Protect a built-in target with tracing enabled (pipeline stage
+//       spans), run it under the VM cycle-attribution profiler, and write
+//       TRACE_<name>.json: a schema-v2 envelope whose "traceEvents" array is
+//       Chrome Trace Event Format — the file loads directly in Perfetto /
+//       about://tracing. The "vm" section splits guest cycles between app
+//       code and chain machinery (gadgets, __plx stubs, rewritten chain
+//       functions); app_cycles + chain_cycles equals the VM's total cycle
+//       count exactly, and record fails if it does not.
+//   plxtrace export --in FILE [--out FILE]
+//       Extract the bare Chrome trace ({"traceEvents": [...]}) from a
+//       TRACE_*.json, for tools that reject unknown top-level keys.
+//   plxtrace top --in FILE [--limit N]
+//       Span table (count / total / max, hottest first) plus the VM
+//       attribution and per-chain summaries.
+//   plxtrace diff --a FILE --b FILE
+//       Side-by-side span totals and VM attribution of two trace files.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/targets.h"
+#include "parallax/traceview.h"
+#include "support/file_io.h"
+#include "support/minijson.h"
+#include "telemetry/trace.h"
+#include "vm/vmtrace.h"
+
+namespace {
+
+using namespace plx;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: plxtrace record --target NAME [--hardening MODE] [--seed N]\n"
+      "                       [--out DIR] [--window N] [--capacity N] [--budget N]\n"
+      "       plxtrace export --in FILE [--out FILE]\n"
+      "       plxtrace top    --in FILE [--limit N]\n"
+      "       plxtrace diff   --a FILE --b FILE\n");
+  return 2;
+}
+
+int fatal(const std::string& what) {
+  std::fprintf(stderr, "plxtrace: %s\n", what.c_str());
+  return 1;
+}
+
+// --- record ----------------------------------------------------------------
+
+int cmd_record(const std::string& target_name, parallax::Hardening mode,
+               std::uint64_t seed, const std::string& out_dir,
+               std::uint64_t window, std::size_t capacity,
+               std::uint64_t budget) {
+#if !PLX_TRACE_ENABLED
+  return fatal("tracing is compiled out (build with -DPLX_TRACE=ON to record)");
+#endif
+  const fuzz::Target* target = fuzz::find_target(target_name);
+  if (!target) {
+    std::string names;
+    for (const auto& n : fuzz::target_names()) names += " " + n;
+    return fatal("unknown target '" + target_name + "'; have:" + names);
+  }
+
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  tracer.enable(capacity);
+
+  auto prot = fuzz::protect_target(*target, mode, seed);
+  if (!prot) {
+    tracer.disable();
+    return fatal(prot.error().str());
+  }
+
+  vm::ExecutionProfiler profiler(parallax::chain_code_regions(prot.value()),
+                                 window);
+  vm::Machine machine(prot.value().image);
+  profiler.attach(machine);
+  {
+    telemetry::TraceSpan run_span("vm", "run");
+    machine.run(budget);
+  }
+  profiler.finish();
+  profiler.emit_counters(tracer);
+  tracer.disable();
+
+  const auto& result = machine.result();
+  const auto& totals = profiler.totals();
+  if (totals.cycles() != result.cycles) {
+    // The RetireObserver contract (vm/machine.h) guarantees exactness; a
+    // mismatch is a profiler bug, not a measurement artifact.
+    return fatal("attribution mismatch: app+chain cycles " +
+                 std::to_string(totals.cycles()) + " != vm total " +
+                 std::to_string(result.cycles));
+  }
+
+  const auto chains = vm::per_chain_profiles(
+      profiler, parallax::chain_gadget_map(prot.value()));
+
+  const std::string path = out_dir + "/TRACE_" + target_name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  vm::write_trace_json(out, target_name, tracer.snapshot(), &profiler, chains);
+  if (!out) return fatal("cannot write '" + path + "'");
+
+  std::printf("plxtrace: wrote %s\n", path.c_str());
+  std::printf("  guest: %llu instructions, %llu cycles (%s)\n",
+              static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(result.cycles),
+              result.reason == vm::StopReason::Exited ? "exited" : "stopped");
+  std::printf("  app:   %llu cycles   chain: %llu cycles (%.2f%%)\n",
+              static_cast<unsigned long long>(totals.app_cycles),
+              static_cast<unsigned long long>(totals.chain_cycles),
+              result.cycles
+                  ? 100.0 * static_cast<double>(totals.chain_cycles) /
+                        static_cast<double>(result.cycles)
+                  : 0.0);
+  std::printf("  rets:  %llu total, %llu in chain code; %zu timeline windows\n",
+              static_cast<unsigned long long>(totals.rets),
+              static_cast<unsigned long long>(totals.chain_rets),
+              profiler.windows().size());
+  for (const auto& c : chains) {
+    std::printf("  chain %-20s %llu cycles over %zu gadgets\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.cycles), c.gadgets.size());
+  }
+  if (tracer.dropped() != 0) {
+    std::printf("  note: ring overflowed, %llu oldest events dropped "
+                "(raise --capacity)\n",
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  return 0;
+}
+
+// --- shared readers --------------------------------------------------------
+
+bool read_file(const std::string& path, std::string& text, std::string& why) {
+  auto data = support::read_text_file(path);
+  if (!data) {
+    why = data.error().str();
+    return false;
+  }
+  text = std::move(data).value();
+  return true;
+}
+
+bool parse_trace(const std::string& path, minijson::Value& root,
+                 std::string& why) {
+  std::string text;
+  if (!read_file(path, text, why)) return false;
+  minijson::Parser parser(std::move(text));
+  if (!parser.parse(root)) {
+    why = path + ": " + parser.error();
+    return false;
+  }
+  if (!root.object()) {
+    why = path + ": root is not an object";
+    return false;
+  }
+  return true;
+}
+
+// Span rollup re-read from the "spans" section's flat keys
+// (<name>_count/_total_us/_max_us).
+struct SpanRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+std::vector<SpanRow> span_rows(const minijson::Object& root) {
+  std::vector<SpanRow> rows;
+  const auto it = root.find("spans");
+  if (it == root.end() || !it->second.object()) return rows;
+  auto row = [&](const std::string& name) -> SpanRow& {
+    for (auto& r : rows)
+      if (r.name == name) return r;
+    rows.push_back(SpanRow{name, 0, 0, 0});
+    return rows.back();
+  };
+  for (const auto& [k, v] : *it->second.object()) {
+    if (!v.is_number()) continue;
+    const auto val = static_cast<std::uint64_t>(v.number());
+    auto ends_with = [&](const char* suffix) {
+      const std::size_t n = std::strlen(suffix);
+      return k.size() > n && k.compare(k.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("_count")) row(k.substr(0, k.size() - 6)).count = val;
+    else if (ends_with("_total_us")) row(k.substr(0, k.size() - 9)).total_us = val;
+    else if (ends_with("_max_us")) row(k.substr(0, k.size() - 7)).max_us = val;
+  }
+  std::sort(rows.begin(), rows.end(), [](const SpanRow& a, const SpanRow& b) {
+    if (a.total_us != b.total_us) return a.total_us > b.total_us;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::uint64_t vm_metric(const minijson::Object& root, const char* key) {
+  const auto it = root.find("vm");
+  if (it == root.end() || !it->second.object()) return 0;
+  const auto* vm_obj = it->second.object();
+  const auto m = vm_obj->find(key);
+  return (m != vm_obj->end() && m->second.is_number())
+             ? static_cast<std::uint64_t>(m->second.number())
+             : 0;
+}
+
+// --- export ----------------------------------------------------------------
+
+// Slices the balanced "traceEvents" array out of the original text, so the
+// exported bytes are exactly what record wrote (no reparse/reserialize).
+bool slice_trace_events(const std::string& text, std::string& out) {
+  const std::string key = "\"traceEvents\":";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) return false;
+  std::size_t i = text.find('[', at);
+  if (i == std::string::npos) return false;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = i; j < text.size(); ++j) {
+    const char c = text[j];
+    if (in_string) {
+      if (c == '\\') ++j;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[') ++depth;
+    else if (c == ']' && --depth == 0) {
+      out = text.substr(i, j - i + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_export(const std::string& in_path, const std::string& out_path) {
+  std::string text, why;
+  if (!read_file(in_path, text, why)) return fatal(why);
+  std::string events;
+  if (!slice_trace_events(text, events))
+    return fatal(in_path + ": no traceEvents array");
+  const std::string doc = "{\"traceEvents\": " + events + "}\n";
+  if (out_path.empty() || out_path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << doc;
+  if (!out) return fatal("cannot write '" + out_path + "'");
+  std::printf("plxtrace: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+// --- top / diff ------------------------------------------------------------
+
+void print_vm_summary(const minijson::Object& root) {
+  if (root.find("vm") == root.end()) return;
+  const std::uint64_t cycles = vm_metric(root, "cycles");
+  const std::uint64_t chain = vm_metric(root, "chain_cycles");
+  std::printf("vm: %llu cycles, %llu app + %llu chain (%.2f%% chain), "
+              "%llu rets (%llu chain)\n",
+              static_cast<unsigned long long>(cycles),
+              static_cast<unsigned long long>(vm_metric(root, "app_cycles")),
+              static_cast<unsigned long long>(chain),
+              cycles ? 100.0 * static_cast<double>(chain) /
+                           static_cast<double>(cycles)
+                     : 0.0,
+              static_cast<unsigned long long>(vm_metric(root, "rets")),
+              static_cast<unsigned long long>(vm_metric(root, "chain_rets")));
+}
+
+int cmd_top(const std::string& in_path, std::size_t limit) {
+  minijson::Value root;
+  std::string why;
+  if (!parse_trace(in_path, root, why)) return fatal(why);
+  const minijson::Object& obj = *root.object();
+  print_vm_summary(obj);
+  const auto it = obj.find("chains");
+  if (it != obj.end() && it->second.object()) {
+    for (const auto& [k, v] : *it->second.object()) {
+      if (v.is_number() && k.size() > 7 &&
+          k.compare(k.size() - 7, 7, "_cycles") == 0) {
+        std::printf("chain %-24s %llu cycles\n",
+                    k.substr(0, k.size() - 7).c_str(),
+                    static_cast<unsigned long long>(v.number()));
+      }
+    }
+  }
+  const auto rows = span_rows(obj);
+  if (rows.empty()) {
+    std::printf("(no spans)\n");
+    return 0;
+  }
+  std::printf("%-40s %8s %12s %12s\n", "span", "count", "total_us", "max_us");
+  std::size_t shown = 0;
+  for (const auto& r : rows) {
+    if (limit && shown++ >= limit) break;
+    std::printf("%-40s %8llu %12llu %12llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.count),
+                static_cast<unsigned long long>(r.total_us),
+                static_cast<unsigned long long>(r.max_us));
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  minijson::Value a_root, b_root;
+  std::string why;
+  if (!parse_trace(a_path, a_root, why)) return fatal(why);
+  if (!parse_trace(b_path, b_root, why)) return fatal(why);
+  const minijson::Object& a = *a_root.object();
+  const minijson::Object& b = *b_root.object();
+
+  for (const char* key : {"cycles", "app_cycles", "chain_cycles", "rets"}) {
+    const std::uint64_t va = vm_metric(a, key), vb = vm_metric(b, key);
+    if (va || vb) {
+      std::printf("vm/%-14s %14llu -> %-14llu (%+lld)\n", key,
+                  static_cast<unsigned long long>(va),
+                  static_cast<unsigned long long>(vb),
+                  static_cast<long long>(vb) - static_cast<long long>(va));
+    }
+  }
+
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& r : span_rows(a)) merged[r.name].first = r.total_us;
+  for (const auto& r : span_rows(b)) merged[r.name].second = r.total_us;
+  if (!merged.empty())
+    std::printf("%-40s %12s %12s %12s\n", "span", "a_us", "b_us", "delta_us");
+  for (const auto& [name, us] : merged) {
+    std::printf("%-40s %12llu %12llu %+12lld\n", name.c_str(),
+                static_cast<unsigned long long>(us.first),
+                static_cast<unsigned long long>(us.second),
+                static_cast<long long>(us.second) -
+                    static_cast<long long>(us.first));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  std::string target = "quickstart", out_dir = ".", in_path, out_path;
+  std::string a_path, b_path;
+  parallax::Hardening mode = parallax::Hardening::Cleartext;
+  std::uint64_t seed = 0x9a11a, window = 4096, budget = 100'000'000;
+  std::size_t capacity = 1u << 16, limit = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plxtrace: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--target") target = need("--target");
+    else if (arg == "--out") out_path = out_dir = need("--out");
+    else if (arg == "--in") in_path = need("--in");
+    else if (arg == "--a") a_path = need("--a");
+    else if (arg == "--b") b_path = need("--b");
+    else if (arg == "--seed") seed = std::strtoull(need("--seed").c_str(), nullptr, 0);
+    else if (arg == "--window") window = std::strtoull(need("--window").c_str(), nullptr, 0);
+    else if (arg == "--budget") budget = std::strtoull(need("--budget").c_str(), nullptr, 0);
+    else if (arg == "--capacity") capacity = std::strtoull(need("--capacity").c_str(), nullptr, 0);
+    else if (arg == "--limit") limit = std::strtoull(need("--limit").c_str(), nullptr, 0);
+    else if (arg == "--hardening") {
+      const std::string h = need("--hardening");
+      if (h == "cleartext") mode = parallax::Hardening::Cleartext;
+      else if (h == "xor") mode = parallax::Hardening::Xor;
+      else if (h == "rc4") mode = parallax::Hardening::Rc4;
+      else if (h == "probabilistic") mode = parallax::Hardening::Probabilistic;
+      else {
+        std::fprintf(stderr,
+                     "plxtrace: --hardening cleartext|xor|rc4|probabilistic\n");
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "record")
+    return cmd_record(target, mode, seed, out_dir, window, capacity, budget);
+  if (cmd == "export") {
+    if (in_path.empty()) return usage();
+    return cmd_export(in_path, out_path);
+  }
+  if (cmd == "top") {
+    if (in_path.empty()) return usage();
+    return cmd_top(in_path, limit);
+  }
+  if (cmd == "diff") {
+    if (a_path.empty() || b_path.empty()) return usage();
+    return cmd_diff(a_path, b_path);
+  }
+  return usage();
+}

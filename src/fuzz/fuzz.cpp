@@ -1,11 +1,13 @@
 #include "fuzz/fuzz.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "attack/patcher.h"
 #include "x86/decoder.h"
 #include "support/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace plx::fuzz {
 
@@ -229,6 +231,16 @@ CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
       std::min<std::size_t>(std::max(1u, opts.shards), cases.size());
   const std::size_t chunk = (cases.size() + nshards - 1) / nshards;
 
+  PLX_TRACE_SPAN_VAR(campaign, "fuzz", "run_cases");
+  if (campaign.active()) {
+    campaign.arg("cases", static_cast<std::uint64_t>(cases.size()));
+    campaign.arg("shards", static_cast<std::uint64_t>(nshards));
+  }
+  // Progress heartbeat cadence: often enough to watch a long campaign move,
+  // rare enough (~1/128 cases) to stay invisible in the profile.
+  const std::size_t heartbeat_every = std::max<std::size_t>(1, chunk / 128) * 16;
+  std::atomic<std::size_t> completed{0};
+
   support::ThreadPool::shared().parallel_for(nshards, [&](std::size_t shard) {
     const std::size_t lo = shard * chunk;
     const std::size_t hi = std::min(lo + chunk, cases.size());
@@ -255,6 +267,14 @@ CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
         const auto r = m2.run(budget);
         out.outcome = classify(golden_, m2, r, mu.protected_, &out.detail);
         out.instructions = r.instructions;
+      }
+      if (PLX_TRACE_ACTIVE()) {
+        const std::size_t done = completed.fetch_add(1) + 1;
+        if (done % heartbeat_every == 0) {
+          PLX_TRACE_INSTANT("fuzz", "progress",
+                            {{"done", std::to_string(done)},
+                             {"total", std::to_string(cases.size())}});
+        }
       }
     }
   });

@@ -1,7 +1,7 @@
 // FUZZ_<name>.json emission — the fuzzing analogue of the bench layer's
 // BENCH_<name>.json (bench/bench_common.h); emitted through the shared
 // schema-v2 writer (telemetry/report.h). Schema documented in README.md;
-// checked by bench/validate_fuzz_json.
+// checked by bench/validate_envelope.
 #pragma once
 
 #include <string>

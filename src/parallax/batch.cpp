@@ -26,7 +26,9 @@ BatchResult run_job(const BatchJob& job) {
     return r;
   }
 
-  PipelineContext ctx = make_context(compiled.value(), job.opts);
+  ProtectOptions opts = job.opts;
+  if (opts.trace_label.empty()) opts.trace_label = job.name;
+  PipelineContext ctx = make_context(compiled.value(), opts);
   for (const Stage* stage : protection_stages()) {
     auto status = run_stage(*stage, ctx);
     if (!status) {

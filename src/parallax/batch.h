@@ -3,7 +3,7 @@
 // Protects many programs (typically the six-workload evaluation corpus)
 // across the worker thread pool, one independent pipeline per job, and
 // aggregates each job's StageTraces into a PROTECT_<name>.json report
-// (schema checked by bench/validate_protect_json, exercised by the
+// (schema checked by bench/validate_envelope, exercised by the
 // protect_smoke ctest label).
 //
 // Results are deterministic in thread count: each job is fully determined by

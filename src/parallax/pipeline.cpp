@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -12,6 +13,7 @@
 #include "rewrite/rewriter.h"
 #include "ropc/ropc.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "verify/hardening.h"
 
 namespace plx::parallax {
@@ -63,6 +65,27 @@ std::size_t visible_bytes(const PipelineContext& ctx) {
   std::size_t n = 0;
   for (const auto& sec : image->sections) n += sec.bytes.size();
   return n;
+}
+
+// FNV-1a over the same bytes visible_bytes counts, section order. Tags each
+// stage's trace span so two traces of the same job can be diffed input-first
+// (a digest mismatch at stage N pins the divergence to stage N-1's output).
+std::uint64_t visible_digest(const PipelineContext& ctx) {
+  const img::Image* image = nullptr;
+  if (!ctx.out.image.sections.empty()) {
+    image = &ctx.out.image;
+  } else if (ctx.prelim) {
+    image = &ctx.prelim->image;
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  if (!image) return h;
+  for (const auto& sec : image->sections) {
+    for (std::uint8_t byte : sec.bytes.span()) {
+      h ^= byte;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -663,7 +686,20 @@ Status run_stage(const Stage& stage, PipelineContext& ctx) {
   trace.input_bytes = visible_bytes(ctx);
   ctx.active = &trace;
   const auto t0 = std::chrono::steady_clock::now();
-  Status status = stage.run(ctx);
+  Status status = [&] {
+    // Span scope = the stage body alone; the digest is only computed when a
+    // trace is being recorded.
+    PLX_TRACE_SPAN_VAR(span, "pipeline", trace.stage);
+    if (span.active()) {
+      if (!ctx.opts.trace_label.empty()) span.arg("job", ctx.opts.trace_label);
+      span.arg("input_bytes", static_cast<std::uint64_t>(trace.input_bytes));
+      char digest[19];
+      std::snprintf(digest, sizeof digest, "0x%016llx",
+                    static_cast<unsigned long long>(visible_digest(ctx)));
+      span.arg("input_fnv64", std::string(digest));
+    }
+    return stage.run(ctx);
+  }();
   const auto t1 = std::chrono::steady_clock::now();
   ctx.active = nullptr;
   trace.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -71,6 +71,11 @@ struct ProtectOptions {
   // but accumulated across protect() calls (the bench sessions point this
   // at their report registry). Not owned; must outlive protect().
   telemetry::Registry* registry = nullptr;
+
+  // Label attached to this job's pipeline trace spans ("job" arg on every
+  // stage span; the batch driver sets it to the job name). Purely
+  // observability: empty is fine and changes nothing else.
+  std::string trace_label;
 };
 
 // One byte range of the image that the chains implicitly verify by

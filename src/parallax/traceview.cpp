@@ -1,0 +1,42 @@
+#include "parallax/traceview.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace plx::parallax {
+
+std::vector<vm::CodeRegion> chain_code_regions(const Protected& p) {
+  std::vector<vm::CodeRegion> out;
+
+  for (const auto& r : p.protected_ranges) {
+    char label[24];
+    std::snprintf(label, sizeof label, "gadget@0x%08x", r.lo);
+    out.push_back(vm::CodeRegion{r.lo, r.hi, label});
+  }
+
+  for (const auto& sym : p.image.symbols) {
+    if (!sym.is_func || sym.size == 0) continue;
+    const bool plx_stub = sym.name.rfind("__plx", 0) == 0;
+    const bool chain_fn =
+        std::find(p.chain_functions.begin(), p.chain_functions.end(),
+                  sym.name) != p.chain_functions.end();
+    if (!plx_stub && !chain_fn) continue;
+    out.push_back(vm::CodeRegion{sym.vaddr, sym.vaddr + sym.size, sym.name});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const vm::CodeRegion& a, const vm::CodeRegion& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  return out;
+}
+
+std::map<std::string, std::vector<std::uint32_t>> chain_gadget_map(
+    const Protected& p) {
+  std::map<std::string, std::vector<std::uint32_t>> out;
+  for (const auto& [name, chain] : p.chains) out[name] = chain.gadget_addrs;
+  return out;
+}
+
+}  // namespace plx::parallax

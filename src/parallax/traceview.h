@@ -1,0 +1,33 @@
+// Bridges a protection result to the VM profiler (vm/vmtrace.h): extracts
+// the chain-machinery code layout — everything that executes *because of*
+// protection rather than because of the program — so cycle attribution can
+// split a run into app vs chain time (DESIGN.md §13, paper §VI overhead
+// attribution).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parallax/protector.h"
+#include "vm/vmtrace.h"
+
+namespace plx::parallax {
+
+// Chain-machinery code regions of a protected image:
+//   - every chain-referenced gadget body (Protected::protected_ranges,
+//     labelled "gadget@0x<lo>"),
+//   - every `__plx_*` function symbol (resume/guard runtime stubs),
+//   - the rewritten bodies of the chain functions themselves (their original
+//     code was replaced by the chain launcher).
+// Regions may overlap (a gadget inside a rewritten body); the profiler
+// attributes to the smallest cover.
+std::vector<vm::CodeRegion> chain_code_regions(const Protected& p);
+
+// Chain name → the gadget start addresses its chain references (for
+// vm::per_chain_profiles).
+std::map<std::string, std::vector<std::uint32_t>> chain_gadget_map(
+    const Protected& p);
+
+}  // namespace plx::parallax

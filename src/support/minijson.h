@@ -1,5 +1,5 @@
 // A deliberately small recursive-descent JSON reader shared by the report
-// schema checkers (validate_bench_json, validate_fuzz_json) — just enough
+// schema checkers (bench/validate_envelope) — just enough
 // structure checking for those schemas, no external dependency. Kept
 // independent of the emitter (support/json.h) on purpose: a checker that
 // reused the writer's code could inherit its bugs.

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "telemetry/trace.h"
+
 namespace plx::support {
 
 namespace {
@@ -53,6 +55,22 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+#if PLX_TRACE_ENABLED
+  // Wrap the task in a span that runs on the worker: its duration is the
+  // run time, and "queue_wait_us" (enqueue -> dequeue) separates scheduling
+  // latency from work — the span the pool's utilisation questions need.
+  if (telemetry::Tracer::instance().enabled()) {
+    const std::uint64_t enqueued = telemetry::Tracer::instance().now_ns();
+    fn = [enqueued, inner = std::move(fn)] {
+      telemetry::TraceSpan span("pool", "task");
+      if (span.active()) {
+        const std::uint64_t now = telemetry::Tracer::instance().now_ns();
+        span.arg("queue_wait_us", (now > enqueued ? now - enqueued : 0) / 1000);
+      }
+      inner();
+    };
+  }
+#endif
   {
     std::unique_lock lk(mu_);
     queue_.push_back(std::move(fn));
@@ -72,6 +90,8 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  PLX_TRACE_SPAN_VAR(fanout, "pool", "parallel_for");
+  if (fanout.active()) fanout.arg("n", static_cast<std::uint64_t>(n));
   // Atomic work-stealing counter: each participant claims the next index.
   // The calling thread joins in, so the pool being busy never blocks
   // progress, and completion is tracked independently of pool idleness

@@ -100,7 +100,10 @@ const minijson::Value* find_path(const minijson::Object& root,
 std::vector<Metric> gatable_metrics(const minijson::Object& artifact) {
   std::vector<Metric> out;
   for (const auto& [k, v] : artifact) {
-    if (k == "schema_version" || k == "seed") continue;
+    // "host" is the build/machine context (telemetry/schema.h): it explains
+    // divergence and must never be pinned into a baseline, or regenerating
+    // on a different machine would gate on its thread count.
+    if (k == "schema_version" || k == "seed" || k == "host") continue;
     flatten(k, v, out);
   }
   return out;

@@ -2,6 +2,7 @@
 
 #include "support/json.h"
 #include "telemetry/schema.h"
+#include "telemetry/trace.h"
 
 namespace plx::telemetry {
 
@@ -93,6 +94,13 @@ void write_envelope(JsonWriter& w, const char* tool, const std::string& name) {
   w.field_str("name", name);
   w.field_str(tool, name);  // legacy pre-v2 key ("bench"/"fuzz"/"protect")
   w.field_int("schema_version", kSchemaVersion);
+  // Build/machine context (schema.h): informational, never gated.
+  const TraceMeta meta = current_trace_meta();
+  w.begin_object("host");
+  w.field_u64("threads", meta.threads);
+  w.field_bool("plx_trace", meta.plx_trace);
+  w.field_str("git_describe", meta.git_describe);
+  w.end_object();
 }
 
 void write_counters(JsonWriter& w, const std::string& key, const Registry& r,

@@ -6,10 +6,18 @@
 //
 // Every report carries the common envelope
 //
-//   "tool":           "bench" | "fuzz" | "protect" | "baseline"
+//   "tool":           "bench" | "fuzz" | "protect" | "baseline" | "trace"
 //   "name":           report name (also used in the file name)
 //   "<tool>":         legacy alias of "name" (pre-v2 readers keyed on it)
 //   "schema_version": kSchemaVersion
+//   "host":           {"threads", "plx_trace", "git_describe"} — the build
+//                     and machine context the artifact was produced under,
+//                     so a diverging baseline comparison can explain *why*
+//                     (different thread count, tracing compiled in, other
+//                     commit) instead of just failing. Informational: never
+//                     gated (telemetry/compare.cpp skips it), accepted by
+//                     pre-existing readers because extra envelope keys are
+//                     legal within a schema version.
 //
 // followed by tool-specific sections. Compatibility rule (DESIGN.md §12):
 // readers accept *exactly* kSchemaVersion — a version bump is a deliberate,
@@ -27,5 +35,6 @@ inline constexpr const char* kToolBench = "bench";
 inline constexpr const char* kToolFuzz = "fuzz";
 inline constexpr const char* kToolProtect = "protect";
 inline constexpr const char* kToolBaseline = "baseline";
+inline constexpr const char* kToolTrace = "trace";
 
 }  // namespace plx::telemetry

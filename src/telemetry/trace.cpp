@@ -1,0 +1,359 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/report.h"
+
+namespace plx::telemetry {
+
+namespace {
+
+// Per-thread open-span stack. TraceSpan and SpanToken both index into this;
+// the entries own the span's identity and pending arguments so the RAII
+// object itself stays two words and trivially movable across inlining.
+struct OpenEntry {
+  const char* cat = "";
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+thread_local std::vector<OpenEntry> t_open_spans;
+
+[[noreturn]] void die_unbalanced(const char* what, const std::string& name,
+                                 std::size_t depth, std::size_t open) {
+  std::fprintf(stderr,
+               "plx trace: %s of span \"%s\" out of LIFO order "
+               "(span depth %zu, %zu spans open on this thread)\n",
+               what, name.c_str(), depth, open);
+  std::abort();
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+  head_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+  next_id_ = 1;
+  tids_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint32_t Tracer::thread_id_locked() {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& [id, dense] : tids_)
+    if (id == self) return dense;
+  const auto dense = static_cast<std::uint32_t>(tids_.size() + 1);
+  tids_.emplace_back(self, dense);
+  return dense;
+}
+
+void Tracer::record(TraceEvent e) {
+  if (!enabled()) return;
+  if (e.ts_ns == 0 && e.pid == 1) e.ts_ns = now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  e.id = next_id_++;
+  if (e.tid == 0) e.tid = e.pid == 1 ? thread_id_locked() : 1;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void Tracer::instant(const char* cat, std::string name,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.phase = TracePhase::Instant;
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void Tracer::counter(const char* cat, std::string name, double value,
+                     std::uint64_t ts_ns, std::uint32_t pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.phase = TracePhase::Counter;
+  e.value = value;
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  record(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || head_ == 0) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::set_clock_for_test(ClockFn fn) {
+  clock_.store(fn, std::memory_order_release);
+}
+
+std::uint64_t Tracer::now_ns() const {
+  if (ClockFn fn = clock_.load(std::memory_order_acquire)) return fn();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- spans ------------------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* cat, std::string name) {
+  Tracer& tr = Tracer::instance();
+  if (!tr.enabled()) return;
+  OpenEntry e;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.start_ns = tr.now_ns();
+  t_open_spans.push_back(std::move(e));
+  depth_ = t_open_spans.size();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  if (t_open_spans.size() != depth_)
+    die_unbalanced("close", t_open_spans.empty() ? "?" : t_open_spans.back().name,
+                   depth_, t_open_spans.size());
+  OpenEntry e = std::move(t_open_spans.back());
+  t_open_spans.pop_back();
+  Tracer& tr = Tracer::instance();
+  TraceEvent ev;
+  ev.name = std::move(e.name);
+  ev.cat = e.cat;
+  ev.phase = TracePhase::Complete;
+  ev.ts_ns = e.start_ns;
+  const std::uint64_t now = tr.now_ns();
+  ev.dur_ns = now > e.start_ns ? now - e.start_ns : 0;
+  ev.args = std::move(e.args);
+  tr.record(std::move(ev));
+}
+
+void TraceSpan::arg(std::string key, std::string value) {
+  if (!active_) return;
+  t_open_spans[depth_ - 1].args.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::arg(std::string key, std::uint64_t value) {
+  arg(std::move(key), std::to_string(value));
+}
+
+SpanToken begin_span(const char* cat, const std::string& name) {
+  SpanToken tok;
+  Tracer& tr = Tracer::instance();
+  if (!tr.enabled()) return tok;
+  OpenEntry e;
+  e.cat = cat;
+  e.name = name;
+  e.start_ns = tr.now_ns();
+  tok.start_ns = e.start_ns;
+  t_open_spans.push_back(std::move(e));
+  tok.depth = t_open_spans.size();
+  tok.active = true;
+  return tok;
+}
+
+void end_span(SpanToken token, const char* cat, const std::string& name,
+              std::vector<std::pair<std::string, std::string>> args) {
+  if (!token.active) return;
+  if (t_open_spans.size() != token.depth)
+    die_unbalanced("end", name, token.depth, t_open_spans.size());
+  t_open_spans.pop_back();
+  Tracer& tr = Tracer::instance();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = TracePhase::Complete;
+  ev.ts_ns = token.start_ns;
+  const std::uint64_t now = tr.now_ns();
+  ev.dur_ns = now > token.start_ns ? now - token.start_ns : 0;
+  ev.args = std::move(args);
+  tr.record(std::move(ev));
+}
+
+std::size_t open_spans_on_this_thread() { return t_open_spans.size(); }
+
+// --- export ----------------------------------------------------------------
+
+TraceMeta current_trace_meta() {
+  TraceMeta m;
+  m.threads = std::thread::hardware_concurrency();
+  m.plx_trace = PLX_TRACE_ENABLED != 0;
+#ifdef PLX_GIT_DESCRIBE
+  m.git_describe = PLX_GIT_DESCRIBE;
+#else
+  m.git_describe = "unknown";
+#endif
+  return m;
+}
+
+namespace {
+
+// Microseconds with sub-µs remainder rendered as a trimmed decimal fraction:
+// integer-only formatting keeps the exporter byte-stable across platforms
+// (no double rounding in sight).
+std::string us_string(std::uint64_t ns) {
+  const std::uint64_t us = ns / 1000;
+  std::uint64_t rem = ns % 1000;
+  std::string s = std::to_string(us);
+  if (rem != 0) {
+    char frac[8];
+    std::snprintf(frac, sizeof frac, ".%03llu",
+                  static_cast<unsigned long long>(rem));
+    std::string f = frac;
+    while (f.back() == '0') f.pop_back();
+    s += f;
+  }
+  return s;
+}
+
+std::string json_number(double v) {
+  // Counter values are doubles; format with enough digits to round-trip and
+  // trim the noise so output stays canonical.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == parsed) return shorter;
+  }
+  return buf;
+}
+
+void write_one_event(JsonWriter& w, const TraceEvent& e, std::uint64_t t0) {
+  w.begin_object();
+  w.field_str("name", e.name);
+  w.field_str("cat", e.cat);
+  const char* ph = e.phase == TracePhase::Complete ? "X"
+                   : e.phase == TracePhase::Counter ? "C"
+                                                    : "i";
+  w.field_str("ph", ph);
+  w.field_raw("ts", us_string(e.ts_ns >= t0 ? e.ts_ns - t0 : 0));
+  if (e.phase == TracePhase::Complete) w.field_raw("dur", us_string(e.dur_ns));
+  if (e.phase == TracePhase::Instant) w.field_str("s", "t");
+  w.field_int("pid", static_cast<int>(e.pid));
+  w.field_int("tid", static_cast<int>(e.tid));
+  if (e.phase == TracePhase::Counter) {
+    w.begin_object("args");
+    w.field_raw("value", json_number(e.value));
+    w.end_object();
+  } else if (!e.args.empty()) {
+    w.begin_object("args");
+    for (const auto& [k, v] : e.args) w.field_str(k, v);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_process_meta(JsonWriter& w, int pid, const char* name) {
+  w.begin_object();
+  w.field_str("name", "process_name");
+  w.field_str("ph", "M");
+  w.field_int("pid", pid);
+  w.field_int("tid", 0);
+  w.begin_object("args");
+  w.field_str("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_trace_events(JsonWriter& w, const std::vector<TraceEvent>& events) {
+  // Rebase each pid onto its own origin: pid 1 runs on the host wall clock,
+  // pid 2 on the VM's virtual cycle timebase; neither origin is meaningful
+  // to the other, and rebasing aligns both tracks at t=0 in Perfetto.
+  std::uint64_t t0_host = UINT64_MAX, t0_vm = UINT64_MAX;
+  bool have_vm = false;
+  for (const auto& e : events) {
+    if (e.pid == 2) {
+      have_vm = true;
+      t0_vm = std::min(t0_vm, e.ts_ns);
+    } else {
+      t0_host = std::min(t0_host, e.ts_ns);
+    }
+  }
+  if (t0_host == UINT64_MAX) t0_host = 0;
+  if (t0_vm == UINT64_MAX) t0_vm = 0;
+
+  w.begin_array("traceEvents");
+  write_process_meta(w, 1, "host");
+  if (have_vm) write_process_meta(w, 2, "vm (virtual cycles)");
+  for (const auto& e : events)
+    write_one_event(w, e, e.pid == 2 ? t0_vm : t0_host);
+  w.end_array();
+}
+
+std::vector<SpanStat> aggregate_spans(const std::vector<TraceEvent>& events) {
+  std::vector<SpanStat> stats;
+  for (const auto& e : events) {
+    if (e.phase != TracePhase::Complete) continue;
+    const std::string key = std::string(e.cat) + "/" + e.name;
+    SpanStat* s = nullptr;
+    for (auto& st : stats)
+      if (st.name == key) {
+        s = &st;
+        break;
+      }
+    if (!s) {
+      stats.push_back(SpanStat{key, 0, 0, 0});
+      s = &stats.back();
+    }
+    ++s->count;
+    s->total_ns += e.dur_ns;
+    s->max_ns = std::max(s->max_ns, e.dur_ns);
+  }
+  std::sort(stats.begin(), stats.end(), [](const SpanStat& a, const SpanStat& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return stats;
+}
+
+}  // namespace plx::telemetry

@@ -1,0 +1,228 @@
+// Execution tracing: nestable spans, instant/counter events, and a
+// Chrome-trace-event exporter (DESIGN.md §13).
+//
+// The telemetry Registry (telemetry.h) answers "how much"; this layer
+// answers "when and where": every recorded event carries a timestamp, a
+// thread id and an optional argument list, and the whole buffer exports as
+// Trace Event Format JSON that loads directly in Perfetto / about://tracing.
+// Four producers are instrumented out of the box: the protection pipeline
+// (one span per stage per job), the thread pool (one span per task, with
+// queue-wait attribution), the tamper-fuzzing campaigns (progress heartbeat
+// events) and the VM cycle-attribution profiler (vm/vmtrace.h, which emits
+// counter events on the deterministic guest-cycle timebase).
+//
+// Cost model, from cold to hot:
+//
+//   compiled out   the CMake option PLX_TRACE=OFF removes the instrumentation
+//                  macros AND the VM retire-observer hook at preprocessing
+//                  time: the hot paths are byte-identical to the pre-trace
+//                  code. The library API below still compiles (tools keep
+//                  building); it just never receives events.
+//   disabled       (default at runtime) every macro checks one relaxed
+//                  atomic load and bails; no allocation, no lock.
+//   enabled        events go into a fixed-capacity ring buffer under a
+//                  mutex, overwriting the oldest on overflow (dropped() says
+//                  how many). Span begin/end bookkeeping is thread-local and
+//                  lock-free; only the final end-of-span record takes the
+//                  lock.
+//
+// Determinism: event ids and thread ids are assigned in first-record order,
+// and the clock is injectable (set_clock_for_test), so tests pin the
+// exporter output byte for byte.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+// Compile-time master switch. The build passes PLX_TRACE=1 (CMake option,
+// default ON); PLX_TRACE=OFF builds define nothing and every PLX_TRACE_*
+// macro below compiles to void.
+#if defined(PLX_TRACE) && PLX_TRACE
+#define PLX_TRACE_ENABLED 1
+#else
+#define PLX_TRACE_ENABLED 0
+#endif
+
+namespace plx::telemetry {
+
+enum class TracePhase : std::uint8_t {
+  Complete,  // Chrome "X": name + ts + dur (a finished span)
+  Instant,   // Chrome "i": point event (heartbeats, marks)
+  Counter,   // Chrome "C": sampled value (ret density, cache hits)
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;          // Chrome category; also the producer's section
+  TracePhase phase = TracePhase::Instant;
+  std::uint64_t id = 0;     // record-order id, deterministic
+  std::uint64_t ts_ns = 0;  // start (Complete) or occurrence time
+  std::uint64_t dur_ns = 0; // Complete only
+  std::uint32_t tid = 0;    // dense id in first-record order
+  std::uint32_t pid = 1;    // 1 = host wall-clock, 2 = VM virtual cycles
+  double value = 0;         // Counter only
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Process-wide collector. All members are safe to call from any thread.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  // Turns collection on with a fresh buffer of `capacity` events. Calling
+  // enable() while enabled resets the buffer (events, ids, thread ids).
+  void enable(std::size_t capacity = 1u << 16);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Record one event. `e.id`, `e.tid` and (when zero) `e.ts_ns` are filled
+  // in by the collector; everything else is the caller's. No-op while
+  // disabled.
+  void record(TraceEvent e);
+
+  // Convenience emitters (no-ops while disabled).
+  void instant(const char* cat, std::string name,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  void counter(const char* cat, std::string name, double value,
+               std::uint64_t ts_ns = 0, std::uint32_t pid = 1);
+
+  // Chronological (oldest-first) copy of the buffer. Events are returned in
+  // record order, which is also non-decreasing ts order per thread.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t recorded() const;  // total record() calls while enabled
+  std::uint64_t dropped() const;   // events overwritten by ring wrap
+
+  // Test hook: replaces the timestamp source (nullptr restores the steady
+  // clock). With a fixed clock the exporter output is byte-stable.
+  using ClockFn = std::uint64_t (*)();
+  void set_clock_for_test(ClockFn fn);
+  std::uint64_t now_ns() const;
+
+ private:
+  Tracer() = default;
+
+  std::uint32_t thread_id_locked();  // caller holds mu_
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<ClockFn> clock_{nullptr};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // next overwrite position once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::pair<std::thread::id, std::uint32_t>> tids_;
+};
+
+// RAII span. Opens on construction (when tracing is enabled), records one
+// Complete event on destruction. Spans nest per thread and MUST close in
+// LIFO order: destroying a span while a younger span on the same thread is
+// still open aborts the process — a misuse diagnostic, like the Result
+// accessors (support/error.h), active in every build type.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attach a key/value argument (shows under the span in Perfetto).
+  void arg(std::string key, std::string value);
+  void arg(std::string key, std::uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::size_t depth_ = 0;  // this span's 1-based position in the open stack
+};
+
+// Explicit begin/end pair for callers that cannot scope a destructor (the
+// thread-pool task wrapper moves the open span across a lambda). The token
+// returned by begin must be passed to exactly one end, in LIFO order per
+// thread; end aborts on out-of-order closes.
+struct SpanToken {
+  std::uint64_t start_ns = 0;
+  std::size_t depth = 0;
+  bool active = false;
+};
+SpanToken begin_span(const char* cat, const std::string& name);
+void end_span(SpanToken token, const char* cat, const std::string& name,
+              std::vector<std::pair<std::string, std::string>> args = {});
+
+// Number of spans currently open on the calling thread (tests).
+std::size_t open_spans_on_this_thread();
+
+// --- export ----------------------------------------------------------------
+
+// Context block written next to the events; also the envelope "host"
+// section's source of truth (report.h).
+struct TraceMeta {
+  unsigned threads = 0;        // hardware threads visible to the process
+  bool plx_trace = false;      // compiled with PLX_TRACE?
+  std::string git_describe;    // build's `git describe` (or "unknown")
+};
+TraceMeta current_trace_meta();
+
+// Writes the "traceEvents" array (Chrome Trace Event Format, JSON object
+// form) plus process-name metadata records into an already-open JSON object.
+// `w` must be positioned inside the root object; the function emits exactly
+// one "traceEvents" member. Timestamps are exported in microseconds
+// relative to the earliest event, so traces from any clock origin align at
+// t=0 in Perfetto.
+class JsonWriter;
+void write_trace_events(JsonWriter& w, const std::vector<TraceEvent>& events);
+
+// Aggregated per-name span statistics (the `plxtrace top` / `diff` tables).
+struct SpanStat {
+  std::string name;  // "cat/name"
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+std::vector<SpanStat> aggregate_spans(const std::vector<TraceEvent>& events);
+
+}  // namespace plx::telemetry
+
+// --- instrumentation macros ------------------------------------------------
+//
+// The only API the instrumented subsystems use. With PLX_TRACE off they
+// expand to nothing, so instrumented code carries zero overhead and zero
+// link-time dependency on the tracer state.
+#if PLX_TRACE_ENABLED
+#define PLX_TRACE_CONCAT2(a, b) a##b
+#define PLX_TRACE_CONCAT(a, b) PLX_TRACE_CONCAT2(a, b)
+// One RAII span for the enclosing scope.
+#define PLX_TRACE_SPAN(cat, name) \
+  ::plx::telemetry::TraceSpan PLX_TRACE_CONCAT(plx_span_, __LINE__)(cat, name)
+// Named span variable, for attaching args: PLX_TRACE_SPAN_VAR(s, "c", "n");
+// if (s.active()) s.arg("k", v);
+#define PLX_TRACE_SPAN_VAR(var, cat, name) \
+  ::plx::telemetry::TraceSpan var(cat, name)
+#define PLX_TRACE_INSTANT(cat, name, ...) \
+  ::plx::telemetry::Tracer::instance().instant(cat, name, ##__VA_ARGS__)
+#define PLX_TRACE_COUNTER(cat, name, value) \
+  ::plx::telemetry::Tracer::instance().counter(cat, name, value)
+#define PLX_TRACE_ACTIVE() ::plx::telemetry::Tracer::instance().enabled()
+#else
+#define PLX_TRACE_SPAN(cat, name) \
+  do {                            \
+  } while (false)
+#define PLX_TRACE_SPAN_VAR(var, cat, name) \
+  ::plx::telemetry::TraceSpan var(cat, name)
+#define PLX_TRACE_INSTANT(cat, name, ...) \
+  do {                                    \
+  } while (false)
+#define PLX_TRACE_COUNTER(cat, name, value) \
+  do {                                      \
+  } while (false)
+#define PLX_TRACE_ACTIVE() false
+#endif

@@ -659,11 +659,16 @@ bool Machine::step() {
   // `pre` stays valid through exec_one: invalidations triggered by stores
   // only mark the pool stale; the drop is deferred to the next step().
   const x86::Insn* insn = &pre->insn;
-  if (pre->fast != FastOp::None) {
-    if (!exec_fast(*pre)) return false;
-  } else {
-    if (!exec_one(*insn)) return false;
-  }
+  const bool ok =
+      pre->fast != FastOp::None ? exec_fast(*pre) : exec_one(*insn);
+#if defined(PLX_TRACE) && PLX_TRACE
+  // Observe every executed instruction, retired or faulting, with the cycles
+  // it accrued: summing the deltas reproduces result_.cycles exactly.
+  if (retire_observer)
+    retire_observer->on_retire(insn_eip, result_.cycles - cycles_before,
+                               insn->is_ret());
+#endif
+  if (!ok) return false;
   ++result_.instructions;
 
   if (profile_enabled) {

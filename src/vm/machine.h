@@ -73,6 +73,18 @@ struct FuncStats {
   std::uint64_t calls = 0;
 };
 
+// Per-retired-instruction observer (vm/vmtrace.h attaches one to attribute
+// cycles to app vs chain code). step() calls on_retire after every executed
+// instruction — including faulting ones, with the cycles it actually accrued
+// (possibly 0) — so the observer's cycle sum equals RunResult::cycles
+// exactly. The call site is compiled out unless the build defines PLX_TRACE,
+// keeping the hot dispatch loop byte-identical in perf builds.
+struct RetireObserver {
+  virtual ~RetireObserver() = default;
+  virtual void on_retire(std::uint32_t eip, std::uint64_t cycles,
+                         bool is_ret) = 0;
+};
+
 class Machine {
  public:
   explicit Machine(const img::Image& image);
@@ -188,6 +200,11 @@ class Machine {
 
   // Pre-instruction hook (tracing); called with the decoded eip.
   std::function<void(std::uint32_t)> pre_insn_hook;
+
+  // Retired-instruction observer (cycle attribution; see RetireObserver).
+  // Always present so the Machine ABI does not depend on PLX_TRACE, but only
+  // consulted when the build compiles the trace layer in.
+  RetireObserver* retire_observer = nullptr;
 
   // --- profiling --------------------------------------------------------
   bool profile_enabled = false;

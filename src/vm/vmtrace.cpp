@@ -1,0 +1,233 @@
+#include "vm/vmtrace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+#include "telemetry/trace.h"
+
+namespace plx::vm {
+
+ExecutionProfiler::ExecutionProfiler(std::vector<CodeRegion> chain_regions,
+                                     std::uint64_t window_cycles)
+    : regions_(std::move(chain_regions)),
+      window_cycles_(window_cycles ? window_cycles : 1) {
+  stats_.resize(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i)
+    stats_[i].region = regions_[i];
+
+  // Flatten the (possibly overlapping) region list into disjoint segments:
+  // sweep the sorted boundary set and attribute each gap to the smallest
+  // covering region, so a gadget nested in a rewritten function wins over
+  // the function's own span.
+  std::set<std::uint32_t> bounds;
+  for (const auto& r : regions_) {
+    if (r.hi <= r.lo) continue;
+    bounds.insert(r.lo);
+    bounds.insert(r.hi);
+  }
+  std::vector<std::uint32_t> b(bounds.begin(), bounds.end());
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    const std::uint32_t lo = b[i], hi = b[i + 1];
+    std::uint32_t best = UINT32_MAX;
+    std::uint32_t best_span = UINT32_MAX;
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      if (regions_[r].lo <= lo && regions_[r].hi >= hi) {
+        const std::uint32_t span = regions_[r].hi - regions_[r].lo;
+        if (span < best_span) {
+          best_span = span;
+          best = static_cast<std::uint32_t>(r);
+        }
+      }
+    }
+    if (best == UINT32_MAX) continue;
+    if (!segments_.empty() && segments_.back().hi == lo &&
+        segments_.back().region == best) {
+      segments_.back().hi = hi;
+    } else {
+      segments_.push_back(Segment{lo, hi, best});
+    }
+  }
+}
+
+int ExecutionProfiler::segment_index(std::uint32_t eip) const {
+  if (last_segment_ >= 0) {
+    const Segment& s = segments_[static_cast<std::size_t>(last_segment_)];
+    if (eip >= s.lo && eip < s.hi) return last_segment_;
+  }
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), eip,
+      [](std::uint32_t a, const Segment& s) { return a < s.lo; });
+  if (it == segments_.begin()) return -1;
+  --it;
+  if (eip >= it->lo && eip < it->hi) {
+    last_segment_ = static_cast<int>(it - segments_.begin());
+    return last_segment_;
+  }
+  return -1;
+}
+
+void ExecutionProfiler::on_retire(std::uint32_t eip, std::uint64_t cycles,
+                                  bool is_ret) {
+  const int seg = segment_index(eip);
+  if (seg >= 0) {
+    RegionStat& st = stats_[segments_[static_cast<std::size_t>(seg)].region];
+    ++st.instructions;
+    st.cycles += cycles;
+    ++totals_.chain_instructions;
+    totals_.chain_cycles += cycles;
+    open_.chain_cycles += cycles;
+    if (is_ret) ++totals_.chain_rets;
+  } else {
+    ++totals_.app_instructions;
+    totals_.app_cycles += cycles;
+  }
+  if (is_ret) {
+    ++totals_.rets;
+    ++open_.rets;
+  }
+  ++open_.instructions;
+  open_.cycles += cycles;
+  cum_cycles_ += cycles;
+  if (open_.cycles >= window_cycles_) close_window();
+}
+
+void ExecutionProfiler::close_window() {
+  open_.end_cycle = cum_cycles_;
+  windows_.push_back(open_);
+  open_ = Window{};
+}
+
+void ExecutionProfiler::finish() {
+  if (open_.instructions != 0) close_window();
+}
+
+std::vector<ExecutionProfiler::RegionStat> ExecutionProfiler::hot_regions()
+    const {
+  std::vector<RegionStat> out;
+  for (const auto& st : stats_)
+    if (st.instructions != 0) out.push_back(st);
+  std::sort(out.begin(), out.end(), [](const RegionStat& a, const RegionStat& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.region.lo < b.region.lo;
+  });
+  return out;
+}
+
+const ExecutionProfiler::RegionStat* ExecutionProfiler::region_stat_at(
+    std::uint32_t addr) const {
+  const int seg = segment_index(addr);
+  if (seg < 0) return nullptr;
+  const RegionStat& st = stats_[segments_[static_cast<std::size_t>(seg)].region];
+  return st.instructions != 0 ? &st : nullptr;
+}
+
+void ExecutionProfiler::emit_counters(telemetry::Tracer& tracer) const {
+  for (const auto& w : windows_) {
+    // 1 guest cycle == 1 exported µs (ts is ns here; the exporter divides).
+    const std::uint64_t ts = w.end_cycle * 1000;
+    tracer.counter("vm", "ret_density", w.ret_density(), ts, /*pid=*/2);
+    tracer.counter("vm", "chain_share", w.chain_share(), ts, /*pid=*/2);
+  }
+}
+
+std::vector<ChainProfile> per_chain_profiles(
+    const ExecutionProfiler& prof,
+    const std::map<std::string, std::vector<std::uint32_t>>& chains) {
+  std::vector<ChainProfile> out;
+  for (const auto& [name, addrs] : chains) {
+    ChainProfile cp;
+    cp.name = name;
+    std::set<std::uint32_t> seen;  // dedupe shared gadget addresses
+    for (std::uint32_t a : addrs) {
+      const auto* st = prof.region_stat_at(a);
+      if (!st || !seen.insert(st->region.lo).second) continue;
+      cp.gadgets.push_back(*st);
+      cp.instructions += st->instructions;
+      cp.cycles += st->cycles;
+    }
+    std::sort(cp.gadgets.begin(), cp.gadgets.end(),
+              [](const ExecutionProfiler::RegionStat& a,
+                 const ExecutionProfiler::RegionStat& b) {
+                if (a.cycles != b.cycles) return a.cycles > b.cycles;
+                return a.region.lo < b.region.lo;
+              });
+    out.push_back(std::move(cp));
+  }
+  std::sort(out.begin(), out.end(), [](const ChainProfile& a, const ChainProfile& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+namespace {
+
+// Flat-numeric-object key: section keys share the metric-name alphabet used
+// by the registry exporters ([A-Za-z0-9_/.-]); spaces never appear but chain
+// names are user input, so sanitize defensively.
+std::string key_safe(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '/' ||
+                    c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& out, const std::string& name,
+                      const std::vector<telemetry::TraceEvent>& events,
+                      const ExecutionProfiler* prof,
+                      const std::vector<ChainProfile>& chains) {
+  telemetry::JsonWriter w(out);
+  telemetry::write_envelope(w, telemetry::kToolTrace, name);
+
+  if (prof) {
+    const auto& t = prof->totals();
+    w.begin_object("vm");
+    w.field_u64("instructions", t.instructions());
+    w.field_u64("cycles", t.cycles());
+    w.field_u64("app_instructions", t.app_instructions);
+    w.field_u64("app_cycles", t.app_cycles);
+    w.field_u64("chain_instructions", t.chain_instructions);
+    w.field_u64("chain_cycles", t.chain_cycles);
+    w.field_u64("rets", t.rets);
+    w.field_u64("chain_rets", t.chain_rets);
+    w.field_u64("windows", prof->windows().size());
+    w.field_u64("hot_regions", prof->hot_regions().size());
+    w.end_object();
+  }
+
+  if (!chains.empty()) {
+    w.begin_object("chains");
+    for (const auto& c : chains) {
+      w.field_u64(key_safe(c.name) + "_cycles", c.cycles);
+      w.field_u64(key_safe(c.name) + "_instructions", c.instructions);
+      w.field_u64(key_safe(c.name) + "_gadgets", c.gadgets.size());
+    }
+    w.end_object();
+  }
+
+  const auto spans = telemetry::aggregate_spans(events);
+  if (!spans.empty()) {
+    w.begin_object("spans");
+    for (const auto& s : spans) {
+      const std::string k = key_safe(s.name);
+      w.field_u64(k + "_count", s.count);
+      w.field_u64(k + "_total_us", s.total_ns / 1000);
+      w.field_u64(k + "_max_us", s.max_ns / 1000);
+    }
+    w.end_object();
+  }
+
+  telemetry::write_trace_events(w, events);
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace plx::vm

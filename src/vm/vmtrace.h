@@ -1,0 +1,160 @@
+// VM cycle-attribution profiler (DESIGN.md §13).
+//
+// Parallax §VI prices protection in guest cycles but cannot say *where* they
+// go; ROPocop (Follner & Bodden) shows chain execution is observable from the
+// outside as a ret-frequency anomaly. This profiler gives both views of our
+// own protection: it attaches to vm::Machine as a RetireObserver and splits
+// every retired instruction's cycles between application code and chain
+// machinery (gadget bodies, `__plx_*` runtime stubs, rewritten chain-function
+// bodies — the caller supplies the region list, normally
+// parallax::chain_code_regions), keeps per-region hit histograms, and samples
+// a ret-density timeline over fixed cycle windows — the attacker's
+// fingerprint view, built in.
+//
+// Exactness: step() reports the cycles each instruction actually accrued
+// (machine.h RetireObserver), so app_cycles + chain_cycles equals
+// RunResult::cycles bit for bit — tests and the TRACE_*.json validator
+// (bench/validate_envelope.cpp) both assert it.
+//
+// Exported counter events live on the VM's deterministic virtual timebase:
+// pid 2, one guest cycle == one exported microsecond, so the timeline is
+// byte-identical across hosts and runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/machine.h"
+
+namespace plx::telemetry {
+class Tracer;
+class JsonWriter;
+struct TraceEvent;
+}  // namespace plx::telemetry
+
+namespace plx::vm {
+
+// One span of guest addresses that belongs to the verification machinery.
+struct CodeRegion {
+  std::uint32_t lo = 0;  // first byte
+  std::uint32_t hi = 0;  // one past the last
+  std::string label;     // "gadget@0x08048123", "__plx_resume", "license_check"
+};
+
+class ExecutionProfiler final : public RetireObserver {
+ public:
+  struct Totals {
+    std::uint64_t app_instructions = 0;
+    std::uint64_t app_cycles = 0;
+    std::uint64_t chain_instructions = 0;
+    std::uint64_t chain_cycles = 0;
+    std::uint64_t rets = 0;        // retired RET/RETF, both attributions
+    std::uint64_t chain_rets = 0;  // rets retired inside chain regions
+
+    std::uint64_t instructions() const {
+      return app_instructions + chain_instructions;
+    }
+    std::uint64_t cycles() const { return app_cycles + chain_cycles; }
+  };
+
+  struct RegionStat {
+    CodeRegion region;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  // One ret-density timeline sample: the state of the previous
+  // `window_cycles` guest cycles, closed at cumulative cycle `end_cycle`.
+  struct Window {
+    std::uint64_t end_cycle = 0;
+    std::uint64_t cycles = 0;  // actual width (last instruction may overrun)
+    std::uint64_t instructions = 0;
+    std::uint64_t rets = 0;
+    std::uint64_t chain_cycles = 0;
+
+    double ret_density() const {
+      return instructions ? static_cast<double>(rets) / static_cast<double>(instructions) : 0;
+    }
+    double chain_share() const {
+      return cycles ? static_cast<double>(chain_cycles) / static_cast<double>(cycles) : 0;
+    }
+  };
+
+  // `chain_regions` may overlap (a gadget body inside a rewritten function);
+  // attribution picks the smallest covering region. `window_cycles` sets the
+  // timeline resolution.
+  explicit ExecutionProfiler(std::vector<CodeRegion> chain_regions,
+                             std::uint64_t window_cycles = 4096);
+
+  void attach(Machine& m) { m.retire_observer = this; }
+
+  void on_retire(std::uint32_t eip, std::uint64_t cycles,
+                 bool is_ret) override;
+
+  // Closes the trailing partial window (idempotent). Call after the run.
+  void finish();
+
+  const Totals& totals() const { return totals_; }
+  const std::vector<Window>& windows() const { return windows_; }
+
+  // Chain regions that executed at least one instruction, hottest (most
+  // cycles) first; ties break on region lo for determinism.
+  std::vector<RegionStat> hot_regions() const;
+
+  // Stats for the region covering `addr` (nullptr when no region executed it
+  // or the address is app code).
+  const RegionStat* region_stat_at(std::uint32_t addr) const;
+
+  // Emits the timeline as Chrome counter events on the virtual-cycle
+  // timebase (pid 2, 1 cycle == 1 µs): series "ret_density" and
+  // "chain_share", one sample per window.
+  void emit_counters(telemetry::Tracer& tracer) const;
+
+ private:
+  struct Segment {  // non-overlapping, sorted by lo
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint32_t region = 0;  // index into regions_
+  };
+
+  int segment_index(std::uint32_t eip) const;
+  void close_window();
+
+  std::vector<CodeRegion> regions_;
+  std::vector<Segment> segments_;
+  std::vector<RegionStat> stats_;  // parallel to regions_
+  mutable int last_segment_ = -1;  // lookup cache (hot loops stay put)
+
+  Totals totals_;
+  std::uint64_t cum_cycles_ = 0;
+  std::uint64_t window_cycles_ = 4096;
+  Window open_;
+  std::vector<Window> windows_;
+};
+
+// Per-chain rollup: the slice of the profile covered by one chain's gadgets.
+struct ChainProfile {
+  std::string name;               // protected function the chain verifies
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::vector<ExecutionProfiler::RegionStat> gadgets;  // hottest first
+};
+
+// Joins the profiler's per-region stats against a chain → gadget-address map
+// (parallax::chain_gadget_map). Chains sorted by cycles, hottest first.
+std::vector<ChainProfile> per_chain_profiles(
+    const ExecutionProfiler& prof,
+    const std::map<std::string, std::vector<std::uint32_t>>& chains);
+
+// Writes a complete TRACE_<name>.json document: schema-v2 envelope, "vm"
+// attribution section (present when `prof` is non-null), flat "chains" and
+// "spans" rollups, and the Chrome "traceEvents" array — the same file loads
+// in Perfetto and passes bench/validate_envelope.
+void write_trace_json(std::ostream& out, const std::string& name,
+                      const std::vector<telemetry::TraceEvent>& events,
+                      const ExecutionProfiler* prof,
+                      const std::vector<ChainProfile>& chains = {});
+
+}  // namespace plx::vm

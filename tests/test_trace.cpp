@@ -1,0 +1,468 @@
+// Execution-tracing layer (src/telemetry/trace.h, src/vm/vmtrace.h):
+// span nesting and LIFO enforcement, ring-buffer semantics, byte-stable
+// export under clock injection, cross-thread timestamp monotonicity, and the
+// VM cycle-attribution profiler's exactness guarantee on a real protected
+// workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fuzz/targets.h"
+#include "parallax/traceview.h"
+#include "support/minijson.h"
+#include "support/thread_pool.h"
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+#include "telemetry/trace.h"
+#include "vm/machine.h"
+#include "vm/vmtrace.h"
+
+namespace plx {
+namespace {
+
+using telemetry::TraceEvent;
+using telemetry::TracePhase;
+using telemetry::Tracer;
+using telemetry::TraceSpan;
+
+// Injectable clock: each now_ns() call advances by 1 µs, from a fixed
+// origin, so every recorded timestamp is reproducible run to run.
+std::atomic<std::uint64_t> g_fake_now{0};
+std::uint64_t fake_clock() { return g_fake_now.fetch_add(1000) + 1000; }
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now.store(0);
+    Tracer::instance().set_clock_for_test(&fake_clock);
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().set_clock_for_test(nullptr);
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothingAndSpansAreInactive) {
+  Tracer& tr = Tracer::instance();
+  ASSERT_FALSE(tr.enabled());
+  {
+    TraceSpan span("cat", "inactive");
+    EXPECT_FALSE(span.active());
+    span.arg("k", "v");  // must be a safe no-op
+  }
+  tr.instant("cat", "nothing");
+  tr.counter("cat", "nothing", 1.0);
+  tr.enable(16);
+  EXPECT_EQ(tr.recorded(), 0u);
+}
+
+TEST_F(TraceTest, SpansNestAndCloseInnerFirst) {
+  Tracer& tr = Tracer::instance();
+  tr.enable(64);
+  {
+    TraceSpan outer("t", "outer");
+    EXPECT_EQ(telemetry::open_spans_on_this_thread(), 1u);
+    {
+      TraceSpan inner("t", "inner");
+      EXPECT_EQ(telemetry::open_spans_on_this_thread(), 2u);
+    }
+    EXPECT_EQ(telemetry::open_spans_on_this_thread(), 1u);
+  }
+  EXPECT_EQ(telemetry::open_spans_on_this_thread(), 0u);
+
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it records first; ids follow record order.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_LT(events[0].id, events[1].id);
+  EXPECT_EQ(events[0].phase, TracePhase::Complete);
+  // The outer span opened before the inner and closed after it.
+  EXPECT_LT(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_GT(events[1].dur_ns, events[0].dur_ns);
+}
+
+TEST_F(TraceTest, SpanArgsAreAttached) {
+  Tracer& tr = Tracer::instance();
+  tr.enable(16);
+  {
+    TraceSpan span("t", "tagged");
+    ASSERT_TRUE(span.active());
+    span.arg("key", "value");
+    span.arg("n", std::uint64_t{42});
+  }
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "key");
+  EXPECT_EQ(events[0].args[0].second, "value");
+  EXPECT_EQ(events[0].args[1].second, "42");
+}
+
+TEST_F(TraceTest, OutOfOrderSpanCloseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Tracer::instance().set_clock_for_test(&fake_clock);
+        Tracer::instance().enable(16);
+        auto* outer = new TraceSpan("t", "outer");
+        auto* inner = new TraceSpan("t", "inner");
+        (void)inner;
+        delete outer;  // inner is still open: LIFO violation
+      },
+      "out of LIFO order");
+}
+
+TEST_F(TraceTest, OutOfOrderTokenEndAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Tracer::instance().set_clock_for_test(&fake_clock);
+        Tracer::instance().enable(16);
+        auto t1 = telemetry::begin_span("t", "first");
+        auto t2 = telemetry::begin_span("t", "second");
+        (void)t2;
+        telemetry::end_span(t1, "t", "first");  // second is still open
+      },
+      "out of LIFO order");
+}
+
+TEST_F(TraceTest, TokenSpansRecordWithArgs) {
+  Tracer& tr = Tracer::instance();
+  tr.enable(16);
+  auto tok = telemetry::begin_span("pool", "task");
+  ASSERT_TRUE(tok.active);
+  telemetry::end_span(tok, "pool", "task", {{"queue_wait_us", "7"}});
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cat, "pool");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "queue_wait_us");
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  Tracer& tr = Tracer::instance();
+  tr.enable(4);
+  for (int i = 0; i < 10; ++i) tr.instant("t", "e" + std::to_string(i));
+  EXPECT_EQ(tr.recorded(), 10u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Chronological oldest-first: the last four survive in order.
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].id, events[i].id);
+}
+
+TEST_F(TraceTest, CrossThreadTimestampsAreMonotonicPerThread) {
+  Tracer& tr = Tracer::instance();
+  tr.set_clock_for_test(nullptr);  // real steady clock
+  tr.enable(1 << 12);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("mt", "w" + std::to_string(t));
+        Tracer::instance().instant("mt", "tick");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::map<std::uint32_t, std::uint64_t> last_ts;
+  std::uint64_t last_id = 0;
+  for (const auto& e : tr.snapshot()) {
+    // Record order is id order (ring is chronological).
+    EXPECT_LT(last_id, e.id);
+    last_id = e.id;
+    // Per-thread, a later record never carries an earlier close timestamp.
+    const std::uint64_t close_ns = e.ts_ns + e.dur_ns;
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(close_ns, it->second);
+    }
+    last_ts[e.tid] = close_ns;
+  }
+  EXPECT_EQ(last_ts.size(), 4u);  // dense tids, one per thread
+}
+
+TEST_F(TraceTest, ExporterIsByteStableUnderFixedClock) {
+  auto run_once = [] {
+    g_fake_now.store(0);
+    Tracer& tr = Tracer::instance();
+    tr.enable(64);
+    {
+      TraceSpan outer("pipeline", "scan");
+      outer.arg("job", "demo");
+      TraceSpan inner("pipeline", "decode");
+    }
+    tr.instant("fuzz", "progress", {{"done", "10"}});
+    tr.counter("vm", "ret_density", 0.25, 8192 * 1000, /*pid=*/2);
+    const auto events = tr.snapshot();
+    tr.disable();
+    std::ostringstream out;
+    telemetry::JsonWriter w(out);
+    w.begin_object();
+    telemetry::write_trace_events(w, events);
+    w.end_object();
+    return out.str();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b) << "exporter output must be byte-stable under a fixed clock";
+
+  // Spot-check the Chrome trace shape: process metadata for both timebases,
+  // complete/instant/counter phases, and integer-µs timestamps (the fake
+  // clock ticks in whole µs; the VM counter sits at virtual cycle 8192).
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(a.find("\"vm (virtual cycles)\""), std::string::npos);
+  EXPECT_NE(a.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(a.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(a.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(a.find("\"value\": 0.25"), std::string::npos);
+  EXPECT_NE(a.find("\"job\": \"demo\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ExporterRebasesAndFormatsSubMicrosecond) {
+  std::vector<TraceEvent> events;
+  TraceEvent e1;
+  e1.name = "a";
+  e1.cat = "t";
+  e1.phase = TracePhase::Complete;
+  e1.ts_ns = 10'000;
+  e1.dur_ns = 2'500;  // 2.5 µs
+  e1.tid = 1;
+  TraceEvent e2 = e1;
+  e2.name = "b";
+  e2.ts_ns = 13'500;  // 3.5 µs after e1
+  e2.dur_ns = 1'000;
+  events.push_back(e1);
+  events.push_back(e2);
+
+  std::ostringstream out;
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  telemetry::write_trace_events(w, events);
+  w.end_object();
+  const std::string s = out.str();
+  // Earliest event rebases to 0; sub-µs remainders render as trimmed
+  // decimal fractions, never floating-point noise.
+  EXPECT_NE(s.find("\"ts\": 0"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\": 2.5"), std::string::npos);
+  EXPECT_NE(s.find("\"ts\": 3.5"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\": 1"), std::string::npos);
+}
+
+TEST_F(TraceTest, AggregateSpansGroupsAndSorts) {
+  std::vector<TraceEvent> events;
+  auto push = [&](const char* cat, const char* name, std::uint64_t dur) {
+    TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.phase = TracePhase::Complete;
+    e.dur_ns = dur;
+    events.push_back(e);
+  };
+  push("p", "hot", 5000);
+  push("p", "hot", 3000);
+  push("p", "cold", 1000);
+  TraceEvent inst;
+  inst.phase = TracePhase::Instant;
+  inst.name = "noise";
+  events.push_back(inst);
+
+  const auto stats = telemetry::aggregate_spans(events);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "p/hot");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[0].total_ns, 8000u);
+  EXPECT_EQ(stats[0].max_ns, 5000u);
+  EXPECT_EQ(stats[1].name, "p/cold");
+}
+
+TEST_F(TraceTest, ThreadPoolTasksCarrySpans) {
+  Tracer& tr = Tracer::instance();
+  tr.set_clock_for_test(nullptr);
+  tr.enable(1 << 12);
+  support::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  tr.disable();
+  EXPECT_EQ(ran.load(), 8);
+  std::size_t task_spans = 0;
+  for (const auto& e : tr.snapshot()) {
+    if (e.cat == std::string("pool") && e.name == "task") {
+      ++task_spans;
+      ASSERT_EQ(e.args.size(), 1u);
+      EXPECT_EQ(e.args[0].first, "queue_wait_us");
+    }
+  }
+#if PLX_TRACE_ENABLED
+  EXPECT_EQ(task_spans, 8u);
+#else
+  // Instrumentation compiled out: the pool never wraps tasks.
+  EXPECT_EQ(task_spans, 0u);
+#endif
+}
+
+TEST_F(TraceTest, TraceMetaReflectsBuild) {
+  const telemetry::TraceMeta meta = telemetry::current_trace_meta();
+#if PLX_TRACE_ENABLED
+  EXPECT_TRUE(meta.plx_trace);
+#else
+  EXPECT_FALSE(meta.plx_trace);
+#endif
+  EXPECT_FALSE(meta.git_describe.empty());
+}
+
+// --- VM cycle attribution ---------------------------------------------------
+
+TEST(VmTrace, ProfilerAttributesBySmallestCoveringRegion) {
+  std::vector<vm::CodeRegion> regions = {
+      {10, 20, "gadget@10"},
+      {15, 40, "func"},  // overlaps the gadget; gadget is smaller
+  };
+  vm::ExecutionProfiler prof(regions, /*window_cycles=*/4);
+  prof.on_retire(5, 1, false);    // app
+  prof.on_retire(12, 3, false);   // gadget@10
+  prof.on_retire(17, 2, true);    // overlap: smallest cover wins -> gadget@10
+  prof.on_retire(25, 4, true);    // func
+  prof.on_retire(40, 7, false);   // one past func: app
+  prof.finish();
+
+  const auto& t = prof.totals();
+  EXPECT_EQ(t.app_cycles, 8u);
+  EXPECT_EQ(t.chain_cycles, 9u);
+  EXPECT_EQ(t.cycles(), 17u);
+  EXPECT_EQ(t.app_instructions, 2u);
+  EXPECT_EQ(t.chain_instructions, 3u);
+  EXPECT_EQ(t.rets, 2u);
+  EXPECT_EQ(t.chain_rets, 2u);
+
+  const auto hot = prof.hot_regions();
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].region.label, "gadget@10");
+  EXPECT_EQ(hot[0].cycles, 5u);
+  EXPECT_EQ(hot[0].instructions, 2u);
+  EXPECT_EQ(hot[1].region.label, "func");
+
+  // Windows close once >= 4 cycles accumulate; end_cycle is cumulative.
+  const auto& wins = prof.windows();
+  ASSERT_GE(wins.size(), 2u);
+  EXPECT_EQ(wins[0].end_cycle, 4u);  // 1+3
+  std::uint64_t insns = 0, cycles = 0;
+  for (const auto& w : wins) {
+    insns += w.instructions;
+    cycles += w.cycles;
+  }
+  EXPECT_EQ(insns, 5u);
+  EXPECT_EQ(cycles, 17u);
+}
+
+TEST(VmTrace, AttributionSumsExactlyOnProtectedWorkload) {
+  const fuzz::Target* target = fuzz::find_target("quickstart");
+  ASSERT_NE(target, nullptr);
+  auto prot = fuzz::protect_target(*target, parallax::Hardening::Xor);
+  ASSERT_TRUE(prot) << prot.error().str();
+
+  const auto regions = parallax::chain_code_regions(prot.value());
+  ASSERT_FALSE(regions.empty());
+
+  vm::ExecutionProfiler prof(regions);
+  vm::Machine machine(prot.value().image);
+  prof.attach(machine);
+  const auto result = machine.run();
+  prof.finish();
+
+  ASSERT_EQ(result.reason, vm::StopReason::Exited);
+  ASSERT_GT(result.cycles, 0u);
+#if PLX_TRACE_ENABLED
+  // THE guarantee: every VM cycle lands in exactly one bucket.
+  EXPECT_EQ(prof.totals().cycles(), result.cycles);
+  EXPECT_GT(prof.totals().chain_cycles, 0u)
+      << "a protected run must execute chain machinery";
+  EXPECT_GT(prof.totals().app_cycles, 0u);
+  EXPECT_GT(prof.totals().chain_rets, 0u)
+      << "chains execute through rets (the ROPocop signal)";
+  // The observer sees the final stopping instruction, which RunResult does
+  // not count as retired.
+  EXPECT_GE(prof.totals().instructions(), result.instructions);
+
+  // Per-chain rollup covers the executed chain gadgets.
+  const auto chains =
+      vm::per_chain_profiles(prof, parallax::chain_gadget_map(prot.value()));
+  ASSERT_FALSE(chains.empty());
+  EXPECT_GT(chains[0].cycles, 0u);
+  EXPECT_FALSE(chains[0].gadgets.empty());
+#else
+  // Tracing compiled out: the observer is never invoked.
+  EXPECT_EQ(prof.totals().cycles(), 0u);
+#endif
+}
+
+TEST(VmTrace, WriteTraceJsonIsValidAndCarriesExactAttribution) {
+  const fuzz::Target* target = fuzz::find_target("quickstart");
+  ASSERT_NE(target, nullptr);
+  auto prot = fuzz::protect_target(*target, parallax::Hardening::Cleartext);
+  ASSERT_TRUE(prot) << prot.error().str();
+
+  vm::ExecutionProfiler prof(parallax::chain_code_regions(prot.value()));
+  vm::Machine machine(prot.value().image);
+  prof.attach(machine);
+  machine.run();
+  prof.finish();
+
+  Tracer::instance().enable(1 << 10);
+  prof.emit_counters(Tracer::instance());
+  Tracer::instance().disable();
+  const auto chains =
+      vm::per_chain_profiles(prof, parallax::chain_gadget_map(prot.value()));
+
+  std::ostringstream out;
+  vm::write_trace_json(out, "quickstart", Tracer::instance().snapshot(), &prof,
+                       chains);
+
+  minijson::Parser parser(out.str());
+  minijson::Value root;
+  ASSERT_TRUE(parser.parse(root)) << parser.error();
+  const minijson::Object* obj = root.object();
+  ASSERT_NE(obj, nullptr);
+
+  std::string why;
+  EXPECT_TRUE(minijson::check_envelope(*obj, "trace",
+                                       telemetry::kSchemaVersion, why))
+      << why;
+
+  // Envelope host section (present on every artifact since this PR).
+  auto host = obj->find("host");
+  ASSERT_NE(host, obj->end());
+  ASSERT_NE(host->second.object(), nullptr);
+  EXPECT_NE(host->second.object()->find("threads"),
+            host->second.object()->end());
+
+#if PLX_TRACE_ENABLED
+  auto vm_it = obj->find("vm");
+  ASSERT_NE(vm_it, obj->end());
+  const minijson::Object& vm_obj = *vm_it->second.object();
+  const double cycles = vm_obj.at("cycles").number();
+  const double app = vm_obj.at("app_cycles").number();
+  const double chain = vm_obj.at("chain_cycles").number();
+  EXPECT_EQ(app + chain, cycles);
+  EXPECT_GT(chain, 0.0);
+
+  auto events = obj->find("traceEvents");
+  ASSERT_NE(events, obj->end());
+  ASSERT_NE(events->second.array(), nullptr);
+  EXPECT_FALSE(events->second.array()->empty());
+#endif
+}
+
+}  // namespace
+}  // namespace plx
