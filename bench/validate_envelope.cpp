@@ -1,15 +1,17 @@
 // One schema checker for every report artifact this repository emits:
-// BENCH_/FUZZ_/PROTECT_/TRACE_<name>.json. The schema is inferred from each
-// file's basename prefix (or forced with --schema); the per-tool section
-// checks are what the former validate_bench_json / validate_fuzz_json /
-// validate_protect_json drivers enforced, plus the TRACE checks, in one
-// binary instead of four copies of the envelope boilerplate.
+// BENCH_/FUZZ_/PROTECT_/TRACE_/ADAPT_<name>.json. The schema is inferred
+// from each file's basename prefix (or forced with --schema); the per-tool
+// section checks are what the former validate_bench_json /
+// validate_fuzz_json / validate_protect_json drivers enforced, plus the
+// TRACE and ADAPT checks, in one binary instead of copies of the envelope
+// boilerplate.
 //
 // Shared envelope (telemetry/schema.h): tool/name/<tool>/schema_version.
 //
 //   bench     stages/pipeline/figures numeric objects, non-empty throughput
-//   fuzz      non-empty golden + outcomes, escapes array;
-//             --require-no-escapes fails on any escape, naming the mutants
+//   fuzz      non-empty golden + outcomes, known backend name, escapes
+//             array; --require-no-escapes fails on any escape, naming the
+//             mutants
 //   protect   ok bool (+ structured error when false), image_bytes,
 //             16-hex image_fnv64, non-empty stages array, non-empty totals;
 //             --require-ok fails when ok is false
@@ -17,6 +19,13 @@
 //             "vm" attribution section is present, app+chain instructions
 //             and cycles must sum EXACTLY to the VM totals (the
 //             RetireObserver guarantee, vm/machine.h)
+//   adapt     non-empty golden/coverage/outcomes/attribution, backend must
+//             be "adaptive", non-empty strategies array with per-strategy
+//             outcome counts, escapes array (--require-no-escapes as fuzz)
+//
+// The backend-name check consumes the PLX_FUZZ_BACKEND_LIST X-macro
+// (fuzz/fuzz.h) — the same list the enum and the plxfuzz parser are
+// generated from, so the three cannot desynchronize.
 //
 // The reader is support/minijson.h, deliberately independent of the
 // telemetry emitter: a checker reusing the writer would inherit its bugs.
@@ -27,6 +36,7 @@
 #include <string>
 #include <variant>
 
+#include "fuzz/fuzz.h"
 #include "support/file_io.h"
 #include "support/minijson.h"
 #include "telemetry/schema.h"
@@ -53,14 +63,37 @@ bool validate_bench(const Object& obj, std::string& why) {
          check_numeric_object(obj, "figures", /*require_nonempty=*/false, why);
 }
 
-// --- fuzz ------------------------------------------------------------------
+// --- fuzz / adapt ----------------------------------------------------------
 
-bool validate_fuzz(const Object& obj, bool require_no_escapes,
-                   std::string& why) {
-  if (!check_numeric_object(obj, "golden", /*require_nonempty=*/true, why) ||
-      !check_numeric_object(obj, "outcomes", /*require_nonempty=*/true, why)) {
+// The "backend" field must be a wire name generated from
+// PLX_FUZZ_BACKEND_LIST (fuzz/fuzz.h) — the enum, the CLI parser and this
+// check all read the same list.
+bool check_backend(const Object& obj, std::string& why,
+                   const char* required = nullptr) {
+  auto it = obj.find("backend");
+  if (it == obj.end() || !it->second.is_string()) {
+    why = "missing string key \"backend\"";
     return false;
   }
+  const std::string& b = std::get<std::string>(it->second.v);
+  if (!plx::fuzz::backend_from_name(b)) {
+    std::string names;
+    for (const auto& n : plx::fuzz::backend_names()) {
+      if (!names.empty()) names += "|";
+      names += n;
+    }
+    why = "unknown backend \"" + b + "\" (expect " + names + ")";
+    return false;
+  }
+  if (required && b != required) {
+    why = "backend \"" + b + "\" is not \"" + required + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool check_escapes(const Object& obj, bool require_no_escapes,
+                   std::string& why) {
   auto esc = obj.find("escapes");
   if (esc == obj.end()) {
     why = "missing key \"escapes\"";
@@ -97,6 +130,60 @@ bool validate_fuzz(const Object& obj, bool require_no_escapes,
     return false;
   }
   return true;
+}
+
+bool validate_fuzz(const Object& obj, bool require_no_escapes,
+                   std::string& why) {
+  return check_numeric_object(obj, "golden", /*require_nonempty=*/true, why) &&
+         check_numeric_object(obj, "outcomes", /*require_nonempty=*/true,
+                              why) &&
+         check_backend(obj, why) &&
+         check_escapes(obj, require_no_escapes, why);
+}
+
+bool validate_adapt(const Object& obj, bool require_no_escapes,
+                    std::string& why) {
+  if (!check_numeric_object(obj, "golden", /*require_nonempty=*/true, why) ||
+      !check_numeric_object(obj, "coverage", /*require_nonempty=*/true, why) ||
+      !check_numeric_object(obj, "outcomes", /*require_nonempty=*/true, why) ||
+      !check_numeric_object(obj, "attribution", /*require_nonempty=*/true,
+                            why) ||
+      !check_backend(obj, why, "adaptive")) {
+    return false;
+  }
+  auto strategies = obj.find("strategies");
+  const Array* arr =
+      strategies == obj.end() ? nullptr : strategies->second.array();
+  if (!arr) {
+    why = "missing array key \"strategies\"";
+    return false;
+  }
+  if (arr->empty()) {
+    why = "\"strategies\" is empty";
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const std::string at = "strategies[" + std::to_string(i) + "]";
+    const Object* s = (*arr)[i].object();
+    if (!s) {
+      why = at + " is not an object";
+      return false;
+    }
+    auto name = s->find("strategy");
+    if (name == s->end() || !name->second.is_string()) {
+      why = at + " missing string key \"strategy\"";
+      return false;
+    }
+    for (const char* key : {"total", "detected", "silent_corruption", "benign",
+                            "timeout", "escapes"}) {
+      auto it = s->find(key);
+      if (it == s->end() || !it->second.is_number()) {
+        why = at + " missing numeric key \"" + key + "\"";
+        return false;
+      }
+    }
+  }
+  return check_escapes(obj, require_no_escapes, why);
 }
 
 // --- protect ---------------------------------------------------------------
@@ -326,13 +413,14 @@ std::string basename_of(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-// bench/fuzz/protect/trace from the BENCH_/FUZZ_/PROTECT_/TRACE_ prefix.
+// bench/fuzz/protect/trace/adapt from the file-name prefix.
 std::string schema_for(const std::string& path) {
   const std::string base = basename_of(path);
   if (base.rfind("BENCH_", 0) == 0) return "bench";
   if (base.rfind("FUZZ_", 0) == 0) return "fuzz";
   if (base.rfind("PROTECT_", 0) == 0) return "protect";
   if (base.rfind("TRACE_", 0) == 0) return "trace";
+  if (base.rfind("ADAPT_", 0) == 0) return "adapt";
   return "";
 }
 
@@ -347,7 +435,7 @@ bool validate(const std::string& path, const Flags& flags, std::string& why) {
       flags.schema.empty() ? schema_for(path) : flags.schema;
   if (schema.empty()) {
     why = "cannot infer schema from file name (expect BENCH_/FUZZ_/PROTECT_/"
-          "TRACE_ prefix, or pass --schema)";
+          "TRACE_/ADAPT_ prefix, or pass --schema)";
     return false;
   }
 
@@ -377,6 +465,8 @@ bool validate(const std::string& path, const Flags& flags, std::string& why) {
     return validate_fuzz(*obj, flags.require_no_escapes, why);
   if (schema == "protect") return validate_protect(*obj, flags.require_ok, why);
   if (schema == "trace") return validate_trace(*obj, why);
+  if (schema == "adapt")
+    return validate_adapt(*obj, flags.require_no_escapes, why);
   why = "unknown schema \"" + schema + "\"";
   return false;
 }
@@ -411,7 +501,7 @@ int main(int argc, char** argv) {
   }
   if (files == 0) {
     std::fprintf(stderr,
-                 "usage: %s [--schema bench|fuzz|protect|trace] "
+                 "usage: %s [--schema bench|fuzz|protect|trace|adapt] "
                  "[--require-no-escapes] [--require-ok] REPORT.json...\n",
                  argv[0]);
     return 2;

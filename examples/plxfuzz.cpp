@@ -25,7 +25,11 @@
 //   --advisory        sweep advisory (woven transparent) ranges too
 //   --hardening MODE  cleartext | xor | rc4 | probabilistic
 //   --backend B       tamper (snapshot/restore, default) | patch (static
-//                     image patch via src/attack + fresh VM per mutant)
+//                     image patch via src/attack + fresh VM per mutant) |
+//                     adaptive (searching adversary, src/attack/adaptive;
+//                     writes ADAPT_<name>.json instead of FUZZ_<name>.json)
+//   --adapt-budget N  adaptive: candidate budget per strategy
+//                     (default 64 smoke / 192 full)
 //   --out DIR         report directory (default .)
 #include <chrono>
 #include <cstdio>
@@ -34,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "attack/adaptive/adaptive.h"
+#include "attack/adaptive/report.h"
 #include "fuzz/fuzz.h"
 #include "fuzz/report.h"
 #include "fuzz/targets.h"
@@ -43,6 +49,63 @@
 namespace {
 
 using namespace plx;
+
+// Adaptive campaign: protect the target, then let the searching adversary
+// (src/attack/adaptive) hunt for escapes with its three strategies. Writes
+// ADAPT_<name>.json; exit 1 on any strict-byte escape, like fuzz_one.
+int adapt_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
+              const attack::adaptive::AdaptiveOptions& aopts,
+              parallax::Hardening mode, bool smoke,
+              const std::string& out_dir) {
+  const std::string& name = target.name;
+  auto prot = fuzz::protect_target(target, mode, opts.seed);
+  if (!prot) {
+    std::fprintf(stderr, "plxfuzz: %s\n", prot.error().c_str());
+    return 2;
+  }
+
+  const auto res = attack::adaptive::run_adaptive(
+      prot.value().image, prot.value().protected_ranges, aopts);
+  if (!res.ok) {
+    std::fprintf(stderr, "plxfuzz: %s: golden run did not exit cleanly\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("[%s] golden: exit=%d, %llu instructions; %zu protected bytes "
+              "(%zu strict), %zu gadgets\n",
+              name.c_str(), res.golden.exit_code,
+              static_cast<unsigned long long>(res.golden.instructions),
+              res.protected_bytes, res.strict_bytes, res.gadgets_scanned);
+  for (const auto& s : res.strategies) {
+    std::printf("[%s] %-11s %zu candidates: %zu detected, %zu silent, "
+                "%zu benign, %zu timeout -> %zu escape(s)\n",
+                name.c_str(), s.strategy.c_str(), s.stats.total,
+                s.stats.detected, s.stats.silent_corruption, s.stats.benign,
+                s.stats.timeout, s.stats.escapes.size());
+  }
+
+  attack::adaptive::AdaptReport report;
+  report.name = name;
+  report.smoke = smoke;
+  report.seed = aopts.seed;
+  report.hardening = verify::hardening_name(mode);
+  report.options = aopts;
+  report.result = res;
+  if (!attack::adaptive::write_adapt_json(report, out_dir)) {
+    std::fprintf(stderr, "plxfuzz: cannot write %s/ADAPT_%s.json\n",
+                 out_dir.c_str(), name.c_str());
+    return 2;
+  }
+  std::printf("[%s] wrote %s/ADAPT_%s.json\n", name.c_str(), out_dir.c_str(),
+              name.c_str());
+
+  for (const auto& e : res.total.escapes) {
+    std::fprintf(stderr, "[%s] ESCAPE @%08x (%s, %s): %s\n", name.c_str(),
+                 e.mutation.addr, e.mutation.origin,
+                 fuzz::outcome_name(e.outcome), e.detail.c_str());
+  }
+  return res.escape_count() ? 1 : 0;
+}
 
 int fuzz_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
              parallax::Hardening mode, bool smoke, const std::string& out_dir) {
@@ -85,7 +148,7 @@ int fuzz_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
   report.smoke = smoke;
   report.seed = opts.seed;
   report.hardening = verify::hardening_name(mode);
-  report.backend = opts.backend == fuzz::Backend::VmTamper ? "tamper" : "patch";
+  report.backend = opts.backend;
   report.golden = fuzzer.golden();
   report.protected_bytes = fuzzer.protected_bytes();
   report.strict_bytes = fuzzer.strict_bytes();
@@ -122,6 +185,7 @@ int main(int argc, char** argv) {
   parallax::Hardening mode = parallax::Hardening::Cleartext;
   bool smoke = true;
   int random_override = -1;
+  int adapt_budget_override = -1;
   std::string out_dir = ".";
 
   for (int i = 1; i < argc; ++i) {
@@ -177,12 +241,19 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--backend") {
       const std::string b = need("--backend");
-      if (b == "tamper") opts.backend = fuzz::Backend::VmTamper;
-      else if (b == "patch") opts.backend = fuzz::Backend::ImagePatch;
-      else {
-        std::fprintf(stderr, "plxfuzz: --backend tamper|patch\n");
+      const auto parsed = fuzz::backend_from_name(b);
+      if (!parsed) {
+        std::string names;
+        for (const auto& n : fuzz::backend_names()) {
+          if (!names.empty()) names += "|";
+          names += n;
+        }
+        std::fprintf(stderr, "plxfuzz: --backend %s\n", names.c_str());
         return 2;
       }
+      opts.backend = *parsed;
+    } else if (a == "--adapt-budget") {
+      adapt_budget_override = std::atoi(need("--adapt-budget"));
     } else if (a == "--out") {
       out_dir = need("--out");
     } else {
@@ -192,6 +263,13 @@ int main(int argc, char** argv) {
   }
   if (smoke) opts.random_mutants = 64;
   if (random_override >= 0) opts.random_mutants = random_override;
+
+  attack::adaptive::AdaptiveOptions aopts;
+  aopts.seed = opts.seed;
+  aopts.budget_per_strategy = smoke ? 64 : 192;
+  if (adapt_budget_override >= 0) {
+    aopts.budget_per_strategy = static_cast<std::size_t>(adapt_budget_override);
+  }
 
   std::vector<fuzz::Target> targets;
   for (const auto& n : names) {
@@ -226,13 +304,16 @@ int main(int argc, char** argv) {
                  "usage: plxfuzz --target NAME | --source FILE --vf NAME | "
                  "--all [--seed N] [--smoke | "
                  "--full] [--random N] [--masks full|quick] [--advisory] "
-                 "[--hardening MODE] [--backend tamper|patch] [--out DIR]\n");
+                 "[--hardening MODE] [--backend tamper|patch|adaptive] "
+                 "[--adapt-budget N] [--out DIR]\n");
     return 2;
   }
 
   int rc = 0;
   for (const auto& t : targets) {
-    const int r = fuzz_one(t, opts, mode, smoke, out_dir);
+    const int r = opts.backend == fuzz::Backend::Adaptive
+                      ? adapt_one(t, opts, aopts, mode, smoke, out_dir)
+                      : fuzz_one(t, opts, mode, smoke, out_dir);
     if (r > rc) rc = r;
   }
   return rc;

@@ -1,0 +1,95 @@
+#include "attack/adaptive/adaptive.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "gadget/scanner.h"
+#include "telemetry/trace.h"
+
+namespace plx::attack::adaptive {
+
+void AdaptiveContext::mark(fuzz::Mutation& mu) const {
+  mu.strict = false;
+  mu.protected_ = false;
+  for (std::size_t i = 0; i < mu.bytes.size(); ++i) {
+    const auto it = tiers.find(mu.addr + static_cast<std::uint32_t>(i));
+    if (it == tiers.end()) continue;
+    mu.protected_ = true;
+    mu.strict |= (it->second & fuzz::TamperFuzzer::kTierStrict) != 0;
+  }
+}
+
+EvalOptions AdaptiveContext::eval_options(bool fingerprints) const {
+  EvalOptions eo;
+  eo.step_budget = std::max(
+      opts.min_budget, opts.budget_multiplier * fuzzer.golden().instructions);
+  eo.shards = opts.shards;
+  eo.fingerprints = fingerprints;
+  eo.window_cycles = opts.fingerprint_window_cycles;
+  return eo;
+}
+
+AdaptiveResult run_adaptive(const img::Image& image,
+                            const std::vector<parallax::ProtectedRange>& ranges,
+                            const AdaptiveOptions& opts,
+                            const std::vector<Strategy*>& strategies) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AdaptiveResult res;
+
+  PLX_TRACE_SPAN_VAR(span, "adaptive", "run_adaptive");
+
+  fuzz::TamperFuzzer fuzzer(image, ranges);
+  res.ok = fuzzer.ok();
+  res.golden = fuzzer.golden();
+  if (!res.ok) return res;
+  res.protected_bytes = fuzzer.protected_bytes();
+  res.strict_bytes = fuzzer.strict_bytes();
+
+  // The attacker's own reconnaissance: scan the protected image for usable
+  // gadgets (the verification surface) and replay the golden input once more
+  // to learn which instructions execute.
+  const std::vector<gadget::Gadget> gadgets = gadget::scan(image);
+  res.gadgets_scanned = gadgets.size();
+
+  std::unordered_set<std::uint32_t> start_set;
+  fuzz::record_golden(image, 2'000'000'000ull, &start_set);
+  std::vector<std::uint32_t> exec_starts(start_set.begin(), start_set.end());
+  std::sort(exec_starts.begin(), exec_starts.end());
+  res.exec_insns = exec_starts.size();
+
+  const std::map<std::uint32_t, std::uint8_t> tiers = fuzzer.byte_tiers();
+
+  const Evaluator evaluator(image, fuzzer.golden());
+  const std::vector<double> golden_fp = golden_ret_density(
+      image, 2'000'000'000ull, opts.fingerprint_window_cycles);
+  res.golden_windows = golden_fp.size();
+
+  const AdaptiveContext ctx{image,     fuzzer,    gadgets,   exec_starts,
+                            tiers,     golden_fp, evaluator, opts};
+
+  std::vector<std::unique_ptr<Strategy>> owned;
+  std::vector<Strategy*> run_list = strategies;
+  if (run_list.empty()) {
+    owned = default_strategies();
+    for (const auto& s : owned) run_list.push_back(s.get());
+  }
+
+  for (Strategy* s : run_list) {
+    const auto s0 = std::chrono::steady_clock::now();
+    StrategyOutcome outcome = s->run(ctx);
+    outcome.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+            .count();
+    res.total.merge(outcome.stats);
+    res.strategies.push_back(std::move(outcome));
+  }
+  // merge() sums per-strategy wall time into total.seconds; keep it, and
+  // report the end-to-end time (scan + golden + search) separately.
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace plx::attack::adaptive

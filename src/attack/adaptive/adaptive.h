@@ -1,0 +1,43 @@
+// Adaptive attacker driver: runs the three search strategies against one
+// protected image and aggregates the results (DESIGN.md §14).
+//
+// The driver owns everything the strategies share: the golden oracle (a
+// fuzz::TamperFuzzer), the attacker's own gadget scan of the protected
+// image, the executed-instruction starts, the byte tier map and the golden
+// ret-density fingerprint. plxfuzz wires this up as fuzz::Backend::Adaptive
+// and emits the result as ADAPT_<name>.json (attack/adaptive/report.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/adaptive/strategy.h"
+#include "parallax/protector.h"
+
+namespace plx::attack::adaptive {
+
+struct AdaptiveResult {
+  bool ok = false;              // golden run exited cleanly
+  fuzz::GoldenTrace golden;
+  std::size_t protected_bytes = 0;
+  std::size_t strict_bytes = 0;
+  std::size_t gadgets_scanned = 0;   // usable gadgets the attacker found
+  std::size_t exec_insns = 0;        // distinct executed instruction starts
+  std::size_t golden_windows = 0;    // golden fingerprint resolution
+  std::vector<StrategyOutcome> strategies;
+  fuzz::CampaignStats total;         // merged across strategies
+  double wall_seconds = 0;
+
+  std::size_t escape_count() const { return total.escapes.size(); }
+};
+
+// Runs every default strategy (or `strategies` when non-empty) against
+// `image` with the protected-byte map `ranges`. Deterministic for a fixed
+// seed, budget and build configuration, independent of thread count.
+AdaptiveResult run_adaptive(const img::Image& image,
+                            const std::vector<parallax::ProtectedRange>& ranges,
+                            const AdaptiveOptions& opts = {},
+                            const std::vector<Strategy*>& strategies = {});
+
+}  // namespace plx::attack::adaptive

@@ -1,0 +1,108 @@
+#include "attack/adaptive/evaluate.h"
+
+#include <algorithm>
+#include <span>
+
+#include "support/thread_pool.h"
+#include "vm/machine.h"
+#include "vm/vmtrace.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+std::vector<double> densities(const vm::ExecutionProfiler& prof) {
+  std::vector<double> out;
+  out.reserve(prof.windows().size());
+  for (const auto& w : prof.windows()) out.push_back(w.ret_density());
+  return out;
+}
+
+}  // namespace
+
+std::vector<EvalCase> Evaluator::run(const std::vector<fuzz::Mutation>& cases,
+                                     const EvalOptions& opts) const {
+  std::vector<EvalCase> results(cases.size());
+  if (cases.empty()) return results;
+
+  const std::size_t nshards =
+      std::min<std::size_t>(std::max(1u, opts.shards), cases.size());
+  const std::size_t chunk = (cases.size() + nshards - 1) / nshards;
+
+  support::ThreadPool::shared().parallel_for(nshards, [&](std::size_t shard) {
+    const std::size_t lo = shard * chunk;
+    const std::size_t hi = std::min(lo + chunk, cases.size());
+    if (lo >= hi) return;
+
+    vm::Machine m(image_);
+    const vm::Machine::Snapshot pristine = m.snapshot();
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      const fuzz::Mutation& mu = cases[i];
+      EvalCase& out = results[i];
+      out.result.mutation = mu;
+
+      m.restore(pristine);
+      m.tamper(mu.addr, std::span<const std::uint8_t>(mu.bytes));
+      // A fresh profiler per candidate: windows must start at cycle zero of
+      // the mutant run, not wherever the previous candidate stopped.
+      vm::ExecutionProfiler prof({}, opts.window_cycles);
+      if (opts.fingerprints) prof.attach(m);
+      const auto r = m.run(opts.step_budget);
+      if (opts.fingerprints) {
+        prof.finish();
+        m.retire_observer = nullptr;
+        out.ret_density = densities(prof);
+      }
+      out.result.outcome =
+          fuzz::classify(golden_, m, r, mu.protected_, &out.result.detail);
+      out.result.instructions = r.instructions;
+    }
+  });
+  return results;
+}
+
+fuzz::CampaignStats Evaluator::tally(const std::vector<EvalCase>& cases) {
+  fuzz::CampaignStats stats;
+  stats.total = cases.size();
+  for (const EvalCase& c : cases) {
+    stats.mutant_instructions += c.result.instructions;
+    switch (c.result.outcome) {
+      case fuzz::Outcome::Detected: ++stats.detected; break;
+      case fuzz::Outcome::SilentCorruption: ++stats.silent_corruption; break;
+      case fuzz::Outcome::Benign: ++stats.benign; break;
+      case fuzz::Outcome::Timeout: ++stats.timeout; break;
+    }
+    if (c.result.mutation.strict &&
+        c.result.outcome == fuzz::Outcome::SilentCorruption) {
+      stats.escapes.push_back(c.result);
+    }
+  }
+  return stats;
+}
+
+std::vector<double> golden_ret_density(const img::Image& image,
+                                       std::uint64_t step_budget,
+                                       std::uint64_t window_cycles) {
+  vm::Machine m(image);
+  vm::ExecutionProfiler prof({}, window_cycles);
+  prof.attach(m);
+  m.run(step_budget);
+  prof.finish();
+  m.retire_observer = nullptr;
+  return densities(prof);
+}
+
+double fingerprint_divergence(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double d = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = i < a.size() ? a[i] : 0;
+    const double bv = i < b.size() ? b[i] : 0;
+    d += av > bv ? av - bv : bv - av;
+  }
+  return d;
+}
+
+}  // namespace plx::attack::adaptive

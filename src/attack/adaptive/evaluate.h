@@ -1,0 +1,69 @@
+// Candidate evaluator for the adaptive attacker: sharded mutant execution
+// with optional per-candidate ret-density fingerprints.
+//
+// Mirrors fuzz::TamperFuzzer::run_cases — one vm::Machine per shard, a
+// pristine Snapshot taken once, restore -> tamper -> run -> classify per
+// candidate — but additionally attaches a vm::ExecutionProfiler per run when
+// the caller asks for fingerprints, so the fingerprint strategy can measure
+// each mutant's ret-density timeline in the same pass that classifies it.
+// Results are indexed by candidate, so they are independent of sharding and
+// thread count.
+//
+// Fingerprints require the VM retire observer, which is compiled out under
+// PLX_TRACE=OFF: there, ret_density comes back empty for every candidate and
+// divergence degrades to 0. Classification is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+#include "image/image.h"
+
+namespace plx::attack::adaptive {
+
+struct EvalCase {
+  fuzz::CaseResult result;
+  // Per-window ret density of the mutant run (empty unless requested and
+  // PLX_TRACE is compiled in).
+  std::vector<double> ret_density;
+};
+
+struct EvalOptions {
+  std::uint64_t step_budget = 1'000'000;  // guest instructions per mutant
+  unsigned shards = 64;
+  bool fingerprints = false;
+  std::uint64_t window_cycles = 1024;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const img::Image& image, const fuzz::GoldenTrace& golden)
+      : image_(image), golden_(golden) {}
+
+  // Runs every candidate and classifies it against the golden trace.
+  // results[i] corresponds to cases[i].
+  std::vector<EvalCase> run(const std::vector<fuzz::Mutation>& cases,
+                            const EvalOptions& opts) const;
+
+  // Folds per-case results into campaign stats (escapes = strict mutants
+  // classified SILENT_CORRUPTION, the fuzz-harness rule).
+  static fuzz::CampaignStats tally(const std::vector<EvalCase>& cases);
+
+ private:
+  const img::Image& image_;
+  const fuzz::GoldenTrace& golden_;
+};
+
+// Golden-run ret-density timeline (empty under PLX_TRACE=OFF).
+std::vector<double> golden_ret_density(const img::Image& image,
+                                       std::uint64_t step_budget,
+                                       std::uint64_t window_cycles);
+
+// L1 distance between two ret-density timelines, padding the shorter with
+// zero-density windows: a mutant that dies early diverges by the mass of
+// every golden window it never reached.
+double fingerprint_divergence(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace plx::attack::adaptive

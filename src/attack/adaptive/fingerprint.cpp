@@ -1,0 +1,177 @@
+// Strategy 3: fingerprint-guided escape hunting.
+//
+// ROPocop detects ROP by its ret-frequency anomaly; Parallax's verification
+// chains ARE that anomaly, so the signal cuts both ways: an adversary who
+// can profile the protected program (the vmtrace ret-density timeline)
+// learns which cycle windows are chain execution — and a mutant whose
+// timeline matches the golden one *looked* like it still ran every chain.
+// Divergence from the golden fingerprint is therefore the search signal: a
+// detected mutant with near-zero divergence derailed nothing structural and
+// is the best base for follow-up mutations; a faulting mutant with huge
+// divergence is a dead end. Classic hill-climbing over the single-byte
+// mutation neighbourhood, seeded and fully deterministic:
+//
+//   generation 0   seeded splitmix picks over the strict byte list
+//   survivors      candidates ranked by (divergence, addr, mask) ascending
+//   generation n   neighbours of the best survivors (addr +-1, +-2 with the
+//                  same mask; canonical masks at the same addr), refilled
+//                  with seeded picks when the neighbourhood is exhausted
+//
+// Every draw comes from a per-index splitmix stream of the campaign seed and
+// every ranking tie-breaks on (addr, mask), so the candidate sequence is
+// identical for identical seed regardless of thread count. Under
+// PLX_TRACE=OFF the timeline is empty, all divergences are 0 and the search
+// degrades to a deterministic seeded walk — same contract, weaker signal.
+#include <algorithm>
+#include <set>
+
+#include "attack/adaptive/evaluate.h"
+#include "attack/adaptive/strategy.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+constexpr std::uint8_t kMasks[] = {0x01, 0x80, 0xff};
+
+std::uint64_t splitmix(std::uint64_t seed, std::uint64_t i) {
+  std::uint64_t z = seed + (i + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Scored {
+  double divergence = 0;
+  std::uint32_t addr = 0;
+  std::uint8_t mask = 0;
+
+  bool operator<(const Scored& o) const {
+    if (divergence != o.divergence) return divergence < o.divergence;
+    if (addr != o.addr) return addr < o.addr;
+    return mask < o.mask;
+  }
+};
+
+class FingerprintStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "fingerprint"; }
+
+  StrategyOutcome run(const AdaptiveContext& ctx) override {
+    StrategyOutcome out;
+    out.strategy = name();
+
+    // The search space: strict bytes first (that is where an escape would
+    // count), falling back to all protected bytes for unprotected inputs.
+    std::vector<std::uint32_t> pool;
+    for (const auto& [addr, tier] : ctx.tiers) {
+      if (tier & fuzz::TamperFuzzer::kTierStrict) pool.push_back(addr);
+    }
+    if (pool.empty()) {
+      for (const auto& [addr, tier] : ctx.tiers) pool.push_back(addr);
+    }
+    if (pool.empty()) return out;  // nothing to search
+
+    const std::size_t budget = ctx.opts.budget_per_strategy;
+    std::set<std::pair<std::uint32_t, std::uint8_t>> visited;
+    std::vector<Scored> survivors;
+    std::uint64_t draw = 0;  // seeded-stream index, shared by all refills
+    double best = -1;
+    std::size_t rounds = 0;
+
+    const auto seeded_pick = [&]() -> std::pair<std::uint32_t, std::uint8_t> {
+      const std::uint64_t r = splitmix(ctx.opts.seed ^ 0xf19e9u, draw++);
+      const std::uint32_t addr =
+          pool[static_cast<std::size_t>(r % pool.size())];
+      const std::uint8_t mask = kMasks[(r >> 32) % 3];
+      return {addr, mask};
+    };
+
+    while (out.candidates.size() < budget) {
+      // Assemble the next generation: neighbours of the best survivors
+      // first, then seeded refills. Bounded draws so an exhausted search
+      // space cannot loop forever.
+      std::vector<std::pair<std::uint32_t, std::uint8_t>> gen;
+      const std::size_t gen_cap =
+          std::min<std::size_t>(16, budget - out.candidates.size());
+      const std::size_t frontier = std::min<std::size_t>(4, survivors.size());
+      for (std::size_t i = 0; i < frontier && gen.size() < gen_cap; ++i) {
+        const Scored& s = survivors[i];
+        const std::int32_t deltas[] = {-2, -1, 1, 2};
+        for (std::int32_t d : deltas) {
+          if (gen.size() >= gen_cap) break;
+          const std::uint32_t a = s.addr + static_cast<std::uint32_t>(d);
+          if (!ctx.image.section_at(a)) continue;
+          if (visited.emplace(a, s.mask).second) gen.emplace_back(a, s.mask);
+        }
+        for (std::uint8_t mask : kMasks) {
+          if (gen.size() >= gen_cap) break;
+          if (mask == s.mask) continue;
+          if (visited.emplace(s.addr, mask).second)
+            gen.emplace_back(s.addr, mask);
+        }
+      }
+      for (std::uint64_t tries = 0;
+           gen.size() < gen_cap && tries < 64 * gen_cap; ++tries) {
+        const auto pick = seeded_pick();
+        if (visited.emplace(pick.first, pick.second).second)
+          gen.push_back(pick);
+      }
+      if (gen.empty()) break;  // search space exhausted
+
+      std::vector<fuzz::Mutation> muts;
+      muts.reserve(gen.size());
+      for (const auto& [addr, mask] : gen) {
+        const auto orig = ctx.image.read(addr, 1);
+        fuzz::Mutation mu;
+        mu.addr = addr;
+        mu.bytes = {static_cast<std::uint8_t>((orig.empty() ? 0 : orig[0]) ^
+                                              mask)};
+        mu.origin = "fingerprint";
+        ctx.mark(mu);
+        muts.push_back(std::move(mu));
+      }
+
+      const auto results = ctx.evaluator.run(muts, ctx.eval_options(true));
+      out.stats.merge(Evaluator::tally(results));
+      out.candidates.insert(out.candidates.end(), muts.begin(), muts.end());
+
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        Scored s;
+        s.divergence = fingerprint_divergence(ctx.golden_fingerprint,
+                                              results[i].ret_density);
+        s.addr = gen[i].first;
+        s.mask = gen[i].second;
+        survivors.push_back(s);
+      }
+      std::sort(survivors.begin(), survivors.end());
+      if (survivors.size() > 8) survivors.resize(8);
+      best = survivors.empty() ? -1 : survivors.front().divergence;
+      ++rounds;
+    }
+
+    out.counters.emplace_back("rounds", rounds);
+    out.counters.emplace_back("search_pool_bytes", pool.size());
+    out.counters.emplace_back("golden_windows", ctx.golden_fingerprint.size());
+    out.counters.emplace_back(
+        "best_divergence_millionths",
+        best < 0 ? 0 : static_cast<std::uint64_t>(best * 1e6));
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_fingerprint_strategy() {
+  return std::make_unique<FingerprintStrategy>();
+}
+
+std::vector<std::unique_ptr<Strategy>> default_strategies() {
+  std::vector<std::unique_ptr<Strategy>> out;
+  out.push_back(make_targeting_strategy());
+  out.push_back(make_preserving_strategy());
+  out.push_back(make_fingerprint_strategy());
+  return out;
+}
+
+}  // namespace plx::attack::adaptive

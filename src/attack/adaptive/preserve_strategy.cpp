@@ -1,0 +1,63 @@
+// Strategy 2: gadget-preserving patches (generator in preserving.cpp).
+//
+// Every candidate changes exactly one executed-instruction byte that lies in
+// no usable gadget, so by construction no chain ever fetches a changed byte
+// — implicit verification is blind to the rewrite and only the program's own
+// behaviour can betray it. These candidates are never strict (strict bytes
+// are covered gadget bytes), so they can never count as escapes; what the
+// campaign measures instead is how many of them the oracle still catches
+// behaviourally (detected vs silent_corruption/benign), i.e. how much of the
+// attack surface outside the verified bytes the golden trace covers. That is
+// the honest limit of implicit verification, reported rather than hidden.
+#include <algorithm>
+
+#include "attack/adaptive/evaluate.h"
+#include "attack/adaptive/preserving.h"
+#include "attack/adaptive/strategy.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+class PreservingStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "preserve"; }
+
+  StrategyOutcome run(const AdaptiveContext& ctx) override {
+    StrategyOutcome out;
+    out.strategy = name();
+
+    PreservingOptions gen;
+    gen.max_per_insn = ctx.opts.preserve_max_per_insn;
+    gen.max_total = ctx.opts.budget_per_strategy;
+    const auto patches = generate_preserving_patches(ctx.image, ctx.gadgets,
+                                                     ctx.exec_starts, gen);
+
+    std::size_t touched_protected = 0;
+    for (const PreservingPatch& p : patches) {
+      fuzz::Mutation mu;
+      mu.addr = p.addr();
+      mu.bytes = {p.replacement};
+      mu.origin = "preserve";
+      ctx.mark(mu);
+      touched_protected += mu.protected_ ? 1 : 0;
+      out.candidates.push_back(std::move(mu));
+    }
+
+    const auto results =
+        ctx.evaluator.run(out.candidates, ctx.eval_options(false));
+    out.stats = Evaluator::tally(results);
+    out.counters.emplace_back("patches_generated", patches.size());
+    out.counters.emplace_back("patched_protected_bytes", touched_protected);
+    out.counters.emplace_back("exec_insn_starts", ctx.exec_starts.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_preserving_strategy() {
+  return std::make_unique<PreservingStrategy>();
+}
+
+}  // namespace plx::attack::adaptive

@@ -1,0 +1,145 @@
+#include "attack/adaptive/preserving.h"
+
+#include <algorithm>
+
+#include "gadget/scanner.h"
+#include "x86/decoder.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+// The self-check re-scans this many bytes either side of the instruction.
+// Any gadget overlapping the instruction starts within max_bytes (30) before
+// it and decodes at most max_bytes past its own start, so 64 covers every
+// byte whose decode can reach the patched range — the windowed scan agrees
+// with a full-image scan over the gadgets we compare (the property test
+// asserts exactly that with a full re-scan).
+constexpr std::uint32_t kScanMargin = 64;
+
+// (addr, gadget bytes) identity of every usable gadget in `gadgets` that
+// overlaps [lo, hi), pulled out of `window` (which starts at `base`).
+std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+overlapping_identities(const std::vector<gadget::Gadget>& gadgets,
+                       std::span<const std::uint8_t> window,
+                       std::uint32_t base, std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> out;
+  for (const auto& g : gadgets) {
+    if (g.addr >= hi || g.end() <= lo) continue;
+    const std::size_t off = g.addr - base;
+    out.emplace_back(g.addr,
+                     std::vector<std::uint8_t>(window.begin() + off,
+                                               window.begin() + off + g.len));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::map<std::uint32_t, std::uint32_t> gadget_byte_coverage(
+    const std::vector<gadget::Gadget>& gadgets) {
+  std::map<std::uint32_t, std::uint32_t> cover;
+  for (const auto& g : gadgets) {
+    if (!g.usable()) continue;
+    for (std::uint32_t a = g.addr; a < g.end(); ++a) ++cover[a];
+  }
+  return cover;
+}
+
+bool same_semantics(const x86::Insn& a, const x86::Insn& b) {
+  if (a.op != b.op || a.cond != b.cond || a.opsize != b.opsize ||
+      a.nops != b.nops) {
+    return false;
+  }
+  for (int i = 0; i < a.nops; ++i) {
+    if (!(a.ops[static_cast<std::size_t>(i)] ==
+          b.ops[static_cast<std::size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<PreservingPatch> generate_preserving_patches(
+    const img::Image& image, const std::vector<gadget::Gadget>& gadgets,
+    const std::vector<std::uint32_t>& insn_starts,
+    const PreservingOptions& opts) {
+  std::vector<PreservingPatch> patches;
+  if (opts.max_total == 0) return patches;
+
+  const auto cover = gadget_byte_coverage(gadgets);
+  std::vector<std::uint32_t> starts = insn_starts;
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  gadget::ScanOptions scan_opts = opts.scan;
+  scan_opts.include_unusable = false;
+  scan_opts.parallel = false;  // tiny windows; keep the check on this thread
+
+  for (std::uint32_t s : starts) {
+    const img::Section* sec = image.section_at(s);
+    if (!sec || (sec->perms & img::kPermExec) == 0) continue;
+    const auto window15 = image.read(s, 15);
+    const auto insn = x86::decode(window15);
+    if (!insn || !insn->valid()) continue;
+    const std::uint8_t len = insn->len;
+    if (s + len > sec->vaddr + sec->bytes.size()) continue;
+
+    // Scan window around the instruction, clamped to the section.
+    const std::uint32_t wlo =
+        s - sec->vaddr >= kScanMargin ? s - kScanMargin : sec->vaddr;
+    const std::uint32_t sec_end =
+        sec->vaddr + static_cast<std::uint32_t>(sec->bytes.size());
+    const std::uint32_t whi = std::min(sec_end, s + len + kScanMargin);
+    const auto before_bytes = image.read(wlo, whi - wlo);
+    const auto before_gadgets = gadget::scan_bytes(
+        std::span<const std::uint8_t>(before_bytes), wlo, scan_opts);
+    const auto before_ids = overlapping_identities(
+        before_gadgets, std::span<const std::uint8_t>(before_bytes), wlo, s,
+        s + len);
+
+    int kept = 0;
+    for (std::uint8_t off = 0; off < len && kept < opts.max_per_insn; ++off) {
+      if (cover.count(s + off) != 0) continue;  // gadget byte: hands off
+      const std::uint8_t orig = before_bytes[s + off - wlo];
+      for (int v = 0; v < 256 && kept < opts.max_per_insn; ++v) {
+        const std::uint8_t b = static_cast<std::uint8_t>(v);
+        if (b == orig) continue;
+
+        std::vector<std::uint8_t> window = window15;
+        window[off] = b;
+        const auto after =
+            x86::decode(std::span<const std::uint8_t>(window));
+        if (!after || !after->valid() || after->len != len) continue;
+        if (same_semantics(*insn, *after)) continue;
+
+        // Self-check: the usable gadgets overlapping the instruction must be
+        // byte-identical after the patch.
+        std::vector<std::uint8_t> after_bytes = before_bytes;
+        after_bytes[s + off - wlo] = b;
+        const auto after_gadgets = gadget::scan_bytes(
+            std::span<const std::uint8_t>(after_bytes), wlo, scan_opts);
+        const auto after_ids = overlapping_identities(
+            after_gadgets, std::span<const std::uint8_t>(after_bytes), wlo, s,
+            s + len);
+        if (after_ids != before_ids) continue;
+
+        PreservingPatch p;
+        p.insn_addr = s;
+        p.insn_len = len;
+        p.offset = off;
+        p.original = orig;
+        p.replacement = b;
+        p.before = *insn;
+        p.after = *after;
+        patches.push_back(p);
+        ++kept;
+        if (patches.size() >= opts.max_total) return patches;
+      }
+    }
+  }
+  return patches;
+}
+
+}  // namespace plx::attack::adaptive

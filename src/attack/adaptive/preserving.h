@@ -1,0 +1,77 @@
+// Gadget-preserving patch generation: rewrite an executed instruction into a
+// semantically different one without disturbing a single gadget byte.
+//
+// This is the patch class most likely to evade implicit verification
+// ("Hiding in the Particles" builds whole transformation systems around it):
+// Parallax only verifies bytes that verification chains fetch and execute,
+// i.e. gadget bytes, so a byte that sits inside an executed instruction but
+// inside *no* overlapped gadget can change program behaviour while every
+// chain still hashes/executes the exact bytes it was compiled against.
+//
+// The generator enumerates executed instruction starts, decodes each
+// instruction (src/x86), and searches single-byte rewrites that (a) still
+// decode to a valid instruction of the same length, (b) change the decoded
+// semantics (mnemonic, condition, operands or operation width), and (c) do
+// not touch any byte covered by a usable gadget. Every accepted patch is
+// additionally self-checked by re-scanning a window around the instruction
+// and asserting the set of usable gadgets overlapping the patched range is
+// byte-identical before and after — the same invariant the property test in
+// tests/test_adaptive.cpp asserts with a full-image re-scan (catches both
+// generator bugs and encoder/decoder drift).
+//
+// Enumeration order is fixed (instruction start ascending, byte offset
+// ascending, replacement value ascending), so generation is deterministic
+// with no randomness at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gadget/gadget.h"
+#include "gadget/scanner.h"
+#include "image/image.h"
+#include "x86/insn.h"
+
+namespace plx::attack::adaptive {
+
+// Byte address -> number of usable gadgets whose [addr, end) covers it.
+std::map<std::uint32_t, std::uint32_t> gadget_byte_coverage(
+    const std::vector<gadget::Gadget>& gadgets);
+
+// Semantic equality of two decoded instructions: mnemonic, condition,
+// operation width and operands (encoding hints like wide_imm are ignored —
+// two encodings of the same operation are the *same* semantics).
+bool same_semantics(const x86::Insn& a, const x86::Insn& b);
+
+struct PreservingPatch {
+  std::uint32_t insn_addr = 0;   // start of the rewritten instruction
+  std::uint8_t insn_len = 0;     // its encoded length (unchanged by the patch)
+  std::uint8_t offset = 0;       // changed byte offset within the instruction
+  std::uint8_t original = 0;     // byte value before
+  std::uint8_t replacement = 0;  // byte value after
+  x86::Insn before;              // decode at insn_addr before the patch
+  x86::Insn after;               // decode at insn_addr after the patch
+
+  std::uint32_t addr() const { return insn_addr + offset; }
+};
+
+struct PreservingOptions {
+  // Patches kept per instruction before moving on (the strategy wants broad
+  // coverage; the property test raises this to mass-produce patches).
+  int max_per_insn = 2;
+  std::size_t max_total = static_cast<std::size_t>(-1);
+  // Must match the options used to produce `gadgets`, or the self-check
+  // would compare against a differently-capped scan.
+  gadget::ScanOptions scan;
+};
+
+// Generates patches for the executed instructions `insn_starts` (absolute
+// addresses, any order; deduplicated and sorted internally) of `image`.
+// `gadgets` is the usable-gadget scan of the same image.
+std::vector<PreservingPatch> generate_preserving_patches(
+    const img::Image& image, const std::vector<gadget::Gadget>& gadgets,
+    const std::vector<std::uint32_t>& insn_starts,
+    const PreservingOptions& opts = {});
+
+}  // namespace plx::attack::adaptive

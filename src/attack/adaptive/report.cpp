@@ -1,0 +1,132 @@
+#include "attack/adaptive/report.h"
+
+#include <fstream>
+
+#include "telemetry/report.h"
+#include "telemetry/schema.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+using telemetry::JsonWriter;
+
+std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t total_syscalls(const fuzz::GoldenTrace& g) {
+  std::uint64_t n = 0;
+  for (const auto& [num, count] : g.syscalls) n += count;
+  return n;
+}
+
+void emit_outcomes(JsonWriter& w, const fuzz::CampaignStats& s) {
+  w.field_u64("total", s.total);
+  w.field_u64("detected", s.detected);
+  w.field_u64("silent_corruption", s.silent_corruption);
+  w.field_u64("benign", s.benign);
+  w.field_u64("timeout", s.timeout);
+  w.field_u64("escapes", s.escapes.size());
+}
+
+}  // namespace
+
+bool write_adapt_json(const AdaptReport& report, const std::string& dir) {
+  const std::string path = dir + "/ADAPT_" + report.name + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+
+  const AdaptiveResult& res = report.result;
+
+  JsonWriter w(out);
+  telemetry::write_envelope(w, telemetry::kToolAdapt, report.name);
+  w.field_bool("smoke", report.smoke);
+  w.field_u64("seed", report.seed);
+  w.field_str("hardening", report.hardening);
+  w.field_str("backend", fuzz::backend_name(report.backend));
+  w.field_num("wall_seconds_total", res.wall_seconds);
+
+  w.begin_object("golden");
+  w.field_int("exit_code", res.golden.exit_code);
+  w.field_u64("instructions", res.golden.instructions);
+  w.field_u64("cycles", res.golden.cycles);
+  w.field_u64("output_bytes", res.golden.output.size());
+  w.field_u64("syscall_invocations", total_syscalls(res.golden));
+  w.end_object();
+
+  w.begin_object("coverage");
+  w.field_u64("protected_bytes", res.protected_bytes);
+  w.field_u64("strict_bytes", res.strict_bytes);
+  w.field_u64("gadgets_scanned", res.gadgets_scanned);
+  w.field_u64("exec_insns", res.exec_insns);
+  w.field_u64("golden_windows", res.golden_windows);
+  w.end_object();
+
+  w.begin_object("budget");
+  w.field_u64("per_strategy", report.options.budget_per_strategy);
+  w.field_u64("strategies", res.strategies.size());
+  w.field_u64("shards", report.options.shards);
+  w.field_u64("fingerprint_window_cycles",
+              report.options.fingerprint_window_cycles);
+  w.end_object();
+
+  // Per-strategy detail, attack order. Arrays are exempt from baseline
+  // gating (telemetry/compare.cpp), so the flat "attribution" object below
+  // repeats the gateable numbers.
+  w.begin_array("strategies");
+  for (const StrategyOutcome& s : res.strategies) {
+    w.begin_object();
+    w.field_str("strategy", s.strategy);
+    emit_outcomes(w, s.stats);
+    w.field_u64("mutant_instructions", s.stats.mutant_instructions);
+    w.field_num("seconds", s.stats.seconds);
+    w.begin_object("counters");
+    for (const auto& [name, value] : s.counters) w.field_u64(name, value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Flat per-strategy attribution: every leaf is numeric and deterministic
+  // for a fixed seed/budget/build, so `plxreport gate` pins them all exactly.
+  w.begin_object("attribution");
+  for (const StrategyOutcome& s : res.strategies) {
+    w.field_u64(s.strategy + "_candidates", s.candidates.size());
+    w.field_u64(s.strategy + "_detected", s.stats.detected);
+    w.field_u64(s.strategy + "_silent", s.stats.silent_corruption);
+    w.field_u64(s.strategy + "_benign", s.stats.benign);
+    w.field_u64(s.strategy + "_timeout", s.stats.timeout);
+    w.field_u64(s.strategy + "_escapes", s.stats.escapes.size());
+    for (const auto& [name, value] : s.counters) {
+      w.field_u64(s.strategy + "_" + name, value);
+    }
+  }
+  w.end_object();
+
+  w.begin_object("outcomes");
+  emit_outcomes(w, res.total);
+  w.end_object();
+
+  w.begin_array("escapes");
+  for (const fuzz::CaseResult& e : res.total.escapes) {
+    w.begin_object();
+    w.field_u64("addr", e.mutation.addr);
+    w.field_str("bytes", hex_bytes(e.mutation.bytes));
+    w.field_str("origin", e.mutation.origin);
+    w.field_str("outcome", fuzz::outcome_name(e.outcome));
+    w.field_str("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return static_cast<bool>(out);
+}
+
+}  // namespace plx::attack::adaptive

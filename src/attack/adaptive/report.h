@@ -1,0 +1,30 @@
+// ADAPT_<name>.json emission — the adaptive-attacker analogue of
+// FUZZ_<name>.json (src/fuzz/report.h), written through the shared schema-v2
+// envelope (telemetry/schema.h, tool "adapt"). Schema documented in
+// README.md; checked by bench/validate_envelope; numeric leaves gated
+// against bench/baselines/BASELINE_adapt_<name>.json by `plxreport gate`.
+#pragma once
+
+#include <string>
+
+#include "attack/adaptive/adaptive.h"
+#include "fuzz/fuzz.h"
+
+namespace plx::attack::adaptive {
+
+struct AdaptReport {
+  std::string name;       // target name; file becomes ADAPT_<name>.json
+  bool smoke = false;
+  std::uint64_t seed = 0;
+  std::string hardening;  // verify::hardening_name of the protected image
+  fuzz::Backend backend = fuzz::Backend::Adaptive;
+  AdaptiveOptions options;
+  AdaptiveResult result;
+};
+
+// Writes <dir>/ADAPT_<name>.json. Returns false if the file cannot be
+// written. Escapes are listed verbatim (with the strategy that found them)
+// so a CI failure names the exact surviving mutant.
+bool write_adapt_json(const AdaptReport& report, const std::string& dir = ".");
+
+}  // namespace plx::attack::adaptive

@@ -1,0 +1,102 @@
+// Adaptive attacker: the common Strategy interface (DESIGN.md §14).
+//
+// Parallax's evaluation (§VI) assumes a patching adversary; the static
+// attackers in src/attack (Wurster patcher, byte patcher) model exactly that
+// and nothing more. This module models a *searching* adversary that turns
+// the repo's own machinery against itself: the gadget scanner locates the
+// verification surface, the x86 decoder crafts gadget-preserving rewrites,
+// and the vmtrace ret-density fingerprint (ROPocop's detection signal,
+// inverted) guides a hill-climbing search for silent mutants.
+//
+// Each attack shape is one Strategy behind this interface. A strategy reads
+// a shared AdaptiveContext (protected image, golden oracle, the attacker's
+// own gadget scan, byte tiers, golden fingerprint, candidate evaluator),
+// spends a fixed candidate budget, and returns a StrategyOutcome — the
+// classified campaign stats plus the exact ordered candidate sequence it
+// tried. Determinism contract: for a fixed seed, budget and build
+// configuration, the candidate sequence is identical across runs and thread
+// counts (tests/test_adaptive.cpp asserts it); randomness only ever comes
+// from per-index splitmix streams of AdaptiveOptions::seed, never from
+// iteration order of unordered containers or from wall-clock state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/adaptive/evaluate.h"
+#include "fuzz/fuzz.h"
+#include "gadget/gadget.h"
+#include "image/image.h"
+
+namespace plx::attack::adaptive {
+
+struct AdaptiveOptions {
+  std::uint64_t seed = 0x9a11a;
+  // Candidate budget per strategy (one candidate == one mutant execution).
+  std::size_t budget_per_strategy = 64;
+  // Mutant sharding over support/thread_pool; fixed like fuzz::CampaignOptions
+  // so results do not depend on the host thread count.
+  unsigned shards = 64;
+  // Mutant step budget = max(min_budget, budget_multiplier * golden insns).
+  std::uint64_t budget_multiplier = 16;
+  std::uint64_t min_budget = 1'000'000;
+  // Ret-density timeline resolution for the fingerprint strategy. Smaller
+  // than the vmtrace default: adaptive targets are small programs and the
+  // search needs several windows per run to see a shape.
+  std::uint64_t fingerprint_window_cycles = 1024;
+  // Gadget-preserving generator: candidate encodings kept per instruction.
+  int preserve_max_per_insn = 2;
+};
+
+// Everything a strategy may read. Built once per campaign by
+// AdaptiveAttacker; strategies own no state across run() calls.
+struct AdaptiveContext {
+  const img::Image& image;                    // protected image under attack
+  const fuzz::TamperFuzzer& fuzzer;           // golden oracle + tier map
+  const std::vector<gadget::Gadget>& gadgets; // attacker's own usable-gadget scan
+  const std::vector<std::uint32_t>& exec_starts;  // executed insn starts, sorted
+  // Byte -> fuzz::TamperFuzzer tier flags (kTierProtected / kTierStrict).
+  const std::map<std::uint32_t, std::uint8_t>& tiers;
+  // Golden ret-density timeline (one value per window); empty when the build
+  // has no retire observer (PLX_TRACE=OFF) — strategies must degrade, not die.
+  const std::vector<double>& golden_fingerprint;
+  const Evaluator& evaluator;
+  const AdaptiveOptions& opts;
+
+  // Stamps strict/protected_ on a mutation from the tier map (same rule the
+  // random campaign uses: any touched byte counts).
+  void mark(fuzz::Mutation& mu) const;
+
+  // Evaluator options with the fuzz-harness step-budget rule
+  // (max(min_budget, budget_multiplier * golden instructions)).
+  EvalOptions eval_options(bool fingerprints) const;
+};
+
+struct StrategyOutcome {
+  std::string strategy;       // Strategy::name()
+  fuzz::CampaignStats stats;  // classified results, escapes included
+  // The exact candidates tried, in evaluation order — the determinism
+  // contract is stated over this sequence.
+  std::vector<fuzz::Mutation> candidates;
+  // Strategy-specific counters, name -> value, insertion order preserved.
+  // Flattened into the ADAPT_*.json "attribution" object.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual const char* name() const = 0;
+  virtual StrategyOutcome run(const AdaptiveContext& ctx) = 0;
+};
+
+// The three shapes, in reporting order.
+std::unique_ptr<Strategy> make_targeting_strategy();    // "target"
+std::unique_ptr<Strategy> make_preserving_strategy();   // "preserve"
+std::unique_ptr<Strategy> make_fingerprint_strategy();  // "fingerprint"
+std::vector<std::unique_ptr<Strategy>> default_strategies();
+
+}  // namespace plx::attack::adaptive

@@ -1,0 +1,78 @@
+// Strategy 1: gadget-aware targeting.
+//
+// A blind sweep spends its budget uniformly; an adversary with the gadget
+// scanner knows better. The bytes covered by the most overlapping gadgets
+// are where the verification surface is densest — exactly where a tamper is
+// most likely to be caught, and therefore exactly the claim worth attacking
+// hardest: if any high-coverage byte tolerates a flip, the implicit
+// verification story has a hole where it should be strongest. Rank every
+// byte by usable-gadget coverage (count descending, address ascending for
+// determinism) and spend the whole candidate budget on the top of the
+// ranking with the sweep's canonical mask set.
+#include <algorithm>
+
+#include "attack/adaptive/evaluate.h"
+#include "attack/adaptive/preserving.h"
+#include "attack/adaptive/strategy.h"
+
+namespace plx::attack::adaptive {
+
+namespace {
+
+constexpr std::uint8_t kMasks[] = {0x01, 0x80, 0xff};
+
+class TargetingStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "target"; }
+
+  StrategyOutcome run(const AdaptiveContext& ctx) override {
+    StrategyOutcome out;
+    out.strategy = name();
+
+    const auto cover = gadget_byte_coverage(ctx.gadgets);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranked;  // (addr, n)
+    ranked.reserve(cover.size());
+    for (const auto& [addr, n] : cover) ranked.emplace_back(addr, n);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.second != b.second) return a.second > b.second;
+                       return a.first < b.first;
+                     });
+
+    std::uint32_t max_cover = 0;
+    for (const auto& [addr, n] : ranked) max_cover = std::max(max_cover, n);
+
+    std::size_t bytes_probed = 0;
+    for (const auto& [addr, n] : ranked) {
+      if (out.candidates.size() >= ctx.opts.budget_per_strategy) break;
+      const auto orig = ctx.image.read(addr, 1);
+      if (orig.empty()) continue;
+      ++bytes_probed;
+      for (std::uint8_t mask : kMasks) {
+        if (out.candidates.size() >= ctx.opts.budget_per_strategy) break;
+        fuzz::Mutation mu;
+        mu.addr = addr;
+        mu.bytes = {static_cast<std::uint8_t>(orig[0] ^ mask)};
+        mu.origin = "target";
+        ctx.mark(mu);
+        out.candidates.push_back(std::move(mu));
+      }
+    }
+
+    const auto results =
+        ctx.evaluator.run(out.candidates, ctx.eval_options(false));
+    out.stats = Evaluator::tally(results);
+    out.counters.emplace_back("bytes_probed", bytes_probed);
+    out.counters.emplace_back("max_gadget_cover", max_cover);
+    out.counters.emplace_back("covered_bytes_total", cover.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_targeting_strategy() {
+  return std::make_unique<TargetingStrategy>();
+}
+
+}  // namespace plx::attack::adaptive

@@ -23,10 +23,36 @@ std::uint64_t derive(std::uint64_t seed, std::uint64_t i) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint8_t kProtectedBit = 1;
-constexpr std::uint8_t kStrictBit = 2;
+constexpr std::uint8_t kProtectedBit = TamperFuzzer::kTierProtected;
+constexpr std::uint8_t kStrictBit = TamperFuzzer::kTierStrict;
 
 }  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+#define PLX_FUZZ_BACKEND_NAME(ident, name) \
+  case Backend::ident: return name;
+    PLX_FUZZ_BACKEND_LIST(PLX_FUZZ_BACKEND_NAME)
+#undef PLX_FUZZ_BACKEND_NAME
+  }
+  return "?";
+}
+
+std::optional<Backend> backend_from_name(const std::string& name) {
+#define PLX_FUZZ_BACKEND_PARSE(ident, wire) \
+  if (name == wire) return Backend::ident;
+  PLX_FUZZ_BACKEND_LIST(PLX_FUZZ_BACKEND_PARSE)
+#undef PLX_FUZZ_BACKEND_PARSE
+  return std::nullopt;
+}
+
+std::vector<std::string> backend_names() {
+  return {
+#define PLX_FUZZ_BACKEND_WIRE(ident, name) name,
+      PLX_FUZZ_BACKEND_LIST(PLX_FUZZ_BACKEND_WIRE)
+#undef PLX_FUZZ_BACKEND_WIRE
+  };
+}
 
 const char* outcome_name(Outcome o) {
   switch (o) {
@@ -254,7 +280,9 @@ CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
       const Mutation& mu = cases[i];
       CaseResult& out = results[i];
       out.mutation = mu;
-      if (opts.backend == Backend::VmTamper) {
+      // Adaptive campaigns apply mutants exactly like VmTamper: the backend
+      // value only changes who generates the cases, not how they run.
+      if (opts.backend != Backend::ImagePatch) {
         vm_instance.restore(pristine);
         vm_instance.tamper(mu.addr, std::span<const std::uint8_t>(mu.bytes));
         const auto r = vm_instance.run(budget);

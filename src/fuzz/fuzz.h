@@ -49,6 +49,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -97,7 +98,31 @@ struct CaseResult {
 // patcher (src/attack) on a copy of the image plus a fresh Machine per
 // mutant — the exact mechanics of a cracked redistributable. Both must
 // classify identically (tests/test_fuzz.cpp proves it on a sample).
-enum class Backend : std::uint8_t { VmTamper, ImagePatch };
+// Adaptive applies mutants like VmTamper but the mutants come from the
+// searching adversary (attack/adaptive) instead of a sweep/random campaign.
+//
+// The X-macro is the single source of truth for the enum, its wire name in
+// FUZZ_/ADAPT_*.json, the plxfuzz --backend parser and the validator's
+// accepted set — a new backend cannot desynchronize the four.
+#define PLX_FUZZ_BACKEND_LIST(X) \
+  X(VmTamper, "tamper")          \
+  X(ImagePatch, "patch")         \
+  X(Adaptive, "adaptive")
+
+enum class Backend : std::uint8_t {
+#define PLX_FUZZ_BACKEND_ENUM(ident, name) ident,
+  PLX_FUZZ_BACKEND_LIST(PLX_FUZZ_BACKEND_ENUM)
+#undef PLX_FUZZ_BACKEND_ENUM
+};
+
+// Wire name of a backend ("tamper" | "patch" | "adaptive").
+const char* backend_name(Backend b);
+
+// Inverse of backend_name; nullopt for unknown names.
+std::optional<Backend> backend_from_name(const std::string& name);
+
+// All wire names, list order (usage strings, validator diagnostics).
+std::vector<std::string> backend_names();
 
 struct CampaignOptions {
   std::uint64_t seed = 0x9a11a;
@@ -168,9 +193,14 @@ class TamperFuzzer {
   CampaignStats run_cases(const std::vector<Mutation>& cases,
                           const CampaignOptions& opts) const;
 
- private:
+  // Byte -> tier flags over the protected-byte map. Exposed so custom
+  // campaigns (attack/adaptive) can mark their mutations with the same
+  // strict/advisory tiers the sweep uses.
+  static constexpr std::uint8_t kTierProtected = 1;
+  static constexpr std::uint8_t kTierStrict = 2;
   std::map<std::uint32_t, std::uint8_t> byte_tiers() const;
 
+ private:
   img::Image image_;
   std::vector<parallax::ProtectedRange> ranges_;
   GoldenTrace golden_;

@@ -59,7 +59,7 @@ bool write_fuzz_json(const FuzzReport& report, const std::string& dir) {
   w.field_bool("smoke", report.smoke);
   w.field_u64("seed", report.seed);
   w.field_str("hardening", report.hardening);
-  w.field_str("backend", report.backend);
+  w.field_str("backend", backend_name(report.backend));
   w.field_num("wall_seconds_total", report.wall_seconds);
   w.begin_object("golden");
   w.field_int("exit_code", report.golden.exit_code);

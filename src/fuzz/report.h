@@ -15,7 +15,7 @@ struct FuzzReport {
   bool smoke = false;
   std::uint64_t seed = 0;
   std::string hardening;  // verify::hardening_name of the protected image
-  std::string backend;    // "tamper" | "patch"
+  Backend backend = Backend::VmTamper;  // emitted via backend_name()
   GoldenTrace golden;
   std::size_t protected_bytes = 0;
   std::size_t strict_bytes = 0;

@@ -220,6 +220,9 @@ std::string baseline_file_for(const std::string& artifact_file) {
   if (stem.rfind("PROTECT_", 0) == 0) {
     return "BASELINE_protect_" + stem.substr(8) + ext;
   }
+  if (stem.rfind("ADAPT_", 0) == 0) {
+    return "BASELINE_adapt_" + stem.substr(6) + ext;
+  }
   return "";
 }
 

@@ -89,6 +89,7 @@ GateResult compare_artifact(const std::string& artifact_name,
 //   BENCH_overhead.json    -> BASELINE_overhead.json
 //   FUZZ_quickstart.json   -> BASELINE_fuzz_quickstart.json
 //   PROTECT_miniwget.json  -> BASELINE_protect_miniwget.json
+//   ADAPT_quickstart.json  -> BASELINE_adapt_quickstart.json
 // Returns "" for file names that are not report artifacts.
 std::string baseline_file_for(const std::string& artifact_file);
 

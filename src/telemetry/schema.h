@@ -7,6 +7,7 @@
 // Every report carries the common envelope
 //
 //   "tool":           "bench" | "fuzz" | "protect" | "baseline" | "trace"
+//                     | "adapt" (ADAPT_<name>.json, src/attack/adaptive)
 //   "name":           report name (also used in the file name)
 //   "<tool>":         legacy alias of "name" (pre-v2 readers keyed on it)
 //   "schema_version": kSchemaVersion
@@ -36,5 +37,6 @@ inline constexpr const char* kToolFuzz = "fuzz";
 inline constexpr const char* kToolProtect = "protect";
 inline constexpr const char* kToolBaseline = "baseline";
 inline constexpr const char* kToolTrace = "trace";
+inline constexpr const char* kToolAdapt = "adapt";
 
 }  // namespace plx::telemetry

@@ -1,0 +1,366 @@
+// Adaptive attacker suite tests (src/attack/adaptive): the gadget-preserving
+// patch property (every generated patch keeps the overlapped gadget set
+// byte-identical under a full-image re-scan), strategy determinism (identical
+// candidate sequence for identical seed, independent of shard count), the
+// zero-escape acceptance on built-in targets, the fingerprint divergence
+// metric, and the Backend X-macro round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <span>
+#include <sstream>
+
+#include "asm/assembler.h"
+#include "attack/adaptive/adaptive.h"
+#include "attack/adaptive/evaluate.h"
+#include "attack/adaptive/preserving.h"
+#include "attack/adaptive/report.h"
+#include "attack/patcher.h"
+#include "fuzz/targets.h"
+#include "gadget/scanner.h"
+#include "image/layout.h"
+#include "x86/decoder.h"
+
+namespace plx::attack::adaptive {
+namespace {
+
+parallax::Protected protect_builtin(const std::string& name) {
+  const fuzz::Target* t = fuzz::find_target(name);
+  EXPECT_NE(t, nullptr) << name;
+  auto prot = fuzz::protect_target(*t, parallax::Hardening::Cleartext);
+  EXPECT_TRUE(prot.ok()) << (prot.ok() ? std::string() : prot.error().str());
+  return std::move(prot).take();
+}
+
+std::vector<std::uint32_t> executed_starts(const img::Image& image) {
+  std::unordered_set<std::uint32_t> set;
+  fuzz::record_golden(image, 2'000'000'000ull, &set);
+  std::vector<std::uint32_t> starts(set.begin(), set.end());
+  std::sort(starts.begin(), starts.end());
+  return starts;
+}
+
+// (addr, bytes) identity of every usable gadget overlapping [lo, hi) in a
+// FULL scan of `image` — the reference the windowed generator self-check
+// must agree with.
+std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+full_scan_overlapping(const img::Image& image, std::uint32_t lo,
+                      std::uint32_t hi) {
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> out;
+  for (const auto& g : gadget::scan(image)) {
+    if (g.addr >= hi || g.end() <= lo) continue;
+    out.emplace_back(g.addr, image.read(g.addr, g.len));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- gadget-preserving patch generator -------------------------------------
+
+TEST(AdaptivePreserving, GadgetByteCoverageCountsOverlaps) {
+  std::vector<gadget::Gadget> gadgets(2);
+  gadgets[0].addr = 10;
+  gadgets[0].len = 3;  // covers 10,11,12
+  gadgets[0].type = gadget::GType::PopReg;
+  gadgets[1].addr = 12;
+  gadgets[1].len = 2;  // covers 12,13
+  gadgets[1].type = gadget::GType::Transparent;
+
+  const auto cover = gadget_byte_coverage(gadgets);
+  EXPECT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover.at(10), 1u);
+  EXPECT_EQ(cover.at(12), 2u);
+  EXPECT_EQ(cover.count(14), 0u);
+
+  // Unusable gadgets do not count: they are not chain material.
+  gadgets[1].type = gadget::GType::Unusable;
+  EXPECT_EQ(gadget_byte_coverage(gadgets).count(13), 0u);
+}
+
+TEST(AdaptivePreserving, SameSemanticsComparesDecodedMeaning) {
+  const auto dec = [](std::initializer_list<std::uint8_t> bytes) {
+    std::vector<std::uint8_t> v(bytes);
+    const auto insn = x86::decode(std::span<const std::uint8_t>(v));
+    EXPECT_TRUE(insn && insn->valid());
+    return *insn;
+  };
+  // mov eax, 1 vs mov eax, 2: same mnemonic, different immediate operand.
+  EXPECT_FALSE(same_semantics(dec({0xb8, 0x01, 0x00, 0x00, 0x00}),
+                              dec({0xb8, 0x02, 0x00, 0x00, 0x00})));
+  // mov eax, 1 vs mov ecx, 1: different destination register.
+  EXPECT_FALSE(same_semantics(dec({0xb8, 0x01, 0x00, 0x00, 0x00}),
+                              dec({0xb9, 0x01, 0x00, 0x00, 0x00})));
+  // inc eax vs inc eax: identical.
+  EXPECT_TRUE(same_semantics(dec({0x40}), dec({0x40})));
+  // add eax, ebx encoded 0x01 /r vs 0x03 /r: same semantics, different
+  // encoding — exactly what the generator must treat as "not different".
+  EXPECT_TRUE(same_semantics(dec({0x01, 0xd8}), dec({0x03, 0xc3})));
+}
+
+// The satellite property test: for every generated patch, re-scan the whole
+// patched image and assert the set of usable gadgets overlapping the patched
+// instruction is byte-identical. >= 1000 patches across the built-in
+// targets (ISSUE acceptance).
+TEST(AdaptivePreserving, PatchesPreserveOverlappedGadgetsFullRescan) {
+  std::size_t total_checked = 0;
+  for (const char* name : {"quickstart", "ptrace", "license"}) {
+    const auto prot = protect_builtin(name);
+    const img::Image& image = prot.image;
+    const auto gadgets = gadget::scan(image);
+    const auto starts = executed_starts(image);
+
+    PreservingOptions gen;
+    gen.max_per_insn = 16;  // mass production for the property test
+    const auto patches =
+        generate_preserving_patches(image, gadgets, starts, gen);
+    ASSERT_FALSE(patches.empty()) << name;
+
+    for (const PreservingPatch& p : patches) {
+      const std::uint32_t lo = p.insn_addr;
+      const std::uint32_t hi = p.insn_addr + p.insn_len;
+      const auto before = full_scan_overlapping(image, lo, hi);
+
+      img::Image patched = image;
+      attack::patch_bytes(patched, p.addr(),
+                          std::span<const std::uint8_t>(&p.replacement, 1));
+      const auto after = full_scan_overlapping(patched, lo, hi);
+
+      ASSERT_EQ(before, after)
+          << name << ": patch @" << std::hex << p.addr() << " ("
+          << static_cast<int>(p.original) << " -> "
+          << static_cast<int>(p.replacement)
+          << ") changed the overlapped gadget set";
+      ++total_checked;
+    }
+  }
+  EXPECT_GE(total_checked, 1000u);
+}
+
+TEST(AdaptivePreserving, PatchesChangeSemanticsAndKeepLength) {
+  const auto prot = protect_builtin("quickstart");
+  const auto gadgets = gadget::scan(prot.image);
+  const auto starts = executed_starts(prot.image);
+  PreservingOptions gen;
+  gen.max_per_insn = 4;
+  const auto patches =
+      generate_preserving_patches(prot.image, gadgets, starts, gen);
+  ASSERT_FALSE(patches.empty());
+  const auto cover = gadget_byte_coverage(gadgets);
+  for (const PreservingPatch& p : patches) {
+    EXPECT_EQ(p.before.len, p.after.len);
+    EXPECT_EQ(p.insn_len, p.before.len);
+    EXPECT_FALSE(same_semantics(p.before, p.after));
+    EXPECT_NE(p.original, p.replacement);
+    // The changed byte never sits inside a usable gadget.
+    EXPECT_EQ(cover.count(p.addr()), 0u);
+  }
+}
+
+TEST(AdaptivePreserving, GeneratorIsDeterministic) {
+  const auto prot = protect_builtin("quickstart");
+  const auto gadgets = gadget::scan(prot.image);
+  const auto starts = executed_starts(prot.image);
+  const auto a = generate_preserving_patches(prot.image, gadgets, starts);
+  const auto b = generate_preserving_patches(prot.image, gadgets, starts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr(), b[i].addr());
+    EXPECT_EQ(a[i].replacement, b[i].replacement);
+  }
+}
+
+// --- fingerprint divergence ------------------------------------------------
+
+TEST(AdaptiveFingerprint, DivergenceIsL1WithZeroPadding) {
+  EXPECT_EQ(fingerprint_divergence({}, {}), 0.0);
+  EXPECT_EQ(fingerprint_divergence({0.5, 0.25}, {0.5, 0.25}), 0.0);
+  EXPECT_DOUBLE_EQ(fingerprint_divergence({0.5, 0.25}, {0.25, 0.25}), 0.25);
+  // A run that dies early diverges by the mass of every unreached window.
+  EXPECT_DOUBLE_EQ(fingerprint_divergence({0.5, 0.25, 0.125}, {0.5}), 0.375);
+  EXPECT_DOUBLE_EQ(fingerprint_divergence({0.5}, {0.5, 0.25, 0.125}), 0.375);
+}
+
+#if PLX_TRACE
+TEST(AdaptiveFingerprint, GoldenRetDensityHasWindows) {
+  const auto prot = protect_builtin("quickstart");
+  const auto fp = golden_ret_density(prot.image, 2'000'000'000ull, 1024);
+  ASSERT_FALSE(fp.empty());
+  for (double d : fp) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  // A protected image runs verification chains: some window must see rets.
+  EXPECT_GT(*std::max_element(fp.begin(), fp.end()), 0.0);
+}
+#endif
+
+// --- the full adaptive campaign --------------------------------------------
+
+AdaptiveOptions small_opts(std::uint64_t seed = 0x9a11a) {
+  AdaptiveOptions opts;
+  opts.seed = seed;
+  opts.budget_per_strategy = 24;
+  return opts;
+}
+
+void expect_same_outcomes(const AdaptiveResult& a, const AdaptiveResult& b) {
+  ASSERT_EQ(a.strategies.size(), b.strategies.size());
+  for (std::size_t i = 0; i < a.strategies.size(); ++i) {
+    const StrategyOutcome& sa = a.strategies[i];
+    const StrategyOutcome& sb = b.strategies[i];
+    EXPECT_EQ(sa.strategy, sb.strategy);
+    ASSERT_EQ(sa.candidates.size(), sb.candidates.size()) << sa.strategy;
+    for (std::size_t j = 0; j < sa.candidates.size(); ++j) {
+      EXPECT_EQ(sa.candidates[j].addr, sb.candidates[j].addr) << sa.strategy;
+      EXPECT_EQ(sa.candidates[j].bytes, sb.candidates[j].bytes) << sa.strategy;
+    }
+    EXPECT_EQ(sa.stats.detected, sb.stats.detected) << sa.strategy;
+    EXPECT_EQ(sa.stats.silent_corruption, sb.stats.silent_corruption);
+    EXPECT_EQ(sa.stats.benign, sb.stats.benign);
+    EXPECT_EQ(sa.stats.timeout, sb.stats.timeout);
+    EXPECT_EQ(sa.counters, sb.counters) << sa.strategy;
+  }
+}
+
+// The acceptance contract: identical candidate sequence for identical seed.
+TEST(AdaptiveCampaign, DeterministicForFixedSeed) {
+  const auto prot = protect_builtin("license");
+  const auto a =
+      run_adaptive(prot.image, prot.protected_ranges, small_opts());
+  const auto b =
+      run_adaptive(prot.image, prot.protected_ranges, small_opts());
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  expect_same_outcomes(a, b);
+}
+
+TEST(AdaptiveCampaign, ShardCountDoesNotChangeResults) {
+  const auto prot = protect_builtin("quickstart");
+  AdaptiveOptions one = small_opts();
+  one.shards = 1;
+  AdaptiveOptions many = small_opts();
+  many.shards = 64;
+  const auto a = run_adaptive(prot.image, prot.protected_ranges, one);
+  const auto b = run_adaptive(prot.image, prot.protected_ranges, many);
+  ASSERT_TRUE(a.ok);
+  expect_same_outcomes(a, b);
+}
+
+TEST(AdaptiveCampaign, SeedChangesTheFingerprintSearch) {
+  const auto prot = protect_builtin("quickstart");
+  const auto a =
+      run_adaptive(prot.image, prot.protected_ranges, small_opts(1));
+  const auto b =
+      run_adaptive(prot.image, prot.protected_ranges, small_opts(2));
+  ASSERT_TRUE(a.ok);
+  const auto seq = [](const AdaptiveResult& r) {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> s;
+    for (const auto& mu : r.strategies.back().candidates) {
+      s.emplace_back(mu.addr, mu.bytes);
+    }
+    return s;
+  };
+  EXPECT_NE(seq(a), seq(b));
+}
+
+TEST(AdaptiveCampaign, NoEscapesOnBuiltinsAndCoherentStats) {
+  for (const char* name : {"quickstart", "ptrace"}) {
+    const auto prot = protect_builtin(name);
+    const auto res =
+        run_adaptive(prot.image, prot.protected_ranges, small_opts());
+    ASSERT_TRUE(res.ok) << name;
+    EXPECT_EQ(res.escape_count(), 0u) << name;
+    EXPECT_EQ(res.strategies.size(), 3u);
+    EXPECT_GT(res.gadgets_scanned, 0u) << name;
+    EXPECT_GT(res.strict_bytes, 0u) << name;
+    std::size_t total = 0;
+    for (const auto& s : res.strategies) {
+      EXPECT_EQ(s.stats.total, s.candidates.size()) << s.strategy;
+      EXPECT_EQ(s.stats.total, s.stats.detected + s.stats.silent_corruption +
+                                   s.stats.benign + s.stats.timeout)
+          << s.strategy;
+      EXPECT_LE(s.candidates.size(), small_opts().budget_per_strategy);
+      total += s.stats.total;
+    }
+    EXPECT_EQ(res.total.total, total);
+  }
+}
+
+TEST(AdaptiveCampaign, PreservingCandidatesAreNeverStrict) {
+  const auto prot = protect_builtin("quickstart");
+  const auto res =
+      run_adaptive(prot.image, prot.protected_ranges, small_opts());
+  ASSERT_TRUE(res.ok);
+  for (const auto& s : res.strategies) {
+    if (s.strategy != "preserve") continue;
+    ASSERT_FALSE(s.candidates.empty());
+    for (const auto& mu : s.candidates) {
+      // By construction a preserving patch avoids every usable gadget byte,
+      // and strict bytes are covered gadget bytes.
+      EXPECT_FALSE(mu.strict);
+    }
+  }
+}
+
+TEST(AdaptiveCampaign, UnprotectedImageHasNothingStrict) {
+  auto mod = assembler::assemble(R"(
+.entry _start
+_start:
+    mov eax, 7
+    ret
+)");
+  ASSERT_TRUE(mod.ok());
+  auto laid = img::layout(mod.value());
+  ASSERT_TRUE(laid.ok());
+  const auto res = run_adaptive(laid.value().image, {}, small_opts());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.strict_bytes, 0u);
+  EXPECT_EQ(res.escape_count(), 0u);
+}
+
+// --- report ----------------------------------------------------------------
+
+TEST(AdaptiveReport, WritesWellFormedJson) {
+  const auto prot = protect_builtin("quickstart");
+  AdaptReport report;
+  report.name = "unit";
+  report.seed = 0x9a11a;
+  report.hardening = "cleartext";
+  report.options = small_opts();
+  report.result =
+      run_adaptive(prot.image, prot.protected_ranges, report.options);
+  ASSERT_TRUE(report.result.ok);
+  ASSERT_TRUE(write_adapt_json(report, ::testing::TempDir()));
+
+  std::ifstream in(::testing::TempDir() + "/ADAPT_unit.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"tool\": \"adapt\""), std::string::npos);
+  EXPECT_NE(text.find("\"adapt\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"backend\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(text.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(text.find("\"strategy\": \"fingerprint\""), std::string::npos);
+}
+
+// --- Backend X-macro -------------------------------------------------------
+
+TEST(AdaptiveBackend, XMacroRoundTrip) {
+  EXPECT_STREQ(fuzz::backend_name(fuzz::Backend::VmTamper), "tamper");
+  EXPECT_STREQ(fuzz::backend_name(fuzz::Backend::ImagePatch), "patch");
+  EXPECT_STREQ(fuzz::backend_name(fuzz::Backend::Adaptive), "adaptive");
+  for (const auto& name : fuzz::backend_names()) {
+    const auto parsed = fuzz::backend_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(fuzz::backend_name(*parsed), name);
+  }
+  EXPECT_FALSE(fuzz::backend_from_name("rot13").has_value());
+  EXPECT_FALSE(fuzz::backend_from_name("").has_value());
+  EXPECT_EQ(fuzz::backend_names().size(), 3u);
+}
+
+}  // namespace
+}  // namespace plx::attack::adaptive

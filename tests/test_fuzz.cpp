@@ -4,10 +4,13 @@
 // end-to-end zero-escape property on a protected target.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <span>
 #include <sstream>
 
 #include "asm/assembler.h"
+#include "attack/patcher.h"
 #include "fuzz/fuzz.h"
 #include "fuzz/report.h"
 #include "fuzz/targets.h"
@@ -107,6 +110,85 @@ TEST(Fuzz, BackendsClassifyIdentically) {
   EXPECT_EQ(a.escapes.size(), b.escapes.size());
 }
 
+TEST(Fuzz, BackendsAgreeOnVerdictsAndDigestsForAllBuiltins) {
+  // Cross-backend consistency on EVERY built-in target: the snapshot/restore
+  // tamper path and the static-patch path must agree not just on verdict
+  // counts but on the full oracle observation per mutant — stop reason, exit
+  // code, retired instructions, output, syscall digest, and architectural
+  // state digest.
+  for (const Target& target : builtin_targets()) {
+    auto prot = protect_target(target, parallax::Hardening::Cleartext);
+    ASSERT_TRUE(prot.ok()) << target.name << ": " << prot.error();
+    const img::Image& image = prot.value().image;
+    TamperFuzzer fuzzer(image, prot.value().protected_ranges);
+    ASSERT_TRUE(fuzzer.ok()) << target.name;
+
+    // Deterministic mutation sample: every 7th protected byte, two masks.
+    std::vector<Mutation> cases;
+    std::size_t i = 0;
+    for (const auto& [addr, tier] : fuzzer.byte_tiers()) {
+      if (cases.size() >= 40) break;
+      if (i++ % 7 != 0) continue;
+      const auto orig = image.read(addr, 1);
+      ASSERT_EQ(orig.size(), 1u) << target.name;
+      for (std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0xff}}) {
+        Mutation mu;
+        mu.addr = addr;
+        mu.bytes = {static_cast<std::uint8_t>(orig[0] ^ mask)};
+        mu.strict = (tier & TamperFuzzer::kTierStrict) != 0;
+        mu.protected_ = true;
+        mu.origin = "xbackend";
+        cases.push_back(std::move(mu));
+      }
+    }
+    ASSERT_FALSE(cases.empty()) << target.name;
+
+    CampaignOptions tamper_opts;
+    CampaignOptions patch_opts = tamper_opts;
+    patch_opts.backend = Backend::ImagePatch;
+    const CampaignStats a = fuzzer.run_cases(cases, tamper_opts);
+    const CampaignStats b = fuzzer.run_cases(cases, patch_opts);
+    EXPECT_EQ(a.total, b.total) << target.name;
+    EXPECT_EQ(a.detected, b.detected) << target.name;
+    EXPECT_EQ(a.silent_corruption, b.silent_corruption) << target.name;
+    EXPECT_EQ(a.benign, b.benign) << target.name;
+    EXPECT_EQ(a.timeout, b.timeout) << target.name;
+    EXPECT_EQ(a.escapes.size(), b.escapes.size()) << target.name;
+
+    // Per-mutant: run each path by hand and compare the raw oracle inputs.
+    const GoldenTrace& golden = fuzzer.golden();
+    const std::uint64_t budget = std::max<std::uint64_t>(
+        tamper_opts.min_budget,
+        tamper_opts.budget_multiplier * golden.instructions);
+    vm::Machine mt(image);
+    const vm::Machine::Snapshot snap = mt.snapshot();
+    for (const Mutation& mu : cases) {
+      mt.restore(snap);
+      mt.tamper(mu.addr, std::span<const std::uint8_t>(mu.bytes));
+      const vm::RunResult rt = mt.run(budget);
+
+      img::Image patched = image;
+      ASSERT_TRUE(attack::patch_bytes(
+          patched, mu.addr, std::span<const std::uint8_t>(mu.bytes)));
+      vm::Machine mp(patched);
+      const vm::RunResult rp = mp.run(budget);
+
+      EXPECT_EQ(rt.reason, rp.reason)
+          << target.name << " @" << std::hex << mu.addr;
+      EXPECT_EQ(rt.exit_code, rp.exit_code)
+          << target.name << " @" << std::hex << mu.addr;
+      EXPECT_EQ(rt.instructions, rp.instructions)
+          << target.name << " @" << std::hex << mu.addr;
+      EXPECT_EQ(mt.output, mp.output)
+          << target.name << " @" << std::hex << mu.addr;
+      EXPECT_EQ(mt.syscall_digest, mp.syscall_digest)
+          << target.name << " @" << std::hex << mu.addr;
+      EXPECT_EQ(mt.state_digest(), mp.state_digest())
+          << target.name << " @" << std::hex << mu.addr;
+    }
+  }
+}
+
 TEST(Fuzz, ResultsIndependentOfShardCount) {
   const fuzz::Target* target = find_target("license");
   ASSERT_TRUE(target);
@@ -160,7 +242,7 @@ TEST(Fuzz, ReportWritesWellFormedJson) {
   report.name = "unit";
   report.seed = 1;
   report.hardening = "cleartext";
-  report.backend = "tamper";
+  report.backend = fuzz::Backend::VmTamper;
   report.golden = fuzzer.golden();
   CampaignOptions opts;
   report.sweep = fuzzer.run_cases(

@@ -366,6 +366,69 @@ TEST(VmTrace, ProfilerAttributesBySmallestCoveringRegion) {
   EXPECT_EQ(cycles, 17u);
 }
 
+TEST(VmTrace, ProfilerRunShorterThanOneWindow) {
+  // A run that never accumulates window_cycles produces no window until
+  // finish(), which closes exactly one partial window — and is idempotent.
+  vm::ExecutionProfiler prof({}, /*window_cycles=*/8);
+  prof.on_retire(0, 2, false);
+  prof.on_retire(1, 3, true);
+  EXPECT_TRUE(prof.windows().empty());
+  prof.finish();
+  ASSERT_EQ(prof.windows().size(), 1u);
+  const auto& w = prof.windows()[0];
+  EXPECT_EQ(w.cycles, 5u);
+  EXPECT_EQ(w.instructions, 2u);
+  EXPECT_EQ(w.rets, 1u);
+  EXPECT_EQ(w.end_cycle, 5u);
+  EXPECT_DOUBLE_EQ(w.ret_density(), 0.5);
+  prof.finish();
+  EXPECT_EQ(prof.windows().size(), 1u);
+}
+
+TEST(VmTrace, ProfilerNoEmptyFinalWindow) {
+  // Cycles summing to an exact window multiple: the retirement on the
+  // boundary closes the window, and finish() must NOT append an empty one.
+  vm::ExecutionProfiler prof({}, /*window_cycles=*/4);
+  prof.on_retire(0, 4, false);  // closes window 1 exactly
+  prof.on_retire(1, 2, true);
+  prof.on_retire(2, 2, false);  // closes window 2 exactly
+  ASSERT_EQ(prof.windows().size(), 2u);
+  prof.finish();
+  ASSERT_EQ(prof.windows().size(), 2u);
+  EXPECT_EQ(prof.windows()[0].end_cycle, 4u);
+  EXPECT_EQ(prof.windows()[1].end_cycle, 8u);
+  EXPECT_EQ(prof.windows()[1].rets, 1u);
+}
+
+TEST(VmTrace, ProfilerBoundaryOverrunStaysInClosingWindow) {
+  // An instruction overrunning the window boundary keeps ALL its cycles in
+  // the window it closes: the recorded width may exceed window_cycles, and
+  // the next window starts clean at the cumulative cycle count.
+  vm::ExecutionProfiler prof({}, /*window_cycles=*/4);
+  prof.on_retire(0, 3, false);
+  prof.on_retire(1, 9, true);  // 3 + 9 = 12 >= 4: closes at width 12
+  prof.on_retire(2, 1, false);
+  prof.finish();
+  ASSERT_EQ(prof.windows().size(), 2u);
+  EXPECT_EQ(prof.windows()[0].cycles, 12u);
+  EXPECT_EQ(prof.windows()[0].end_cycle, 12u);
+  EXPECT_EQ(prof.windows()[0].instructions, 2u);
+  EXPECT_EQ(prof.windows()[0].rets, 1u);
+  EXPECT_EQ(prof.windows()[1].end_cycle, 13u);
+  EXPECT_EQ(prof.windows()[1].cycles, 1u);
+}
+
+TEST(VmTrace, WindowRatiosNeverDivideByZero) {
+  // ret_density()/chain_share() on an empty window must be 0, not NaN; a
+  // profiler that saw no retirements finishes with no windows at all.
+  const vm::ExecutionProfiler::Window w{};
+  EXPECT_EQ(w.ret_density(), 0.0);
+  EXPECT_EQ(w.chain_share(), 0.0);
+  vm::ExecutionProfiler prof({}, /*window_cycles=*/4);
+  prof.finish();
+  EXPECT_TRUE(prof.windows().empty());
+}
+
 TEST(VmTrace, AttributionSumsExactlyOnProtectedWorkload) {
   const fuzz::Target* target = fuzz::find_target("quickstart");
   ASSERT_NE(target, nullptr);
