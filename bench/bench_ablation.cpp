@@ -156,7 +156,7 @@ void BM_WeavingCost(benchmark::State& state) {
   parallax::Protector p;
   auto prot = p.protect(bw.compiled, opts);
   for (auto _ : state) {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     benchmark::DoNotOptimize(m.run(2'000'000'000ull).exit_code);
   }
   state.SetLabel(w.name + (state.range(1) ? "/woven" : "/plain"));

@@ -73,7 +73,7 @@ void print_matrix() {
   {
     img::Image patched = plain.value();
     attack::patch_bytes(patched, patched.find_symbol("helper")->vaddr, patch);
-    vm::Machine m(patched);
+    x86::Machine m(patched);
     attacker_goal = m.run(2'000'000'000ull).exit_code;
   }
   std::printf("pristine output %d, attacker-goal output %d\n", ref, attacker_goal);
@@ -86,7 +86,7 @@ void print_matrix() {
     const img::Symbol* victim = image.find_symbol("helper");
     img::Image statically = image;
     attack::patch_bytes(statically, victim->vaddr, patch);
-    vm::Machine m1(statically);
+    x86::Machine m1(statically);
     const auto r1 = m1.run(2'000'000'000ull);
 
     const auto r2 = attack::run_with_icache_patch(image, victim->vaddr, patch,
@@ -122,7 +122,7 @@ void print_matrix() {
   if (plx) {
     const std::uint32_t victim = plx.value().used_gadget_addrs[0];
     const std::int32_t plx_ref = [&] {
-      vm::Machine m(plx.value().image);
+      x86::Machine m(plx.value().image);
       return m.run(2'000'000'000ull).exit_code;
     }();
     auto verdict1 = [&](const vm::RunResult& r) {
@@ -133,9 +133,9 @@ void print_matrix() {
     const std::uint8_t orig = statically.read(victim, 1)[0];
     attack::patch_bytes(statically, victim,
                         std::vector<std::uint8_t>{static_cast<std::uint8_t>(orig ^ 0x28)});
-    vm::Machine m1(statically);
+    x86::Machine m1(statically);
     const auto r1 = m1.run(2'000'000'000ull);
-    vm::Machine m2(plx.value().image);
+    x86::Machine m2(plx.value().image);
     m2.tamper_icache(victim, static_cast<std::uint8_t>(orig ^ 0x28));
     const auto r2 = m2.run(2'000'000'000ull);
     std::printf("%-22s %-26s %-26s (attacking a gadget byte)\n", "parallax",
@@ -172,7 +172,7 @@ int main() { return probe(); }
       img::Image t = plx.value().image;
       const std::uint8_t orig = t.read(addr, 1)[0];
       attack::patch_bytes(t, addr, std::vector<std::uint8_t>{static_cast<std::uint8_t>(orig ^ 0x24)});
-      vm::Machine m(t);
+      x86::Machine m(t);
       auto r = m.run(2'000'000'000ull);
       ++total;
       if (r.reason != vm::StopReason::Exited || r.exit_code != ref) ++broke;
@@ -197,7 +197,7 @@ void BM_StaticPatchAttack(benchmark::State& state) {
   for (auto _ : state) {
     img::Image t = prot.value().image;
     attack::nop_out(t, prot.value().used_gadget_addrs[0], 1);
-    vm::Machine m(t);
+    x86::Machine m(t);
     benchmark::DoNotOptimize(m.run(2'000'000'000ull).reason);
   }
 }

@@ -61,7 +61,7 @@ void BM_ProtectedRun(benchmark::State& state) {
   auto bw = bench::build_workload(w);
   auto prot = bench::protect_workload(bw, Hardening::Cleartext);
   for (auto _ : state) {
-    vm::Machine m(prot.image);
+    x86::Machine m(prot.image);
     auto r = m.run(2'000'000'000ull);
     benchmark::DoNotOptimize(r.exit_code);
   }

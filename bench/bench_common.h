@@ -34,7 +34,7 @@
 #include "telemetry/report.h"
 #include "telemetry/schema.h"
 #include "telemetry/telemetry.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 #include "workloads/corpus.h"
 
 namespace plx::bench {
@@ -242,7 +242,7 @@ inline parallax::Protected protect_workload(const BuiltWorkload& bw,
 
 inline vm::RunResult run_image(const img::Image& image,
                                std::uint64_t budget = 2'000'000'000ull) {
-  vm::Machine m(image);
+  x86::Machine m(image);
   // Time the run only: Machine construction copies the image and is not VM
   // execution.
   const auto t0 = Session::Clock::now();

@@ -66,7 +66,7 @@ void BM_MicrochainRun(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     benchmark::DoNotOptimize(m.run(2'000'000'000ull).exit_code);
   }
   state.SetLabel(w.name);

@@ -10,7 +10,7 @@
 #include "cc/compile.h"
 #include "gadget/scanner.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 int main() {
   using namespace plx;
@@ -40,7 +40,7 @@ int main() {
 
   auto compiled = cc::compile(source);
   auto plain = parallax::layout_plain(compiled.value());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const int denied = ref.run().exit_code;
   std::printf("unprotected denied-path exit: %d\n", denied);
 
@@ -76,7 +76,7 @@ int main() {
         for (std::uint8_t patch : {std::uint8_t{0x90}, std::uint8_t{0xeb}}) {
           img::Image patched = image;
           attack::patch_bytes(patched, sym->vaddr + off, {&patch, 1});
-          vm::Machine m(patched);
+          x86::Machine m(patched);
           auto r = m.run(20'000'000);
           ++attempts;
           if (r.reason == vm::StopReason::Exited && r.exit_code == 42) {

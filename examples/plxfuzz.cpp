@@ -30,6 +30,8 @@
 //                     writes ADAPT_<name>.json instead of FUZZ_<name>.json)
 //   --adapt-budget N  adaptive: candidate budget per strategy
 //                     (default 64 smoke / 192 full)
+//   --isa NAME        target backend from the isa::Arch registry
+//                     (default x86)
 //   --out DIR         report directory (default .)
 #include <chrono>
 #include <cstdio>
@@ -43,6 +45,7 @@
 #include "fuzz/fuzz.h"
 #include "fuzz/report.h"
 #include "fuzz/targets.h"
+#include "isa/arch.h"
 #include "support/file_io.h"
 #include "verify/stub.h"
 
@@ -56,9 +59,9 @@ using namespace plx;
 int adapt_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
               const attack::adaptive::AdaptiveOptions& aopts,
               parallax::Hardening mode, bool smoke,
-              const std::string& out_dir) {
+              const std::string& out_dir, const std::string& isa_name) {
   const std::string& name = target.name;
-  auto prot = fuzz::protect_target(target, mode, opts.seed);
+  auto prot = fuzz::protect_target(target, mode, opts.seed, isa_name);
   if (!prot) {
     std::fprintf(stderr, "plxfuzz: %s\n", prot.error().c_str());
     return 2;
@@ -108,10 +111,11 @@ int adapt_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
 }
 
 int fuzz_one(const fuzz::Target& target, const fuzz::CampaignOptions& opts,
-             parallax::Hardening mode, bool smoke, const std::string& out_dir) {
+             parallax::Hardening mode, bool smoke, const std::string& out_dir,
+             const std::string& isa_name) {
   const std::string& name = target.name;
   const auto t0 = std::chrono::steady_clock::now();
-  auto prot = fuzz::protect_target(target, mode, opts.seed);
+  auto prot = fuzz::protect_target(target, mode, opts.seed, isa_name);
   if (!prot) {
     std::fprintf(stderr, "plxfuzz: %s\n", prot.error().c_str());
     return 2;
@@ -183,6 +187,7 @@ int main(int argc, char** argv) {
   std::string source_path, source_vf;
   fuzz::CampaignOptions opts;
   parallax::Hardening mode = parallax::Hardening::Cleartext;
+  std::string isa_name = "x86";
   bool smoke = true;
   int random_override = -1;
   int adapt_budget_override = -1;
@@ -254,6 +259,18 @@ int main(int argc, char** argv) {
       opts.backend = *parsed;
     } else if (a == "--adapt-budget") {
       adapt_budget_override = std::atoi(need("--adapt-budget"));
+    } else if (a == "--isa") {
+      isa_name = need("--isa");
+      if (!isa::find_arch(isa_name)) {
+        std::string known;
+        for (const auto& n : isa::arch_names()) {
+          if (!known.empty()) known += ", ";
+          known += n;
+        }
+        std::fprintf(stderr, "plxfuzz: unknown isa '%s' (registered: %s)\n",
+                     isa_name.c_str(), known.c_str());
+        return 2;
+      }
     } else if (a == "--out") {
       out_dir = need("--out");
     } else {
@@ -305,15 +322,15 @@ int main(int argc, char** argv) {
                  "--all [--seed N] [--smoke | "
                  "--full] [--random N] [--masks full|quick] [--advisory] "
                  "[--hardening MODE] [--backend tamper|patch|adaptive] "
-                 "[--adapt-budget N] [--out DIR]\n");
+                 "[--adapt-budget N] [--isa NAME] [--out DIR]\n");
     return 2;
   }
 
   int rc = 0;
   for (const auto& t : targets) {
     const int r = opts.backend == fuzz::Backend::Adaptive
-                      ? adapt_one(t, opts, aopts, mode, smoke, out_dir)
-                      : fuzz_one(t, opts, mode, smoke, out_dir);
+                      ? adapt_one(t, opts, aopts, mode, smoke, out_dir, isa_name)
+                      : fuzz_one(t, opts, mode, smoke, out_dir, isa_name);
     if (r > rc) rc = r;
   }
   return rc;

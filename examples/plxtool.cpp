@@ -3,7 +3,7 @@
 //   plxtool compile     prog.c -o prog.plx      mini-C -> PLX image
 //   plxtool protect     prog.c -o prog.plx      full Parallax pipeline
 //            [--vf NAME] [--mode cleartext|xor|rc4|prob] [--variants N]
-//            [--trace]                          per-stage timing table
+//            [--isa NAME] [--trace]             backend + timing table
 //   plxtool protect-all                         batch-protect the corpus
 //            [--mode MODE] [--seed N] [--threads N] [--out DIR]
 //   plxtool run         prog.plx                execute in the VM
@@ -17,13 +17,14 @@
 
 #include "cc/compile.h"
 #include "gadget/scanner.h"
+#include "isa/arch.h"
 #include "image/layout.h"
 #include "parallax/batch.h"
 #include "parallax/protector.h"
 #include "rewrite/protectability.h"
 #include "support/file_io.h"
-#include "vm/machine.h"
-#include "x86/format.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/format.h"
 
 namespace {
 
@@ -33,7 +34,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: plxtool <compile|protect|protect-all|run|disasm|gadgets|coverage> ...\n"
                "  compile     prog.c -o prog.plx\n"
-               "  protect     prog.c -o prog.plx [--vf NAME] [--mode MODE] [--variants N] [--trace]\n"
+               "  protect     prog.c -o prog.plx [--vf NAME] [--mode MODE] [--variants N]\n"
+               "              [--isa NAME] [--trace]\n"
                "  protect-all [--mode MODE] [--seed N] [--threads N] [--out DIR]\n"
                "  run         prog.plx [--budget N]\n"
                "  disasm      prog.plx [SYMBOL]\n"
@@ -46,6 +48,20 @@ Result<img::Image> load_image(const std::string& path) {
   auto bytes = support::read_binary_file(path);
   if (!bytes) return std::move(bytes).take_error();
   return img::Image::deserialize(bytes.value());
+}
+
+// Validates an --isa argument against the backend registry; on failure
+// prints the registered wire names so the user can see what exists.
+bool check_isa(const std::string& name) {
+  if (plx::isa::find_arch(name)) return true;
+  std::string known;
+  for (const auto& n : plx::isa::arch_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  std::fprintf(stderr, "unknown isa '%s' (registered: %s)\n", name.c_str(),
+               known.c_str());
+  return false;
 }
 
 bool parse_mode(const std::string& mode, parallax::Hardening& out) {
@@ -115,6 +131,7 @@ int cmd_compile(int argc, char** argv) {
 
 int cmd_protect(int argc, char** argv) {
   std::string src_path, out_path = "a.plx", vf, mode = "cleartext";
+  std::string isa_name = "x86";
   int variants = 4;
   bool trace = false;
   for (int i = 0; i < argc; ++i) {
@@ -126,6 +143,8 @@ int cmd_protect(int argc, char** argv) {
       mode = argv[++i];
     } else if (!std::strcmp(argv[i], "--variants") && i + 1 < argc) {
       variants = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--isa") && i + 1 < argc) {
+      isa_name = argv[++i];
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else {
@@ -133,6 +152,7 @@ int cmd_protect(int argc, char** argv) {
     }
   }
   if (src_path.empty()) return usage();
+  if (!check_isa(isa_name)) return 2;
   auto src = support::read_text_file(src_path);
   if (!src) {
     std::fprintf(stderr, "%s\n", src.error().c_str());
@@ -145,6 +165,7 @@ int cmd_protect(int argc, char** argv) {
   }
 
   parallax::ProtectOptions opts;
+  opts.isa = isa_name;
   if (!vf.empty()) opts.verify_functions = {vf};
   if (!parse_mode(mode, opts.hardening)) {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
@@ -202,7 +223,7 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", image.error().c_str());
     return 1;
   }
-  vm::Machine m(image.value());
+  x86::Machine m(image.value());
   auto r = m.run(budget);
   if (!m.output.empty()) std::fwrite(m.output.data(), 1, m.output.size(), stdout);
   switch (r.reason) {

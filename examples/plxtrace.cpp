@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fuzz/targets.h"
+#include "isa/x86/machine.h"
 #include "parallax/traceview.h"
 #include "support/file_io.h"
 #include "support/minijson.h"
@@ -80,7 +81,7 @@ int cmd_record(const std::string& target_name, parallax::Hardening mode,
 
   vm::ExecutionProfiler profiler(parallax::chain_code_regions(prot.value()),
                                  window);
-  vm::Machine machine(prot.value().image);
+  x86::Machine machine(prot.value().image);
   profiler.attach(machine);
   {
     telemetry::TraceSpan run_span("vm", "run");
@@ -93,7 +94,7 @@ int cmd_record(const std::string& target_name, parallax::Hardening mode,
   const auto& result = machine.result();
   const auto& totals = profiler.totals();
   if (totals.cycles() != result.cycles) {
-    // The RetireObserver contract (vm/machine.h) guarantees exactness; a
+    // The RetireObserver contract (vm/vm.h) guarantees exactness; a
     // mismatch is a profiler bug, not a measurement artifact.
     return fatal("attribution mismatch: app+chain cycles " +
                  std::to_string(totals.cycles()) + " != vm total " +

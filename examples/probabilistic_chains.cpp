@@ -13,7 +13,7 @@
 #include "gadget/scanner.h"
 #include "parallax/protector.h"
 #include "ropc/chain.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 int main() {
   using namespace plx;
@@ -37,7 +37,7 @@ int main() {
 
   auto compiled = cc::compile(source);
   auto plain = parallax::layout_plain(compiled.value());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const int expected = ref.run().exit_code;
 
   parallax::ProtectOptions opts;
@@ -73,7 +73,7 @@ int main() {
   // Two runs with different VM entropy: same output, different chains.
   const img::Symbol* exec_sym = prot.value().image.find_symbol("__plx_chain_scramble");
   auto run_and_snapshot = [&](std::uint64_t seed) {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     m.rng = Rng(seed);
     std::vector<std::uint8_t> snap;
     bool taken = false;

@@ -10,8 +10,8 @@
 #include "cc/compile.h"
 #include "fuzz/targets.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
-#include "x86/format.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/format.h"
 
 int main() {
   using namespace plx;
@@ -32,9 +32,9 @@ int main() {
 
   // Clean run vs debugged run.
   {
-    vm::Machine clean(plain.value());
+    x86::Machine clean(plain.value());
     std::printf("no debugger:            exit=%d\n", clean.run().exit_code);
-    vm::Machine debugged(plain.value());
+    x86::Machine debugged(plain.value());
     debugged.debugger_attached = true;
     std::printf("debugger attached:      exit=%d  (66 = detector fired)\n",
                 debugged.run().exit_code);
@@ -43,14 +43,14 @@ int main() {
   // Listing 2: the attacker nops out the detector branch in main.
   {
     img::Image cracked = plain.value();
-    auto jcc = attack::find_jcc(cracked, "main", x86::Cond::E);
+    auto jcc = attack::find_jcc(cracked, "main", x86::condid(x86::Cond::E));
     attack::nop_jcc(cracked, *jcc);
     // je nopped: execution now falls into the 'return 66' path regardless...
     // in this codegen the je guards the detected branch, so the attacker
     // actually wants it always-taken:
     img::Image cracked2 = plain.value();
     attack::make_jcc_unconditional(cracked2, *jcc);
-    vm::Machine m(cracked2);
+    x86::Machine m(cracked2);
     m.debugger_attached = true;
     std::printf("cracked, debugger on:   exit=%d  (attack %s on the "
                 "unprotected binary)\n",
@@ -69,7 +69,7 @@ int main() {
     return 1;
   }
   {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     std::printf("protected, clean:       exit=%d\n", m.run().exit_code);
   }
 
@@ -77,13 +77,13 @@ int main() {
   // chain gadget, the verification code malfunctions.
   {
     img::Image cracked = prot.value().image;
-    auto jcc = attack::find_jcc(cracked, "main", x86::Cond::E);
+    auto jcc = attack::find_jcc(cracked, "main", x86::condid(x86::Cond::E));
     bool hit_gadget = false;
     for (std::uint32_t a : prot.value().used_gadget_addrs) {
       if (a >= *jcc && a < *jcc + 6) hit_gadget = true;
     }
     attack::make_jcc_unconditional(cracked, *jcc);
-    vm::Machine m(cracked);
+    x86::Machine m(cracked);
     m.debugger_attached = true;
     auto r = m.run(100'000'000);
     std::printf("protected + cracked:    ");

@@ -10,7 +10,7 @@
 #include "cc/compile.h"
 #include "fuzz/targets.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 int main() {
   using namespace plx;
@@ -27,7 +27,7 @@ int main() {
 
   // 2. Reference run (unprotected).
   auto plain = parallax::layout_plain(compiled.value());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const auto ref_run = ref.run();
   std::printf("unprotected run:   exit=%d  (%llu cycles)\n", ref_run.exit_code,
               static_cast<unsigned long long>(ref_run.cycles));
@@ -47,7 +47,7 @@ int main() {
               prot.value().gadgets_total, prot.value().gadgets_overlapping,
               prot.value().chains.at("checksum").gadget_slots.size());
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   const auto run = m.run();
   std::printf("protected run:     exit=%d  (%llu cycles)  -> %s\n", run.exit_code,
               static_cast<unsigned long long>(run.cycles),
@@ -55,7 +55,7 @@ int main() {
 
   // 4. The attack: flip one byte of a gadget the chain uses.
   const std::uint32_t victim = prot.value().used_gadget_addrs[2];
-  vm::Machine tampered(prot.value().image);
+  x86::Machine tampered(prot.value().image);
   bool ok = true;
   const std::uint8_t orig = tampered.read_u8(victim, ok);
   tampered.tamper(victim, orig ^ 0x28);

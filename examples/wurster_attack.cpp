@@ -12,7 +12,7 @@
 #include "baseline/checksum.h"
 #include "cc/compile.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 int main() {
   using namespace plx;
@@ -36,7 +36,7 @@ int main() {
 
   auto compiled = cc::compile(source);
   auto plain = parallax::layout_plain(compiled.value());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const int expected = ref.run().exit_code;
   std::printf("pristine output: %d\n\n", expected);
 
@@ -55,7 +55,7 @@ int main() {
         }
       }
     }
-    vm::Machine m(statically);
+    x86::Machine m(statically);
     auto r = m.run();
     std::printf("checksummed + static patch:  exit=%d  %s\n", r.exit_code,
                 r.exit_code == baseline::ChecksumProtected::kTamperExit
@@ -86,7 +86,7 @@ int main() {
     }
   }
   {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     bool ok = true;
     const std::uint8_t orig = m.read_u8(victim, ok);
     m.tamper_icache(victim, orig ^ 0x28);

@@ -4,12 +4,17 @@ namespace plx::analysis {
 
 Profile profile_run(const img::Image& image, const std::vector<std::uint8_t>& input,
                     std::uint64_t budget) {
-  vm::Machine m(image);
-  m.profile_enabled = true;
-  m.input = input;
   Profile p;
-  p.run = m.run(budget);
-  p.stats = m.profile();
+  const auto m = vm::make_machine(image);
+  if (!m) {
+    p.run.reason = vm::StopReason::Fault;
+    p.run.fault = "no VM registered for this image's ISA";
+    return p;
+  }
+  m->profile_enabled = true;
+  m->input = input;
+  p.run = m->run(budget);
+  p.stats = m->profile();
   p.total_cycles = p.run.cycles;
   return p;
 }

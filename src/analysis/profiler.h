@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "image/image.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::analysis {
 

@@ -5,7 +5,7 @@
 #include <optional>
 #include <vector>
 
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::assembler {
 

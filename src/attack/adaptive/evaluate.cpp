@@ -4,7 +4,7 @@
 #include <span>
 
 #include "support/thread_pool.h"
-#include "vm/machine.h"
+#include "vm/vm.h"
 #include "vm/vmtrace.h"
 
 namespace plx::attack::adaptive {
@@ -34,7 +34,9 @@ std::vector<EvalCase> Evaluator::run(const std::vector<fuzz::Mutation>& cases,
     const std::size_t hi = std::min(lo + chunk, cases.size());
     if (lo >= hi) return;
 
-    vm::Machine m(image_);
+    auto mp = vm::make_machine(image_);
+    if (!mp) return;  // no VM for this ISA: cases stay at their defaults
+    vm::Machine& m = *mp;
     const vm::Machine::Snapshot pristine = m.snapshot();
 
     for (std::size_t i = lo; i < hi; ++i) {
@@ -84,12 +86,13 @@ fuzz::CampaignStats Evaluator::tally(const std::vector<EvalCase>& cases) {
 std::vector<double> golden_ret_density(const img::Image& image,
                                        std::uint64_t step_budget,
                                        std::uint64_t window_cycles) {
-  vm::Machine m(image);
+  auto m = vm::make_machine(image);
+  if (!m) return {};
   vm::ExecutionProfiler prof({}, window_cycles);
-  prof.attach(m);
-  m.run(step_budget);
+  prof.attach(*m);
+  m->run(step_budget);
   prof.finish();
-  m.retire_observer = nullptr;
+  m->retire_observer = nullptr;
   return densities(prof);
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "gadget/scanner.h"
-#include "x86/decoder.h"
+#include "isa/arch.h"
 
 namespace plx::attack::adaptive {
 
@@ -47,18 +47,13 @@ std::map<std::uint32_t, std::uint32_t> gadget_byte_coverage(
   return cover;
 }
 
-bool same_semantics(const x86::Insn& a, const x86::Insn& b) {
-  if (a.op != b.op || a.cond != b.cond || a.opsize != b.opsize ||
-      a.nops != b.nops) {
-    return false;
-  }
-  for (int i = 0; i < a.nops; ++i) {
-    if (!(a.ops[static_cast<std::size_t>(i)] ==
-          b.ops[static_cast<std::size_t>(i)])) {
-      return false;
-    }
-  }
-  return true;
+bool same_semantics(const isa::Insn& a, const isa::Insn& b,
+                    const isa::Arch& arch) {
+  return arch.decoder().same_semantics(a, b);
+}
+
+bool same_semantics(const isa::Insn& a, const isa::Insn& b) {
+  return same_semantics(a, b, isa::default_arch());
 }
 
 std::vector<PreservingPatch> generate_preserving_patches(
@@ -76,14 +71,22 @@ std::vector<PreservingPatch> generate_preserving_patches(
   gadget::ScanOptions scan_opts = opts.scan;
   scan_opts.include_unusable = false;
   scan_opts.parallel = false;  // tiny windows; keep the check on this thread
+  // The backend must match the scan that produced `gadgets`; when unset,
+  // follow the image's ISA.
+  const isa::Arch* arch = scan_opts.arch;
+  if (!arch) arch = isa::find_arch(image.isa);
+  if (!arch) arch = &isa::default_arch();
+  scan_opts.arch = arch;
+  const isa::Decoder& decoder = arch->decoder();
+  const std::uint32_t max_len = arch->max_insn_len();
 
   for (std::uint32_t s : starts) {
     const img::Section* sec = image.section_at(s);
     if (!sec || (sec->perms & img::kPermExec) == 0) continue;
-    const auto window15 = image.read(s, 15);
-    const auto insn = x86::decode(window15);
-    if (!insn || !insn->valid()) continue;
-    const std::uint8_t len = insn->len;
+    const auto window15 = image.read(s, max_len);
+    const isa::Insn insn = decoder.decode(window15);
+    if (!insn.valid()) continue;
+    const std::uint8_t len = insn.len;
     if (s + len > sec->vaddr + sec->bytes.size()) continue;
 
     // Scan window around the instruction, clamped to the section.
@@ -109,10 +112,10 @@ std::vector<PreservingPatch> generate_preserving_patches(
 
         std::vector<std::uint8_t> window = window15;
         window[off] = b;
-        const auto after =
-            x86::decode(std::span<const std::uint8_t>(window));
-        if (!after || !after->valid() || after->len != len) continue;
-        if (same_semantics(*insn, *after)) continue;
+        const isa::Insn after =
+            decoder.decode(std::span<const std::uint8_t>(window));
+        if (!after.valid() || after.len != len) continue;
+        if (same_semantics(insn, after, *arch)) continue;
 
         // Self-check: the usable gadgets overlapping the instruction must be
         // byte-identical after the patch.
@@ -131,8 +134,8 @@ std::vector<PreservingPatch> generate_preserving_patches(
         p.offset = off;
         p.original = orig;
         p.replacement = b;
-        p.before = *insn;
-        p.after = *after;
+        p.before = insn;
+        p.after = after;
         patches.push_back(p);
         ++kept;
         if (patches.size() >= opts.max_total) return patches;

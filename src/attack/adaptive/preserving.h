@@ -9,7 +9,8 @@
 // chain still hashes/executes the exact bytes it was compiled against.
 //
 // The generator enumerates executed instruction starts, decodes each
-// instruction (src/x86), and searches single-byte rewrites that (a) still
+// instruction with the image's backend decoder, and searches single-byte
+// rewrites that (a) still
 // decode to a valid instruction of the same length, (b) change the decoded
 // semantics (mnemonic, condition, operands or operation width), and (c) do
 // not touch any byte covered by a usable gadget. Every accepted patch is
@@ -31,7 +32,7 @@
 #include "gadget/gadget.h"
 #include "gadget/scanner.h"
 #include "image/image.h"
-#include "x86/insn.h"
+#include "isa/insn.h"
 
 namespace plx::attack::adaptive {
 
@@ -41,8 +42,12 @@ std::map<std::uint32_t, std::uint32_t> gadget_byte_coverage(
 
 // Semantic equality of two decoded instructions: mnemonic, condition,
 // operation width and operands (encoding hints like wide_imm are ignored —
-// two encodings of the same operation are the *same* semantics).
-bool same_semantics(const x86::Insn& a, const x86::Insn& b);
+// two encodings of the same operation are the *same* semantics). Both
+// decodes must come from `arch`'s decoder; the overload without an Arch
+// uses the default backend.
+bool same_semantics(const isa::Insn& a, const isa::Insn& b,
+                    const isa::Arch& arch);
+bool same_semantics(const isa::Insn& a, const isa::Insn& b);
 
 struct PreservingPatch {
   std::uint32_t insn_addr = 0;   // start of the rewritten instruction
@@ -50,8 +55,8 @@ struct PreservingPatch {
   std::uint8_t offset = 0;       // changed byte offset within the instruction
   std::uint8_t original = 0;     // byte value before
   std::uint8_t replacement = 0;  // byte value after
-  x86::Insn before;              // decode at insn_addr before the patch
-  x86::Insn after;               // decode at insn_addr after the patch
+  isa::Insn before;              // decode at insn_addr before the patch
+  isa::Insn after;               // decode at insn_addr after the patch
 
   std::uint32_t addr() const { return insn_addr + offset; }
 };

@@ -4,7 +4,7 @@
 // attackers in src/attack (Wurster patcher, byte patcher) model exactly that
 // and nothing more. This module models a *searching* adversary that turns
 // the repo's own machinery against itself: the gadget scanner locates the
-// verification surface, the x86 decoder crafts gadget-preserving rewrites,
+// verification surface, the backend decoder crafts gadget-preserving rewrites,
 // and the vmtrace ret-density fingerprint (ROPocop's detection signal,
 // inverted) guides a hill-climbing search for silent mutants.
 //

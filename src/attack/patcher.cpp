@@ -1,8 +1,20 @@
 #include "attack/patcher.h"
 
-#include "x86/decoder.h"
+#include "isa/arch.h"
+#include "isa/patch_ops.h"
 
 namespace plx::attack {
+
+namespace {
+
+// The backend the patched image was built for; attacks on foreign images
+// fall back to the default backend's byte conventions.
+const isa::Arch& image_arch(const img::Image& image) {
+  const isa::Arch* arch = isa::find_arch(image.isa);
+  return arch ? *arch : isa::default_arch();
+}
+
+}  // namespace
 
 bool patch_bytes(img::Image& image, std::uint32_t addr,
                  std::span<const std::uint8_t> bytes) {
@@ -16,56 +28,26 @@ bool patch_bytes(img::Image& image, std::uint32_t addr,
 }
 
 bool nop_out(img::Image& image, std::uint32_t addr, std::uint32_t len) {
-  std::vector<std::uint8_t> nops(len, 0x90);
+  std::vector<std::uint8_t> nops(len, image_arch(image).nop_byte());
   return patch_bytes(image, addr, nops);
 }
 
 std::optional<std::uint32_t> find_jcc(const img::Image& image,
-                                      const std::string& function, x86::Cond cc,
-                                      int nth) {
-  const img::Symbol* sym = image.find_symbol(function);
-  if (!sym) return std::nullopt;
-  const auto bytes = image.read(sym->vaddr, sym->size);
-  std::size_t off = 0;
-  int seen = 0;
-  while (off < bytes.size()) {
-    const auto insn = x86::decode(std::span(bytes).subspan(off));
-    if (!insn) break;
-    if (insn->op == x86::Mnemonic::JCC && insn->cond == cc) {
-      if (seen == nth) return sym->vaddr + static_cast<std::uint32_t>(off);
-      ++seen;
-    }
-    off += insn->len;
-  }
-  return std::nullopt;
+                                      const std::string& function,
+                                      isa::CondId cc, int nth) {
+  const isa::BranchPatchOps* ops = image_arch(image).branch_patch_ops();
+  if (!ops) return std::nullopt;
+  return ops->find_cond_branch(image, function, cc, nth);
 }
 
 bool make_jcc_unconditional(img::Image& image, std::uint32_t addr) {
-  const auto head = image.read(addr, 2);
-  if (head.size() < 2) return false;
-  if (head[0] == 0x0f && head[1] >= 0x80 && head[1] <= 0x8f) {
-    // 0f 8x rel32 (6 bytes) -> 90 e9 rel32: same end address, same target.
-    const std::uint8_t repl[2] = {0x90, 0xe9};
-    return patch_bytes(image, addr, repl);
-  }
-  if (head[0] >= 0x70 && head[0] <= 0x7f) {
-    // 7x rel8 -> eb rel8.
-    const std::uint8_t repl[1] = {0xeb};
-    return patch_bytes(image, addr, repl);
-  }
-  return false;
+  const isa::BranchPatchOps* ops = image_arch(image).branch_patch_ops();
+  return ops && ops->make_unconditional(image, addr);
 }
 
 bool nop_jcc(img::Image& image, std::uint32_t addr) {
-  const auto head = image.read(addr, 2);
-  if (head.size() < 2) return false;
-  if (head[0] == 0x0f && head[1] >= 0x80 && head[1] <= 0x8f) {
-    return nop_out(image, addr, 6);
-  }
-  if (head[0] >= 0x70 && head[0] <= 0x7f) {
-    return nop_out(image, addr, 2);
-  }
-  return false;
+  const isa::BranchPatchOps* ops = image_arch(image).branch_patch_ops();
+  return ops && ops->neutralize(image, addr);
 }
 
 }  // namespace plx::attack

@@ -3,6 +3,8 @@
 // These implement the attacks from the paper's running example (Listing 2:
 // nop out the jump to cleanup_and_exit) and §VIII-C: overwrite protected
 // instructions, neutralise conditional jumps, restore code after execution.
+// Branch-encoding knowledge comes from the target image's backend
+// (isa::BranchPatchOps), selected by the image's `isa` field.
 #pragma once
 
 #include <optional>
@@ -10,7 +12,7 @@
 #include <string>
 
 #include "image/image.h"
-#include "x86/insn.h"
+#include "isa/insn.h"
 
 namespace plx::attack {
 
@@ -18,13 +20,14 @@ namespace plx::attack {
 bool patch_bytes(img::Image& image, std::uint32_t addr,
                  std::span<const std::uint8_t> bytes);
 
-// Fill [addr, addr+len) with NOPs — the Listing 2 attack.
+// Fill [addr, addr+len) with the backend's NOP byte — the Listing 2 attack.
 bool nop_out(img::Image& image, std::uint32_t addr, std::uint32_t len);
 
 // Find the nth conditional jump with condition `cc` inside a function.
+// Returns nullopt when the image's backend has no branch patching support.
 std::optional<std::uint32_t> find_jcc(const img::Image& image,
-                                      const std::string& function, x86::Cond cc,
-                                      int nth = 0);
+                                      const std::string& function,
+                                      isa::CondId cc, int nth = 0);
 
 // Rewrite a jcc so it is always / never taken, preserving instruction length.
 bool make_jcc_unconditional(img::Image& image, std::uint32_t addr);

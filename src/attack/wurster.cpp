@@ -10,9 +10,15 @@ void icache_patch(vm::Machine& m, std::uint32_t addr,
 vm::RunResult run_with_icache_patch(const img::Image& image, std::uint32_t addr,
                                     std::span<const std::uint8_t> bytes,
                                     std::uint64_t budget) {
-  vm::Machine m(image);
-  m.tamper_icache(addr, bytes);
-  return m.run(budget);
+  auto m = vm::make_machine(image);
+  if (!m) {
+    vm::RunResult r;
+    r.reason = vm::StopReason::Fault;
+    r.fault = "no VM registered for this image's ISA";
+    return r;
+  }
+  m->tamper_icache(addr, bytes);
+  return m->run(budget);
 }
 
 }  // namespace plx::attack

@@ -9,7 +9,7 @@
 #include <span>
 
 #include "image/image.h"
-#include "vm/machine.h"
+#include "vm/vm.h"
 
 namespace plx::attack {
 
@@ -18,7 +18,8 @@ void icache_patch(vm::Machine& m, std::uint32_t addr,
                   std::span<const std::uint8_t> bytes);
 
 // Convenience: run `image` with the given fetch-view patch applied from the
-// start. Checksumming defenses pass; Parallax chains notice.
+// start. Checksumming defenses pass; Parallax chains notice. Faults with a
+// diagnostic when the image names an ISA with no registered VM.
 vm::RunResult run_with_icache_patch(const img::Image& image, std::uint32_t addr,
                                     std::span<const std::uint8_t> bytes,
                                     std::uint64_t budget = 200'000'000);

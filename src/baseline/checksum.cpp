@@ -1,7 +1,7 @@
 #include "baseline/checksum.h"
 
 #include "image/layout.h"
-#include "x86/build.h"
+#include "isa/x86/build.h"
 
 namespace plx::baseline {
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <set>
 
-#include "cc/backend_x86.h"
+#include "isa/x86/cc_backend.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::baseline {
 
@@ -212,7 +212,7 @@ Result<OhProtected> protect_with_oh(const cc::Compiled& program, const OhOptions
       sec.bytes.set_u32(record_sym->vaddr - sec.vaddr, 1);
     }
   }
-  vm::Machine rec(recording);
+  x86::Machine rec(recording);
   auto run = rec.run(500'000'000);
   if (run.reason != vm::StopReason::Exited) {
     return oh_fail("OH recording run did not complete: " + run.fault);

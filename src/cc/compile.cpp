@@ -1,9 +1,9 @@
 #include "cc/compile.h"
 
-#include "cc/backend_x86.h"
+#include "isa/x86/cc_backend.h"
 #include "cc/parser.h"
 #include "vm/syscalls.h"
-#include "x86/build.h"
+#include "isa/x86/build.h"
 
 namespace plx::cc {
 

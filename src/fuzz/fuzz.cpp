@@ -5,7 +5,7 @@
 #include <chrono>
 
 #include "attack/patcher.h"
-#include "x86/decoder.h"
+#include "isa/arch.h"
 #include "support/thread_pool.h"
 #include "telemetry/trace.h"
 
@@ -83,7 +83,12 @@ void CampaignStats::merge(const CampaignStats& other) {
 
 GoldenTrace record_golden(const img::Image& image, std::uint64_t budget,
                           std::unordered_set<std::uint32_t>* exec_starts) {
-  vm::Machine m(image);
+  // No VM for this image's ISA: the default GoldenTrace (reason Running) is
+  // not usable(), so callers report the unsupported backend instead of
+  // fuzzing garbage.
+  const auto mp = vm::make_machine(image);
+  if (!mp) return {};
+  vm::Machine& m = *mp;
   if (exec_starts) {
     m.pre_insn_hook = [exec_starts](std::uint32_t eip) {
       exec_starts->insert(eip);
@@ -155,10 +160,14 @@ TamperFuzzer::TamperFuzzer(const img::Image& image,
   golden_ = record_golden(image_, golden_budget, &starts);
   // Expand instruction starts to per-byte coverage: every byte an executed
   // instruction occupies was fetched, hence implicitly verified.
+  const isa::Arch* arch = isa::find_arch(image_.isa);
+  const isa::Decoder* dec = arch ? &arch->decoder() : nullptr;
+  const std::uint32_t max_len = arch ? arch->max_insn_len() : 1;
   for (std::uint32_t s : starts) {
-    const auto window = image_.read(s, 15);
-    const auto insn = x86::decode(window);
-    const std::uint32_t len = insn ? insn->len : 1;
+    const auto window = image_.read(s, max_len);
+    const isa::Insn insn =
+        dec ? dec->decode(window) : isa::Insn{};
+    const std::uint32_t len = insn.ok ? insn.len : 1;
     for (std::uint32_t a = s; a < s + len; ++a) covered_.insert(a);
   }
 }
@@ -273,7 +282,9 @@ CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
     if (lo >= hi) return;
 
     // One VM per shard; restore the pristine snapshot between mutants.
-    vm::Machine vm_instance(image_);
+    const auto vmp = vm::make_machine(image_);
+    if (!vmp) return;
+    vm::Machine& vm_instance = *vmp;
     const vm::Machine::Snapshot pristine = vm_instance.snapshot();
 
     for (std::size_t i = lo; i < hi; ++i) {
@@ -291,9 +302,10 @@ CampaignStats TamperFuzzer::run_cases(const std::vector<Mutation>& cases,
       } else {
         img::Image patched = image_;
         attack::patch_bytes(patched, mu.addr, mu.bytes);
-        vm::Machine m2(patched);
-        const auto r = m2.run(budget);
-        out.outcome = classify(golden_, m2, r, mu.protected_, &out.detail);
+        const auto m2 = vm::make_machine(patched);
+        if (!m2) continue;
+        const auto r = m2->run(budget);
+        out.outcome = classify(golden_, *m2, r, mu.protected_, &out.detail);
         out.instructions = r.instructions;
       }
       if (PLX_TRACE_ACTIVE()) {

@@ -56,7 +56,7 @@
 
 #include "image/image.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "vm/vm.h"
 
 namespace plx::fuzz {
 

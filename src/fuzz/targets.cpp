@@ -138,13 +138,15 @@ std::vector<std::string> target_names() {
 
 Result<parallax::Protected> protect_target(const Target& t,
                                            parallax::Hardening mode,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           const std::string& isa) {
   auto compiled = cc::compile(t.source);
   if (!compiled) return std::move(compiled).take_error().with_context("compile " + t.name);
   parallax::ProtectOptions opts;
   opts.verify_functions = {t.verify_function};
   opts.hardening = mode;
   opts.seed = seed;
+  opts.isa = isa;
   parallax::Protector p;
   auto prot = p.protect(compiled.value(), opts);
   if (!prot) return std::move(prot).take_error().with_context("protect " + t.name);

@@ -30,9 +30,12 @@ const Target* find_target(const std::string& name);
 // All addressable target names (built-ins + corpus).
 std::vector<std::string> target_names();
 
-// Compile + protect a target with the given hardening mode.
+// Compile + protect a target with the given hardening mode. `isa` names the
+// backend (isa::Arch registry wire name); the pipeline fails with a Diag for
+// backends lacking the required capabilities.
 Result<parallax::Protected> protect_target(const Target& t,
                                            parallax::Hardening mode,
-                                           std::uint64_t seed = 0x9a11a);
+                                           std::uint64_t seed = 0x9a11a,
+                                           const std::string& isa = "x86");
 
 }  // namespace plx::fuzz

@@ -3,27 +3,23 @@
 #include <algorithm>
 #include <bit>
 
-#include "x86/build.h"
-
 namespace plx::gadget {
-
-using x86::Cond;
-using x86::Reg;
 
 Catalog::Catalog(std::vector<Gadget> gadgets) : gadgets_(std::move(gadgets)) {}
 
 void Catalog::add(Gadget g) { gadgets_.push_back(std::move(g)); }
 
-bool Catalog::acceptable(const Gadget& g, GType type, Reg r1, Reg r2,
-                         std::uint16_t live) const {
+bool Catalog::acceptable(const Gadget& g, GType type, isa::RegId r1,
+                         isa::RegId r2, std::uint16_t live) const {
   if (g.type != type) return false;
-  if (r1 != Reg::NONE && g.r1 != r1) return false;
-  if (r2 != Reg::NONE && g.r2 != r2) return false;
+  if (r1 != isa::kNoReg && g.r1 != r1) return false;
+  if (r2 != isa::kNoReg && g.r2 != r2) return false;
   if (g.clobbers & live) return false;
   return true;
 }
 
-std::vector<const Gadget*> Catalog::find(GType type, Reg r1, Reg r2) const {
+std::vector<const Gadget*> Catalog::find(GType type, isa::RegId r1,
+                                         isa::RegId r2) const {
   std::vector<const Gadget*> out;
   for (const auto& g : gadgets_) {
     if (acceptable(g, type, r1, r2, 0)) out.push_back(&g);
@@ -34,7 +30,8 @@ std::vector<const Gadget*> Catalog::find(GType type, Reg r1, Reg r2) const {
   return out;
 }
 
-const Gadget* Catalog::pick(GType type, Reg r1, Reg r2, std::uint16_t live) const {
+const Gadget* Catalog::pick(GType type, isa::RegId r1, isa::RegId r2,
+                            std::uint16_t live) const {
   const Gadget* best = nullptr;
   auto cost = [](const Gadget& g) {
     // Cheaper = fewer chain complications.
@@ -56,8 +53,8 @@ const Gadget* Catalog::pick(GType type, Reg r1, Reg r2, std::uint16_t live) cons
   return best;
 }
 
-const Gadget* Catalog::pick_random(GType type, Reg r1, Reg r2, std::uint16_t live,
-                                   Rng& rng) const {
+const Gadget* Catalog::pick_random(GType type, isa::RegId r1, isa::RegId r2,
+                                   std::uint16_t live, Rng& rng) const {
   std::vector<const Gadget*> candidates;
   for (const auto& g : gadgets_) {
     if (acceptable(g, type, r1, r2, live)) candidates.push_back(&g);
@@ -78,58 +75,6 @@ void Catalog::mark_overlapping(std::uint32_t lo, std::uint32_t hi) {
   for (auto& g : gadgets_) {
     if (g.addr < hi && g.end() > lo) g.overlapping = true;
   }
-}
-
-img::Fragment utility_gadget_fragment(const std::string& name) {
-  using namespace x86::ins;
-  img::Fragment frag;
-  frag.name = name;
-  frag.section = img::SectionKind::Text;
-  frag.is_func = true;  // gives it a sized symbol for diagnostics
-  frag.align = 16;
-
-  auto gadget = [&frag](std::initializer_list<x86::Insn> insns) {
-    for (const auto& i : insns) frag.items.push_back(img::Item::make_insn(i));
-    frag.items.push_back(img::Item::make_insn(ret()));
-  };
-
-  // Value loads (ebp included: chains park it for incidental [ebp+d] gadgets).
-  for (Reg r : {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX, Reg::EBP, Reg::ESI, Reg::EDI}) {
-    gadget({pop(r)});
-  }
-  // Register moves used by the compiler's canonical sequences.
-  gadget({mov(Reg::EAX, Reg::EDX)});
-  gadget({mov(Reg::EDX, Reg::EAX)});
-  gadget({mov(Reg::ECX, Reg::EAX)});
-  gadget({mov(Reg::ECX, Reg::EDX)});
-  gadget({mov(Reg::EAX, Reg::ECX)});
-  // Loads/stores through ecx.
-  gadget({load(Reg::EAX, x86::Mem{.base = Reg::ECX})});
-  gadget({load(Reg::EDX, x86::Mem{.base = Reg::ECX})});
-  gadget({store(x86::Mem{.base = Reg::ECX}, Reg::EAX)});
-  // ALU on eax, edx.
-  gadget({add(Reg::EAX, Reg::EDX)});
-  gadget({sub(Reg::EAX, Reg::EDX)});
-  gadget({xor_(Reg::EAX, Reg::EDX)});
-  gadget({and_(Reg::EAX, Reg::EDX)});
-  gadget({or_(Reg::EAX, Reg::EDX)});
-  gadget({neg(Reg::EAX)});
-  gadget({not_(Reg::EAX)});
-  // Shifts by cl.
-  gadget({shl_cl(Reg::EAX)});
-  gadget({shr_cl(Reg::EAX)});
-  gadget({sar_cl(Reg::EAX)});
-  // Comparison + materialisation.
-  gadget({cmp(Reg::EAX, Reg::EDX)});
-  gadget({test(Reg::EAX, Reg::EAX)});
-  for (int cc = 0; cc < 16; ++cc) {
-    gadget({setcc(static_cast<Cond>(cc), Reg::EAX)});
-  }
-  gadget({movzx8(Reg::EAX, Reg::EAX)});
-  // Chain pivots: in-chain branch and epilogue.
-  gadget({x86::ins::make2(x86::Mnemonic::ADD, r(Reg::ESP), r(Reg::EAX))});
-  gadget({x86::ins::make1(x86::Mnemonic::POP, r(Reg::ESP))});
-  return frag;
 }
 
 }  // namespace plx::gadget

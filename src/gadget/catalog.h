@@ -3,16 +3,16 @@
 // Categorises scanned gadgets by type (and type parameters — operand
 // registers, condition code) and serves lookups for the ROP compiler with
 // the paper's stated policy: overlapping gadgets are always preferred over
-// non-overlapping ones. Also provides the standard fallback utility gadget
-// fragment that §III permits inserting when the binary's own gadget set is
-// not sufficient.
+// non-overlapping ones. The fallback utility gadget fragment that §III
+// permits inserting lives with each backend (isa::Arch::
+// utility_gadget_fragment) — register identity here is the generic
+// isa::RegId, with isa::kNoReg as the wildcard.
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "gadget/gadget.h"
-#include "image/image.h"
 #include "support/rng.h"
 
 namespace plx::gadget {
@@ -26,20 +26,21 @@ class Catalog {
   std::size_t size() const { return gadgets_.size(); }
   const std::vector<Gadget>& all() const { return gadgets_; }
 
-  // All gadgets of a type with matching parameters (Reg::NONE = wildcard),
+  // All gadgets of a type with matching parameters (isa::kNoReg = wildcard),
   // overlapping ones first.
-  std::vector<const Gadget*> find(GType type, x86::Reg r1 = x86::Reg::NONE,
-                                  x86::Reg r2 = x86::Reg::NONE) const;
+  std::vector<const Gadget*> find(GType type, isa::RegId r1 = isa::kNoReg,
+                                  isa::RegId r2 = isa::kNoReg) const;
 
   // Best gadget of a type: overlapping preferred, then fewest side effects.
   // `live` is a register mask the gadget must not clobber. Returns nullptr
   // if none fits.
-  const Gadget* pick(GType type, x86::Reg r1, x86::Reg r2, std::uint16_t live) const;
+  const Gadget* pick(GType type, isa::RegId r1, isa::RegId r2,
+                     std::uint16_t live) const;
 
   // Like pick, but chooses uniformly among acceptable candidates — used for
   // probabilistic chain variant generation (§V-B).
-  const Gadget* pick_random(GType type, x86::Reg r1, x86::Reg r2, std::uint16_t live,
-                            Rng& rng) const;
+  const Gadget* pick_random(GType type, isa::RegId r1, isa::RegId r2,
+                            std::uint16_t live, Rng& rng) const;
 
   // Gadgets flagged as overlapping protected code. The chain compiler weaves
   // transparent ones into chains as verification NOPs.
@@ -49,15 +50,10 @@ class Catalog {
   void mark_overlapping(std::uint32_t lo, std::uint32_t hi);
 
  private:
-  bool acceptable(const Gadget& g, GType type, x86::Reg r1, x86::Reg r2,
+  bool acceptable(const Gadget& g, GType type, isa::RegId r1, isa::RegId r2,
                   std::uint16_t live) const;
 
   std::vector<Gadget> gadgets_;
 };
-
-// The fallback utility gadget set: one tiny fragment providing every gadget
-// type the ROP compiler may require (pop/load/store/ALU/shift/setcc/pivot).
-// After layout these are found by the scanner like any other gadget.
-img::Fragment utility_gadget_fragment(const std::string& name = "__plx_gadgets");
 
 }  // namespace plx::gadget

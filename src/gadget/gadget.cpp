@@ -1,0 +1,60 @@
+#include "gadget/gadget.h"
+
+#include "isa/arch.h"
+
+namespace plx::gadget {
+
+const char* gtype_name(GType t) {
+  switch (t) {
+    case GType::Unusable: return "unusable";
+    case GType::Transparent: return "transparent";
+    case GType::PopReg: return "pop-reg";
+    case GType::MovRegReg: return "mov-reg-reg";
+    case GType::AddRegReg: return "add-reg-reg";
+    case GType::SubRegReg: return "sub-reg-reg";
+    case GType::XorRegReg: return "xor-reg-reg";
+    case GType::AndRegReg: return "and-reg-reg";
+    case GType::OrRegReg: return "or-reg-reg";
+    case GType::NegReg: return "neg-reg";
+    case GType::NotReg: return "not-reg";
+    case GType::LoadMem: return "load-mem";
+    case GType::StoreMem: return "store-mem";
+    case GType::AddStoreMem: return "add-store-mem";
+    case GType::ShlClReg: return "shl-cl-reg";
+    case GType::ShrClReg: return "shr-cl-reg";
+    case GType::SarClReg: return "sar-cl-reg";
+    case GType::CmpRegReg: return "cmp-reg-reg";
+    case GType::TestRegReg: return "test-reg-reg";
+    case GType::SetccReg: return "setcc-reg";
+    case GType::MovzxReg: return "movzx-reg";
+    case GType::AddEspReg: return "add-esp-reg";
+    case GType::PopEsp: return "pop-esp";
+  }
+  return "?";
+}
+
+std::string Gadget::describe() const {
+  // Register/condition spellings come from the default backend's ChainABI;
+  // gadgets do not carry their Arch, and every caller that prints gadgets
+  // today works on default-arch scans.
+  const isa::ChainABI* abi = isa::default_arch().chain_abi();
+  std::string out = gtype_name(type);
+  if (r1 != isa::kNoReg && abi) {
+    out += ' ';
+    out += abi->reg_name(r1);
+  }
+  if (r2 != isa::kNoReg && abi) {
+    out += ", ";
+    out += abi->reg_name(r2);
+  }
+  if (type == GType::SetccReg && abi) {
+    out += " [";
+    out += abi->cond_name(cond);
+    out += ']';
+  }
+  if (far_ret) out += " (far)";
+  if (overlapping) out += " (overlap)";
+  return out;
+}
+
+}  // namespace plx::gadget

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "x86/insn.h"
+#include "isa/insn.h"
 
 namespace plx::gadget {
 
@@ -51,12 +51,12 @@ const char* gtype_name(GType t);
 struct Gadget {
   std::uint32_t addr = 0;
   std::uint8_t len = 0;  // total bytes including the terminating ret
-  std::vector<x86::Insn> insns;  // includes the ret
+  std::vector<isa::Insn> insns;  // includes the ret
 
   GType type = GType::Unusable;
-  x86::Reg r1 = x86::Reg::NONE;
-  x86::Reg r2 = x86::Reg::NONE;
-  x86::Cond cond = x86::Cond::O;
+  isa::RegId r1 = isa::kNoReg;
+  isa::RegId r2 = isa::kNoReg;
+  isa::CondId cond = isa::kNoCond;
 
   bool far_ret = false;        // retf: chain must follow with a dummy word
   std::uint16_t ret_imm = 0;   // ret imm16: chain skips this many bytes

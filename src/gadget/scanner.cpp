@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
-#include "gadget/classify.h"
+#include "isa/classifier.h"
 #include "support/thread_pool.h"
-#include "x86/decoder.h"
 
 namespace plx::gadget {
 
@@ -21,6 +20,11 @@ struct ChainInfo {
   std::uint16_t len = 0;           // bytes through the terminating ret
 };
 
+// The backend a scan runs against (ScanOptions::arch, defaulted).
+const isa::Arch& scan_arch(const ScanOptions& opts) {
+  return opts.arch ? *opts.arch : isa::default_arch();
+}
+
 // Scans window, emitting only gadgets whose start offset lies in
 // [emit_begin, emit_end). `base` is the virtual address of window[0].
 void scan_window(std::span<const std::uint8_t> window, std::uint32_t base,
@@ -28,11 +32,17 @@ void scan_window(std::span<const std::uint8_t> window, std::uint32_t base,
                  std::size_t emit_end, std::vector<Gadget>& out) {
   const std::size_t n = window.size();
   if (n == 0 || emit_begin >= emit_end) return;
+  const isa::Arch& arch = scan_arch(opts);
+  const isa::Decoder& decoder = arch.decoder();
+  const std::uint32_t align = arch.insn_align();
 
-  // Pass 1: decode every offset exactly once.
-  std::vector<x86::Insn> dec(n);  // dec[i].valid() == false where undecodable
+  // Pass 1: decode every decode site exactly once. On x86 every byte offset
+  // is a site (align == 1); ISAs with an alignment rule skip misaligned
+  // addresses entirely.
+  std::vector<isa::Insn> dec(n);  // dec[i].valid() == false where undecodable
   for (std::size_t i = 0; i < n; ++i) {
-    if (auto insn = x86::decode(window.subspan(i))) dec[i] = *insn;
+    if (align > 1 && (base + i) % align != 0) continue;
+    dec[i] = decoder.decode(window.subspan(i));
   }
 
   // Pass 2: successor-chain DP, back to front (successors have higher
@@ -44,13 +54,13 @@ void scan_window(std::span<const std::uint8_t> window, std::uint32_t base,
       std::min(opts.max_bytes + 1, 0xffff));
   std::vector<ChainInfo> chain(n);
   for (std::size_t i = n; i-- > 0;) {
-    const x86::Insn& insn = dec[i];
+    const isa::Insn& insn = dec[i];
     if (!insn.valid()) continue;
-    if (insn.is_ret()) {
+    if (insn.flow == isa::Flow::Ret) {
       chain[i] = {1, insn.len};
       continue;
     }
-    if (insn.is_branch()) continue;  // non-ret control flow derails the chain
+    if (insn.flow == isa::Flow::Branch) continue;  // control flow derails the chain
     const std::size_t next = i + insn.len;
     if (next >= n || chain[next].steps == kNoChain) continue;
     chain[i].steps = static_cast<std::uint16_t>(
@@ -73,16 +83,18 @@ void scan_window(std::span<const std::uint8_t> window, std::uint32_t base,
     for (std::size_t cur = off; g.insns.size() < c.steps; cur += dec[cur].len) {
       g.insns.push_back(dec[cur]);
     }
-    classify(g.insns, g);
+    arch.classifier().classify(g.insns, g);
     if (g.usable() || opts.include_unusable) out.push_back(std::move(g));
   }
 }
 
 // Bytes of window needed past a chunk's emit range so every chain that the
 // full-section scan would accept is fully visible: a chain is capped at
-// max_bytes, and a lone instruction can encode up to 15 bytes.
+// max_bytes, and a lone instruction can encode up to the backend's maximum
+// length (15 on x86).
 std::size_t seam_overlap(const ScanOptions& opts) {
-  return static_cast<std::size_t>(std::max(opts.max_bytes, 15)) + 1;
+  const int max_len = static_cast<int>(scan_arch(opts).max_insn_len());
+  return static_cast<std::size_t>(std::max(opts.max_bytes, max_len)) + 1;
 }
 
 }  // namespace
@@ -98,24 +110,28 @@ std::vector<Gadget> scan_bytes_reference(std::span<const std::uint8_t> bytes,
                                          std::uint32_t base,
                                          const ScanOptions& opts) {
   std::vector<Gadget> out;
+  const isa::Arch& arch = scan_arch(opts);
+  const isa::Decoder& decoder = arch.decoder();
+  const std::uint32_t align = arch.insn_align();
   for (std::size_t off = 0; off < bytes.size(); ++off) {
+    if (align > 1 && (base + off) % align != 0) continue;
     // Decode forward from this offset until a ret, a rejection, or the caps.
-    std::vector<x86::Insn> insns;
+    std::vector<isa::Insn> insns;
     std::size_t cur = off;
     bool terminated = false;
     for (int k = 0; k < opts.max_insns; ++k) {
       if (cur >= bytes.size() || static_cast<int>(cur - off) > opts.max_bytes) break;
-      const auto insn = x86::decode(bytes.subspan(cur));
-      if (!insn) break;
-      if (static_cast<int>(cur - off + insn->len) > opts.max_bytes) break;
-      insns.push_back(*insn);
-      cur += insn->len;
-      if (insn->is_ret()) {
+      const isa::Insn insn = decoder.decode(bytes.subspan(cur));
+      if (!insn.valid()) break;
+      if (static_cast<int>(cur - off + insn.len) > opts.max_bytes) break;
+      insns.push_back(insn);
+      cur += insn.len;
+      if (insn.flow == isa::Flow::Ret) {
         terminated = true;
         break;
       }
       // Control flow other than the terminating ret aborts the sequence.
-      if (insn->is_branch()) break;
+      if (insn.flow == isa::Flow::Branch) break;
     }
     if (!terminated) continue;
 
@@ -123,7 +139,7 @@ std::vector<Gadget> scan_bytes_reference(std::span<const std::uint8_t> bytes,
     g.addr = base + static_cast<std::uint32_t>(off);
     g.len = static_cast<std::uint8_t>(cur - off);
     g.insns = std::move(insns);
-    classify(g.insns, g);
+    arch.classifier().classify(g.insns, g);
     if (g.usable() || opts.include_unusable) out.push_back(std::move(g));
   }
   return out;

@@ -16,6 +16,7 @@
 
 #include "gadget/gadget.h"
 #include "image/image.h"
+#include "isa/arch.h"
 
 namespace plx::gadget {
 
@@ -31,6 +32,10 @@ struct ScanOptions {
   // inputs. parallel == false keeps everything on the calling thread.
   std::size_t chunk_bytes = 0;
   bool parallel = true;
+
+  // Backend whose decoder/classifier drive the scan; nullptr selects
+  // isa::default_arch() (x86), which every pre-seam call site assumed.
+  const isa::Arch* arch = nullptr;
 };
 
 std::vector<Gadget> scan(const img::Image& image, const ScanOptions& opts = {});

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "isa/arch.h"
+
 namespace plx::img {
 
 Fragment* Module::find_fragment(const std::string& name) {
@@ -71,12 +73,21 @@ inline plx::Diag img_fail(std::string msg) {
   return plx::Diag(plx::DiagCode::ImageFormat, "image.format", std::move(msg));
 }
 
-constexpr std::uint32_t kMagic = 0x31584c50;  // "PLX1"
+constexpr std::uint32_t kMagic = 0x31584c50;  // "PLX1": implicit isa = "x86"
+constexpr std::uint32_t kMagic2 = 0x32584c50;  // "PLX2": explicit isa name
 }
 
 Buffer Image::serialize() const {
   Buffer out;
-  out.put_u32(kMagic);
+  // The PLX1 layout (and hence every byte of an x86 image) predates the ISA
+  // seam and must not move: tests/test_pipeline.cpp pins FNV digests of it.
+  // Non-x86 images get the self-describing PLX2 header instead.
+  if (isa == "x86") {
+    out.put_u32(kMagic);
+  } else {
+    out.put_u32(kMagic2);
+    out.put_str(isa);
+  }
   out.put_u32(entry);
   out.put_u32(static_cast<std::uint32_t>(sections.size()));
   for (const auto& s : sections) {
@@ -98,8 +109,21 @@ Buffer Image::serialize() const {
 
 Result<Image> Image::deserialize(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
-  if (r.get_u32() != kMagic) return img_fail("bad PLX magic");
+  const std::uint32_t magic = r.get_u32();
   Image img;
+  if (magic == kMagic) {
+    img.isa = "x86";
+  } else if (magic == kMagic2) {
+    img.isa = r.get_str();
+    if (!r.ok() || img.isa.empty() || img.isa.size() > 16) {
+      return img_fail("corrupt isa name");
+    }
+    if (isa::find_arch(img.isa) == nullptr) {
+      return img_fail("unknown isa '" + img.isa + "'");
+    }
+  } else {
+    return img_fail("bad PLX magic");
+  }
   img.entry = r.get_u32();
   const std::uint32_t nsec = r.get_u32();
   if (!r.ok() || nsec > 1024) return img_fail("corrupt section count");

@@ -25,7 +25,7 @@
 
 #include "support/buffer.h"
 #include "support/error.h"
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::img {
 
@@ -141,6 +141,11 @@ class Image {
   std::vector<Section> sections;
   std::vector<Symbol> symbols;
   std::uint32_t entry = 0;
+  // Backend wire name (isa::Arch registry). "x86" serialises as the original
+  // "PLX1" container byte-for-byte; any other ISA uses the "PLX2" form that
+  // carries the name explicitly, so pre-seam images and the pinned golden
+  // digests stay valid while second-backend images are self-describing.
+  std::string isa = "x86";
 
   const Section* find_section(const std::string& name) const;
   Section* find_section(const std::string& name);
@@ -153,7 +158,7 @@ class Image {
   // Read bytes across a section (returns empty on out-of-range).
   std::vector<std::uint8_t> read(std::uint32_t addr, std::uint32_t n) const;
 
-  // Serialisation ("PLX1" container).
+  // Serialisation ("PLX1" container; "PLX2" when isa != "x86").
   Buffer serialize() const;
   static Result<Image> deserialize(std::span<const std::uint8_t> bytes);
 };

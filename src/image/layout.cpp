@@ -2,7 +2,7 @@
 
 #include <map>
 
-#include "x86/encoder.h"
+#include "isa/x86/encoder.h"
 
 namespace plx::img {
 

@@ -1,0 +1,125 @@
+// The ISA seam: one Arch descriptor per backend plus the narrow capability
+// interfaces the generic layers consume (DESIGN.md §15).
+//
+// Everything above this header — gadget scanner, crafting-rule driver,
+// chain compiler driver, pipeline, fuzz harness, attack toolkit, VM users,
+// telemetry emitters — names instructions, registers and conditions only
+// through isa:: types and reaches backend behaviour only through the
+// capabilities an Arch hands out. Backends live in src/isa/<name>/ and are
+// the only code allowed to include backend headers; the include-layering
+// lint (tests/check_layering.cmake) enforces that at build time.
+//
+// Capabilities are split by consumer so a new backend can come up
+// incrementally: a Decoder alone is enough for scanning, a GadgetClassifier
+// makes scan results meaningful, and ChainABI / RewriteOps / BranchPatchOps
+// unlock chain compilation, crafting and the attack toolkit. Optional
+// capabilities return nullptr and the consuming layer reports a Diag
+// instead of crashing (the rv32 stub exercises exactly this path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/insn.h"
+
+namespace plx::img {
+class Image;
+struct Fragment;
+}
+namespace plx::vm {
+class Machine;
+}
+
+namespace plx::isa {
+
+class GadgetClassifier;  // isa/classifier.h (needs gadget/gadget.h)
+class RewriteOps;        // isa/rewrite_ops.h (needs image/layout.h)
+class BranchPatchOps;    // isa/patch_ops.h
+
+// Chain-ABI capability: the register roles and condition handles the ROP
+// chain compiler (ropc/) targets, plus the naming used in its diagnostics.
+// The role registers are fixed per backend, mirroring the paper's fixed
+// gadget vocabulary: an accumulator, an auxiliary/right-hand-side register,
+// an address register for memory gadgets, and the stack pointer the chain
+// itself runs on.
+class ChainABI {
+ public:
+  virtual ~ChainABI() = default;
+
+  RegId acc = kNoReg;   // accumulator (x86: EAX)
+  RegId aux = kNoReg;   // rhs / scratch (x86: EDX)
+  RegId addr = kNoReg;  // address operand for load/store (x86: ECX)
+  RegId sp = kNoReg;    // stack pointer the chain executes on (x86: ESP)
+
+  // Condition handles for the IR compare operators.
+  CondId cond_eq = kNoCond;
+  CondId cond_ne = kNoCond;
+  CondId cond_lt = kNoCond;
+  CondId cond_le = kNoCond;
+  CondId cond_gt = kNoCond;
+  CondId cond_ge = kNoCond;
+
+  virtual const char* reg_name(RegId r) const = 0;
+  virtual const char* cond_name(CondId c) const = 0;
+};
+
+// One backend. Stateless and immutable after registration; every method is
+// safe to call concurrently.
+class Arch {
+ public:
+  virtual ~Arch() = default;
+
+  virtual const char* name() const = 0;
+  virtual std::uint32_t pointer_bytes() const = 0;
+  // Smallest legal instruction alignment. The scanner only decodes at
+  // offsets satisfying it (1 on x86: every byte offset is a decode site —
+  // the overlapped-gadget trick; 2 on rv32 with the C extension).
+  virtual std::uint32_t insn_align() const = 0;
+  virtual std::uint32_t max_insn_len() const = 0;
+  // Every single-byte opcode that terminates a gadget (x86: C3, CB). Used
+  // by protectability masks and tests; the scanner itself goes through
+  // decoded Flow::Ret.
+  virtual std::span<const std::uint8_t> ret_opcodes() const = 0;
+  // The canonical near-return byte the crafting rules plant (x86: C3).
+  virtual std::uint8_t ret_opcode() const = 0;
+  virtual std::uint8_t nop_byte() const = 0;
+  virtual std::uint32_t reg_count() const = 0;
+
+  virtual const Decoder& decoder() const = 0;
+  virtual const GadgetClassifier& classifier() const = 0;
+
+  // Optional capabilities; nullptr when the backend does not (yet) support
+  // the corresponding layer.
+  virtual const ChainABI* chain_abi() const { return nullptr; }
+  virtual const RewriteOps* rewrite_ops() const { return nullptr; }
+  virtual const BranchPatchOps* branch_patch_ops() const { return nullptr; }
+
+  // Constructs the execution substrate for a PLX image of this ISA; the
+  // base implementation (isa/registry.cpp) returns nullptr — no VM.
+  virtual std::unique_ptr<vm::Machine> make_machine(const img::Image& image) const;
+
+  // The fallback utility gadget set of §III: one fragment providing every
+  // gadget type the ROP compiler may require. The base implementation
+  // (isa/registry.cpp) returns an empty fragment — backends without chain
+  // support contribute no gadgets.
+  virtual img::Fragment utility_gadget_fragment(
+      const std::string& name = "__plx_gadgets") const;
+};
+
+// --- registry (isa/registry.cpp) -------------------------------------------
+
+// Backend by wire name ("x86", "rv32"); nullptr for unknown names.
+const Arch* find_arch(std::string_view name);
+
+// The default backend ("x86") — what every existing entry point assumes.
+const Arch& default_arch();
+
+// All registered wire names, registration order (CLI usage strings and the
+// telemetry validator's accepted set).
+std::vector<std::string> arch_names();
+
+}  // namespace plx::isa

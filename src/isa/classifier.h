@@ -1,0 +1,28 @@
+// GadgetClassifier capability: the semantic-lattice analysis gadget/classify
+// performed pre-seam, as an interface each backend implements over its own
+// decodes. Declared apart from isa/arch.h because it names gadget::Gadget —
+// the generic gadget model — which the Arch descriptor itself does not need.
+#pragma once
+
+#include <span>
+
+#include "gadget/gadget.h"
+#include "isa/insn.h"
+
+namespace plx::isa {
+
+class GadgetClassifier {
+ public:
+  virtual ~GadgetClassifier() = default;
+
+  // Classifies a return-terminated sequence (body + ret, exactly as the
+  // scanner produced it) into `out`: gadget type, operand registers
+  // (RegId, kNoReg = none), condition, clobbers, pop accounting, scratch
+  // parking needs and flag-window safety. `insns` entries carry this
+  // backend's decodes (Insn::unwrap). Must reset every field it owns —
+  // callers hand in a fresh Gadget with addr/len/insns already filled.
+  virtual void classify(std::span<const Insn> insns,
+                        gadget::Gadget& out) const = 0;
+};
+
+}  // namespace plx::isa

@@ -1,0 +1,90 @@
+// ISA-generic decoded-instruction model.
+//
+// The generic layers (gadget scanner, crafting rules driver, pipeline, fuzz
+// harness, attack toolkit) reason about instructions only through the facts
+// recorded here: validity, encoded length, control-flow kind and a few
+// boolean properties. Everything backend-specific (mnemonic, operands,
+// encoding hints) rides along in an opaque payload that only the owning
+// backend reads back, so a byte sequence is decoded exactly once per offset
+// and the backend's classifier / rewriter sees the very same decode the
+// scanner produced — no second decode, no drift between the two views.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace plx::isa {
+
+// Backend register handle. Values are backend encoding indices (x86: the
+// Reg enum order EAX..EDI); kNoReg is the shared "no register / wildcard"
+// sentinel every backend maps its own NONE onto, so generic wildcard
+// comparisons (catalog lookups, chain slot matching) work unchanged.
+using RegId = std::uint8_t;
+inline constexpr RegId kNoReg = 0xff;
+
+// Backend condition-code handle (x86: the tttn encoding). kNoCond means
+// "unconditional / not applicable".
+using CondId = std::uint8_t;
+inline constexpr CondId kNoCond = 0xff;
+
+// Control-flow kind of one decoded instruction, as the scanner needs it:
+// straight-line, a branch/call (breaks a gadget chain), or a return (ends
+// a gadget).
+enum class Flow : std::uint8_t { None, Branch, Ret };
+
+// One decoded instruction. Generic facts up front; the backend's concrete
+// decode lives in `priv` (see wrap()/unwrap() below).
+struct Insn {
+  std::uint8_t len = 0;          // encoded length in bytes (0 = invalid)
+  Flow flow = Flow::None;
+  bool ok = false;               // decoded to a valid instruction
+  bool far_ret = false;          // far return (x86 RETF): unusable for chains
+  bool is_nop = false;           // canonical no-op (filler detection)
+  bool cond_branch = false;      // conditional branch (patcher's Jcc search)
+  CondId cond = kNoCond;         // condition when cond_branch / conditional op
+  // Opaque backend payload. Sized/aligned for every in-tree backend's
+  // concrete Insn (x86's is the largest); wrap() static_asserts the fit.
+  alignas(8) unsigned char priv[88] = {};
+
+  bool valid() const { return ok; }
+
+  // Stores a backend's trivially-copyable concrete decode into `priv`.
+  template <typename T>
+  void wrap(const T& concrete) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= sizeof(priv));
+    std::memcpy(priv, &concrete, sizeof(T));
+  }
+
+  // Reads the concrete decode back. Only the backend that produced this
+  // Insn may call this (the payload layout is its own).
+  template <typename T>
+  T unwrap() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= sizeof(priv));
+    T out;
+    std::memcpy(&out, priv, sizeof(T));
+    return out;
+  }
+};
+
+// Byte decoder capability: bytes at an arbitrary offset -> Insn. Stateless;
+// implementations must be safe to call from any thread (the scanner shards
+// windows over a thread pool).
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  // Decodes the instruction starting at bytes[0]. Returns an Insn with
+  // ok=false when the bytes do not form a valid instruction.
+  virtual Insn decode(std::span<const std::uint8_t> bytes) const = 0;
+
+  // Semantic equality of two decodes from this backend: same operation,
+  // condition, width and operands — encoding hints ignored. Used by the
+  // gadget-preserving patch generator to require a semantics-changing byte.
+  virtual bool same_semantics(const Insn& a, const Insn& b) const = 0;
+};
+
+}  // namespace plx::isa

@@ -1,0 +1,37 @@
+// BranchPatchOps capability: the attacker toolkit's static-patching
+// primitives that depend on branch encodings — locating conditional
+// branches and rewriting them in place, length-preserved. Generic attack
+// code (attack/patcher) dispatches here by the target image's ISA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/insn.h"
+
+namespace plx::img {
+class Image;
+}
+
+namespace plx::isa {
+
+class BranchPatchOps {
+ public:
+  virtual ~BranchPatchOps() = default;
+
+  // Address of the nth conditional branch with condition `cc` inside the
+  // named function, by linear decode from its entry; nullopt when absent.
+  virtual std::optional<std::uint32_t> find_cond_branch(
+      const img::Image& image, const std::string& function, CondId cc,
+      int nth) const = 0;
+
+  // Rewrites the conditional branch at `addr` so it is always taken,
+  // preserving the instruction length and fall-through address.
+  virtual bool make_unconditional(img::Image& image, std::uint32_t addr) const = 0;
+
+  // Rewrites the conditional branch at `addr` so it is never taken.
+  virtual bool neutralize(img::Image& image, std::uint32_t addr) const = 0;
+};
+
+}  // namespace plx::isa

@@ -1,0 +1,54 @@
+// Backend registry: wire name -> Arch descriptor. Registration order is the
+// CLI/telemetry enumeration order; "x86" first keeps it the default every
+// pre-seam entry point assumed.
+#include "isa/arch.h"
+
+#include "image/image.h"
+#include "isa/rv32/arch.h"
+#include "isa/x86/arch.h"
+#include "vm/vm.h"
+
+namespace plx::isa {
+
+std::unique_ptr<vm::Machine> Arch::make_machine(const img::Image& image) const {
+  (void)image;
+  return nullptr;
+}
+
+img::Fragment Arch::utility_gadget_fragment(const std::string& name) const {
+  // Backends without chain support contribute no fallback gadgets: an empty
+  // text fragment keeps layout happy and the chain compiler reports the
+  // missing gadget types as Diags.
+  img::Fragment frag;
+  frag.name = name;
+  frag.section = img::SectionKind::Text;
+  frag.is_func = true;
+  frag.align = 16;
+  return frag;
+}
+
+namespace {
+
+const Arch* const kArchs[] = {
+    &x86::x86_arch(),
+    &rv32::rv32_arch(),
+};
+
+}  // namespace
+
+const Arch* find_arch(std::string_view name) {
+  for (const Arch* a : kArchs) {
+    if (name == a->name()) return a;
+  }
+  return nullptr;
+}
+
+const Arch& default_arch() { return *kArchs[0]; }
+
+std::vector<std::string> arch_names() {
+  std::vector<std::string> names;
+  for (const Arch* a : kArchs) names.emplace_back(a->name());
+  return names;
+}
+
+}  // namespace plx::isa

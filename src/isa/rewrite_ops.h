@@ -1,0 +1,31 @@
+// RewriteOps capability: the applying and measuring sides of the §IV-B
+// crafting rules, as an interface each backend implements over its own
+// encodings. Declared apart from isa/arch.h because it names the rewrite
+// layer's generic result types (CraftResult, CoverageReport), which pull in
+// the image/layout model.
+#pragma once
+
+#include "rewrite/protectability.h"
+#include "rewrite/rewriter.h"
+#include "support/error.h"
+
+namespace plx::isa {
+
+class RewriteOps {
+ public:
+  virtual ~RewriteOps() = default;
+
+  // Applies the §IV-B rules to a module: edits immediates (with
+  // compensators), pads branch targets, and optionally inserts spurious
+  // blocks so new overlapping gadgets come into existence, preserving
+  // program semantics. Every application is verified by re-layout.
+  virtual Result<rewrite::CraftResult> craft_gadgets(
+      const img::Module& input, const rewrite::CraftOptions& opts) const = 0;
+
+  // Measures Figure 6: per rule, the fraction of program code bytes covered
+  // by at least one craftable overlapping gadget.
+  virtual rewrite::CoverageReport analyze_protectability(
+      const img::Module& mod, const img::LayoutResult& laid) const = 0;
+};
+
+}  // namespace plx::isa

@@ -1,0 +1,126 @@
+// RV32 backend stub (RV32IC encodings only as far as the seam needs them).
+//
+// The decoder follows the RISC-V length rule — (byte0 & 3) == 3 selects a
+// 32-bit encoding, anything else a 16-bit compressed one — and recognises
+// the return idioms gadget scanning keys on: `c.jr ra` (0x8082) and
+// `jalr x0, 0(ra)` (0x00008067). Other control transfers are reported as
+// Flow::Branch so gadget chains terminate correctly; every remaining
+// encoding decodes as a straight-line instruction. The classifier maps every
+// sequence to Unusable: this backend exists to exercise the capability
+// gating (no ChainABI, no RewriteOps, no BranchPatchOps, no VM), proving a
+// second ISA flows scan -> protectability end-to-end with zero coverage
+// rather than a crash.
+#include "isa/rv32/arch.h"
+
+#include "isa/classifier.h"
+
+namespace plx::rv32 {
+
+namespace {
+
+constexpr std::uint16_t kCJrRa = 0x8082;      // c.jr ra
+constexpr std::uint32_t kJalrRa = 0x00008067; // jalr x0, 0(ra)
+
+class Rv32Decoder final : public isa::Decoder {
+ public:
+  isa::Insn decode(std::span<const std::uint8_t> bytes) const override {
+    isa::Insn out;
+    if (bytes.size() < 2) return out;
+    const std::uint16_t lo =
+        static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+    if ((lo & 3) != 3) {
+      // 16-bit compressed encoding. All-zero is the defined illegal
+      // instruction; keep it invalid so scans stop at zero padding.
+      if (lo == 0) return out;
+      out.ok = true;
+      out.len = 2;
+      const unsigned quadrant = lo & 3;
+      const unsigned funct3 = (lo >> 13) & 7;
+      if (lo == kCJrRa) {
+        out.flow = isa::Flow::Ret;
+      } else if (quadrant == 1 &&
+                 (funct3 == 1 || funct3 == 5 || funct3 == 6 || funct3 == 7)) {
+        // c.jal / c.j / c.beqz / c.bnez
+        out.flow = isa::Flow::Branch;
+        out.cond_branch = funct3 >= 6;
+        if (out.cond_branch) out.cond = static_cast<isa::CondId>(funct3);
+      } else if (quadrant == 2 && funct3 == 4 && ((lo >> 2) & 0x1f) == 0 &&
+                 ((lo >> 7) & 0x1f) != 0) {
+        // c.jr / c.jalr (rs1 != 0, rs2 == 0); c.jr ra handled above.
+        out.flow = isa::Flow::Branch;
+      }
+      out.wrap(static_cast<std::uint32_t>(lo));
+      return out;
+    }
+    if (bytes.size() < 4) return out;
+    const std::uint32_t word = static_cast<std::uint32_t>(lo) |
+                               (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[3]) << 24);
+    out.ok = true;
+    out.len = 4;
+    const std::uint32_t opcode = word & 0x7f;
+    if (word == kJalrRa) {
+      out.flow = isa::Flow::Ret;
+    } else if (opcode == 0x63) {  // BRANCH (beq/bne/blt/bge/bltu/bgeu)
+      out.flow = isa::Flow::Branch;
+      out.cond_branch = true;
+      out.cond = static_cast<isa::CondId>((word >> 12) & 7);
+    } else if (opcode == 0x6f || opcode == 0x67) {  // JAL / JALR
+      out.flow = isa::Flow::Branch;
+    }
+    out.wrap(word);
+    return out;
+  }
+
+  bool same_semantics(const isa::Insn& a, const isa::Insn& b) const override {
+    // The stub keeps no operand model: semantics == the raw encoding.
+    return a.ok && b.ok && a.len == b.len &&
+           a.unwrap<std::uint32_t>() == b.unwrap<std::uint32_t>();
+  }
+};
+
+class Rv32Classifier final : public isa::GadgetClassifier {
+ public:
+  void classify(std::span<const isa::Insn> insns,
+                gadget::Gadget& out) const override {
+    (void)insns;
+    // No chain vocabulary yet: every sequence is Unusable, so catalogs stay
+    // empty and protectability reports zero coverage.
+    out.type = gadget::GType::Unusable;
+    out.r1 = isa::kNoReg;
+    out.r2 = isa::kNoReg;
+    out.cond = isa::kNoCond;
+  }
+};
+
+constexpr std::uint8_t kRetOpcodes[] = {0x82, 0x67};  // low bytes of the idioms
+
+class Rv32Arch final : public isa::Arch {
+ public:
+  const char* name() const override { return "rv32"; }
+  std::uint32_t pointer_bytes() const override { return 4; }
+  std::uint32_t insn_align() const override { return 2; }
+  std::uint32_t max_insn_len() const override { return 4; }
+  std::span<const std::uint8_t> ret_opcodes() const override {
+    return kRetOpcodes;
+  }
+  std::uint8_t ret_opcode() const override { return 0x82; }
+  std::uint8_t nop_byte() const override { return 0x01; }  // c.nop low byte
+  std::uint32_t reg_count() const override { return 32; }
+
+  const isa::Decoder& decoder() const override { return decoder_; }
+  const isa::GadgetClassifier& classifier() const override { return classifier_; }
+
+ private:
+  Rv32Decoder decoder_;
+  Rv32Classifier classifier_;
+};
+
+}  // namespace
+
+const isa::Arch& rv32_arch() {
+  static const Rv32Arch arch;
+  return arch;
+}
+
+}  // namespace plx::rv32

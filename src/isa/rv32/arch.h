@@ -1,0 +1,14 @@
+// The RV32 (RISC-V 32-bit, C extension) backend stub: decoder and
+// classifier only. Registered so the seam's capability-gating paths are
+// exercised end-to-end — scanning works, every gadget classifies Unusable,
+// protectability reports zero coverage, and chain compilation / crafting /
+// branch patching / VM construction all fail with a Diag instead of a crash.
+#pragma once
+
+#include "isa/arch.h"
+
+namespace plx::rv32 {
+
+const isa::Arch& rv32_arch();
+
+}  // namespace plx::rv32

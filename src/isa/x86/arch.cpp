@@ -1,0 +1,268 @@
+// The x86-32 backend behind the ISA seam: the Arch descriptor plus every
+// capability implementation, adapting the generic interfaces onto the
+// concrete decoder / classifier / rewriter / patch encodings / VM that used
+// to be reached directly.
+#include "isa/x86/arch.h"
+
+#include <memory>
+
+#include "image/image.h"
+#include "isa/classifier.h"
+#include "isa/patch_ops.h"
+#include "isa/rewrite_ops.h"
+#include "isa/x86/build.h"
+#include "isa/x86/classify.h"
+#include "isa/x86/decoder.h"
+#include "isa/x86/insn.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/rewrite.h"
+
+namespace plx::x86 {
+
+namespace {
+
+class X86Decoder final : public isa::Decoder {
+ public:
+  isa::Insn decode(std::span<const std::uint8_t> bytes) const override {
+    const auto insn = x86::decode(bytes);
+    if (!insn) return {};
+    return to_isa(*insn);
+  }
+
+  // Semantic equality ignoring encoding hints (wide_imm, len): same
+  // mnemonic, condition, width and operand list. Used by the adaptive
+  // attacker's gadget-preserving patch generator to require a
+  // semantics-changing byte.
+  bool same_semantics(const isa::Insn& a, const isa::Insn& b) const override {
+    const Insn ia = a.unwrap<Insn>();
+    const Insn ib = b.unwrap<Insn>();
+    if (ia.op != ib.op || ia.cond != ib.cond || ia.opsize != ib.opsize ||
+        ia.nops != ib.nops) {
+      return false;
+    }
+    for (int i = 0; i < ia.nops; ++i) {
+      if (!(ia.ops[static_cast<std::size_t>(i)] ==
+            ib.ops[static_cast<std::size_t>(i)])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class X86Classifier final : public isa::GadgetClassifier {
+ public:
+  void classify(std::span<const isa::Insn> insns,
+                gadget::Gadget& out) const override {
+    // Unwrap the scanner's decodes back into the concrete representation the
+    // lattice analysis works on; no re-decode.
+    std::vector<Insn> concrete;
+    concrete.reserve(insns.size());
+    for (const isa::Insn& i : insns) concrete.push_back(i.unwrap<Insn>());
+    x86::classify(concrete, out);
+  }
+};
+
+class X86ChainABI final : public isa::ChainABI {
+ public:
+  X86ChainABI() {
+    acc = regid(Reg::EAX);
+    aux = regid(Reg::EDX);
+    addr = regid(Reg::ECX);
+    sp = regid(Reg::ESP);
+    cond_eq = condid(Cond::E);
+    cond_ne = condid(Cond::NE);
+    cond_lt = condid(Cond::L);
+    cond_le = condid(Cond::LE);
+    cond_gt = condid(Cond::G);
+    cond_ge = condid(Cond::GE);
+  }
+
+  const char* reg_name(isa::RegId r) const override {
+    return r == isa::kNoReg ? "?" : x86::reg_name(to_reg(r));
+  }
+  const char* cond_name(isa::CondId c) const override {
+    return c == isa::kNoCond ? "?" : x86::cond_name(static_cast<Cond>(c));
+  }
+};
+
+class X86RewriteOps final : public isa::RewriteOps {
+ public:
+  Result<rewrite::CraftResult> craft_gadgets(
+      const img::Module& input, const rewrite::CraftOptions& opts) const override {
+    return x86::craft_gadgets(input, opts);
+  }
+  rewrite::CoverageReport analyze_protectability(
+      const img::Module& mod, const img::LayoutResult& laid) const override {
+    return x86::analyze_protectability(mod, laid);
+  }
+};
+
+class X86BranchPatchOps final : public isa::BranchPatchOps {
+ public:
+  std::optional<std::uint32_t> find_cond_branch(const img::Image& image,
+                                                const std::string& function,
+                                                isa::CondId cc,
+                                                int nth) const override {
+    const img::Symbol* sym = image.find_symbol(function);
+    if (!sym) return std::nullopt;
+    const auto bytes = image.read(sym->vaddr, sym->size);
+    std::size_t off = 0;
+    int seen = 0;
+    while (off < bytes.size()) {
+      const auto insn = x86::decode(std::span(bytes).subspan(off));
+      if (!insn) break;
+      if (insn->op == Mnemonic::JCC && condid(insn->cond) == cc) {
+        if (seen == nth) return sym->vaddr + static_cast<std::uint32_t>(off);
+        ++seen;
+      }
+      off += insn->len;
+    }
+    return std::nullopt;
+  }
+
+  bool make_unconditional(img::Image& image, std::uint32_t addr) const override {
+    const auto head = image.read(addr, 2);
+    if (head.size() < 2) return false;
+    if (head[0] == 0x0f && head[1] >= 0x80 && head[1] <= 0x8f) {
+      // 0f 8x rel32 (6 bytes) -> 90 e9 rel32: same end address, same target.
+      const std::uint8_t repl[2] = {0x90, 0xe9};
+      return poke(image, addr, repl);
+    }
+    if (head[0] >= 0x70 && head[0] <= 0x7f) {
+      // 7x rel8 -> eb rel8.
+      const std::uint8_t repl[1] = {0xeb};
+      return poke(image, addr, repl);
+    }
+    return false;
+  }
+
+  bool neutralize(img::Image& image, std::uint32_t addr) const override {
+    const auto head = image.read(addr, 2);
+    if (head.size() < 2) return false;
+    if (head[0] == 0x0f && head[1] >= 0x80 && head[1] <= 0x8f) {
+      return nop(image, addr, 6);
+    }
+    if (head[0] >= 0x70 && head[0] <= 0x7f) {
+      return nop(image, addr, 2);
+    }
+    return false;
+  }
+
+ private:
+  static bool poke(img::Image& image, std::uint32_t addr,
+                   std::span<const std::uint8_t> bytes) {
+    for (auto& sec : image.sections) {
+      if (!sec.contains(addr)) continue;
+      if (addr - sec.vaddr + bytes.size() > sec.bytes.size()) return false;
+      std::copy(bytes.begin(), bytes.end(),
+                sec.bytes.data() + (addr - sec.vaddr));
+      return true;
+    }
+    return false;
+  }
+  static bool nop(img::Image& image, std::uint32_t addr, std::uint32_t len) {
+    const std::vector<std::uint8_t> nops(len, 0x90);
+    return poke(image, addr, nops);
+  }
+};
+
+constexpr std::uint8_t kRetOpcodes[] = {0xc3, 0xcb};
+
+class X86Arch final : public isa::Arch {
+ public:
+  const char* name() const override { return "x86"; }
+  std::uint32_t pointer_bytes() const override { return 4; }
+  std::uint32_t insn_align() const override { return 1; }
+  std::uint32_t max_insn_len() const override { return 15; }
+  std::span<const std::uint8_t> ret_opcodes() const override {
+    return kRetOpcodes;
+  }
+  std::uint8_t ret_opcode() const override { return 0xc3; }
+  std::uint8_t nop_byte() const override { return 0x90; }
+  std::uint32_t reg_count() const override { return kNumRegs; }
+
+  const isa::Decoder& decoder() const override { return decoder_; }
+  const isa::GadgetClassifier& classifier() const override { return classifier_; }
+  const isa::ChainABI* chain_abi() const override { return &abi_; }
+  const isa::RewriteOps* rewrite_ops() const override { return &rewrite_; }
+  const isa::BranchPatchOps* branch_patch_ops() const override {
+    return &patch_;
+  }
+
+  std::unique_ptr<vm::Machine> make_machine(const img::Image& image) const override {
+    return std::make_unique<Machine>(image);
+  }
+
+  // The fallback utility gadget set of §III: every gadget type the ROP
+  // compiler may require, as real return-terminated x86 sequences.
+  img::Fragment utility_gadget_fragment(const std::string& name) const override {
+    using namespace x86::ins;
+    img::Fragment frag;
+    frag.name = name;
+    frag.section = img::SectionKind::Text;
+    frag.is_func = true;  // gives it a sized symbol for diagnostics
+    frag.align = 16;
+
+    auto gadget = [&frag](std::initializer_list<x86::Insn> insns) {
+      for (const auto& i : insns) frag.items.push_back(img::Item::make_insn(i));
+      frag.items.push_back(img::Item::make_insn(ret()));
+    };
+
+    // Value loads (ebp included: chains park it for incidental [ebp+d]
+    // gadgets).
+    for (Reg r : {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX, Reg::EBP, Reg::ESI,
+                  Reg::EDI}) {
+      gadget({pop(r)});
+    }
+    // Register moves used by the compiler's canonical sequences.
+    gadget({mov(Reg::EAX, Reg::EDX)});
+    gadget({mov(Reg::EDX, Reg::EAX)});
+    gadget({mov(Reg::ECX, Reg::EAX)});
+    gadget({mov(Reg::ECX, Reg::EDX)});
+    gadget({mov(Reg::EAX, Reg::ECX)});
+    // Loads/stores through ecx.
+    gadget({load(Reg::EAX, Mem{.base = Reg::ECX})});
+    gadget({load(Reg::EDX, Mem{.base = Reg::ECX})});
+    gadget({store(Mem{.base = Reg::ECX}, Reg::EAX)});
+    // ALU on eax, edx.
+    gadget({add(Reg::EAX, Reg::EDX)});
+    gadget({sub(Reg::EAX, Reg::EDX)});
+    gadget({xor_(Reg::EAX, Reg::EDX)});
+    gadget({and_(Reg::EAX, Reg::EDX)});
+    gadget({or_(Reg::EAX, Reg::EDX)});
+    gadget({neg(Reg::EAX)});
+    gadget({not_(Reg::EAX)});
+    // Shifts by cl.
+    gadget({shl_cl(Reg::EAX)});
+    gadget({shr_cl(Reg::EAX)});
+    gadget({sar_cl(Reg::EAX)});
+    // Comparison + materialisation.
+    gadget({cmp(Reg::EAX, Reg::EDX)});
+    gadget({test(Reg::EAX, Reg::EAX)});
+    for (int cc = 0; cc < 16; ++cc) {
+      gadget({setcc(static_cast<Cond>(cc), Reg::EAX)});
+    }
+    gadget({movzx8(Reg::EAX, Reg::EAX)});
+    // Chain pivots: in-chain branch and epilogue.
+    gadget({make2(Mnemonic::ADD, r(Reg::ESP), r(Reg::EAX))});
+    gadget({make1(Mnemonic::POP, r(Reg::ESP))});
+    return frag;
+  }
+
+ private:
+  X86Decoder decoder_;
+  X86Classifier classifier_;
+  X86ChainABI abi_;
+  X86RewriteOps rewrite_;
+  X86BranchPatchOps patch_;
+};
+
+}  // namespace
+
+const isa::Arch& x86_arch() {
+  static const X86Arch arch;
+  return arch;
+}
+
+}  // namespace plx::x86

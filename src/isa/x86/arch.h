@@ -1,0 +1,12 @@
+// The x86-32 backend's Arch descriptor (isa/arch.h). Defined in arch.cpp;
+// the registry (isa/registry.cpp) is the only intended caller — generic code
+// reaches this backend through isa::find_arch("x86") / isa::default_arch().
+#pragma once
+
+#include "isa/arch.h"
+
+namespace plx::x86 {
+
+const isa::Arch& x86_arch();
+
+}  // namespace plx::x86

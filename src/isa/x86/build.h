@@ -6,7 +6,7 @@
 // `ins::load(Reg::EAX, Mem{.base = Reg::EBP, .disp = -4})`.
 #pragma once
 
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::x86::ins {
 

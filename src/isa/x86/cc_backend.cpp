@@ -1,6 +1,6 @@
-#include "cc/backend_x86.h"
+#include "isa/x86/cc_backend.h"
 
-#include "x86/build.h"
+#include "isa/x86/build.h"
 
 namespace plx::cc {
 

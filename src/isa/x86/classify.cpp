@@ -1,61 +1,11 @@
-#include "gadget/classify.h"
+#include "isa/x86/classify.h"
 
-namespace plx::gadget {
+#include "isa/x86/insn.h"
 
-using x86::Insn;
-using x86::Mnemonic;
-using x86::Operand;
-using x86::OpSize;
-using x86::Reg;
+namespace plx::x86 {
 
-const char* gtype_name(GType t) {
-  switch (t) {
-    case GType::Unusable: return "unusable";
-    case GType::Transparent: return "transparent";
-    case GType::PopReg: return "pop-reg";
-    case GType::MovRegReg: return "mov-reg-reg";
-    case GType::AddRegReg: return "add-reg-reg";
-    case GType::SubRegReg: return "sub-reg-reg";
-    case GType::XorRegReg: return "xor-reg-reg";
-    case GType::AndRegReg: return "and-reg-reg";
-    case GType::OrRegReg: return "or-reg-reg";
-    case GType::NegReg: return "neg-reg";
-    case GType::NotReg: return "not-reg";
-    case GType::LoadMem: return "load-mem";
-    case GType::StoreMem: return "store-mem";
-    case GType::AddStoreMem: return "add-store-mem";
-    case GType::ShlClReg: return "shl-cl-reg";
-    case GType::ShrClReg: return "shr-cl-reg";
-    case GType::SarClReg: return "sar-cl-reg";
-    case GType::CmpRegReg: return "cmp-reg-reg";
-    case GType::TestRegReg: return "test-reg-reg";
-    case GType::SetccReg: return "setcc-reg";
-    case GType::MovzxReg: return "movzx-reg";
-    case GType::AddEspReg: return "add-esp-reg";
-    case GType::PopEsp: return "pop-esp";
-  }
-  return "?";
-}
-
-std::string Gadget::describe() const {
-  std::string out = gtype_name(type);
-  if (r1 != Reg::NONE) {
-    out += ' ';
-    out += x86::reg_name(r1);
-  }
-  if (r2 != Reg::NONE) {
-    out += ", ";
-    out += x86::reg_name(r2);
-  }
-  if (type == GType::SetccReg) {
-    out += " [";
-    out += x86::cond_name(cond);
-    out += ']';
-  }
-  if (far_ret) out += " (far)";
-  if (overlapping) out += " (overlap)";
-  return out;
-}
+using gadget::Gadget;
+using gadget::GType;
 
 namespace {
 
@@ -175,7 +125,8 @@ bool parkable_mem(const x86::Mem& m) {
 
 void classify(std::span<const Insn> insns, Gadget& out) {
   out.type = GType::Unusable;
-  out.r1 = out.r2 = Reg::NONE;
+  out.r1 = out.r2 = isa::kNoReg;
+  out.cond = isa::kNoCond;
   out.clobbers = 0;
   out.total_pops = 0;
   out.value_pop_index = 0;
@@ -407,7 +358,7 @@ void classify(std::span<const Insn> insns, Gadget& out) {
       r1 = (d.kind == Operand::Kind::Reg) ? parent_of(d) : Reg::NONE;
       r2 = (insn.nops >= 2 && s.kind == Operand::Kind::Reg) ? parent_of(s) : Reg::NONE;
       if (match == GType::SetccReg) {
-        out.cond = insn.cond;
+        out.cond = static_cast<isa::CondId>(insn.cond);
         r2 = Reg::NONE;
       }
       if (match == GType::CmpRegReg || match == GType::TestRegReg) {
@@ -459,6 +410,7 @@ void classify(std::span<const Insn> insns, Gadget& out) {
     if ((out.scratch_addr_regs & operand_bits) ||
         (pivot && out.scratch_addr_regs != 0)) {
       out.type = GType::Unusable;
+      out.cond = isa::kNoCond;
       return;
     }
   }
@@ -480,8 +432,10 @@ void classify(std::span<const Insn> insns, Gadget& out) {
   // Primary outputs must not be reported as clobbers.
   if (r1 != Reg::NONE) out.clobbers &= static_cast<std::uint16_t>(~bit(r1));
   out.type = type;
-  out.r1 = r1;
-  out.r2 = r2;
+  out.r1 = regid(r1);
+  out.r2 = regid(r2);
+  // Only setcc carries a condition; a demoted setcc match must not leak one.
+  if (type != GType::SetccReg) out.cond = isa::kNoCond;
 }
 
-}  // namespace plx::gadget
+}  // namespace plx::x86

@@ -1,0 +1,19 @@
+// x86 gadget classifier: the semantic lattice of DESIGN.md §"Gadget
+// classification", applied to one decoded return-terminated sequence.
+// Generic code reaches this through isa::Arch::classifier(); the free
+// function is the x86-typed core, exposed for backend-level tests.
+#pragma once
+
+#include <span>
+
+#include "gadget/gadget.h"
+#include "isa/x86/insn.h"
+
+namespace plx::x86 {
+
+// Classifies `insns` (body + terminating ret) into `out`, filling type,
+// r1/r2/cond (as isa::RegId / isa::CondId), clobbers, pop accounting,
+// scratch-park requirements and flag-window safety.
+void classify(std::span<const Insn> insns, gadget::Gadget& out);
+
+}  // namespace plx::x86

@@ -1,4 +1,4 @@
-#include "x86/decoder.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::x86 {
 

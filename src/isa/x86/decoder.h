@@ -9,7 +9,7 @@
 #include <optional>
 #include <span>
 
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::x86 {
 

@@ -1,4 +1,4 @@
-#include "x86/encoder.h"
+#include "isa/x86/encoder.h"
 
 #include <cassert>
 #include <cstdlib>

@@ -10,7 +10,7 @@
 
 #include "support/buffer.h"
 #include "support/error.h"
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::x86 {
 

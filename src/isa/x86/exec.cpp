@@ -4,9 +4,12 @@
 #include <climits>
 #include <cstdint>
 
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
-namespace plx::vm {
+namespace plx::x86 {
+
+using vm::RunResult;
+using vm::StopReason;
 
 namespace {
 
@@ -696,4 +699,4 @@ bool Machine::exec_one(const x86::Insn& insn) {
   return c.ok && !stopped_;
 }
 
-}  // namespace plx::vm
+}  // namespace plx::x86

@@ -1,9 +1,9 @@
-#include "x86/format.h"
+#include "isa/x86/format.h"
 
 #include <cstdio>
 
 #include "support/hexdump.h"
-#include "x86/decoder.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::x86 {
 

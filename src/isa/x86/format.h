@@ -8,7 +8,7 @@
 #include <span>
 #include <string>
 
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::x86 {
 

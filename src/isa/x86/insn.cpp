@@ -1,4 +1,4 @@
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
 
 namespace plx::x86 {
 
@@ -313,6 +313,26 @@ RegEffects reg_effects(const Insn& insn) {
   (void)kEcx;
   (void)kEdx;
   return fx;
+}
+
+isa::Insn to_isa(const Insn& insn) {
+  isa::Insn out;
+  out.ok = insn.valid();
+  if (!out.ok) return out;
+  out.len = insn.len;
+  if (insn.is_ret()) {
+    out.flow = isa::Flow::Ret;
+  } else if (insn.is_branch()) {
+    out.flow = isa::Flow::Branch;
+  }
+  out.far_ret = insn.op == Mnemonic::RETF;
+  out.is_nop = insn.op == Mnemonic::NOP;
+  out.cond_branch = insn.op == Mnemonic::JCC;
+  if (insn.op == Mnemonic::JCC || insn.op == Mnemonic::SETCC) {
+    out.cond = static_cast<isa::CondId>(insn.cond);
+  }
+  out.wrap(insn);
+  return out;
 }
 
 }  // namespace plx::x86

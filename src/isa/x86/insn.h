@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "isa/insn.h"
+
 namespace plx::x86 {
 
 // General-purpose registers in x86 encoding order. For byte-sized operands
@@ -32,6 +34,21 @@ enum class Reg : std::uint8_t {
 };
 
 constexpr int kNumRegs = 8;
+
+// Reg <-> isa::RegId. The generic layers carry registers as isa::RegId with
+// kNoReg as the wildcard/none sentinel; the x86 backend maps Reg::NONE onto
+// it (and back) so wildcard comparisons agree across the seam.
+constexpr isa::RegId regid(Reg r) {
+  return r == Reg::NONE ? isa::kNoReg : static_cast<isa::RegId>(r);
+}
+constexpr Reg to_reg(isa::RegId r) {
+  return r == isa::kNoReg ? Reg::NONE : static_cast<Reg>(r);
+}
+
+// Cond -> isa::CondId (the tttn value itself; forward declared here so call
+// sites that name x86 conditions can hand them to generic interfaces).
+enum class Cond : std::uint8_t;
+constexpr isa::CondId condid(Cond c) { return static_cast<isa::CondId>(c); }
 
 enum class OpSize : std::uint8_t { Byte, Word, Dword };
 
@@ -142,6 +159,11 @@ struct Insn {
     return op == Mnemonic::JMP || op == Mnemonic::JCC || op == Mnemonic::CALL;
   }
 };
+
+// Lifts a concrete decode into the generic isa::Insn the scanner and other
+// generic layers carry: generic facts summarised, the full decode wrapped
+// into the opaque payload for this backend to read back.
+isa::Insn to_isa(const Insn& insn);
 
 // --- naming helpers (implemented in insn.cpp) -------------------------------
 const char* reg_name(Reg r, OpSize size = OpSize::Dword);

@@ -1,11 +1,15 @@
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 #include <algorithm>
 #include <cstring>
 
-#include "x86/decoder.h"
+#include "isa/x86/decoder.h"
 
-namespace plx::vm {
+namespace plx::x86 {
+
+using vm::FuncStats;
+using vm::RunResult;
+using vm::StopReason;
 
 namespace {
 
@@ -237,9 +241,9 @@ void Machine::tamper_icache(std::uint32_t addr, std::span<const std::uint8_t> by
 
 Machine::Snapshot Machine::snapshot() const {
   Snapshot s;
-  std::copy(std::begin(reg), std::end(reg), std::begin(s.reg));
-  s.eip = eip;
-  s.eflags = eflags;
+  s.regs.assign(std::begin(reg), std::end(reg));
+  s.pc = eip;
+  s.flags = eflags;
   s.region_bytes.reserve(regions_.size());
   for (const auto& r : regions_) s.region_bytes.push_back(r.bytes);
   s.icache_overlay = icache_overlay_;
@@ -258,10 +262,13 @@ Machine::Snapshot Machine::snapshot() const {
 }
 
 void Machine::restore(const Snapshot& s) {
-  if (s.region_bytes.size() != regions_.size()) return;  // foreign snapshot
-  std::copy(std::begin(s.reg), std::end(s.reg), std::begin(reg));
-  eip = s.eip;
-  eflags = s.eflags;
+  if (s.region_bytes.size() != regions_.size() ||
+      s.regs.size() != std::size(reg)) {
+    return;  // foreign snapshot
+  }
+  std::copy(s.regs.begin(), s.regs.end(), std::begin(reg));
+  eip = s.pc;
+  eflags = s.flags;
   for (std::size_t i = 0; i < regions_.size(); ++i) {
     // Region extents are immutable after construction; only content reverts.
     std::copy(s.region_bytes[i].begin(), s.region_bytes[i].end(),
@@ -720,4 +727,4 @@ RunResult Machine::call_function(std::uint32_t addr, const std::vector<std::uint
   return run(max_instructions);
 }
 
-}  // namespace plx::vm
+}  // namespace plx::x86

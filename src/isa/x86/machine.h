@@ -1,8 +1,11 @@
-// x86-32 virtual machine.
+// x86-32 virtual machine (the x86 backend's vm::Machine).
 //
 // Executes PLX images. This is the testbed substrate for the whole
 // reproduction: protected programs, their ROP verification chains, the
-// attacker's patches and the baseline defenses all run here.
+// attacker's patches and the baseline defenses all run here. ISA-neutral
+// consumers (fuzz harness, attack toolkit, profiler) hold the vm::Machine
+// base (vm/vm.h) and obtain one via vm::make_machine(); tests and tools
+// that poke x86 architectural state construct this class directly.
 //
 // Two features exist specifically for the paper's experiments:
 //
@@ -27,17 +30,16 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "image/image.h"
-#include "support/rng.h"
-#include "x86/insn.h"
+#include "isa/x86/insn.h"
+#include "vm/vm.h"
 
-namespace plx::vm {
+namespace plx::x86 {
 
 // EFLAGS bits we model (AF is accepted but always reads back 0).
 constexpr std::uint32_t kCF = 1u << 0;
@@ -47,47 +49,13 @@ constexpr std::uint32_t kSF = 1u << 7;
 constexpr std::uint32_t kDF = 1u << 10;
 constexpr std::uint32_t kOF = 1u << 11;
 
-enum class StopReason {
-  Running,        // only seen internally
-  Exited,         // exit syscall or return through the entry sentinel
-  Fault,          // invalid opcode / bad memory / div-by-zero / int3 / W^X
-  BudgetExceeded  // instruction budget exhausted
-};
-
-struct RunResult {
-  StopReason reason = StopReason::Running;
-  std::int32_t exit_code = 0;
-  std::string fault;          // human-readable fault description
-  std::uint32_t fault_eip = 0;
-  std::uint64_t instructions = 0;
-  std::uint64_t cycles = 0;
-
-  bool exited_ok(std::int32_t expect = 0) const {
-    return reason == StopReason::Exited && exit_code == expect;
-  }
-};
-
-struct FuncStats {
-  std::uint64_t cycles = 0;
-  std::uint64_t instructions = 0;
-  std::uint64_t calls = 0;
-};
-
-// Per-retired-instruction observer (vm/vmtrace.h attaches one to attribute
-// cycles to app vs chain code). step() calls on_retire after every executed
-// instruction — including faulting ones, with the cycles it actually accrued
-// (possibly 0) — so the observer's cycle sum equals RunResult::cycles
-// exactly. The call site is compiled out unless the build defines PLX_TRACE,
-// keeping the hot dispatch loop byte-identical in perf builds.
-struct RetireObserver {
-  virtual ~RetireObserver() = default;
-  virtual void on_retire(std::uint32_t eip, std::uint64_t cycles,
-                         bool is_ret) = 0;
-};
-
-class Machine {
+class Machine final : public vm::Machine {
  public:
   explicit Machine(const img::Image& image);
+
+  using RunResult = vm::RunResult;
+  using StopReason = vm::StopReason;
+  using Snapshot = vm::Machine::Snapshot;
 
   // --- architectural state --------------------------------------------------
   std::uint32_t reg[8] = {};  // indexed by x86::Reg
@@ -110,8 +78,8 @@ class Machine {
   };
 
   // Data-view accessors (respect permissions; set fault on violation).
-  bool read_mem(std::uint32_t addr, void* out, std::uint32_t n);
-  bool write_mem(std::uint32_t addr, const void* in, std::uint32_t n);
+  bool read_mem(std::uint32_t addr, void* out, std::uint32_t n) override;
+  bool write_mem(std::uint32_t addr, const void* in, std::uint32_t n) override;
   std::uint32_t read_u32(std::uint32_t addr, bool& ok);
   std::uint16_t read_u16(std::uint32_t addr, bool& ok);
   std::uint8_t read_u8(std::uint32_t addr, bool& ok);
@@ -120,107 +88,51 @@ class Machine {
   bool write_u8(std::uint32_t addr, std::uint8_t v);
 
   // Attacker interface: patch ignoring permissions.
-  void tamper(std::uint32_t addr, std::uint8_t byte);              // both views
-  void tamper(std::uint32_t addr, std::span<const std::uint8_t>);  // both views
-  void tamper_icache(std::uint32_t addr, std::uint8_t byte);       // fetch view only
-  void tamper_icache(std::uint32_t addr, std::span<const std::uint8_t>);
-  void clear_icache_overlay() {
+  void tamper(std::uint32_t addr, std::uint8_t byte) override;  // both views
+  void tamper(std::uint32_t addr, std::span<const std::uint8_t>) override;
+  void tamper_icache(std::uint32_t addr, std::uint8_t byte) override;  // fetch view
+  void tamper_icache(std::uint32_t addr, std::span<const std::uint8_t>) override;
+  void clear_icache_overlay() override {
     icache_overlay_.clear();
     invalidate_predecode();
   }
 
   // --- snapshot / restore ---------------------------------------------------
-  // Full machine state capture for cheap re-execution (the tamper-fuzzing
-  // harness restores the pristine state between mutants instead of paying a
-  // Machine construction per run). restore() invalidates the predecode cache
-  // exactly like tamper() does — the restored bytes may differ from the ones
-  // the warm cache decoded — and is only valid against the Machine the
-  // snapshot was taken from (region layout must match).
-  struct Snapshot {
-    std::uint32_t reg[8] = {};
-    std::uint32_t eip = 0;
-    std::uint32_t eflags = 0;
-    std::vector<std::vector<std::uint8_t>> region_bytes;  // one per region
-    std::unordered_map<std::uint32_t, std::uint8_t> icache_overlay;
-    RunResult result;
-    bool stopped = false;
-    std::string output;
-    std::vector<std::uint8_t> input;
-    std::size_t input_pos = 0;
-    bool debugger_attached = false;
-    std::uint32_t time_value = 0;
-    Rng rng{0};
-    std::map<std::uint32_t, std::uint64_t> syscall_counts;
-    std::uint64_t syscall_digest = 0;
-    std::vector<FuncStats> func_stats;
-  };
-  Snapshot snapshot() const;
-  void restore(const Snapshot& s);
+  // vm::Machine::Snapshot semantics; regs holds the 8 GPRs in x86::Reg
+  // order, pc/flags are eip/eflags.
+  Snapshot snapshot() const override;
+  void restore(const Snapshot& s) override;
 
   // Fetch-view read (what execution sees); used by tests to inspect.
-  std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const;
+  std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const override;
 
   Region* region_at(std::uint32_t addr);
   const Region* region_at(std::uint32_t addr) const;
 
   // --- execution --------------------------------------------------------
   // Runs from the image entry point until exit/fault/budget.
-  RunResult run(std::uint64_t max_instructions = 100'000'000);
+  RunResult run(std::uint64_t max_instructions = 100'000'000) override;
 
   // Calls a function at `addr` with cdecl args; returns when it returns to
   // the sentinel. Used by unit tests and the chain-slowdown benches.
   RunResult call_function(std::uint32_t addr, const std::vector<std::uint32_t>& args,
-                          std::uint64_t max_instructions = 100'000'000);
+                          std::uint64_t max_instructions = 100'000'000) override;
 
   // Single-step; updates `result_`. Returns false when stopped.
-  bool step();
-  const RunResult& result() const { return result_; }
+  bool step() override;
+  const RunResult& result() const override { return result_; }
 
-  // --- host / syscall state -------------------------------------------------
-  std::string output;                 // bytes written to fd 1/2
-  std::vector<std::uint8_t> input;    // bytes served by read(fd 0)
-  std::size_t input_pos = 0;
-  bool debugger_attached = false;     // makes ptrace(TRACEME) fail
-  std::uint32_t time_value = 1700000000;
-  Rng rng{0x5eed};
-  // Per-syscall-number invocation counts (the fuzzing oracle's "syscall
-  // summary"); includes unknown numbers that returned ENOSYS.
-  std::map<std::uint32_t, std::uint64_t> syscall_counts;
-  // Order-sensitive FNV-1a digest of every syscall's (number, ebx, ecx, edx):
-  // the full-width argument trace, where `syscall_counts` only keeps
-  // invocation counts. Catches tampering whose corruption reaches a syscall
-  // argument that the kernel-side effect then truncates (e.g. exit status).
-  std::uint64_t syscall_digest = 0xcbf29ce484222325ull;
-
-  // FNV-1a digest of the current architectural end state: registers, eflags,
-  // and every writable region's bytes. The fuzzing oracle compares digests
-  // after the run, so mutants that corrupt memory the program never prints
-  // (e.g. chain frames, globals) still count as a behavioural divergence.
-  std::uint64_t state_digest() const;
-
-  // Pre-instruction hook (tracing); called with the decoded eip.
-  std::function<void(std::uint32_t)> pre_insn_hook;
-
-  // Retired-instruction observer (cycle attribution; see RetireObserver).
-  // Always present so the Machine ABI does not depend on PLX_TRACE, but only
-  // consulted when the build compiles the trace layer in.
-  RetireObserver* retire_observer = nullptr;
+  // FNV-1a digest of registers, eflags and every writable region's bytes.
+  std::uint64_t state_digest() const override;
 
   // --- profiling --------------------------------------------------------
-  bool profile_enabled = false;
-  const std::map<std::string, FuncStats>& profile() const;
-
-  std::uint64_t instructions() const { return result_.instructions; }
-  std::uint64_t cycles() const { return result_.cycles; }
-
-  // W^X enforcement on fetch (on by default; gadgets live in .text so
-  // Parallax never needs it off — see §V-B: chains are *data*, only gadget
-  // bodies execute).
-  bool enforce_nx = true;
+  const std::map<std::string, vm::FuncStats>& profile() const override;
 
   // Number of decoded-instruction cache invalidations (observability; tests
   // use it to assert the cache actually drops on code mutation).
-  std::uint64_t predecode_invalidations() const { return predecode_invalidations_; }
+  std::uint64_t predecode_invalidations() const override {
+    return predecode_invalidations_;
+  }
 
  private:
   friend struct ExecCtx;
@@ -305,13 +217,13 @@ class Machine {
   std::vector<FuncSpan> funcs_;
   // Stats are accumulated per FuncSpan index (no string hashing on the hot
   // path); profile() materialises the by-name map on demand.
-  std::vector<FuncStats> func_stats_;
+  std::vector<vm::FuncStats> func_stats_;
   std::size_t last_func_ = 0;  // index of the last span hit (+1), 0 = none
-  mutable std::map<std::string, FuncStats> profile_;
+  mutable std::map<std::string, vm::FuncStats> profile_;
   mutable bool profile_dirty_ = false;
   int func_index_at(std::uint32_t addr);
 
   static constexpr std::uint32_t kExitSentinel = 0xffff0000;
 };
 
-}  // namespace plx::vm
+}  // namespace plx::x86

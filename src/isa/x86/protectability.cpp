@@ -1,0 +1,117 @@
+// Figure 6 over x86 encodings; dispatched through isa::Arch::rewrite_ops().
+// The rule probes are moved verbatim from the pre-seam
+// rewrite/protectability.cpp — coverage numbers unchanged.
+#include "isa/x86/rewrite.h"
+
+#include <algorithm>
+
+#include "gadget/scanner.h"
+#include "isa/x86/encoder.h"
+#include "isa/x86/rules.h"
+
+namespace plx::x86 {
+
+using rewrite::CoverageReport;
+using rewrite::Rule;
+
+CoverageReport analyze_protectability(const img::Module& mod,
+                                      const img::LayoutResult& laid) {
+  CoverageReport report;
+  const img::Section* text = laid.image.find_section(".text");
+  if (!text) return report;
+  rewrite::init_coverage_report(mod, laid, report);
+  const std::size_t tsize = text->bytes.size();
+
+  auto mark = [&](Rule rule, std::uint32_t lo, std::uint32_t hi) {
+    auto& bits = report.covered[rule];
+    for (std::uint32_t a = lo; a < hi && a < tsize; ++a) {
+      bits[a] = true;
+      report.any[a] = true;
+    }
+  };
+
+  // --- existing gadgets (near and far) ---------------------------------
+  for (const auto& g : gadget::scan_bytes(text->bytes.span(), text->vaddr)) {
+    const Rule rule = g.insns.back().far_ret ? Rule::ExistingFar
+                                             : Rule::ExistingNear;
+    mark(rule, g.addr - text->vaddr, g.end() - text->vaddr);
+  }
+
+  // --- immediate and jump rules (per instruction item) ---------------------
+  for (std::size_t f = 0; f < mod.fragments.size(); ++f) {
+    const img::Fragment& frag = mod.fragments[f];
+    if (frag.section != img::SectionKind::Text) continue;
+    if (frag.name.starts_with("__plx")) continue;
+    for (std::size_t i = 0; i < frag.items.size(); ++i) {
+      const img::Item& item = frag.items[i];
+      if (item.kind != img::Item::Kind::Insn) continue;
+      const img::LaidOutItem& loc = laid.items[f][i];
+      Insn insn = item.insn;
+      insn.len = static_cast<std::uint8_t>(loc.size);
+      if (item.fixup != img::Fixup::None) insn.wide_imm = true;
+
+      if (immediate_rule_candidate(insn) && item.fixup == img::Fixup::None) {
+        // Work on the instruction's imm32 (wide) encoding; short imm8 forms
+        // are widened first (a semantics-preserving re-encoding). Build a
+        // context buffer of [preceding text bytes][widened encoding].
+        const std::uint32_t insn_off = loc.addr - text->vaddr;
+        Insn wide = insn;
+        wide.wide_imm = true;
+        Buffer enc;
+        if (!encode(wide, enc).ok() || enc.size() < 5) continue;
+        const std::size_t prefix = std::min<std::size_t>(insn_off, 16);
+        std::vector<std::uint8_t> ctx(text->bytes.vec().begin() + (insn_off - prefix),
+                                      text->bytes.vec().begin() + insn_off);
+        ctx.insert(ctx.end(), enc.vec().begin(), enc.vec().end());
+        const std::size_t field = ctx.size() - 4;
+
+        for (int b = 0; b < 4; ++b) {
+          for (std::uint8_t opcode : {std::uint8_t{0xc3}, std::uint8_t{0xcb}}) {
+            auto planted = plant_in_imm_field(ctx, field, b, opcode);
+            if (!planted) continue;
+            // Map the span back onto the original layout: context bytes map
+            // 1:1 onto the bytes before the instruction; the widened body
+            // maps onto the original instruction's bytes (clipped).
+            const std::size_t s = planted->planted.start;
+            const std::uint32_t lo =
+                (s < prefix) ? insn_off - static_cast<std::uint32_t>(prefix - s)
+                             : insn_off;
+            mark(Rule::ImmediateMod, lo, insn_off + loc.size);
+          }
+        }
+      }
+
+      if (jump_rule_applies(insn) && item.fixup == img::Fixup::RelBranch) {
+        // Only the low displacement byte is steerable with small padding.
+        const std::uint32_t insn_off = loc.addr - text->vaddr;
+        const std::size_t pos = insn_off + loc.size - 4;
+        for (std::uint8_t opcode : {std::uint8_t{0xc3}, std::uint8_t{0xcb}}) {
+          if (auto planted = try_plant_ret(text->bytes.span(), pos, opcode)) {
+            mark(Rule::JumpMod, static_cast<std::uint32_t>(planted->start),
+                 static_cast<std::uint32_t>(planted->end));
+          }
+        }
+      }
+
+      // §IV-B3 also covers addresses: an absolute data reference's low byte
+      // is steerable by aligning the global it points to ("strategically
+      // aligning functions and global variables"). Counted under the same
+      // rearranged-code-and-data rule as jump offsets.
+      if ((item.fixup == img::Fixup::AbsImm || item.fixup == img::Fixup::AbsDisp) &&
+          loc.size >= 5) {
+        const std::uint32_t insn_off = loc.addr - text->vaddr;
+        const std::size_t pos = insn_off + loc.size - 4;  // low address byte
+        for (std::uint8_t opcode : {std::uint8_t{0xc3}, std::uint8_t{0xcb}}) {
+          if (auto planted = try_plant_ret(text->bytes.span(), pos, opcode)) {
+            mark(Rule::JumpMod, static_cast<std::uint32_t>(planted->start),
+                 static_cast<std::uint32_t>(planted->end));
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace plx::x86

@@ -1,0 +1,24 @@
+// x86 implementation of the §IV-B applying rewriter and the Figure 6
+// protectability analyser. Generic code reaches these through
+// isa::Arch::rewrite_ops(); backend-level tests and benches may call the
+// free functions directly.
+#pragma once
+
+#include "rewrite/protectability.h"
+#include "rewrite/rewriter.h"
+#include "support/error.h"
+
+namespace plx::x86 {
+
+// Edits a module so new overlapping gadgets come into existence (immediate
+// rewrites with compensators, branch-target padding, optional spurious
+// blocks), preserving program semantics. Each application is verified by
+// re-laying-out and re-searching the crafted byte patterns.
+Result<rewrite::CraftResult> craft_gadgets(const img::Module& input,
+                                           const rewrite::CraftOptions& opts);
+
+// Measures per-rule protectable-code-byte coverage on a laid-out module.
+rewrite::CoverageReport analyze_protectability(const img::Module& mod,
+                                               const img::LayoutResult& laid);
+
+}  // namespace plx::x86

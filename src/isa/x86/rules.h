@@ -1,0 +1,48 @@
+// x86 implementation of the §IV-B crafting rules' byte-level machinery:
+// given real encoded bytes, decide whether placing a ret/retf opcode at a
+// particular byte position creates a usable overlapping gadget, and locate
+// the 32-bit immediate / displacement fields the rules may edit. Generic
+// code reaches this through isa::Arch::rewrite_ops(); backend-level tests
+// call it directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "isa/x86/insn.h"
+#include "rewrite/rules.h"
+
+namespace plx::x86 {
+
+// The gadget that would exist if `buf[pos]` were set to `opcode` (0xc3/0xcb):
+// the most-covering usable one, or nullopt.
+std::optional<rewrite::PlantedGadget> try_plant_ret(
+    std::span<const std::uint8_t> buf, std::size_t pos, std::uint8_t opcode,
+    int max_insns = 6);
+
+// §IV-B2: searches a library of gadget-body templates for the most useful
+// fill of the free immediate bytes before the planted ret.
+std::optional<rewrite::PlantedImmGadget> plant_in_imm_field(
+    std::span<const std::uint8_t> buf, std::size_t field_off,
+    int plant_rel,  // 0..3
+    std::uint8_t opcode);
+
+// True for the instruction families the paper applies the immediate rule to
+// (add/adc/sub/sbb/mov with a 32-bit immediate field).
+bool immediate_rule_applies(const Insn& insn);
+
+// Weaker gate: the instruction family matches and it has a register
+// destination with an immediate source, but the current encoding may be the
+// short imm8 form — the rule still applies after *widening* to the imm32
+// encoding (a semantics-preserving re-encoding the rewriter performs).
+bool immediate_rule_candidate(const Insn& insn);
+
+// Byte offsets (relative to the instruction start) of the 32-bit immediate
+// field, if the *encoding* ends with an imm32. Empty otherwise.
+std::optional<std::size_t> imm32_field_offset(const Insn& insn);
+
+// True for rel32 branch encodings the jump rule can steer (jmp/jcc/call).
+bool jump_rule_applies(const Insn& insn);
+
+}  // namespace plx::x86

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
-namespace plx::vm {
+namespace plx::x86 {
+
+using vm::StopReason;
+namespace sys = vm::sys;
 
 using x86::Reg;
 
@@ -92,4 +95,4 @@ void Machine::do_syscall() {
   gpr(Reg::EAX) = static_cast<std::uint32_t>(ret);
 }
 
-}  // namespace plx::vm
+}  // namespace plx::x86

@@ -98,6 +98,11 @@ class SelectStage final : public Stage {
     const cc::Compiled& program = *ctx.program;
     const ProtectOptions& opts = ctx.opts;
 
+    if (!ctx.arch) {
+      return fail(DiagCode::SelectionError, "parallax.select",
+                  "unknown isa '" + opts.isa + "'");
+    }
+
     std::vector<std::string> vfs = opts.verify_functions;
     if (vfs.empty()) {
       const auto cg = analysis::build_callgraph(program.ir);
@@ -205,7 +210,7 @@ class StubInstallStage final : public Stage {
 
     // Shared scratch parking area and the utility gadget set.
     mod.fragments.push_back(data_fragment("__plx_scratch", 4096, 16));
-    mod.fragments.push_back(gadget::utility_gadget_fragment());
+    mod.fragments.push_back(ctx.arch->utility_gadget_fragment());
 
     // Hardening runtime (hand-written assembly), if any.
     if (opts.hardening != Hardening::Cleartext) {
@@ -233,6 +238,7 @@ class StubInstallStage final : public Stage {
     std::size_t crafted_count = 0;
     if (opts.craft_gadgets) {
       rewrite::CraftOptions copts;
+      copts.arch = ctx.arch;
       copts.max_per_function = opts.max_crafted_per_function;
       for (const auto& frag : mod.fragments) {
         if (frag.section != img::SectionKind::Text || !frag.is_func) continue;
@@ -273,6 +279,7 @@ class LayoutStage final : public Stage {
       return std::move(prelim).take_error().with_context("preliminary layout");
     }
     ctx.prelim = std::move(prelim).take();
+    ctx.prelim->image.isa = ctx.arch->name();
 
     for (std::size_t f = 0; f < ctx.mod.fragments.size(); ++f) {
       const img::Fragment& frag = ctx.mod.fragments[f];
@@ -316,8 +323,10 @@ class ScanStage final : public Stage {
     };
 
     std::size_t scanned = 0;
+    gadget::ScanOptions sopts;
+    sopts.arch = ctx.arch;
     std::vector<gadget::Gadget> stable_gadgets;
-    for (auto& g : gadget::scan(ctx.prelim->image)) {
+    for (auto& g : gadget::scan(ctx.prelim->image, sopts)) {
       ++scanned;
       if (!intersects_mutable(g.addr, g.end())) {
         stable_gadgets.push_back(std::move(g));
@@ -405,10 +414,20 @@ class ChainCompileStage final : public Stage {
     const ProtectOptions& opts = ctx.opts;
     img::Module& mod = ctx.mod;
 
+    // RopCompiler's nullptr-abi default means "use the default backend";
+    // here the backend is explicit, so a missing ChainABI must be a Diag,
+    // not a silent fallback to x86 register roles.
+    const isa::ChainABI* abi = ctx.arch->chain_abi();
+    if (!abi) {
+      return fail(DiagCode::ChainCompileError, "parallax.chain_compile",
+                  "backend '" + std::string(ctx.arch->name()) +
+                      "' has no chain ABI");
+    }
+
     std::size_t total_words = 0;
     std::size_t total_slots = 0;
     for (auto& pf : ctx.funcs) {
-      ropc::RopCompiler rc(ctx.catalog, pf.frame, "__plx_scratch");
+      ropc::RopCompiler rc(ctx.catalog, pf.frame, "__plx_scratch", abi);
       ropc::RopcOptions ropts;
       ropts.verify_pool = ctx.weave_pool;
       ropts.seed = opts.seed;
@@ -467,6 +486,7 @@ class FinalLayoutStage final : public Stage {
       return std::move(final_laid).take_error().with_context("final layout");
     }
     ctx.out.image = std::move(final_laid).take().image;
+    ctx.out.image.isa = ctx.arch->name();
     ctx.out.hardening = ctx.opts.hardening;
     ctx.out.variants = ctx.opts.variants;
 
@@ -625,7 +645,7 @@ class MaterializeStage final : public Stage {
           std::uint32_t core = g.addr;
           if (computational) {
             for (const auto& insn : g.insns) {
-              if (insn.op != x86::Mnemonic::NOP) break;
+              if (!insn.is_nop) break;
               core += insn.len;
             }
           }
@@ -675,6 +695,7 @@ PipelineContext make_context(const cc::Compiled& program,
   PipelineContext ctx;
   ctx.program = &program;
   ctx.opts = opts;
+  ctx.arch = isa::find_arch(opts.isa);
   ctx.rng = Rng(opts.seed);
   ctx.mod = program.module;
   return ctx;

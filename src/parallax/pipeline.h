@@ -29,6 +29,7 @@
 
 #include "gadget/catalog.h"
 #include "image/layout.h"
+#include "isa/arch.h"
 #include "parallax/protector.h"
 #include "support/rng.h"
 
@@ -41,6 +42,9 @@ struct PipelineContext {
   // Inputs (fixed at make_context time).
   const cc::Compiled* program = nullptr;
   ProtectOptions opts;
+  // Active backend, resolved from opts.isa by make_context (nullptr when the
+  // name is unknown — the first stage reports it as a Diag).
+  const isa::Arch* arch = nullptr;
 
   // Single RNG threaded through every stage, in stage order, so the staged
   // pipeline consumes the stream exactly like the old monolith did.

@@ -49,6 +49,10 @@ struct ProtectOptions {
   int variants = 4;            // N for probabilistic chains
   std::uint64_t seed = 0x9a11a;
 
+  // Target backend (isa::Arch registry wire name). The pipeline scans,
+  // crafts, compiles chains and stamps the output image for this ISA.
+  std::string isa = "x86";
+
   // Weave transparent overlapping gadgets into chains as verification NOPs.
   bool weave_overlapping = true;
   int max_woven = 16;

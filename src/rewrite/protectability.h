@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "image/layout.h"
+#include "isa/arch.h"
 #include "rewrite/rules.h"
 
 namespace plx::rewrite {
@@ -32,7 +33,17 @@ struct CoverageReport {
 
 // Analyse a laid-out module. Only bytes inside text fragments whose names do
 // not start with "__plx" count (infrastructure is not program code).
+// Dispatches to the backend's isa::RewriteOps (`arch` nullptr selects
+// isa::default_arch()); a backend without rewrite support yields the code
+// mask with zero coverage — protectability 0, not a failure.
 CoverageReport analyze_protectability(const img::Module& mod,
-                                      const img::LayoutResult& laid);
+                                      const img::LayoutResult& laid,
+                                      const isa::Arch* arch = nullptr);
+
+// Fills code_bytes / any / any_mask_ / covered-rule bitmaps (all-false) and
+// text_base for a laid-out module: the generic accounting every backend's
+// analyser starts from.
+void init_coverage_report(const img::Module& mod, const img::LayoutResult& laid,
+                          CoverageReport& report);
 
 }  // namespace plx::rewrite

@@ -1,411 +1,18 @@
 #include "rewrite/rewriter.h"
 
-#include <algorithm>
-#include <map>
-
-#include "gadget/classify.h"
-#include "x86/build.h"
-#include "x86/decoder.h"
+#include "isa/rewrite_ops.h"
 
 namespace plx::rewrite {
 
-namespace {
-
-inline plx::Diag craft_fail(std::string msg) {
-  return plx::Diag(plx::DiagCode::RewriteError, "rewrite.craft", std::move(msg));
-}
-
-
-using x86::Insn;
-using x86::Mnemonic;
-using x86::Operand;
-using x86::Reg;
-
-// Does any instruction *read* flags after item `idx` before they are
-// overwritten? Conservative within the fragment: an intervening branch or
-// call ends the scan pessimistically (the callee may expect nothing, but a
-// jcc clearly consumes).
-bool flags_dead_after(const img::Fragment& frag, std::size_t idx) {
-  for (std::size_t i = idx + 1; i < frag.items.size(); ++i) {
-    const img::Item& item = frag.items[i];
-    if (item.kind != img::Item::Kind::Insn) continue;
-    const auto fx = x86::reg_effects(item.insn);
-    if (fx.reads_flags) return false;
-    if (fx.writes_flags) return true;
-    if (item.insn.is_branch() || item.insn.is_ret()) {
-      // Fall-through unknown; calls/rets don't preserve flags in cdecl, and
-      // our codegen never branches on flags set before a jump target.
-      return true;
-    }
-  }
-  return true;
-}
-
-// Confirms all crafted byte patterns still exist in .text and refreshes
-// their addresses. Distinct edits can produce *identical* byte patterns, so
-// presence is checked with multiplicity: a pattern crafted k times must
-// occur at least k times, and the i-th member gets the i-th occurrence.
-bool verify_crafted(const img::Image& image, std::vector<Crafted>& crafted) {
-  const img::Section* text = image.find_section(".text");
-  if (!text) return false;
-  const auto& bytes = text->bytes.vec();
-
-  std::map<std::vector<std::uint8_t>, std::vector<Crafted*>> groups;
-  for (auto& c : crafted) groups[c.bytes].push_back(&c);
-
-  for (auto& [pattern, members] : groups) {
-    std::vector<std::uint32_t> hits;
-    auto it = bytes.begin();
-    while (hits.size() < members.size()) {
-      it = std::search(it, bytes.end(), pattern.begin(), pattern.end());
-      if (it == bytes.end()) break;
-      hits.push_back(text->vaddr + static_cast<std::uint32_t>(it - bytes.begin()));
-      ++it;  // allow overlapping further occurrences
-    }
-    if (hits.size() < members.size()) return false;
-    for (std::size_t i = 0; i < members.size(); ++i) members[i]->addr = hits[i];
-  }
-  return true;
-}
-
-struct Crafter {
-  img::Module mod;
-  CraftOptions opts;
-  std::vector<Crafted> crafted;
-  img::LayoutResult laid;
-  bool laid_valid = false;
-  std::string error;
-
-  bool relayout() {
-    auto r = img::layout(mod);
-    if (!r) {
-      error = r.error();
-      return false;
-    }
-    laid = std::move(r).take();
-    laid_valid = true;
-    return true;
-  }
-
-  bool eligible(const img::Fragment& frag) const {
-    if (frag.section != img::SectionKind::Text) return false;
-    if (frag.name.starts_with("__plx")) return false;
-    if (!frag.is_func) return false;
-    if (!opts.functions.empty() &&
-        std::find(opts.functions.begin(), opts.functions.end(), frag.name) ==
-            opts.functions.end()) {
-      return false;
-    }
-    return true;
-  }
-
-  // Attempt: rewrite the imm32 of the item at (frag_idx, item_idx) so byte
-  // `b` of the field becomes 0xc3, inserting a compensator. Returns true if
-  // the edit was kept.
-  bool try_immediate(std::size_t frag_idx, std::size_t item_idx, std::size_t b) {
-    const img::Module widen_backup = mod;
-    {
-      img::Item& item0 = mod.fragments[frag_idx].items[item_idx];
-      Insn probe = item0.insn;
-      probe.len = static_cast<std::uint8_t>(laid.items[frag_idx][item_idx].size);
-      if (!imm32_field_offset(probe)) {
-        // Short imm8 encoding: widen to the imm32 form first (semantics
-        // preserved, only the encoding grows).
-        item0.insn.wide_imm = true;
-        if (!relayout()) {
-          mod = widen_backup;
-          laid_valid = false;
-          return false;
-        }
-      }
-    }
-    img::Fragment& frag = mod.fragments[frag_idx];
-    img::Item& item = frag.items[item_idx];
-    Insn insn = item.insn;
-    const img::LaidOutItem loc = laid.items[frag_idx][item_idx];
-    insn.len = static_cast<std::uint8_t>(loc.size);
-
-    const auto field = imm32_field_offset(insn);
-    if (!field) {
-      mod = widen_backup;
-      laid_valid = false;
-      return false;
-    }
-    if (insn.ops[0].kind != Operand::Kind::Reg) return false;  // reg dst only
-    const Reg dst = insn.ops[0].reg;
-
-    // Plant on the real bytes to find the gadget we would create; bytes
-    // before the planted ret inside the field are free (compensated).
-    const img::Section* text = laid.image.find_section(".text");
-    const std::size_t field_off = loc.addr - text->vaddr + *field;
-    auto planted = plant_in_imm_field(text->bytes.span(), field_off,
-                                      static_cast<int>(b), 0xc3);
-    if (!planted) {
-      mod = widen_backup;
-      laid_valid = false;
-      return false;
-    }
-
-    const std::uint32_t old_imm = static_cast<std::uint32_t>(insn.ops[1].imm);
-    const std::uint32_t new_imm = static_cast<std::uint32_t>(planted->field[0]) |
-                                  (planted->field[1] << 8) |
-                                  (planted->field[2] << 16) |
-                                  (static_cast<std::uint32_t>(planted->field[3]) << 24);
-    if (new_imm == old_imm) {
-      mod = widen_backup;
-      laid_valid = false;
-      return false;  // already a ret byte: counted as "existing"
-    }
-
-    // Free-immediate special case: mov eax, imm directly before the
-    // epilogue; zero/non-zero return semantics let us skip compensation.
-    bool free_imm = false;
-    if (insn.op == Mnemonic::MOV && dst == Reg::EAX && old_imm != 0 &&
-        item_idx + 1 < frag.items.size()) {
-      const img::Item& next = frag.items[item_idx + 1];
-      if (next.kind == img::Item::Kind::Insn &&
-          (next.insn.op == Mnemonic::LEAVE || next.insn.op == Mnemonic::RET)) {
-        free_imm = true;
-      }
-    }
-
-    img::Item compensator;
-    if (!free_imm) {
-      if (!flags_dead_after(frag, item_idx)) {
-        mod = widen_backup;
-        laid_valid = false;
-        return false;
-      }
-      Insn comp;
-      switch (insn.op) {
-        case Mnemonic::MOV:
-          comp = x86::ins::make2(Mnemonic::XOR, x86::ins::r(dst),
-                                 x86::ins::imm(static_cast<std::int32_t>(new_imm ^ old_imm)));
-          break;
-        case Mnemonic::ADD:
-        case Mnemonic::SUB:
-          comp = x86::ins::make2(insn.op, x86::ins::r(dst),
-                                 x86::ins::imm(static_cast<std::int32_t>(old_imm - new_imm)));
-          break;
-        default:
-          return false;  // adc/sbb splitting would disturb the carry chain
-      }
-      compensator = img::Item::make_insn(comp);
-    }
-
-    // Apply tentatively. Reverts go all the way back to the pre-widen state:
-    // a kept widening would shift layout (and branch displacement bytes that
-    // earlier jump-mod gadget patterns embed) without re-verification.
-    mod.fragments[frag_idx].items[item_idx].insn.ops[1].imm =
-        static_cast<std::int32_t>(new_imm);
-    mod.fragments[frag_idx].items[item_idx].insn.wide_imm = true;
-    if (!free_imm) {
-      mod.fragments[frag_idx].items.insert(
-          mod.fragments[frag_idx].items.begin() + static_cast<std::ptrdiff_t>(item_idx) + 1,
-          compensator);
-    }
-
-    Crafted c;
-    c.rule = Rule::ImmediateMod;
-    c.function = frag.name;
-    c.type = planted->planted.gadget.type;
-    // Reconstruct the gadget's final byte pattern: original text with the
-    // rewritten immediate field substituted.
-    std::vector<std::uint8_t> modified = text->bytes.vec();
-    for (int k = 0; k < 4; ++k) {
-      modified[field_off + static_cast<std::size_t>(k)] = planted->field[static_cast<std::size_t>(k)];
-    }
-    c.bytes.assign(modified.begin() + static_cast<std::ptrdiff_t>(planted->planted.start),
-                   modified.begin() + static_cast<std::ptrdiff_t>(planted->planted.end));
-    crafted.push_back(c);
-
-    if (!relayout() || !verify_crafted(laid.image, crafted)) {
-      crafted.pop_back();
-      mod = widen_backup;
-      laid_valid = false;
-      return false;
-    }
-    return true;
-  }
-
-  // Jump-offset rule: pad fragments so this rel32's low byte becomes 0xc3
-  // (the paper aligns cleanup_and_exit so the jump offset encodes a ret).
-  bool try_jump(std::size_t frag_idx, std::size_t item_idx) {
-    const img::Item& item = mod.fragments[frag_idx].items[item_idx];
-    const std::string target = item.sym;
-    img::Fragment* target_frag = mod.find_fragment(target);
-    if (!target_frag) return false;  // local label: same-fragment, can't pad
-
-    // Quick feasibility probe on the current bytes.
-    {
-      const img::LaidOutItem loc = laid.items[frag_idx][item_idx];
-      const img::Section* text = laid.image.find_section(".text");
-      const std::size_t pos = loc.addr - text->vaddr + loc.size - 4;
-      if (text->bytes[pos] == 0xc3) return false;  // already an existing gadget
-      if (!try_plant_ret(text->bytes.span(), pos, 0xc3)) return false;
-    }
-
-    const img::Module backup = mod;
-    const std::uint32_t target_addr = laid.image.find_symbol(target)->vaddr;
-    const std::uint32_t branch_addr = laid.items[frag_idx][item_idx].addr;
-    // Padding the target grows the displacement; when the target precedes
-    // the branch, pad the source fragment instead (shrinks the displacement).
-    const bool pad_target = target_addr > branch_addr;
-    const std::string padded_name =
-        pad_target ? target : mod.fragments[frag_idx].name;
-
-    // Step 1: drop the padded fragment's alignment so padding lands
-    // byte-exact, then recompute the displacement byte.
-    mod.find_fragment(padded_name)->align = 1;
-    if (!relayout()) {
-      mod = backup;
-      laid_valid = false;
-      return false;
-    }
-    const img::Section* text = laid.image.find_section(".text");
-    img::LaidOutItem loc = laid.items[frag_idx][item_idx];
-    std::size_t pos = loc.addr - text->vaddr + loc.size - 4;
-    const std::uint8_t cur_low = text->bytes[pos];
-    const std::uint32_t pad =
-        pad_target ? ((0xc3u - cur_low) & 0xff) : ((cur_low - 0xc3u) & 0xff);
-    if (pad != 0) {
-      mod.find_fragment(padded_name)->pad_before += pad;
-      if (!relayout()) {
-        mod = backup;
-        laid_valid = false;
-        return false;
-      }
-    }
-
-    // Step 2: confirm the ret byte materialised and a usable gadget ends on
-    // it, then record and verify against all previous edits.
-    text = laid.image.find_section(".text");
-    loc = laid.items[frag_idx][item_idx];
-    pos = loc.addr - text->vaddr + loc.size - 4;
-    auto planted = (text->bytes[pos] == 0xc3)
-                       ? try_plant_ret(text->bytes.span(), pos, 0xc3)
-                       : std::nullopt;
-    if (!planted) {
-      mod = backup;
-      laid_valid = false;
-      return false;
-    }
-
-    Crafted c;
-    c.rule = Rule::JumpMod;
-    c.function = mod.fragments[frag_idx].name;
-    c.type = planted->gadget.type;
-    const auto& tb = text->bytes.vec();
-    c.bytes.assign(tb.begin() + static_cast<std::ptrdiff_t>(planted->start),
-                   tb.begin() + static_cast<std::ptrdiff_t>(planted->end));
-    crafted.push_back(c);
-    if (!verify_crafted(laid.image, crafted)) {
-      crafted.pop_back();
-      mod = backup;
-      laid_valid = false;
-      return false;
-    }
-    return true;
-  }
-
-  // Spurious rule: insert a jumped-over utility gadget after the item.
-  bool try_spurious(std::size_t frag_idx, std::size_t item_idx) {
-    const img::Module backup = mod;
-    img::Fragment& frag = mod.fragments[frag_idx];
-    // jmp .skip ; <pop eax; ret> ; .skip:
-    static int counter = 0;
-    const std::string skip = ".plxskip" + std::to_string(counter++);
-    img::Item jump = img::Item::make_insn(x86::ins::jmp_rel(0));
-    jump.fixup = img::Fixup::RelBranch;
-    jump.sym = skip;
-    img::Item g1 = img::Item::make_insn(x86::ins::pop(Reg::EAX));
-    img::Item g2 = img::Item::make_insn(x86::ins::ret());
-    img::Item land = img::Item::make_insn(x86::ins::nop());
-    land.labels.push_back(skip);
-    auto at = frag.items.begin() + static_cast<std::ptrdiff_t>(item_idx) + 1;
-    at = frag.items.insert(at, std::move(jump)) + 1;
-    at = frag.items.insert(at, std::move(g1)) + 1;
-    at = frag.items.insert(at, std::move(g2)) + 1;
-    frag.items.insert(at, std::move(land));
-
-    Crafted c;
-    c.rule = Rule::Spurious;
-    c.function = frag.name;
-    c.type = gadget::GType::PopReg;
-    c.bytes = {0x58, 0xc3};
-    crafted.push_back(c);
-
-    if (!relayout() || !verify_crafted(laid.image, crafted)) {
-      crafted.pop_back();
-      mod = backup;
-      laid_valid = false;
-      return false;
-    }
-    return true;
-  }
-
-  bool run() {
-    if (!relayout()) return false;
-    for (std::size_t f = 0; f < mod.fragments.size(); ++f) {
-      if (!eligible(mod.fragments[f])) continue;
-      int made = 0;
-      // Item indices shift as compensators are inserted; walk by index and
-      // re-check bounds every round.
-      for (std::size_t i = 0; i < mod.fragments[f].items.size(); ++i) {
-        if (made >= opts.max_per_function) break;
-        const img::Item& item = mod.fragments[f].items[i];
-        if (item.kind != img::Item::Kind::Insn) continue;
-        if (!laid_valid && !relayout()) return false;
-
-        Insn insn = item.insn;
-        insn.len = static_cast<std::uint8_t>(laid.items[f][i].size);
-        if (item.fixup != img::Fixup::None) insn.wide_imm = true;
-
-        if (item.fixup == img::Fixup::None && immediate_rule_candidate(insn)) {
-          for (std::size_t b = 0; b < 4; ++b) {
-            if (try_immediate(f, i, b)) {
-              ++made;
-              ++i;  // skip the freshly inserted compensator
-              break;
-            }
-            if (!laid_valid && !relayout()) return false;
-          }
-          continue;
-        }
-        if (item.fixup == img::Fixup::RelBranch && jump_rule_applies(insn)) {
-          if (try_jump(f, i)) ++made;
-          if (!laid_valid && !relayout()) return false;
-          continue;
-        }
-      }
-      // Spurious insertion is always applicable (§IV-B4); when enabled, add
-      // one guarded gadget block per function regardless of other rules.
-      if (opts.use_spurious && !mod.fragments[f].items.empty()) {
-        try_spurious(f, 0);
-      }
-    }
-    if (!laid_valid && !relayout()) return false;
-    if (!verify_crafted(laid.image, crafted)) {
-      error = "a crafted gadget pattern disappeared during later edits";
-      return false;
-    }
-    return true;
-  }
-};
-
-}  // namespace
-
 Result<CraftResult> craft_gadgets(const img::Module& input, const CraftOptions& opts) {
-  Crafter crafter;
-  crafter.mod = input;
-  crafter.opts = opts;
-  if (!crafter.run()) {
-    return craft_fail(crafter.error.empty() ? "gadget crafting failed" : crafter.error);
+  const isa::Arch& arch = opts.arch ? *opts.arch : isa::default_arch();
+  const isa::RewriteOps* ops = arch.rewrite_ops();
+  if (!ops) {
+    return plx::Diag(plx::DiagCode::RewriteError, "rewrite.craft",
+                     std::string("backend '") + arch.name() +
+                         "' has no crafting rules");
   }
-  CraftResult out;
-  out.module = std::move(crafter.mod);
-  out.crafted = std::move(crafter.crafted);
-  return out;
+  return ops->craft_gadgets(input, opts);
 }
 
 }  // namespace plx::rewrite

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "image/layout.h"
+#include "isa/arch.h"
 #include "rewrite/rules.h"
 #include "support/error.h"
 
@@ -30,6 +31,8 @@ struct CraftOptions {
   std::vector<std::string> functions;  // empty = all non-__plx text fragments
   int max_per_function = 8;
   bool use_spurious = false;  // off by default (slows protected code)
+  // Backend whose crafting rules apply; nullptr selects isa::default_arch().
+  const isa::Arch* arch = nullptr;
 };
 
 struct Crafted {
@@ -45,6 +48,8 @@ struct CraftResult {
   std::vector<Crafted> crafted;
 };
 
+// Dispatches to the backend's isa::RewriteOps; fails with a RewriteError
+// Diag when the backend has none (rv32 stub).
 Result<CraftResult> craft_gadgets(const img::Module& input, const CraftOptions& opts);
 
 }  // namespace plx::rewrite

@@ -1,8 +1,5 @@
 #include "rewrite/rules.h"
 
-#include "gadget/classify.h"
-#include "x86/decoder.h"
-
 namespace plx::rewrite {
 
 const char* rule_name(Rule r) {
@@ -14,159 +11,6 @@ const char* rule_name(Rule r) {
     case Rule::Spurious: return "spurious";
   }
   return "?";
-}
-
-std::optional<PlantedGadget> try_plant_ret(std::span<const std::uint8_t> buf,
-                                           std::size_t pos, std::uint8_t opcode,
-                                           int max_insns) {
-  if (pos >= buf.size()) return std::nullopt;
-  std::vector<std::uint8_t> modified(buf.begin(), buf.end());
-  modified[pos] = opcode;
-
-  // Scan start offsets from furthest back (longest gadget first): the paper
-  // wants maximal overlap with protected instructions.
-  const std::size_t lo = pos > 24 ? pos - 24 : 0;
-  for (std::size_t start = lo; start <= pos; ++start) {
-    std::vector<x86::Insn> insns;
-    std::size_t cur = start;
-    bool hit = false;
-    for (int k = 0; k < max_insns; ++k) {
-      auto insn = x86::decode(std::span(modified).subspan(cur));
-      if (!insn) break;
-      insns.push_back(*insn);
-      cur += insn->len;
-      if (insn->is_ret()) {
-        hit = (cur == pos + 1) ||
-              (insn->nops == 1 && cur == pos + 3);  // ret imm16 planted at pos
-        break;
-      }
-      if (insn->is_branch()) break;
-      if (cur > pos) break;
-    }
-    if (!hit) continue;
-    gadget::Gadget g;
-    g.addr = static_cast<std::uint32_t>(start);
-    g.len = static_cast<std::uint8_t>(cur - start);
-    g.insns = insns;
-    gadget::classify(insns, g);
-    if (!g.usable()) continue;
-    PlantedGadget out;
-    out.start = start;
-    out.end = cur;
-    out.gadget = std::move(g);
-    return out;
-  }
-  return std::nullopt;
-}
-
-namespace {
-
-// Gadget-body byte templates, most useful first: computational bodies give
-// the chain compiler material, plain pops/nops still verify their bytes.
-const std::vector<std::vector<std::uint8_t>>& body_templates() {
-  static const std::vector<std::vector<std::uint8_t>> kTemplates = {
-      {0x01, 0xd0},        // add eax, edx
-      {0x29, 0xd0},        // sub eax, edx
-      {0x31, 0xd0},        // xor eax, edx
-      {0x21, 0xd0},        // and eax, edx
-      {0x09, 0xd0},        // or eax, edx
-      {0x89, 0xc2},        // mov edx, eax
-      {0x89, 0xd0},        // mov eax, edx
-      {0x8b, 0x01},        // mov eax, [ecx]
-      {0x89, 0x01},        // mov [ecx], eax
-      {0xf7, 0xd8},        // neg eax
-      {0xf7, 0xd0},        // not eax
-      {0x39, 0xd0},        // cmp eax, edx
-      {0xd3, 0xe0},        // shl eax, cl
-      {0x0f, 0x94, 0xc0},  // sete al
-      {0x0f, 0xb6, 0xc0},  // movzx eax, al
-      {0x58},              // pop eax
-      {0x59},              // pop ecx
-      {0x5a},              // pop edx
-      {0x5b},              // pop ebx
-      {0x90},              // nop
-      {},                  // bare ret
-  };
-  return kTemplates;
-}
-
-}  // namespace
-
-std::optional<PlantedImmGadget> plant_in_imm_field(std::span<const std::uint8_t> buf,
-                                                   std::size_t field_off,
-                                                   int plant_rel,
-                                                   std::uint8_t opcode) {
-  if (plant_rel < 0 || plant_rel > 3) return std::nullopt;
-  const std::size_t plant_pos = field_off + static_cast<std::size_t>(plant_rel);
-  if (plant_pos >= buf.size() || field_off + 4 > buf.size()) return std::nullopt;
-
-  std::optional<PlantedImmGadget> best;
-  for (const auto& tpl : body_templates()) {
-    if (tpl.size() > static_cast<std::size_t>(plant_rel)) continue;
-    std::vector<std::uint8_t> modified(buf.begin(), buf.end());
-    // [nop padding][template][ret] inside the free immediate bytes.
-    const std::size_t pad = static_cast<std::size_t>(plant_rel) - tpl.size();
-    for (std::size_t i = 0; i < pad; ++i) modified[field_off + i] = 0x90;
-    for (std::size_t i = 0; i < tpl.size(); ++i) modified[field_off + pad + i] = tpl[i];
-    modified[plant_pos] = opcode;
-
-    auto planted = try_plant_ret(modified, plant_pos, opcode);
-    if (!planted) continue;
-    PlantedImmGadget out;
-    out.planted = *planted;
-    for (int b = 0; b < 4; ++b) {
-      out.field[static_cast<std::size_t>(b)] = modified[field_off + static_cast<std::size_t>(b)];
-    }
-    // Prefer computational gadgets (earlier templates), then longer spans.
-    if (!best || (best->planted.gadget.type == gadget::GType::Transparent &&
-                  out.planted.gadget.type != gadget::GType::Transparent)) {
-      best = out;
-    }
-    if (best->planted.gadget.type != gadget::GType::Transparent) break;
-  }
-  return best;
-}
-
-bool immediate_rule_applies(const x86::Insn& insn) {
-  return immediate_rule_candidate(insn) && imm32_field_offset(insn).has_value();
-}
-
-bool immediate_rule_candidate(const x86::Insn& insn) {
-  switch (insn.op) {
-    case x86::Mnemonic::ADD:
-    case x86::Mnemonic::ADC:
-    case x86::Mnemonic::SUB:
-    case x86::Mnemonic::SBB:
-    case x86::Mnemonic::MOV:
-      break;
-    default:
-      return false;
-  }
-  return insn.opsize == x86::OpSize::Dword && insn.nops >= 2 &&
-         insn.ops[0].kind == x86::Operand::Kind::Reg &&
-         insn.ops[1].kind == x86::Operand::Kind::Imm;
-}
-
-std::optional<std::size_t> imm32_field_offset(const x86::Insn& insn) {
-  if (insn.opsize != x86::OpSize::Dword) return std::nullopt;
-  if (insn.nops < 2 || insn.ops[1].kind != x86::Operand::Kind::Imm) return std::nullopt;
-  // Wide encodings place the imm32 in the last four bytes. `mov r32, imm32`
-  // (0xb8+r) is always wide; group-1 / 0xc7 forms only when the encoder used
-  // the imm32 form (wide_imm, or a value that does not fit in imm8).
-  const bool always_wide = insn.op == x86::Mnemonic::MOV &&
-                           insn.ops[0].kind == x86::Operand::Kind::Reg;
-  const bool wide = always_wide || insn.wide_imm ||
-                    insn.ops[1].imm < -128 || insn.ops[1].imm > 127;
-  if (!wide) return std::nullopt;
-  if (insn.len < 5) return std::nullopt;
-  return static_cast<std::size_t>(insn.len) - 4;
-}
-
-bool jump_rule_applies(const x86::Insn& insn) {
-  if (!insn.is_branch()) return false;
-  if (insn.ops[0].kind != x86::Operand::Kind::Rel) return false;
-  // rel32 forms only: len >= 5 (jmp/call) or 6 (jcc).
-  return insn.len >= 5;
 }
 
 }  // namespace plx::rewrite

@@ -1,18 +1,17 @@
-// The §IV-B binary rewriting rules.
+// The §IV-B binary rewriting rules — generic vocabulary.
 //
-// Shared helpers for the protectability analyser (Figure 6) and the applying
-// rewriter: given real encoded bytes, decide whether placing a ret/retf
-// opcode at a particular byte position creates a usable overlapping gadget,
-// and locate the 32-bit immediate / displacement fields the rules may edit.
+// Names the rule families of the paper and the result shapes the rule
+// implementations produce. The byte-level machinery that decides whether a
+// planted return opcode creates a usable overlapping gadget is backend
+// behaviour and lives with each backend (x86: isa/x86/rules.h), reached by
+// generic code through isa::RewriteOps.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <optional>
-#include <span>
-#include <vector>
+#include <cstddef>
 
 #include "gadget/gadget.h"
-#include "image/layout.h"
 
 namespace plx::rewrite {
 
@@ -26,47 +25,21 @@ enum class Rule : std::uint8_t {
 
 const char* rule_name(Rule r);
 
-// A gadget that would exist if `buf[pos]` were set to `opcode` (0xc3/0xcb).
-// Returns the most-covering usable gadget: scan backwards for the longest
-// decode run that terminates exactly after the planted ret.
+// A gadget that would exist if a buffer byte were set to a return opcode.
+// The most-covering usable gadget: rule implementations scan backwards for
+// the longest decode run that terminates exactly after the planted ret.
 struct PlantedGadget {
   std::size_t start = 0;  // offset in buf where the gadget begins
   std::size_t end = 0;    // one past the planted ret byte
   gadget::Gadget gadget;  // classified on the modified bytes
 };
 
-std::optional<PlantedGadget> try_plant_ret(std::span<const std::uint8_t> buf,
-                                           std::size_t pos, std::uint8_t opcode,
-                                           int max_insns = 6);
-
-// True for the instruction families the paper applies the immediate rule to
-// (add/adc/sub/sbb/mov with a 32-bit immediate field).
-bool immediate_rule_applies(const x86::Insn& insn);
-
-// Weaker gate: the instruction family matches and it has a register
-// destination with an immediate source, but the current encoding may be the
-// short imm8 form — the rule still applies after *widening* to the imm32
-// encoding (a semantics-preserving re-encoding the rewriter performs).
-bool immediate_rule_candidate(const x86::Insn& insn);
-
-// The full §IV-B2 rule: since instruction splitting lets the first operand
-// be *arbitrary* (a compensator restores the original value), every
-// immediate byte before the planted ret is freely choosable. Searches a
-// library of gadget-body templates for the most useful fill.
+// The full §IV-B2 rule result: since instruction splitting lets the first
+// operand be *arbitrary* (a compensator restores the original value), every
+// immediate byte before the planted ret is freely choosable.
 struct PlantedImmGadget {
   PlantedGadget planted;               // offsets relative to buf
   std::array<std::uint8_t, 4> field;   // the resulting imm field bytes
 };
-std::optional<PlantedImmGadget> plant_in_imm_field(std::span<const std::uint8_t> buf,
-                                                   std::size_t field_off,
-                                                   int plant_rel,  // 0..3
-                                                   std::uint8_t opcode);
-
-// Byte offsets (relative to the instruction start) of the 32-bit immediate
-// field, if the *encoding* ends with an imm32. Empty otherwise.
-std::optional<std::size_t> imm32_field_offset(const x86::Insn& insn);
-
-// True for rel32 branch encodings the jump rule can steer (jmp/jcc/call).
-bool jump_rule_applies(const x86::Insn& insn);
 
 }  // namespace plx::rewrite

@@ -34,8 +34,8 @@ namespace {
 // Candidate test: same type/params, exact shape, liveness- and flag-safe.
 bool compatible(const gadget::Gadget& g, const GadgetSlot& slot) {
   if (g.type != slot.type) return false;
-  if (slot.r1 != x86::Reg::NONE && g.r1 != slot.r1) return false;
-  if (slot.r2 != x86::Reg::NONE && g.r2 != slot.r2) return false;
+  if (slot.r1 != isa::kNoReg && g.r1 != slot.r1) return false;
+  if (slot.r2 != isa::kNoReg && g.r2 != slot.r2) return false;
   if (slot.match_cond && g.cond != slot.cond) return false;
   if (g.clobbers & slot.live) return false;
   if (g.total_pops != slot.total_pops) return false;

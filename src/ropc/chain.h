@@ -45,9 +45,9 @@ struct Word {
 struct GadgetSlot {
   std::size_t word_index = 0;
   gadget::GType type = gadget::GType::Unusable;
-  x86::Reg r1 = x86::Reg::NONE;
-  x86::Reg r2 = x86::Reg::NONE;
-  x86::Cond cond = x86::Cond::O;
+  isa::RegId r1 = isa::kNoReg;
+  isa::RegId r2 = isa::kNoReg;
+  isa::CondId cond = isa::kNoCond;
   bool match_cond = false;       // SETcc slots must match the condition
   std::uint16_t live = 0;        // registers a substitute must not clobber
   // exact shape:

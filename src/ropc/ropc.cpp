@@ -10,8 +10,8 @@ using cc::IrInsn;
 using cc::IrOp;
 using gadget::Gadget;
 using gadget::GType;
-using x86::Cond;
-using x86::Reg;
+using isa::CondId;
+using isa::RegId;
 
 namespace {
 
@@ -20,8 +20,12 @@ inline plx::Diag ropc_fail(std::string msg) {
 }
 
 
-constexpr std::uint16_t bit(Reg r) {
-  return static_cast<std::uint16_t>(1u << static_cast<unsigned>(r));
+// Register bit for liveness/clobber masks. The kNoReg wildcard (and any id
+// beyond the 16-bit mask width) contributes no bit instead of shifting out
+// of range; compile() rejects ABIs that actually name such registers.
+constexpr std::uint16_t bit(RegId r) {
+  return r >= 16 ? std::uint16_t{0}
+                 : static_cast<std::uint16_t>(1u << static_cast<unsigned>(r));
 }
 
 // Offset of the parking address inside the shared scratch area: centred so
@@ -45,6 +49,7 @@ struct Need {
 struct Emitter {
   const gadget::Catalog& cat;
   const RopcOptions& opts;
+  const isa::ChainABI& abi;
   Rng rng;
   std::string frame_sym;
   std::string scratch_sym;
@@ -64,9 +69,10 @@ struct Emitter {
 
   std::size_t verify_next = 0;  // cursor into opts.verify_pool
 
-  Emitter(const gadget::Catalog& c, const RopcOptions& o, std::string fs,
-          std::string ss, const IrFunc& f)
-      : cat(c), opts(o), rng(o.seed), frame_sym(std::move(fs)),
+  Emitter(const gadget::Catalog& c, const RopcOptions& o,
+          const isa::ChainABI& a, std::string fs, std::string ss,
+          const IrFunc& f)
+      : cat(c), opts(o), abi(a), rng(o.seed), frame_sym(std::move(fs)),
         scratch_sym(std::move(ss)), func(f) {}
 
   bool fail_with(const std::string& msg) {
@@ -79,11 +85,11 @@ struct Emitter {
   int result_slot() const { return func.num_slots; }
 
   // --- gadget selection -------------------------------------------------
-  bool acceptable(const Gadget& g, GType type, Reg r1, Reg r2, std::uint16_t live,
-                  const Need& need) const {
+  bool acceptable(const Gadget& g, GType type, RegId r1, RegId r2,
+                  std::uint16_t live, const Need& need) const {
     if (g.type != type) return false;
-    if (r1 != Reg::NONE && g.r1 != r1) return false;
-    if (r2 != Reg::NONE && g.r2 != r2) return false;
+    if (r1 != isa::kNoReg && g.r1 != r1) return false;
+    if (r2 != isa::kNoReg && g.r2 != r2) return false;
     if (g.clobbers & live) return false;
     if (need.zero_disp && g.disp != 0) return false;
     if (need.flags_clean_after && !g.flags_clean_after_effect) return false;
@@ -102,7 +108,8 @@ struct Emitter {
     return true;
   }
 
-  const Gadget* select(GType type, Reg r1, Reg r2, std::uint16_t live, const Need& need) {
+  const Gadget* select(GType type, RegId r1, RegId r2, std::uint16_t live,
+                       const Need& need) {
     std::vector<const Gadget*> candidates;
     for (const auto& g : cat.all()) {
       if (acceptable(g, type, r1, r2, live, need)) candidates.push_back(&g);
@@ -163,17 +170,17 @@ struct Emitter {
                    std::uint16_t live, const Need& need = {}) {
     // Park incidental-access address registers first.
     std::uint16_t to_park = g->scratch_addr_regs;
-    for (int r = 0; r < 8 && to_park; ++r) {
+    for (int r = 0; r < 16 && to_park; ++r) {
       if (!(to_park & (1u << r))) continue;
       to_park = static_cast<std::uint16_t>(to_park & ~(1u << r));
-      const Reg reg = static_cast<Reg>(r);
-      if (reg == Reg::ESP) return fail_with("gadget needs esp parked");
+      const RegId reg = static_cast<RegId>(r);
+      if (reg == abi.sp) return fail_with("gadget needs the stack pointer parked");
       Need clean;
       clean.no_pivot_baggage = true;
-      const Gadget* popper = select(GType::PopReg, reg, Reg::NONE, live, clean);
+      const Gadget* popper = select(GType::PopReg, reg, isa::kNoReg, live, clean);
       if (!popper) {
         return fail_with(std::string("no clean pop gadget to park ") +
-                         x86::reg_name(reg));
+                         abi.reg_name(reg));
       }
       append_addr(popper, live, clean);
       chain.words.push_back(park_word());
@@ -200,11 +207,11 @@ struct Emitter {
   }
 
   // pop r <- value.
-  bool pop_value(Reg r, Word value, std::uint16_t live, bool value_is_address) {
+  bool pop_value(RegId r, Word value, std::uint16_t live, bool value_is_address) {
     Need need;
     need.value_not_address = !value_is_address;
-    const Gadget* g = select(GType::PopReg, r, Reg::NONE, live, need);
-    if (!g) return fail_with(std::string("no pop gadget for ") + x86::reg_name(r));
+    const Gadget* g = select(GType::PopReg, r, isa::kNoReg, live, need);
+    if (!g) return fail_with(std::string("no pop gadget for ") + abi.reg_name(r));
     return emit_gadget(g, {value}, live, need);
   }
 
@@ -229,35 +236,35 @@ struct Emitter {
 
   // --- composite operations ---------------------------------------------
   // dst_reg <- [frame slot]: pop ecx <- addr, mov dst,[ecx]-style gadget.
-  bool load_slot(Reg dst, int slot, std::uint16_t live) {
-    const Gadget* g = select(GType::LoadMem, dst, Reg::ECX, live, Need{});
-    if (!g) return fail_with(std::string("no load gadget into ") + x86::reg_name(dst));
+  bool load_slot(RegId dst, int slot, std::uint16_t live) {
+    const Gadget* g = select(GType::LoadMem, dst, abi.addr, live, Need{});
+    if (!g) return fail_with(std::string("no load gadget into ") + abi.reg_name(dst));
     Word addr = slot_word(slot);
-    addr.addend -= g->disp;  // compensate [ecx+disp]
-    if (!pop_value(Reg::ECX, addr, live, /*value_is_address=*/true)) return false;
+    addr.addend -= g->disp;  // compensate [addr_reg+disp]
+    if (!pop_value(abi.addr, addr, live, /*value_is_address=*/true)) return false;
     return emit_gadget(g, {}, live);
   }
 
   // [frame slot] <- eax: pop ecx <- addr, mov [ecx],eax.
   bool store_slot(int slot, std::uint16_t live) {
-    const Gadget* g = select(GType::StoreMem, Reg::ECX, Reg::EAX, live, Need{});
+    const Gadget* g = select(GType::StoreMem, abi.addr, abi.acc, live, Need{});
     if (!g) return fail_with("no store gadget");
     Word addr = slot_word(slot);
     addr.addend -= g->disp;
-    if (!pop_value(Reg::ECX, addr, live | bit(Reg::EAX), true)) return false;
-    return emit_gadget(g, {}, live | bit(Reg::EAX));
+    if (!pop_value(abi.addr, addr, live | bit(abi.acc), true)) return false;
+    return emit_gadget(g, {}, live | bit(abi.acc));
   }
 
-  bool reg_move(Reg dst, Reg src, std::uint16_t live) {
+  bool reg_move(RegId dst, RegId src, std::uint16_t live) {
     const Gadget* g = select(GType::MovRegReg, dst, src, live, Need{});
     if (!g) {
-      return fail_with(std::string("no mov gadget ") + x86::reg_name(dst) + ", " +
-                       x86::reg_name(src));
+      return fail_with(std::string("no mov gadget ") + abi.reg_name(dst) + ", " +
+                       abi.reg_name(src));
     }
     return emit_gadget(g, {}, live);
   }
 
-  bool simple(GType type, Reg r1, Reg r2, std::uint16_t live, Need need = {}) {
+  bool simple(GType type, RegId r1, RegId r2, std::uint16_t live, Need need = {}) {
     const Gadget* g = select(type, r1, r2, live, need);
     if (!g) return fail_with(std::string("no gadget of type ") + gadget::gtype_name(type));
     return emit_gadget(g, {}, live, need);
@@ -268,7 +275,7 @@ struct Emitter {
   bool pivot(std::size_t delta_word_idx, int label) {
     Need need;
     need.no_pivot_baggage = true;
-    const Gadget* g = select(GType::AddEspReg, Reg::EAX, Reg::NONE, 0, need);
+    const Gadget* g = select(GType::AddEspReg, abi.acc, isa::kNoReg, 0, need);
     if (!g) return fail_with("no add-esp gadget");
     if (!emit_gadget(g, {}, 0)) return false;
     patches.push_back(Patch{delta_word_idx, label, chain.words.size()});
@@ -277,20 +284,20 @@ struct Emitter {
 
   // --- IR lowering --------------------------------------------------------
   bool emit_insn(const IrInsn& insn) {
-    const std::uint16_t EAX = bit(Reg::EAX);
-    const std::uint16_t EDX = bit(Reg::EDX);
-    const std::uint16_t ECX = bit(Reg::ECX);
+    const std::uint16_t EAX = bit(abi.acc);
+    const std::uint16_t EDX = bit(abi.aux);
+    const std::uint16_t ECX = bit(abi.addr);
 
     switch (insn.op) {
       case IrOp::Const:
-        if (!pop_value(Reg::EAX, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
+        if (!pop_value(abi.acc, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
                        0, false)) {
           return false;
         }
         return store_slot(insn.dst, 0);
 
       case IrOp::Copy:
-        return load_slot(Reg::EAX, insn.a, 0) && store_slot(insn.dst, 0);
+        return load_slot(abi.acc, insn.a, 0) && store_slot(insn.dst, 0);
 
       case IrOp::Add:
       case IrOp::Sub:
@@ -304,11 +311,11 @@ struct Emitter {
         if (insn.op == IrOp::Xor) t = GType::XorRegReg;
         const bool rhs_ok =
             insn.b >= 0
-                ? load_slot(Reg::EDX, insn.b, 0)
-                : pop_value(Reg::EDX, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
+                ? load_slot(abi.aux, insn.b, 0)
+                : pop_value(abi.aux, Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
                             0, false);
-        return rhs_ok && load_slot(Reg::EAX, insn.a, EDX) &&
-               simple(t, Reg::EAX, Reg::EDX, 0) &&
+        return rhs_ok && load_slot(abi.acc, insn.a, EDX) &&
+               simple(t, abi.acc, abi.aux, 0) &&
                store_slot(insn.dst, 0);
       }
 
@@ -316,31 +323,31 @@ struct Emitter {
       case IrOp::Sar: {
         const GType t = insn.op == IrOp::Shl ? GType::ShlClReg : GType::SarClReg;
         if (insn.b < 0) {
-          // Constant count: pop it straight into ecx.
-          return load_slot(Reg::EAX, insn.a, 0) &&
-                 pop_value(Reg::ECX,
+          // Constant count: pop it straight into the shift-count register.
+          return load_slot(abi.acc, insn.a, 0) &&
+                 pop_value(abi.addr,
                            Word::make_imm(static_cast<std::uint32_t>(insn.imm)),
-                           bit(Reg::EAX), false) &&
-                 simple(t, Reg::EAX, Reg::NONE, ECX) &&
+                           bit(abi.acc), false) &&
+                 simple(t, abi.acc, isa::kNoReg, ECX) &&
                  store_slot(insn.dst, 0);
         }
-        return load_slot(Reg::EAX, insn.a, 0) &&
-               reg_move(Reg::EDX, Reg::EAX, 0) &&
-               load_slot(Reg::EAX, insn.b, EDX) &&
-               reg_move(Reg::ECX, Reg::EAX, EDX) &&
-               reg_move(Reg::EAX, Reg::EDX, ECX) &&
-               simple(t, Reg::EAX, Reg::NONE, 0) &&
+        return load_slot(abi.acc, insn.a, 0) &&
+               reg_move(abi.aux, abi.acc, 0) &&
+               load_slot(abi.acc, insn.b, EDX) &&
+               reg_move(abi.addr, abi.acc, EDX) &&
+               reg_move(abi.acc, abi.aux, ECX) &&
+               simple(t, abi.acc, isa::kNoReg, 0) &&
                store_slot(insn.dst, 0);
       }
 
       case IrOp::Neg:
-        return load_slot(Reg::EAX, insn.a, 0) &&
-               simple(GType::NegReg, Reg::EAX, Reg::NONE, 0) &&
+        return load_slot(abi.acc, insn.a, 0) &&
+               simple(GType::NegReg, abi.acc, isa::kNoReg, 0) &&
                store_slot(insn.dst, 0);
 
       case IrOp::Not:
-        return load_slot(Reg::EAX, insn.a, 0) &&
-               simple(GType::NotReg, Reg::EAX, Reg::NONE, 0) &&
+        return load_slot(abi.acc, insn.a, 0) &&
+               simple(GType::NotReg, abi.acc, isa::kNoReg, 0) &&
                store_slot(insn.dst, 0);
 
       case IrOp::CmpEq:
@@ -349,51 +356,51 @@ struct Emitter {
       case IrOp::CmpLe:
       case IrOp::CmpGt:
       case IrOp::CmpGe: {
-        Cond cond = Cond::E;
+        CondId cond = abi.cond_eq;
         switch (insn.op) {
-          case IrOp::CmpEq: cond = Cond::E; break;
-          case IrOp::CmpNe: cond = Cond::NE; break;
-          case IrOp::CmpLt: cond = Cond::L; break;
-          case IrOp::CmpLe: cond = Cond::LE; break;
-          case IrOp::CmpGt: cond = Cond::G; break;
-          case IrOp::CmpGe: cond = Cond::GE; break;
+          case IrOp::CmpEq: cond = abi.cond_eq; break;
+          case IrOp::CmpNe: cond = abi.cond_ne; break;
+          case IrOp::CmpLt: cond = abi.cond_lt; break;
+          case IrOp::CmpLe: cond = abi.cond_le; break;
+          case IrOp::CmpGt: cond = abi.cond_gt; break;
+          case IrOp::CmpGe: cond = abi.cond_ge; break;
           default: break;
         }
         if (insn.b >= 0) {
-          if (!load_slot(Reg::EDX, insn.b, 0)) return false;
-        } else if (!pop_value(Reg::EDX,
+          if (!load_slot(abi.aux, insn.b, 0)) return false;
+        } else if (!pop_value(abi.aux,
                               Word::make_imm(static_cast<std::uint32_t>(insn.imm)), 0,
                               false)) {
           return false;
         }
-        if (!load_slot(Reg::EAX, insn.a, EDX)) return false;
+        if (!load_slot(abi.acc, insn.a, EDX)) return false;
         Need prod;
         prod.flags_clean_after = true;
-        if (!simple(GType::CmpRegReg, Reg::EAX, Reg::EDX, 0, prod)) return false;
+        if (!simple(GType::CmpRegReg, abi.acc, abi.aux, 0, prod)) return false;
         if (!emit_setcc(cond, 0)) return false;
-        if (!simple(GType::MovzxReg, Reg::EAX, Reg::NONE, 0)) return false;
+        if (!simple(GType::MovzxReg, abi.acc, isa::kNoReg, 0)) return false;
         return store_slot(insn.dst, 0);
       }
 
       case IrOp::Load:
-        return load_slot(Reg::EAX, insn.a, 0) &&           // eax = pointer
-               reg_move(Reg::ECX, Reg::EAX, 0) &&
+        return load_slot(abi.acc, insn.a, 0) &&           // acc = pointer
+               reg_move(abi.addr, abi.acc, 0) &&
                dynamic_load(0) &&
                store_slot(insn.dst, 0);
 
       case IrOp::Store:
-        return load_slot(Reg::EAX, insn.a, 0) &&            // eax = pointer
-               reg_move(Reg::EDX, Reg::EAX, 0) &&
-               load_slot(Reg::EAX, insn.b, bit(Reg::EDX)) &&  // eax = value
-               reg_move(Reg::ECX, Reg::EDX, EAX) &&
+        return load_slot(abi.acc, insn.a, 0) &&            // acc = pointer
+               reg_move(abi.aux, abi.acc, 0) &&
+               load_slot(abi.acc, insn.b, bit(abi.aux)) &&  // acc = value
+               reg_move(abi.addr, abi.aux, EAX) &&
                dynamic_store(0);
 
       case IrOp::AddrSlot:
-        return pop_value(Reg::EAX, slot_word(insn.imm), 0, true) &&
+        return pop_value(abi.acc, slot_word(insn.imm), 0, true) &&
                store_slot(insn.dst, 0);
 
       case IrOp::AddrGlobal:
-        return pop_value(Reg::EAX, Word::make_sym(insn.sym, insn.imm), 0, true) &&
+        return pop_value(abi.acc, Word::make_sym(insn.sym, insn.imm), 0, true) &&
                store_slot(insn.dst, 0);
 
       case IrOp::Label:
@@ -405,8 +412,8 @@ struct Emitter {
         // pop eax <- delta; add esp, eax.
         Need strict;
         strict.value_not_address = true;
-        const Gadget* popper = select(GType::PopReg, Reg::EAX, Reg::NONE, 0, strict);
-        if (!popper) return fail_with("no pop eax gadget");
+        const Gadget* popper = select(GType::PopReg, abi.acc, isa::kNoReg, 0, strict);
+        if (!popper) return fail_with("no pop gadget for the accumulator");
         if (!emit_gadget(popper, {Word::make_imm(0)}, 0)) return false;
         // Find where the delta word landed (value_pop_index within data).
         const std::size_t delta_idx =
@@ -418,26 +425,26 @@ struct Emitter {
         // pop edx <- delta; eax = value; test; sete; movzx; neg; and; pivot.
         Need strict;
         strict.value_not_address = true;
-        const Gadget* popper = select(GType::PopReg, Reg::EDX, Reg::NONE, 0, strict);
-        if (!popper) return fail_with("no pop edx gadget");
+        const Gadget* popper = select(GType::PopReg, abi.aux, isa::kNoReg, 0, strict);
+        if (!popper) return fail_with("no pop gadget for the auxiliary register");
         if (!emit_gadget(popper, {Word::make_imm(0)}, 0)) return false;
         const std::size_t delta_idx =
             chain.words.size() - (popper->total_pops + 1) + popper->value_pop_index;
-        const std::uint16_t EDXl = bit(Reg::EDX);
-        if (!load_slot(Reg::EAX, insn.a, EDXl)) return false;
+        const std::uint16_t EDXl = bit(abi.aux);
+        if (!load_slot(abi.acc, insn.a, EDXl)) return false;
         Need prod;
         prod.flags_clean_after = true;
-        if (!simple(GType::TestRegReg, Reg::EAX, Reg::EAX, EDXl, prod)) return false;
-        if (!emit_setcc(Cond::E, EDXl)) return false;
-        if (!simple(GType::MovzxReg, Reg::EAX, Reg::NONE, EDXl)) return false;
-        if (!simple(GType::NegReg, Reg::EAX, Reg::NONE, EDXl)) return false;
-        if (!simple(GType::AndRegReg, Reg::EAX, Reg::EDX, 0)) return false;
+        if (!simple(GType::TestRegReg, abi.acc, abi.acc, EDXl, prod)) return false;
+        if (!emit_setcc(abi.cond_eq, EDXl)) return false;
+        if (!simple(GType::MovzxReg, abi.acc, isa::kNoReg, EDXl)) return false;
+        if (!simple(GType::NegReg, abi.acc, isa::kNoReg, EDXl)) return false;
+        if (!simple(GType::AndRegReg, abi.acc, abi.aux, 0)) return false;
         return pivot(delta_idx, insn.imm);
       }
 
       case IrOp::Ret:
         if (insn.a >= 0) {
-          if (!load_slot(Reg::EAX, insn.a, 0)) return false;
+          if (!load_slot(abi.acc, insn.a, 0)) return false;
           if (!store_slot(result_slot(), 0)) return false;
         }
         {
@@ -461,29 +468,29 @@ struct Emitter {
     return fail_with("unhandled IR op");
   }
 
-  bool emit_setcc(Cond cond, std::uint16_t live) {
+  bool emit_setcc(CondId cond, std::uint16_t live) {
     Need cons;
     cons.flags_clean_before = true;
     cons.no_scratch = true;  // parking pops would sit inside the flag window
     for (const auto& g : cat.all()) {
-      if (g.type == GType::SetccReg && g.r1 == Reg::EAX && g.cond == cond &&
-          acceptable(g, GType::SetccReg, Reg::EAX, Reg::NONE, live, cons)) {
+      if (g.type == GType::SetccReg && g.r1 == abi.acc && g.cond == cond &&
+          acceptable(g, GType::SetccReg, abi.acc, isa::kNoReg, live, cons)) {
         return emit_gadget(&g, {}, live, cons);
       }
     }
-    return fail_with(std::string("no set") + x86::cond_name(cond) + " gadget");
+    return fail_with(std::string("no set") + abi.cond_name(cond) + " gadget");
   }
 
   bool dynamic_load(std::uint16_t live) {
     Need need;
     need.zero_disp = true;
-    return simple(GType::LoadMem, Reg::EAX, Reg::ECX, live, need);
+    return simple(GType::LoadMem, abi.acc, abi.addr, live, need);
   }
 
   bool dynamic_store(std::uint16_t live) {
     Need need;
     need.zero_disp = true;
-    return simple(GType::StoreMem, Reg::ECX, Reg::EAX, live, need);
+    return simple(GType::StoreMem, abi.addr, abi.acc, live, need);
   }
 
   // Weave one pending verification NOP (transparent overlapping gadget).
@@ -511,8 +518,8 @@ struct Emitter {
     label_pos[func.num_labels] = chain.words.size();
     Need need;
     need.no_pivot_baggage = true;
-    const Gadget* pop_esp = select(GType::PopEsp, Reg::NONE, Reg::NONE, 0, need);
-    if (!pop_esp) return fail_with("no pop-esp gadget for the epilogue");
+    const Gadget* pop_esp = select(GType::PopEsp, isa::kNoReg, isa::kNoReg, 0, need);
+    if (!pop_esp) return fail_with("no pop-sp gadget for the epilogue");
     append_addr(pop_esp, 0, need);
     chain.resume_index = chain.words.size();
     chain.words.push_back(Word::make_resume());
@@ -534,12 +541,26 @@ struct Emitter {
 }  // namespace
 
 RopCompiler::RopCompiler(const gadget::Catalog& catalog, std::string frame_sym,
-                         std::string scratch_sym)
+                         std::string scratch_sym, const isa::ChainABI* abi)
     : catalog_(catalog), frame_sym_(std::move(frame_sym)),
-      scratch_sym_(std::move(scratch_sym)) {}
+      scratch_sym_(std::move(scratch_sym)),
+      abi_(abi ? abi : isa::default_arch().chain_abi()) {}
 
 Result<Chain> RopCompiler::compile(const cc::IrFunc& func, const RopcOptions& opts) {
-  Emitter e(catalog_, opts, frame_sym_, scratch_sym_, func);
+  if (!abi_) {
+    return ropc_fail("ropc(" + func.name + "): backend exposes no chain ABI");
+  }
+  // Liveness/clobber masks (and the parking sweep) are 16 bits wide; reject a
+  // chain ABI whose role registers would fall outside them rather than
+  // silently dropping bits.
+  for (RegId r : {abi_->acc, abi_->aux, abi_->addr, abi_->sp}) {
+    if (r != isa::kNoReg && r >= 16) {
+      return ropc_fail("ropc(" + func.name + "): chain-ABI register id " +
+                       std::to_string(static_cast<unsigned>(r)) +
+                       " exceeds the 16-bit liveness mask");
+    }
+  }
+  Emitter e(catalog_, opts, *abi_, frame_sym_, scratch_sym_, func);
   if (!e.run()) return ropc_fail(e.error);
   return std::move(e.chain);
 }

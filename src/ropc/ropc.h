@@ -18,6 +18,7 @@
 
 #include "cc/ir.h"
 #include "gadget/catalog.h"
+#include "isa/arch.h"
 #include "ropc/chain.h"
 #include "support/rng.h"
 
@@ -35,8 +36,11 @@ struct RopcOptions {
 
 class RopCompiler {
  public:
+  // `abi` selects the backend register roles / condition handles the chain
+  // targets; nullptr uses the default backend's ChainABI. compile() fails
+  // with a ChainCompileError Diag when the backend has none (rv32 stub).
   RopCompiler(const gadget::Catalog& catalog, std::string frame_sym,
-              std::string scratch_sym);
+              std::string scratch_sym, const isa::ChainABI* abi = nullptr);
 
   Result<Chain> compile(const cc::IrFunc& func, const RopcOptions& opts = {});
 
@@ -44,6 +48,7 @@ class RopCompiler {
   const gadget::Catalog& catalog_;
   std::string frame_sym_;
   std::string scratch_sym_;
+  const isa::ChainABI* abi_;
 };
 
 }  // namespace plx::ropc

@@ -38,9 +38,9 @@ namespace plx {
   X(LexError, "lex", "mini-C front end: tokenization failed")                  \
   X(ParseError, "parse", "mini-C front end: syntax error")                     \
   X(IrGenError, "irgen", "mini-C front end: IR generation failed")             \
-  X(BackendError, "backend", "mini-C x86 backend rejected a function")         \
+  X(BackendError, "backend", "mini-C code-generation backend rejected a function")         \
   X(AsmError, "asm", "hand-written assembly (runtime stubs) failed to assemble") \
-  X(EncodeError, "encode", "x86 instruction encoding failed")                  \
+  X(EncodeError, "encode", "instruction encoding failed")                  \
   X(LayoutError, "layout", "image layout / symbol resolution failed")          \
   X(ImageFormat, "image-format", "image (de)serialization rejected the bytes") \
   X(MissingSymbol, "missing-symbol", "named symbol absent from the module")    \

@@ -4,7 +4,8 @@
 #include "gadget/scanner.h"
 #include "image/layout.h"
 #include "ropc/ropc.h"
-#include "x86/build.h"
+#include "isa/arch.h"
+#include "isa/x86/build.h"
 
 namespace plx::verify {
 
@@ -157,7 +158,7 @@ Result<MicrochainProtected> protect_microchains(const cc::Compiled& program,
   mod.fragments.push_back(
       data_fragment(frame_sym, 4u * (static_cast<std::size_t>(lowered.num_slots) + 1)));
   mod.fragments.push_back(data_fragment("__plx_scratch", 4096, 16));
-  mod.fragments.push_back(gadget::utility_gadget_fragment());
+  mod.fragments.push_back(isa::default_arch().utility_gadget_fragment());
   for (int k = 0; k < nchains; ++k) {
     mod.fragments.push_back(data_fragment(chain_sym(k), 0));
     mod.fragments.push_back(data_fragment(resume_sym(k), 4, 1));

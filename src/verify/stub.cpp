@@ -1,6 +1,6 @@
 #include "verify/stub.h"
 
-#include "x86/build.h"
+#include "isa/x86/build.h"
 
 namespace plx::verify {
 

@@ -1,0 +1,14 @@
+#include "vm/vm.h"
+
+#include "image/image.h"
+#include "isa/arch.h"
+
+namespace plx::vm {
+
+std::unique_ptr<Machine> make_machine(const img::Image& image) {
+  const isa::Arch* arch = isa::find_arch(image.isa);
+  if (!arch) return nullptr;
+  return arch->make_machine(image);
+}
+
+}  // namespace plx::vm

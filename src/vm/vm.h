@@ -1,0 +1,183 @@
+// ISA-neutral virtual-machine interface.
+//
+// The execution substrate for PLX images: protected programs, their ROP
+// verification chains, the attacker's patches and the baseline defenses all
+// run on a vm::Machine. This header is the seam the generic layers (fuzz
+// harness, attack toolkit, profiler, pipeline) see — run results, the
+// golden-trace observables (output, syscall summary, state digest), the
+// attacker's tamper interface and snapshot/restore — while the concrete
+// interpreter for each ISA lives with its backend (src/isa/x86/machine.h).
+// make_machine() dispatches on the image's `isa` header field through the
+// backend registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace plx::img {
+class Image;
+}
+
+namespace plx::vm {
+
+enum class StopReason {
+  Running,        // only seen internally
+  Exited,         // exit syscall or return through the entry sentinel
+  Fault,          // invalid opcode / bad memory / div-by-zero / int3 / W^X
+  BudgetExceeded  // instruction budget exhausted
+};
+
+struct RunResult {
+  StopReason reason = StopReason::Running;
+  std::int32_t exit_code = 0;
+  std::string fault;          // human-readable fault description
+  std::uint32_t fault_eip = 0;  // pc of the faulting instruction's successor
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  bool exited_ok(std::int32_t expect = 0) const {
+    return reason == StopReason::Exited && exit_code == expect;
+  }
+};
+
+struct FuncStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+};
+
+// Per-retired-instruction observer (vm/vmtrace.h attaches one to attribute
+// cycles to app vs chain code). step() calls on_retire after every executed
+// instruction — including faulting ones, with the cycles it actually accrued
+// (possibly 0) — so the observer's cycle sum equals RunResult::cycles
+// exactly. The call site is compiled out unless the build defines PLX_TRACE,
+// keeping the hot dispatch loop byte-identical in perf builds.
+struct RetireObserver {
+  virtual ~RetireObserver() = default;
+  virtual void on_retire(std::uint32_t eip, std::uint64_t cycles,
+                         bool is_ret) = 0;
+};
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  // --- host / syscall state (ISA-neutral observables) -----------------------
+  std::string output;                 // bytes written to fd 1/2
+  std::vector<std::uint8_t> input;    // bytes served by read(fd 0)
+  std::size_t input_pos = 0;
+  bool debugger_attached = false;     // makes ptrace(TRACEME) fail
+  std::uint32_t time_value = 1700000000;
+  Rng rng{0x5eed};
+  // Per-syscall-number invocation counts (the fuzzing oracle's "syscall
+  // summary"); includes unknown numbers that returned ENOSYS.
+  std::map<std::uint32_t, std::uint64_t> syscall_counts;
+  // Order-sensitive FNV-1a digest of every syscall's (number, args...): the
+  // full-width argument trace, where `syscall_counts` only keeps invocation
+  // counts. Catches tampering whose corruption reaches a syscall argument
+  // that the kernel-side effect then truncates (e.g. exit status).
+  std::uint64_t syscall_digest = 0xcbf29ce484222325ull;
+
+  // Pre-instruction hook (tracing); called with the decoded pc.
+  std::function<void(std::uint32_t)> pre_insn_hook;
+
+  // Retired-instruction observer (cycle attribution; see RetireObserver).
+  // Always present so the Machine ABI does not depend on PLX_TRACE, but only
+  // consulted when the build compiles the trace layer in.
+  RetireObserver* retire_observer = nullptr;
+
+  bool profile_enabled = false;
+
+  // W^X enforcement on fetch (on by default; gadgets live in .text so
+  // Parallax never needs it off — see §V-B: chains are *data*, only gadget
+  // bodies execute).
+  bool enforce_nx = true;
+
+  // --- execution ------------------------------------------------------------
+  // Runs from the image entry point until exit/fault/budget.
+  virtual RunResult run(std::uint64_t max_instructions = 100'000'000) = 0;
+
+  // Calls a function at `addr` with the backend's C calling convention;
+  // returns when it returns to the sentinel.
+  virtual RunResult call_function(std::uint32_t addr,
+                                  const std::vector<std::uint32_t>& args,
+                                  std::uint64_t max_instructions = 100'000'000) = 0;
+
+  // Single-step; updates result(). Returns false when stopped.
+  virtual bool step() = 0;
+  virtual const RunResult& result() const = 0;
+
+  std::uint64_t instructions() const { return result().instructions; }
+  std::uint64_t cycles() const { return result().cycles; }
+
+  // --- attacker interface ---------------------------------------------------
+  // Patch ignoring permissions (both views).
+  virtual void tamper(std::uint32_t addr, std::uint8_t byte) = 0;
+  virtual void tamper(std::uint32_t addr, std::span<const std::uint8_t> bytes) = 0;
+  // Patch the fetch view only (the Wurster et al. split-cache attack).
+  virtual void tamper_icache(std::uint32_t addr, std::uint8_t byte) = 0;
+  virtual void tamper_icache(std::uint32_t addr,
+                             std::span<const std::uint8_t> bytes) = 0;
+  virtual void clear_icache_overlay() = 0;
+
+  // --- memory (data view; respects permissions, faults on violation) --------
+  virtual bool read_mem(std::uint32_t addr, void* out, std::uint32_t n) = 0;
+  virtual bool write_mem(std::uint32_t addr, const void* in, std::uint32_t n) = 0;
+  // Fetch-view read (what execution sees); used by tests to inspect.
+  virtual std::uint8_t fetch_u8(std::uint32_t addr, bool& ok) const = 0;
+
+  // --- snapshot / restore ---------------------------------------------------
+  // Full machine state capture for cheap re-execution (the tamper-fuzzing
+  // harness restores the pristine state between mutants instead of paying a
+  // Machine construction per run). restore() invalidates any decoded-
+  // instruction cache exactly like tamper() does and is only valid against
+  // the Machine the snapshot was taken from (region layout must match).
+  struct Snapshot {
+    std::vector<std::uint32_t> regs;  // architectural registers, backend order
+    std::uint32_t pc = 0;
+    std::uint32_t flags = 0;
+    std::vector<std::vector<std::uint8_t>> region_bytes;  // one per region
+    std::unordered_map<std::uint32_t, std::uint8_t> icache_overlay;
+    RunResult result;
+    bool stopped = false;
+    std::string output;
+    std::vector<std::uint8_t> input;
+    std::size_t input_pos = 0;
+    bool debugger_attached = false;
+    std::uint32_t time_value = 0;
+    Rng rng{0};
+    std::map<std::uint32_t, std::uint64_t> syscall_counts;
+    std::uint64_t syscall_digest = 0;
+    std::vector<FuncStats> func_stats;
+  };
+  virtual Snapshot snapshot() const = 0;
+  virtual void restore(const Snapshot& s) = 0;
+
+  // FNV-1a digest of the current architectural end state: registers, flags,
+  // and every writable region's bytes. The fuzzing oracle compares digests
+  // after the run, so mutants that corrupt memory the program never prints
+  // (e.g. chain frames, globals) still count as a behavioural divergence.
+  virtual std::uint64_t state_digest() const = 0;
+
+  // --- profiling / observability --------------------------------------------
+  virtual const std::map<std::string, FuncStats>& profile() const = 0;
+
+  // Number of decoded-instruction cache invalidations (observability; tests
+  // use it to assert the cache actually drops on code mutation).
+  virtual std::uint64_t predecode_invalidations() const = 0;
+};
+
+// Constructs the interpreter matching `image`'s `isa` header field via the
+// backend registry (isa/arch.h); nullptr when the image names an ISA with no
+// registered VM (callers report a Diag instead of crashing).
+std::unique_ptr<Machine> make_machine(const img::Image& image);
+
+}  // namespace plx::vm

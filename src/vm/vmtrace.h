@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "vm/machine.h"
+#include "vm/vm.h"
 
 namespace plx::telemetry {
 class Tracer;

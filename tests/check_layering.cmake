@@ -1,0 +1,61 @@
+# Include-layering lint for the ISA seam (DESIGN.md §15).
+#
+# The generic layers must consume backends only through the isa:: interfaces;
+# a direct include of a backend header from any of them is a layering break.
+# Invoked at build time from src/CMakeLists.txt:
+#   cmake -DPLX_SRC_DIR=<src dir> -P tests/check_layering.cmake
+#
+# Layers deliberately NOT linted: image/ (img::Item carries backend
+# instructions by design), cc/, verify/ and asm/ (x86-emitting layers that a
+# second code-generation backend would port separately).
+
+if(NOT PLX_SRC_DIR)
+  message(FATAL_ERROR "check_layering.cmake requires -DPLX_SRC_DIR=<src dir>")
+endif()
+
+set(_plx_generic_dirs
+  gadget
+  rewrite
+  ropc
+  parallax
+  fuzz
+  attack
+  vm
+  telemetry
+)
+
+# Forbidden include spellings of backend headers.
+set(_plx_banned_patterns
+  "#include \"x86/"
+  "#include \"isa/x86/"
+  "#include \"isa/rv32/"
+  "cc/backend_x86"
+)
+
+set(_plx_violations "")
+foreach(_dir IN LISTS _plx_generic_dirs)
+  file(GLOB_RECURSE _files
+       "${PLX_SRC_DIR}/${_dir}/*.h" "${PLX_SRC_DIR}/${_dir}/*.cpp")
+  foreach(_file IN LISTS _files)
+    file(STRINGS "${_file}" _lines)
+    set(_lineno 0)
+    foreach(_line IN LISTS _lines)
+      math(EXPR _lineno "${_lineno} + 1")
+      foreach(_pattern IN LISTS _plx_banned_patterns)
+        string(FIND "${_line}" "${_pattern}" _hit)
+        if(NOT _hit EQUAL -1)
+          file(RELATIVE_PATH _rel "${PLX_SRC_DIR}" "${_file}")
+          list(APPEND _plx_violations
+               "  ${_rel}:${_lineno}: ${_line}")
+        endif()
+      endforeach()
+    endforeach()
+  endforeach()
+endforeach()
+
+if(_plx_violations)
+  list(JOIN _plx_violations "\n" _report)
+  message(FATAL_ERROR
+    "ISA layering violation: generic layers must not include backend headers "
+    "(use the isa:: seam — see DESIGN.md §15):\n${_report}")
+endif()

@@ -20,7 +20,7 @@
 #include "fuzz/targets.h"
 #include "gadget/scanner.h"
 #include "image/layout.h"
-#include "x86/decoder.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::attack::adaptive {
 namespace {
@@ -83,7 +83,7 @@ TEST(AdaptivePreserving, SameSemanticsComparesDecodedMeaning) {
     std::vector<std::uint8_t> v(bytes);
     const auto insn = x86::decode(std::span<const std::uint8_t>(v));
     EXPECT_TRUE(insn && insn->valid());
-    return *insn;
+    return x86::to_isa(*insn);
   };
   // mov eax, 1 vs mov eax, 2: same mnemonic, different immediate operand.
   EXPECT_FALSE(same_semantics(dec({0xb8, 0x01, 0x00, 0x00, 0x00}),

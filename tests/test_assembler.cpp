@@ -2,8 +2,8 @@
 
 #include "asm/assembler.h"
 #include "image/layout.h"
-#include "x86/decoder.h"
-#include "x86/format.h"
+#include "isa/x86/decoder.h"
+#include "isa/x86/format.h"
 
 namespace plx {
 namespace {

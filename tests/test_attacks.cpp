@@ -6,7 +6,7 @@
 #include "cc/compile.h"
 #include "image/layout.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::attack {
 namespace {
@@ -49,7 +49,7 @@ std::int32_t licensed_reference() {
   EXPECT_TRUE(compiled.ok());
   auto laid = img::layout(compiled.value().module);
   EXPECT_TRUE(laid.ok());
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   auto r = m.run();
   EXPECT_EQ(r.reason, vm::StopReason::Exited);
   EXPECT_NE(r.exit_code, 42);
@@ -77,10 +77,10 @@ TEST(Patcher, JccRewritesPreserveLength) {
 
   // Unprotected: the classic crack works. main's first je guards the
   // "unlocked" branch; nopping it means the check result is ignored.
-  auto jcc = find_jcc(image, "main", x86::Cond::E);
+  auto jcc = find_jcc(image, "main", x86::condid(x86::Cond::E));
   ASSERT_TRUE(jcc) << "expected a je in main";
   ASSERT_TRUE(nop_jcc(image, *jcc));
-  vm::Machine m(image);
+  x86::Machine m(image);
   auto r = m.run();
   ASSERT_EQ(r.reason, vm::StopReason::Exited);
   EXPECT_EQ(r.exit_code, 42) << "unprotected binary should crack cleanly";
@@ -92,7 +92,7 @@ TEST(Patcher, MakeUnconditionalKeepsTarget) {
   auto laid = img::layout(compiled.value().module);
   ASSERT_TRUE(laid.ok());
   img::Image image = laid.value().image;
-  auto jcc = find_jcc(image, "main", x86::Cond::E);
+  auto jcc = find_jcc(image, "main", x86::condid(x86::Cond::E));
   ASSERT_TRUE(jcc);
   EXPECT_TRUE(make_jcc_unconditional(image, *jcc));
   // The patched site decodes as nop + jmp with the same end address.
@@ -108,7 +108,7 @@ TEST(Attacks, CrackingProtectedBinaryBreaksIt) {
 
   // Sanity: protected binary still denies the bad key.
   {
-    vm::Machine m(prot.image);
+    x86::Machine m(prot.image);
     auto r = m.run(200'000'000);
     ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
     ASSERT_EQ(r.exit_code, licensed_reference());
@@ -120,14 +120,14 @@ TEST(Attacks, CrackingProtectedBinaryBreaksIt) {
   std::set<std::uint32_t> used(prot.used_gadget_addrs.begin(),
                                prot.used_gadget_addrs.end());
   bool overlaps_gadget = false;
-  auto jcc = find_jcc(cracked, "main", x86::Cond::E);
+  auto jcc = find_jcc(cracked, "main", x86::condid(x86::Cond::E));
   ASSERT_TRUE(jcc);
   ASSERT_TRUE(nop_jcc(cracked, *jcc));
   for (std::uint32_t a : used) {
     if (a >= *jcc && a < *jcc + 6) overlaps_gadget = true;
   }
 
-  vm::Machine m(cracked);
+  x86::Machine m(cracked);
   auto r = m.run(200'000'000);
   const bool unlocked = r.reason == vm::StopReason::Exited && r.exit_code == 42;
   if (overlaps_gadget) {
@@ -147,7 +147,7 @@ TEST(Attacks, TamperingAnyUsedGadgetByteIsDetected) {
     img::Image patched = prot.image;
     std::uint8_t orig = patched.read(addr, 1)[0];
     ASSERT_TRUE(patch_bytes(patched, addr, std::vector<std::uint8_t>{static_cast<std::uint8_t>(orig ^ 0x21)}));
-    vm::Machine m(patched);
+    x86::Machine m(patched);
     auto r = m.run(200'000'000);
     ++total;
     if (r.reason != vm::StopReason::Exited || r.exit_code != licensed_reference()) {
@@ -180,7 +180,7 @@ TEST(Attacks, WursterAttackDoesNotFoolParallax) {
   }
   ASSERT_NE(victim, 0u);
 
-  vm::Machine m(prot.image);
+  x86::Machine m(prot.image);
   bool ok = true;
   const std::uint8_t orig = m.read_u8(victim, ok);
   m.tamper_icache(victim, orig ^ 0x28);  // add<->sub style opcode flip
@@ -196,7 +196,7 @@ TEST(Attacks, CodeRestorationEvadesDetectionOnce) {
   // test documents the honest limitation: tampering applied and reverted
   // while no chain runs is not detected.
   auto prot = protect_licensed();
-  vm::Machine m(prot.image);
+  x86::Machine m(prot.image);
   bool ok = true;
   const std::uint32_t victim = prot.used_gadget_addrs[0];
   const std::uint8_t orig = m.read_u8(victim, ok);

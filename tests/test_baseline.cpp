@@ -6,7 +6,7 @@
 #include "baseline/checksum.h"
 #include "baseline/oblivious_hash.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::baseline {
 namespace {
@@ -35,7 +35,7 @@ std::int32_t reference_exit(const std::string& src = kProgram) {
   EXPECT_TRUE(compiled.ok());
   auto laid = img::layout(compiled.value().module);
   EXPECT_TRUE(laid.ok());
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   return m.run().exit_code;
 }
 
@@ -44,7 +44,7 @@ TEST(Checksum, ProtectedProgramStillWorks) {
   ASSERT_TRUE(compiled.ok());
   auto prot = protect_with_checksums(compiled.value());
   ASSERT_TRUE(prot.ok()) << prot.error();
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run();
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -65,7 +65,7 @@ TEST(Checksum, DetectsStaticPatch) {
       sec.bytes[victim->vaddr + 8 - sec.vaddr] ^= 0x41;
     }
   }
-  vm::Machine m(tampered);
+  x86::Machine m(tampered);
   auto r = m.run();
   ASSERT_EQ(r.reason, vm::StopReason::Exited);
   EXPECT_EQ(r.exit_code, ChecksumProtected::kTamperExit);
@@ -97,7 +97,7 @@ TEST(ObliviousHash, ProtectedProgramStillWorks) {
   auto prot = protect_with_oh(compiled.value());
   ASSERT_TRUE(prot.ok()) << prot.error();
   EXPECT_FALSE(prot.value().instrumented.empty());
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run(500'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -128,7 +128,7 @@ TEST(ObliviousHash, DetectsSemanticTamper) {
     }
   }
   ASSERT_TRUE(patched);
-  vm::Machine m(tampered);
+  x86::Machine m(tampered);
   auto r = m.run(500'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited);
   EXPECT_EQ(r.exit_code, OhProtected::kTamperExit);
@@ -177,13 +177,13 @@ int main() {
   ASSERT_TRUE(prot.ok()) << prot.error();
 
   // Same rand seed as the recording run: passes.
-  vm::Machine same(prot.value().image);
+  x86::Machine same(prot.value().image);
   auto r1 = same.run();
   ASSERT_EQ(r1.reason, vm::StopReason::Exited);
   EXPECT_NE(r1.exit_code, OhProtected::kTamperExit);
 
   // Different seed => different hashed state => false positive.
-  vm::Machine diff(prot.value().image);
+  x86::Machine diff(prot.value().image);
   diff.rng = Rng(99);
   auto r2 = diff.run();
   ASSERT_EQ(r2.reason, vm::StopReason::Exited);
@@ -197,12 +197,12 @@ TEST(ObliviousHash, SlowsDownProtectedCode) {
   ASSERT_TRUE(compiled.ok());
   auto plain = img::layout(compiled.value().module);
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value().image);
+  x86::Machine ref(plain.value().image);
   const auto ref_run = ref.run();
 
   auto prot = protect_with_oh(compiled.value());
   ASSERT_TRUE(prot.ok());
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   const auto run = m.run(500'000'000);
   EXPECT_GT(run.cycles, ref_run.cycles * 3 / 2)
       << "OH instrumentation should visibly slow the program";

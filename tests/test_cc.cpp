@@ -1,10 +1,10 @@
 // End-to-end mini-C tests: compile, lay out, run in the VM, check results.
 #include <gtest/gtest.h>
 
-#include "cc/backend_x86.h"
+#include "isa/x86/cc_backend.h"
 #include "cc/compile.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::cc {
 namespace {
@@ -17,7 +17,7 @@ vm::RunResult run_c(const std::string& src, std::string* output = nullptr,
   auto laid = img::layout(compiled.value().module);
   EXPECT_TRUE(laid.ok()) << (laid.ok() ? "" : laid.error());
   if (!laid.ok()) return {};
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   auto r = m.run(budget);
   if (output) *output = m.output;
   return r;
@@ -259,7 +259,7 @@ int main() { return 0; }
                                    {-5, -5, 25},      {100000, 3000, 300000000},
                                    {1 << 16, 1 << 15, INT32_MIN}};
   for (const auto& c : cases) {
-    vm::Machine m(laid.value().image);
+    x86::Machine m(laid.value().image);
     auto r = m.call_function(fn_addr, {static_cast<std::uint32_t>(c[0]),
                                        static_cast<std::uint32_t>(c[1])});
     EXPECT_TRUE(r.exited_ok(c[2])) << c[0] << " * " << c[1];

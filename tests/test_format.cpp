@@ -2,8 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "support/error.h"
-#include "x86/build.h"
-#include "x86/format.h"
+#include "isa/x86/build.h"
+#include "isa/x86/format.h"
 
 namespace plx::x86 {
 namespace {

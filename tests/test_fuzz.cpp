@@ -15,7 +15,7 @@
 #include "fuzz/report.h"
 #include "fuzz/targets.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::fuzz {
 namespace {
@@ -160,8 +160,8 @@ TEST(Fuzz, BackendsAgreeOnVerdictsAndDigestsForAllBuiltins) {
     const std::uint64_t budget = std::max<std::uint64_t>(
         tamper_opts.min_budget,
         tamper_opts.budget_multiplier * golden.instructions);
-    vm::Machine mt(image);
-    const vm::Machine::Snapshot snap = mt.snapshot();
+    x86::Machine mt(image);
+    const x86::Machine::Snapshot snap = mt.snapshot();
     for (const Mutation& mu : cases) {
       mt.restore(snap);
       mt.tamper(mu.addr, std::span<const std::uint8_t>(mu.bytes));
@@ -170,7 +170,7 @@ TEST(Fuzz, BackendsAgreeOnVerdictsAndDigestsForAllBuiltins) {
       img::Image patched = image;
       ASSERT_TRUE(attack::patch_bytes(
           patched, mu.addr, std::span<const std::uint8_t>(mu.bytes)));
-      vm::Machine mp(patched);
+      x86::Machine mp(patched);
       const vm::RunResult rp = mp.run(budget);
 
       EXPECT_EQ(rt.reason, rp.reason)

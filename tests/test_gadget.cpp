@@ -2,10 +2,11 @@
 
 #include "asm/assembler.h"
 #include "gadget/catalog.h"
-#include "gadget/classify.h"
+#include "isa/arch.h"
 #include "gadget/scanner.h"
 #include "image/layout.h"
-#include "x86/decoder.h"
+#include "isa/x86/classify.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::gadget {
 namespace {
@@ -25,16 +26,17 @@ Gadget classify_bytes(std::initializer_list<std::uint8_t> raw) {
     off += insn->len;
   }
   Gadget g;
-  g.insns = insns;
+  g.insns.reserve(insns.size());
+  for (const auto& i : insns) g.insns.push_back(x86::to_isa(i));
   g.len = static_cast<std::uint8_t>(bytes.size());
-  classify(insns, g);
+  x86::classify(insns, g);
   return g;
 }
 
 TEST(Classify, PopRegRet) {
   const Gadget g = classify_bytes({0x58, 0xc3});  // pop eax; ret
   EXPECT_EQ(g.type, GType::PopReg);
-  EXPECT_EQ(g.r1, Reg::EAX);
+  EXPECT_EQ(g.r1, x86::regid(Reg::EAX));
   EXPECT_EQ(g.total_pops, 0);
   EXPECT_EQ(g.value_pop_index, 0);
 }
@@ -43,7 +45,7 @@ TEST(Classify, PopWithFiller) {
   // pop ecx; pop edx; ret — primary PopReg(ecx) with one filler pop.
   const Gadget g = classify_bytes({0x59, 0x5a, 0xc3});
   EXPECT_EQ(g.type, GType::PopReg);
-  EXPECT_EQ(g.r1, Reg::ECX);
+  EXPECT_EQ(g.r1, x86::regid(Reg::ECX));
   EXPECT_EQ(g.total_pops, 1);
   EXPECT_EQ(g.value_pop_index, 0);
   EXPECT_TRUE(g.clobbers & (1u << 2));  // edx clobbered
@@ -65,8 +67,8 @@ TEST(Classify, AluRegReg) {
   EXPECT_EQ(classify_bytes({0x21, 0xd0, 0xc3}).type, GType::AndRegReg);
   EXPECT_EQ(classify_bytes({0x09, 0xd0, 0xc3}).type, GType::OrRegReg);
   const Gadget g = classify_bytes({0x01, 0xd0, 0xc3});
-  EXPECT_EQ(g.r1, Reg::EAX);
-  EXPECT_EQ(g.r2, Reg::EDX);
+  EXPECT_EQ(g.r1, x86::regid(Reg::EAX));
+  EXPECT_EQ(g.r2, x86::regid(Reg::EDX));
 }
 
 TEST(Classify, XorSelfIsNotCanonical) {
@@ -79,13 +81,13 @@ TEST(Classify, XorSelfIsNotCanonical) {
 TEST(Classify, LoadAndStore) {
   const Gadget load = classify_bytes({0x8b, 0x01, 0xc3});  // mov eax,[ecx]; ret
   EXPECT_EQ(load.type, GType::LoadMem);
-  EXPECT_EQ(load.r1, Reg::EAX);
-  EXPECT_EQ(load.r2, Reg::ECX);
+  EXPECT_EQ(load.r1, x86::regid(Reg::EAX));
+  EXPECT_EQ(load.r2, x86::regid(Reg::ECX));
 
   const Gadget store = classify_bytes({0x89, 0x01, 0xc3});  // mov [ecx],eax; ret
   EXPECT_EQ(store.type, GType::StoreMem);
-  EXPECT_EQ(store.r1, Reg::ECX);
-  EXPECT_EQ(store.r2, Reg::EAX);
+  EXPECT_EQ(store.r1, x86::regid(Reg::ECX));
+  EXPECT_EQ(store.r2, x86::regid(Reg::EAX));
 
   const Gadget addstore = classify_bytes({0x01, 0x01, 0xc3});  // add [ecx],eax
   EXPECT_EQ(addstore.type, GType::AddStoreMem);
@@ -131,22 +133,22 @@ TEST(Classify, ShiftByCl) {
   EXPECT_EQ(classify_bytes({0xd3, 0xe8, 0xc3}).type, GType::ShrClReg);
   EXPECT_EQ(classify_bytes({0xd3, 0xf8, 0xc3}).type, GType::SarClReg);
   const Gadget g = classify_bytes({0xd3, 0xe0, 0xc3});
-  EXPECT_EQ(g.r1, Reg::EAX);
+  EXPECT_EQ(g.r1, x86::regid(Reg::EAX));
 }
 
 TEST(Classify, CmpAndSetcc) {
   EXPECT_EQ(classify_bytes({0x39, 0xd0, 0xc3}).type, GType::CmpRegReg);
   const Gadget se = classify_bytes({0x0f, 0x94, 0xc0, 0xc3});  // sete al; ret
   EXPECT_EQ(se.type, GType::SetccReg);
-  EXPECT_EQ(se.cond, Cond::E);
-  EXPECT_EQ(se.r1, Reg::EAX);
+  EXPECT_EQ(se.cond, x86::condid(Cond::E));
+  EXPECT_EQ(se.r1, x86::regid(Reg::EAX));
   EXPECT_EQ(classify_bytes({0x0f, 0xb6, 0xc0, 0xc3}).type, GType::MovzxReg);
 }
 
 TEST(Classify, ChainPivots) {
   const Gadget add_esp = classify_bytes({0x01, 0xc4, 0xc3});  // add esp, eax; ret
   EXPECT_EQ(add_esp.type, GType::AddEspReg);
-  EXPECT_EQ(add_esp.r1, Reg::EAX);
+  EXPECT_EQ(add_esp.r1, x86::regid(Reg::EAX));
 
   const Gadget pop_esp = classify_bytes({0x5c, 0xc3});  // pop esp; ret
   EXPECT_EQ(pop_esp.type, GType::PopEsp);
@@ -182,7 +184,7 @@ TEST(Scanner, FindsUnalignedGadgets) {
   auto gs = scan_bytes(bytes, 0x1000);
   bool found_pop_ret = false;
   for (const auto& g : gs) {
-    if (g.addr == 0x1002 && g.type == GType::PopReg && g.r1 == Reg::EAX) {
+    if (g.addr == 0x1002 && g.type == GType::PopReg && g.r1 == x86::regid(Reg::EAX)) {
       found_pop_ret = true;
       EXPECT_EQ(g.len, 2);
     }
@@ -208,7 +210,7 @@ TEST(Scanner, RespectsInstructionLimit) {
 TEST(Scanner, UtilityFragmentProvidesFullVocabulary) {
   img::Module m;
   m.entry = "__plx_gadgets";
-  m.fragments.push_back(utility_gadget_fragment());
+  m.fragments.push_back(isa::default_arch().utility_gadget_fragment());
   auto laid = img::layout(m);
   ASSERT_TRUE(laid.ok()) << laid.error();
   auto gs = scan(laid.value().image);
@@ -216,38 +218,38 @@ TEST(Scanner, UtilityFragmentProvidesFullVocabulary) {
 
   const std::uint16_t no_live = 0;
   for (Reg r : {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX, Reg::ESI, Reg::EDI}) {
-    EXPECT_TRUE(cat.pick(GType::PopReg, r, Reg::NONE, no_live)) << x86::reg_name(r);
+    EXPECT_TRUE(cat.pick(GType::PopReg, x86::regid(r), x86::regid(Reg::NONE), no_live)) << x86::reg_name(r);
   }
-  EXPECT_TRUE(cat.pick(GType::LoadMem, Reg::EAX, Reg::ECX, no_live));
-  EXPECT_TRUE(cat.pick(GType::LoadMem, Reg::EDX, Reg::ECX, no_live));
-  EXPECT_TRUE(cat.pick(GType::StoreMem, Reg::ECX, Reg::EAX, no_live));
+  EXPECT_TRUE(cat.pick(GType::LoadMem, x86::regid(Reg::EAX), x86::regid(Reg::ECX), no_live));
+  EXPECT_TRUE(cat.pick(GType::LoadMem, x86::regid(Reg::EDX), x86::regid(Reg::ECX), no_live));
+  EXPECT_TRUE(cat.pick(GType::StoreMem, x86::regid(Reg::ECX), x86::regid(Reg::EAX), no_live));
   for (GType t : {GType::AddRegReg, GType::SubRegReg, GType::XorRegReg,
                   GType::AndRegReg, GType::OrRegReg, GType::CmpRegReg}) {
-    EXPECT_TRUE(cat.pick(t, Reg::EAX, Reg::EDX, no_live)) << gtype_name(t);
+    EXPECT_TRUE(cat.pick(t, x86::regid(Reg::EAX), x86::regid(Reg::EDX), no_live)) << gtype_name(t);
   }
-  EXPECT_TRUE(cat.pick(GType::NegReg, Reg::EAX, Reg::NONE, no_live));
-  EXPECT_TRUE(cat.pick(GType::NotReg, Reg::EAX, Reg::NONE, no_live));
+  EXPECT_TRUE(cat.pick(GType::NegReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), no_live));
+  EXPECT_TRUE(cat.pick(GType::NotReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), no_live));
   for (GType t : {GType::ShlClReg, GType::ShrClReg, GType::SarClReg}) {
-    EXPECT_TRUE(cat.pick(t, Reg::EAX, Reg::NONE, no_live)) << gtype_name(t);
+    EXPECT_TRUE(cat.pick(t, x86::regid(Reg::EAX), x86::regid(Reg::NONE), no_live)) << gtype_name(t);
   }
   for (int cc = 0; cc < 16; ++cc) {
-    auto matches = cat.find(GType::SetccReg, Reg::EAX);
+    auto matches = cat.find(GType::SetccReg, x86::regid(Reg::EAX));
     bool found = false;
     for (const auto* g : matches) {
-      if (g->cond == static_cast<Cond>(cc)) found = true;
+      if (g->cond == x86::condid(static_cast<Cond>(cc))) found = true;
     }
     EXPECT_TRUE(found) << "setcc " << cc;
   }
-  EXPECT_TRUE(cat.pick(GType::MovzxReg, Reg::EAX, Reg::NONE, no_live));
-  EXPECT_TRUE(cat.pick(GType::AddEspReg, Reg::EAX, Reg::NONE, no_live));
-  EXPECT_TRUE(cat.pick(GType::PopEsp, Reg::NONE, Reg::NONE, no_live));
-  EXPECT_TRUE(cat.pick(GType::MovRegReg, Reg::ECX, Reg::EAX, no_live));
+  EXPECT_TRUE(cat.pick(GType::MovzxReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), no_live));
+  EXPECT_TRUE(cat.pick(GType::AddEspReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), no_live));
+  EXPECT_TRUE(cat.pick(GType::PopEsp, x86::regid(Reg::NONE), x86::regid(Reg::NONE), no_live));
+  EXPECT_TRUE(cat.pick(GType::MovRegReg, x86::regid(Reg::ECX), x86::regid(Reg::EAX), no_live));
 }
 
 TEST(Catalog, OverlappingPreferred) {
   Gadget plain;
   plain.type = GType::PopReg;
-  plain.r1 = Reg::EAX;
+  plain.r1 = x86::regid(Reg::EAX);
   plain.addr = 0x100;
   Gadget overlap = plain;
   overlap.addr = 0x200;
@@ -256,7 +258,7 @@ TEST(Catalog, OverlappingPreferred) {
   Catalog cat;
   cat.add(plain);
   cat.add(overlap);
-  const Gadget* picked = cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 0);
+  const Gadget* picked = cat.pick(GType::PopReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), 0);
   ASSERT_TRUE(picked);
   EXPECT_EQ(picked->addr, 0x200u);
 }
@@ -264,18 +266,18 @@ TEST(Catalog, OverlappingPreferred) {
 TEST(Catalog, LiveRegisterMaskFiltersClobbers) {
   Gadget g;
   g.type = GType::PopReg;
-  g.r1 = Reg::EAX;
+  g.r1 = x86::regid(Reg::EAX);
   g.clobbers = 1u << 2;  // clobbers edx
   Catalog cat;
   cat.add(g);
-  EXPECT_TRUE(cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 0));
-  EXPECT_FALSE(cat.pick(GType::PopReg, Reg::EAX, Reg::NONE, 1u << 2));
+  EXPECT_TRUE(cat.pick(GType::PopReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), 0));
+  EXPECT_FALSE(cat.pick(GType::PopReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), 1u << 2));
 }
 
 TEST(Catalog, MarkOverlappingByRange) {
   Gadget g;
   g.type = GType::PopReg;
-  g.r1 = Reg::EAX;
+  g.r1 = x86::regid(Reg::EAX);
   g.addr = 0x100;
   g.len = 2;
   Catalog cat;
@@ -291,14 +293,14 @@ TEST(Catalog, PickRandomCoversCandidates) {
   for (std::uint32_t a = 0; a < 4; ++a) {
     Gadget g;
     g.type = GType::PopReg;
-    g.r1 = Reg::EAX;
+    g.r1 = x86::regid(Reg::EAX);
     g.addr = a;
     cat.add(g);
   }
   Rng rng(7);
   std::set<std::uint32_t> seen;
   for (int i = 0; i < 200; ++i) {
-    const Gadget* g = cat.pick_random(GType::PopReg, Reg::EAX, Reg::NONE, 0, rng);
+    const Gadget* g = cat.pick_random(GType::PopReg, x86::regid(Reg::EAX), x86::regid(Reg::NONE), 0, rng);
     ASSERT_TRUE(g);
     seen.insert(g->addr);
   }

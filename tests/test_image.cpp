@@ -1,8 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "image/layout.h"
-#include "x86/build.h"
-#include "x86/decoder.h"
+#include "isa/x86/build.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::img {
 namespace {

@@ -6,10 +6,12 @@
 
 #include "asm/assembler.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::vm {
 namespace {
+
+using Machine = x86::Machine;
 
 std::uint32_t run_asm(const std::string& body, bool* faulted = nullptr) {
   const std::string src = ".entry f\nf:\n" + body + "    ret\n";

@@ -1,0 +1,331 @@
+// isa::Arch conformance suite — the contract every backend must honour,
+// run over every registered backend (x86 and the rv32 stub alike).
+//
+// Three groups:
+//  * descriptor + decoder invariants (lengths, alignment, ret idioms,
+//    same_semantics reflexivity) over exhaustive single bytes and a
+//    deterministic pseudo-random byte sweep;
+//  * classifier lattice laws on scanner-produced gadgets (register handles
+//    in range, determinism, Unusable gadgets never carry operands);
+//  * PLX image-header `isa` round-trip: x86 keeps the original PLX1
+//    container byte-for-byte, any other backend round-trips through the
+//    self-describing PLX2 form, and unknown wire names are rejected at
+//    deserialize time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gadget/scanner.h"
+#include "image/image.h"
+#include "image/layout.h"
+#include "isa/arch.h"
+#include "isa/classifier.h"
+#include "rewrite/protectability.h"
+
+namespace plx {
+namespace {
+
+// Canonical return idiom per backend, as raw bytes the decoder must report
+// as Flow::Ret. Keyed by wire name so adding a backend extends this table.
+std::vector<std::vector<std::uint8_t>> ret_sequences(const std::string& name) {
+  if (name == "x86") return {{0xc3}, {0xcb}};
+  if (name == "rv32")
+    return {{0x82, 0x80}, {0x67, 0x80, 0x00, 0x00}};  // c.jr ra; jalr x0,0(ra)
+  ADD_FAILURE() << "no ret idioms recorded for backend '" << name << "'";
+  return {};
+}
+
+// Deterministic byte stream (xorshift32, fixed seed) so the sweep is
+// reproducible across runs and platforms.
+std::vector<std::uint8_t> pseudo_random_bytes(std::size_t n,
+                                              std::uint32_t seed) {
+  std::vector<std::uint8_t> out(n);
+  std::uint32_t s = seed;
+  for (auto& b : out) {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    b = static_cast<std::uint8_t>(s);
+  }
+  return out;
+}
+
+class ArchConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  const isa::Arch& arch() const {
+    const isa::Arch* a = isa::find_arch(GetParam());
+    EXPECT_NE(a, nullptr);
+    return *a;
+  }
+};
+
+TEST_P(ArchConformance, DescriptorIsSane) {
+  const isa::Arch& a = arch();
+  EXPECT_STREQ(a.name(), GetParam().c_str());
+  EXPECT_EQ(a.pointer_bytes(), 4u);  // the PLX container is 32-bit
+  EXPECT_GE(a.insn_align(), 1u);
+  // Alignment must be a power of two (the scanner strides by it).
+  EXPECT_EQ(a.insn_align() & (a.insn_align() - 1), 0u);
+  EXPECT_GE(a.max_insn_len(), a.insn_align());
+  EXPECT_FALSE(a.ret_opcodes().empty());
+  EXPECT_GT(a.reg_count(), 0u);
+  // Every register must be addressable as a RegId distinct from kNoReg.
+  EXPECT_LT(a.reg_count(), static_cast<std::uint32_t>(isa::kNoReg));
+}
+
+TEST_P(ArchConformance, DecoderRejectsEmptyAndTruncatedInput) {
+  const isa::Decoder& dec = arch().decoder();
+  EXPECT_FALSE(dec.decode({}).ok);
+  // A window shorter than the smallest unit can never decode.
+  std::vector<std::uint8_t> tiny(arch().insn_align() - 1, 0x00);
+  if (!tiny.empty()) {
+    EXPECT_FALSE(dec.decode(tiny).ok);
+  }
+}
+
+TEST_P(ArchConformance, DecodedLengthsRespectDescriptor) {
+  const isa::Arch& a = arch();
+  const isa::Decoder& dec = a.decoder();
+  const auto bytes = pseudo_random_bytes(4096, 0x9e3779b9);
+  std::size_t decoded = 0;
+  for (std::size_t off = 0; off + a.max_insn_len() <= bytes.size();
+       off += a.insn_align()) {
+    const isa::Insn insn =
+        dec.decode(std::span(bytes).subspan(off, a.max_insn_len()));
+    if (!insn.ok) {
+      EXPECT_EQ(insn.len, 0u) << "invalid decode must report length 0";
+      continue;
+    }
+    ++decoded;
+    EXPECT_GT(insn.len, 0u);
+    EXPECT_LE(insn.len, a.max_insn_len());
+    EXPECT_EQ(insn.len % a.insn_align(), 0u)
+        << "length must be a multiple of the instruction alignment";
+    if (insn.cond_branch) {
+      EXPECT_EQ(insn.flow, isa::Flow::Branch)
+          << "conditional branches are branches";
+    }
+    if (insn.flow == isa::Flow::Ret) {
+      EXPECT_FALSE(insn.cond_branch) << "returns are unconditional here";
+    }
+  }
+  EXPECT_GT(decoded, 0u) << "sweep never produced a valid decode";
+}
+
+TEST_P(ArchConformance, RetIdiomsDecodeAsRet) {
+  const isa::Arch& a = arch();
+  for (const auto& seq : ret_sequences(GetParam())) {
+    const isa::Insn insn = a.decoder().decode(seq);
+    ASSERT_TRUE(insn.ok);
+    EXPECT_EQ(insn.flow, isa::Flow::Ret);
+    EXPECT_EQ(static_cast<std::size_t>(insn.len), seq.size());
+  }
+}
+
+TEST_P(ArchConformance, SameSemanticsIsReflexive) {
+  const isa::Arch& a = arch();
+  const isa::Decoder& dec = a.decoder();
+  const auto bytes = pseudo_random_bytes(1024, 0x1234abcd);
+  for (std::size_t off = 0; off + a.max_insn_len() <= bytes.size();
+       off += a.insn_align()) {
+    const isa::Insn insn =
+        dec.decode(std::span(bytes).subspan(off, a.max_insn_len()));
+    if (!insn.ok) continue;
+    EXPECT_TRUE(dec.same_semantics(insn, insn))
+        << "an instruction must be semantically equal to itself";
+  }
+}
+
+// Classifier lattice laws over real scanner output: operand handles are
+// either kNoReg or a valid register index, conditions are kNoCond or set
+// alongside a condition-carrying type, Unusable gadgets carry no operands,
+// and classification is deterministic.
+TEST_P(ArchConformance, ClassifierLatticeLaws) {
+  const isa::Arch& a = arch();
+  auto bytes = pseudo_random_bytes(2048, 0xdeadbeef);
+  for (const auto& seq : ret_sequences(GetParam()))
+    bytes.insert(bytes.end(), seq.begin(), seq.end());
+
+  gadget::ScanOptions opts;
+  opts.arch = &a;
+  opts.include_unusable = true;
+  opts.parallel = false;
+  const auto gadgets = gadget::scan_bytes(bytes, 0x1000, opts);
+  ASSERT_FALSE(gadgets.empty());
+
+  const auto reg_ok = [&](isa::RegId r) {
+    return r == isa::kNoReg || r < a.reg_count();
+  };
+  for (const auto& g : gadgets) {
+    ASSERT_FALSE(g.insns.empty());
+    EXPECT_EQ(g.insns.back().flow, isa::Flow::Ret)
+        << "every gadget ends in a return";
+    EXPECT_LE(g.insns.size(), static_cast<std::size_t>(opts.max_insns));
+    EXPECT_TRUE(reg_ok(g.r1)) << "r1 out of range: " << int(g.r1);
+    EXPECT_TRUE(reg_ok(g.r2)) << "r2 out of range: " << int(g.r2);
+    if (!g.usable()) {
+      EXPECT_EQ(g.r1, isa::kNoReg);
+      EXPECT_EQ(g.r2, isa::kNoReg);
+      EXPECT_EQ(g.cond, isa::kNoCond);
+    }
+    if (g.cond != isa::kNoCond) {
+      EXPECT_EQ(g.type, gadget::GType::SetccReg)
+          << "only setcc gadgets carry a condition";
+    }
+    // Determinism: classifying the same sequence again yields the same facts.
+    gadget::Gadget again;
+    again.addr = g.addr;
+    again.len = g.len;
+    again.insns = g.insns;
+    a.classifier().classify(again.insns, again);
+    EXPECT_EQ(again.type, g.type);
+    EXPECT_EQ(again.r1, g.r1);
+    EXPECT_EQ(again.r2, g.r2);
+    EXPECT_EQ(again.cond, g.cond);
+  }
+}
+
+// ChainABI consistency for backends that provide one: role registers are
+// valid and distinct, and names resolve for every role and condition handle.
+TEST_P(ArchConformance, ChainAbiRolesAreValidWhenPresent) {
+  const isa::Arch& a = arch();
+  const isa::ChainABI* abi = a.chain_abi();
+  if (!abi) GTEST_SKIP() << "backend has no chain ABI (allowed)";
+  const isa::RegId roles[] = {abi->acc, abi->aux, abi->addr, abi->sp};
+  for (isa::RegId r : roles) {
+    ASSERT_NE(r, isa::kNoReg);
+    EXPECT_LT(r, a.reg_count());
+    EXPECT_STRNE(abi->reg_name(r), "?");
+  }
+  // The four roles must name four different registers.
+  std::vector<isa::RegId> sorted(std::begin(roles), std::end(roles));
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (isa::CondId c : {abi->cond_eq, abi->cond_ne, abi->cond_lt, abi->cond_le,
+                        abi->cond_gt, abi->cond_ge}) {
+    ASSERT_NE(c, isa::kNoCond);
+    EXPECT_STRNE(abi->cond_name(c), "?");
+  }
+}
+
+// --- image-header round-trip ------------------------------------------------
+
+img::Image tiny_image(const std::string& isa_name) {
+  img::Image image;
+  img::Section text;
+  text.name = ".text";
+  text.vaddr = img::kTextBase;
+  text.perms = img::kPermRead | img::kPermExec;
+  text.bytes = Buffer{0x90, 0xc3};
+  image.sections.push_back(std::move(text));
+  img::Symbol sym;
+  sym.name = "f";
+  sym.vaddr = img::kTextBase;
+  sym.size = 2;
+  sym.is_func = true;
+  image.symbols.push_back(sym);
+  image.entry = img::kTextBase;
+  image.isa = isa_name;
+  return image;
+}
+
+TEST_P(ArchConformance, ImageHeaderRoundTrips) {
+  const std::string name = GetParam();
+  const img::Image image = tiny_image(name);
+  const Buffer bytes = image.serialize();
+  ASSERT_GE(bytes.size(), 4u);
+  if (name == "x86") {
+    // The original container, byte-for-byte: pinned golden digests depend
+    // on x86 images not growing a new header field.
+    EXPECT_EQ(bytes[0], 'P');
+    EXPECT_EQ(bytes[1], 'L');
+    EXPECT_EQ(bytes[2], 'X');
+    EXPECT_EQ(bytes[3], '1');
+  } else {
+    EXPECT_EQ(bytes[0], 'P');
+    EXPECT_EQ(bytes[1], 'L');
+    EXPECT_EQ(bytes[2], 'X');
+    EXPECT_EQ(bytes[3], '2');
+  }
+  auto back = img::Image::deserialize(bytes.span());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().isa, name);
+  EXPECT_EQ(back.value().entry, image.entry);
+  ASSERT_EQ(back.value().sections.size(), 1u);
+  EXPECT_EQ(back.value().sections[0].bytes.vec(), image.sections[0].bytes.vec());
+}
+
+TEST(IsaRegistry, RejectsUnknownIsaAtDeserialize) {
+  const img::Image image = tiny_image("m68k");  // not registered
+  const Buffer bytes = image.serialize();
+  auto back = img::Image::deserialize(bytes.span());
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().message().find("unknown isa"), std::string::npos)
+      << back.error().message();
+}
+
+TEST(IsaRegistry, DefaultArchIsX86AndNamesEnumerate) {
+  EXPECT_STREQ(isa::default_arch().name(), "x86");
+  const auto names = isa::arch_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "x86");
+  EXPECT_NE(std::find(names.begin(), names.end(), "rv32"), names.end());
+  for (const auto& n : names) {
+    const isa::Arch* a = isa::find_arch(n);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(n, a->name());
+  }
+  EXPECT_EQ(isa::find_arch("z80"), nullptr);
+}
+
+// The rv32 stub must flow scan -> protectability end to end: gadgets are
+// found (all Unusable — no chain vocabulary) and coverage is exactly zero,
+// never a crash.
+TEST(IsaRv32Stub, ScanToProtectabilityYieldsZeroCoverage) {
+  const isa::Arch* rv32 = isa::find_arch("rv32");
+  ASSERT_NE(rv32, nullptr);
+
+  // A plausible rv32 body: a few compressed ALU ops, then `c.jr ra`.
+  img::Module mod;
+  img::Fragment frag;
+  frag.name = "f";
+  frag.section = img::SectionKind::Text;
+  frag.is_func = true;
+  frag.items.push_back(img::Item::make_data(Buffer{
+      0x05, 0x05,               // c.addi a0, 1
+      0x2a, 0x86,               // c.mv a2, a0
+      0x82, 0x80,               // c.jr ra
+  }));
+  mod.fragments.push_back(std::move(frag));
+  mod.entry = "f";
+  auto laid = img::layout(mod);
+  ASSERT_TRUE(laid.ok()) << laid.error();
+  laid.value().image.isa = "rv32";
+
+  gadget::ScanOptions opts;
+  opts.arch = rv32;
+  opts.include_unusable = true;
+  const auto gadgets = gadget::scan(laid.value().image, opts);
+  EXPECT_FALSE(gadgets.empty());
+  for (const auto& g : gadgets) EXPECT_FALSE(g.usable());
+
+  const auto report = rewrite::analyze_protectability(mod, laid.value(), rv32);
+  // The generic accounting counts symbolic Insn items; this module carries
+  // raw rv32 bytes (no rv32 instruction model yet), so the denominator is 0
+  // too. The point pinned here: a backend without RewriteOps yields an empty
+  // report with the rule bitmaps sized to .text, not a crash.
+  EXPECT_EQ(report.code_bytes, 0u);
+  EXPECT_EQ(report.fraction_any(), 0.0);
+  EXPECT_FALSE(report.any.empty());
+  EXPECT_EQ(report.any.size(),
+            laid.value().image.find_section(".text")->bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ArchConformance,
+                         ::testing::ValuesIn(isa::arch_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace plx

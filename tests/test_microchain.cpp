@@ -6,7 +6,7 @@
 #include "image/layout.h"
 #include "parallax/protector.h"
 #include "verify/microchain.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::verify {
 namespace {
@@ -33,7 +33,7 @@ std::int32_t reference_exit() {
   EXPECT_TRUE(compiled.ok());
   auto laid = img::layout(compiled.value().module);
   EXPECT_TRUE(laid.ok());
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   return m.run().exit_code;
 }
 
@@ -43,7 +43,7 @@ TEST(Microchain, ComputesSameResult) {
   auto prot = protect_microchains(compiled.value(), "mix");
   ASSERT_TRUE(prot.ok()) << prot.error();
   EXPECT_GT(prot.value().num_microchains, 3);
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run(400'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -56,7 +56,7 @@ TEST(Microchain, DetectsGadgetTamper) {
   ASSERT_TRUE(prot.ok()) << prot.error();
   ASSERT_FALSE(prot.value().used_gadget_addrs.empty());
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   const std::uint32_t victim = prot.value().used_gadget_addrs[0];
   bool ok = true;
   const std::uint8_t orig = m.read_u8(victim, ok);
@@ -82,9 +82,9 @@ TEST(Microchain, CostsMoreThanFunctionChain) {
   auto uchain = protect_microchains(compiled.value(), "mix");
   ASSERT_TRUE(uchain.ok()) << uchain.error();
 
-  vm::Machine mf(fchain.value().image);
+  x86::Machine mf(fchain.value().image);
   auto rf = mf.run(500'000'000);
-  vm::Machine mu(uchain.value().image);
+  x86::Machine mu(uchain.value().image);
   auto ru = mu.run(500'000'000);
   ASSERT_EQ(rf.reason, vm::StopReason::Exited);
   ASSERT_EQ(ru.reason, vm::StopReason::Exited);

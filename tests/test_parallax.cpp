@@ -6,7 +6,7 @@
 #include "cc/compile.h"
 #include "image/layout.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::parallax {
 namespace {
@@ -42,7 +42,7 @@ std::int32_t reference_exit() {
   EXPECT_TRUE(compiled.ok());
   auto plain = layout_plain(compiled.value());
   EXPECT_TRUE(plain.ok());
-  vm::Machine m(plain.value());
+  x86::Machine m(plain.value());
   auto r = m.run();
   EXPECT_EQ(r.reason, vm::StopReason::Exited);
   cached = r.exit_code;
@@ -72,7 +72,7 @@ INSTANTIATE_TEST_SUITE_P(Parallax, AllModes,
 TEST_P(AllModes, ProtectedProgramComputesSameResult) {
   auto prot = protect_with(GetParam());
   ASSERT_TRUE(prot.ok()) << prot.error();
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run(200'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -95,7 +95,7 @@ TEST_P(AllModes, TamperingWithUsedGadgetIsDetected) {
     const std::uint32_t victim = chain.gadget_addrs[i];
     const bool transparent =
         chain.gadget_slots[i].type == gadget::GType::Transparent;
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     bool ok = true;
     const std::uint8_t orig = m.read_u8(victim, ok);
     ASSERT_TRUE(ok);
@@ -119,7 +119,7 @@ TEST(Parallax, ProtectedImageStillExecutesChains) {
   auto prot = protect_with(Hardening::Cleartext);
   ASSERT_TRUE(prot.ok()) << prot.error();
   // Trace execution: at least one chain gadget must actually run.
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   std::set<std::uint32_t> used(prot.value().used_gadget_addrs.begin(),
                                prot.value().used_gadget_addrs.end());
   std::size_t gadget_hits = 0;
@@ -150,7 +150,7 @@ TEST(Parallax, AutoSelectionPicksCompilableFunction) {
   // `mix` is the only multi-caller leaf with high op diversity.
   EXPECT_EQ(prot.value().chain_functions[0], "mix");
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run(200'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -165,7 +165,7 @@ TEST(Parallax, ProbabilisticChainsVaryAcrossRuns) {
   ASSERT_TRUE(exec_sym);
 
   auto snapshot = [&](std::uint64_t seed) {
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     m.rng = Rng(seed);
     std::vector<std::uint8_t> snap;
     bool taken = false;
@@ -238,7 +238,7 @@ TEST(Parallax, CraftingPipelinePreservesSemanticsAndAddsOverlap) {
   auto prot = p.protect(compiled.value(), crafted);
   ASSERT_TRUE(prot.ok()) << prot.error();
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto r = m.run(200'000'000);
   ASSERT_EQ(r.reason, vm::StopReason::Exited) << r.fault;
   EXPECT_EQ(r.exit_code, reference_exit());
@@ -249,7 +249,7 @@ TEST(Parallax, CraftingPipelinePreservesSemanticsAndAddsOverlap) {
 
   // Tamper sensitivity is preserved.
   const std::uint32_t victim = prot.value().used_gadget_addrs[0];
-  vm::Machine t(prot.value().image);
+  x86::Machine t(prot.value().image);
   bool ok = true;
   const std::uint8_t orig = t.read_u8(victim, ok);
   t.tamper(victim, orig ^ 0x28);

@@ -6,10 +6,12 @@
 
 #include "asm/assembler.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx::vm {
 namespace {
+
+using Machine = x86::Machine;
 
 img::Image build(const std::string& src) {
   auto mod = assembler::assemble(src);

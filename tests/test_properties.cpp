@@ -15,7 +15,7 @@
 #include "image/layout.h"
 #include "parallax/protector.h"
 #include "support/rng.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 
 namespace plx {
 namespace {
@@ -119,7 +119,7 @@ TEST_P(RandomPrograms, ChainAgreesWithNative) {
 
   auto plain = parallax::layout_plain(compiled.value());
   ASSERT_TRUE(plain.ok()) << plain.error();
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const auto ref_run = ref.run(100'000'000);
   ASSERT_EQ(ref_run.reason, vm::StopReason::Exited) << ref_run.fault;
 
@@ -129,7 +129,7 @@ TEST_P(RandomPrograms, ChainAgreesWithNative) {
   auto prot = p.protect(compiled.value(), opts);
   ASSERT_TRUE(prot.ok()) << prot.error() << "\nsource:\n" << src;
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   const auto run = m.run(400'000'000);
   ASSERT_EQ(run.reason, vm::StopReason::Exited) << run.fault << "\nsource:\n" << src;
   EXPECT_EQ(run.exit_code, ref_run.exit_code) << "source:\n" << src;
@@ -146,7 +146,7 @@ TEST(RandomProgramsAggregate, ComputationalGadgetTamperBreaksChains) {
   ASSERT_TRUE(compiled.ok());
   auto plain = parallax::layout_plain(compiled.value());
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const auto ref_run = ref.run(100'000'000);
   ASSERT_EQ(ref_run.reason, vm::StopReason::Exited);
 
@@ -162,7 +162,7 @@ TEST(RandomProgramsAggregate, ComputationalGadgetTamperBreaksChains) {
   const auto& chain = prot.value().chains.at("f");
   std::set<std::uint32_t> executed;
   {
-    vm::Machine probe(prot.value().image);
+    x86::Machine probe(prot.value().image);
     probe.pre_insn_hook = [&](std::uint32_t eip) { executed.insert(eip); };
     ASSERT_EQ(probe.run(100'000'000).reason, vm::StopReason::Exited);
   }
@@ -176,7 +176,7 @@ TEST(RandomProgramsAggregate, ComputationalGadgetTamperBreaksChains) {
     }
     if (!executed.contains(chain.gadget_addrs[i])) continue;
     ++tested;
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     bool ok = true;
     const std::uint32_t victim = chain.gadget_addrs[i];
     const std::uint8_t orig = m.read_u8(victim, ok);
@@ -204,7 +204,7 @@ TEST_P(RandomPrograms, AllHardeningModesAgree) {
   ASSERT_TRUE(compiled.ok());
   auto plain = parallax::layout_plain(compiled.value());
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const auto expect = ref.run(100'000'000).exit_code;
 
   for (auto mode : {parallax::Hardening::Xor, parallax::Hardening::Probabilistic}) {
@@ -214,7 +214,7 @@ TEST_P(RandomPrograms, AllHardeningModesAgree) {
     parallax::Protector p;
     auto prot = p.protect(compiled.value(), opts);
     ASSERT_TRUE(prot.ok()) << prot.error();
-    vm::Machine m(prot.value().image);
+    x86::Machine m(prot.value().image);
     const auto run = m.run(400'000'000);
     ASSERT_EQ(run.reason, vm::StopReason::Exited)
         << verify::hardening_name(mode) << ": " << run.fault;
@@ -244,7 +244,7 @@ int main() {
   auto back = img::Image::deserialize(blob.span());
   ASSERT_TRUE(back.ok()) << back.error();
 
-  vm::Machine m1(prot.value().image), m2(back.value());
+  x86::Machine m1(prot.value().image), m2(back.value());
   const auto r1 = m1.run(100'000'000);
   const auto r2 = m2.run(100'000'000);
   EXPECT_EQ(r1.exit_code, r2.exit_code);

@@ -6,11 +6,15 @@
 #include "image/layout.h"
 #include "rewrite/protectability.h"
 #include "rewrite/rewriter.h"
-#include "vm/machine.h"
-#include "x86/build.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/build.h"
+#include "isa/x86/rules.h"
 
 namespace plx::rewrite {
 namespace {
+
+using x86::immediate_rule_applies;
+using x86::try_plant_ret;
 
 const char* kProgram = R"(
 int scale(int x) { return x * 1000 + 0x1234567; }
@@ -100,7 +104,7 @@ TEST(Rewriter, CraftsGadgetsAndPreservesSemantics) {
   // Reference result.
   auto plain = img::layout(compiled.value().module);
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value().image);
+  x86::Machine ref(plain.value().image);
   auto ref_run = ref.run();
   ASSERT_EQ(ref_run.reason, vm::StopReason::Exited);
 
@@ -111,7 +115,7 @@ TEST(Rewriter, CraftsGadgetsAndPreservesSemantics) {
 
   auto laid = img::layout(crafted.value().module);
   ASSERT_TRUE(laid.ok()) << laid.error();
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   auto run = m.run();
   ASSERT_EQ(run.reason, vm::StopReason::Exited) << run.fault;
   EXPECT_EQ(run.exit_code, ref_run.exit_code);
@@ -153,7 +157,7 @@ TEST(Rewriter, SpuriousRuleInsertsGuardedGadget) {
 
   auto laid = img::layout(crafted.value().module);
   ASSERT_TRUE(laid.ok());
-  vm::Machine m(laid.value().image);
+  x86::Machine m(laid.value().image);
   EXPECT_TRUE(m.run().exited_ok(3));
 }
 

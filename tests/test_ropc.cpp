@@ -8,8 +8,8 @@
 #include "gadget/scanner.h"
 #include "image/layout.h"
 #include "ropc/ropc.h"
-#include "vm/machine.h"
-#include "x86/build.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/build.h"
 
 namespace plx::ropc {
 namespace {
@@ -45,7 +45,7 @@ struct ChainHarness {
     lowered = cc::lower_bytes_for_rop(cc::lower_mul_for_rop(*ir));
 
     img::Module mod = compiled.value().module;
-    mod.fragments.push_back(gadget::utility_gadget_fragment());
+    mod.fragments.push_back(isa::default_arch().utility_gadget_fragment());
 
     img::Fragment frame;
     frame.name = "__frame";
@@ -118,7 +118,7 @@ struct ChainHarness {
   std::optional<std::uint32_t> run(const std::vector<std::uint32_t>& args,
                                    std::uint64_t budget = 5'000'000,
                                    std::string* why = nullptr) {
-    vm::Machine m(image);
+    x86::Machine m(image);
     const std::uint32_t frame = image.find_symbol("__frame")->vaddr;
     const std::uint32_t chain_addr = image.find_symbol("__chain")->vaddr;
     for (std::size_t i = 0; i < args.size(); ++i) {

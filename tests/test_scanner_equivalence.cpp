@@ -13,7 +13,7 @@
 #include "parallax/protector.h"
 #include "support/rng.h"
 #include "workloads/corpus.h"
-#include "x86/format.h"
+#include "isa/x86/format.h"
 
 namespace plx::gadget {
 namespace {
@@ -30,7 +30,7 @@ std::string fingerprint(const Gadget& g) {
      << " scratch=" << g.scratch_addr_regs
      << " flags=" << g.flags_clean_before_effect << g.flags_clean_after_effect
      << " insns=[";
-  for (const auto& insn : g.insns) os << x86::format(insn) << "; ";
+  for (const auto& insn : g.insns) os << x86::format(insn.unwrap<x86::Insn>()) << "; ";
   os << ']';
   return os.str();
 }

@@ -18,7 +18,7 @@
 #include "telemetry/report.h"
 #include "telemetry/schema.h"
 #include "telemetry/trace.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 #include "vm/vmtrace.h"
 
 namespace plx {
@@ -439,7 +439,7 @@ TEST(VmTrace, AttributionSumsExactlyOnProtectedWorkload) {
   ASSERT_FALSE(regions.empty());
 
   vm::ExecutionProfiler prof(regions);
-  vm::Machine machine(prot.value().image);
+  x86::Machine machine(prot.value().image);
   prof.attach(machine);
   const auto result = machine.run();
   prof.finish();
@@ -477,7 +477,7 @@ TEST(VmTrace, WriteTraceJsonIsValidAndCarriesExactAttribution) {
   ASSERT_TRUE(prot) << prot.error().str();
 
   vm::ExecutionProfiler prof(parallax::chain_code_regions(prot.value()));
-  vm::Machine machine(prot.value().image);
+  x86::Machine machine(prot.value().image);
   prof.attach(machine);
   machine.run();
   prof.finish();

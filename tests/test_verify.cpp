@@ -12,8 +12,8 @@
 #include "image/layout.h"
 #include "verify/hardening.h"
 #include "verify/stub.h"
-#include "vm/machine.h"
-#include "x86/decoder.h"
+#include "isa/x86/machine.h"
+#include "isa/x86/decoder.h"
 
 namespace plx::verify {
 namespace {
@@ -61,7 +61,7 @@ TEST(Runtime, XorDecryptorMatchesHost) {
   for (std::size_t i = 0; i < plain.size(); ++i) plain[i] = static_cast<std::uint8_t>(i * 13);
   const auto cipher = crypto::xor_crypt(key, plain);
 
-  vm::Machine m(h.image);
+  x86::Machine m(h.image);
   for (std::size_t i = 0; i < cipher.size(); ++i) {
     m.write_u8(h.buf_b + static_cast<std::uint32_t>(i), cipher[i]);
   }
@@ -85,7 +85,7 @@ TEST(Runtime, Rc4DecryptorMatchesHost) {
   }
   const auto cipher = crypto::rc4_crypt(key, plain);
 
-  vm::Machine m(h.image);
+  x86::Machine m(h.image);
   for (std::size_t i = 0; i < cipher.size(); ++i) {
     m.write_u8(h.buf_b + static_cast<std::uint32_t>(i), cipher[i]);
   }
@@ -116,7 +116,7 @@ TEST(Runtime, GeneratorMatchesHostReference) {
 
   auto h = RuntimeHarness::build(Hardening::Probabilistic, {});
   // Lay the index arrays and basis into buf_b (idx) and after it (basis).
-  vm::Machine m(h.image);
+  x86::Machine m(h.image);
   const std::uint32_t idx_addr = h.buf_b;
   std::uint32_t cursor = idx_addr;
   for (std::uint32_t w : storage.value().idx) {

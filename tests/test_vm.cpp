@@ -2,11 +2,15 @@
 
 #include "asm/assembler.h"
 #include "image/layout.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 #include "vm/syscalls.h"
 
 namespace plx::vm {
 namespace {
+
+// These are backend-level interpreter tests: they poke x86 architectural
+// state (regs, eip, read_u8), so they construct the concrete machine.
+using Machine = x86::Machine;
 
 img::Image build(const std::string& src) {
   auto mod = assembler::assemble(src);

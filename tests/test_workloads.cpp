@@ -7,7 +7,7 @@
 #include "cc/compile.h"
 #include "image/layout.h"
 #include "parallax/protector.h"
-#include "vm/machine.h"
+#include "isa/x86/machine.h"
 #include "workloads/corpus.h"
 
 namespace plx::workloads {
@@ -25,7 +25,7 @@ TEST_P(EveryWorkload, CompilesAndRunsDeterministically) {
   auto laid = img::layout(compiled.value().module);
   ASSERT_TRUE(laid.ok()) << laid.error();
 
-  vm::Machine m1(laid.value().image), m2(laid.value().image);
+  x86::Machine m1(laid.value().image), m2(laid.value().image);
   auto r1 = m1.run(200'000'000);
   auto r2 = m2.run(200'000'000);
   ASSERT_EQ(r1.reason, vm::StopReason::Exited) << w.name << ": " << r1.fault;
@@ -90,7 +90,7 @@ TEST_P(EveryWorkload, ProtectedRunMatchesPlain) {
   ASSERT_TRUE(compiled.ok());
   auto plain = parallax::layout_plain(compiled.value());
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   auto ref_run = ref.run(200'000'000);
   ASSERT_EQ(ref_run.reason, vm::StopReason::Exited);
 
@@ -100,7 +100,7 @@ TEST_P(EveryWorkload, ProtectedRunMatchesPlain) {
   auto prot = p.protect(compiled.value(), opts);
   ASSERT_TRUE(prot.ok()) << w.name << ": " << prot.error();
 
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   auto run = m.run(400'000'000);
   ASSERT_EQ(run.reason, vm::StopReason::Exited) << w.name << ": " << run.fault;
   EXPECT_EQ(run.exit_code, ref_run.exit_code) << w.name;
@@ -112,7 +112,7 @@ TEST_P(EveryWorkload, TamperDetectionOnProtectedWorkload) {
   ASSERT_TRUE(compiled.ok());
   auto plain = parallax::layout_plain(compiled.value());
   ASSERT_TRUE(plain.ok());
-  vm::Machine ref(plain.value());
+  x86::Machine ref(plain.value());
   const auto ref_run = ref.run(200'000'000);
 
   parallax::ProtectOptions opts;
@@ -124,7 +124,7 @@ TEST_P(EveryWorkload, TamperDetectionOnProtectedWorkload) {
 
   // Attack one used gadget.
   const std::uint32_t victim = prot.value().used_gadget_addrs[1];
-  vm::Machine m(prot.value().image);
+  x86::Machine m(prot.value().image);
   bool ok = true;
   const std::uint8_t orig = m.read_u8(victim, ok);
   m.tamper(victim, orig ^ 0x28);

@@ -5,8 +5,8 @@
 
 #include <vector>
 
-#include "x86/decoder.h"
-#include "x86/format.h"
+#include "isa/x86/decoder.h"
+#include "isa/x86/format.h"
 
 namespace plx::x86 {
 namespace {

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "x86/build.h"
-#include "x86/encoder.h"
+#include "isa/x86/build.h"
+#include "isa/x86/encoder.h"
 
 namespace plx::x86 {
 namespace {

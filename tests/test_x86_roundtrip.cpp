@@ -13,10 +13,10 @@
 #include "asm/assembler.h"
 #include "image/layout.h"
 #include "support/rng.h"
-#include "x86/build.h"
-#include "x86/decoder.h"
-#include "x86/encoder.h"
-#include "x86/format.h"
+#include "isa/x86/build.h"
+#include "isa/x86/decoder.h"
+#include "isa/x86/encoder.h"
+#include "isa/x86/format.h"
 
 namespace plx::x86 {
 namespace {
